@@ -1,0 +1,379 @@
+//! # eda-autochip — automated Verilog generation with EDA-tool feedback
+//!
+//! Reproduces the paper's Section IV systems:
+//!
+//! * [`run_autochip`] — the AutoChip framework (Fig. 4): sample `k`
+//!   candidate designs, evaluate each with the EDA tools (compile +
+//!   testbench), rank by fraction of passing checks, and feed the best
+//!   candidate's tool output back into the prompt, iterating to depth `d`.
+//! * [`run_structured_flow`] — the earlier structured conversational flow:
+//!   one candidate per round, tool feedback automatically appended, and a
+//!   simulated *human* intervention only when the loop stalls — measuring
+//!   "how many designs need no human feedback at all".
+//!
+//! ```
+//! use eda_autochip::{run_autochip, AutoChipConfig};
+//! use eda_llm::{ModelSpec, SimulatedLlm};
+//!
+//! let model = SimulatedLlm::new(ModelSpec::ultra());
+//! let problem = eda_suite::problem("mux2").unwrap();
+//! let r = run_autochip(&model, &problem, &AutoChipConfig::default()).unwrap();
+//! assert!(r.best_score > 0.9);
+//! ```
+
+use eda_hdl::{check_source, HdlError, TbReport, VectorTest};
+use eda_llm::{prompts, ChatModel, ChatRequest};
+use eda_suite::Problem;
+use serde::Serialize;
+
+/// AutoChip configuration.
+#[derive(Debug, Clone)]
+pub struct AutoChipConfig {
+    /// Candidate responses sampled per round (the tree branching factor).
+    pub k_candidates: u32,
+    /// Feedback iterations (tree depth).
+    pub max_depth: u32,
+    pub temperature: f64,
+    /// Testbench vectors (for non-exhaustive problems).
+    pub tb_vectors: usize,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for AutoChipConfig {
+    fn default() -> Self {
+        AutoChipConfig { k_candidates: 5, max_depth: 4, temperature: 0.6, tb_vectors: 48, seed: 1 }
+    }
+}
+
+/// One feedback round's record.
+#[derive(Debug, Clone, Serialize)]
+pub struct Round {
+    pub depth: u32,
+    /// Score of each candidate this round.
+    pub scores: Vec<f64>,
+    pub best_score: f64,
+    /// Tool feedback passed to the next round (empty when solved).
+    pub feedback: String,
+}
+
+/// AutoChip outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct AutoChipResult {
+    pub problem: String,
+    pub model: String,
+    pub best_source: String,
+    /// Final best pass fraction (1.0 = fully correct).
+    pub best_score: f64,
+    pub solved: bool,
+    pub rounds: Vec<Round>,
+    pub candidates_evaluated: u32,
+}
+
+/// Scores one candidate: compile errors score 0 with the error text as
+/// feedback; otherwise the testbench pass fraction with mismatch feedback.
+pub fn evaluate_candidate(
+    source: &str,
+    problem: &Problem,
+    tb: &VectorTest,
+) -> (f64, String) {
+    match check_source(source, problem.module_name, tb) {
+        Ok(report) => (report.pass_fraction(), feedback_text(&report)),
+        Err(e) => (0.0, format!("tool error [{}]: {e}", e.category())),
+    }
+}
+
+fn feedback_text(report: &TbReport) -> String {
+    if report.all_passed() {
+        String::new()
+    } else {
+        report.feedback()
+    }
+}
+
+/// Runs the AutoChip loop for one problem.
+///
+/// # Errors
+///
+/// Fails only when the reference testbench cannot be built (a suite bug).
+pub fn run_autochip(
+    model: &dyn ChatModel,
+    problem: &Problem,
+    cfg: &AutoChipConfig,
+) -> Result<AutoChipResult, HdlError> {
+    let tb = problem.testbench(cfg.tb_vectors, cfg.seed)?;
+    let mut prompt = prompts::task_header("verilog-design", &[("problem", problem.id)]);
+    prompt.push_str(problem.prompt);
+    prompt.push('\n');
+
+    let mut rounds = Vec::new();
+    let mut best_source = String::new();
+    let mut best_score = -1.0f64;
+    let mut evaluated = 0u32;
+
+    for depth in 0..cfg.max_depth.max(1) {
+        let mut round_best: Option<(f64, String, String)> = None;
+        let mut scores = Vec::with_capacity(cfg.k_candidates as usize);
+        for k in 0..cfg.k_candidates.max(1) {
+            let resp = model.complete(&ChatRequest {
+                prompt: prompt.clone(),
+                temperature: cfg.temperature,
+                sample_index: depth * 1000 + k + cfg.seed as u32 * 31,
+            });
+            let (score, feedback) = evaluate_candidate(&resp.text, problem, &tb);
+            evaluated += 1;
+            scores.push(score);
+            let better = round_best.as_ref().map(|(s, _, _)| score > *s).unwrap_or(true);
+            if better {
+                round_best = Some((score, resp.text, feedback));
+            }
+        }
+        let (rb_score, rb_source, rb_feedback) =
+            round_best.expect("at least one candidate per round");
+        if rb_score > best_score {
+            best_score = rb_score;
+            best_source = rb_source.clone();
+        }
+        let solved = best_score >= 1.0;
+        rounds.push(Round {
+            depth,
+            scores,
+            best_score: rb_score,
+            feedback: if solved { String::new() } else { rb_feedback.clone() },
+        });
+        if solved {
+            break;
+        }
+        // Feed the best response and its tool output back (AutoChip's
+        // feedback edge).
+        prompt.push_str(&prompts::previous_section(&rb_source));
+        prompt.push_str(&prompts::feedback_section(&rb_feedback));
+    }
+
+    Ok(AutoChipResult {
+        problem: problem.id.to_string(),
+        model: model.name().to_string(),
+        best_source,
+        best_score: best_score.max(0.0),
+        solved: best_score >= 1.0,
+        rounds,
+        candidates_evaluated: evaluated,
+    })
+}
+
+/// Structured conversational flow configuration (the pre-AutoChip system).
+#[derive(Debug, Clone)]
+pub struct StructuredFlowConfig {
+    /// Max tool-feedback rounds before giving up.
+    pub max_rounds: u32,
+    /// Consecutive non-improving rounds before a human steps in.
+    pub stall_threshold: u32,
+    pub temperature: f64,
+    pub tb_vectors: usize,
+    pub seed: u64,
+}
+
+impl Default for StructuredFlowConfig {
+    fn default() -> Self {
+        StructuredFlowConfig {
+            max_rounds: 8,
+            stall_threshold: 1,
+            temperature: 0.5,
+            tb_vectors: 48,
+            seed: 1,
+        }
+    }
+}
+
+/// Outcome of the structured conversational flow on one design.
+#[derive(Debug, Clone, Serialize)]
+pub struct StructuredFlowResult {
+    pub problem: String,
+    pub model: String,
+    pub solved: bool,
+    pub rounds_used: u32,
+    /// Simulated human interventions (0 = "no human feedback needed").
+    pub human_interventions: u32,
+    pub final_score: f64,
+}
+
+/// Runs the structured conversational flow: one candidate per round, tool
+/// feedback appended automatically, a human hint injected when stalled.
+///
+/// # Errors
+///
+/// Fails only when the reference testbench cannot be built.
+pub fn run_structured_flow(
+    model: &dyn ChatModel,
+    problem: &Problem,
+    cfg: &StructuredFlowConfig,
+) -> Result<StructuredFlowResult, HdlError> {
+    let tb = problem.testbench(cfg.tb_vectors, cfg.seed)?;
+    let mut prompt = prompts::task_header("verilog-design", &[("problem", problem.id)]);
+    prompt.push_str(problem.prompt);
+    prompt.push('\n');
+
+    let mut best = 0.0f64;
+    let mut stall = 0u32;
+    let mut humans = 0u32;
+    let mut rounds_used = 0u32;
+    for round in 0..cfg.max_rounds.max(1) {
+        rounds_used = round + 1;
+        let resp = model.complete(&ChatRequest {
+            prompt: prompt.clone(),
+            temperature: cfg.temperature,
+            sample_index: round + cfg.seed as u32 * 17,
+        });
+        let (score, feedback) = evaluate_candidate(&resp.text, problem, &tb);
+        if score >= 1.0 {
+            return Ok(StructuredFlowResult {
+                problem: problem.id.to_string(),
+                model: model.name().to_string(),
+                solved: true,
+                rounds_used,
+                human_interventions: humans,
+                final_score: 1.0,
+            });
+        }
+        if score > best {
+            best = score;
+            stall = 0;
+        } else {
+            stall += 1;
+        }
+        prompt.push_str(&prompts::previous_section(&resp.text));
+        prompt.push_str(&prompts::feedback_section(&feedback));
+        if stall >= cfg.stall_threshold {
+            // Human gives a precise hint: modelled as a high-value
+            // feedback round (experienced engineers localize the bug).
+            humans += 1;
+            stall = 0;
+            prompt.push_str(&prompts::feedback_section(
+                "human reviewer: the mismatch is localized to one operator/branch; \
+                 re-derive that logic from the specification",
+            ));
+        }
+    }
+    Ok(StructuredFlowResult {
+        problem: problem.id.to_string(),
+        model: model.name().to_string(),
+        solved: false,
+        rounds_used,
+        human_interventions: humans,
+        final_score: best,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_llm::{ModelSpec, SimulatedLlm};
+
+    #[test]
+    fn strong_model_solves_easy_problem() {
+        let model = SimulatedLlm::new(ModelSpec::ultra());
+        let p = eda_suite::problem("half_adder").unwrap();
+        let r = run_autochip(&model, &p, &AutoChipConfig::default()).unwrap();
+        assert!(r.solved, "score {}", r.best_score);
+        assert!(r.rounds.len() <= 2);
+    }
+
+    #[test]
+    fn compile_errors_score_zero_with_feedback() {
+        let p = eda_suite::problem("mux2").unwrap();
+        let tb = p.testbench(8, 1).unwrap();
+        let (score, fb) = evaluate_candidate("module mux2(input s; endmodule", &p, &tb);
+        assert_eq!(score, 0.0);
+        assert!(fb.contains("tool error"));
+    }
+
+    #[test]
+    fn feedback_depth_raises_scores_for_capable_model() {
+        // Same candidate budget: depth 4 x k 2 (feedback) vs depth 1 x k 8
+        // (pure sampling). The capable model should not do worse with
+        // feedback on a medium problem, averaged over seeds.
+        let model = SimulatedLlm::new(ModelSpec::ultra());
+        let p = eda_suite::problem("updown_counter4").unwrap();
+        let mut fb_solved = 0;
+        let mut flat_solved = 0;
+        for seed in 0..8 {
+            let fb = run_autochip(
+                &model,
+                &p,
+                &AutoChipConfig { k_candidates: 2, max_depth: 4, seed, ..AutoChipConfig::default() },
+            )
+            .unwrap();
+            let flat = run_autochip(
+                &model,
+                &p,
+                &AutoChipConfig { k_candidates: 8, max_depth: 1, seed, ..AutoChipConfig::default() },
+            )
+            .unwrap();
+            fb_solved += fb.solved as u32;
+            flat_solved += flat.solved as u32;
+        }
+        assert!(
+            fb_solved + 1 >= flat_solved,
+            "feedback {fb_solved}/8 vs flat {flat_solved}/8"
+        );
+    }
+
+    #[test]
+    fn rounds_recorded_with_scores() {
+        let model = SimulatedLlm::new(ModelSpec::basic());
+        let p = eda_suite::problem("alu8").unwrap();
+        let cfg = AutoChipConfig { k_candidates: 3, max_depth: 2, ..AutoChipConfig::default() };
+        let r = run_autochip(&model, &p, &cfg).unwrap();
+        assert!(!r.rounds.is_empty());
+        for round in &r.rounds {
+            assert_eq!(round.scores.len(), 3);
+        }
+        assert_eq!(
+            r.candidates_evaluated,
+            r.rounds.len() as u32 * cfg.k_candidates
+        );
+    }
+
+    #[test]
+    fn structured_flow_counts_human_interventions() {
+        let model = SimulatedLlm::new(ModelSpec::basic());
+        let p = eda_suite::problem("seq_detector_101").unwrap();
+        let cfg = StructuredFlowConfig { max_rounds: 6, ..StructuredFlowConfig::default() };
+        let r = run_structured_flow(&model, &p, &cfg).unwrap();
+        // A weak model on a hard problem stalls -> humans get involved
+        // (or it fails outright); either way the field is well-formed.
+        assert!(r.rounds_used <= 6);
+        if !r.solved {
+            assert!(r.final_score < 1.0);
+        }
+    }
+
+    #[test]
+    fn structured_flow_strong_model_often_human_free() {
+        let model = SimulatedLlm::new(ModelSpec::ultra());
+        let mut human_free = 0;
+        let set = eda_suite::structured_flow_set();
+        for p in &set {
+            let r = run_structured_flow(&model, p, &StructuredFlowConfig::default()).unwrap();
+            if r.solved && r.human_interventions == 0 {
+                human_free += 1;
+            }
+        }
+        assert!(
+            human_free * 2 >= set.len(),
+            "at least half need no human feedback: {human_free}/{}",
+            set.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = SimulatedLlm::new(ModelSpec::pro());
+        let p = eda_suite::problem("counter4").unwrap();
+        let cfg = AutoChipConfig { seed: 7, ..AutoChipConfig::default() };
+        let a = run_autochip(&model, &p, &cfg).unwrap();
+        let b = run_autochip(&model, &p, &cfg).unwrap();
+        assert_eq!(a.best_score, b.best_score);
+        assert_eq!(a.candidates_evaluated, b.candidates_evaluated);
+    }
+}

@@ -1,0 +1,129 @@
+//! Criterion micro-benchmarks for the workspace's hot kernels: the HDL
+//! event simulator, symbolic synthesis + mapping, BM25 retrieval,
+//! Levenshtein distance, the RISC-V OOO power model, and HLS scheduling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_hdl_simulator(c: &mut Criterion) {
+    let src = "module lfsr(input clk, rst, output reg [15:0] q);
+                 wire fb;
+                 assign fb = q[15] ^ q[13] ^ q[12] ^ q[10];
+                 always @(posedge clk)
+                   if (rst) q <= 16'd1; else q <= {q[14:0], fb};
+               endmodule";
+    let design = eda_hdl::compile(src, "lfsr").unwrap();
+    c.bench_function("hdl_sim_lfsr_1000_cycles", |b| {
+        b.iter(|| {
+            let mut sim = eda_hdl::Simulator::new(&design);
+            sim.poke("rst", eda_hdl::Value::bit(true)).unwrap();
+            eda_hdl::clock_cycles(&mut sim, "clk", 1, |_, _| Ok(())).unwrap();
+            sim.poke("rst", eda_hdl::Value::bit(false)).unwrap();
+            eda_hdl::clock_cycles(&mut sim, "clk", 1000, |_, _| Ok(())).unwrap();
+            black_box(sim.peek("q").unwrap())
+        })
+    });
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let src = "module add16(input [15:0] a, b, output [15:0] s, output cout);
+                 assign {cout, s} = a + b;
+               endmodule";
+    let file = eda_hdl::parse(src).unwrap();
+    let module = file.module("add16").unwrap().clone();
+    c.bench_function("synth_map_add16", |b| {
+        b.iter(|| {
+            let r = eda_synth::synthesize_and_map(black_box(&module)).unwrap();
+            black_box(r.area)
+        })
+    });
+}
+
+fn bench_retrieval(c: &mut Criterion) {
+    let mut index = eda_rag::Index::new();
+    for i in 0..500 {
+        index.add(eda_rag::Document::new(
+            format!("d{i}"),
+            format!("topic{} keywords loop array memory", i % 17),
+            format!("body text about synthesis pass number {i} with pragma and schedule"),
+        ));
+    }
+    c.bench_function("bm25_search_500_docs", |b| {
+        b.iter(|| black_box(index.search("loop pragma schedule memory", 5)))
+    });
+}
+
+fn bench_levenshtein(c: &mut Criterion) {
+    let a = "int snippet() { int c0 = 3; for (int i = 0; i < 4000; i++) { c0 = c0 * 17 + 1; } return c0; }";
+    let b2 = "int snippet() { int c0 = 5; for (int i = 0; i < 3000; i++) { c0 = c0 * 13 + 2; c0 ^= i; } return c0; }";
+    c.bench_function("levenshtein_snippets", |b| {
+        b.iter(|| black_box(eda_sltgen::levenshtein(black_box(a), black_box(b2))))
+    });
+}
+
+fn bench_ooo_model(c: &mut Criterion) {
+    let prog = eda_riscv::assemble(
+        "
+        li t0, 2000
+        li t1, 7
+        li t2, 13
+    loop:
+        mul t3, t1, t2
+        add t4, t1, t2
+        xor t5, t3, t4
+        sw t3, 64(zero)
+        lw t6, 64(zero)
+        addi t0, t0, -1
+        bne t0, zero, loop
+        ecall
+    ",
+    )
+    .unwrap();
+    let trace = eda_riscv::Cpu::new(eda_riscv::CpuConfig::default())
+        .run(&prog)
+        .unwrap()
+        .trace;
+    c.bench_function("ooo_analyze_16k_instrs", |b| {
+        b.iter(|| {
+            black_box(eda_riscv::analyze(
+                black_box(&trace),
+                eda_riscv::UarchConfig::default(),
+                eda_riscv::PowerParams::default(),
+            ))
+        })
+    });
+}
+
+fn bench_hls_schedule(c: &mut Criterion) {
+    let prog = eda_cmini::parse(
+        "int kern(int a[64], int b[64]) {
+           int s = 0;
+           for (int i = 0; i < 64; i++) {
+             s += a[i] * b[i] + (a[i] >> 2) - (b[i] & 15);
+           }
+           return s;
+         }",
+    )
+    .unwrap();
+    let lowered = eda_hls::lower(&prog, "kern").unwrap();
+    c.bench_function("hls_schedule_kernel", |b| {
+        b.iter(|| {
+            black_box(eda_hls::schedule(
+                black_box(&lowered),
+                eda_hls::Resources::default(),
+                eda_hls::Latencies::default(),
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hdl_simulator,
+    bench_synthesis,
+    bench_retrieval,
+    bench_levenshtein,
+    bench_ooo_model,
+    bench_hls_schedule
+);
+criterion_main!(benches);

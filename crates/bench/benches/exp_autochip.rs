@@ -1,0 +1,82 @@
+//! E1 — AutoChip (paper Fig. 4 + Section IV prose).
+//!
+//! Pass rates for four model tiers under two equal-budget strategies:
+//! *feedback* (k=3 candidates × depth 4) versus *sampling* (k=12 × depth
+//! 1). Paper-shaped expectation: only the most capable model benefits
+//! significantly from iterating on EDA-tool feedback; weaker tiers do as
+//! well or better just sampling more candidates.
+
+use eda_autochip::{run_autochip, AutoChipConfig};
+use eda_bench::{banner, format_table, mean, write_json};
+use eda_llm::{model_zoo, SimulatedLlm};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    feedback_pass: f64,
+    sampling_pass: f64,
+    feedback_gain: f64,
+}
+
+fn main() {
+    banner("E1: AutoChip — feedback depth vs. candidate sampling (Fig. 4)");
+    let problems = [
+        "priority_encoder8", "alu8", "updown_counter4", "lfsr8", "edge_detector",
+        "seq_detector_101", "traffic_light", "sorter4", "divider4", "pwm4",
+    ];
+    let seeds = [1u64, 2, 3];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for spec in model_zoo() {
+        let model = SimulatedLlm::new(spec.clone());
+        let mut feedback_scores = Vec::new();
+        let mut sampling_scores = Vec::new();
+        for pid in &problems {
+            let problem = eda_suite::problem(pid).expect("known problem");
+            for &seed in &seeds {
+                let fb = run_autochip(
+                    &model,
+                    &problem,
+                    &AutoChipConfig { k_candidates: 2, max_depth: 4, temperature: 1.0, seed, ..Default::default() },
+                )
+                .expect("suite testbench");
+                let flat = run_autochip(
+                    &model,
+                    &problem,
+                    &AutoChipConfig { k_candidates: 8, max_depth: 1, temperature: 1.0, seed, ..Default::default() },
+                )
+                .expect("suite testbench");
+                feedback_scores.push(fb.solved as u8 as f64);
+                sampling_scores.push(flat.solved as u8 as f64);
+            }
+        }
+        let f = mean(&feedback_scores);
+        let s = mean(&sampling_scores);
+        rows.push(vec![
+            spec.name.clone(),
+            format!("{f:.2}"),
+            format!("{s:.2}"),
+            format!("{:+.2}", f - s),
+        ]);
+        json.push(Row {
+            model: spec.name,
+            feedback_pass: f,
+            sampling_pass: s,
+            feedback_gain: f - s,
+        });
+    }
+    println!(
+        "{}",
+        format_table(
+            &["model", "pass(feedback k=2,d=4)", "pass(sampling k=8,d=1)", "gain"],
+            &rows
+        )
+    );
+    println!(
+        "shape check: strongest tier gains {:+.2}, weakest gains {:+.2}",
+        json.last().map(|r| r.feedback_gain).unwrap_or(0.0),
+        json.first().map(|r| r.feedback_gain).unwrap_or(0.0),
+    );
+    write_json("exp_autochip", &json);
+}

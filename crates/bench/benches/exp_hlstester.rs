@@ -1,0 +1,112 @@
+//! E6 — HLSTester: behavioral-discrepancy testing efficiency
+//! (paper Fig. 3).
+//!
+//! Over the discrepancy corpus, compares three configurations under the
+//! same hardware-simulation budget:
+//! * full pipeline (spectra-guided LLM reasoning + redundancy filter),
+//! * no redundancy filter,
+//! * random testing (no LLM reasoning, no filter).
+//!
+//! Paper-shaped expectation: the full pipeline finds at least as many
+//! discrepancy-triggering inputs while spending fewer hardware
+//! simulations (the filter "skips repeated hardware simulations").
+
+use eda_bench::{banner, format_table, write_json};
+use eda_hlstester::{discrepancy_corpus, run_hlstester, HlsTesterConfig};
+use eda_llm::{ModelSpec, SimulatedLlm};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    budget: usize,
+    config: String,
+    cases_detected: usize,
+    total_cases: usize,
+    triggering_inputs: usize,
+    hw_sims: usize,
+    hw_skipped: usize,
+}
+
+fn main() {
+    banner("E6: HLSTester — discrepancies found vs hardware simulations (Fig. 3)");
+    let model = SimulatedLlm::new(ModelSpec::pro());
+    let cases: Vec<_> = discrepancy_corpus()
+        .into_iter()
+        .filter(|c| c.id != "clean-saturate")
+        .collect();
+    let seeds = [1u64, 2, 3];
+    let variants: [(&str, bool, bool); 3] = [
+        ("full (LLM + filter)", true, true),
+        ("no redundancy filter", true, false),
+        ("random testing", false, false),
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    // Sweep the hardware-simulation budget: guidance and filtering matter
+    // most when hardware runs are scarce.
+    for budget in [8usize, 16, 40] {
+        for (name, llm, filter) in variants {
+            let mut detected = 0usize;
+            let mut inputs = 0usize;
+            let mut sims = 0usize;
+            let mut skipped = 0usize;
+            let mut total = 0usize;
+            for case in &cases {
+                for &seed in &seeds {
+                    let r = run_hlstester(
+                        &model,
+                        case.source,
+                        case.func,
+                        &HlsTesterConfig {
+                            llm_reasoning: llm,
+                            redundancy_filter: filter,
+                            hw_sim_budget: budget,
+                            seed,
+                            ..Default::default()
+                        },
+                    )
+                    .expect("corpus case synthesizes");
+                    total += 1;
+                    detected += (!r.discrepancies.is_empty()) as usize;
+                    inputs += r.triggering_inputs;
+                    sims += r.hw_sims_run;
+                    skipped += r.hw_sims_skipped;
+                }
+            }
+            rows.push(vec![
+                budget.to_string(),
+                name.to_string(),
+                format!("{detected}/{total}"),
+                inputs.to_string(),
+                sims.to_string(),
+                skipped.to_string(),
+            ]);
+            json.push(Row {
+                budget,
+                config: name.to_string(),
+                cases_detected: detected,
+                total_cases: total,
+                triggering_inputs: inputs,
+                hw_sims: sims,
+                hw_skipped: skipped,
+            });
+        }
+    }
+    println!(
+        "{}",
+        format_table(
+            &["budget", "configuration", "detected", "triggering inputs", "hw sims", "skipped"],
+            &rows
+        )
+    );
+    if let (Some(full), Some(rand)) = (
+        json.iter().find(|r| r.budget == 8 && r.config.starts_with("full")),
+        json.iter().find(|r| r.budget == 8 && r.config.starts_with("random")),
+    ) {
+        println!(
+            "shape check @budget 8: full detects {}/{} vs random {}/{}",
+            full.cases_detected, full.total_cases, rand.cases_detected, rand.total_cases
+        );
+    }
+    write_json("exp_hlstester", &json);
+}

@@ -1,0 +1,81 @@
+//! E4 — temperature-adaptation ablation (paper Section V mechanism).
+//!
+//! Three schedules over the same budget and seeds:
+//! * adaptive temperature + Levenshtein diversity (the paper's loop),
+//! * adaptive temperature without the diversity rule,
+//! * fixed temperature.
+//!
+//! Paper-shaped expectation: dropping the Levenshtein rule lets the pool
+//! collapse onto near-duplicates ("the LLM will converge towards very
+//! similar snippets and become stuck in a local optimum"), visible as
+//! lower pool diversity and no better final power.
+
+use eda_bench::{banner, format_table, mean, write_json};
+use eda_llm::{ModelSpec, SimulatedLlm};
+use eda_sltgen::{run_slt_llm, SltConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    schedule: String,
+    mean_best_w: f64,
+    mean_diversity: f64,
+    mean_final_temp: f64,
+}
+
+fn main() {
+    banner("E4: temperature adaptation + Levenshtein diversity ablation");
+    let model = SimulatedLlm::new(ModelSpec::code_llama_ft());
+    let seeds = [1u64, 2, 3, 4];
+    let variants: [(&str, bool, bool); 3] = [
+        ("adaptive + diversity (paper)", true, true),
+        ("adaptive, no diversity", true, false),
+        ("fixed temperature", false, true),
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (name, adaptive, diversity) in variants {
+        let mut bests = Vec::new();
+        let mut divs = Vec::new();
+        let mut temps = Vec::new();
+        for &seed in &seeds {
+            let run = run_slt_llm(
+                &model,
+                &SltConfig {
+                    virtual_hours: 6.0,
+                    adaptive_temperature: adaptive,
+                    diversity_pressure: diversity,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            bests.push(run.run.best_power_w);
+            divs.push(run.pool_diversity);
+            temps.push(run.final_temperature);
+        }
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3}", mean(&bests)),
+            format!("{:.3}", mean(&divs)),
+            format!("{:.2}", mean(&temps)),
+        ]);
+        json.push(Row {
+            schedule: name.to_string(),
+            mean_best_w: mean(&bests),
+            mean_diversity: mean(&divs),
+            mean_final_temp: mean(&temps),
+        });
+    }
+    println!(
+        "{}",
+        format_table(
+            &["schedule", "mean best (W)", "pool diversity", "final temp"],
+            &rows
+        )
+    );
+    println!(
+        "shape check: no-diversity pool diversity {:.3} vs paper schedule {:.3}",
+        json[1].mean_diversity, json[0].mean_diversity
+    );
+    write_json("exp_temperature_ablation", &json);
+}

@@ -1,0 +1,117 @@
+//! # eda-bench — experiment harnesses and shared reporting utilities
+//!
+//! Each `benches/exp_*.rs` target regenerates one experiment from the
+//! paper's evaluation content (see DESIGN.md's experiment index E1–E9):
+//! run `cargo bench --bench exp_autochip` etc., or `cargo bench` for all.
+//! Results print as aligned tables and are also dumped to
+//! `results/<experiment>.json` at the workspace root so EXPERIMENTS.md
+//! numbers stay regenerable artifacts.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Renders an aligned text table.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        write!(line, "{h:<w$}  ").unwrap();
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + widths.len() * 2;
+    out.push_str(&"-".repeat(total.min(120)));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (c, w) in row.iter().zip(&widths) {
+            write!(line, "{c:<w$}  ").unwrap();
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Workspace-root `results/` directory.
+pub fn results_dir() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop(); // crates
+    p.pop(); // workspace root
+    p.push("results");
+    p
+}
+
+/// Writes an experiment result as pretty JSON to `results/<name>.json`.
+/// Failures are reported to stderr but never abort an experiment.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("[results -> {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: serialize {name}: {e}"),
+    }
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = format_table(
+            &["model", "pass"],
+            &[
+                vec!["sim-ultra-4o".into(), "0.93".into()],
+                vec!["x".into(), "0.1".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].starts_with("model"));
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn mean_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn results_dir_points_into_workspace() {
+        assert!(results_dir().ends_with("results"));
+    }
+}

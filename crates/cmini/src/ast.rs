@@ -1,0 +1,370 @@
+//! Abstract syntax tree for mini-C.
+
+use std::fmt;
+
+/// A unique statement id assigned by the parser; used by coverage, slicing,
+//  and instrumentation.
+pub type StmtId = u32;
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Mutable lookup.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+}
+
+/// Base scalar types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaseType {
+    Void,
+    /// `char` (8-bit).
+    Char,
+    /// `short` (16-bit).
+    Short,
+    /// `int` (32-bit).
+    Int,
+    /// `long` / `long long` (64-bit).
+    Long,
+}
+
+impl BaseType {
+    /// Width in bits (0 for void).
+    pub fn bits(self) -> u32 {
+        match self {
+            BaseType::Void => 0,
+            BaseType::Char => 8,
+            BaseType::Short => 16,
+            BaseType::Int => 32,
+            BaseType::Long => 64,
+        }
+    }
+}
+
+/// A (possibly pointer / array) type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Type {
+    pub base: BaseType,
+    pub unsigned: bool,
+    /// Pointer indirection level (`int*` = 1).
+    pub pointers: u32,
+    /// Fixed array dimensions (outermost first). Empty for scalars.
+    pub dims: Vec<u64>,
+}
+
+impl Type {
+    /// Scalar signed int.
+    pub fn int() -> Type {
+        Type { base: BaseType::Int, unsigned: false, pointers: 0, dims: Vec::new() }
+    }
+
+    /// Scalar of a given base.
+    pub fn scalar(base: BaseType) -> Type {
+        Type { base, unsigned: false, pointers: 0, dims: Vec::new() }
+    }
+
+    /// True for plain integer scalars.
+    pub fn is_scalar(&self) -> bool {
+        self.pointers == 0 && self.dims.is_empty() && self.base != BaseType::Void
+    }
+
+    /// True for pointer types.
+    pub fn is_pointer(&self) -> bool {
+        self.pointers > 0
+    }
+
+    /// True for array types.
+    pub fn is_array(&self) -> bool {
+        !self.dims.is_empty()
+    }
+
+    /// Total number of scalar elements for arrays (1 for scalars).
+    pub fn element_count(&self) -> u64 {
+        self.dims.iter().product::<u64>().max(1)
+    }
+
+    /// Storage width in bits for value wrapping.
+    pub fn bits(&self) -> u32 {
+        if self.pointers > 0 {
+            64
+        } else {
+            self.base.bits()
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.unsigned {
+            write!(f, "unsigned ")?;
+        }
+        let b = match self.base {
+            BaseType::Void => "void",
+            BaseType::Char => "char",
+            BaseType::Short => "short",
+            BaseType::Int => "int",
+            BaseType::Long => "long",
+        };
+        write!(f, "{b}")?;
+        for _ in 0..self.pointers {
+            write!(f, "*")?;
+        }
+        for d in &self.dims {
+            write!(f, "[{d}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// An HLS-style pragma attached to a function or loop, e.g.
+/// `#pragma HLS pipeline II=2`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// Raw text after `#pragma` (e.g. `HLS unroll factor=4`).
+    pub text: String,
+    pub line: u32,
+}
+
+impl Pragma {
+    /// Parses `key=value` fields after the directive name; returns the
+    /// directive (lowercased second word, e.g. `pipeline`) and fields.
+    pub fn directive(&self) -> Option<(String, Vec<(String, String)>)> {
+        let mut words = self.text.split_whitespace();
+        let first = words.next()?;
+        if !first.eq_ignore_ascii_case("hls") {
+            return None;
+        }
+        let name = words.next()?.to_ascii_lowercase();
+        let mut fields = Vec::new();
+        for w in words {
+            if let Some((k, v)) = w.split_once('=') {
+                fields.push((k.to_ascii_lowercase(), v.to_string()));
+            } else {
+                fields.push((w.to_ascii_lowercase(), String::new()));
+            }
+        }
+        Some((name, fields))
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    pub ret: Type,
+    pub name: String,
+    pub params: Vec<Param>,
+    pub body: Block,
+    /// Pragmas appearing at the top of the function body.
+    pub pragmas: Vec<Pragma>,
+    pub line: u32,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub ty: Type,
+    pub name: String,
+}
+
+/// A `{ ... }` block.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+/// Statement with id and source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    pub id: StmtId,
+    pub line: u32,
+    pub kind: StmtKind,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Declaration with optional initializer.
+    Decl { ty: Type, name: String, init: Option<Expr> },
+    /// Expression statement (includes assignments and calls).
+    Expr(Expr),
+    If { cond: Expr, then_branch: Block, else_branch: Option<Block> },
+    While { cond: Expr, body: Block, pragmas: Vec<Pragma> },
+    DoWhile { body: Block, cond: Expr },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Block,
+        pragmas: Vec<Pragma>,
+    },
+    Return(Option<Expr>),
+    Break,
+    Continue,
+    Block(Block),
+    /// Free-standing pragma not attached to a loop.
+    Pragma(Pragma),
+}
+
+/// Expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    IntLit(i64),
+    /// Character literal (value).
+    CharLit(i64),
+    /// String literal (only valid as a `printf` format / argument).
+    StrLit(String),
+    Ident(String),
+    /// `a[i]` / `a[i][j]` chains are nested Index nodes.
+    Index(Box<Expr>, Box<Expr>),
+    Call(String, Vec<Expr>),
+    Unary(UnOp, Box<Expr>),
+    /// Postfix/prefix increment and decrement.
+    IncDec { target: Box<Expr>, inc: bool, prefix: bool },
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Simple or compound assignment (`op` is `None` for plain `=`).
+    Assign { op: Option<BinOp>, target: Box<Expr>, value: Box<Expr> },
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    Cast(Type, Box<Expr>),
+    /// `sizeof(type)` resolved in bytes.
+    SizeOf(Type),
+    /// `&x` (address-of; limited to array/scalar names).
+    AddrOf(Box<Expr>),
+    /// `*p` (dereference).
+    Deref(Box<Expr>),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Not,
+    BitNot,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add, Sub, Mul, Div, Rem,
+    Shl, Shr,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    BitAnd, BitXor, BitOr,
+    LogAnd, LogOr,
+}
+
+impl BinOp {
+    /// True for comparison operators (result is 0/1).
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+}
+
+/// Walks every statement in a block, depth-first.
+pub fn walk_stmts<'a>(block: &'a Block, f: &mut impl FnMut(&'a Stmt)) {
+    for s in &block.stmts {
+        f(s);
+        match &s.kind {
+            StmtKind::If { then_branch, else_branch, .. } => {
+                walk_stmts(then_branch, f);
+                if let Some(e) = else_branch {
+                    walk_stmts(e, f);
+                }
+            }
+            StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => walk_stmts(body, f),
+            StmtKind::For { init, body, .. } => {
+                if let Some(i) = init {
+                    f(i);
+                }
+                walk_stmts(body, f);
+            }
+            StmtKind::Block(b) => walk_stmts(b, f),
+            _ => {}
+        }
+    }
+}
+
+/// Walks every expression in a statement.
+pub fn walk_stmt_exprs<'a>(s: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
+    match &s.kind {
+        StmtKind::Decl { init: Some(e), .. } => walk_expr(e, f),
+        StmtKind::Expr(e) | StmtKind::Return(Some(e)) => walk_expr(e, f),
+        StmtKind::If { cond, .. } => walk_expr(cond, f),
+        StmtKind::While { cond, .. } | StmtKind::DoWhile { cond, .. } => walk_expr(cond, f),
+        StmtKind::For { cond, step, .. } => {
+            if let Some(c) = cond {
+                walk_expr(c, f);
+            }
+            if let Some(st) = step {
+                walk_expr(st, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Depth-first expression walk.
+pub fn walk_expr<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    f(e);
+    match e {
+        Expr::Index(a, b) | Expr::Binary(_, a, b) => {
+            walk_expr(a, f);
+            walk_expr(b, f);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Unary(_, a) | Expr::Cast(_, a) | Expr::AddrOf(a) | Expr::Deref(a) => walk_expr(a, f),
+        Expr::IncDec { target, .. } => walk_expr(target, f),
+        Expr::Assign { target, value, .. } => {
+            walk_expr(target, f);
+            walk_expr(value, f);
+        }
+        Expr::Ternary(a, b, c) => {
+            walk_expr(a, f);
+            walk_expr(b, f);
+            walk_expr(c, f);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_display_and_bits() {
+        let t = Type { base: BaseType::Int, unsigned: true, pointers: 1, dims: vec![] };
+        assert_eq!(t.to_string(), "unsigned int*");
+        assert_eq!(t.bits(), 64);
+        assert_eq!(Type::scalar(BaseType::Char).bits(), 8);
+    }
+
+    #[test]
+    fn pragma_parsing() {
+        let p = Pragma { text: "HLS pipeline II=2".into(), line: 1 };
+        let (name, fields) = p.directive().unwrap();
+        assert_eq!(name, "pipeline");
+        assert_eq!(fields, vec![("ii".to_string(), "2".to_string())]);
+        let q = Pragma { text: "once".into(), line: 1 };
+        assert!(q.directive().is_none());
+    }
+
+    #[test]
+    fn element_count() {
+        let t = Type { base: BaseType::Int, unsigned: false, pointers: 0, dims: vec![4, 8] };
+        assert_eq!(t.element_count(), 32);
+        assert!(t.is_array());
+    }
+}

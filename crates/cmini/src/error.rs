@@ -1,0 +1,94 @@
+//! Error types for the mini-C frontend and interpreter.
+
+use std::fmt;
+
+/// Compile-time or runtime error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CminiError {
+    Lex { line: u32, msg: String },
+    Parse { line: u32, msg: String },
+    Type { line: u32, msg: String },
+    Runtime(RuntimeError),
+}
+
+/// Runtime failure; the SLT loop scores a snippet as zero when evaluation
+/// raises any of these (the paper: "score is set to zero if the code does
+/// not compile or causes an unwanted exception").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeError {
+    pub kind: RuntimeErrorKind,
+    pub msg: String,
+    pub line: u32,
+}
+
+/// Classification of runtime failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuntimeErrorKind {
+    DivideByZero,
+    OutOfBounds,
+    UseAfterFree,
+    NullDeref,
+    StepLimit,
+    CallDepth,
+    AssertFailed,
+    UndefinedName,
+    BadCall,
+    OutOfMemory,
+}
+
+impl CminiError {
+    pub(crate) fn lex(line: u32, msg: impl Into<String>) -> Self {
+        CminiError::Lex { line, msg: msg.into() }
+    }
+
+    pub(crate) fn parse(line: u32, msg: impl Into<String>) -> Self {
+        CminiError::Parse { line, msg: msg.into() }
+    }
+
+    /// Creates a type error.
+    pub fn type_err(line: u32, msg: impl Into<String>) -> Self {
+        CminiError::Type { line, msg: msg.into() }
+    }
+
+    /// Creates a runtime error.
+    pub fn runtime(kind: RuntimeErrorKind, line: u32, msg: impl Into<String>) -> Self {
+        CminiError::Runtime(RuntimeError { kind, msg: msg.into(), line })
+    }
+
+    /// Short category tag for tool-feedback formatting.
+    pub fn category(&self) -> &'static str {
+        match self {
+            CminiError::Lex { .. } => "lex",
+            CminiError::Parse { .. } => "parse",
+            CminiError::Type { .. } => "type",
+            CminiError::Runtime(_) => "runtime",
+        }
+    }
+}
+
+impl fmt::Display for CminiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CminiError::Lex { line, msg } => write!(f, "lex error at line {line}: {msg}"),
+            CminiError::Parse { line, msg } => write!(f, "syntax error at line {line}: {msg}"),
+            CminiError::Type { line, msg } => write!(f, "type error at line {line}: {msg}"),
+            CminiError::Runtime(r) => {
+                write!(f, "runtime error at line {}: {} ({:?})", r.line, r.msg, r.kind)
+            }
+        }
+    }
+}
+
+impl std::error::Error for CminiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_category() {
+        let e = CminiError::runtime(RuntimeErrorKind::DivideByZero, 3, "1/0");
+        assert!(e.to_string().contains("DivideByZero"));
+        assert_eq!(e.category(), "runtime");
+    }
+}

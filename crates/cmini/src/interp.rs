@@ -1,0 +1,1247 @@
+//! Tree-walking interpreter for mini-C.
+//!
+//! The interpreter is the *CPU reference execution* of the paper's HLS
+//! flows: it runs original and repaired programs, produces golden outputs
+//! for C↔RTL co-simulation, and records the execution *spectra* (coverage,
+//! value ranges, overflow events) that HLSTester's test generation consumes.
+//!
+//! Width semantics: every store wraps the value to the declared bit width of
+//! its target. A [`WidthMode::Custom`] map can narrow specific variables —
+//! this is how FPGA-side custom bit widths (and the behavioral
+//! discrepancies they cause) are modeled.
+//!
+//! Memory model: sizes are measured in *elements*, not bytes; `sizeof(T)`
+//! is 1, so `malloc(n * sizeof(int))` allocates `n` slots. Freed objects
+//! poison further access (use-after-free errors).
+
+use crate::ast::*;
+use crate::error::{CminiError, RuntimeErrorKind};
+use std::collections::{HashMap, HashSet};
+
+/// Runtime value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CValue {
+    Int(i64),
+    /// Pointer to heap object `obj` at element offset `off`.
+    Ptr { obj: usize, off: usize },
+}
+
+impl CValue {
+    /// Integer content or a type error.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            CValue::Int(v) => Some(*v),
+            CValue::Ptr { .. } => None,
+        }
+    }
+}
+
+/// Execution limits.
+#[derive(Debug, Clone, Copy)]
+pub struct InterpLimits {
+    pub max_steps: u64,
+    pub max_call_depth: u32,
+    pub max_heap_words: usize,
+}
+
+impl Default for InterpLimits {
+    fn default() -> Self {
+        InterpLimits { max_steps: 5_000_000, max_call_depth: 64, max_heap_words: 1 << 22 }
+    }
+}
+
+/// Width-wrapping behaviour for stores.
+#[derive(Debug, Clone, Default)]
+pub enum WidthMode {
+    /// Use declared C widths.
+    #[default]
+    Natural,
+    /// Override widths for named variables (`var` or `func.var`), as an
+    /// HLS bitwidth pragma would.
+    Custom(HashMap<String, u32>),
+}
+
+/// Per-variable value summary recorded for watched variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarSpectrum {
+    pub writes: u64,
+    pub min: i64,
+    pub max: i64,
+    /// Stores where wrapping changed the value (overflow events).
+    pub overflows: u64,
+    /// Up to 64 most recent values (for signature hashing).
+    pub recent: Vec<i64>,
+}
+
+impl Default for VarSpectrum {
+    fn default() -> Self {
+        VarSpectrum { writes: 0, min: i64::MAX, max: i64::MIN, overflows: 0, recent: Vec::new() }
+    }
+}
+
+/// Operation counters (activity proxy for PPA models).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    pub adds: u64,
+    pub muls: u64,
+    pub divs: u64,
+    pub logic: u64,
+    pub loads: u64,
+    pub stores: u64,
+    pub branches: u64,
+    pub calls: u64,
+}
+
+/// Everything observed during one execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecTrace {
+    /// Statement ids executed at least once.
+    pub coverage: HashSet<StmtId>,
+    /// Spectra for watched variables.
+    pub spectra: HashMap<String, VarSpectrum>,
+    pub ops: OpCounters,
+    pub steps: u64,
+    /// `printf` output.
+    pub output: String,
+}
+
+impl ExecTrace {
+    /// Deterministic signature of the observed spectra (used by HLSTester's
+    /// redundancy filter to skip equivalent simulations).
+    pub fn spectra_signature(&self) -> u64 {
+        let mut keys: Vec<&String> = self.spectra.keys().collect();
+        keys.sort();
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        for k in keys {
+            for b in k.bytes() {
+                mix(b as u64);
+            }
+            let s = &self.spectra[k];
+            mix(s.writes);
+            mix(s.min as u64);
+            mix(s.max as u64);
+            mix(s.overflows);
+            for v in &s.recent {
+                mix(*v as u64);
+            }
+        }
+        let mut cov: Vec<u32> = self.coverage.iter().copied().collect();
+        cov.sort_unstable();
+        for c in cov {
+            mix(c as u64);
+        }
+        h
+    }
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(CValue),
+}
+
+struct HeapObj {
+    data: Vec<i64>,
+    freed: bool,
+    elem_bits: u32,
+    unsigned: bool,
+}
+
+/// A binding in a stack frame.
+#[derive(Clone)]
+enum Binding {
+    Scalar { value: i64, bits: u32, unsigned: bool },
+    Ptr { value: Option<(usize, usize)>, dims: Vec<u64> },
+}
+
+/// The interpreter.
+pub struct Interp<'p> {
+    prog: &'p Program,
+    heap: Vec<HeapObj>,
+    frames: Vec<HashMap<String, Binding>>,
+    limits: InterpLimits,
+    widths: WidthMode,
+    watch: HashSet<String>,
+    trace: ExecTrace,
+    heap_words: usize,
+    current_fn: String,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter over a parsed program.
+    pub fn new(prog: &'p Program) -> Self {
+        Interp {
+            prog,
+            heap: Vec::new(),
+            frames: Vec::new(),
+            limits: InterpLimits::default(),
+            widths: WidthMode::Natural,
+            watch: HashSet::new(),
+            trace: ExecTrace::default(),
+            heap_words: 0,
+            current_fn: String::new(),
+        }
+    }
+
+    /// Sets execution limits.
+    pub fn with_limits(mut self, limits: InterpLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Sets width-wrapping mode.
+    pub fn with_widths(mut self, widths: WidthMode) -> Self {
+        self.widths = widths;
+        self
+    }
+
+    /// Watches variables (by name or `func.name`) for spectra recording.
+    pub fn watch<I: IntoIterator<Item = String>>(mut self, vars: I) -> Self {
+        self.watch.extend(vars);
+        self
+    }
+
+    /// Allocates a heap array initialized from `data`; pass the returned
+    /// pointer as a function argument.
+    pub fn alloc_array(&mut self, data: &[i64], elem_bits: u32, unsigned: bool) -> CValue {
+        self.heap.push(HeapObj { data: data.to_vec(), freed: false, elem_bits, unsigned });
+        self.heap_words += data.len();
+        CValue::Ptr { obj: self.heap.len() - 1, off: 0 }
+    }
+
+    /// Reads back a heap array (e.g. an output buffer after a call).
+    ///
+    /// # Errors
+    ///
+    /// Fails on non-pointer values or freed objects.
+    pub fn read_array(&self, ptr: CValue, len: usize) -> Result<Vec<i64>, CminiError> {
+        let CValue::Ptr { obj, off } = ptr else {
+            return Err(CminiError::runtime(RuntimeErrorKind::NullDeref, 0, "not a pointer"));
+        };
+        let o = &self.heap[obj];
+        if o.freed {
+            return Err(CminiError::runtime(RuntimeErrorKind::UseAfterFree, 0, "read of freed object"));
+        }
+        Ok(o.data[off..(off + len).min(o.data.len())].to_vec())
+    }
+
+    /// Execution trace accumulated so far.
+    pub fn trace(&self) -> &ExecTrace {
+        &self.trace
+    }
+
+    /// Consumes the interpreter, returning the trace.
+    pub fn into_trace(self) -> ExecTrace {
+        self.trace
+    }
+
+    /// Calls `name` with the given arguments and returns its result
+    /// (`Int(0)` for void functions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CminiError::Runtime`] for any runtime fault and
+    /// [`CminiError::Type`] for unknown functions/arity mismatches.
+    pub fn call(&mut self, name: &str, args: &[CValue]) -> Result<CValue, CminiError> {
+        let f = self
+            .prog
+            .function(name)
+            .ok_or_else(|| CminiError::type_err(0, format!("unknown function `{name}`")))?;
+        if f.params.len() != args.len() {
+            return Err(CminiError::type_err(
+                f.line,
+                format!("`{name}` expects {} arguments, got {}", f.params.len(), args.len()),
+            ));
+        }
+        if self.frames.len() as u32 >= self.limits.max_call_depth {
+            return Err(CminiError::runtime(
+                RuntimeErrorKind::CallDepth,
+                f.line,
+                "call depth limit exceeded (runaway recursion?)",
+            ));
+        }
+        let mut frame = HashMap::new();
+        for (p, a) in f.params.iter().zip(args) {
+            let binding = match a {
+                CValue::Int(v) => {
+                    let bits = self.width_for(&p.name, p.ty.bits().max(1));
+                    Binding::Scalar { value: wrap(*v, bits, p.ty.unsigned), bits, unsigned: p.ty.unsigned }
+                }
+                CValue::Ptr { obj, off } => Binding::Ptr {
+                    value: Some((*obj, *off)),
+                    dims: if p.ty.dims.len() > 1 { p.ty.dims[1..].to_vec() } else { Vec::new() },
+                },
+            };
+            frame.insert(p.name.clone(), binding);
+        }
+        self.frames.push(frame);
+        let saved_fn = std::mem::replace(&mut self.current_fn, name.to_string());
+        let result = self.exec_block(&f.body);
+        self.current_fn = saved_fn;
+        self.frames.pop();
+        match result? {
+            Flow::Return(v) => Ok(v),
+            _ => Ok(CValue::Int(0)),
+        }
+    }
+
+    /// Convenience for scalar-only calls.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Interp::call`]; additionally fails when the result is a
+    /// pointer.
+    pub fn call_ints(&mut self, name: &str, args: &[i64]) -> Result<i64, CminiError> {
+        let vals: Vec<CValue> = args.iter().map(|v| CValue::Int(*v)).collect();
+        let r = self.call(name, &vals)?;
+        r.as_int()
+            .ok_or_else(|| CminiError::type_err(0, "function returned a pointer"))
+    }
+
+    fn width_for(&self, var: &str, declared: u32) -> u32 {
+        match &self.widths {
+            WidthMode::Natural => declared,
+            WidthMode::Custom(map) => {
+                let qualified = format!("{}.{}", self.current_fn, var);
+                map.get(&qualified).or_else(|| map.get(var)).copied().unwrap_or(declared)
+            }
+        }
+    }
+
+    fn step(&mut self, line: u32) -> Result<(), CminiError> {
+        self.trace.steps += 1;
+        if self.trace.steps > self.limits.max_steps {
+            return Err(CminiError::runtime(
+                RuntimeErrorKind::StepLimit,
+                line,
+                "step limit exceeded (non-terminating loop?)",
+            ));
+        }
+        Ok(())
+    }
+
+    fn exec_block(&mut self, b: &Block) -> Result<Flow, CminiError> {
+        for s in &b.stmts {
+            match self.exec_stmt(s)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt) -> Result<Flow, CminiError> {
+        self.step(s.line)?;
+        self.trace.coverage.insert(s.id);
+        match &s.kind {
+            StmtKind::Pragma(_) => Ok(Flow::Normal),
+            StmtKind::Decl { ty, name, init } => {
+                if ty.is_array() {
+                    let count = ty.element_count() as usize;
+                    if self.heap_words + count > self.limits.max_heap_words {
+                        return Err(CminiError::runtime(
+                            RuntimeErrorKind::OutOfMemory,
+                            s.line,
+                            "heap limit exceeded",
+                        ));
+                    }
+                    self.heap.push(HeapObj {
+                        data: vec![0; count],
+                        freed: false,
+                        elem_bits: self.width_for(name, ty.bits()),
+                        unsigned: ty.unsigned,
+                    });
+                    self.heap_words += count;
+                    let obj = self.heap.len() - 1;
+                    let dims = if ty.dims.len() > 1 { ty.dims[1..].to_vec() } else { Vec::new() };
+                    self.frames
+                        .last_mut()
+                        .unwrap()
+                        .insert(name.clone(), Binding::Ptr { value: Some((obj, 0)), dims });
+                } else if ty.is_pointer() {
+                    let v = match init {
+                        Some(e) => {
+                            let val = self.eval(e)?;
+                            match val {
+                                CValue::Ptr { obj, off } => Some((obj, off)),
+                                CValue::Int(0) => None,
+                                CValue::Int(_) => None,
+                            }
+                        }
+                        None => None,
+                    };
+                    self.frames
+                        .last_mut()
+                        .unwrap()
+                        .insert(name.clone(), Binding::Ptr { value: v, dims: Vec::new() });
+                } else {
+                    let bits = self.width_for(name, ty.bits().max(1));
+                    let raw = match init {
+                        Some(e) => self.eval_int(e, s.line)?,
+                        None => 0,
+                    };
+                    let value = wrap(raw, bits, ty.unsigned);
+                    self.record_write(name, value, raw != value);
+                    self.frames.last_mut().unwrap().insert(
+                        name.clone(),
+                        Binding::Scalar { value, bits, unsigned: ty.unsigned },
+                    );
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Expr(e) => {
+                self.eval(e)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::If { cond, then_branch, else_branch } => {
+                self.trace.ops.branches += 1;
+                if self.eval_int(cond, s.line)? != 0 {
+                    self.exec_block(then_branch)
+                } else if let Some(e) = else_branch {
+                    self.exec_block(e)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            StmtKind::While { cond, body, .. } => {
+                loop {
+                    self.step(s.line)?;
+                    self.trace.ops.branches += 1;
+                    if self.eval_int(cond, s.line)? == 0 {
+                        break;
+                    }
+                    match self.exec_block(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        _ => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::DoWhile { body, cond } => {
+                loop {
+                    self.step(s.line)?;
+                    match self.exec_block(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        _ => {}
+                    }
+                    self.trace.ops.branches += 1;
+                    if self.eval_int(cond, s.line)? == 0 {
+                        break;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::For { init, cond, step, body, .. } => {
+                if let Some(i) = init {
+                    self.exec_stmt(i)?;
+                }
+                loop {
+                    self.step(s.line)?;
+                    if let Some(c) = cond {
+                        self.trace.ops.branches += 1;
+                        if self.eval_int(c, s.line)? == 0 {
+                            break;
+                        }
+                    }
+                    match self.exec_block(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        _ => {}
+                    }
+                    if let Some(st) = step {
+                        self.eval(st)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(e)?,
+                    None => CValue::Int(0),
+                };
+                Ok(Flow::Return(v))
+            }
+            StmtKind::Break => Ok(Flow::Break),
+            StmtKind::Continue => Ok(Flow::Continue),
+            StmtKind::Block(b) => self.exec_block(b),
+        }
+    }
+
+    fn record_write(&mut self, name: &str, value: i64, overflowed: bool) {
+        let qualified = format!("{}.{}", self.current_fn, name);
+        let key = if self.watch.contains(&qualified) {
+            Some(qualified)
+        } else if self.watch.contains(name) {
+            Some(name.to_string())
+        } else {
+            None
+        };
+        if let Some(key) = key {
+            let s = self.trace.spectra.entry(key).or_default();
+            s.writes += 1;
+            s.min = s.min.min(value);
+            s.max = s.max.max(value);
+            if overflowed {
+                s.overflows += 1;
+            }
+            if s.recent.len() < 64 {
+                s.recent.push(value);
+            }
+        }
+    }
+
+    // --- expressions ---
+
+    fn eval_int(&mut self, e: &Expr, line: u32) -> Result<i64, CminiError> {
+        match self.eval(e)? {
+            CValue::Int(v) => Ok(v),
+            CValue::Ptr { .. } => {
+                // Pointers in boolean/int context: non-null.
+                let _ = line;
+                Ok(1)
+            }
+        }
+    }
+
+    fn eval(&mut self, e: &Expr) -> Result<CValue, CminiError> {
+        match e {
+            Expr::IntLit(v) | Expr::CharLit(v) => Ok(CValue::Int(*v)),
+            Expr::StrLit(_) => Ok(CValue::Int(0)),
+            Expr::SizeOf(_) => Ok(CValue::Int(1)),
+            Expr::Ident(name) => self.read_var(name),
+            Expr::Cast(ty, inner) => {
+                let v = self.eval(inner)?;
+                match v {
+                    CValue::Int(i) if ty.is_scalar() => {
+                        Ok(CValue::Int(wrap(i, ty.bits().max(1), ty.unsigned)))
+                    }
+                    other => Ok(other),
+                }
+            }
+            Expr::Unary(op, a) => {
+                let v = self.eval_int(a, 0)?;
+                self.trace.ops.logic += 1;
+                Ok(CValue::Int(match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => (v == 0) as i64,
+                    UnOp::BitNot => !v,
+                }))
+            }
+            Expr::Binary(op, a, b) => {
+                // Short-circuit logical operators.
+                match op {
+                    BinOp::LogAnd => {
+                        let av = self.eval_int(a, 0)?;
+                        if av == 0 {
+                            return Ok(CValue::Int(0));
+                        }
+                        let bv = self.eval_int(b, 0)?;
+                        return Ok(CValue::Int((bv != 0) as i64));
+                    }
+                    BinOp::LogOr => {
+                        let av = self.eval_int(a, 0)?;
+                        if av != 0 {
+                            return Ok(CValue::Int(1));
+                        }
+                        let bv = self.eval_int(b, 0)?;
+                        return Ok(CValue::Int((bv != 0) as i64));
+                    }
+                    _ => {}
+                }
+                let av = self.eval(a)?;
+                let bv = self.eval(b)?;
+                // Pointer arithmetic: ptr ± int.
+                if let (CValue::Ptr { obj, off }, CValue::Int(d)) = (av, bv) {
+                    return match op {
+                        BinOp::Add => Ok(CValue::Ptr { obj, off: (off as i64 + d) as usize }),
+                        BinOp::Sub => Ok(CValue::Ptr { obj, off: (off as i64 - d) as usize }),
+                        _ => Err(CminiError::type_err(0, "invalid pointer arithmetic")),
+                    };
+                }
+                let (x, y) = match (av, bv) {
+                    (CValue::Int(x), CValue::Int(y)) => (x, y),
+                    _ => return Err(CminiError::type_err(0, "pointer in arithmetic context")),
+                };
+                self.count_op(*op);
+                let r = match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::Div => {
+                        if y == 0 {
+                            return Err(CminiError::runtime(
+                                RuntimeErrorKind::DivideByZero,
+                                0,
+                                "division by zero",
+                            ));
+                        }
+                        x.wrapping_div(y)
+                    }
+                    BinOp::Rem => {
+                        if y == 0 {
+                            return Err(CminiError::runtime(
+                                RuntimeErrorKind::DivideByZero,
+                                0,
+                                "remainder by zero",
+                            ));
+                        }
+                        x.wrapping_rem(y)
+                    }
+                    BinOp::Shl => x.wrapping_shl((y & 63) as u32),
+                    BinOp::Shr => x.wrapping_shr((y & 63) as u32),
+                    BinOp::Lt => (x < y) as i64,
+                    BinOp::Le => (x <= y) as i64,
+                    BinOp::Gt => (x > y) as i64,
+                    BinOp::Ge => (x >= y) as i64,
+                    BinOp::Eq => (x == y) as i64,
+                    BinOp::Ne => (x != y) as i64,
+                    BinOp::BitAnd => x & y,
+                    BinOp::BitXor => x ^ y,
+                    BinOp::BitOr => x | y,
+                    BinOp::LogAnd | BinOp::LogOr => unreachable!(),
+                };
+                Ok(CValue::Int(r))
+            }
+            Expr::Ternary(c, t, f) => {
+                if self.eval_int(c, 0)? != 0 {
+                    self.eval(t)
+                } else {
+                    self.eval(f)
+                }
+            }
+            Expr::Index(..) | Expr::Deref(_) => {
+                let (obj, off) = self.resolve_heap_place(e)?;
+                self.trace.ops.loads += 1;
+                self.heap_read(obj, off)
+            }
+            Expr::AddrOf(inner) => match &**inner {
+                Expr::Ident(name) => match self.lookup(name)? {
+                    Binding::Ptr { value: Some((obj, off)), .. } => Ok(CValue::Ptr { obj, off }),
+                    _ => Err(CminiError::type_err(0, "address-of scalar is not supported")),
+                },
+                Expr::Index(..) => {
+                    let (obj, off) = self.resolve_heap_place(inner)?;
+                    Ok(CValue::Ptr { obj, off })
+                }
+                _ => Err(CminiError::type_err(0, "unsupported address-of")),
+            },
+            Expr::IncDec { target, inc, prefix } => {
+                let old = self.eval(target)?;
+                let old_i = old.as_int().ok_or_else(|| {
+                    CminiError::type_err(0, "increment of pointer is not supported")
+                })?;
+                let newv = if *inc { old_i.wrapping_add(1) } else { old_i.wrapping_sub(1) };
+                self.store(target, CValue::Int(newv))?;
+                Ok(CValue::Int(if *prefix { newv } else { old_i }))
+            }
+            Expr::Assign { op, target, value } => {
+                let rhs = self.eval(value)?;
+                let final_v = match op {
+                    None => rhs,
+                    Some(binop) => {
+                        let cur = self.eval(target)?;
+                        let combined = Expr::Binary(
+                            *binop,
+                            Box::new(Expr::IntLit(cur.as_int().unwrap_or(0))),
+                            Box::new(Expr::IntLit(rhs.as_int().unwrap_or(0))),
+                        );
+                        self.eval(&combined)?
+                    }
+                };
+                self.store(target, final_v)?;
+                Ok(final_v)
+            }
+            Expr::Call(name, args) => self.eval_call(name, args),
+        }
+    }
+
+    fn count_op(&mut self, op: BinOp) {
+        match op {
+            BinOp::Add | BinOp::Sub => self.trace.ops.adds += 1,
+            BinOp::Mul => self.trace.ops.muls += 1,
+            BinOp::Div | BinOp::Rem => self.trace.ops.divs += 1,
+            _ => self.trace.ops.logic += 1,
+        }
+    }
+
+    fn eval_call(&mut self, name: &str, args: &[Expr]) -> Result<CValue, CminiError> {
+        self.trace.ops.calls += 1;
+        match name {
+            "malloc" | "calloc" => {
+                let n = if name == "calloc" {
+                    let a = self.eval_int(&args[0], 0)?;
+                    let b = self.eval_int(&args[1], 0)?;
+                    a.wrapping_mul(b)
+                } else {
+                    self.eval_int(&args[0], 0)?
+                };
+                let n = n.clamp(0, self.limits.max_heap_words as i64) as usize;
+                if self.heap_words + n > self.limits.max_heap_words {
+                    return Err(CminiError::runtime(
+                        RuntimeErrorKind::OutOfMemory,
+                        0,
+                        "heap limit exceeded",
+                    ));
+                }
+                self.heap.push(HeapObj { data: vec![0; n], freed: false, elem_bits: 64, unsigned: false });
+                self.heap_words += n;
+                Ok(CValue::Ptr { obj: self.heap.len() - 1, off: 0 })
+            }
+            "free" => {
+                match self.eval(&args[0])? {
+                    CValue::Ptr { obj, .. } => {
+                        if self.heap[obj].freed {
+                            return Err(CminiError::runtime(
+                                RuntimeErrorKind::UseAfterFree,
+                                0,
+                                "double free",
+                            ));
+                        }
+                        self.heap[obj].freed = true;
+                    }
+                    CValue::Int(0) => {}
+                    _ => {
+                        return Err(CminiError::runtime(
+                            RuntimeErrorKind::NullDeref,
+                            0,
+                            "free of non-pointer",
+                        ))
+                    }
+                }
+                Ok(CValue::Int(0))
+            }
+            "printf" => {
+                let fmt = match args.first() {
+                    Some(Expr::StrLit(s)) => s.clone(),
+                    _ => String::new(),
+                };
+                let mut vals = Vec::new();
+                for a in &args[1..] {
+                    vals.push(self.eval_int(a, 0)?);
+                }
+                let text = format_printf(&fmt, &vals);
+                self.trace.output.push_str(&text);
+                Ok(CValue::Int(text.len() as i64))
+            }
+            "putchar" => {
+                let c = self.eval_int(&args[0], 0)?;
+                self.trace.output.push((c as u8) as char);
+                Ok(CValue::Int(c))
+            }
+            "assert" => {
+                let v = self.eval_int(&args[0], 0)?;
+                if v == 0 {
+                    return Err(CminiError::runtime(
+                        RuntimeErrorKind::AssertFailed,
+                        0,
+                        "assertion failed",
+                    ));
+                }
+                Ok(CValue::Int(0))
+            }
+            "abs" => {
+                let v = self.eval_int(&args[0], 0)?;
+                Ok(CValue::Int(v.wrapping_abs()))
+            }
+            "memset" => {
+                let p = self.eval(&args[0])?;
+                let v = self.eval_int(&args[1], 0)?;
+                let n = self.eval_int(&args[2], 0)?.max(0) as usize;
+                if let CValue::Ptr { obj, off } = p {
+                    for i in 0..n {
+                        self.heap_write(obj, off + i, v)?;
+                    }
+                }
+                Ok(CValue::Int(0))
+            }
+            "memcpy" => {
+                let d = self.eval(&args[0])?;
+                let s = self.eval(&args[1])?;
+                let n = self.eval_int(&args[2], 0)?.max(0) as usize;
+                if let (CValue::Ptr { obj: dobj, off: doff }, CValue::Ptr { obj: sobj, off: soff }) =
+                    (d, s)
+                {
+                    for i in 0..n {
+                        let v = self.heap_read(sobj, soff + i)?.as_int().unwrap_or(0);
+                        self.heap_write(dobj, doff + i, v)?;
+                    }
+                }
+                Ok(CValue::Int(0))
+            }
+            _ => {
+                let mut vals = Vec::new();
+                for a in args {
+                    vals.push(self.eval(a)?);
+                }
+                self.call(name, &vals)
+            }
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Result<Binding, CminiError> {
+        self.frames
+            .last()
+            .and_then(|f| f.get(name))
+            .cloned()
+            .ok_or_else(|| {
+                CminiError::runtime(
+                    RuntimeErrorKind::UndefinedName,
+                    0,
+                    format!("undefined variable `{name}`"),
+                )
+            })
+    }
+
+    fn read_var(&mut self, name: &str) -> Result<CValue, CminiError> {
+        match self.lookup(name)? {
+            Binding::Scalar { value, .. } => Ok(CValue::Int(value)),
+            Binding::Ptr { value: Some((obj, off)), .. } => Ok(CValue::Ptr { obj, off }),
+            Binding::Ptr { value: None, .. } => Ok(CValue::Int(0)),
+        }
+    }
+
+    /// Resolves `a[i]`, `a[i][j]`, `*p` to a concrete heap slot.
+    fn resolve_heap_place(&mut self, e: &Expr) -> Result<(usize, usize), CminiError> {
+        match e {
+            Expr::Deref(inner) => match self.eval(inner)? {
+                CValue::Ptr { obj, off } => Ok((obj, off)),
+                CValue::Int(_) => Err(CminiError::runtime(
+                    RuntimeErrorKind::NullDeref,
+                    0,
+                    "dereference of non-pointer",
+                )),
+            },
+            Expr::Index(base, idx) => {
+                let i = self.eval_int(idx, 0)?;
+                if i < 0 {
+                    return Err(CminiError::runtime(
+                        RuntimeErrorKind::OutOfBounds,
+                        0,
+                        format!("negative index {i}"),
+                    ));
+                }
+                let (obj, off, dims) = self.resolve_array(base)?;
+                let stride: u64 = dims.iter().product::<u64>().max(1);
+                Ok((obj, off + i as usize * stride as usize))
+            }
+            _ => Err(CminiError::type_err(0, "expression is not a memory place")),
+        }
+    }
+
+    /// Resolves an array-valued expression to (obj, off, remaining dims).
+    fn resolve_array(&mut self, e: &Expr) -> Result<(usize, usize, Vec<u64>), CminiError> {
+        match e {
+            Expr::Ident(name) => match self.lookup(name)? {
+                Binding::Ptr { value: Some((obj, off)), dims } => Ok((obj, off, dims)),
+                Binding::Ptr { value: None, .. } => Err(CminiError::runtime(
+                    RuntimeErrorKind::NullDeref,
+                    0,
+                    format!("`{name}` is null"),
+                )),
+                Binding::Scalar { .. } => Err(CminiError::type_err(
+                    0,
+                    format!("`{name}` indexed but is a scalar"),
+                )),
+            },
+            Expr::Index(base, idx) => {
+                let i = self.eval_int(idx, 0)?;
+                let (obj, off, dims) = self.resolve_array(base)?;
+                if dims.is_empty() {
+                    return Err(CminiError::type_err(0, "too many subscripts"));
+                }
+                let stride: u64 = dims[1..].iter().product::<u64>().max(1);
+                Ok((obj, off + i.max(0) as usize * stride as usize, dims[1..].to_vec()))
+            }
+            Expr::Cast(_, inner) => self.resolve_array(inner),
+            _ => match self.eval(e)? {
+                CValue::Ptr { obj, off } => Ok((obj, off, Vec::new())),
+                _ => Err(CminiError::type_err(0, "expression is not an array")),
+            },
+        }
+    }
+
+    fn heap_read(&mut self, obj: usize, off: usize) -> Result<CValue, CminiError> {
+        let o = self
+            .heap
+            .get(obj)
+            .ok_or_else(|| CminiError::runtime(RuntimeErrorKind::NullDeref, 0, "bad object"))?;
+        if o.freed {
+            return Err(CminiError::runtime(
+                RuntimeErrorKind::UseAfterFree,
+                0,
+                "read of freed object",
+            ));
+        }
+        o.data.get(off).map(|v| CValue::Int(*v)).ok_or_else(|| {
+            CminiError::runtime(
+                RuntimeErrorKind::OutOfBounds,
+                0,
+                format!("index {off} out of bounds (len {})", o.data.len()),
+            )
+        })
+    }
+
+    fn heap_write(&mut self, obj: usize, off: usize, v: i64) -> Result<(), CminiError> {
+        let o = self
+            .heap
+            .get_mut(obj)
+            .ok_or_else(|| CminiError::runtime(RuntimeErrorKind::NullDeref, 0, "bad object"))?;
+        if o.freed {
+            return Err(CminiError::runtime(
+                RuntimeErrorKind::UseAfterFree,
+                0,
+                "write to freed object",
+            ));
+        }
+        let len = o.data.len();
+        let slot = o.data.get_mut(off).ok_or_else(|| {
+            CminiError::runtime(
+                RuntimeErrorKind::OutOfBounds,
+                0,
+                format!("index {off} out of bounds (len {len})"),
+            )
+        })?;
+        *slot = wrap(v, o.elem_bits, o.unsigned);
+        self.trace.ops.stores += 1;
+        Ok(())
+    }
+
+    fn store(&mut self, target: &Expr, v: CValue) -> Result<(), CminiError> {
+        match target {
+            Expr::Ident(name) => {
+                let binding = self.lookup(name)?;
+                match binding {
+                    Binding::Scalar { bits, unsigned, .. } => {
+                        let raw = v.as_int().ok_or_else(|| {
+                            CminiError::type_err(0, "pointer assigned to scalar")
+                        })?;
+                        let wrapped = wrap(raw, bits, unsigned);
+                        self.record_write(name, wrapped, wrapped != raw);
+                        self.trace.ops.stores += 1;
+                        if let Some(Binding::Scalar { value, .. }) =
+                            self.frames.last_mut().unwrap().get_mut(name)
+                        {
+                            *value = wrapped;
+                        }
+                    }
+                    Binding::Ptr { dims, .. } => {
+                        let newv = match v {
+                            CValue::Ptr { obj, off } => Some((obj, off)),
+                            CValue::Int(_) => None,
+                        };
+                        self.frames
+                            .last_mut()
+                            .unwrap()
+                            .insert(name.clone(), Binding::Ptr { value: newv, dims });
+                    }
+                }
+                Ok(())
+            }
+            Expr::Index(..) | Expr::Deref(_) => {
+                let (obj, off) = self.resolve_heap_place(target)?;
+                let raw = v
+                    .as_int()
+                    .ok_or_else(|| CminiError::type_err(0, "pointer stored into array"))?;
+                self.heap_write(obj, off, raw)?;
+                // Record under the base array name when watched.
+                if let Some(base) = base_name(target) {
+                    let stored = self.heap[obj].data[off];
+                    self.record_write(&base, stored, stored != raw);
+                }
+                Ok(())
+            }
+            Expr::Cast(_, inner) => self.store(inner, v),
+            _ => Err(CminiError::type_err(0, "invalid assignment target")),
+        }
+    }
+}
+
+fn base_name(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Ident(n) => Some(n.clone()),
+        Expr::Index(b, _) | Expr::Deref(b) | Expr::Cast(_, b) => base_name(b),
+        _ => None,
+    }
+}
+
+/// Wraps `v` to `bits` with sign- or zero-extension back to i64.
+pub fn wrap(v: i64, bits: u32, unsigned: bool) -> i64 {
+    if bits == 0 || bits >= 64 {
+        return v;
+    }
+    let mask = (1u64 << bits) - 1;
+    let t = (v as u64) & mask;
+    if unsigned {
+        t as i64
+    } else {
+        // Sign extend.
+        let sign = 1u64 << (bits - 1);
+        if t & sign != 0 {
+            (t | !mask) as i64
+        } else {
+            t as i64
+        }
+    }
+}
+
+fn format_printf(fmt: &str, args: &[i64]) -> String {
+    let mut out = String::new();
+    let mut it = fmt.chars().peekable();
+    let mut ai = 0;
+    while let Some(c) = it.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        // Skip flags/width/length.
+        while matches!(it.peek(), Some('0'..='9' | 'l' | 'h' | '-' | '+' | ' ')) {
+            it.next();
+        }
+        match it.next() {
+            Some('%') => out.push('%'),
+            Some('d') | Some('i') | Some('u') => {
+                out.push_str(&args.get(ai).copied().unwrap_or(0).to_string());
+                ai += 1;
+            }
+            Some('x') | Some('X') => {
+                out.push_str(&format!("{:x}", args.get(ai).copied().unwrap_or(0)));
+                ai += 1;
+            }
+            Some('c') => {
+                out.push((args.get(ai).copied().unwrap_or(0) as u8) as char);
+                ai += 1;
+            }
+            Some(other) => {
+                out.push('%');
+                out.push(other);
+            }
+            None => out.push('%'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run(src: &str, f: &str, args: &[i64]) -> Result<i64, CminiError> {
+        let p = parse(src).unwrap();
+        // Test threads have small stacks; keep interpreter recursion shallow.
+        let limits = InterpLimits { max_call_depth: 24, ..InterpLimits::default() };
+        Interp::new(&p).with_limits(limits).call_ints(f, args)
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        let src = "int f(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }";
+        assert_eq!(run(src, "f", &[10]).unwrap(), 55);
+    }
+
+    #[test]
+    fn recursion_works_within_depth() {
+        let src = "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }";
+        assert_eq!(run(src, "fib", &[10]).unwrap(), 55);
+    }
+
+    #[test]
+    fn runaway_recursion_hits_depth_limit() {
+        let src = "int f(int n) { return f(n + 1); }";
+        let e = run(src, "f", &[0]).unwrap_err();
+        assert!(matches!(
+            e,
+            CminiError::Runtime(r) if r.kind == RuntimeErrorKind::CallDepth
+        ));
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let src = "int f() { int x = 0; while (1) { x++; } return x; }";
+        let e = run(src, "f", &[]).unwrap_err();
+        assert!(matches!(
+            e,
+            CminiError::Runtime(r) if r.kind == RuntimeErrorKind::StepLimit
+        ));
+    }
+
+    #[test]
+    fn division_by_zero() {
+        let e = run("int f(int a) { return 10 / a; }", "f", &[0]).unwrap_err();
+        assert!(matches!(
+            e,
+            CminiError::Runtime(r) if r.kind == RuntimeErrorKind::DivideByZero
+        ));
+    }
+
+    #[test]
+    fn local_arrays_and_2d() {
+        let src = "
+          int f() {
+            int m[3][4];
+            for (int i = 0; i < 3; i++)
+              for (int j = 0; j < 4; j++)
+                m[i][j] = i * 10 + j;
+            return m[2][3];
+          }";
+        assert_eq!(run(src, "f", &[]).unwrap(), 23);
+    }
+
+    #[test]
+    fn array_out_of_bounds() {
+        let src = "int f() { int a[4]; return a[9]; }";
+        let e = run(src, "f", &[]).unwrap_err();
+        assert!(matches!(
+            e,
+            CminiError::Runtime(r) if r.kind == RuntimeErrorKind::OutOfBounds
+        ));
+    }
+
+    #[test]
+    fn malloc_free_and_use_after_free() {
+        let ok = "
+          int f(int n) {
+            int *b = (int*)malloc(n * sizeof(int));
+            for (int i = 0; i < n; i++) b[i] = i * i;
+            int s = b[n-1];
+            free(b);
+            return s;
+          }";
+        assert_eq!(run(ok, "f", &[5]).unwrap(), 16);
+        let bad = "
+          int f() {
+            int *b = (int*)malloc(4 * sizeof(int));
+            free(b);
+            return b[0];
+          }";
+        let e = run(bad, "f", &[]).unwrap_err();
+        assert!(matches!(
+            e,
+            CminiError::Runtime(r) if r.kind == RuntimeErrorKind::UseAfterFree
+        ));
+    }
+
+    #[test]
+    fn char_wraps_at_8_bits() {
+        let src = "int f() { char c = 200; return c; }";
+        // 200 wraps to -56 as signed char.
+        assert_eq!(run(src, "f", &[]).unwrap(), -56);
+        let src_u = "int f() { unsigned char c = 200; return c; }";
+        assert_eq!(run(src_u, "f", &[]).unwrap(), 200);
+    }
+
+    #[test]
+    fn custom_width_mode_models_fpga_narrowing() {
+        let src = "int f(int x) { int acc = 0; for (int i = 0; i < x; i++) acc += 100; return acc; }";
+        let p = parse(src).unwrap();
+        // Natural: 50 * 100 = 5000.
+        assert_eq!(Interp::new(&p).call_ints("f", &[50]).unwrap(), 5000);
+        // Narrow `acc` to 12 signed bits: wraps at 2048.
+        let mut widths = HashMap::new();
+        widths.insert("acc".to_string(), 12u32);
+        let got = Interp::new(&p)
+            .with_widths(WidthMode::Custom(widths))
+            .call_ints("f", &[50])
+            .unwrap();
+        assert_ne!(got, 5000, "narrowed accumulator must overflow");
+    }
+
+    #[test]
+    fn spectra_recorded_for_watched_vars() {
+        let src = "int f(int n) { int acc = 0; for (int i = 0; i < n; i++) acc += i; return acc; }";
+        let p = parse(src).unwrap();
+        let mut it = Interp::new(&p).watch(["acc".to_string()]);
+        it.call_ints("f", &[5]).unwrap();
+        let s = &it.trace().spectra["acc"];
+        assert_eq!(s.max, 10);
+        assert_eq!(s.min, 0);
+        assert!(s.writes >= 5);
+    }
+
+    #[test]
+    fn spectra_signature_distinguishes_paths() {
+        let src = "int f(int n) { int y = 0; if (n > 10) y = n * 2; else y = n - 1; return y; }";
+        let p = parse(src).unwrap();
+        let sig = |arg: i64| {
+            let mut it = Interp::new(&p).watch(["y".to_string()]);
+            it.call_ints("f", &[arg]).unwrap();
+            it.trace().spectra_signature()
+        };
+        assert_ne!(sig(20), sig(1));
+    }
+
+    #[test]
+    fn printf_and_output_capture() {
+        let src = r#"int f() { printf("x=%d hex=%x\n", 42, 255); return 0; }"#;
+        let p = parse(src).unwrap();
+        let mut it = Interp::new(&p);
+        it.call_ints("f", &[]).unwrap();
+        assert_eq!(it.trace().output, "x=42 hex=ff\n");
+    }
+
+    #[test]
+    fn assert_failure_is_runtime_error() {
+        let e = run("int f(int a) { assert(a > 0); return a; }", "f", &[-1]).unwrap_err();
+        assert!(matches!(
+            e,
+            CminiError::Runtime(r) if r.kind == RuntimeErrorKind::AssertFailed
+        ));
+    }
+
+    #[test]
+    fn array_params_shared_with_caller() {
+        let src = "
+          void scale(int a[4], int k) { for (int i = 0; i < 4; i++) a[i] *= k; }
+        ";
+        let p = parse(src).unwrap();
+        let mut it = Interp::new(&p);
+        let arr = it.alloc_array(&[1, 2, 3, 4], 32, false);
+        it.call("scale", &[arr, CValue::Int(3)]).unwrap();
+        assert_eq!(it.read_array(arr, 4).unwrap(), vec![3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn op_counters_track_activity() {
+        let src = "int f() { int s = 0; for (int i = 0; i < 8; i++) s += i * i; return s; }";
+        let p = parse(src).unwrap();
+        let mut it = Interp::new(&p);
+        it.call_ints("f", &[]).unwrap();
+        assert!(it.trace().ops.muls >= 8);
+        assert!(it.trace().ops.adds >= 8);
+        assert!(it.trace().ops.branches >= 8);
+    }
+
+    #[test]
+    fn do_while_and_break_continue() {
+        let src = "
+          int f() {
+            int s = 0;
+            int i = 0;
+            do {
+              i++;
+              if (i == 3) continue;
+              if (i > 6) break;
+              s += i;
+            } while (i < 100);
+            return s;
+          }";
+        // 1+2+4+5+6 = 18
+        assert_eq!(run(src, "f", &[]).unwrap(), 18);
+    }
+
+    #[test]
+    fn wrap_function_edges() {
+        assert_eq!(wrap(255, 8, false), -1);
+        assert_eq!(wrap(255, 8, true), 255);
+        assert_eq!(wrap(256, 8, true), 0);
+        assert_eq!(wrap(i64::MIN, 64, false), i64::MIN);
+        assert_eq!(wrap(-1, 4, true), 15);
+    }
+}

@@ -1,0 +1,373 @@
+//! Tokenizer for mini-C.
+
+use crate::error::CminiError;
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    IntLit(i64),
+    CharLit(i64),
+    StrLit(String),
+    /// `#pragma <text>` (text until end of line).
+    Pragma(String),
+    // keywords
+    KwVoid, KwChar, KwShort, KwInt, KwLong, KwUnsigned, KwSigned, KwConst,
+    KwIf, KwElse, KwWhile, KwDo, KwFor, KwReturn, KwBreak, KwContinue,
+    KwSizeof, KwStruct, KwStatic,
+    // punctuation
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Semi, Comma, Question, Colon,
+    // operators
+    Plus, Minus, Star, Slash, Percent,
+    PlusPlus, MinusMinus,
+    Amp, Pipe, Caret, Tilde, Bang,
+    AmpAmp, PipePipe,
+    Shl, Shr,
+    Lt, Le, Gt, Ge, EqEq, Ne,
+    Assign,
+    PlusEq, MinusEq, StarEq, SlashEq, PercentEq,
+    ShlEq, ShrEq, AmpEq, PipeEq, CaretEq,
+    Arrow, Dot,
+}
+
+fn keyword(s: &str) -> Option<Tok> {
+    Some(match s {
+        "void" => Tok::KwVoid,
+        "char" => Tok::KwChar,
+        "short" => Tok::KwShort,
+        "int" => Tok::KwInt,
+        "long" => Tok::KwLong,
+        "unsigned" => Tok::KwUnsigned,
+        "signed" => Tok::KwSigned,
+        "const" => Tok::KwConst,
+        "if" => Tok::KwIf,
+        "else" => Tok::KwElse,
+        "while" => Tok::KwWhile,
+        "do" => Tok::KwDo,
+        "for" => Tok::KwFor,
+        "return" => Tok::KwReturn,
+        "break" => Tok::KwBreak,
+        "continue" => Tok::KwContinue,
+        "sizeof" => Tok::KwSizeof,
+        "struct" => Tok::KwStruct,
+        "static" => Tok::KwStatic,
+        _ => return None,
+    })
+}
+
+/// Tokenizes mini-C source.
+///
+/// `#include` lines are skipped; `#pragma` lines become [`Tok::Pragma`]
+/// tokens so HLS directives survive into the AST.
+///
+/// # Errors
+///
+/// Returns [`CminiError::Lex`] on malformed literals or unknown characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, CminiError> {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Vec::new();
+    macro_rules! push {
+        ($k:expr) => {
+            out.push(Token { kind: $k, line })
+        };
+    }
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                i += 2;
+                loop {
+                    if i + 1 >= b.len() {
+                        return Err(CminiError::lex(line, "unterminated block comment"));
+                    }
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    if b[i] == b'*' && b[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'#' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let text = String::from_utf8_lossy(&b[start..i]).into_owned();
+                let trimmed = text.trim_start_matches('#').trim_start();
+                if let Some(rest) = trimmed.strip_prefix("pragma") {
+                    push!(Tok::Pragma(rest.trim().to_string()));
+                }
+                // #include / #define etc. are skipped.
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let s = String::from_utf8_lossy(&b[start..i]).into_owned();
+                push!(keyword(&s).unwrap_or(Tok::Ident(s)));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut radix = 10;
+                if c == b'0' && i + 1 < b.len() && (b[i + 1] | 32) == b'x' {
+                    radix = 16;
+                    i += 2;
+                }
+                let dstart = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric())
+                {
+                    i += 1;
+                }
+                let text = String::from_utf8_lossy(&b[if radix == 16 { dstart } else { start }..i]);
+                // Strip integer suffixes (u, l, ul, ll...).
+                let digits: String = text
+                    .chars()
+                    .take_while(|ch| ch.is_digit(radix))
+                    .collect();
+                if digits.is_empty() {
+                    return Err(CminiError::lex(line, format!("bad number `{text}`")));
+                }
+                let v = i64::from_str_radix(&digits, radix)
+                    .or_else(|_| u64::from_str_radix(&digits, radix).map(|u| u as i64))
+                    .map_err(|_| CminiError::lex(line, format!("bad number `{text}`")))?;
+                push!(Tok::IntLit(v));
+            }
+            b'\'' => {
+                i += 1;
+                let v = match b.get(i) {
+                    Some(b'\\') => {
+                        i += 1;
+                        let e = *b.get(i).ok_or_else(|| CminiError::lex(line, "bad char"))?;
+                        i += 1;
+                        match e {
+                            b'n' => 10,
+                            b't' => 9,
+                            b'0' => 0,
+                            b'\\' => 92,
+                            b'\'' => 39,
+                            other => other as i64,
+                        }
+                    }
+                    Some(&ch) => {
+                        i += 1;
+                        ch as i64
+                    }
+                    None => return Err(CminiError::lex(line, "unterminated char literal")),
+                };
+                if b.get(i) != Some(&b'\'') {
+                    return Err(CminiError::lex(line, "unterminated char literal"));
+                }
+                i += 1;
+                push!(Tok::CharLit(v));
+            }
+            b'"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(i) {
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            i += 1;
+                            match b.get(i) {
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                Some(&ch) => s.push(ch as char),
+                                None => return Err(CminiError::lex(line, "unterminated string")),
+                            }
+                            i += 1;
+                        }
+                        Some(&ch) => {
+                            if ch == b'\n' {
+                                line += 1;
+                            }
+                            s.push(ch as char);
+                            i += 1;
+                        }
+                        None => return Err(CminiError::lex(line, "unterminated string")),
+                    }
+                }
+                push!(Tok::StrLit(s));
+            }
+            _ => {
+                // Multi-char operators, longest first.
+                let rest = &b[i..];
+                let two = |a: u8, bb: u8| rest.len() >= 2 && rest[0] == a && rest[1] == bb;
+                let three =
+                    |a: u8, bb: u8, c2: u8| rest.len() >= 3 && rest[0] == a && rest[1] == bb && rest[2] == c2;
+                let (tok, len) = if three(b'<', b'<', b'=') {
+                    (Tok::ShlEq, 3)
+                } else if three(b'>', b'>', b'=') {
+                    (Tok::ShrEq, 3)
+                } else if two(b'+', b'+') {
+                    (Tok::PlusPlus, 2)
+                } else if two(b'-', b'-') {
+                    (Tok::MinusMinus, 2)
+                } else if two(b'+', b'=') {
+                    (Tok::PlusEq, 2)
+                } else if two(b'-', b'=') {
+                    (Tok::MinusEq, 2)
+                } else if two(b'*', b'=') {
+                    (Tok::StarEq, 2)
+                } else if two(b'/', b'=') {
+                    (Tok::SlashEq, 2)
+                } else if two(b'%', b'=') {
+                    (Tok::PercentEq, 2)
+                } else if two(b'&', b'=') {
+                    (Tok::AmpEq, 2)
+                } else if two(b'|', b'=') {
+                    (Tok::PipeEq, 2)
+                } else if two(b'^', b'=') {
+                    (Tok::CaretEq, 2)
+                } else if two(b'&', b'&') {
+                    (Tok::AmpAmp, 2)
+                } else if two(b'|', b'|') {
+                    (Tok::PipePipe, 2)
+                } else if two(b'<', b'<') {
+                    (Tok::Shl, 2)
+                } else if two(b'>', b'>') {
+                    (Tok::Shr, 2)
+                } else if two(b'<', b'=') {
+                    (Tok::Le, 2)
+                } else if two(b'>', b'=') {
+                    (Tok::Ge, 2)
+                } else if two(b'=', b'=') {
+                    (Tok::EqEq, 2)
+                } else if two(b'!', b'=') {
+                    (Tok::Ne, 2)
+                } else if two(b'-', b'>') {
+                    (Tok::Arrow, 2)
+                } else {
+                    let t = match c {
+                        b'(' => Tok::LParen,
+                        b')' => Tok::RParen,
+                        b'{' => Tok::LBrace,
+                        b'}' => Tok::RBrace,
+                        b'[' => Tok::LBracket,
+                        b']' => Tok::RBracket,
+                        b';' => Tok::Semi,
+                        b',' => Tok::Comma,
+                        b'?' => Tok::Question,
+                        b':' => Tok::Colon,
+                        b'+' => Tok::Plus,
+                        b'-' => Tok::Minus,
+                        b'*' => Tok::Star,
+                        b'/' => Tok::Slash,
+                        b'%' => Tok::Percent,
+                        b'&' => Tok::Amp,
+                        b'|' => Tok::Pipe,
+                        b'^' => Tok::Caret,
+                        b'~' => Tok::Tilde,
+                        b'!' => Tok::Bang,
+                        b'<' => Tok::Lt,
+                        b'>' => Tok::Gt,
+                        b'=' => Tok::Assign,
+                        b'.' => Tok::Dot,
+                        other => {
+                            return Err(CminiError::lex(
+                                line,
+                                format!("unexpected character {:?}", other as char),
+                            ))
+                        }
+                    };
+                    (t, 1)
+                };
+                push!(tok);
+                i += len;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let k = kinds("int main() { return 0; }");
+        assert_eq!(k[0], Tok::KwInt);
+        assert!(matches!(&k[1], Tok::Ident(s) if s == "main"));
+        assert_eq!(*k.last().unwrap(), Tok::RBrace);
+    }
+
+    #[test]
+    fn pragma_and_include() {
+        let k = kinds("#include <stdio.h>\n#pragma HLS unroll factor=4\nint x;");
+        assert_eq!(k[0], Tok::Pragma("HLS unroll factor=4".into()));
+        assert_eq!(k[1], Tok::KwInt);
+    }
+
+    #[test]
+    fn numeric_literals() {
+        assert_eq!(kinds("42 0x1F 7u 100L"), vec![
+            Tok::IntLit(42),
+            Tok::IntLit(31),
+            Tok::IntLit(7),
+            Tok::IntLit(100)
+        ]);
+    }
+
+    #[test]
+    fn char_and_string() {
+        assert_eq!(kinds(r"'a' '\n'"), vec![Tok::CharLit(97), Tok::CharLit(10)]);
+        assert_eq!(kinds(r#""hi\n""#), vec![Tok::StrLit("hi\n".into())]);
+    }
+
+    #[test]
+    fn compound_operators() {
+        assert_eq!(
+            kinds("a += 1; b <<= 2; c && d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::PlusEq,
+                Tok::IntLit(1),
+                Tok::Semi,
+                Tok::Ident("b".into()),
+                Tok::ShlEq,
+                Tok::IntLit(2),
+                Tok::Semi,
+                Tok::Ident("c".into()),
+                Tok::AmpAmp,
+                Tok::Ident("d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(kinds("// x\n/* y\nz */ int"), vec![Tok::KwInt]);
+    }
+}

@@ -1,0 +1,57 @@
+//! # eda-cmini — mini-C frontend, interpreter, and static analyses
+//!
+//! The C-language substrate of the `llm4eda` workspace. It provides:
+//!
+//! * a lexer/parser for an HLS-relevant C subset (including the
+//!   *incompatible* constructs — `malloc`, recursion, unbounded loops —
+//!   that the repair framework must detect and rewrite),
+//! * a tree-walking interpreter that serves as the paper's "CPU reference
+//!   execution", with configurable bit-width wrapping to model FPGA-side
+//!   custom widths, spectra recording, coverage, and operation counters,
+//! * static analyses: HLS-compatibility scan, call graph / recursion
+//!   detection, and backward slicing for key-variable identification,
+//! * a C pretty-printer for rendering repaired programs.
+//!
+//! ## Quick start
+//!
+//! ```
+//! # fn main() -> Result<(), eda_cmini::CminiError> {
+//! use eda_cmini::{parse, Interp};
+//!
+//! let prog = parse("int square(int x) { return x * x; }")?;
+//! let mut interp = Interp::new(&prog);
+//! assert_eq!(interp.call_ints("square", &[9])?, 81);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod ast;
+pub mod error;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+
+pub use analysis::{backward_slice, call_graph, hls_compat_scan, recursive_functions, Incompat,
+                   IncompatKind, Slice};
+pub use ast::{BaseType, BinOp, Block, Expr, Function, Param, Pragma, Program, Stmt, StmtId,
+              StmtKind, Type, UnOp};
+pub use error::{CminiError, RuntimeError, RuntimeErrorKind};
+pub use interp::{wrap, CValue, ExecTrace, Interp, InterpLimits, OpCounters, VarSpectrum,
+                 WidthMode};
+pub use parser::parse;
+pub use pretty::{emit_expr, emit_function, emit_program};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn end_to_end_parse_run_emit() {
+        let src = "int triple(int x) { return x * 3; }";
+        let p = crate::parse(src).unwrap();
+        assert_eq!(crate::Interp::new(&p).call_ints("triple", &[7]).unwrap(), 21);
+        let emitted = crate::emit_program(&p);
+        let p2 = crate::parse(&emitted).unwrap();
+        assert_eq!(crate::Interp::new(&p2).call_ints("triple", &[7]).unwrap(), 21);
+    }
+}

@@ -1,0 +1,786 @@
+//! Recursive-descent parser for mini-C.
+//!
+//! The grammar covers the HLS-relevant C subset: scalar and fixed-array
+//! declarations, pointers (so that HLS-*incompatible* constructs like
+//! `malloc` can be represented, detected, and repaired), the usual control
+//! flow, compound assignment, increment/decrement, casts, `sizeof`, and
+//! calls. `#pragma HLS` directives are preserved and attached to the
+//! enclosing function or the nearest loop.
+
+use crate::ast::*;
+use crate::error::CminiError;
+use crate::lexer::{lex, Tok, Token};
+
+/// Parses a translation unit.
+///
+/// # Errors
+///
+/// Returns [`CminiError::Lex`] or [`CminiError::Parse`] on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), eda_cmini::CminiError> {
+/// let prog = eda_cmini::parse("int add(int a, int b) { return a + b; }")?;
+/// assert_eq!(prog.functions[0].name, "add");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(src: &str) -> Result<Program, CminiError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0, next_id: 0 };
+    let mut functions = Vec::new();
+    while !p.at_end() {
+        // Skip stray top-level pragmas.
+        if let Some(Tok::Pragma(_)) = p.peek() {
+            p.bump();
+            continue;
+        }
+        functions.push(p.parse_function()?);
+    }
+    Ok(Program { functions })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    next_id: StmtId,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos + 1).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t.map(|t| t.kind)
+    }
+
+    fn eat(&mut self, k: &Tok) -> bool {
+        if self.peek() == Some(k) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, k: Tok) -> Result<(), CminiError> {
+        if self.eat(&k) {
+            Ok(())
+        } else {
+            Err(CminiError::parse(
+                self.line(),
+                format!("expected {:?}, found {:?}", k, self.peek()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CminiError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(CminiError::parse(
+                self.line(),
+                format!("expected identifier, found {other:?}"),
+            )),
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, CminiError> {
+        Err(CminiError::parse(self.line(), msg.into()))
+    }
+
+    fn new_id(&mut self) -> StmtId {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    fn stmt(&mut self, line: u32, kind: StmtKind) -> Stmt {
+        Stmt { id: self.new_id(), line, kind }
+    }
+
+    // --- types ---
+
+    fn at_type(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(Tok::KwVoid | Tok::KwChar | Tok::KwShort | Tok::KwInt | Tok::KwLong
+                | Tok::KwUnsigned | Tok::KwSigned | Tok::KwConst | Tok::KwStatic)
+        )
+    }
+
+    fn parse_type(&mut self) -> Result<Type, CminiError> {
+        let mut unsigned = false;
+        let mut base: Option<BaseType> = None;
+        loop {
+            match self.peek() {
+                Some(Tok::KwConst) | Some(Tok::KwStatic) | Some(Tok::KwSigned) => {
+                    self.bump();
+                }
+                Some(Tok::KwUnsigned) => {
+                    self.bump();
+                    unsigned = true;
+                }
+                Some(Tok::KwVoid) => {
+                    self.bump();
+                    base = Some(BaseType::Void);
+                }
+                Some(Tok::KwChar) => {
+                    self.bump();
+                    base = Some(BaseType::Char);
+                }
+                Some(Tok::KwShort) => {
+                    self.bump();
+                    base = Some(BaseType::Short);
+                }
+                Some(Tok::KwInt) => {
+                    self.bump();
+                    if base.is_none() {
+                        base = Some(BaseType::Int);
+                    }
+                }
+                Some(Tok::KwLong) => {
+                    self.bump();
+                    base = Some(BaseType::Long);
+                }
+                _ => break,
+            }
+        }
+        let base = match base {
+            Some(b) => b,
+            None if unsigned => BaseType::Int,
+            None => return self.err("expected type"),
+        };
+        let mut pointers = 0;
+        while self.eat(&Tok::Star) {
+            pointers += 1;
+        }
+        Ok(Type { base, unsigned, pointers, dims: Vec::new() })
+    }
+
+    fn parse_dims(&mut self) -> Result<Vec<u64>, CminiError> {
+        let mut dims = Vec::new();
+        while self.eat(&Tok::LBracket) {
+            if self.eat(&Tok::RBracket) {
+                // `int a[]` parameter: decays to pointer; encode as dim 0.
+                dims.push(0);
+                continue;
+            }
+            match self.bump() {
+                Some(Tok::IntLit(n)) if n > 0 => dims.push(n as u64),
+                Some(Tok::IntLit(_)) => return self.err("array dimension must be positive"),
+                Some(Tok::Ident(n)) => {
+                    return self.err(format!(
+                        "variable-length array dimension `{n}` is not supported"
+                    ))
+                }
+                other => return self.err(format!("bad array dimension {other:?}")),
+            }
+            self.expect(Tok::RBracket)?;
+        }
+        Ok(dims)
+    }
+
+    // --- functions ---
+
+    fn parse_function(&mut self) -> Result<Function, CminiError> {
+        let line = self.line();
+        let ret = self.parse_type()?;
+        let name = self.expect_ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            if self.peek() == Some(&Tok::KwVoid) && self.peek2() == Some(&Tok::RParen) {
+                self.bump();
+                self.expect(Tok::RParen)?;
+            } else {
+                loop {
+                    let mut ty = self.parse_type()?;
+                    let pname = self.expect_ident()?;
+                    ty.dims = self.parse_dims()?;
+                    // `int a[]` decays to pointer.
+                    if ty.dims.first() == Some(&0) {
+                        ty.dims.remove(0);
+                        ty.pointers += 1;
+                    }
+                    params.push(Param { ty, name: pname });
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RParen)?;
+            }
+        }
+        let mut body = self.parse_block()?;
+        // Hoist leading pragmas to the function.
+        let mut pragmas = Vec::new();
+        while let Some(Stmt { kind: StmtKind::Pragma(_), .. }) = body.stmts.first() {
+            if let StmtKind::Pragma(p) = body.stmts.remove(0).kind {
+                pragmas.push(p);
+            }
+        }
+        Ok(Function { ret, name, params, body, pragmas, line })
+    }
+
+    fn parse_block(&mut self) -> Result<Block, CminiError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if self.at_end() {
+                return self.err("unexpected end of file in block");
+            }
+            self.parse_stmt_into(&mut stmts)?;
+        }
+        Ok(Block { stmts })
+    }
+
+    fn parse_stmt_into(&mut self, out: &mut Vec<Stmt>) -> Result<(), CminiError> {
+        let line = self.line();
+        match self.peek() {
+            Some(Tok::Pragma(_)) => {
+                let Some(Tok::Pragma(text)) = self.bump() else { unreachable!() };
+                let pragma = Pragma { text, line };
+                // A pragma immediately preceding a loop attaches to it.
+                if matches!(self.peek(), Some(Tok::KwFor | Tok::KwWhile)) {
+                    let before = out.len();
+                    self.parse_stmt_into(out)?;
+                    for s in &mut out[before..] {
+                        match &mut s.kind {
+                            StmtKind::For { pragmas, .. } | StmtKind::While { pragmas, .. } => {
+                                pragmas.insert(0, pragma.clone());
+                            }
+                            _ => {}
+                        }
+                    }
+                } else {
+                    let s = self.stmt(line, StmtKind::Pragma(pragma));
+                    out.push(s);
+                }
+                Ok(())
+            }
+            Some(Tok::LBrace) => {
+                let b = self.parse_block()?;
+                let s = self.stmt(line, StmtKind::Block(b));
+                out.push(s);
+                Ok(())
+            }
+            Some(Tok::KwIf) => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                let then_branch = self.parse_stmt_as_block()?;
+                let else_branch = if self.eat(&Tok::KwElse) {
+                    Some(self.parse_stmt_as_block()?)
+                } else {
+                    None
+                };
+                let s = self.stmt(line, StmtKind::If { cond, then_branch, else_branch });
+                out.push(s);
+                Ok(())
+            }
+            Some(Tok::KwWhile) => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                let mut body = self.parse_stmt_as_block()?;
+                let pragmas = hoist_pragmas(&mut body);
+                let s = self.stmt(line, StmtKind::While { cond, body, pragmas });
+                out.push(s);
+                Ok(())
+            }
+            Some(Tok::KwDo) => {
+                self.bump();
+                let body = self.parse_stmt_as_block()?;
+                self.expect(Tok::KwWhile)?;
+                self.expect(Tok::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                let s = self.stmt(line, StmtKind::DoWhile { body, cond });
+                out.push(s);
+                Ok(())
+            }
+            Some(Tok::KwFor) => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let init = if self.eat(&Tok::Semi) {
+                    None
+                } else {
+                    let mut tmp = Vec::new();
+                    if self.at_type() {
+                        self.parse_decl_into(&mut tmp)?;
+                    } else {
+                        let e = self.parse_expr()?;
+                        self.expect(Tok::Semi)?;
+                        let s = self.stmt(line, StmtKind::Expr(e));
+                        tmp.push(s);
+                    }
+                    if tmp.len() != 1 {
+                        return self.err("for-init must be a single declaration or expression");
+                    }
+                    Some(Box::new(tmp.remove(0)))
+                };
+                let cond = if self.peek() == Some(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect(Tok::Semi)?;
+                let step = if self.peek() == Some(&Tok::RParen) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect(Tok::RParen)?;
+                let mut body = self.parse_stmt_as_block()?;
+                let pragmas = hoist_pragmas(&mut body);
+                let s = self.stmt(line, StmtKind::For { init, cond, step, body, pragmas });
+                out.push(s);
+                Ok(())
+            }
+            Some(Tok::KwReturn) => {
+                self.bump();
+                let e = if self.peek() == Some(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect(Tok::Semi)?;
+                let s = self.stmt(line, StmtKind::Return(e));
+                out.push(s);
+                Ok(())
+            }
+            Some(Tok::KwBreak) => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                let s = self.stmt(line, StmtKind::Break);
+                out.push(s);
+                Ok(())
+            }
+            Some(Tok::KwContinue) => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                let s = self.stmt(line, StmtKind::Continue);
+                out.push(s);
+                Ok(())
+            }
+            Some(Tok::Semi) => {
+                self.bump();
+                Ok(())
+            }
+            Some(t) if self.at_type() => {
+                let _ = t;
+                self.parse_decl_into(out)
+            }
+            _ => {
+                let e = self.parse_expr()?;
+                self.expect(Tok::Semi)?;
+                let s = self.stmt(line, StmtKind::Expr(e));
+                out.push(s);
+                Ok(())
+            }
+        }
+    }
+
+    fn parse_stmt_as_block(&mut self) -> Result<Block, CminiError> {
+        if self.peek() == Some(&Tok::LBrace) {
+            self.parse_block()
+        } else {
+            let mut tmp = Vec::new();
+            self.parse_stmt_into(&mut tmp)?;
+            Ok(Block { stmts: tmp })
+        }
+    }
+
+    fn parse_decl_into(&mut self, out: &mut Vec<Stmt>) -> Result<(), CminiError> {
+        let line = self.line();
+        let base_ty = self.parse_type()?;
+        loop {
+            let mut ty = base_ty.clone();
+            while self.eat(&Tok::Star) {
+                ty.pointers += 1;
+            }
+            let name = self.expect_ident()?;
+            ty.dims = self.parse_dims()?;
+            let init = if self.eat(&Tok::Assign) {
+                Some(self.parse_assign_expr()?)
+            } else {
+                None
+            };
+            let s = self.stmt(line, StmtKind::Decl { ty, name, init });
+            out.push(s);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::Semi)?;
+        Ok(())
+    }
+
+    // --- expressions ---
+
+    fn parse_expr(&mut self) -> Result<Expr, CminiError> {
+        self.parse_assign_expr()
+    }
+
+    fn parse_assign_expr(&mut self) -> Result<Expr, CminiError> {
+        let lhs = self.parse_ternary()?;
+        let op = match self.peek() {
+            Some(Tok::Assign) => Some(None),
+            Some(Tok::PlusEq) => Some(Some(BinOp::Add)),
+            Some(Tok::MinusEq) => Some(Some(BinOp::Sub)),
+            Some(Tok::StarEq) => Some(Some(BinOp::Mul)),
+            Some(Tok::SlashEq) => Some(Some(BinOp::Div)),
+            Some(Tok::PercentEq) => Some(Some(BinOp::Rem)),
+            Some(Tok::ShlEq) => Some(Some(BinOp::Shl)),
+            Some(Tok::ShrEq) => Some(Some(BinOp::Shr)),
+            Some(Tok::AmpEq) => Some(Some(BinOp::BitAnd)),
+            Some(Tok::PipeEq) => Some(Some(BinOp::BitOr)),
+            Some(Tok::CaretEq) => Some(Some(BinOp::BitXor)),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let value = self.parse_assign_expr()?;
+            Ok(Expr::Assign { op, target: Box::new(lhs), value: Box::new(value) })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_ternary(&mut self) -> Result<Expr, CminiError> {
+        let c = self.parse_bin(0)?;
+        if self.eat(&Tok::Question) {
+            let t = self.parse_expr()?;
+            self.expect(Tok::Colon)?;
+            let f = self.parse_ternary()?;
+            Ok(Expr::Ternary(Box::new(c), Box::new(t), Box::new(f)))
+        } else {
+            Ok(c)
+        }
+    }
+
+    fn bin_op(&self, level: u8) -> Option<BinOp> {
+        use BinOp::*;
+        let (op, l) = match self.peek()? {
+            Tok::PipePipe => (LogOr, 0),
+            Tok::AmpAmp => (LogAnd, 1),
+            Tok::Pipe => (BitOr, 2),
+            Tok::Caret => (BitXor, 3),
+            Tok::Amp => (BitAnd, 4),
+            Tok::EqEq => (Eq, 5),
+            Tok::Ne => (Ne, 5),
+            Tok::Lt => (Lt, 6),
+            Tok::Le => (Le, 6),
+            Tok::Gt => (Gt, 6),
+            Tok::Ge => (Ge, 6),
+            Tok::Shl => (Shl, 7),
+            Tok::Shr => (Shr, 7),
+            Tok::Plus => (Add, 8),
+            Tok::Minus => (Sub, 8),
+            Tok::Star => (Mul, 9),
+            Tok::Slash => (Div, 9),
+            Tok::Percent => (Rem, 9),
+            _ => return None,
+        };
+        (l == level).then_some(op)
+    }
+
+    fn parse_bin(&mut self, level: u8) -> Result<Expr, CminiError> {
+        if level > 9 {
+            return self.parse_unary();
+        }
+        let mut lhs = self.parse_bin(level + 1)?;
+        while let Some(op) = self.bin_op(level) {
+            self.bump();
+            let rhs = self.parse_bin(level + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, CminiError> {
+        match self.peek() {
+            Some(Tok::Minus) => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.parse_unary()?)))
+            }
+            Some(Tok::Bang) => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.parse_unary()?)))
+            }
+            Some(Tok::Tilde) => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::BitNot, Box::new(self.parse_unary()?)))
+            }
+            Some(Tok::PlusPlus) | Some(Tok::MinusMinus) => {
+                let inc = matches!(self.bump(), Some(Tok::PlusPlus));
+                let target = self.parse_unary()?;
+                Ok(Expr::IncDec { target: Box::new(target), inc, prefix: true })
+            }
+            Some(Tok::Star) => {
+                self.bump();
+                Ok(Expr::Deref(Box::new(self.parse_unary()?)))
+            }
+            Some(Tok::Amp) => {
+                self.bump();
+                Ok(Expr::AddrOf(Box::new(self.parse_unary()?)))
+            }
+            Some(Tok::KwSizeof) => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let ty = if self.at_type() {
+                    let mut t = self.parse_type()?;
+                    t.dims = self.parse_dims()?;
+                    t
+                } else {
+                    // sizeof(expr): approximate as int.
+                    self.parse_expr()?;
+                    Type::int()
+                };
+                self.expect(Tok::RParen)?;
+                Ok(Expr::SizeOf(ty))
+            }
+            Some(Tok::LParen) if self.is_cast() => {
+                self.bump();
+                let mut ty = self.parse_type()?;
+                ty.dims = self.parse_dims()?;
+                self.expect(Tok::RParen)?;
+                let e = self.parse_unary()?;
+                Ok(Expr::Cast(ty, Box::new(e)))
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    fn is_cast(&self) -> bool {
+        if self.peek() != Some(&Tok::LParen) {
+            return false;
+        }
+        matches!(
+            self.peek2(),
+            Some(Tok::KwVoid | Tok::KwChar | Tok::KwShort | Tok::KwInt | Tok::KwLong
+                | Tok::KwUnsigned | Tok::KwSigned | Tok::KwConst)
+        )
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, CminiError> {
+        let mut e = self.parse_primary()?;
+        loop {
+            match self.peek() {
+                Some(Tok::LBracket) => {
+                    self.bump();
+                    let idx = self.parse_expr()?;
+                    self.expect(Tok::RBracket)?;
+                    e = Expr::Index(Box::new(e), Box::new(idx));
+                }
+                Some(Tok::PlusPlus) | Some(Tok::MinusMinus) => {
+                    let inc = matches!(self.bump(), Some(Tok::PlusPlus));
+                    e = Expr::IncDec { target: Box::new(e), inc, prefix: false };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, CminiError> {
+        match self.bump() {
+            Some(Tok::IntLit(n)) => Ok(Expr::IntLit(n)),
+            Some(Tok::CharLit(n)) => Ok(Expr::CharLit(n)),
+            Some(Tok::StrLit(s)) => Ok(Expr::StrLit(s)),
+            Some(Tok::Ident(name)) => {
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.parse_assign_expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(Tok::RParen)?;
+                    }
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            Some(Tok::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+fn hoist_pragmas(body: &mut Block) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    while let Some(Stmt { kind: StmtKind::Pragma(_), .. }) = body.stmts.first() {
+        if let StmtKind::Pragma(p) = body.stmts.remove(0).kind {
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_function_with_params() {
+        let p = parse("int add(int a, int b) { return a + b; }").unwrap();
+        let f = &p.functions[0];
+        assert_eq!(f.params.len(), 2);
+        assert!(matches!(f.body.stmts[0].kind, StmtKind::Return(Some(_))));
+    }
+
+    #[test]
+    fn parse_arrays_and_loops() {
+        let src = "
+          void fir(int x[16], int y[16]) {
+            int acc = 0;
+            for (int i = 0; i < 16; i++) {
+              acc += x[i];
+              y[i] = acc;
+            }
+          }";
+        let p = parse(src).unwrap();
+        let f = &p.functions[0];
+        assert_eq!(f.params[0].ty.dims, vec![16]);
+        assert!(matches!(
+            f.body.stmts[1].kind,
+            StmtKind::For { .. }
+        ));
+    }
+
+    #[test]
+    fn pragma_attaches_to_loop() {
+        let src = "
+          void k(int a[8]) {
+            #pragma HLS pipeline II=1
+            for (int i = 0; i < 8; i++) a[i] = i;
+          }";
+        let p = parse(src).unwrap();
+        if let StmtKind::For { pragmas, .. } = &p.functions[0].body.stmts[0].kind {
+            assert_eq!(pragmas.len(), 1);
+            assert_eq!(pragmas[0].directive().unwrap().0, "pipeline");
+        } else {
+            panic!("expected for loop");
+        }
+    }
+
+    #[test]
+    fn pragma_inside_loop_body_attaches() {
+        let src = "
+          void k(int a[8]) {
+            for (int i = 0; i < 8; i++) {
+              #pragma HLS unroll factor=2
+              a[i] = i;
+            }
+          }";
+        let p = parse(src).unwrap();
+        if let StmtKind::For { pragmas, body, .. } = &p.functions[0].body.stmts[0].kind {
+            assert_eq!(pragmas.len(), 1);
+            assert_eq!(body.stmts.len(), 1);
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn function_pragmas_hoisted() {
+        let src = "
+          void top(int a) {
+            #pragma HLS bitwidth var=a width=12
+            a = a + 1;
+          }";
+        let p = parse(src).unwrap();
+        assert_eq!(p.functions[0].pragmas.len(), 1);
+    }
+
+    #[test]
+    fn malloc_and_cast() {
+        let src = "
+          int sum(int n) {
+            int *buf = (int*)malloc(n * sizeof(int));
+            int s = 0;
+            for (int i = 0; i < n; i++) s += buf[i];
+            free(buf);
+            return s;
+          }";
+        let p = parse(src).unwrap();
+        if let StmtKind::Decl { ty, init, .. } = &p.functions[0].body.stmts[0].kind {
+            assert_eq!(ty.pointers, 1);
+            assert!(matches!(init, Some(Expr::Cast(_, _))));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn compound_assign_and_incdec() {
+        let p = parse("void f() { int a = 0; a <<= 2; a++; --a; }").unwrap();
+        let stmts = &p.functions[0].body.stmts;
+        assert!(matches!(
+            &stmts[1].kind,
+            StmtKind::Expr(Expr::Assign { op: Some(BinOp::Shl), .. })
+        ));
+        assert!(matches!(
+            &stmts[2].kind,
+            StmtKind::Expr(Expr::IncDec { prefix: false, inc: true, .. })
+        ));
+    }
+
+    #[test]
+    fn ternary_and_precedence() {
+        let p = parse("int f(int a, int b) { return a > b ? a + b * 2 : (a & 3) << 1; }");
+        assert!(p.is_ok());
+    }
+
+    #[test]
+    fn do_while() {
+        let p = parse("void f() { int i = 0; do { i++; } while (i < 10); }").unwrap();
+        assert!(matches!(p.functions[0].body.stmts[1].kind, StmtKind::DoWhile { .. }));
+    }
+
+    #[test]
+    fn vla_rejected() {
+        let r = parse("void f(int n) { int a[n]; }");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn multi_declarator() {
+        let p = parse("void f() { int a = 1, b = 2, c; }").unwrap();
+        assert_eq!(p.functions[0].body.stmts.len(), 3);
+    }
+
+    #[test]
+    fn include_skipped() {
+        let p = parse("#include <stdlib.h>\nint f() { return 1; }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+    }
+}

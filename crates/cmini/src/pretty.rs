@@ -1,0 +1,272 @@
+//! C source emission for mini-C ASTs.
+//!
+//! Used to render repaired programs, to feed program text into prompts, and
+//! for round-trip tests (`parse(emit(p))` is structurally equal modulo
+//! statement ids).
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole program.
+pub fn emit_program(p: &Program) -> String {
+    let mut out = String::new();
+    for f in &p.functions {
+        out.push_str(&emit_function(f));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one function.
+pub fn emit_function(f: &Function) -> String {
+    let mut s = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|p| {
+            let mut t = format!("{} {}", type_prefix(&p.ty), p.name);
+            for d in &p.ty.dims {
+                write!(t, "[{d}]").unwrap();
+            }
+            t
+        })
+        .collect();
+    writeln!(s, "{} {}({}) {{", type_prefix(&f.ret), f.name, params.join(", ")).unwrap();
+    for pr in &f.pragmas {
+        writeln!(s, "  #pragma {}", pr.text).unwrap();
+    }
+    for st in &f.body.stmts {
+        emit_stmt(&mut s, st, 1);
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn type_prefix(t: &Type) -> String {
+    let mut s = String::new();
+    if t.unsigned {
+        s.push_str("unsigned ");
+    }
+    s.push_str(match t.base {
+        BaseType::Void => "void",
+        BaseType::Char => "char",
+        BaseType::Short => "short",
+        BaseType::Int => "int",
+        BaseType::Long => "long",
+    });
+    for _ in 0..t.pointers {
+        s.push('*');
+    }
+    s
+}
+
+fn indent(s: &mut String, level: usize) {
+    for _ in 0..level {
+        s.push_str("  ");
+    }
+}
+
+fn emit_block(s: &mut String, b: &Block, level: usize) {
+    s.push_str("{\n");
+    for st in &b.stmts {
+        emit_stmt(s, st, level + 1);
+    }
+    indent(s, level);
+    s.push_str("}\n");
+}
+
+fn emit_stmt(s: &mut String, st: &Stmt, level: usize) {
+    indent(s, level);
+    match &st.kind {
+        StmtKind::Decl { ty, name, init } => {
+            write!(s, "{} {}", type_prefix(ty), name).unwrap();
+            for d in &ty.dims {
+                write!(s, "[{d}]").unwrap();
+            }
+            if let Some(e) = init {
+                write!(s, " = {}", emit_expr(e)).unwrap();
+            }
+            s.push_str(";\n");
+        }
+        StmtKind::Expr(e) => writeln!(s, "{};", emit_expr(e)).unwrap(),
+        StmtKind::If { cond, then_branch, else_branch } => {
+            write!(s, "if ({}) ", emit_expr(cond)).unwrap();
+            emit_block(s, then_branch, level);
+            if let Some(eb) = else_branch {
+                indent(s, level);
+                s.push_str("else ");
+                emit_block(s, eb, level);
+            }
+        }
+        StmtKind::While { cond, body, pragmas } => {
+            for p in pragmas {
+                writeln!(s, "#pragma {}", p.text).unwrap();
+                indent(s, level);
+            }
+            write!(s, "while ({}) ", emit_expr(cond)).unwrap();
+            emit_block(s, body, level);
+        }
+        StmtKind::DoWhile { body, cond } => {
+            s.push_str("do ");
+            emit_block(s, body, level);
+            indent(s, level);
+            writeln!(s, "while ({});", emit_expr(cond)).unwrap();
+        }
+        StmtKind::For { init, cond, step, body, pragmas } => {
+            for p in pragmas {
+                writeln!(s, "#pragma {}", p.text).unwrap();
+                indent(s, level);
+            }
+            let i = init
+                .as_ref()
+                .map(|st| emit_stmt_inline(st))
+                .unwrap_or_default();
+            let c = cond.as_ref().map(emit_expr).unwrap_or_default();
+            let p = step.as_ref().map(emit_expr).unwrap_or_default();
+            write!(s, "for ({i}; {c}; {p}) ").unwrap();
+            emit_block(s, body, level);
+        }
+        StmtKind::Return(e) => match e {
+            Some(e) => writeln!(s, "return {};", emit_expr(e)).unwrap(),
+            None => s.push_str("return;\n"),
+        },
+        StmtKind::Break => s.push_str("break;\n"),
+        StmtKind::Continue => s.push_str("continue;\n"),
+        StmtKind::Block(b) => emit_block(s, b, level),
+        StmtKind::Pragma(p) => writeln!(s, "#pragma {}", p.text).unwrap(),
+    }
+}
+
+fn emit_stmt_inline(st: &Stmt) -> String {
+    match &st.kind {
+        StmtKind::Decl { ty, name, init } => {
+            let mut s = format!("{} {}", type_prefix(ty), name);
+            if let Some(e) = init {
+                s.push_str(&format!(" = {}", emit_expr(e)));
+            }
+            s
+        }
+        StmtKind::Expr(e) => emit_expr(e),
+        _ => String::new(),
+    }
+}
+
+fn binop_str(op: BinOp) -> &'static str {
+    use BinOp::*;
+    match op {
+        Add => "+",
+        Sub => "-",
+        Mul => "*",
+        Div => "/",
+        Rem => "%",
+        Shl => "<<",
+        Shr => ">>",
+        Lt => "<",
+        Le => "<=",
+        Gt => ">",
+        Ge => ">=",
+        Eq => "==",
+        Ne => "!=",
+        BitAnd => "&",
+        BitXor => "^",
+        BitOr => "|",
+        LogAnd => "&&",
+        LogOr => "||",
+    }
+}
+
+/// Renders an expression (fully parenthesized).
+pub fn emit_expr(e: &Expr) -> String {
+    match e {
+        Expr::IntLit(v) => v.to_string(),
+        Expr::CharLit(v) => format!("{v}"),
+        Expr::StrLit(s) => format!("{s:?}"),
+        Expr::Ident(n) => n.clone(),
+        Expr::Index(b, i) => format!("{}[{}]", emit_expr(b), emit_expr(i)),
+        Expr::Call(n, args) => {
+            let a: Vec<String> = args.iter().map(emit_expr).collect();
+            format!("{n}({})", a.join(", "))
+        }
+        Expr::Unary(op, a) => {
+            let o = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+                UnOp::BitNot => "~",
+            };
+            format!("{o}({})", emit_expr(a))
+        }
+        Expr::IncDec { target, inc, prefix } => {
+            let op = if *inc { "++" } else { "--" };
+            if *prefix {
+                format!("{op}{}", emit_expr(target))
+            } else {
+                format!("{}{op}", emit_expr(target))
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            format!("({} {} {})", emit_expr(a), binop_str(*op), emit_expr(b))
+        }
+        Expr::Assign { op, target, value } => {
+            let o = match op {
+                None => "=".to_string(),
+                Some(b) => format!("{}=", binop_str(*b)),
+            };
+            format!("{} {o} {}", emit_expr(target), emit_expr(value))
+        }
+        Expr::Ternary(c, t, f) => {
+            format!("({} ? {} : {})", emit_expr(c), emit_expr(t), emit_expr(f))
+        }
+        Expr::Cast(ty, a) => format!("({}){}", type_prefix(ty), emit_expr(a)),
+        Expr::SizeOf(ty) => format!("sizeof({})", type_prefix(ty)),
+        Expr::AddrOf(a) => format!("&{}", emit_expr(a)),
+        Expr::Deref(a) => format!("*({})", emit_expr(a)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+    use crate::parser::parse;
+
+    #[test]
+    fn roundtrip_behaviour_preserved() {
+        let src = "
+          int f(int n) {
+            int s = 0;
+            #pragma HLS pipeline II=1
+            for (int i = 0; i < n; i++) {
+              if (i % 2 == 0) s += i; else s -= 1;
+            }
+            return s;
+          }";
+        let p1 = parse(src).unwrap();
+        let emitted = emit_program(&p1);
+        let p2 = parse(&emitted).unwrap_or_else(|e| panic!("{e}\n{emitted}"));
+        let r1 = Interp::new(&p1).call_ints("f", &[10]).unwrap();
+        let r2 = Interp::new(&p2).call_ints("f", &[10]).unwrap();
+        assert_eq!(r1, r2);
+        assert!(emitted.contains("#pragma HLS pipeline II=1"));
+    }
+
+    #[test]
+    fn emits_arrays_and_calls() {
+        let src = "
+          void fir(int x[8], int y[8]) {
+            for (int i = 0; i < 8; i++) y[i] = x[i] * 3;
+          }";
+        let p = parse(src).unwrap();
+        let out = emit_program(&p);
+        assert!(out.contains("int x[8]"));
+        assert!(parse(&out).is_ok());
+    }
+
+    #[test]
+    fn emits_malloc_pattern() {
+        let src = "int f(int n) { int *b = (int*)malloc(n * sizeof(int)); free(b); return 0; }";
+        let p = parse(src).unwrap();
+        let out = emit_program(&p);
+        assert!(out.contains("malloc"));
+        assert!(parse(&out).is_ok());
+    }
+}

@@ -1,0 +1,500 @@
+//! # eda-core — the unified multi-modal EDA agent
+//!
+//! The paper's Section VI vision (Fig. 6): an agent that carries a design
+//! through the full flow of Fig. 1 — natural-language specification → RTL
+//! generation → static analysis → functional verification → logic
+//! synthesis → PPA report — holding every modality (spec text, HDL,
+//! lint/verification artifacts, gate-level netlist summary) in one
+//! [`DesignState`] and invoking EDA tools through a uniform [`EdaTool`]
+//! interface.
+//!
+//! ```no_run
+//! use eda_core::{Agent, AgentConfig};
+//! use eda_llm::{ModelSpec, SimulatedLlm};
+//!
+//! let agent = Agent::new(SimulatedLlm::new(ModelSpec::ultra()), AgentConfig::default());
+//! let report = agent.run_flow("counter4").unwrap();
+//! println!("{}", report.summary());
+//! ```
+
+pub mod debug;
+
+pub use debug::{cross_level_check, CrossLevelError, CrossLevelMismatch, CrossLevelReport};
+
+use eda_autochip::{run_autochip, AutoChipConfig};
+use eda_hdl::{check_source, lint_module, parse, LintWarning};
+use eda_llm::{ChatModel, SimulatedLlm};
+use eda_suite::Problem;
+use eda_synth::{synthesize_and_map, MapReport};
+use serde::Serialize;
+use std::fmt;
+
+/// Agent configuration.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    pub autochip: AutoChipConfig,
+    /// Verification vectors for the final sign-off run.
+    pub signoff_vectors: usize,
+    pub seed: u64,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig { autochip: AutoChipConfig::default(), signoff_vectors: 96, seed: 1 }
+    }
+}
+
+/// Pipeline stage identifiers (the Fig. 1 boxes this agent automates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Stage {
+    SpecToRtl,
+    Lint,
+    Verify,
+    Synthesis,
+    PpaReport,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Stage::SpecToRtl => "spec-to-rtl",
+            Stage::Lint => "lint",
+            Stage::Verify => "verify",
+            Stage::Synthesis => "synthesis",
+            Stage::PpaReport => "ppa-report",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Stage outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum StageStatus {
+    Passed,
+    /// Completed with warnings (flow continues).
+    Warned(u32),
+    Failed(String),
+    /// Not applicable for this design (e.g. memory synthesis).
+    Skipped(String),
+}
+
+impl StageStatus {
+    /// True when the flow may continue past this stage.
+    pub fn can_continue(&self) -> bool {
+        !matches!(self, StageStatus::Failed(_))
+    }
+}
+
+/// The multi-modal design state the agent carries across stages.
+#[derive(Debug, Clone, Default)]
+pub struct DesignState {
+    /// Natural-language specification.
+    pub spec: String,
+    /// Generated RTL source.
+    pub rtl: Option<String>,
+    /// Lint findings on the RTL.
+    pub lint: Vec<LintWarning>,
+    /// Verification pass fraction (1.0 = clean sign-off).
+    pub verify_score: Option<f64>,
+    /// Gate-level summary after technology mapping.
+    pub netlist: Option<MapReport>,
+    /// Tool-invocation log (the agent's "conversation" with its tools).
+    pub log: Vec<String>,
+}
+
+/// One stage's record in the flow report.
+#[derive(Debug, Clone, Serialize)]
+pub struct StageResult {
+    pub stage: Stage,
+    pub status: StageStatus,
+    pub detail: String,
+}
+
+/// Full flow report.
+#[derive(Debug, Clone, Serialize)]
+pub struct FlowReport {
+    pub problem: String,
+    pub model: String,
+    pub stages: Vec<StageResult>,
+    pub success: bool,
+    /// Gate count when synthesis ran.
+    pub cells: Option<usize>,
+    pub area: Option<f64>,
+    pub delay: Option<f64>,
+}
+
+impl FlowReport {
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        let stages: Vec<String> = self
+            .stages
+            .iter()
+            .map(|s| {
+                let mark = match &s.status {
+                    StageStatus::Passed => "ok",
+                    StageStatus::Warned(n) => return format!("{}:warn({n})", s.stage),
+                    StageStatus::Failed(_) => "FAIL",
+                    StageStatus::Skipped(_) => "skip",
+                };
+                format!("{}:{mark}", s.stage)
+            })
+            .collect();
+        format!(
+            "[{}] {} -> {}{}",
+            self.model,
+            self.problem,
+            stages.join(" "),
+            self.area
+                .map(|a| format!(" (area {a:.0}, delay {:.1})", self.delay.unwrap_or(0.0)))
+                .unwrap_or_default()
+        )
+    }
+}
+
+/// A uniform tool interface: every EDA stage reads and augments the shared
+/// design state.
+pub trait EdaTool {
+    /// Tool name for the log.
+    fn name(&self) -> &str;
+    /// Runs the tool against the state.
+    fn run(&self, state: &mut DesignState) -> StageStatus;
+}
+
+/// The unified agent.
+pub struct Agent {
+    model: SimulatedLlm,
+    config: AgentConfig,
+}
+
+impl Agent {
+    /// Creates an agent around a simulated model.
+    pub fn new(model: SimulatedLlm, config: AgentConfig) -> Self {
+        Agent { model, config }
+    }
+
+    /// Runs the full flow for a benchmark problem id.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown problem ids; all tool failures are
+    /// recorded in the report instead.
+    pub fn run_flow(&self, problem_id: &str) -> Result<FlowReport, UnknownProblem> {
+        let problem =
+            eda_suite::problem(problem_id).ok_or_else(|| UnknownProblem(problem_id.into()))?;
+        Ok(self.run_flow_on(&problem))
+    }
+
+    /// Runs the full flow for an explicit problem.
+    pub fn run_flow_on(&self, problem: &Problem) -> FlowReport {
+        let mut state = DesignState { spec: problem.prompt.to_string(), ..DesignState::default() };
+        let mut stages = Vec::new();
+
+        // Stage 1: spec -> RTL through the AutoChip loop.
+        let gen = GenerateRtl { model: &self.model, problem, cfg: &self.config.autochip };
+        let status = run_stage(&gen, Stage::SpecToRtl, &mut state, &mut stages);
+        if !status {
+            return self.finish(problem, state, stages);
+        }
+
+        // Stage 2: lint.
+        run_stage(&LintTool, Stage::Lint, &mut state, &mut stages);
+
+        // Stage 3: functional sign-off with a fresh, larger testbench.
+        let verify = VerifyTool {
+            problem,
+            vectors: self.config.signoff_vectors,
+            seed: self.config.seed + 101,
+        };
+        let ok = run_stage(&verify, Stage::Verify, &mut state, &mut stages);
+        if !ok {
+            return self.finish(problem, state, stages);
+        }
+
+        // Stage 4: logic synthesis + mapping.
+        run_stage(&SynthTool, Stage::Synthesis, &mut state, &mut stages);
+
+        // Stage 5: PPA report.
+        run_stage(&PpaTool, Stage::PpaReport, &mut state, &mut stages);
+
+        self.finish(problem, state, stages)
+    }
+
+    fn finish(
+        &self,
+        problem: &Problem,
+        state: DesignState,
+        stages: Vec<StageResult>,
+    ) -> FlowReport {
+        let success = stages
+            .iter()
+            .filter(|s| matches!(s.stage, Stage::SpecToRtl | Stage::Verify))
+            .all(|s| matches!(s.status, StageStatus::Passed | StageStatus::Warned(_)))
+            && stages.iter().any(|s| s.stage == Stage::Verify);
+        FlowReport {
+            problem: problem.id.to_string(),
+            model: self.model.name().to_string(),
+            stages,
+            success,
+            cells: state.netlist.as_ref().map(|n| n.total_cells),
+            area: state.netlist.as_ref().map(|n| n.area),
+            delay: state.netlist.as_ref().map(|n| n.delay),
+        }
+    }
+}
+
+/// Unknown problem id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownProblem(pub String);
+
+impl fmt::Display for UnknownProblem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown benchmark problem `{}`", self.0)
+    }
+}
+
+impl std::error::Error for UnknownProblem {}
+
+fn run_stage(
+    tool: &dyn EdaTool,
+    stage: Stage,
+    state: &mut DesignState,
+    stages: &mut Vec<StageResult>,
+) -> bool {
+    let status = tool.run(state);
+    state.log.push(format!("[{}] {:?}", tool.name(), status));
+    let detail = match &status {
+        StageStatus::Failed(m) | StageStatus::Skipped(m) => m.clone(),
+        StageStatus::Warned(n) => format!("{n} warnings"),
+        StageStatus::Passed => String::new(),
+    };
+    let cont = status.can_continue();
+    stages.push(StageResult { stage, status, detail });
+    cont
+}
+
+// --- concrete tools ---
+
+struct GenerateRtl<'a> {
+    model: &'a SimulatedLlm,
+    problem: &'a Problem,
+    cfg: &'a AutoChipConfig,
+}
+
+impl EdaTool for GenerateRtl<'_> {
+    fn name(&self) -> &str {
+        "autochip-generate"
+    }
+
+    fn run(&self, state: &mut DesignState) -> StageStatus {
+        match run_autochip(self.model, self.problem, self.cfg) {
+            Ok(r) if r.solved => {
+                state.rtl = Some(r.best_source);
+                StageStatus::Passed
+            }
+            Ok(r) => {
+                state.rtl = Some(r.best_source);
+                StageStatus::Failed(format!("best candidate scored {:.2}", r.best_score))
+            }
+            Err(e) => StageStatus::Failed(e.to_string()),
+        }
+    }
+}
+
+struct LintTool;
+
+impl EdaTool for LintTool {
+    fn name(&self) -> &str {
+        "lint"
+    }
+
+    fn run(&self, state: &mut DesignState) -> StageStatus {
+        let Some(rtl) = &state.rtl else {
+            return StageStatus::Failed("no RTL to lint".into());
+        };
+        match parse(rtl) {
+            Ok(file) => {
+                let mut warnings = Vec::new();
+                for m in &file.modules {
+                    warnings.extend(lint_module(m));
+                }
+                let n = warnings.len() as u32;
+                state.lint = warnings;
+                if n == 0 {
+                    StageStatus::Passed
+                } else {
+                    StageStatus::Warned(n)
+                }
+            }
+            Err(e) => StageStatus::Failed(e.to_string()),
+        }
+    }
+}
+
+struct VerifyTool<'a> {
+    problem: &'a Problem,
+    vectors: usize,
+    seed: u64,
+}
+
+impl EdaTool for VerifyTool<'_> {
+    fn name(&self) -> &str {
+        "simulate-verify"
+    }
+
+    fn run(&self, state: &mut DesignState) -> StageStatus {
+        let Some(rtl) = &state.rtl else {
+            return StageStatus::Failed("no RTL to verify".into());
+        };
+        let tb = match self.problem.testbench(self.vectors, self.seed) {
+            Ok(tb) => tb,
+            Err(e) => return StageStatus::Failed(e.to_string()),
+        };
+        match check_source(rtl, self.problem.module_name, &tb) {
+            Ok(report) => {
+                state.verify_score = Some(report.pass_fraction());
+                if report.all_passed() {
+                    StageStatus::Passed
+                } else {
+                    StageStatus::Failed(report.feedback())
+                }
+            }
+            Err(e) => StageStatus::Failed(e.to_string()),
+        }
+    }
+}
+
+struct SynthTool;
+
+impl EdaTool for SynthTool {
+    fn name(&self) -> &str {
+        "logic-synthesis"
+    }
+
+    fn run(&self, state: &mut DesignState) -> StageStatus {
+        let Some(rtl) = &state.rtl else {
+            return StageStatus::Failed("no RTL to synthesize".into());
+        };
+        let file = match parse(rtl) {
+            Ok(f) => f,
+            Err(e) => return StageStatus::Failed(e.to_string()),
+        };
+        let Some(module) = file.modules.first() else {
+            return StageStatus::Failed("no module in RTL".into());
+        };
+        match synthesize_and_map(module) {
+            Ok(report) => {
+                state.netlist = Some(report);
+                StageStatus::Passed
+            }
+            // Memories / dividers need macros outside the cell library —
+            // skipped, not failed (the flow still signs off functionally).
+            Err(e) => StageStatus::Skipped(e.to_string()),
+        }
+    }
+}
+
+struct PpaTool;
+
+impl EdaTool for PpaTool {
+    fn name(&self) -> &str {
+        "ppa-report"
+    }
+
+    fn run(&self, state: &mut DesignState) -> StageStatus {
+        match &state.netlist {
+            Some(n) => {
+                state.log.push(format!(
+                    "PPA: {} cells, area {:.1}, delay {:.2}, power {:.1}",
+                    n.total_cells, n.area, n.delay, n.power
+                ));
+                StageStatus::Passed
+            }
+            None => StageStatus::Skipped("no netlist (synthesis skipped)".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_llm::ModelSpec;
+
+    fn agent(spec: ModelSpec) -> Agent {
+        Agent::new(SimulatedLlm::new(spec), AgentConfig::default())
+    }
+
+    #[test]
+    fn full_flow_on_combinational_design() {
+        let r = agent(ModelSpec::ultra()).run_flow("full_adder").unwrap();
+        assert!(r.success, "{}", r.summary());
+        assert!(r.cells.unwrap_or(0) > 0, "synthesis produced gates");
+        let verify = r.stages.iter().find(|s| s.stage == Stage::Verify).unwrap();
+        assert_eq!(verify.status, StageStatus::Passed);
+    }
+
+    #[test]
+    fn sequential_design_synthesizes_with_register_cut() {
+        let r = agent(ModelSpec::ultra()).run_flow("counter4").unwrap();
+        assert!(r.success, "{}", r.summary());
+        assert!(r.area.unwrap_or(0.0) > 0.0);
+    }
+
+    #[test]
+    fn memory_design_skips_synthesis_but_signs_off() {
+        let r = agent(ModelSpec::ultra()).run_flow("ram16x8").unwrap();
+        let synth = r.stages.iter().find(|s| s.stage == Stage::Synthesis);
+        if let Some(s) = synth {
+            assert!(
+                matches!(s.status, StageStatus::Skipped(_)),
+                "memories need RAM macros: {:?}",
+                s.status
+            );
+        }
+        assert!(r.success, "{}", r.summary());
+    }
+
+    #[test]
+    fn weak_model_fails_verification_sometimes() {
+        let a = Agent::new(
+            SimulatedLlm::new(ModelSpec::basic()),
+            AgentConfig {
+                autochip: AutoChipConfig { k_candidates: 1, max_depth: 1, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        let mut failures = 0;
+        for p in ["traffic_light", "seq_detector_101", "sorter4", "divider4"] {
+            let r = a.run_flow(p).unwrap();
+            if !r.success {
+                failures += 1;
+            }
+        }
+        assert!(failures >= 1, "a weak single-shot agent cannot sweep the hard set");
+    }
+
+    #[test]
+    fn unknown_problem_is_an_error() {
+        assert!(agent(ModelSpec::pro()).run_flow("not-a-problem").is_err());
+    }
+
+    #[test]
+    fn report_summary_is_readable() {
+        let r = agent(ModelSpec::ultra()).run_flow("mux2").unwrap();
+        let s = r.summary();
+        assert!(s.contains("mux2"));
+        assert!(s.contains("spec-to-rtl"));
+    }
+
+    #[test]
+    fn log_records_every_tool() {
+        // The log lives in DesignState; run a flow manually to inspect it.
+        let model = SimulatedLlm::new(ModelSpec::ultra());
+        let problem = eda_suite::problem("parity8").unwrap();
+        let mut state = DesignState::default();
+        let cfg = AutoChipConfig::default();
+        let gen = GenerateRtl { model: &model, problem: &problem, cfg: &cfg };
+        gen.run(&mut state);
+        LintTool.run(&mut state);
+        assert!(state.rtl.is_some());
+    }
+}

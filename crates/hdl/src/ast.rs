@@ -1,0 +1,285 @@
+//! Abstract syntax tree for the Verilog subset.
+
+use crate::value::Value;
+
+/// A parsed source file: one or more modules.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SourceFile {
+    pub modules: Vec<Module>,
+}
+
+impl SourceFile {
+    /// Finds a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    Input,
+    Output,
+    Inout,
+}
+
+/// Net kind for declarations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetKind {
+    Wire,
+    Reg,
+    /// `integer`: modeled as a 32-bit reg.
+    Integer,
+}
+
+/// `[msb:lsb]` packed range; both bounds are constant expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Range {
+    pub msb: Expr,
+    pub lsb: Expr,
+}
+
+/// A module port in the ANSI header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Port {
+    pub dir: Direction,
+    pub kind: NetKind,
+    pub range: Option<Range>,
+    pub name: String,
+    pub line: u32,
+}
+
+/// Module definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    pub name: String,
+    pub params: Vec<ParamDecl>,
+    pub ports: Vec<Port>,
+    pub items: Vec<Item>,
+    pub line: u32,
+}
+
+/// `parameter`/`localparam` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    pub name: String,
+    pub default: Expr,
+    pub local: bool,
+    pub line: u32,
+}
+
+/// Module body item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `wire`/`reg`/`integer` declaration; `unpacked` is the memory depth
+    /// range for `reg [7:0] mem [0:255];`.
+    Net {
+        kind: NetKind,
+        range: Option<Range>,
+        names: Vec<NetName>,
+        line: u32,
+    },
+    Param(ParamDecl),
+    /// `assign lhs = rhs;`
+    Assign { lhs: LValue, rhs: Expr, line: u32 },
+    /// `always @(...) stmt` or `always #n stmt` (clock generator form).
+    Always {
+        sensitivity: Sensitivity,
+        body: Stmt,
+        line: u32,
+    },
+    /// `initial stmt`
+    Initial { body: Stmt, line: u32 },
+    /// Module instantiation.
+    Instance {
+        module: String,
+        name: String,
+        param_overrides: Vec<(String, Expr)>,
+        connections: Vec<Connection>,
+        line: u32,
+    },
+}
+
+/// One declarator within a net declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetName {
+    pub name: String,
+    /// `[0:depth-1]` unpacked dimension, present for memories.
+    pub unpacked: Option<Range>,
+    /// Initializer for `wire x = expr;` forms (treated as an assign).
+    pub init: Option<Expr>,
+}
+
+/// Port connection in an instantiation: named `.a(expr)` or positional.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Connection {
+    Named(String, Option<Expr>),
+    Positional(Expr),
+}
+
+/// Sensitivity of an `always` block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sensitivity {
+    /// `@*` or `@(*)` or an explicit signal list without edges.
+    Comb(Vec<String>),
+    /// `@(posedge a or negedge b ...)`
+    Edges(Vec<EdgeSpec>),
+    /// `always #delay body` — free-running periodic process.
+    Periodic(u64),
+}
+
+/// One edge in an edge-sensitivity list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeSpec {
+    pub edge: Edge,
+    pub signal: String,
+}
+
+/// Signal transition polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    Pos,
+    Neg,
+}
+
+/// Assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Whole signal.
+    Ident(String),
+    /// Dynamic single-bit or memory-word index: `x[expr]`.
+    Index(String, Expr),
+    /// Constant part select `x[hi:lo]`.
+    PartSelect(String, Expr, Expr),
+    /// Concatenated lvalue `{a, b}` (assigned MSB-first).
+    Concat(Vec<LValue>),
+}
+
+/// Procedural statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Blocking `=` assignment.
+    Blocking { lhs: LValue, rhs: Expr, line: u32 },
+    /// Nonblocking `<=` assignment.
+    NonBlocking { lhs: LValue, rhs: Expr, line: u32 },
+    If {
+        cond: Expr,
+        then_branch: Box<Stmt>,
+        else_branch: Option<Box<Stmt>>,
+        line: u32,
+    },
+    Case {
+        subject: Expr,
+        /// `casez` treats X/Z literal bits as wildcards.
+        wildcard: bool,
+        arms: Vec<CaseArm>,
+        default: Option<Box<Stmt>>,
+        line: u32,
+    },
+    For {
+        init: Box<Stmt>,
+        cond: Expr,
+        step: Box<Stmt>,
+        body: Box<Stmt>,
+        line: u32,
+    },
+    Block(Vec<Stmt>),
+    /// `#n;` or `#n stmt` — only meaningful inside `initial` processes.
+    Delay { amount: u64, stmt: Option<Box<Stmt>>, line: u32 },
+    /// `$display(fmt, args...)` and `$write`.
+    Display { newline: bool, fmt: String, args: Vec<Expr>, line: u32 },
+    /// `$finish;`
+    Finish { line: u32 },
+    /// `$error(...)`: records a failure and a message.
+    ErrorTask { fmt: String, args: Vec<Expr>, line: u32 },
+    /// Empty statement (`;`).
+    Empty,
+}
+
+/// One arm of a case statement (multiple labels share a body).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseArm {
+    pub labels: Vec<Expr>,
+    pub body: Stmt,
+}
+
+/// Expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Literal(Value),
+    /// Unsized decimal literal: context decides width (default 32).
+    UnsizedLiteral(u64),
+    Ident(String),
+    /// `x[expr]`: bit select or memory read.
+    Index(Box<Expr>, Box<Expr>),
+    /// `x[hi:lo]` with constant bounds.
+    PartSelect(Box<Expr>, Box<Expr>, Box<Expr>),
+    Unary(UnaryOp, Box<Expr>),
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    Concat(Vec<Expr>),
+    Replicate(Box<Expr>, Box<Expr>),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    Not,      // ~
+    LogicNot, // !
+    Neg,      // -
+    Plus,     // +
+    RedAnd,   // &
+    RedOr,    // |
+    RedXor,   // ^
+    RedNand,  // ~&
+    RedNor,   // ~|
+    RedXnor,  // ~^
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    Add, Sub, Mul, Div, Rem, Pow,
+    And, Or, Xor, Xnor,
+    LogicAnd, LogicOr,
+    Eq, Ne, CaseEq, CaseNe,
+    Lt, Le, Gt, Ge,
+    Shl, Shr, AShl, AShr,
+}
+
+impl Expr {
+    /// Convenience: an unsized number literal.
+    pub fn num(v: u64) -> Expr {
+        Expr::UnsizedLiteral(v)
+    }
+
+    /// Convenience: identifier reference.
+    pub fn ident(name: impl Into<String>) -> Expr {
+        Expr::Ident(name.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_file_lookup() {
+        let m = Module {
+            name: "top".into(),
+            params: vec![],
+            ports: vec![],
+            items: vec![],
+            line: 1,
+        };
+        let sf = SourceFile { modules: vec![m] };
+        assert!(sf.module("top").is_some());
+        assert!(sf.module("nope").is_none());
+    }
+
+    #[test]
+    fn expr_helpers() {
+        assert_eq!(Expr::num(3), Expr::UnsizedLiteral(3));
+        assert_eq!(Expr::ident("clk"), Expr::Ident("clk".into()));
+    }
+}

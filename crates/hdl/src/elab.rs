@@ -1,0 +1,1214 @@
+//! Elaboration: turns a parsed [`SourceFile`] into a flat, simulatable
+//! [`Design`].
+//!
+//! Elaboration resolves parameters, flattens module instances (child signals
+//! are prefixed with `inst.`), infers context-determined expression widths
+//! (so `assign {c, s} = a + b` keeps its carry), and compiles every
+//! procedural body into a flat instruction [`Program`] so that `initial`
+//! processes can suspend at `#delay` and resume.
+
+use crate::ast::{self, BinaryOp, Direction, Edge, Expr, Item, LValue, NetKind, Sensitivity,
+                 SourceFile, Stmt, UnaryOp};
+use crate::error::HdlError;
+use crate::value::{Value, MAX_WIDTH};
+use std::collections::HashMap;
+
+/// Index of a scalar (packed-only) signal in a [`Design`].
+pub type SignalId = usize;
+/// Index of a memory (signal with an unpacked dimension).
+pub type MemId = usize;
+
+/// Metadata for one elaborated signal.
+#[derive(Debug, Clone)]
+pub struct SignalInfo {
+    pub name: String,
+    pub width: u32,
+    pub is_reg: bool,
+    /// Declared initializer (e.g. `reg clk = 0;`).
+    pub init: Option<Value>,
+    /// Source line of the declaration (0 for synthesized signals).
+    pub line: u32,
+}
+
+/// Metadata for one elaborated memory.
+#[derive(Debug, Clone)]
+pub struct MemInfo {
+    pub name: String,
+    pub width: u32,
+    pub depth: u32,
+}
+
+/// A top-level port of the elaborated design.
+#[derive(Debug, Clone)]
+pub struct PortInfo {
+    pub name: String,
+    pub dir: Direction,
+    pub width: u32,
+    pub signal: SignalId,
+}
+
+/// Elaborated expression with a resolved result width.
+#[derive(Debug, Clone)]
+pub struct EExpr {
+    pub kind: EExprKind,
+    pub width: u32,
+}
+
+/// Elaborated expression node.
+#[derive(Debug, Clone)]
+pub enum EExprKind {
+    Const(Value),
+    Signal(SignalId),
+    MemRead(MemId, Box<EExpr>),
+    /// Dynamic bit select `sig[idx]`.
+    BitSelect(SignalId, Box<EExpr>),
+    /// Constant part select `sig[hi:lo]`.
+    PartSelect(SignalId, u32, u32),
+    Unary(UnaryOp, Box<EExpr>),
+    Binary(BinaryOp, Box<EExpr>, Box<EExpr>),
+    Ternary(Box<EExpr>, Box<EExpr>, Box<EExpr>),
+    Concat(Vec<EExpr>),
+}
+
+/// Elaborated assignment target.
+#[derive(Debug, Clone)]
+pub enum ELValue {
+    Signal(SignalId),
+    /// Dynamic single-bit target `sig[idx]`.
+    Bit(SignalId, EExpr),
+    /// Constant range target `sig[hi:lo]`.
+    Range(SignalId, u32, u32),
+    /// Memory word target `mem[idx]`.
+    Mem(MemId, EExpr),
+    /// `{a, b, ...}` assigned MSB-first.
+    Concat(Vec<ELValue>),
+}
+
+impl ELValue {
+    /// Total width of the target.
+    pub fn width(&self, design: &Design) -> u32 {
+        match self {
+            ELValue::Signal(s) => design.signals[*s].width,
+            ELValue::Bit(..) => 1,
+            ELValue::Range(_, hi, lo) => hi - lo + 1,
+            ELValue::Mem(m, _) => design.mems[*m].width,
+            ELValue::Concat(parts) => parts.iter().map(|p| p.width(design)).sum(),
+        }
+    }
+}
+
+/// One instruction of a compiled procedural body.
+#[derive(Debug, Clone)]
+pub enum Instr {
+    Assign { lhs: ELValue, rhs: EExpr, nonblocking: bool, line: u32 },
+    JumpIfFalse { cond: EExpr, target: usize },
+    Jump(usize),
+    CaseDispatch {
+        subject: EExpr,
+        wildcard: bool,
+        arms: Vec<(Vec<EExpr>, usize)>,
+        default: usize,
+    },
+    Delay(u64),
+    Display { newline: bool, fmt: String, args: Vec<EExpr> },
+    ErrorTask { fmt: String, args: Vec<EExpr> },
+    Finish,
+    Halt,
+}
+
+/// A compiled procedural body.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    pub instrs: Vec<Instr>,
+}
+
+/// Trigger condition of a process.
+#[derive(Debug, Clone)]
+pub enum Trigger {
+    /// Re-run whenever any signal in the read set changes.
+    Comb,
+    /// Run on matching signal edges.
+    Edges(Vec<(Edge, SignalId)>),
+    /// Run once at time 0 (may suspend at delays).
+    Initial,
+    /// Run every `period` time units, first at `period`.
+    Periodic(u64),
+}
+
+/// An elaborated process.
+#[derive(Debug, Clone)]
+pub struct Process {
+    pub trigger: Trigger,
+    pub program: Program,
+    /// Signals read by the body (drives comb wake-up).
+    pub reads: Vec<SignalId>,
+    /// Memories read by the body.
+    pub mem_reads: Vec<MemId>,
+}
+
+/// A continuous assignment.
+#[derive(Debug, Clone)]
+pub struct ContAssign {
+    pub lhs: ELValue,
+    pub rhs: EExpr,
+    pub reads: Vec<SignalId>,
+    pub mem_reads: Vec<MemId>,
+    pub line: u32,
+}
+
+/// A flat, simulatable design.
+#[derive(Debug, Clone, Default)]
+pub struct Design {
+    pub name: String,
+    pub signals: Vec<SignalInfo>,
+    pub mems: Vec<MemInfo>,
+    pub assigns: Vec<ContAssign>,
+    pub processes: Vec<Process>,
+    pub ports: Vec<PortInfo>,
+    by_name: HashMap<String, NameRef>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum NameRef {
+    Sig(SignalId),
+    Mem(MemId),
+}
+
+impl Design {
+    /// Looks up a signal id by (hierarchical) name.
+    pub fn signal(&self, name: &str) -> Option<SignalId> {
+        match self.by_name.get(name) {
+            Some(NameRef::Sig(s)) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a memory id by name.
+    pub fn memory(&self, name: &str) -> Option<MemId> {
+        match self.by_name.get(name) {
+            Some(NameRef::Mem(m)) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// Top-level port by name.
+    pub fn port(&self, name: &str) -> Option<&PortInfo> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+}
+
+/// Elaborates `top` within `file`, applying `param_overrides` to the top
+/// module's parameters.
+///
+/// # Errors
+///
+/// Returns [`HdlError::Elab`] on unresolved names, width errors, recursive
+/// instantiation, unsupported constructs, or missing modules.
+pub fn elaborate(file: &SourceFile, top: &str) -> Result<Design, HdlError> {
+    elaborate_with_params(file, top, &[])
+}
+
+/// Like [`elaborate`] with explicit top-level parameter overrides.
+pub fn elaborate_with_params(
+    file: &SourceFile,
+    top: &str,
+    param_overrides: &[(String, Value)],
+) -> Result<Design, HdlError> {
+    let module = file
+        .module(top)
+        .ok_or_else(|| HdlError::elab(format!("module `{top}` not found")))?;
+    let mut design = Design { name: top.to_string(), ..Design::default() };
+    let mut ctx = ElabCtx { file, design: &mut design, depth: 0 };
+    let overrides: Vec<(String, Expr)> = param_overrides
+        .iter()
+        .map(|(n, v)| (n.clone(), Expr::Literal(*v)))
+        .collect();
+    ctx.instantiate(module, "", &overrides, &HashMap::new(), true)?;
+    Ok(design)
+}
+
+struct ElabCtx<'a> {
+    file: &'a SourceFile,
+    design: &'a mut Design,
+    depth: u32,
+}
+
+/// Per-instance elaboration scope: name prefix and resolved parameters.
+struct Scope {
+    prefix: String,
+    params: HashMap<String, Value>,
+}
+
+impl Scope {
+    fn full(&self, name: &str) -> String {
+        if self.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{}", self.prefix, name)
+        }
+    }
+}
+
+impl<'a> ElabCtx<'a> {
+    fn instantiate(
+        &mut self,
+        module: &ast::Module,
+        prefix: &str,
+        param_overrides: &[(String, Expr)],
+        parent_params: &HashMap<String, Value>,
+        is_top: bool,
+    ) -> Result<(), HdlError> {
+        if self.depth > 32 {
+            return Err(HdlError::elab("instantiation depth exceeds 32 (recursion?)"));
+        }
+        self.depth += 1;
+        let mut scope = Scope { prefix: prefix.to_string(), params: HashMap::new() };
+
+        // Resolve parameters: defaults, then header overrides (evaluated in
+        // the *parent* scope).
+        for (idx, p) in module.params.iter().enumerate() {
+            let mut value = None;
+            for (name, expr) in param_overrides {
+                if name == &p.name || name == &format!("#{idx}") {
+                    let pscope = Scope { prefix: String::new(), params: parent_params.clone() };
+                    value = Some(self.const_eval(expr, &pscope)?);
+                }
+            }
+            let v = match value {
+                Some(v) => v,
+                None => self.const_eval(&p.default, &scope)?,
+            };
+            scope.params.insert(p.name.clone(), v);
+        }
+        // Body localparams/parameters are collected before nets so ranges can
+        // use them.
+        for item in &module.items {
+            if let Item::Param(p) = item {
+                let v = self.const_eval(&p.default, &scope)?;
+                scope.params.insert(p.name.clone(), v);
+            }
+        }
+
+        // Declare port signals.
+        for port in &module.ports {
+            let width = self.range_width(&port.range, &scope)?;
+            let id = self.declare_signal(
+                scope.full(&port.name),
+                width,
+                port.kind == NetKind::Reg,
+                None,
+                port.line,
+            )?;
+            if is_top {
+                self.design.ports.push(PortInfo {
+                    name: port.name.clone(),
+                    dir: port.dir,
+                    width,
+                    signal: id,
+                });
+            }
+            if port.dir == Direction::Inout {
+                return Err(HdlError::elab(format!(
+                    "inout port `{}` is not supported",
+                    port.name
+                )));
+            }
+        }
+
+        // Declare nets and memories.
+        for item in &module.items {
+            if let Item::Net { kind, range, names, line } = item {
+                let width = self.range_width(range, &scope)?;
+                let width = if *kind == NetKind::Integer { 32 } else { width };
+                for n in names {
+                    let full = scope.full(&n.name);
+                    if let Some(unpacked) = &n.unpacked {
+                        let a = self.const_eval(&unpacked.msb, &scope)?;
+                        let b = self.const_eval(&unpacked.lsb, &scope)?;
+                        let (a, b) = (
+                            a.to_u64().ok_or_else(|| HdlError::elab("X in memory bound"))?,
+                            b.to_u64().ok_or_else(|| HdlError::elab("X in memory bound"))?,
+                        );
+                        let depth = (a.max(b) - a.min(b) + 1) as u32;
+                        if self.design.by_name.contains_key(&full) {
+                            return Err(HdlError::elab(format!("duplicate declaration `{full}`")));
+                        }
+                        let id = self.design.mems.len();
+                        self.design.mems.push(MemInfo { name: full.clone(), width, depth });
+                        self.design.by_name.insert(full, NameRef::Mem(id));
+                    } else {
+                        let init = match &n.init {
+                            Some(e) => Some(self.const_eval(e, &scope)?.resize(width)),
+                            None => None,
+                        };
+                        // Ports may be re-declared in the body (`output y; reg y;`
+                        // is not ANSI but `reg` redeclaration of an ANSI port is
+                        // tolerated by upgrading the existing signal).
+                        if let Some(NameRef::Sig(existing)) = self.design.by_name.get(&full) {
+                            let sig = &mut self.design.signals[*existing];
+                            if *kind != NetKind::Wire {
+                                sig.is_reg = true;
+                            }
+                            if init.is_some() {
+                                sig.init = init;
+                            }
+                            continue;
+                        }
+                        self.declare_signal(full, width, *kind != NetKind::Wire, init, *line)?;
+                    }
+                }
+            }
+        }
+
+        // Elaborate behavioural items.
+        for item in &module.items {
+            match item {
+                Item::Net { .. } | Item::Param(_) => {}
+                Item::Assign { lhs, rhs, line } => {
+                    let elhs = self.elab_lvalue(lhs, &scope)?;
+                    let w = elhs.width(self.design);
+                    let erhs = self.elab_expr(rhs, &scope, Some(w))?;
+                    self.push_cont_assign(elhs, erhs, *line);
+                }
+                Item::Always { sensitivity, body, line } => {
+                    let mut prog = Program::default();
+                    self.compile_stmt(body, &scope, &mut prog)?;
+                    prog.instrs.push(Instr::Halt);
+                    let trigger = match sensitivity {
+                        Sensitivity::Comb(_) => Trigger::Comb,
+                        Sensitivity::Edges(edges) => {
+                            let mut es = Vec::new();
+                            for e in edges {
+                                let sid = self.resolve_signal(&e.signal, &scope).map_err(|_| {
+                                    HdlError::elab(format!(
+                                        "unknown signal `{}` in sensitivity list (line {line})",
+                                        e.signal
+                                    ))
+                                })?;
+                                es.push((e.edge, sid));
+                            }
+                            Trigger::Edges(es)
+                        }
+                        Sensitivity::Periodic(n) => Trigger::Periodic(*n),
+                    };
+                    let (reads, mem_reads) = program_reads(&prog);
+                    self.design.processes.push(Process { trigger, program: prog, reads, mem_reads });
+                }
+                Item::Initial { body, .. } => {
+                    let mut prog = Program::default();
+                    self.compile_stmt(body, &scope, &mut prog)?;
+                    prog.instrs.push(Instr::Halt);
+                    let (reads, mem_reads) = program_reads(&prog);
+                    self.design.processes.push(Process {
+                        trigger: Trigger::Initial,
+                        program: prog,
+                        reads,
+                        mem_reads,
+                    });
+                }
+                Item::Instance { module: child_name, name, param_overrides, connections, line } => {
+                    let child = self.file.module(child_name).ok_or_else(|| {
+                        HdlError::elab(format!(
+                            "module `{child_name}` not found (instance `{name}` line {line})"
+                        ))
+                    })?.clone();
+                    let child_prefix = scope.full(name);
+                    self.instantiate(&child, &child_prefix, param_overrides, &scope.params, false)?;
+                    // Wire up ports.
+                    let conns: Vec<(String, Option<Expr>)> = resolve_connections(&child, connections)
+                        .map_err(HdlError::elab)?;
+                    for (pname, expr) in conns {
+                        let port = child
+                            .ports
+                            .iter()
+                            .find(|p| p.name == pname)
+                            .ok_or_else(|| {
+                                HdlError::elab(format!(
+                                    "module `{child_name}` has no port `{pname}`"
+                                ))
+                            })?;
+                        let child_sig_name = format!("{child_prefix}.{pname}");
+                        let child_sig = self
+                            .design
+                            .signal(&child_sig_name)
+                            .expect("child port signal exists");
+                        let Some(expr) = expr else { continue };
+                        match port.dir {
+                            Direction::Input => {
+                                let w = self.design.signals[child_sig].width;
+                                let rhs = self.elab_expr(&expr, &scope, Some(w))?;
+                                self.push_cont_assign(ELValue::Signal(child_sig), rhs, *line);
+                            }
+                            Direction::Output => {
+                                let lhs_ast = expr_to_lvalue(&expr).ok_or_else(|| {
+                                    HdlError::elab(format!(
+                                        "output port `{pname}` connection must be assignable"
+                                    ))
+                                })?;
+                                let elhs = self.elab_lvalue(&lhs_ast, &scope)?;
+                                let rhs = EExpr {
+                                    width: self.design.signals[child_sig].width,
+                                    kind: EExprKind::Signal(child_sig),
+                                };
+                                self.push_cont_assign(elhs, rhs, *line);
+                            }
+                            Direction::Inout => {
+                                return Err(HdlError::elab("inout ports are not supported"))
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.depth -= 1;
+        Ok(())
+    }
+
+    fn push_cont_assign(&mut self, lhs: ELValue, rhs: EExpr, line: u32) {
+        let mut reads = Vec::new();
+        let mut mem_reads = Vec::new();
+        expr_reads(&rhs, &mut reads, &mut mem_reads);
+        // Dynamic lvalue indices are also reads.
+        lvalue_reads(&lhs, &mut reads, &mut mem_reads);
+        reads.sort_unstable();
+        reads.dedup();
+        mem_reads.sort_unstable();
+        mem_reads.dedup();
+        self.design.assigns.push(ContAssign { lhs, rhs, reads, mem_reads, line });
+    }
+
+    fn declare_signal(
+        &mut self,
+        full: String,
+        width: u32,
+        is_reg: bool,
+        init: Option<Value>,
+        line: u32,
+    ) -> Result<SignalId, HdlError> {
+        if self.design.by_name.contains_key(&full) {
+            return Err(HdlError::elab(format!("duplicate declaration `{full}`")));
+        }
+        let id = self.design.signals.len();
+        self.design
+            .signals
+            .push(SignalInfo { name: full.clone(), width, is_reg, init, line });
+        self.design.by_name.insert(full, NameRef::Sig(id));
+        Ok(id)
+    }
+
+    fn range_width(&mut self, range: &Option<ast::Range>, scope: &Scope) -> Result<u32, HdlError> {
+        match range {
+            None => Ok(1),
+            Some(r) => {
+                let msb = self
+                    .const_eval(&r.msb, scope)?
+                    .to_u64()
+                    .ok_or_else(|| HdlError::elab("X in range bound"))?;
+                let lsb = self
+                    .const_eval(&r.lsb, scope)?
+                    .to_u64()
+                    .ok_or_else(|| HdlError::elab("X in range bound"))?;
+                let w = (msb.max(lsb) - msb.min(lsb) + 1) as u32;
+                if w > MAX_WIDTH {
+                    return Err(HdlError::elab(format!(
+                        "width {w} exceeds the supported maximum of {MAX_WIDTH}"
+                    )));
+                }
+                Ok(w)
+            }
+        }
+    }
+
+    fn resolve_signal(&self, name: &str, scope: &Scope) -> Result<SignalId, HdlError> {
+        self.design
+            .signal(&scope.full(name))
+            .ok_or_else(|| HdlError::elab(format!("unknown signal `{}`", scope.full(name))))
+    }
+
+    // --- constant evaluation ---
+
+    fn const_eval(&mut self, e: &Expr, scope: &Scope) -> Result<Value, HdlError> {
+        match e {
+            Expr::Literal(v) => Ok(*v),
+            Expr::UnsizedLiteral(n) => Ok(Value::from_u64(32, *n)),
+            Expr::Ident(name) => scope
+                .params
+                .get(name)
+                .copied()
+                .ok_or_else(|| HdlError::elab(format!("`{name}` is not a constant"))),
+            Expr::Unary(op, a) => {
+                let av = self.const_eval(a, scope)?;
+                Ok(apply_unary(*op, &av))
+            }
+            Expr::Binary(op, a, b) => {
+                let av = self.const_eval(a, scope)?;
+                let bv = self.const_eval(b, scope)?;
+                Ok(apply_binary(*op, &av, &bv))
+            }
+            Expr::Ternary(c, t, f) => {
+                let cv = self.const_eval(c, scope)?;
+                match cv.truthy() {
+                    Some(true) => self.const_eval(t, scope),
+                    Some(false) => self.const_eval(f, scope),
+                    None => Err(HdlError::elab("X condition in constant expression")),
+                }
+            }
+            Expr::Concat(parts) => {
+                let mut acc: Option<Value> = None;
+                for p in parts {
+                    let v = self.const_eval(p, scope)?;
+                    acc = Some(match acc {
+                        None => v,
+                        Some(a) => a.concat(&v),
+                    });
+                }
+                acc.ok_or_else(|| HdlError::elab("empty concat"))
+            }
+            Expr::Replicate(n, body) => {
+                let nv = self
+                    .const_eval(n, scope)?
+                    .to_u64()
+                    .ok_or_else(|| HdlError::elab("X replication count"))?;
+                let b = self.const_eval(body, scope)?;
+                Ok(b.replicate(nv.max(1) as u32))
+            }
+            _ => Err(HdlError::elab("expression is not constant")),
+        }
+    }
+
+    // --- expression elaboration with context widths ---
+
+    /// Self-determined width of an expression.
+    fn self_width(&self, e: &Expr, scope: &Scope) -> Result<u32, HdlError> {
+        Ok(match e {
+            Expr::Literal(v) => v.width(),
+            Expr::UnsizedLiteral(_) => 32,
+            Expr::Ident(name) => {
+                if let Some(v) = scope.params.get(name) {
+                    v.width()
+                } else if let Some(s) = self.design.signal(&scope.full(name)) {
+                    self.design.signals[s].width
+                } else if let Some(m) = self.design.memory(&scope.full(name)) {
+                    self.design.mems[m].width
+                } else {
+                    return Err(HdlError::elab(format!(
+                        "unknown identifier `{}`",
+                        scope.full(name)
+                    )));
+                }
+            }
+            Expr::Index(base, _) => match &**base {
+                Expr::Ident(name) if self.design.memory(&scope.full(name)).is_some() => {
+                    self.design.mems[self.design.memory(&scope.full(name)).unwrap()].width
+                }
+                _ => 1,
+            },
+            Expr::PartSelect(_, hi, lo) => {
+                let scope2 = scope;
+                let h = self.const_width_bound(hi, scope2)?;
+                let l = self.const_width_bound(lo, scope2)?;
+                h.max(l) - h.min(l) + 1
+            }
+            Expr::Unary(op, a) => match op {
+                UnaryOp::Not | UnaryOp::Neg | UnaryOp::Plus => self.self_width(a, scope)?,
+                _ => 1,
+            },
+            Expr::Binary(op, a, b) => match op {
+                BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Rem
+                | BinaryOp::Pow | BinaryOp::And | BinaryOp::Or | BinaryOp::Xor | BinaryOp::Xnor => {
+                    self.self_width(a, scope)?.max(self.self_width(b, scope)?)
+                }
+                BinaryOp::Shl | BinaryOp::Shr | BinaryOp::AShl | BinaryOp::AShr => {
+                    self.self_width(a, scope)?
+                }
+                _ => 1,
+            },
+            Expr::Ternary(_, t, f) => self.self_width(t, scope)?.max(self.self_width(f, scope)?),
+            Expr::Concat(parts) => {
+                let mut w = 0;
+                for p in parts {
+                    w += self.self_width(p, scope)?;
+                }
+                w
+            }
+            Expr::Replicate(n, body) => {
+                // Replication count must be constant.
+                let pseudo_scope = scope;
+                let count = match self.try_const(n, pseudo_scope) {
+                    Some(v) => v.to_u64().unwrap_or(1) as u32,
+                    None => return Err(HdlError::elab("replication count must be constant")),
+                };
+                count.max(1) * self.self_width(body, scope)?
+            }
+        })
+    }
+
+    fn try_const(&self, e: &Expr, scope: &Scope) -> Option<Value> {
+        match e {
+            Expr::Literal(v) => Some(*v),
+            Expr::UnsizedLiteral(n) => Some(Value::from_u64(32, *n)),
+            Expr::Ident(name) => scope.params.get(name).copied(),
+            Expr::Binary(op, a, b) => {
+                let av = self.try_const(a, scope)?;
+                let bv = self.try_const(b, scope)?;
+                Some(apply_binary(*op, &av, &bv))
+            }
+            Expr::Unary(op, a) => Some(apply_unary(*op, &self.try_const(a, scope)?)),
+            _ => None,
+        }
+    }
+
+    fn const_width_bound(&self, e: &Expr, scope: &Scope) -> Result<u32, HdlError> {
+        self.try_const(e, scope)
+            .and_then(|v| v.to_u64())
+            .map(|v| v as u32)
+            .ok_or_else(|| HdlError::elab("part-select bound must be constant"))
+    }
+
+    fn elab_expr(&mut self, e: &Expr, scope: &Scope, ctx: Option<u32>) -> Result<EExpr, HdlError> {
+        let sw = self.self_width(e, scope)?;
+        let w = ctx.map_or(sw, |c| c.max(sw)).min(MAX_WIDTH);
+        let kind = match e {
+            Expr::Literal(v) => EExprKind::Const(v.resize(w)),
+            Expr::UnsizedLiteral(n) => EExprKind::Const(Value::from_u64(w.max(1), *n)),
+            Expr::Ident(name) => {
+                if let Some(v) = scope.params.get(name) {
+                    EExprKind::Const(v.resize(w.max(v.width())))
+                } else if let Some(s) = self.design.signal(&scope.full(name)) {
+                    EExprKind::Signal(s)
+                } else {
+                    return Err(HdlError::elab(format!(
+                        "`{}` used as a plain value",
+                        scope.full(name)
+                    )));
+                }
+            }
+            Expr::Index(base, idx) => {
+                let Expr::Ident(name) = &**base else {
+                    return Err(HdlError::elab("only identifiers can be indexed"));
+                };
+                let eidx = self.elab_expr(idx, scope, None)?;
+                if let Some(m) = self.design.memory(&scope.full(name)) {
+                    EExprKind::MemRead(m, Box::new(eidx))
+                } else {
+                    let s = self.resolve_signal(name, scope)?;
+                    EExprKind::BitSelect(s, Box::new(eidx))
+                }
+            }
+            Expr::PartSelect(base, hi, lo) => {
+                let Expr::Ident(name) = &**base else {
+                    return Err(HdlError::elab("only identifiers support part selects"));
+                };
+                let s = self.resolve_signal(name, scope)?;
+                let h = self.const_width_bound(hi, scope)?;
+                let l = self.const_width_bound(lo, scope)?;
+                EExprKind::PartSelect(s, h.max(l), h.min(l))
+            }
+            Expr::Unary(op, a) => {
+                let child_ctx = match op {
+                    UnaryOp::Not | UnaryOp::Neg | UnaryOp::Plus => Some(w),
+                    _ => None,
+                };
+                EExprKind::Unary(*op, Box::new(self.elab_expr(a, scope, child_ctx)?))
+            }
+            Expr::Binary(op, a, b) => {
+                use BinaryOp::*;
+                let (ca, cb) = match op {
+                    Add | Sub | Mul | Div | Rem | Pow | And | Or | Xor | Xnor => {
+                        (Some(w), Some(w))
+                    }
+                    Shl | Shr | AShl | AShr => (Some(w), None),
+                    Eq | Ne | CaseEq | CaseNe | Lt | Le | Gt | Ge => {
+                        let common =
+                            self.self_width(a, scope)?.max(self.self_width(b, scope)?);
+                        (Some(common), Some(common))
+                    }
+                    LogicAnd | LogicOr => (None, None),
+                };
+                EExprKind::Binary(
+                    *op,
+                    Box::new(self.elab_expr(a, scope, ca)?),
+                    Box::new(self.elab_expr(b, scope, cb)?),
+                )
+            }
+            Expr::Ternary(c, t, f) => EExprKind::Ternary(
+                Box::new(self.elab_expr(c, scope, None)?),
+                Box::new(self.elab_expr(t, scope, Some(w))?),
+                Box::new(self.elab_expr(f, scope, Some(w))?),
+            ),
+            Expr::Concat(parts) => {
+                let mut out = Vec::with_capacity(parts.len());
+                for p in parts {
+                    out.push(self.elab_expr(p, scope, None)?);
+                }
+                EExprKind::Concat(out)
+            }
+            Expr::Replicate(n, body) => {
+                let count = self
+                    .try_const(n, scope)
+                    .and_then(|v| v.to_u64())
+                    .ok_or_else(|| HdlError::elab("replication count must be constant"))?
+                    .max(1) as usize;
+                let inner = self.elab_expr(body, scope, None)?;
+                EExprKind::Concat(vec![inner; count])
+            }
+        };
+        Ok(EExpr { kind, width: w.max(1) })
+    }
+
+    fn elab_lvalue(&mut self, lv: &LValue, scope: &Scope) -> Result<ELValue, HdlError> {
+        Ok(match lv {
+            LValue::Ident(name) => {
+                if let Some(m) = self.design.memory(&scope.full(name)) {
+                    return Err(HdlError::elab(format!(
+                        "memory `{}` cannot be assigned as a whole",
+                        self.design.mems[m].name
+                    )));
+                }
+                ELValue::Signal(self.resolve_signal(name, scope)?)
+            }
+            LValue::Index(name, idx) => {
+                let eidx = self.elab_expr(idx, scope, None)?;
+                if let Some(m) = self.design.memory(&scope.full(name)) {
+                    ELValue::Mem(m, eidx)
+                } else {
+                    ELValue::Bit(self.resolve_signal(name, scope)?, eidx)
+                }
+            }
+            LValue::PartSelect(name, hi, lo) => {
+                let s = self.resolve_signal(name, scope)?;
+                let h = self.const_width_bound(hi, scope)?;
+                let l = self.const_width_bound(lo, scope)?;
+                ELValue::Range(s, h.max(l), h.min(l))
+            }
+            LValue::Concat(parts) => {
+                let mut out = Vec::with_capacity(parts.len());
+                for p in parts {
+                    out.push(self.elab_lvalue(p, scope)?);
+                }
+                ELValue::Concat(out)
+            }
+        })
+    }
+
+    // --- statement compilation ---
+
+    fn compile_stmt(&mut self, s: &Stmt, scope: &Scope, prog: &mut Program) -> Result<(), HdlError> {
+        match s {
+            Stmt::Empty => {}
+            Stmt::Block(stmts) => {
+                for st in stmts {
+                    self.compile_stmt(st, scope, prog)?;
+                }
+            }
+            Stmt::Blocking { lhs, rhs, line } | Stmt::NonBlocking { lhs, rhs, line } => {
+                let nonblocking = matches!(s, Stmt::NonBlocking { .. });
+                let elhs = self.elab_lvalue(lhs, scope)?;
+                let w = elhs.width(self.design);
+                let erhs = self.elab_expr(rhs, scope, Some(w))?;
+                prog.instrs.push(Instr::Assign { lhs: elhs, rhs: erhs, nonblocking, line: *line });
+            }
+            Stmt::If { cond, then_branch, else_branch, .. } => {
+                let econd = self.elab_expr(cond, scope, None)?;
+                let jif = prog.instrs.len();
+                prog.instrs.push(Instr::JumpIfFalse { cond: econd, target: 0 });
+                self.compile_stmt(then_branch, scope, prog)?;
+                if let Some(els) = else_branch {
+                    let jend = prog.instrs.len();
+                    prog.instrs.push(Instr::Jump(0));
+                    let else_start = prog.instrs.len();
+                    patch_jump(&mut prog.instrs[jif], else_start);
+                    self.compile_stmt(els, scope, prog)?;
+                    let end = prog.instrs.len();
+                    patch_jump(&mut prog.instrs[jend], end);
+                } else {
+                    let end = prog.instrs.len();
+                    patch_jump(&mut prog.instrs[jif], end);
+                }
+            }
+            Stmt::Case { subject, wildcard, arms, default, .. } => {
+                let esub = self.elab_expr(subject, scope, None)?;
+                let dispatch_at = prog.instrs.len();
+                prog.instrs.push(Instr::Halt); // placeholder
+                let mut arm_info = Vec::new();
+                let mut jumps_to_end = Vec::new();
+                for arm in arms {
+                    let mut labels = Vec::new();
+                    for l in &arm.labels {
+                        labels.push(self.elab_expr(l, scope, Some(esub.width))?);
+                    }
+                    let start = prog.instrs.len();
+                    self.compile_stmt(&arm.body, scope, prog)?;
+                    jumps_to_end.push(prog.instrs.len());
+                    prog.instrs.push(Instr::Jump(0));
+                    arm_info.push((labels, start));
+                }
+                let default_start = prog.instrs.len();
+                if let Some(d) = default {
+                    self.compile_stmt(d, scope, prog)?;
+                }
+                let end = prog.instrs.len();
+                for j in jumps_to_end {
+                    patch_jump(&mut prog.instrs[j], end);
+                }
+                prog.instrs[dispatch_at] = Instr::CaseDispatch {
+                    subject: esub,
+                    wildcard: *wildcard,
+                    arms: arm_info,
+                    default: default_start,
+                };
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                self.compile_stmt(init, scope, prog)?;
+                let loop_start = prog.instrs.len();
+                let econd = self.elab_expr(cond, scope, None)?;
+                let jexit = prog.instrs.len();
+                prog.instrs.push(Instr::JumpIfFalse { cond: econd, target: 0 });
+                self.compile_stmt(body, scope, prog)?;
+                self.compile_stmt(step, scope, prog)?;
+                prog.instrs.push(Instr::Jump(loop_start));
+                let end = prog.instrs.len();
+                patch_jump(&mut prog.instrs[jexit], end);
+            }
+            Stmt::Delay { amount, stmt, .. } => {
+                prog.instrs.push(Instr::Delay(*amount));
+                if let Some(st) = stmt {
+                    self.compile_stmt(st, scope, prog)?;
+                }
+            }
+            Stmt::Display { newline, fmt, args, .. } => {
+                let mut eargs = Vec::new();
+                for a in args {
+                    eargs.push(self.elab_expr(a, scope, None)?);
+                }
+                prog.instrs.push(Instr::Display { newline: *newline, fmt: fmt.clone(), args: eargs });
+            }
+            Stmt::ErrorTask { fmt, args, .. } => {
+                let mut eargs = Vec::new();
+                for a in args {
+                    eargs.push(self.elab_expr(a, scope, None)?);
+                }
+                prog.instrs.push(Instr::ErrorTask { fmt: fmt.clone(), args: eargs });
+            }
+            Stmt::Finish { .. } => prog.instrs.push(Instr::Finish),
+        }
+        Ok(())
+    }
+}
+
+fn patch_jump(i: &mut Instr, target_val: usize) {
+    match i {
+        Instr::Jump(t) => *t = target_val,
+        Instr::JumpIfFalse { target, .. } => *target = target_val,
+        _ => unreachable!("patching a non-jump"),
+    }
+}
+
+/// Resolves positional/named connections into `(port, expr)` pairs.
+fn resolve_connections(
+    child: &ast::Module,
+    conns: &[ast::Connection],
+) -> Result<Vec<(String, Option<Expr>)>, String> {
+    let mut out = Vec::new();
+    let mut positional = 0usize;
+    for c in conns {
+        match c {
+            ast::Connection::Named(name, e) => out.push((name.clone(), e.clone())),
+            ast::Connection::Positional(e) => {
+                let port = child
+                    .ports
+                    .get(positional)
+                    .ok_or_else(|| format!("too many positional connections for `{}`", child.name))?;
+                out.push((port.name.clone(), Some(e.clone())));
+                positional += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Converts an expression used as an output connection into an lvalue.
+fn expr_to_lvalue(e: &Expr) -> Option<LValue> {
+    match e {
+        Expr::Ident(n) => Some(LValue::Ident(n.clone())),
+        Expr::Index(base, idx) => match &**base {
+            Expr::Ident(n) => Some(LValue::Index(n.clone(), (**idx).clone())),
+            _ => None,
+        },
+        Expr::PartSelect(base, hi, lo) => match &**base {
+            Expr::Ident(n) => Some(LValue::PartSelect(n.clone(), (**hi).clone(), (**lo).clone())),
+            _ => None,
+        },
+        Expr::Concat(parts) => {
+            let mut out = Vec::new();
+            for p in parts {
+                out.push(expr_to_lvalue(p)?);
+            }
+            Some(LValue::Concat(out))
+        }
+        _ => None,
+    }
+}
+
+/// Collects signals/memories read by an expression.
+pub fn expr_reads(e: &EExpr, sigs: &mut Vec<SignalId>, mems: &mut Vec<MemId>) {
+    match &e.kind {
+        EExprKind::Const(_) => {}
+        EExprKind::Signal(s) => sigs.push(*s),
+        EExprKind::MemRead(m, idx) => {
+            mems.push(*m);
+            expr_reads(idx, sigs, mems);
+        }
+        EExprKind::BitSelect(s, idx) => {
+            sigs.push(*s);
+            expr_reads(idx, sigs, mems);
+        }
+        EExprKind::PartSelect(s, _, _) => sigs.push(*s),
+        EExprKind::Unary(_, a) => expr_reads(a, sigs, mems),
+        EExprKind::Binary(_, a, b) => {
+            expr_reads(a, sigs, mems);
+            expr_reads(b, sigs, mems);
+        }
+        EExprKind::Ternary(c, t, f) => {
+            expr_reads(c, sigs, mems);
+            expr_reads(t, sigs, mems);
+            expr_reads(f, sigs, mems);
+        }
+        EExprKind::Concat(parts) => {
+            for p in parts {
+                expr_reads(p, sigs, mems);
+            }
+        }
+    }
+}
+
+fn lvalue_reads(lv: &ELValue, sigs: &mut Vec<SignalId>, mems: &mut Vec<MemId>) {
+    match lv {
+        ELValue::Signal(_) | ELValue::Range(..) => {}
+        ELValue::Bit(_, idx) | ELValue::Mem(_, idx) => expr_reads(idx, sigs, mems),
+        ELValue::Concat(parts) => {
+            for p in parts {
+                lvalue_reads(p, sigs, mems);
+            }
+        }
+    }
+}
+
+/// Collects the read sets of a whole program.
+pub fn program_reads(prog: &Program) -> (Vec<SignalId>, Vec<MemId>) {
+    let mut sigs = Vec::new();
+    let mut mems = Vec::new();
+    for i in &prog.instrs {
+        match i {
+            Instr::Assign { lhs, rhs, .. } => {
+                expr_reads(rhs, &mut sigs, &mut mems);
+                lvalue_reads(lhs, &mut sigs, &mut mems);
+            }
+            Instr::JumpIfFalse { cond, .. } => expr_reads(cond, &mut sigs, &mut mems),
+            Instr::CaseDispatch { subject, arms, .. } => {
+                expr_reads(subject, &mut sigs, &mut mems);
+                for (labels, _) in arms {
+                    for l in labels {
+                        expr_reads(l, &mut sigs, &mut mems);
+                    }
+                }
+            }
+            Instr::Display { args, .. } | Instr::ErrorTask { args, .. } => {
+                for a in args {
+                    expr_reads(a, &mut sigs, &mut mems);
+                }
+            }
+            _ => {}
+        }
+    }
+    sigs.sort_unstable();
+    sigs.dedup();
+    mems.sort_unstable();
+    mems.dedup();
+    (sigs, mems)
+}
+
+/// Applies a unary operator to a value (shared by const-eval and the
+/// simulator).
+pub fn apply_unary(op: UnaryOp, a: &Value) -> Value {
+    match op {
+        UnaryOp::Not => a.not(),
+        UnaryOp::LogicNot => a.logic_not(),
+        UnaryOp::Neg => a.neg(),
+        UnaryOp::Plus => *a,
+        UnaryOp::RedAnd => a.reduce_and(),
+        UnaryOp::RedOr => a.reduce_or(),
+        UnaryOp::RedXor => a.reduce_xor(),
+        UnaryOp::RedNand => a.reduce_and().not(),
+        UnaryOp::RedNor => a.reduce_or().not(),
+        UnaryOp::RedXnor => a.reduce_xor().not(),
+    }
+}
+
+/// Applies a binary operator to two values.
+pub fn apply_binary(op: BinaryOp, a: &Value, b: &Value) -> Value {
+    use BinaryOp::*;
+    match op {
+        Add => a.add(b),
+        Sub => a.sub(b),
+        Mul => a.mul(b),
+        Div => a.div(b),
+        Rem => a.rem(b),
+        Pow => match (a.to_u128(), b.to_u128()) {
+            (Some(x), Some(y)) => {
+                let mut acc: u128 = 1;
+                for _ in 0..y.min(MAX_WIDTH as u128) {
+                    acc = acc.wrapping_mul(x);
+                }
+                Value::from_u128(a.width().max(b.width()), acc)
+            }
+            _ => Value::all_x(a.width().max(b.width())),
+        },
+        And => a.and(b),
+        Or => a.or(b),
+        Xor => a.xor(b),
+        Xnor => a.xor(b).not(),
+        LogicAnd => match (a.truthy(), b.truthy()) {
+            (Some(false), _) | (_, Some(false)) => Value::bit(false),
+            (Some(true), Some(true)) => Value::bit(true),
+            _ => Value::all_x(1),
+        },
+        LogicOr => match (a.truthy(), b.truthy()) {
+            (Some(true), _) | (_, Some(true)) => Value::bit(true),
+            (Some(false), Some(false)) => Value::bit(false),
+            _ => Value::all_x(1),
+        },
+        Eq => a.eq_logic(b),
+        Ne => a.ne_logic(b),
+        CaseEq => Value::bit(a.case_eq(b)),
+        CaseNe => Value::bit(!a.case_eq(b)),
+        Lt => a.lt(b),
+        Le => a.le(b),
+        Gt => a.gt(b),
+        Ge => a.ge(b),
+        Shl | AShl => a.shl(b),
+        Shr => a.shr(b),
+        AShr => a.ashr(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn elab(src: &str, top: &str) -> Design {
+        elaborate(&parse(src).unwrap(), top).unwrap()
+    }
+
+    #[test]
+    fn widths_resolved_from_params() {
+        let d = elab(
+            "module m #(parameter W = 8)(input [W-1:0] a, output [2*W-1:0] y);
+             assign y = {a, a}; endmodule",
+            "m",
+        );
+        assert_eq!(d.signals[d.signal("a").unwrap()].width, 8);
+        assert_eq!(d.signals[d.signal("y").unwrap()].width, 16);
+    }
+
+    #[test]
+    fn localparam_usable_in_ranges() {
+        let d = elab(
+            "module m(); localparam N = 4; wire [N-1:0] x; endmodule",
+            "m",
+        );
+        assert_eq!(d.signals[d.signal("x").unwrap()].width, 4);
+    }
+
+    #[test]
+    fn context_width_keeps_carry() {
+        let d = elab(
+            "module m(input [3:0] a, b, output [4:0] s); assign s = a + b; endmodule",
+            "m",
+        );
+        // RHS of the assign must be widened to 5 bits.
+        assert_eq!(d.assigns[0].rhs.width, 5);
+    }
+
+    #[test]
+    fn instance_flattening_names() {
+        let src = "
+          module inv(input a, output y); assign y = ~a; endmodule
+          module top(input x, output z);
+            wire w;
+            inv u0(.a(x), .y(w));
+            inv u1(.a(w), .y(z));
+          endmodule";
+        let d = elab(src, "top");
+        assert!(d.signal("u0.a").is_some());
+        assert!(d.signal("u1.y").is_some());
+        // 2 port connections per instance + 2 internal assigns = 6 assigns.
+        assert_eq!(d.assigns.len(), 6);
+    }
+
+    #[test]
+    fn parameter_override_through_instance() {
+        let src = "
+          module w #(parameter N = 2)(output [N-1:0] y); assign y = {N{1'b1}}; endmodule
+          module top(output [7:0] z); w #(.N(8)) u(.y(z)); endmodule";
+        let d = elab(src, "top");
+        assert_eq!(d.signals[d.signal("u.y").unwrap()].width, 8);
+    }
+
+    #[test]
+    fn memory_declared() {
+        let d = elab("module m(); reg [7:0] ram [0:15]; endmodule", "m");
+        let mem = d.memory("ram").unwrap();
+        assert_eq!(d.mems[mem].depth, 16);
+        assert_eq!(d.mems[mem].width, 8);
+    }
+
+    #[test]
+    fn unknown_signal_is_elab_error() {
+        let r = elaborate(
+            &parse("module m(output y); assign y = nope; endmodule").unwrap(),
+            "m",
+        );
+        assert!(matches!(r, Err(HdlError::Elab { .. })));
+    }
+
+    #[test]
+    fn missing_module_reported() {
+        let r = elaborate(&parse("module m(); endmodule").unwrap(), "other");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn case_compiles_to_dispatch() {
+        let d = elab(
+            "module m(input [1:0] s, output reg y);
+              always @* case (s) 2'd0: y = 1'b1; default: y = 1'b0; endcase
+            endmodule",
+            "m",
+        );
+        assert!(d.processes[0]
+            .program
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::CaseDispatch { .. })));
+    }
+
+    #[test]
+    fn comb_reads_inferred() {
+        let d = elab(
+            "module m(input a, b, output reg y); always @* y = a & b; endmodule",
+            "m",
+        );
+        assert_eq!(d.processes[0].reads.len(), 2);
+    }
+
+    #[test]
+    fn top_params_overridable() {
+        let f = parse("module m #(parameter W=4)(output [W-1:0] y); assign y = 0; endmodule")
+            .unwrap();
+        let d =
+            elaborate_with_params(&f, "m", &[("W".into(), Value::from_u64(32, 9))]).unwrap();
+        assert_eq!(d.ports[0].width, 9);
+    }
+}

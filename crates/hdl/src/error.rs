@@ -1,0 +1,77 @@
+//! Error types shared across the HDL crate.
+
+use std::fmt;
+
+/// Error raised by lexing, parsing, elaboration, or simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HdlError {
+    /// Lexical error at `line`.
+    Lex { line: u32, msg: String },
+    /// Syntax error at `line`.
+    Parse { line: u32, msg: String },
+    /// Elaboration (semantic) error.
+    Elab { msg: String },
+    /// Runtime simulation error (e.g. activity limit exceeded).
+    Sim { msg: String },
+}
+
+impl HdlError {
+    pub(crate) fn lex(line: u32, msg: impl Into<String>) -> Self {
+        HdlError::Lex { line, msg: msg.into() }
+    }
+
+    pub(crate) fn parse(line: u32, msg: impl Into<String>) -> Self {
+        HdlError::Parse { line, msg: msg.into() }
+    }
+
+    /// Creates an elaboration error.
+    pub fn elab(msg: impl Into<String>) -> Self {
+        HdlError::Elab { msg: msg.into() }
+    }
+
+    /// Creates a simulation error.
+    pub fn sim(msg: impl Into<String>) -> Self {
+        HdlError::Sim { msg: msg.into() }
+    }
+
+    /// Short category tag used by frameworks when formatting tool feedback.
+    pub fn category(&self) -> &'static str {
+        match self {
+            HdlError::Lex { .. } => "lex",
+            HdlError::Parse { .. } => "parse",
+            HdlError::Elab { .. } => "elaboration",
+            HdlError::Sim { .. } => "simulation",
+        }
+    }
+}
+
+impl fmt::Display for HdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdlError::Lex { line, msg } => write!(f, "lex error at line {line}: {msg}"),
+            HdlError::Parse { line, msg } => write!(f, "syntax error at line {line}: {msg}"),
+            HdlError::Elab { msg } => write!(f, "elaboration error: {msg}"),
+            HdlError::Sim { msg } => write!(f, "simulation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HdlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = HdlError::parse(7, "expected `;`");
+        assert_eq!(e.to_string(), "syntax error at line 7: expected `;`");
+        assert_eq!(e.category(), "parse");
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error + Send + Sync> = Box::new(HdlError::elab("x"));
+        assert!(e.to_string().contains("elaboration"));
+    }
+}

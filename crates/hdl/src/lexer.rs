@@ -1,0 +1,511 @@
+//! Tokenizer for the Verilog subset.
+
+use crate::error::HdlError;
+use std::fmt;
+
+/// A lexical token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+/// Token kinds produced by [`lex`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Ident(String),
+    /// Unsized decimal literal, e.g. `42`.
+    Number(u64),
+    /// Sized/based literal, e.g. `8'hFF`, `4'b10x0`. Width 0 means unsized base literal (`'h3`).
+    Based { width: u32, bits: u64, xmask: u64 },
+    StringLit(String),
+    /// System task, e.g. `$display` (name without `$`).
+    SysIdent(String),
+    // keywords
+    Module, Endmodule, Input, Output, Inout, Wire, Reg, Integer, Assign,
+    Always, Initial, Begin, End, If, Else, Case, Casez, Endcase, Default,
+    For, Posedge, Negedge, Or, Parameter, Localparam, Genvar, Generate,
+    EndGenerate, Signed, Function, Endfunction,
+    // punctuation / operators
+    LParen, RParen, LBracket, RBracket, LBrace, RBrace,
+    Comma, Semi, Colon, Hash, Dot, At, Question,
+    Assign2,      // =
+    LeAssign,     // <=  (also less-equal; disambiguated by parser context)
+    Plus, Minus, Star, Slash, Percent,
+    Amp, AmpAmp, Pipe, PipePipe, Caret, TildeCaret, Tilde, TildeAmp, TildePipe,
+    Bang, BangEq, EqEq, EqEqEq, BangEqEq,
+    Lt, Gt, GtEq,
+    Shl, Shr, AShl, AShr,
+    Star2, // ** (power, constant contexts only)
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+fn keyword(s: &str) -> Option<TokenKind> {
+    use TokenKind::*;
+    Some(match s {
+        "module" => Module,
+        "endmodule" => Endmodule,
+        "input" => Input,
+        "output" => Output,
+        "inout" => Inout,
+        "wire" => Wire,
+        "reg" => Reg,
+        "integer" => Integer,
+        "assign" => Assign,
+        "always" => Always,
+        "initial" => Initial,
+        "begin" => Begin,
+        "end" => End,
+        "if" => If,
+        "else" => Else,
+        "case" => Case,
+        "casez" => Casez,
+        "endcase" => Endcase,
+        "default" => Default,
+        "for" => For,
+        "posedge" => Posedge,
+        "negedge" => Negedge,
+        "or" => Or,
+        "parameter" => Parameter,
+        "localparam" => Localparam,
+        "genvar" => Genvar,
+        "generate" => Generate,
+        "endgenerate" => EndGenerate,
+        "signed" => Signed,
+        "function" => Function,
+        "endfunction" => Endfunction,
+        _ => return None,
+    })
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<(), HdlError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(HdlError::lex(start, "unterminated block comment"))
+                            }
+                        }
+                    }
+                }
+                // `timescale and other compiler directives: skip the line.
+                Some(b'`') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn read_ident(&mut self) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'$' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn read_based(&mut self, width: u32) -> Result<TokenKind, HdlError> {
+        // At a `'`; consume it and the base char.
+        self.bump();
+        let base = self
+            .bump()
+            .ok_or_else(|| HdlError::lex(self.line, "truncated based literal"))?
+            .to_ascii_lowercase();
+        let radix: u32 = match base {
+            b'b' => 2,
+            b'o' => 8,
+            b'd' => 10,
+            b'h' => 16,
+            _ => return Err(HdlError::lex(self.line, "unknown literal base")),
+        };
+        let bits_per = match radix {
+            2 => 1,
+            8 => 3,
+            16 => 4,
+            _ => 0,
+        };
+        let mut bits: u64 = 0;
+        let mut xmask: u64 = 0;
+        let mut saw_digit = false;
+        while let Some(c) = self.peek() {
+            let cl = c.to_ascii_lowercase();
+            if cl == b'_' {
+                self.bump();
+                continue;
+            }
+            if (cl == b'x' || cl == b'z') && radix != 10 {
+                saw_digit = true;
+                self.bump();
+                bits <<= bits_per;
+                xmask = (xmask << bits_per) | ((1u64 << bits_per) - 1);
+                continue;
+            }
+            let d = (cl as char).to_digit(radix);
+            match d {
+                Some(d) => {
+                    saw_digit = true;
+                    self.bump();
+                    if radix == 10 {
+                        bits = bits.wrapping_mul(10).wrapping_add(d as u64);
+                    } else {
+                        bits = (bits << bits_per) | d as u64;
+                        xmask <<= bits_per;
+                    }
+                }
+                None => break,
+            }
+        }
+        if !saw_digit {
+            return Err(HdlError::lex(self.line, "based literal without digits"));
+        }
+        Ok(TokenKind::Based { width, bits, xmask })
+    }
+}
+
+/// Tokenizes Verilog source text.
+///
+/// # Errors
+///
+/// Returns [`HdlError::Lex`] on malformed literals, unterminated comments or
+/// strings, and unrecognized characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, HdlError> {
+    let mut lx = Lexer { src: src.as_bytes(), pos: 0, line: 1 };
+    let mut out = Vec::new();
+    loop {
+        lx.skip_ws_and_comments()?;
+        let line = lx.line;
+        let Some(c) = lx.peek() else { break };
+        use TokenKind::*;
+        let kind = match c {
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let id = lx.read_ident();
+                // Could be `8'hFF`-style with identifier start? No: those begin with digits.
+                keyword(&id).unwrap_or(Ident(id))
+            }
+            b'$' => {
+                lx.bump();
+                SysIdent(lx.read_ident())
+            }
+            b'0'..=b'9' => {
+                let start = lx.pos;
+                while let Some(d) = lx.peek() {
+                    if d.is_ascii_digit() || d == b'_' {
+                        lx.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = String::from_utf8_lossy(&lx.src[start..lx.pos])
+                    .chars()
+                    .filter(|c| *c != '_')
+                    .collect();
+                let n: u64 = text
+                    .parse()
+                    .map_err(|_| HdlError::lex(line, "integer literal overflow"))?;
+                if lx.peek() == Some(b'\'') {
+                    lx.read_based(n as u32)?
+                } else {
+                    Number(n)
+                }
+            }
+            b'\'' => lx.read_based(0)?,
+            b'"' => {
+                lx.bump();
+                let mut s = String::new();
+                loop {
+                    match lx.bump() {
+                        Some(b'"') => break,
+                        Some(b'\\') => match lx.bump() {
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(c) => s.push(c as char),
+                            None => return Err(HdlError::lex(line, "unterminated string")),
+                        },
+                        Some(c) => s.push(c as char),
+                        None => return Err(HdlError::lex(line, "unterminated string")),
+                    }
+                }
+                StringLit(s)
+            }
+            _ => {
+                lx.bump();
+                match c {
+                    b'(' => LParen,
+                    b')' => RParen,
+                    b'[' => LBracket,
+                    b']' => RBracket,
+                    b'{' => LBrace,
+                    b'}' => RBrace,
+                    b',' => Comma,
+                    b';' => Semi,
+                    b':' => Colon,
+                    b'#' => Hash,
+                    b'.' => Dot,
+                    b'@' => At,
+                    b'?' => Question,
+                    b'+' => Plus,
+                    b'-' => Minus,
+                    b'*' => {
+                        if lx.peek() == Some(b'*') {
+                            lx.bump();
+                            Star2
+                        } else {
+                            Star
+                        }
+                    }
+                    b'/' => Slash,
+                    b'%' => Percent,
+                    b'&' => {
+                        if lx.peek() == Some(b'&') {
+                            lx.bump();
+                            AmpAmp
+                        } else {
+                            Amp
+                        }
+                    }
+                    b'|' => {
+                        if lx.peek() == Some(b'|') {
+                            lx.bump();
+                            PipePipe
+                        } else {
+                            Pipe
+                        }
+                    }
+                    b'^' => {
+                        if lx.peek() == Some(b'~') {
+                            lx.bump();
+                            TildeCaret
+                        } else {
+                            Caret
+                        }
+                    }
+                    b'~' => match lx.peek() {
+                        Some(b'&') => {
+                            lx.bump();
+                            TildeAmp
+                        }
+                        Some(b'|') => {
+                            lx.bump();
+                            TildePipe
+                        }
+                        Some(b'^') => {
+                            lx.bump();
+                            TildeCaret
+                        }
+                        _ => Tilde,
+                    },
+                    b'!' => match lx.peek() {
+                        Some(b'=') => {
+                            lx.bump();
+                            if lx.peek() == Some(b'=') {
+                                lx.bump();
+                                BangEqEq
+                            } else {
+                                BangEq
+                            }
+                        }
+                        _ => Bang,
+                    },
+                    b'=' => match lx.peek() {
+                        Some(b'=') => {
+                            lx.bump();
+                            if lx.peek() == Some(b'=') {
+                                lx.bump();
+                                EqEqEq
+                            } else {
+                                EqEq
+                            }
+                        }
+                        _ => Assign2,
+                    },
+                    b'<' => match lx.peek() {
+                        Some(b'=') => {
+                            lx.bump();
+                            LeAssign
+                        }
+                        Some(b'<') => {
+                            lx.bump();
+                            if lx.peek() == Some(b'<') {
+                                lx.bump();
+                                AShl
+                            } else {
+                                Shl
+                            }
+                        }
+                        _ => Lt,
+                    },
+                    b'>' => match lx.peek() {
+                        Some(b'=') => {
+                            lx.bump();
+                            GtEq
+                        }
+                        Some(b'>') => {
+                            lx.bump();
+                            if lx.peek() == Some(b'>') {
+                                lx.bump();
+                                AShr
+                            } else {
+                                Shr
+                            }
+                        }
+                        _ => Gt,
+                    },
+                    _ => {
+                        return Err(HdlError::lex(
+                            line,
+                            format!("unexpected character {:?}", c as char),
+                        ))
+                    }
+                }
+            }
+        };
+        out.push(Token { kind, line });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_module_header() {
+        let k = kinds("module top(input a, output b);");
+        assert_eq!(k[0], TokenKind::Module);
+        assert!(matches!(&k[1], TokenKind::Ident(s) if s == "top"));
+        assert_eq!(*k.last().unwrap(), TokenKind::Semi);
+    }
+
+    #[test]
+    fn lex_based_literals() {
+        let k = kinds("8'hFF 4'b10x0 12'd100 'h3");
+        assert_eq!(k[0], TokenKind::Based { width: 8, bits: 0xff, xmask: 0 });
+        assert_eq!(
+            k[1],
+            TokenKind::Based { width: 4, bits: 0b1000, xmask: 0b0010 }
+        );
+        assert_eq!(k[2], TokenKind::Based { width: 12, bits: 100, xmask: 0 });
+        assert_eq!(k[3], TokenKind::Based { width: 0, bits: 3, xmask: 0 });
+    }
+
+    #[test]
+    fn lex_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a <= b == c !== d >>> 2 <<< 1"),
+            vec![
+                Ident("a".into()),
+                LeAssign,
+                Ident("b".into()),
+                EqEq,
+                Ident("c".into()),
+                BangEqEq,
+                Ident("d".into()),
+                AShr,
+                Number(2),
+                AShl,
+                Number(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_directives_skipped() {
+        let k = kinds("// line\n/* block\nspanning */ `timescale 1ns/1ps\nwire");
+        assert_eq!(k, vec![TokenKind::Wire]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let k = kinds(r#""a\nb""#);
+        assert_eq!(k, vec![TokenKind::StringLit("a\nb".into())]);
+    }
+
+    #[test]
+    fn underscores_in_numbers() {
+        assert_eq!(kinds("1_000"), vec![TokenKind::Number(1000)]);
+        assert_eq!(
+            kinds("8'b1010_1010"),
+            vec![TokenKind::Based { width: 8, bits: 0xaa, xmask: 0 }]
+        );
+    }
+
+    #[test]
+    fn error_on_bad_char() {
+        assert!(lex("\\bad").is_err());
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("wire\n\nreg").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 3);
+    }
+}

@@ -1,0 +1,86 @@
+//! # eda-hdl — Verilog-subset frontend and event-driven simulator
+//!
+//! This crate is the RTL substrate for the `llm4eda` workspace: a
+//! from-scratch Verilog subset with a lexer, parser, elaborator,
+//! four-state-lite (`0/1/X`) event-driven simulator, lint checks, a vector
+//! testbench harness, and a source emitter. It plays the role that Icarus
+//! Verilog plays in the paper's AutoChip flow: compiling candidate RTL,
+//! reporting syntax/elaboration errors as feedback, and scoring designs by
+//! the fraction of testbench checks they pass.
+//!
+//! ## Quick start
+//!
+//! ```
+//! # fn main() -> Result<(), eda_hdl::HdlError> {
+//! use eda_hdl::{parse, elaborate, Simulator, Value};
+//!
+//! let src = "module mux(input s, a, b, output y);
+//!              assign y = s ? b : a;
+//!            endmodule";
+//! let design = elaborate(&parse(src)?, "mux")?;
+//! let mut sim = Simulator::new(&design);
+//! sim.poke("s", Value::bit(true))?;
+//! sim.poke("a", Value::bit(false))?;
+//! sim.poke("b", Value::bit(true))?;
+//! sim.settle()?;
+//! assert_eq!(sim.peek("y")?.to_u64(), Some(1));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Scope notes
+//!
+//! * Values are unsigned; `signed` is accepted and ignored.
+//! * `Z` is not modeled (no tri-state); `X` is fully propagated.
+//! * Maximum signal width is 128 bits.
+//! * `#delay` statements are supported in `initial` processes and as
+//!   `always #n` clock generators.
+
+pub mod ast;
+pub mod elab;
+pub mod emit;
+pub mod error;
+pub mod lexer;
+pub mod lint;
+pub mod parser;
+pub mod sim;
+pub mod testbench;
+pub mod value;
+
+pub use elab::{elaborate, elaborate_with_params, Design};
+pub use emit::{emit_file, emit_module};
+pub use error::HdlError;
+pub use lint::{lint_module, LintKind, LintWarning};
+pub use parser::parse;
+pub use sim::{clock_cycles, io_ports, run_testbench, SimLimits, SimStats, Simulator, TbRun};
+pub use testbench::{check_source, run_vectors, Mismatch, TbReport, TestVector, VectorTest};
+pub use value::Value;
+
+/// Compiles source text down to an elaborated design in one call,
+/// returning the first error encountered — the "EDA tool feedback" used by
+/// generation loops.
+///
+/// # Errors
+///
+/// Returns [`HdlError`] from lexing, parsing, or elaboration.
+pub fn compile(src: &str, top: &str) -> Result<Design, HdlError> {
+    elaborate(&parse(src)?, top)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_reports_first_error() {
+        assert!(compile("module m(; endmodule", "m").is_err());
+        assert!(compile("module m(); endmodule", "m").is_ok());
+    }
+
+    #[test]
+    fn send_sync_errors() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HdlError>();
+        assert_send_sync::<Value>();
+    }
+}

@@ -1,0 +1,411 @@
+//! Static analysis (lint) over parsed modules.
+//!
+//! The checks target the bug classes that matter for LLM-generated RTL and
+//! that the paper's feedback loops rely on detecting early: multiple
+//! drivers, blocking assignments in sequential blocks, nonblocking
+//! assignments in combinational blocks, latch-prone incomplete branches,
+//! unused signals, and undriven outputs.
+
+use crate::ast::{Direction, Item, LValue, Module, NetKind, Sensitivity, Stmt, Expr};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Category of a lint finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintKind {
+    MultipleDrivers,
+    BlockingInSequential,
+    NonblockingInCombinational,
+    CaseWithoutDefault,
+    IfWithoutElse,
+    UnusedSignal,
+    UndrivenOutput,
+    DelayInAlways,
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LintKind::MultipleDrivers => "multiple-drivers",
+            LintKind::BlockingInSequential => "blocking-in-sequential",
+            LintKind::NonblockingInCombinational => "nonblocking-in-combinational",
+            LintKind::CaseWithoutDefault => "case-without-default",
+            LintKind::IfWithoutElse => "if-without-else",
+            LintKind::UnusedSignal => "unused-signal",
+            LintKind::UndrivenOutput => "undriven-output",
+            LintKind::DelayInAlways => "delay-in-always",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintWarning {
+    pub kind: LintKind,
+    pub message: String,
+    pub line: u32,
+}
+
+impl fmt::Display for LintWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] line {}: {}", self.kind, self.line, self.message)
+    }
+}
+
+/// Runs all checks over one module.
+pub fn lint_module(module: &Module) -> Vec<LintWarning> {
+    let mut warnings = Vec::new();
+    let mut drivers: HashMap<String, u32> = HashMap::new();
+    let mut reads: HashSet<String> = HashSet::new();
+    let mut declared: Vec<(String, u32)> = Vec::new();
+
+    for p in &module.ports {
+        declared.push((p.name.clone(), p.line));
+        if p.dir == Direction::Input {
+            // Inputs are externally driven; count as driven and read-exempt.
+            drivers.insert(p.name.clone(), 1);
+            reads.insert(p.name.clone());
+        }
+    }
+
+    for item in &module.items {
+        match item {
+            Item::Net { names, line, kind, .. } => {
+                for n in names {
+                    if !module.ports.iter().any(|p| p.name == n.name) {
+                        declared.push((n.name.clone(), *line));
+                    }
+                    if n.init.is_some() && *kind != NetKind::Wire {
+                        *drivers.entry(n.name.clone()).or_insert(0) += 0; // init is not a driver
+                    }
+                    if let Some(e) = &n.init {
+                        collect_expr_reads(e, &mut reads);
+                    }
+                }
+            }
+            Item::Assign { lhs, rhs, .. } => {
+                for t in lvalue_targets(lhs) {
+                    *drivers.entry(t).or_insert(0) += 1;
+                }
+                collect_expr_reads(rhs, &mut reads);
+                collect_lvalue_index_reads(lhs, &mut reads);
+            }
+            Item::Always { sensitivity, body, line } => {
+                let is_seq = matches!(sensitivity, Sensitivity::Edges(_));
+                let is_comb = matches!(sensitivity, Sensitivity::Comb(_));
+                let mut targets = HashSet::new();
+                walk_stmt(body, &mut |s| {
+                    match s {
+                        Stmt::Blocking { lhs, rhs, line } => {
+                            if is_seq {
+                                warnings.push(LintWarning {
+                                    kind: LintKind::BlockingInSequential,
+                                    message: "blocking `=` inside edge-triggered always"
+                                        .to_string(),
+                                    line: *line,
+                                });
+                            }
+                            for t in lvalue_targets(lhs) {
+                                targets.insert(t);
+                            }
+                            collect_expr_reads(rhs, &mut reads);
+                            collect_lvalue_index_reads(lhs, &mut reads);
+                        }
+                        Stmt::NonBlocking { lhs, rhs, line } => {
+                            if is_comb {
+                                warnings.push(LintWarning {
+                                    kind: LintKind::NonblockingInCombinational,
+                                    message: "nonblocking `<=` inside combinational always"
+                                        .to_string(),
+                                    line: *line,
+                                });
+                            }
+                            for t in lvalue_targets(lhs) {
+                                targets.insert(t);
+                            }
+                            collect_expr_reads(rhs, &mut reads);
+                            collect_lvalue_index_reads(lhs, &mut reads);
+                        }
+                        Stmt::Case { subject, default, line, .. } => {
+                            collect_expr_reads(subject, &mut reads);
+                            if is_comb && default.is_none() {
+                                warnings.push(LintWarning {
+                                    kind: LintKind::CaseWithoutDefault,
+                                    message: "case without default in combinational always \
+                                              can infer a latch"
+                                        .to_string(),
+                                    line: *line,
+                                });
+                            }
+                        }
+                        Stmt::If { cond, else_branch, line, .. } => {
+                            collect_expr_reads(cond, &mut reads);
+                            if is_comb && else_branch.is_none() {
+                                warnings.push(LintWarning {
+                                    kind: LintKind::IfWithoutElse,
+                                    message: "if without else in combinational always \
+                                              can infer a latch"
+                                        .to_string(),
+                                    line: *line,
+                                });
+                            }
+                        }
+                        Stmt::Delay { line, .. } => {
+                            warnings.push(LintWarning {
+                                kind: LintKind::DelayInAlways,
+                                message: "delay control inside always block".to_string(),
+                                line: *line,
+                            });
+                        }
+                        Stmt::For { cond, .. } => collect_expr_reads(cond, &mut reads),
+                        Stmt::Display { args, .. } | Stmt::ErrorTask { args, .. } => {
+                            for a in args {
+                                collect_expr_reads(a, &mut reads);
+                            }
+                        }
+                        _ => {}
+                    }
+                });
+                for t in targets {
+                    *drivers.entry(t).or_insert(0) += 1;
+                }
+                let _ = line;
+            }
+            Item::Initial { body, .. } => {
+                walk_stmt(body, &mut |s| {
+                    if let Stmt::Blocking { rhs, .. } | Stmt::NonBlocking { rhs, .. } = s {
+                        collect_expr_reads(rhs, &mut reads);
+                    }
+                });
+            }
+            Item::Instance { connections, .. } => {
+                for c in connections {
+                    let e = match c {
+                        crate::ast::Connection::Named(_, Some(e)) => e,
+                        crate::ast::Connection::Positional(e) => e,
+                        _ => continue,
+                    };
+                    // Conservatively treat instance connections as both
+                    // reads and drivers of the connected nets.
+                    collect_expr_reads(e, &mut reads);
+                    if let Expr::Ident(n) = e {
+                        drivers.entry(n.clone()).or_insert(1);
+                    }
+                }
+            }
+            Item::Param(_) => {}
+        }
+    }
+
+    for (name, count) in &drivers {
+        if *count > 1 {
+            warnings.push(LintWarning {
+                kind: LintKind::MultipleDrivers,
+                message: format!("signal `{name}` has {count} drivers"),
+                line: module.line,
+            });
+        }
+    }
+    for (name, line) in &declared {
+        if !reads.contains(name) && !module.ports.iter().any(|p| p.name == *name) {
+            warnings.push(LintWarning {
+                kind: LintKind::UnusedSignal,
+                message: format!("signal `{name}` is never read"),
+                line: *line,
+            });
+        }
+    }
+    for p in &module.ports {
+        if p.dir == Direction::Output && drivers.get(&p.name).copied().unwrap_or(0) == 0 {
+            warnings.push(LintWarning {
+                kind: LintKind::UndrivenOutput,
+                message: format!("output `{}` is never driven", p.name),
+                line: p.line,
+            });
+        }
+    }
+    warnings
+}
+
+fn lvalue_targets(lv: &LValue) -> Vec<String> {
+    match lv {
+        LValue::Ident(n) | LValue::Index(n, _) | LValue::PartSelect(n, _, _) => vec![n.clone()],
+        LValue::Concat(parts) => parts.iter().flat_map(lvalue_targets).collect(),
+    }
+}
+
+fn collect_lvalue_index_reads(lv: &LValue, reads: &mut HashSet<String>) {
+    match lv {
+        LValue::Index(_, e) => collect_expr_reads(e, reads),
+        LValue::Concat(parts) => {
+            for p in parts {
+                collect_lvalue_index_reads(p, reads);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn collect_expr_reads(e: &Expr, reads: &mut HashSet<String>) {
+    match e {
+        Expr::Ident(n) => {
+            reads.insert(n.clone());
+        }
+        Expr::Index(a, b) => {
+            collect_expr_reads(a, reads);
+            collect_expr_reads(b, reads);
+        }
+        Expr::PartSelect(a, b, c) => {
+            collect_expr_reads(a, reads);
+            collect_expr_reads(b, reads);
+            collect_expr_reads(c, reads);
+        }
+        Expr::Unary(_, a) => collect_expr_reads(a, reads),
+        Expr::Binary(_, a, b) => {
+            collect_expr_reads(a, reads);
+            collect_expr_reads(b, reads);
+        }
+        Expr::Ternary(a, b, c) => {
+            collect_expr_reads(a, reads);
+            collect_expr_reads(b, reads);
+            collect_expr_reads(c, reads);
+        }
+        Expr::Concat(parts) => {
+            for p in parts {
+                collect_expr_reads(p, reads);
+            }
+        }
+        Expr::Replicate(a, b) => {
+            collect_expr_reads(a, reads);
+            collect_expr_reads(b, reads);
+        }
+        Expr::Literal(_) | Expr::UnsizedLiteral(_) => {}
+    }
+}
+
+fn walk_stmt(s: &Stmt, f: &mut impl FnMut(&Stmt)) {
+    f(s);
+    match s {
+        Stmt::Block(stmts) => {
+            for st in stmts {
+                walk_stmt(st, f);
+            }
+        }
+        Stmt::If { then_branch, else_branch, .. } => {
+            walk_stmt(then_branch, f);
+            if let Some(e) = else_branch {
+                walk_stmt(e, f);
+            }
+        }
+        Stmt::Case { arms, default, .. } => {
+            for a in arms {
+                walk_stmt(&a.body, f);
+            }
+            if let Some(d) = default {
+                walk_stmt(d, f);
+            }
+        }
+        Stmt::For { init, step, body, .. } => {
+            walk_stmt(init, f);
+            walk_stmt(step, f);
+            walk_stmt(body, f);
+        }
+        Stmt::Delay { stmt: Some(st), .. } => walk_stmt(st, f),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn lint(src: &str) -> Vec<LintWarning> {
+        lint_module(&parse(src).unwrap().modules[0])
+    }
+
+    fn has(ws: &[LintWarning], k: LintKind) -> bool {
+        ws.iter().any(|w| w.kind == k)
+    }
+
+    #[test]
+    fn clean_module_has_no_warnings() {
+        let ws = lint(
+            "module m(input clk, input d, output reg q);
+               always @(posedge clk) q <= d;
+             endmodule",
+        );
+        assert!(ws.is_empty(), "{ws:?}");
+    }
+
+    #[test]
+    fn detects_multiple_drivers() {
+        let ws = lint(
+            "module m(input a, b, output y);
+               assign y = a;
+               assign y = b;
+             endmodule",
+        );
+        assert!(has(&ws, LintKind::MultipleDrivers));
+    }
+
+    #[test]
+    fn detects_blocking_in_sequential() {
+        let ws = lint(
+            "module m(input clk, d, output reg q);
+               always @(posedge clk) q = d;
+             endmodule",
+        );
+        assert!(has(&ws, LintKind::BlockingInSequential));
+    }
+
+    #[test]
+    fn detects_nonblocking_in_comb() {
+        let ws = lint(
+            "module m(input a, output reg y);
+               always @* y <= a;
+             endmodule",
+        );
+        assert!(has(&ws, LintKind::NonblockingInCombinational));
+    }
+
+    #[test]
+    fn detects_latch_risks() {
+        let ws = lint(
+            "module m(input [1:0] s, input a, output reg y);
+               always @* begin
+                 if (a) y = 1'b1;
+                 case (s)
+                   2'd0: y = 1'b0;
+                 endcase
+               end
+             endmodule",
+        );
+        assert!(has(&ws, LintKind::IfWithoutElse));
+        assert!(has(&ws, LintKind::CaseWithoutDefault));
+    }
+
+    #[test]
+    fn detects_unused_and_undriven() {
+        let ws = lint(
+            "module m(input a, output y);
+               wire dead;
+               assign dead = a;
+             endmodule",
+        );
+        assert!(has(&ws, LintKind::UnusedSignal));
+        assert!(has(&ws, LintKind::UndrivenOutput));
+    }
+
+    #[test]
+    fn driver_plus_always_counts_twice() {
+        let ws = lint(
+            "module m(input clk, a, output reg y);
+               assign y = a;
+               always @(posedge clk) y <= a;
+             endmodule",
+        );
+        assert!(has(&ws, LintKind::MultipleDrivers));
+    }
+}

@@ -1,0 +1,879 @@
+//! Recursive-descent parser for the Verilog subset.
+//!
+//! Supported constructs: ANSI-header modules with parameter lists, net
+//! declarations (`wire`/`reg`/`integer`, packed ranges, memories, init
+//! expressions), `assign`, `always @(edges)` / `always @*` / `always #n`,
+//! `initial`, module instantiation with named or positional connections and
+//! parameter overrides, blocking/nonblocking assignments, `if`/`case`/
+//! `casez`/`for`/`begin..end`, delays, and the `$display`/`$write`/
+//! `$finish`/`$error` system tasks.
+
+use crate::ast::*;
+use crate::error::HdlError;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::value::Value;
+
+/// Parses a full source file.
+///
+/// # Errors
+///
+/// Returns [`HdlError::Lex`] or [`HdlError::Parse`] with a line number on
+/// malformed input.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), eda_hdl::HdlError> {
+/// let src = "module inv(input a, output y); assign y = ~a; endmodule";
+/// let file = eda_hdl::parse(src)?;
+/// assert_eq!(file.modules[0].name, "inv");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(src: &str) -> Result<SourceFile, HdlError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut modules = Vec::new();
+    while !p.at_end() {
+        modules.push(p.parse_module()?);
+    }
+    Ok(SourceFile { modules })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t.map(|t| t.kind)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), HdlError> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(HdlError::parse(
+                self.line(),
+                format!("expected {:?}, found {:?}", kind, self.peek()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, HdlError> {
+        match self.bump() {
+            Some(TokenKind::Ident(s)) => Ok(s),
+            other => Err(HdlError::parse(
+                self.line(),
+                format!("expected identifier, found {other:?}"),
+            )),
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, HdlError> {
+        Err(HdlError::parse(self.line(), msg.into()))
+    }
+
+    // --- module ---
+
+    fn parse_module(&mut self) -> Result<Module, HdlError> {
+        let line = self.line();
+        self.expect(TokenKind::Module)?;
+        let name = self.expect_ident()?;
+        let mut params = Vec::new();
+        if self.eat(&TokenKind::Hash) {
+            self.expect(TokenKind::LParen)?;
+            loop {
+                self.eat(&TokenKind::Parameter);
+                let pline = self.line();
+                let pname = self.expect_ident()?;
+                self.expect(TokenKind::Assign2)?;
+                let default = self.parse_expr()?;
+                params.push(ParamDecl { name: pname, default, local: false, line: pline });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        let mut ports = Vec::new();
+        if self.eat(&TokenKind::LParen)
+            && !self.eat(&TokenKind::RParen) {
+                let mut dir = Direction::Input;
+                let mut kind = NetKind::Wire;
+                let mut range: Option<Range> = None;
+                loop {
+                    let pline = self.line();
+                    let mut saw_dir = true;
+                    match self.peek() {
+                        Some(TokenKind::Input) => {
+                            self.bump();
+                            dir = Direction::Input;
+                        }
+                        Some(TokenKind::Output) => {
+                            self.bump();
+                            dir = Direction::Output;
+                        }
+                        Some(TokenKind::Inout) => {
+                            self.bump();
+                            dir = Direction::Inout;
+                        }
+                        _ => saw_dir = false,
+                    }
+                    if saw_dir {
+                        kind = NetKind::Wire;
+                        range = None;
+                        match self.peek() {
+                            Some(TokenKind::Wire) => {
+                                self.bump();
+                            }
+                            Some(TokenKind::Reg) => {
+                                self.bump();
+                                kind = NetKind::Reg;
+                            }
+                            _ => {}
+                        }
+                        self.eat(&TokenKind::Signed);
+                        if self.peek() == Some(&TokenKind::LBracket) {
+                            range = Some(self.parse_range()?);
+                        }
+                    }
+                    let pname = self.expect_ident()?;
+                    ports.push(Port { dir, kind, range: range.clone(), name: pname, line: pline });
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+            }
+        self.expect(TokenKind::Semi)?;
+        let mut items = Vec::new();
+        while !self.eat(&TokenKind::Endmodule) {
+            if self.at_end() {
+                return self.err("unexpected end of file inside module");
+            }
+            items.push(self.parse_item()?);
+        }
+        Ok(Module { name, params, ports, items, line })
+    }
+
+    fn parse_range(&mut self) -> Result<Range, HdlError> {
+        self.expect(TokenKind::LBracket)?;
+        let msb = self.parse_expr()?;
+        self.expect(TokenKind::Colon)?;
+        let lsb = self.parse_expr()?;
+        self.expect(TokenKind::RBracket)?;
+        Ok(Range { msb, lsb })
+    }
+
+    // --- items ---
+
+    fn parse_item(&mut self) -> Result<Item, HdlError> {
+        let line = self.line();
+        match self.peek() {
+            Some(TokenKind::Wire) | Some(TokenKind::Reg) | Some(TokenKind::Integer) => {
+                let kind = match self.bump().unwrap() {
+                    TokenKind::Wire => NetKind::Wire,
+                    TokenKind::Reg => NetKind::Reg,
+                    _ => NetKind::Integer,
+                };
+                self.eat(&TokenKind::Signed);
+                let range = if self.peek() == Some(&TokenKind::LBracket) {
+                    Some(self.parse_range()?)
+                } else {
+                    None
+                };
+                let mut names = Vec::new();
+                loop {
+                    let name = self.expect_ident()?;
+                    let unpacked = if self.peek() == Some(&TokenKind::LBracket) {
+                        Some(self.parse_range()?)
+                    } else {
+                        None
+                    };
+                    let init = if self.eat(&TokenKind::Assign2) {
+                        Some(self.parse_expr()?)
+                    } else {
+                        None
+                    };
+                    names.push(NetName { name, unpacked, init });
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::Semi)?;
+                Ok(Item::Net { kind, range, names, line })
+            }
+            Some(TokenKind::Parameter) | Some(TokenKind::Localparam) => {
+                let local = matches!(self.bump().unwrap(), TokenKind::Localparam);
+                // Optional range on parameters is accepted and ignored.
+                if self.peek() == Some(&TokenKind::LBracket) {
+                    self.parse_range()?;
+                }
+                let name = self.expect_ident()?;
+                self.expect(TokenKind::Assign2)?;
+                let default = self.parse_expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Item::Param(ParamDecl { name, default, local, line }))
+            }
+            Some(TokenKind::Assign) => {
+                self.bump();
+                let lhs = self.parse_lvalue()?;
+                self.expect(TokenKind::Assign2)?;
+                let rhs = self.parse_expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Item::Assign { lhs, rhs, line })
+            }
+            Some(TokenKind::Always) => {
+                self.bump();
+                let sensitivity = self.parse_sensitivity()?;
+                let body = self.parse_stmt()?;
+                Ok(Item::Always { sensitivity, body, line })
+            }
+            Some(TokenKind::Initial) => {
+                self.bump();
+                let body = self.parse_stmt()?;
+                Ok(Item::Initial { body, line })
+            }
+            Some(TokenKind::Ident(_)) => {
+                // Module instantiation: `Type [#(...)] inst ( conns );`
+                let module = self.expect_ident()?;
+                let mut param_overrides = Vec::new();
+                if self.eat(&TokenKind::Hash) {
+                    self.expect(TokenKind::LParen)?;
+                    loop {
+                        if self.eat(&TokenKind::Dot) {
+                            let pname = self.expect_ident()?;
+                            self.expect(TokenKind::LParen)?;
+                            let e = self.parse_expr()?;
+                            self.expect(TokenKind::RParen)?;
+                            param_overrides.push((pname, e));
+                        } else {
+                            // Positional parameter override keyed by order ("#0", "#1", ...).
+                            let e = self.parse_expr()?;
+                            param_overrides.push((format!("#{}", param_overrides.len()), e));
+                        }
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                }
+                let name = self.expect_ident()?;
+                self.expect(TokenKind::LParen)?;
+                let mut connections = Vec::new();
+                if self.peek() != Some(&TokenKind::RParen) {
+                    loop {
+                        if self.eat(&TokenKind::Dot) {
+                            let pname = self.expect_ident()?;
+                            self.expect(TokenKind::LParen)?;
+                            let e = if self.peek() == Some(&TokenKind::RParen) {
+                                None
+                            } else {
+                                Some(self.parse_expr()?)
+                            };
+                            self.expect(TokenKind::RParen)?;
+                            connections.push(Connection::Named(pname, e));
+                        } else {
+                            connections.push(Connection::Positional(self.parse_expr()?));
+                        }
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Item::Instance { module, name, param_overrides, connections, line })
+            }
+            other => self.err(format!("unexpected token in module body: {other:?}")),
+        }
+    }
+
+    fn parse_sensitivity(&mut self) -> Result<Sensitivity, HdlError> {
+        if self.eat(&TokenKind::Hash) {
+            let amount = match self.bump() {
+                Some(TokenKind::Number(n)) => n,
+                _ => return self.err("expected delay amount after `#`"),
+            };
+            return Ok(Sensitivity::Periodic(amount));
+        }
+        self.expect(TokenKind::At)?;
+        if self.eat(&TokenKind::Star) {
+            return Ok(Sensitivity::Comb(Vec::new()));
+        }
+        self.expect(TokenKind::LParen)?;
+        if self.eat(&TokenKind::Star) {
+            self.expect(TokenKind::RParen)?;
+            return Ok(Sensitivity::Comb(Vec::new()));
+        }
+        let mut edges = Vec::new();
+        let mut levels = Vec::new();
+        loop {
+            match self.peek() {
+                Some(TokenKind::Posedge) => {
+                    self.bump();
+                    edges.push(EdgeSpec { edge: Edge::Pos, signal: self.expect_ident()? });
+                }
+                Some(TokenKind::Negedge) => {
+                    self.bump();
+                    edges.push(EdgeSpec { edge: Edge::Neg, signal: self.expect_ident()? });
+                }
+                _ => levels.push(self.expect_ident()?),
+            }
+            if !(self.eat(&TokenKind::Or) || self.eat(&TokenKind::Comma)) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        if !edges.is_empty() && !levels.is_empty() {
+            return self.err("mixed edge and level sensitivity is not supported");
+        }
+        if edges.is_empty() {
+            Ok(Sensitivity::Comb(levels))
+        } else {
+            Ok(Sensitivity::Edges(edges))
+        }
+    }
+
+    // --- statements ---
+
+    fn parse_stmt(&mut self) -> Result<Stmt, HdlError> {
+        let line = self.line();
+        match self.peek() {
+            Some(TokenKind::Begin) => {
+                self.bump();
+                // Optional `: label`.
+                if self.eat(&TokenKind::Colon) {
+                    self.expect_ident()?;
+                }
+                let mut stmts = Vec::new();
+                while !self.eat(&TokenKind::End) {
+                    if self.at_end() {
+                        return self.err("unexpected end of file inside begin/end");
+                    }
+                    stmts.push(self.parse_stmt()?);
+                }
+                Ok(Stmt::Block(stmts))
+            }
+            Some(TokenKind::If) => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                let then_branch = Box::new(self.parse_stmt()?);
+                let else_branch = if self.eat(&TokenKind::Else) {
+                    Some(Box::new(self.parse_stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If { cond, then_branch, else_branch, line })
+            }
+            Some(TokenKind::Case) | Some(TokenKind::Casez) => {
+                let wildcard = matches!(self.bump().unwrap(), TokenKind::Casez);
+                self.expect(TokenKind::LParen)?;
+                let subject = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                let mut arms = Vec::new();
+                let mut default = None;
+                while !self.eat(&TokenKind::Endcase) {
+                    if self.at_end() {
+                        return self.err("unexpected end of file inside case");
+                    }
+                    if self.eat(&TokenKind::Default) {
+                        self.eat(&TokenKind::Colon);
+                        default = Some(Box::new(self.parse_stmt()?));
+                        continue;
+                    }
+                    let mut labels = vec![self.parse_expr()?];
+                    while self.eat(&TokenKind::Comma) {
+                        labels.push(self.parse_expr()?);
+                    }
+                    self.expect(TokenKind::Colon)?;
+                    let body = self.parse_stmt()?;
+                    arms.push(CaseArm { labels, body });
+                }
+                Ok(Stmt::Case { subject, wildcard, arms, default, line })
+            }
+            Some(TokenKind::For) => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let init = Box::new(self.parse_assign_stmt(false)?);
+                self.expect(TokenKind::Semi)?;
+                let cond = self.parse_expr()?;
+                self.expect(TokenKind::Semi)?;
+                let step = Box::new(self.parse_assign_stmt(false)?);
+                self.expect(TokenKind::RParen)?;
+                let body = Box::new(self.parse_stmt()?);
+                Ok(Stmt::For { init, cond, step, body, line })
+            }
+            Some(TokenKind::Hash) => {
+                self.bump();
+                let amount = match self.bump() {
+                    Some(TokenKind::Number(n)) => n,
+                    _ => return self.err("expected delay amount after `#`"),
+                };
+                if self.eat(&TokenKind::Semi) {
+                    Ok(Stmt::Delay { amount, stmt: None, line })
+                } else {
+                    let stmt = Box::new(self.parse_stmt()?);
+                    Ok(Stmt::Delay { amount, stmt: Some(stmt), line })
+                }
+            }
+            Some(TokenKind::SysIdent(name)) => {
+                let name = name.clone();
+                self.bump();
+                match name.as_str() {
+                    "display" | "write" => {
+                        let newline = name == "display";
+                        let (fmt, args) = self.parse_task_args()?;
+                        self.expect(TokenKind::Semi)?;
+                        Ok(Stmt::Display { newline, fmt, args, line })
+                    }
+                    "finish" | "stop" => {
+                        if self.eat(&TokenKind::LParen) {
+                            // optional argument
+                            if self.peek() != Some(&TokenKind::RParen) {
+                                self.parse_expr()?;
+                            }
+                            self.expect(TokenKind::RParen)?;
+                        }
+                        self.expect(TokenKind::Semi)?;
+                        Ok(Stmt::Finish { line })
+                    }
+                    "error" | "fatal" => {
+                        let (fmt, args) = if self.peek() == Some(&TokenKind::LParen) {
+                            self.parse_task_args()?
+                        } else {
+                            (String::new(), Vec::new())
+                        };
+                        self.expect(TokenKind::Semi)?;
+                        Ok(Stmt::ErrorTask { fmt, args, line })
+                    }
+                    "monitor" | "dumpfile" | "dumpvars" | "time" => {
+                        // Accepted and ignored: consume args.
+                        if self.peek() == Some(&TokenKind::LParen) {
+                            self.parse_task_args()?;
+                        }
+                        self.expect(TokenKind::Semi)?;
+                        Ok(Stmt::Empty)
+                    }
+                    _ => self.err(format!("unsupported system task ${name}")),
+                }
+            }
+            Some(TokenKind::Semi) => {
+                self.bump();
+                Ok(Stmt::Empty)
+            }
+            _ => {
+                let s = self.parse_assign_stmt(true)?;
+                self.expect(TokenKind::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn parse_task_args(&mut self) -> Result<(String, Vec<Expr>), HdlError> {
+        self.expect(TokenKind::LParen)?;
+        let mut fmt = String::new();
+        let mut args = Vec::new();
+        if self.peek() != Some(&TokenKind::RParen) {
+            if let Some(TokenKind::StringLit(s)) = self.peek() {
+                fmt = s.clone();
+                self.bump();
+            } else {
+                fmt = "%d".to_string();
+                args.push(self.parse_expr()?);
+            }
+            while self.eat(&TokenKind::Comma) {
+                args.push(self.parse_expr()?);
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok((fmt, args))
+    }
+
+    fn parse_assign_stmt(&mut self, allow_nonblocking: bool) -> Result<Stmt, HdlError> {
+        let line = self.line();
+        let lhs = self.parse_lvalue()?;
+        match self.peek() {
+            Some(TokenKind::Assign2) => {
+                self.bump();
+                let rhs = self.parse_expr()?;
+                Ok(Stmt::Blocking { lhs, rhs, line })
+            }
+            Some(TokenKind::LeAssign) if allow_nonblocking => {
+                self.bump();
+                let rhs = self.parse_expr()?;
+                Ok(Stmt::NonBlocking { lhs, rhs, line })
+            }
+            other => self.err(format!("expected `=` or `<=`, found {other:?}")),
+        }
+    }
+
+    fn parse_lvalue(&mut self) -> Result<LValue, HdlError> {
+        if self.eat(&TokenKind::LBrace) {
+            let mut parts = vec![self.parse_lvalue()?];
+            while self.eat(&TokenKind::Comma) {
+                parts.push(self.parse_lvalue()?);
+            }
+            self.expect(TokenKind::RBrace)?;
+            return Ok(LValue::Concat(parts));
+        }
+        let name = self.expect_ident()?;
+        if self.eat(&TokenKind::LBracket) {
+            let first = self.parse_expr()?;
+            if self.eat(&TokenKind::Colon) {
+                let lsb = self.parse_expr()?;
+                self.expect(TokenKind::RBracket)?;
+                Ok(LValue::PartSelect(name, first, lsb))
+            } else {
+                self.expect(TokenKind::RBracket)?;
+                Ok(LValue::Index(name, first))
+            }
+        } else {
+            Ok(LValue::Ident(name))
+        }
+    }
+
+    // --- expressions (precedence climbing) ---
+
+    fn parse_expr(&mut self) -> Result<Expr, HdlError> {
+        let cond = self.parse_bin(0)?;
+        if self.eat(&TokenKind::Question) {
+            let t = self.parse_expr()?;
+            self.expect(TokenKind::Colon)?;
+            let f = self.parse_expr()?;
+            Ok(Expr::Ternary(Box::new(cond), Box::new(t), Box::new(f)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn bin_op(&self, level: u8) -> Option<BinaryOp> {
+        use BinaryOp::*;
+        use TokenKind as T;
+        let k = self.peek()?;
+        let (op, l) = match k {
+            T::PipePipe => (LogicOr, 0),
+            T::AmpAmp => (LogicAnd, 1),
+            T::Pipe => (Or, 2),
+            T::Caret => (Xor, 3),
+            T::TildeCaret => (Xnor, 3),
+            T::Amp => (And, 4),
+            T::EqEq => (Eq, 5),
+            T::BangEq => (Ne, 5),
+            T::EqEqEq => (CaseEq, 5),
+            T::BangEqEq => (CaseNe, 5),
+            T::Lt => (Lt, 6),
+            T::LeAssign => (Le, 6),
+            T::Gt => (Gt, 6),
+            T::GtEq => (Ge, 6),
+            T::Shl => (Shl, 7),
+            T::Shr => (Shr, 7),
+            T::AShl => (AShl, 7),
+            T::AShr => (AShr, 7),
+            T::Plus => (Add, 8),
+            T::Minus => (Sub, 8),
+            T::Star => (Mul, 9),
+            T::Slash => (Div, 9),
+            T::Percent => (Rem, 9),
+            T::Star2 => (Pow, 10),
+            _ => return None,
+        };
+        if l == level {
+            Some(op)
+        } else {
+            None
+        }
+    }
+
+    fn parse_bin(&mut self, level: u8) -> Result<Expr, HdlError> {
+        if level > 10 {
+            return self.parse_unary();
+        }
+        let mut lhs = self.parse_bin(level + 1)?;
+        while let Some(op) = self.bin_op(level) {
+            self.bump();
+            let rhs = self.parse_bin(level + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, HdlError> {
+        use TokenKind as T;
+        use UnaryOp::*;
+        let op = match self.peek() {
+            Some(T::Tilde) => Some(Not),
+            Some(T::Bang) => Some(LogicNot),
+            Some(T::Minus) => Some(Neg),
+            Some(T::Plus) => Some(Plus),
+            Some(T::Amp) => Some(RedAnd),
+            Some(T::Pipe) => Some(RedOr),
+            Some(T::Caret) => Some(RedXor),
+            Some(T::TildeAmp) => Some(RedNand),
+            Some(T::TildePipe) => Some(RedNor),
+            Some(T::TildeCaret) => Some(RedXnor),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let e = self.parse_unary()?;
+            return Ok(Expr::Unary(op, Box::new(e)));
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, HdlError> {
+        let mut e = self.parse_primary()?;
+        while self.peek() == Some(&TokenKind::LBracket) {
+            self.bump();
+            let first = self.parse_expr()?;
+            if self.eat(&TokenKind::Colon) {
+                let lsb = self.parse_expr()?;
+                self.expect(TokenKind::RBracket)?;
+                e = Expr::PartSelect(Box::new(e), Box::new(first), Box::new(lsb));
+            } else {
+                self.expect(TokenKind::RBracket)?;
+                e = Expr::Index(Box::new(e), Box::new(first));
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, HdlError> {
+        match self.peek().cloned() {
+            Some(TokenKind::Number(n)) => {
+                self.bump();
+                Ok(Expr::UnsizedLiteral(n))
+            }
+            Some(TokenKind::Based { width, bits, xmask }) => {
+                self.bump();
+                let w = if width == 0 { 32 } else { width };
+                let mut v = Value::from_u64(w.min(128), bits);
+                for i in 0..64u32 {
+                    if xmask >> i & 1 == 1 && i < v.width() {
+                        v = v.with_bit(i, None);
+                    }
+                }
+                Ok(Expr::Literal(v))
+            }
+            Some(TokenKind::Ident(name)) => {
+                self.bump();
+                Ok(Expr::Ident(name))
+            }
+            Some(TokenKind::LParen) => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            Some(TokenKind::LBrace) => {
+                self.bump();
+                let first = self.parse_expr()?;
+                if self.peek() == Some(&TokenKind::LBrace) {
+                    // Replication: {N{...}}.
+                    self.bump();
+                    let mut inner = vec![self.parse_expr()?];
+                    while self.eat(&TokenKind::Comma) {
+                        inner.push(self.parse_expr()?);
+                    }
+                    self.expect(TokenKind::RBrace)?;
+                    self.expect(TokenKind::RBrace)?;
+                    let body = if inner.len() == 1 {
+                        inner.pop().unwrap()
+                    } else {
+                        Expr::Concat(inner)
+                    };
+                    Ok(Expr::Replicate(Box::new(first), Box::new(body)))
+                } else {
+                    let mut parts = vec![first];
+                    while self.eat(&TokenKind::Comma) {
+                        parts.push(self.parse_expr()?);
+                    }
+                    self.expect(TokenKind::RBrace)?;
+                    Ok(Expr::Concat(parts))
+                }
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_module() {
+        let f = parse("module inv(input a, output y); assign y = ~a; endmodule").unwrap();
+        assert_eq!(f.modules.len(), 1);
+        let m = &f.modules[0];
+        assert_eq!(m.ports.len(), 2);
+        assert_eq!(m.ports[0].dir, Direction::Input);
+        assert_eq!(m.ports[1].dir, Direction::Output);
+        assert!(matches!(m.items[0], Item::Assign { .. }));
+    }
+
+    #[test]
+    fn parse_ranged_ports_and_params() {
+        let src = "module add #(parameter W = 8)(input [W-1:0] a, b, output [W:0] s);
+                   assign s = a + b; endmodule";
+        let m = &parse(src).unwrap().modules[0];
+        assert_eq!(m.params.len(), 1);
+        assert_eq!(m.ports.len(), 3);
+        assert!(m.ports[1].range.is_some(), "range persists to second name");
+    }
+
+    #[test]
+    fn parse_always_ff() {
+        let src = "module d(input clk, rst, d, output reg q);
+          always @(posedge clk or negedge rst)
+            if (!rst) q <= 1'b0; else q <= d;
+        endmodule";
+        let m = &parse(src).unwrap().modules[0];
+        match &m.items[0] {
+            Item::Always { sensitivity: Sensitivity::Edges(e), .. } => {
+                assert_eq!(e.len(), 2);
+                assert_eq!(e[0].edge, Edge::Pos);
+                assert_eq!(e[1].edge, Edge::Neg);
+            }
+            other => panic!("expected always, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_comb_star() {
+        let src = "module m(input a, output reg y); always @(*) y = a; endmodule";
+        let m = &parse(src).unwrap().modules[0];
+        assert!(matches!(
+            m.items[0],
+            Item::Always { sensitivity: Sensitivity::Comb(_), .. }
+        ));
+    }
+
+    #[test]
+    fn parse_case_with_multiple_labels() {
+        let src = "module m(input [1:0] s, output reg y);
+          always @* case (s)
+            2'd0, 2'd1: y = 1'b0;
+            default: y = 1'b1;
+          endcase
+        endmodule";
+        let m = &parse(src).unwrap().modules[0];
+        if let Item::Always { body: Stmt::Case { arms, default, .. }, .. } = &m.items[0] {
+            assert_eq!(arms[0].labels.len(), 2);
+            assert!(default.is_some());
+        } else {
+            panic!("expected case");
+        }
+    }
+
+    #[test]
+    fn parse_instance_named_and_positional() {
+        let src = "module top(input a, output y);
+          wire w;
+          inv #(.N(3)) u0 (.a(a), .y(w));
+          inv u1 (w, y);
+        endmodule";
+        let m = &parse(src).unwrap().modules[0];
+        assert!(matches!(&m.items[1], Item::Instance { module, .. } if module == "inv"));
+        assert!(matches!(&m.items[2],
+            Item::Instance { connections, .. } if connections.len() == 2));
+    }
+
+    #[test]
+    fn parse_memory_decl() {
+        let src = "module m(); reg [7:0] mem [0:255]; endmodule";
+        let m = &parse(src).unwrap().modules[0];
+        if let Item::Net { names, .. } = &m.items[0] {
+            assert!(names[0].unpacked.is_some());
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn parse_testbench_constructs() {
+        let src = r#"module tb;
+          reg clk = 0;
+          always #5 clk = ~clk;
+          initial begin
+            #10;
+            $display("t=%d", clk);
+            $finish;
+          end
+        endmodule"#;
+        let m = &parse(src).unwrap().modules[0];
+        assert!(matches!(
+            m.items[1],
+            Item::Always { sensitivity: Sensitivity::Periodic(5), .. }
+        ));
+    }
+
+    #[test]
+    fn parse_expressions_precedence() {
+        let src = "module m(input [7:0] a, b, output [7:0] y);
+          assign y = a + b * 2 == 6 ? {2{a[3:0]}} : ~(a ^ b);
+        endmodule";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn le_in_expression_context() {
+        // `<=` must parse as less-or-equal inside an expression.
+        let src = "module m(input [3:0] a, output y); assign y = a <= 4'd7; endmodule";
+        let m = &parse(src).unwrap().modules[0];
+        if let Item::Assign { rhs, .. } = &m.items[0] {
+            assert!(matches!(rhs, Expr::Binary(BinaryOp::Le, _, _)));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("module m(input a output y); endmodule").unwrap_err();
+        match err {
+            HdlError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn concat_lvalue() {
+        let src = "module m(input [1:0] a, output c, output [0:0] s);
+          assign {c, s} = a[0] + a[1];
+        endmodule";
+        let m = &parse(src).unwrap().modules[0];
+        assert!(matches!(&m.items[0], Item::Assign { lhs: LValue::Concat(p), .. } if p.len() == 2));
+    }
+}

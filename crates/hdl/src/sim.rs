@@ -1,0 +1,1202 @@
+//! Event-driven simulator for elaborated designs.
+//!
+//! The simulator implements the classic two-phase Verilog scheduling model:
+//! within a time step, *active* events (continuous assigns, combinational
+//! and edge-triggered processes) run to quiescence in delta cycles, then
+//! queued nonblocking assignments are committed, which may wake further
+//! active events. `initial` processes may suspend at `#delay` and resume at
+//! a later simulation time; `always #n` processes re-run periodically.
+
+use crate::ast::{Direction, Edge};
+use crate::elab::{
+    apply_binary, apply_unary, Design, EExpr, EExprKind, ELValue, Instr, MemId, SignalId, Trigger,
+};
+use crate::error::HdlError;
+use crate::value::Value;
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+/// Scheduler event waiting for a future simulation time.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum FutureEvent {
+    /// Resume process `proc` at instruction `pc`.
+    Resume { proc: usize, pc: usize },
+    /// Fire a periodic process.
+    Periodic { proc: usize },
+}
+
+/// A committed nonblocking write target, resolved at schedule time.
+#[derive(Debug, Clone)]
+enum NbaTarget {
+    Sig { id: SignalId, hi: u32, lo: u32 },
+    Mem { id: MemId, addr: u32 },
+    /// Index evaluated to X or out of range: the write is dropped.
+    Skip,
+}
+
+/// Runtime statistics useful for benchmarks and activity-based power proxies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Instructions executed across all processes.
+    pub instrs: u64,
+    /// Signal value changes committed.
+    pub toggles: u64,
+    /// Delta cycles executed.
+    pub deltas: u64,
+    /// Final simulation time.
+    pub time: u64,
+}
+
+/// Configurable execution limits.
+#[derive(Debug, Clone, Copy)]
+pub struct SimLimits {
+    /// Max total instructions before aborting (runaway loop guard).
+    pub max_instrs: u64,
+    /// Max delta cycles within one time step (combinational loop guard).
+    pub max_deltas_per_step: u64,
+}
+
+impl Default for SimLimits {
+    fn default() -> Self {
+        SimLimits { max_instrs: 20_000_000, max_deltas_per_step: 10_000 }
+    }
+}
+
+/// The simulator instance.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), eda_hdl::HdlError> {
+/// let file = eda_hdl::parse(
+///     "module andg(input a, b, output y); assign y = a & b; endmodule")?;
+/// let design = eda_hdl::elaborate(&file, "andg")?;
+/// let mut sim = eda_hdl::Simulator::new(&design);
+/// sim.poke("a", eda_hdl::Value::bit(true))?;
+/// sim.poke("b", eda_hdl::Value::bit(true))?;
+/// sim.settle()?;
+/// assert_eq!(sim.peek("y")?.to_u64(), Some(1));
+/// # Ok(())
+/// # }
+/// ```
+pub struct Simulator<'d> {
+    design: &'d Design,
+    sigs: Vec<Value>,
+    mems: Vec<Vec<Value>>,
+    time: u64,
+    seq: u64,
+    future: BinaryHeap<Reverse<(u64, u64, FutureEvent)>>,
+    // Dependency maps.
+    sig_to_assigns: Vec<Vec<u32>>,
+    sig_to_comb: Vec<Vec<u32>>,
+    sig_to_edge: Vec<Vec<(u32, Edge)>>,
+    mem_to_assigns: Vec<Vec<u32>>,
+    mem_to_comb: Vec<Vec<u32>>,
+    // Pending work for the current delta.
+    active_assigns: Vec<u32>,
+    assign_pending: Vec<bool>,
+    active_procs: Vec<(u32, usize)>,
+    proc_pending: Vec<bool>,
+    nba: Vec<(NbaTarget, Value)>,
+    finished: bool,
+    output: String,
+    errors: Vec<String>,
+    stats: SimStats,
+    limits: SimLimits,
+    started: bool,
+    /// Process currently executing its body; it must not be re-armed by its
+    /// own writes (it is not waiting at its event control).
+    running_proc: Option<u32>,
+}
+
+impl<'d> Simulator<'d> {
+    /// Creates a simulator over an elaborated design. `initial` processes
+    /// and initial evaluation of all continuous logic are scheduled at t=0
+    /// and run on the first call to [`Simulator::settle`]/[`Simulator::run`].
+    pub fn new(design: &'d Design) -> Self {
+        let nsig = design.signals.len();
+        let nproc = design.processes.len();
+        let nassign = design.assigns.len();
+        let mut sim = Simulator {
+            design,
+            sigs: design
+                .signals
+                .iter()
+                .map(|s| s.init.map_or(Value::all_x(s.width), |v| v.resize(s.width)))
+                .collect(),
+            mems: design
+                .mems
+                .iter()
+                .map(|m| vec![Value::all_x(m.width); m.depth as usize])
+                .collect(),
+            time: 0,
+            seq: 0,
+            future: BinaryHeap::new(),
+            sig_to_assigns: vec![Vec::new(); nsig],
+            sig_to_comb: vec![Vec::new(); nsig],
+            sig_to_edge: vec![Vec::new(); nsig],
+            mem_to_assigns: vec![Vec::new(); design.mems.len()],
+            mem_to_comb: vec![Vec::new(); design.mems.len()],
+            active_assigns: Vec::new(),
+            assign_pending: vec![false; nassign],
+            active_procs: Vec::new(),
+            proc_pending: vec![false; nproc],
+            nba: Vec::new(),
+            finished: false,
+            output: String::new(),
+            errors: Vec::new(),
+            stats: SimStats::default(),
+            limits: SimLimits::default(),
+            started: false,
+            running_proc: None,
+        };
+        for (i, a) in design.assigns.iter().enumerate() {
+            for &s in &a.reads {
+                sim.sig_to_assigns[s].push(i as u32);
+            }
+            for &m in &a.mem_reads {
+                sim.mem_to_assigns[m].push(i as u32);
+            }
+        }
+        for (i, p) in design.processes.iter().enumerate() {
+            match &p.trigger {
+                Trigger::Comb => {
+                    for &s in &p.reads {
+                        sim.sig_to_comb[s].push(i as u32);
+                    }
+                    for &m in &p.mem_reads {
+                        sim.mem_to_comb[m].push(i as u32);
+                    }
+                }
+                Trigger::Edges(edges) => {
+                    for (edge, s) in edges {
+                        sim.sig_to_edge[*s].push((i as u32, *edge));
+                    }
+                }
+                _ => {}
+            }
+        }
+        sim
+    }
+
+    /// Overrides execution limits.
+    pub fn set_limits(&mut self, limits: SimLimits) {
+        self.limits = limits;
+    }
+
+    fn schedule_time_zero(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.design.assigns.len() {
+            self.wake_assign(i as u32);
+        }
+        for (i, p) in self.design.processes.iter().enumerate() {
+            match p.trigger {
+                Trigger::Comb => self.wake_proc(i as u32, 0),
+                Trigger::Initial => self.wake_proc(i as u32, 0),
+                Trigger::Periodic(period) => {
+                    self.seq += 1;
+                    self.future.push(Reverse((
+                        self.time + period,
+                        self.seq,
+                        FutureEvent::Periodic { proc: i },
+                    )));
+                }
+                Trigger::Edges(_) => {}
+            }
+        }
+    }
+
+    fn wake_assign(&mut self, idx: u32) {
+        if !self.assign_pending[idx as usize] {
+            self.assign_pending[idx as usize] = true;
+            self.active_assigns.push(idx);
+        }
+    }
+
+    fn wake_proc(&mut self, idx: u32, pc: usize) {
+        if self.running_proc == Some(idx) {
+            return;
+        }
+        if !self.proc_pending[idx as usize] {
+            self.proc_pending[idx as usize] = true;
+            self.active_procs.push((idx, pc));
+        }
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// True once `$finish` has executed.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Text produced by `$display`/`$write`.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// Messages recorded by `$error`.
+    pub fn errors(&self) -> &[String] {
+        &self.errors
+    }
+
+    /// Runtime statistics.
+    pub fn stats(&self) -> SimStats {
+        SimStats { time: self.time, ..self.stats }
+    }
+
+    /// Reads a signal by hierarchical name.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is unknown.
+    pub fn peek(&self, name: &str) -> Result<Value, HdlError> {
+        let id = self
+            .design
+            .signal(name)
+            .ok_or_else(|| HdlError::sim(format!("unknown signal `{name}`")))?;
+        Ok(self.sigs[id])
+    }
+
+    /// Reads a signal by id.
+    pub fn peek_id(&self, id: SignalId) -> Value {
+        self.sigs[id]
+    }
+
+    /// Reads one memory word.
+    pub fn peek_mem(&self, name: &str, addr: u32) -> Result<Value, HdlError> {
+        let id = self
+            .design
+            .memory(name)
+            .ok_or_else(|| HdlError::sim(format!("unknown memory `{name}`")))?;
+        self.mems[id]
+            .get(addr as usize)
+            .copied()
+            .ok_or_else(|| HdlError::sim(format!("address {addr} out of range for `{name}`")))
+    }
+
+    /// Forces a signal to a value (typically a top-level input), waking
+    /// dependents. Call [`Simulator::settle`] afterwards to propagate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is unknown.
+    pub fn poke(&mut self, name: &str, value: Value) -> Result<(), HdlError> {
+        self.schedule_time_zero();
+        let id = self
+            .design
+            .signal(name)
+            .ok_or_else(|| HdlError::sim(format!("unknown signal `{name}`")))?;
+        let w = self.design.signals[id].width;
+        self.commit_signal(id, value.resize(w));
+        Ok(())
+    }
+
+    /// Writes one memory word directly (testbench convenience).
+    pub fn poke_mem(&mut self, name: &str, addr: u32, value: Value) -> Result<(), HdlError> {
+        self.schedule_time_zero();
+        let id = self
+            .design
+            .memory(name)
+            .ok_or_else(|| HdlError::sim(format!("unknown memory `{name}`")))?;
+        let w = self.design.mems[id].width;
+        if let Some(slot) = self.mems[id].get_mut(addr as usize) {
+            *slot = value.resize(w);
+            self.wake_mem_dependents(id);
+            Ok(())
+        } else {
+            Err(HdlError::sim(format!("address {addr} out of range for `{name}`")))
+        }
+    }
+
+    fn wake_mem_dependents(&mut self, id: MemId) {
+        let assigns = self.mem_to_assigns[id].clone();
+        for a in assigns {
+            self.wake_assign(a);
+        }
+        let combs = self.mem_to_comb[id].clone();
+        for p in combs {
+            self.wake_proc(p, 0);
+        }
+    }
+
+    /// Runs delta cycles at the current time until quiescent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::Sim`] if execution limits are exceeded.
+    pub fn settle(&mut self) -> Result<(), HdlError> {
+        self.schedule_time_zero();
+        let mut deltas = 0u64;
+        loop {
+            if self.active_assigns.is_empty() && self.active_procs.is_empty() {
+                if self.nba.is_empty() {
+                    return Ok(());
+                }
+                let writes = std::mem::take(&mut self.nba);
+                for (target, v) in writes {
+                    self.commit_nba(target, v);
+                }
+                continue;
+            }
+            deltas += 1;
+            self.stats.deltas += 1;
+            if deltas > self.limits.max_deltas_per_step {
+                return Err(HdlError::sim(format!(
+                    "delta limit exceeded at t={} (combinational loop?)",
+                    self.time
+                )));
+            }
+            let assigns = std::mem::take(&mut self.active_assigns);
+            for a in &assigns {
+                self.assign_pending[*a as usize] = false;
+            }
+            for a in assigns {
+                self.eval_cont_assign(a as usize)?;
+            }
+            let procs = std::mem::take(&mut self.active_procs);
+            for (p, _) in &procs {
+                self.proc_pending[*p as usize] = false;
+            }
+            for (p, pc) in procs {
+                self.running_proc = Some(p);
+                let r = self.run_program(p as usize, pc);
+                self.running_proc = None;
+                r?;
+                if self.finished {
+                    self.active_assigns.clear();
+                    self.active_procs.clear();
+                    self.nba.clear();
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Advances simulation until `max_time` or `$finish`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::Sim`] on limit violations.
+    pub fn run(&mut self, max_time: u64) -> Result<(), HdlError> {
+        self.schedule_time_zero();
+        self.settle()?;
+        while !self.finished {
+            let Some(Reverse((t, _, _))) = self.future.peek() else { break };
+            let t = *t;
+            if t > max_time {
+                self.time = max_time;
+                break;
+            }
+            self.time = t;
+            while let Some(Reverse((et, _, _))) = self.future.peek() {
+                if *et != t {
+                    break;
+                }
+                let Reverse((_, _, ev)) = self.future.pop().unwrap();
+                match ev {
+                    FutureEvent::Resume { proc, pc } => self.wake_proc(proc as u32, pc),
+                    FutureEvent::Periodic { proc } => {
+                        self.wake_proc(proc as u32, 0);
+                        if let Trigger::Periodic(period) = self.design.processes[proc].trigger {
+                            self.seq += 1;
+                            self.future.push(Reverse((
+                                t + period,
+                                self.seq,
+                                FutureEvent::Periodic { proc },
+                            )));
+                        }
+                    }
+                }
+            }
+            self.settle()?;
+        }
+        Ok(())
+    }
+
+    // --- execution ---
+
+    fn eval_cont_assign(&mut self, idx: usize) -> Result<(), HdlError> {
+        let a = &self.design.assigns[idx];
+        let w = a.lhs.width(self.design);
+        let v = self.eval(&a.rhs)?.resize(w);
+        let lhs = a.lhs.clone();
+        self.write_lvalue(&lhs, v);
+        Ok(())
+    }
+
+    fn run_program(&mut self, proc_idx: usize, mut pc: usize) -> Result<(), HdlError> {
+        // `self.design` is a shared reference with lifetime `'d`, so the
+        // instruction slice can be borrowed independently of `&mut self`.
+        let design: &'d Design = self.design;
+        let instrs: &'d [Instr] = &design.processes[proc_idx].program.instrs;
+        loop {
+            let instr = match instrs.get(pc) {
+                Some(i) => i,
+                None => return Ok(()),
+            };
+            self.stats.instrs += 1;
+            if self.stats.instrs > self.limits.max_instrs {
+                return Err(HdlError::sim("instruction limit exceeded (runaway process?)"));
+            }
+            pc += 1;
+            match instr {
+                Instr::Halt => return Ok(()),
+                Instr::Assign { lhs, rhs, nonblocking, .. } => {
+                    let w = lhs.width(self.design);
+                    let v = self.eval(rhs)?.resize(w);
+                    if *nonblocking {
+                        self.queue_nba(lhs, v)?;
+                    } else {
+                        self.write_lvalue(lhs, v);
+                    }
+                }
+                Instr::Jump(t) => pc = *t,
+                Instr::JumpIfFalse { cond, target } => {
+                    let c = self.eval(cond)?;
+                    if c.truthy() != Some(true) {
+                        pc = *target;
+                    }
+                }
+                Instr::CaseDispatch { subject, wildcard, arms, default } => {
+                    let s = self.eval(subject)?;
+                    let mut target = *default;
+                    'outer: for (labels, at) in arms {
+                        for l in labels {
+                            let lv = self.eval(l)?;
+                            let hit = if *wildcard {
+                                casez_match(&s, &lv)
+                            } else {
+                                s.case_eq(&lv.resize(s.width()))
+                            };
+                            if hit {
+                                target = *at;
+                                break 'outer;
+                            }
+                        }
+                    }
+                    pc = target;
+                }
+                Instr::Delay(amount) => {
+                    self.seq += 1;
+                    self.future.push(Reverse((
+                        self.time + amount,
+                        self.seq,
+                        FutureEvent::Resume { proc: proc_idx, pc },
+                    )));
+                    return Ok(());
+                }
+                Instr::Display { newline, fmt, args } => {
+                    let vals: Result<Vec<Value>, HdlError> =
+                        args.iter().map(|a| self.eval(a)).collect();
+                    let s = format_display(fmt, &vals?, self.time);
+                    self.output.push_str(&s);
+                    if *newline {
+                        self.output.push('\n');
+                    }
+                }
+                Instr::ErrorTask { fmt, args } => {
+                    let vals: Result<Vec<Value>, HdlError> =
+                        args.iter().map(|a| self.eval(a)).collect();
+                    let s = format_display(fmt, &vals?, self.time);
+                    self.errors.push(s);
+                }
+                Instr::Finish => {
+                    self.finished = true;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn queue_nba(&mut self, lhs: &ELValue, v: Value) -> Result<(), HdlError> {
+        match lhs {
+            ELValue::Signal(id) => {
+                let w = self.design.signals[*id].width;
+                self.nba.push((NbaTarget::Sig { id: *id, hi: w - 1, lo: 0 }, v));
+            }
+            ELValue::Range(id, hi, lo) => {
+                self.nba.push((NbaTarget::Sig { id: *id, hi: *hi, lo: *lo }, v));
+            }
+            ELValue::Bit(id, idx) => {
+                let i = self.eval(idx)?;
+                let t = match i.to_u64() {
+                    Some(b) if b < self.design.signals[*id].width as u64 => {
+                        NbaTarget::Sig { id: *id, hi: b as u32, lo: b as u32 }
+                    }
+                    _ => NbaTarget::Skip,
+                };
+                self.nba.push((t, v));
+            }
+            ELValue::Mem(id, idx) => {
+                let i = self.eval(idx)?;
+                let t = match i.to_u64() {
+                    Some(a) if a < self.design.mems[*id].depth as u64 => {
+                        NbaTarget::Mem { id: *id, addr: a as u32 }
+                    }
+                    _ => NbaTarget::Skip,
+                };
+                self.nba.push((t, v));
+            }
+            ELValue::Concat(parts) => {
+                // Split MSB-first.
+                let total: u32 = parts.iter().map(|p| p.width(self.design)).sum();
+                let mut hi = total;
+                for p in parts {
+                    let w = p.width(self.design);
+                    let slice = v.slice(hi - 1, hi - w);
+                    self.queue_nba(p, slice)?;
+                    hi -= w;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn commit_nba(&mut self, target: NbaTarget, v: Value) {
+        match target {
+            NbaTarget::Skip => {}
+            NbaTarget::Sig { id, hi, lo } => {
+                let old = self.sigs[id];
+                let w = self.design.signals[id].width;
+                let newv = if lo == 0 && hi == w - 1 {
+                    v.resize(w)
+                } else {
+                    old.splice(hi, lo, &v)
+                };
+                self.commit_signal(id, newv);
+            }
+            NbaTarget::Mem { id, addr } => {
+                let w = self.design.mems[id].width;
+                self.mems[id][addr as usize] = v.resize(w);
+                self.wake_mem_dependents(id);
+            }
+        }
+    }
+
+    fn write_lvalue(&mut self, lhs: &ELValue, v: Value) {
+        match lhs {
+            ELValue::Signal(id) => {
+                let w = self.design.signals[*id].width;
+                self.commit_signal(*id, v.resize(w));
+            }
+            ELValue::Range(id, hi, lo) => {
+                let old = self.sigs[*id];
+                self.commit_signal(*id, old.splice(*hi, *lo, &v));
+            }
+            ELValue::Bit(id, idx) => {
+                if let Ok(i) = self.eval(idx) {
+                    if let Some(b) = i.to_u64() {
+                        if b < self.design.signals[*id].width as u64 {
+                            let old = self.sigs[*id];
+                            self.commit_signal(*id, old.splice(b as u32, b as u32, &v));
+                        }
+                    }
+                }
+            }
+            ELValue::Mem(id, idx) => {
+                if let Ok(i) = self.eval(idx) {
+                    if let Some(a) = i.to_u64() {
+                        if (a as usize) < self.mems[*id].len() {
+                            let w = self.design.mems[*id].width;
+                            self.mems[*id][a as usize] = v.resize(w);
+                            self.wake_mem_dependents(*id);
+                        }
+                    }
+                }
+            }
+            ELValue::Concat(parts) => {
+                let total: u32 = parts.iter().map(|p| p.width(self.design)).sum();
+                let v = v.resize(total);
+                let mut hi = total;
+                for p in parts {
+                    let w = p.width(self.design);
+                    let slice = v.slice(hi - 1, hi - w);
+                    self.write_lvalue(p, slice);
+                    hi -= w;
+                }
+            }
+        }
+    }
+
+    fn commit_signal(&mut self, id: SignalId, newv: Value) {
+        let old = self.sigs[id];
+        if old == newv {
+            return;
+        }
+        self.sigs[id] = newv;
+        self.stats.toggles += 1;
+        // Wake level-sensitive dependents.
+        let assigns = self.sig_to_assigns[id].clone();
+        for a in assigns {
+            self.wake_assign(a);
+        }
+        let combs = self.sig_to_comb[id].clone();
+        for p in combs {
+            self.wake_proc(p, 0);
+        }
+        // Edge detection on bit 0.
+        if !self.sig_to_edge[id].is_empty() {
+            let ob = old.get_bit(0);
+            let nb = newv.get_bit(0);
+            let edges = self.sig_to_edge[id].clone();
+            for (p, edge) in edges {
+                let fire = match edge {
+                    Edge::Pos => nb == Some(true) && ob != Some(true),
+                    Edge::Neg => nb == Some(false) && ob != Some(false),
+                };
+                if fire {
+                    self.wake_proc(p, 0);
+                }
+            }
+        }
+    }
+
+    fn eval(&self, e: &EExpr) -> Result<Value, HdlError> {
+        let v = match &e.kind {
+            EExprKind::Const(v) => *v,
+            EExprKind::Signal(s) => self.sigs[*s],
+            EExprKind::MemRead(m, idx) => {
+                let i = self.eval(idx)?;
+                match i.to_u64() {
+                    Some(a) if (a as usize) < self.mems[*m].len() => self.mems[*m][a as usize],
+                    _ => Value::all_x(self.design.mems[*m].width),
+                }
+            }
+            EExprKind::BitSelect(s, idx) => {
+                let i = self.eval(idx)?;
+                match i.to_u64() {
+                    Some(b) if b < self.sigs[*s].width() as u64 => {
+                        match self.sigs[*s].get_bit(b as u32) {
+                            Some(bit) => Value::bit(bit),
+                            None => Value::all_x(1),
+                        }
+                    }
+                    _ => Value::all_x(1),
+                }
+            }
+            EExprKind::PartSelect(s, hi, lo) => self.sigs[*s].slice(*hi, *lo),
+            EExprKind::Unary(op, a) => apply_unary(*op, &self.eval(a)?),
+            EExprKind::Binary(op, a, b) => apply_binary(*op, &self.eval(a)?, &self.eval(b)?),
+            EExprKind::Ternary(c, t, f) => match self.eval(c)?.truthy() {
+                Some(true) => self.eval(t)?,
+                Some(false) => self.eval(f)?,
+                None => {
+                    // X condition: merge branches bitwise (Verilog-style).
+                    let tv = self.eval(t)?.resize(e.width);
+                    let fv = self.eval(f)?.resize(e.width);
+                    let mut out = tv;
+                    for i in 0..e.width {
+                        if tv.get_bit(i) != fv.get_bit(i) {
+                            out = out.with_bit(i, None);
+                        }
+                    }
+                    out
+                }
+            },
+            EExprKind::Concat(parts) => {
+                let mut acc: Option<Value> = None;
+                for p in parts {
+                    let v = self.eval(p)?;
+                    acc = Some(match acc {
+                        None => v,
+                        Some(a) => a.concat(&v),
+                    });
+                }
+                acc.unwrap_or_else(|| Value::zero(1))
+            }
+        };
+        Ok(v.resize(e.width))
+    }
+}
+
+/// `casez` matching: label bits that are X act as wildcards.
+fn casez_match(subject: &Value, label: &Value) -> bool {
+    let w = subject.width().max(label.width());
+    let s = subject.resize(w);
+    let l = label.resize(w);
+    for i in 0..w {
+        match l.get_bit(i) {
+            None => continue, // wildcard
+            Some(lb) => {
+                if s.get_bit(i) != Some(lb) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Formats a `$display` string with `%d/%0d/%b/%h/%x/%c/%t/%%` directives.
+fn format_display(fmt: &str, args: &[Value], time: u64) -> String {
+    let mut out = String::new();
+    let mut it = fmt.chars().peekable();
+    let mut ai = 0usize;
+    while let Some(c) = it.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        // Skip width/zero flags.
+        let mut spec = String::new();
+        while let Some(d) = it.peek() {
+            if d.is_ascii_digit() {
+                spec.push(*d);
+                it.next();
+            } else {
+                break;
+            }
+        }
+        match it.next() {
+            Some('%') => out.push('%'),
+            Some('t') => out.push_str(&time.to_string()),
+            Some(k) => {
+                let v = args.get(ai).copied().unwrap_or_else(|| Value::all_x(1));
+                ai += 1;
+                match k {
+                    'd' | 'D' => match v.to_u128() {
+                        Some(n) => out.push_str(&n.to_string()),
+                        None => out.push('x'),
+                    },
+                    'b' | 'B' => out.push_str(&v.to_binary_string()),
+                    'h' | 'H' | 'x' | 'X' => out.push_str(&format!("{v:x}")),
+                    'c' => match v.to_u64() {
+                        Some(n) => out.push((n as u8) as char),
+                        None => out.push('?'),
+                    },
+                    _ => {
+                        out.push('%');
+                        out.push(k);
+                    }
+                }
+            }
+            None => out.push('%'),
+        }
+    }
+    out
+}
+
+/// Convenience: parse, elaborate, and simulate a self-contained testbench
+/// module until `$finish` or `max_time`. Returns the `$display` output and
+/// any `$error` messages.
+///
+/// # Errors
+///
+/// Propagates parse/elaboration/simulation errors.
+pub fn run_testbench(src: &str, top: &str, max_time: u64) -> Result<TbRun, HdlError> {
+    let file = crate::parser::parse(src)?;
+    let design = crate::elab::elaborate(&file, top)?;
+    let mut sim = Simulator::new(&design);
+    sim.run(max_time)?;
+    Ok(TbRun {
+        output: sim.output().to_string(),
+        errors: sim.errors().to_vec(),
+        finished: sim.finished(),
+        stats: sim.stats(),
+    })
+}
+
+/// Result of [`run_testbench`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TbRun {
+    pub output: String,
+    pub errors: Vec<String>,
+    pub finished: bool,
+    pub stats: SimStats,
+}
+
+/// Drives a clocked design: toggles `clk` low→high `cycles` times, settling
+/// after each half-period. The closure is called after each rising edge with
+/// the cycle index and simulator, and may poke inputs / check outputs.
+///
+/// # Errors
+///
+/// Propagates simulation errors from `settle`.
+pub fn clock_cycles<F>(
+    sim: &mut Simulator<'_>,
+    clk: &str,
+    cycles: u32,
+    mut f: F,
+) -> Result<(), HdlError>
+where
+    F: FnMut(u32, &mut Simulator<'_>) -> Result<(), HdlError>,
+{
+    for c in 0..cycles {
+        sim.poke(clk, Value::bit(false))?;
+        sim.settle()?;
+        sim.poke(clk, Value::bit(true))?;
+        sim.settle()?;
+        f(c, sim)?;
+    }
+    Ok(())
+}
+
+/// Port directions re-exported for harness code.
+pub use crate::ast::Direction as PortDirection;
+
+/// Returns the input/output port names of a design (excluding clocks is the
+/// caller's concern).
+pub fn io_ports(design: &Design) -> (Vec<String>, Vec<String>) {
+    let mut ins = Vec::new();
+    let mut outs = Vec::new();
+    for p in &design.ports {
+        match p.dir {
+            Direction::Input => ins.push(p.name.clone()),
+            Direction::Output => outs.push(p.name.clone()),
+            Direction::Inout => {}
+        }
+    }
+    (ins, outs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::elaborate;
+    use crate::parser::parse;
+
+    fn design(src: &str, top: &str) -> Design {
+        elaborate(&parse(src).unwrap(), top).unwrap()
+    }
+
+    #[test]
+    fn combinational_propagation() {
+        let d = design(
+            "module m(input a, b, output y, z);
+               assign y = a & b;
+               assign z = y | a;
+             endmodule",
+            "m",
+        );
+        let mut sim = Simulator::new(&d);
+        sim.poke("a", Value::bit(true)).unwrap();
+        sim.poke("b", Value::bit(false)).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.peek("y").unwrap().to_u64(), Some(0));
+        assert_eq!(sim.peek("z").unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn dff_nonblocking() {
+        let d = design(
+            "module d(input clk, input di, output reg q);
+               always @(posedge clk) q <= di;
+             endmodule",
+            "d",
+        );
+        let mut sim = Simulator::new(&d);
+        sim.poke("di", Value::bit(true)).unwrap();
+        sim.poke("clk", Value::bit(false)).unwrap();
+        sim.settle().unwrap();
+        assert!(sim.peek("q").unwrap().has_x(), "q unknown before first edge");
+        sim.poke("clk", Value::bit(true)).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.peek("q").unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn nonblocking_swap() {
+        // Classic: swap without temp works with <=.
+        let d = design(
+            "module s(input clk, output reg a, output reg b);
+               initial begin a = 1'b0; b = 1'b1; end
+               always @(posedge clk) begin a <= b; b <= a; end
+             endmodule",
+            "s",
+        );
+        let mut sim = Simulator::new(&d);
+        sim.poke("clk", Value::bit(false)).unwrap();
+        sim.settle().unwrap();
+        sim.poke("clk", Value::bit(true)).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.peek("a").unwrap().to_u64(), Some(1));
+        assert_eq!(sim.peek("b").unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn async_reset() {
+        let d = design(
+            "module r(input clk, rst_n, d, output reg q);
+               always @(posedge clk or negedge rst_n)
+                 if (!rst_n) q <= 1'b0; else q <= d;
+             endmodule",
+            "r",
+        );
+        let mut sim = Simulator::new(&d);
+        sim.poke("rst_n", Value::bit(true)).unwrap();
+        sim.poke("clk", Value::bit(false)).unwrap();
+        sim.poke("d", Value::bit(true)).unwrap();
+        sim.settle().unwrap();
+        sim.poke("rst_n", Value::bit(false)).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.peek("q").unwrap().to_u64(), Some(0), "async reset fires");
+        sim.poke("rst_n", Value::bit(true)).unwrap();
+        sim.poke("clk", Value::bit(true)).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.peek("q").unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn counter_with_width() {
+        let d = design(
+            "module c(input clk, rst, output reg [3:0] q);
+               always @(posedge clk)
+                 if (rst) q <= 4'd0; else q <= q + 4'd1;
+             endmodule",
+            "c",
+        );
+        let mut sim = Simulator::new(&d);
+        sim.poke("rst", Value::bit(true)).unwrap();
+        clock_cycles(&mut sim, "clk", 1, |_, _| Ok(())).unwrap();
+        sim.poke("rst", Value::bit(false)).unwrap();
+        clock_cycles(&mut sim, "clk", 17, |_, _| Ok(())).unwrap();
+        // 17 increments wrap a 4-bit counter to 1.
+        assert_eq!(sim.peek("q").unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn carry_preserved_by_context_width() {
+        let d = design(
+            "module a(input [3:0] x, y, output [4:0] s); assign s = x + y; endmodule",
+            "a",
+        );
+        let mut sim = Simulator::new(&d);
+        sim.poke("x", Value::from_u64(4, 15)).unwrap();
+        sim.poke("y", Value::from_u64(4, 1)).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.peek("s").unwrap().to_u64(), Some(16));
+    }
+
+    #[test]
+    fn concat_lvalue_assignment() {
+        let d = design(
+            "module a(input [3:0] x, y, output c, output [3:0] s);
+               assign {c, s} = x + y;
+             endmodule",
+            "a",
+        );
+        let mut sim = Simulator::new(&d);
+        sim.poke("x", Value::from_u64(4, 9)).unwrap();
+        sim.poke("y", Value::from_u64(4, 9)).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.peek("c").unwrap().to_u64(), Some(1));
+        assert_eq!(sim.peek("s").unwrap().to_u64(), Some(2));
+    }
+
+    #[test]
+    fn memory_sync_write_read() {
+        let d = design(
+            "module ram(input clk, we, input [3:0] addr, input [7:0] wd, output [7:0] rd);
+               reg [7:0] mem [0:15];
+               always @(posedge clk) if (we) mem[addr] <= wd;
+               assign rd = mem[addr];
+             endmodule",
+            "ram",
+        );
+        let mut sim = Simulator::new(&d);
+        sim.poke("we", Value::bit(true)).unwrap();
+        sim.poke("addr", Value::from_u64(4, 5)).unwrap();
+        sim.poke("wd", Value::from_u64(8, 0xab)).unwrap();
+        clock_cycles(&mut sim, "clk", 1, |_, _| Ok(())).unwrap();
+        assert_eq!(sim.peek("rd").unwrap().to_u64(), Some(0xab));
+        assert_eq!(sim.peek_mem("mem", 5).unwrap().to_u64(), Some(0xab));
+    }
+
+    #[test]
+    fn initial_with_delays_and_display() {
+        let run = run_testbench(
+            r#"module tb;
+                 reg [7:0] x;
+                 initial begin
+                   x = 8'd1;
+                   #5;
+                   x = x + 8'd2;
+                   #5;
+                   $display("x=%d t=%t", x, 0);
+                   $finish;
+                 end
+               endmodule"#,
+            "tb",
+            1000,
+        )
+        .unwrap();
+        assert!(run.finished);
+        assert_eq!(run.output.trim(), "x=3 t=10");
+    }
+
+    #[test]
+    fn periodic_clock_drives_dut() {
+        let run = run_testbench(
+            r#"module tb;
+                 reg clk = 0;
+                 reg [3:0] q = 0;
+                 always #5 clk = ~clk;
+                 always @(posedge clk) q <= q + 4'd1;
+                 initial begin
+                   #52;
+                   $display("%d", q);
+                   $finish;
+                 end
+               endmodule"#,
+            "tb",
+            1000,
+        )
+        .unwrap();
+        // Rising edges at 5,15,25,35,45 -> q = 5.
+        assert_eq!(run.output.trim(), "5");
+    }
+
+    #[test]
+    fn error_task_collects() {
+        let run = run_testbench(
+            r#"module tb;
+                 initial begin
+                   $error("boom %d", 7);
+                   $finish;
+                 end
+               endmodule"#,
+            "tb",
+            100,
+        )
+        .unwrap();
+        assert_eq!(run.errors, vec!["boom 7".to_string()]);
+    }
+
+    #[test]
+    fn comb_loop_detected() {
+        // Plain inverter rings settle to the all-X fixpoint under monotone
+        // X propagation, so build a real oscillator: `===` converts X to a
+        // defined value, and the feedback then flips forever.
+        let d = design(
+            "module l(output a);
+               assign a = (a === 1'b0) ? 1'b1 : 1'b0;
+             endmodule",
+            "l",
+        );
+        let mut sim = Simulator::new(&d);
+        let r = sim.settle();
+        assert!(r.is_err(), "oscillating loop must hit the delta limit");
+    }
+
+    #[test]
+    fn inverter_ring_settles_to_x() {
+        let d = design(
+            "module l(output a, b, c);
+               assign a = ~c; assign b = ~a; assign c = ~b;
+             endmodule",
+            "l",
+        );
+        let mut sim = Simulator::new(&d);
+        sim.settle().unwrap();
+        assert!(sim.peek("a").unwrap().has_x());
+    }
+
+    #[test]
+    fn x_propagates_through_uninitialized_reg() {
+        let d = design(
+            "module m(input clk, output reg q, output y);
+               always @(posedge clk) q <= ~q;
+               assign y = q;
+             endmodule",
+            "m",
+        );
+        let mut sim = Simulator::new(&d);
+        clock_cycles(&mut sim, "clk", 3, |_, _| Ok(())).unwrap();
+        assert!(sim.peek("y").unwrap().has_x(), "~X stays X without init");
+    }
+
+    #[test]
+    fn case_and_casez() {
+        let run = run_testbench(
+            r#"module tb;
+                 reg [3:0] s;
+                 reg [1:0] y;
+                 initial begin
+                   s = 4'b1010;
+                   casez (s)
+                     4'b1??0: y = 2'd1;
+                     default: y = 2'd0;
+                   endcase
+                   $display("%d", y);
+                   $finish;
+                 end
+               endmodule"#
+                .replace('?', "z")
+                .as_str(),
+            "tb",
+            100,
+        )
+        .unwrap();
+        assert_eq!(run.output.trim(), "1");
+    }
+
+    #[test]
+    fn for_loop_in_initial() {
+        let run = run_testbench(
+            r#"module tb;
+                 integer i;
+                 reg [7:0] acc;
+                 initial begin
+                   acc = 0;
+                   for (i = 0; i < 10; i = i + 1) acc = acc + 8'd3;
+                   $display("%d", acc);
+                   $finish;
+                 end
+               endmodule"#,
+            "tb",
+            100,
+        )
+        .unwrap();
+        assert_eq!(run.output.trim(), "30");
+    }
+
+    #[test]
+    fn hierarchical_simulation() {
+        let d = design(
+            "
+            module half(input a, b, output s, c);
+              assign s = a ^ b; assign c = a & b;
+            endmodule
+            module full(input a, b, cin, output s, cout);
+              wire s1, c1, c2;
+              half h0(.a(a), .b(b), .s(s1), .c(c1));
+              half h1(.a(s1), .b(cin), .s(s), .c(c2));
+              assign cout = c1 | c2;
+            endmodule",
+            "full",
+        );
+        let mut sim = Simulator::new(&d);
+        for a in 0..2u64 {
+            for b in 0..2u64 {
+                for cin in 0..2u64 {
+                    sim.poke("a", Value::from_u64(1, a)).unwrap();
+                    sim.poke("b", Value::from_u64(1, b)).unwrap();
+                    sim.poke("cin", Value::from_u64(1, cin)).unwrap();
+                    sim.settle().unwrap();
+                    let sum = a + b + cin;
+                    assert_eq!(sim.peek("s").unwrap().to_u64(), Some(sum & 1));
+                    assert_eq!(sim.peek("cout").unwrap().to_u64(), Some(sum >> 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_activity() {
+        let run = run_testbench(
+            "module tb; reg a; initial begin a = 0; a = 1; $finish; end endmodule",
+            "tb",
+            10,
+        )
+        .unwrap();
+        assert!(run.stats.instrs >= 3);
+        assert!(run.stats.toggles >= 1);
+    }
+}

@@ -1,0 +1,281 @@
+//! Vector-based testbench harness.
+//!
+//! A [`VectorTest`] drives a design through a sequence of input vectors and
+//! checks expected outputs, reporting the fraction of checks that pass.
+//! This pass fraction is exactly the ranking signal AutoChip-style flows
+//! use to score LLM-generated candidates (Section IV of the paper).
+
+use crate::elab::Design;
+use crate::error::HdlError;
+use crate::sim::Simulator;
+use crate::value::Value;
+
+/// One stimulus/check step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestVector {
+    /// Input values, in the order of [`VectorTest::inputs`].
+    pub inputs: Vec<Value>,
+    /// Expected outputs, in the order of [`VectorTest::outputs`]; `None`
+    /// entries are not checked (don't-care).
+    pub expected: Vec<Option<Value>>,
+}
+
+/// A vector testbench description.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VectorTest {
+    /// Input port names (excluding clock and reset).
+    pub inputs: Vec<String>,
+    /// Output port names to check.
+    pub outputs: Vec<String>,
+    /// Clock port; when present the design is clocked: inputs are applied
+    /// before the rising edge and outputs checked after it settles.
+    pub clock: Option<String>,
+    /// Reset port and its active level; asserted for two cycles before the
+    /// vectors run.
+    pub reset: Option<(String, bool)>,
+    /// The stimulus/check sequence.
+    pub vectors: Vec<TestVector>,
+}
+
+/// A single output mismatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mismatch {
+    /// Index of the failing vector.
+    pub vector: usize,
+    /// Output port name.
+    pub output: String,
+    pub expected: Value,
+    pub actual: Value,
+}
+
+/// Outcome of running a [`VectorTest`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TbReport {
+    /// Number of passed output checks.
+    pub passed: usize,
+    /// Total output checks performed.
+    pub total: usize,
+    /// Up to 8 recorded mismatches (enough for feedback prompts).
+    pub mismatches: Vec<Mismatch>,
+}
+
+impl TbReport {
+    /// Fraction of checks that passed (1.0 when there were no checks).
+    pub fn pass_fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.passed as f64 / self.total as f64
+        }
+    }
+
+    /// True when every check passed.
+    pub fn all_passed(&self) -> bool {
+        self.passed == self.total
+    }
+
+    /// Formats the first mismatches as EDA-tool-style feedback text.
+    pub fn feedback(&self) -> String {
+        if self.all_passed() {
+            return "all testbench checks passed".to_string();
+        }
+        let mut s = format!(
+            "testbench failed: {}/{} checks passed\n",
+            self.passed, self.total
+        );
+        for m in &self.mismatches {
+            s.push_str(&format!(
+                "  vector {}: output `{}` expected {:?}, got {:?}\n",
+                m.vector, m.output, m.expected, m.actual
+            ));
+        }
+        s
+    }
+}
+
+/// Runs a vector test against an elaborated design.
+///
+/// # Errors
+///
+/// Returns an error when a named port does not exist or simulation limits
+/// are exceeded. A *functional* mismatch is not an error — it is reported in
+/// the returned [`TbReport`].
+pub fn run_vectors(design: &Design, test: &VectorTest) -> Result<TbReport, HdlError> {
+    let mut sim = Simulator::new(design);
+    let mut report = TbReport::default();
+
+    // Validate port names up front for crisp error messages.
+    for name in test.inputs.iter().chain(test.outputs.iter()) {
+        if design.signal(name).is_none() {
+            return Err(HdlError::sim(format!("design has no port `{name}`")));
+        }
+    }
+
+    if let Some((rst, active_high)) = &test.reset {
+        sim.poke(rst, Value::bit(*active_high))?;
+        if let Some(clk) = &test.clock {
+            for _ in 0..2 {
+                sim.poke(clk, Value::bit(false))?;
+                sim.settle()?;
+                sim.poke(clk, Value::bit(true))?;
+                sim.settle()?;
+            }
+        } else {
+            sim.settle()?;
+        }
+        sim.poke(rst, Value::bit(!*active_high))?;
+        sim.settle()?;
+    }
+
+    for (vi, vector) in test.vectors.iter().enumerate() {
+        for (name, value) in test.inputs.iter().zip(&vector.inputs) {
+            sim.poke(name, *value)?;
+        }
+        match &test.clock {
+            Some(clk) => {
+                sim.poke(clk, Value::bit(false))?;
+                sim.settle()?;
+                sim.poke(clk, Value::bit(true))?;
+                sim.settle()?;
+            }
+            None => sim.settle()?,
+        }
+        for (name, expected) in test.outputs.iter().zip(&vector.expected) {
+            let Some(expected) = expected else { continue };
+            let actual = sim.peek(name)?;
+            report.total += 1;
+            if actual.resize(expected.width()).case_eq(expected) {
+                report.passed += 1;
+            } else if report.mismatches.len() < 8 {
+                report.mismatches.push(Mismatch {
+                    vector: vi,
+                    output: name.clone(),
+                    expected: *expected,
+                    actual,
+                });
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Convenience: parse + elaborate `src` (module `top`) and run the vectors.
+///
+/// # Errors
+///
+/// Propagates parse, elaboration, and simulation errors.
+pub fn check_source(src: &str, top: &str, test: &VectorTest) -> Result<TbReport, HdlError> {
+    let file = crate::parser::parse(src)?;
+    let design = crate::elab::elaborate(&file, top)?;
+    run_vectors(&design, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(width: u32, x: u64) -> Value {
+        Value::from_u64(width, x)
+    }
+
+    #[test]
+    fn combinational_vectors() {
+        let test = VectorTest {
+            inputs: vec!["a".into(), "b".into()],
+            outputs: vec!["y".into()],
+            clock: None,
+            reset: None,
+            vectors: (0..4)
+                .map(|i| TestVector {
+                    inputs: vec![v(1, i & 1), v(1, i >> 1)],
+                    expected: vec![Some(v(1, (i & 1) & (i >> 1)))],
+                })
+                .collect(),
+        };
+        let r = check_source(
+            "module m(input a, b, output y); assign y = a & b; endmodule",
+            "m",
+            &test,
+        )
+        .unwrap();
+        assert!(r.all_passed());
+        assert_eq!(r.total, 4);
+    }
+
+    #[test]
+    fn clocked_counter_with_reset() {
+        let test = VectorTest {
+            inputs: vec![],
+            outputs: vec!["q".into()],
+            clock: Some("clk".into()),
+            reset: Some(("rst".into(), true)),
+            vectors: (1..=5)
+                .map(|i| TestVector { inputs: vec![], expected: vec![Some(v(4, i))] })
+                .collect(),
+        };
+        let r = check_source(
+            "module c(input clk, rst, output reg [3:0] q);
+               always @(posedge clk) if (rst) q <= 4'd0; else q <= q + 4'd1;
+             endmodule",
+            "c",
+            &test,
+        )
+        .unwrap();
+        assert!(r.all_passed(), "{:?}", r.mismatches);
+    }
+
+    #[test]
+    fn mismatches_reported_with_feedback() {
+        let test = VectorTest {
+            inputs: vec!["a".into()],
+            outputs: vec!["y".into()],
+            clock: None,
+            reset: None,
+            vectors: vec![
+                TestVector { inputs: vec![v(1, 0)], expected: vec![Some(v(1, 1))] },
+                TestVector { inputs: vec![v(1, 1)], expected: vec![Some(v(1, 0))] },
+            ],
+        };
+        // Buggy design: buffer instead of inverter.
+        let r = check_source(
+            "module m(input a, output y); assign y = a; endmodule",
+            "m",
+            &test,
+        )
+        .unwrap();
+        assert_eq!(r.passed, 0);
+        assert_eq!(r.pass_fraction(), 0.0);
+        assert!(r.feedback().contains("expected"));
+    }
+
+    #[test]
+    fn dont_care_outputs_skipped() {
+        let test = VectorTest {
+            inputs: vec!["a".into()],
+            outputs: vec!["y".into()],
+            clock: None,
+            reset: None,
+            vectors: vec![TestVector { inputs: vec![v(1, 0)], expected: vec![None] }],
+        };
+        let r = check_source(
+            "module m(input a, output y); assign y = a; endmodule",
+            "m",
+            &test,
+        )
+        .unwrap();
+        assert_eq!(r.total, 0);
+        assert_eq!(r.pass_fraction(), 1.0);
+    }
+
+    #[test]
+    fn unknown_port_is_error() {
+        let test = VectorTest {
+            inputs: vec!["nope".into()],
+            outputs: vec![],
+            clock: None,
+            reset: None,
+            vectors: vec![],
+        };
+        assert!(check_source("module m(input a); endmodule", "m", &test).is_err());
+    }
+}

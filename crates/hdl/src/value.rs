@@ -1,0 +1,666 @@
+//! Four-state-lite logic values.
+//!
+//! A [`Value`] is a fixed-width bit vector of up to 128 bits where every bit
+//! is `0`, `1`, or `X` (unknown). `Z` is deliberately not modeled: no
+//! experiment in this repository requires tri-state buses, while `X`
+//! propagation is essential to catch uninitialized-register bugs injected by
+//! the simulated LLM (see `eda-llm`).
+//!
+//! Representation: two 64-bit words for the defined bits (`bits`) and two for
+//! the unknown mask (`xmask`). A bit position is `X` iff the corresponding
+//! `xmask` bit is set; in that case the `bits` bit is kept at 0 so that equal
+//! values have equal representations.
+
+use std::fmt;
+
+/// Maximum supported bit width of a [`Value`].
+pub const MAX_WIDTH: u32 = 128;
+
+/// A fixed-width logic vector with 0/1/X bits.
+///
+/// # Examples
+///
+/// ```
+/// use eda_hdl::value::Value;
+/// let a = Value::from_u64(8, 0x0f);
+/// let b = Value::from_u64(8, 0x35);
+/// assert_eq!((a.and(&b)).to_u64(), Some(0x05));
+/// assert_eq!(Value::all_x(4).to_u64(), None);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Value {
+    width: u32,
+    bits: [u64; 2],
+    xmask: [u64; 2],
+}
+
+fn mask_words(width: u32) -> [u64; 2] {
+    debug_assert!(width <= MAX_WIDTH);
+    match width {
+        0 => [0, 0],
+        w if w < 64 => [(1u64 << w) - 1, 0],
+        64 => [u64::MAX, 0],
+        w if w < 128 => [u64::MAX, (1u64 << (w - 64)) - 1],
+        _ => [u64::MAX, u64::MAX],
+    }
+}
+
+impl Value {
+    /// Creates a value of `width` bits from the low bits of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds [`MAX_WIDTH`].
+    pub fn from_u64(width: u32, v: u64) -> Self {
+        assert!((1..=MAX_WIDTH).contains(&width), "invalid width {width}");
+        let m = mask_words(width);
+        Value { width, bits: [v & m[0], 0], xmask: [0, 0] }
+    }
+
+    /// Creates a value from a full 128-bit quantity, truncated to `width`.
+    pub fn from_u128(width: u32, v: u128) -> Self {
+        assert!((1..=MAX_WIDTH).contains(&width), "invalid width {width}");
+        let m = mask_words(width);
+        Value {
+            width,
+            bits: [(v as u64) & m[0], ((v >> 64) as u64) & m[1]],
+            xmask: [0, 0],
+        }
+    }
+
+    /// All-zero value of the given width.
+    pub fn zero(width: u32) -> Self {
+        Self::from_u64(width.max(1), 0)
+    }
+
+    /// All-ones value of the given width.
+    pub fn ones(width: u32) -> Self {
+        let m = mask_words(width.max(1));
+        Value { width: width.max(1), bits: m, xmask: [0, 0] }
+    }
+
+    /// A value in which every bit is unknown (`X`).
+    pub fn all_x(width: u32) -> Self {
+        let w = width.max(1);
+        let m = mask_words(w);
+        Value { width: w, bits: [0, 0], xmask: m }
+    }
+
+    /// Single-bit `1` / `0` helpers.
+    pub fn bit(b: bool) -> Self {
+        Self::from_u64(1, b as u64)
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Returns `true` when at least one bit is unknown.
+    pub fn has_x(&self) -> bool {
+        self.xmask[0] != 0 || self.xmask[1] != 0
+    }
+
+    /// Returns the numeric value if fully defined and it fits in `u64`.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.has_x() || self.bits[1] != 0 {
+            None
+        } else {
+            Some(self.bits[0])
+        }
+    }
+
+    /// Returns the numeric value if fully defined.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.has_x() {
+            None
+        } else {
+            Some(self.bits[0] as u128 | (self.bits[1] as u128) << 64)
+        }
+    }
+
+    /// Truthiness following Verilog: `Some(true)` if any defined bit is 1,
+    /// `Some(false)` if all bits are defined 0, `None` (X) otherwise.
+    pub fn truthy(&self) -> Option<bool> {
+        if self.bits[0] != 0 || self.bits[1] != 0 {
+            Some(true)
+        } else if self.has_x() {
+            None
+        } else {
+            Some(false)
+        }
+    }
+
+    /// Resizes (zero-extends or truncates) to `width`.
+    pub fn resize(&self, width: u32) -> Self {
+        let w = width.clamp(1, MAX_WIDTH);
+        let m = mask_words(w);
+        Value {
+            width: w,
+            bits: [self.bits[0] & m[0], self.bits[1] & m[1]],
+            xmask: [self.xmask[0] & m[0], self.xmask[1] & m[1]],
+        }
+    }
+
+    /// Reads bit `i` as `Some(bool)` or `None` when `X` / out of range.
+    pub fn get_bit(&self, i: u32) -> Option<bool> {
+        if i >= self.width {
+            return Some(false);
+        }
+        let (w, b) = ((i / 64) as usize, i % 64);
+        if self.xmask[w] >> b & 1 == 1 {
+            None
+        } else {
+            Some(self.bits[w] >> b & 1 == 1)
+        }
+    }
+
+    fn set_bit_raw(&mut self, i: u32, bit: Option<bool>) {
+        let (w, b) = ((i / 64) as usize, i % 64);
+        match bit {
+            Some(true) => {
+                self.bits[w] |= 1 << b;
+                self.xmask[w] &= !(1 << b);
+            }
+            Some(false) => {
+                self.bits[w] &= !(1 << b);
+                self.xmask[w] &= !(1 << b);
+            }
+            None => {
+                self.bits[w] &= !(1 << b);
+                self.xmask[w] |= 1 << b;
+            }
+        }
+    }
+
+    /// Returns a copy with bit `i` set to `bit` (`None` = X).
+    pub fn with_bit(&self, i: u32, bit: Option<bool>) -> Self {
+        let mut v = *self;
+        if i < v.width {
+            v.set_bit_raw(i, bit);
+        }
+        v
+    }
+
+    /// Extracts bits `[hi:lo]` as a new value of width `hi - lo + 1`.
+    ///
+    /// Bits above `self.width` read as defined zeros.
+    pub fn slice(&self, hi: u32, lo: u32) -> Self {
+        assert!(hi >= lo, "slice hi < lo");
+        let w = (hi - lo + 1).min(MAX_WIDTH);
+        let mut out = Value::zero(w);
+        for i in 0..w {
+            out.set_bit_raw(i, self.get_bit(lo + i));
+        }
+        out
+    }
+
+    /// Returns a copy with bits `[hi:lo]` replaced by `src` (low bits first).
+    pub fn splice(&self, hi: u32, lo: u32, src: &Value) -> Self {
+        let mut out = *self;
+        for i in lo..=hi.min(self.width.saturating_sub(1)) {
+            out.set_bit_raw(i, src.get_bit(i - lo));
+        }
+        out
+    }
+
+    /// Concatenation `{self, rhs}` (self becomes the high part).
+    pub fn concat(&self, rhs: &Value) -> Self {
+        let w = (self.width + rhs.width).min(MAX_WIDTH);
+        let mut out = Value::zero(w);
+        for i in 0..rhs.width.min(w) {
+            out.set_bit_raw(i, rhs.get_bit(i));
+        }
+        for i in 0..self.width {
+            let pos = rhs.width + i;
+            if pos < w {
+                out.set_bit_raw(pos, self.get_bit(i));
+            }
+        }
+        out
+    }
+
+    /// Replication `{n{self}}`.
+    pub fn replicate(&self, n: u32) -> Self {
+        assert!(n >= 1, "replication count must be >= 1");
+        let mut out = *self;
+        for _ in 1..n {
+            out = out.concat(self);
+        }
+        out
+    }
+
+    // --- bitwise ---
+
+    /// Bitwise AND with per-bit X propagation (`0 & X = 0`).
+    pub fn and(&self, rhs: &Value) -> Self {
+        let w = self.width.max(rhs.width);
+        let a = self.resize(w);
+        let b = rhs.resize(w);
+        let mut out = Value::zero(w);
+        for i in 0..2 {
+            // Result bit is X when either input is X unless the other is a defined 0.
+            let known_zero_a = !a.bits[i] & !a.xmask[i];
+            let known_zero_b = !b.bits[i] & !b.xmask[i];
+            let x = (a.xmask[i] | b.xmask[i]) & !known_zero_a & !known_zero_b;
+            out.bits[i] = a.bits[i] & b.bits[i] & !x;
+            out.xmask[i] = x;
+        }
+        out.resize(w)
+    }
+
+    /// Bitwise OR with per-bit X propagation (`1 | X = 1`).
+    pub fn or(&self, rhs: &Value) -> Self {
+        let w = self.width.max(rhs.width);
+        let a = self.resize(w);
+        let b = rhs.resize(w);
+        let mut out = Value::zero(w);
+        for i in 0..2 {
+            let x = (a.xmask[i] | b.xmask[i]) & !a.bits[i] & !b.bits[i];
+            out.bits[i] = (a.bits[i] | b.bits[i]) & !x;
+            out.xmask[i] = x;
+        }
+        out.resize(w)
+    }
+
+    /// Bitwise XOR; any X input bit yields an X output bit.
+    pub fn xor(&self, rhs: &Value) -> Self {
+        let w = self.width.max(rhs.width);
+        let a = self.resize(w);
+        let b = rhs.resize(w);
+        let mut out = Value::zero(w);
+        for i in 0..2 {
+            let x = a.xmask[i] | b.xmask[i];
+            out.bits[i] = (a.bits[i] ^ b.bits[i]) & !x;
+            out.xmask[i] = x;
+        }
+        out.resize(w)
+    }
+
+    /// Bitwise NOT.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(&self) -> Self {
+        let m = mask_words(self.width);
+        Value {
+            width: self.width,
+            bits: [
+                !self.bits[0] & m[0] & !self.xmask[0],
+                !self.bits[1] & m[1] & !self.xmask[1],
+            ],
+            xmask: self.xmask,
+        }
+    }
+
+    // --- reductions ---
+
+    /// Reduction AND over all bits.
+    pub fn reduce_and(&self) -> Value {
+        let m = mask_words(self.width);
+        let all_ones = (self.bits[0] | self.xmask[0]) == m[0]
+            && (self.bits[1] | self.xmask[1]) == m[1];
+        if (self.bits[0] | self.xmask[0]) != m[0] || (self.bits[1] | self.xmask[1]) != m[1] {
+            // Some defined zero bit exists.
+            let _ = all_ones;
+            return Value::bit(false);
+        }
+        if self.has_x() {
+            Value::all_x(1)
+        } else {
+            Value::bit(true)
+        }
+    }
+
+    /// Reduction OR over all bits.
+    pub fn reduce_or(&self) -> Value {
+        if self.bits[0] != 0 || self.bits[1] != 0 {
+            Value::bit(true)
+        } else if self.has_x() {
+            Value::all_x(1)
+        } else {
+            Value::bit(false)
+        }
+    }
+
+    /// Reduction XOR (parity) over all bits.
+    pub fn reduce_xor(&self) -> Value {
+        if self.has_x() {
+            return Value::all_x(1);
+        }
+        let parity = (self.bits[0].count_ones() + self.bits[1].count_ones()) & 1;
+        Value::bit(parity == 1)
+    }
+
+    // --- arithmetic (unsigned; whole-value X propagation) ---
+
+    fn arith2(&self, rhs: &Value, w: u32, f: impl Fn(u128, u128) -> u128) -> Value {
+        if self.has_x() || rhs.has_x() {
+            return Value::all_x(w);
+        }
+        let a = self.to_u128().unwrap();
+        let b = rhs.to_u128().unwrap();
+        Value::from_u128(w, f(a, b))
+    }
+
+    /// Wrapping addition at the max operand width.
+    pub fn add(&self, rhs: &Value) -> Value {
+        let w = self.width.max(rhs.width);
+        self.arith2(rhs, w, |a, b| a.wrapping_add(b))
+    }
+
+    /// Wrapping subtraction at the max operand width.
+    pub fn sub(&self, rhs: &Value) -> Value {
+        let w = self.width.max(rhs.width);
+        self.arith2(rhs, w, |a, b| a.wrapping_sub(b))
+    }
+
+    /// Wrapping multiplication at the max operand width.
+    pub fn mul(&self, rhs: &Value) -> Value {
+        let w = self.width.max(rhs.width);
+        self.arith2(rhs, w, |a, b| a.wrapping_mul(b))
+    }
+
+    /// Division; divide-by-zero yields all-X as in Verilog.
+    pub fn div(&self, rhs: &Value) -> Value {
+        let w = self.width.max(rhs.width);
+        if self.has_x() || rhs.has_x() || rhs.to_u128() == Some(0) {
+            return Value::all_x(w);
+        }
+        self.arith2(rhs, w, |a, b| a / b)
+    }
+
+    /// Remainder; modulo-by-zero yields all-X.
+    pub fn rem(&self, rhs: &Value) -> Value {
+        let w = self.width.max(rhs.width);
+        if self.has_x() || rhs.has_x() || rhs.to_u128() == Some(0) {
+            return Value::all_x(w);
+        }
+        self.arith2(rhs, w, |a, b| a % b)
+    }
+
+    /// Unary two's-complement negation.
+    pub fn neg(&self) -> Value {
+        if self.has_x() {
+            return Value::all_x(self.width);
+        }
+        Value::from_u128(self.width, (self.to_u128().unwrap()).wrapping_neg())
+    }
+
+    /// Logical left shift.
+    pub fn shl(&self, rhs: &Value) -> Value {
+        if self.has_x() || rhs.has_x() {
+            return Value::all_x(self.width);
+        }
+        let sh = rhs.to_u128().unwrap();
+        if sh >= self.width as u128 {
+            return Value::zero(self.width);
+        }
+        Value::from_u128(self.width, self.to_u128().unwrap() << sh)
+    }
+
+    /// Logical right shift.
+    pub fn shr(&self, rhs: &Value) -> Value {
+        if self.has_x() || rhs.has_x() {
+            return Value::all_x(self.width);
+        }
+        let sh = rhs.to_u128().unwrap();
+        if sh >= self.width as u128 {
+            return Value::zero(self.width);
+        }
+        Value::from_u128(self.width, self.to_u128().unwrap() >> sh)
+    }
+
+    /// Arithmetic right shift (sign bit is the MSB of `self`).
+    pub fn ashr(&self, rhs: &Value) -> Value {
+        if self.has_x() || rhs.has_x() {
+            return Value::all_x(self.width);
+        }
+        let sh = (rhs.to_u128().unwrap()).min(self.width as u128) as u32;
+        let sign = self.get_bit(self.width - 1) == Some(true);
+        let mut out = self.shr(&Value::from_u64(32, sh as u64));
+        if sign {
+            for i in (self.width.saturating_sub(sh))..self.width {
+                out.set_bit_raw(i, Some(true));
+            }
+        }
+        out
+    }
+
+    // --- comparisons (return 1-bit values) ---
+
+    fn cmp2(&self, rhs: &Value, f: impl Fn(u128, u128) -> bool) -> Value {
+        if self.has_x() || rhs.has_x() {
+            return Value::all_x(1);
+        }
+        Value::bit(f(self.to_u128().unwrap(), rhs.to_u128().unwrap()))
+    }
+
+    /// Logical equality (`==`); X in either operand yields X.
+    pub fn eq_logic(&self, rhs: &Value) -> Value {
+        self.cmp2(rhs, |a, b| a == b)
+    }
+
+    /// Logical inequality (`!=`).
+    pub fn ne_logic(&self, rhs: &Value) -> Value {
+        self.cmp2(rhs, |a, b| a != b)
+    }
+
+    /// Unsigned less-than.
+    pub fn lt(&self, rhs: &Value) -> Value {
+        self.cmp2(rhs, |a, b| a < b)
+    }
+
+    /// Unsigned less-or-equal.
+    pub fn le(&self, rhs: &Value) -> Value {
+        self.cmp2(rhs, |a, b| a <= b)
+    }
+
+    /// Unsigned greater-than.
+    pub fn gt(&self, rhs: &Value) -> Value {
+        self.cmp2(rhs, |a, b| a > b)
+    }
+
+    /// Unsigned greater-or-equal.
+    pub fn ge(&self, rhs: &Value) -> Value {
+        self.cmp2(rhs, |a, b| a >= b)
+    }
+
+    /// Case equality (`===`): X compares equal to X.
+    pub fn case_eq(&self, rhs: &Value) -> bool {
+        let w = self.width.max(rhs.width);
+        let a = self.resize(w);
+        let b = rhs.resize(w);
+        a.bits == b.bits && a.xmask == b.xmask
+    }
+
+    /// Logical NOT (`!`).
+    pub fn logic_not(&self) -> Value {
+        match self.truthy() {
+            Some(b) => Value::bit(!b),
+            None => Value::all_x(1),
+        }
+    }
+
+    /// Formats as a binary literal string (for `%b`).
+    pub fn to_binary_string(&self) -> String {
+        let mut s = String::with_capacity(self.width as usize);
+        for i in (0..self.width).rev() {
+            s.push(match self.get_bit(i) {
+                Some(true) => '1',
+                Some(false) => '0',
+                None => 'x',
+            });
+        }
+        s
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'b{}", self.width, self.to_binary_string())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.to_u128() {
+            Some(v) => write!(f, "{v}"),
+            None => write!(f, "{}'b{}", self.width, self.to_binary_string()),
+        }
+    }
+}
+
+impl fmt::LowerHex for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.to_u128() {
+            Some(v) => write!(f, "{v:x}"),
+            None => {
+                // Hex digit is 'x' when any of its 4 bits is unknown.
+                let digits = (self.width as usize).div_ceil(4);
+                let mut s = String::new();
+                for d in (0..digits).rev() {
+                    let lo = (d * 4) as u32;
+                    let hi = (lo + 3).min(MAX_WIDTH - 1);
+                    let nib = self.slice(hi, lo);
+                    match nib.to_u64() {
+                        Some(v) => s.push(char::from_digit(v as u32, 16).unwrap()),
+                        None => s.push('x'),
+                    }
+                }
+                f.write_str(&s)
+            }
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::all_x(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_mask() {
+        let v = Value::from_u64(4, 0xff);
+        assert_eq!(v.to_u64(), Some(0xf));
+        assert_eq!(v.width(), 4);
+    }
+
+    #[test]
+    fn wide_values() {
+        let v = Value::from_u128(100, u128::MAX);
+        assert_eq!(v.to_u128(), Some((1u128 << 100) - 1));
+        let w = v.add(&Value::from_u64(100, 1));
+        assert_eq!(w.to_u128(), Some(0));
+    }
+
+    #[test]
+    fn x_propagation_arith() {
+        let a = Value::all_x(8);
+        let b = Value::from_u64(8, 3);
+        assert!(a.add(&b).has_x());
+        assert!(a.eq_logic(&b).has_x());
+    }
+
+    #[test]
+    fn bitwise_x_lazy() {
+        // 0 & X = 0, 1 | X = 1
+        let zero = Value::zero(1);
+        let one = Value::ones(1);
+        let x = Value::all_x(1);
+        assert_eq!(zero.and(&x).to_u64(), Some(0));
+        assert_eq!(one.or(&x).to_u64(), Some(1));
+        assert!(one.and(&x).has_x());
+        assert!(zero.or(&x).has_x());
+        assert!(one.xor(&x).has_x());
+    }
+
+    #[test]
+    fn slice_and_concat() {
+        let v = Value::from_u64(8, 0b1010_0110);
+        assert_eq!(v.slice(7, 4).to_u64(), Some(0b1010));
+        assert_eq!(v.slice(3, 0).to_u64(), Some(0b0110));
+        let c = v.slice(7, 4).concat(&v.slice(3, 0));
+        assert_eq!(c.to_u64(), Some(0b1010_0110));
+    }
+
+    #[test]
+    fn splice_roundtrip() {
+        let v = Value::zero(8);
+        let out = v.splice(5, 2, &Value::from_u64(4, 0b1111));
+        assert_eq!(out.to_u64(), Some(0b0011_1100));
+    }
+
+    #[test]
+    fn replicate_pattern() {
+        let v = Value::from_u64(2, 0b10);
+        assert_eq!(v.replicate(3).to_u64(), Some(0b101010));
+        assert_eq!(v.replicate(3).width(), 6);
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(Value::ones(5).reduce_and().to_u64(), Some(1));
+        assert_eq!(Value::from_u64(5, 0b10111).reduce_and().to_u64(), Some(0));
+        assert_eq!(Value::zero(5).reduce_or().to_u64(), Some(0));
+        assert_eq!(Value::from_u64(5, 0b00100).reduce_or().to_u64(), Some(1));
+        assert_eq!(Value::from_u64(4, 0b0111).reduce_xor().to_u64(), Some(1));
+        assert_eq!(Value::from_u64(4, 0b0110).reduce_xor().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn reduction_with_x() {
+        // X among ones -> X for AND; defined 0 dominates.
+        let v = Value::ones(4).with_bit(2, None);
+        assert!(v.reduce_and().has_x());
+        let v2 = v.with_bit(0, Some(false));
+        assert_eq!(v2.reduce_and().to_u64(), Some(0));
+        // A defined 1 dominates OR even with X present.
+        let v3 = Value::zero(4).with_bit(1, None).with_bit(3, Some(true));
+        assert_eq!(v3.reduce_or().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn division_by_zero_is_x() {
+        let a = Value::from_u64(8, 10);
+        assert!(a.div(&Value::zero(8)).has_x());
+        assert!(a.rem(&Value::zero(8)).has_x());
+        assert_eq!(a.div(&Value::from_u64(8, 3)).to_u64(), Some(3));
+        assert_eq!(a.rem(&Value::from_u64(8, 3)).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn shifts() {
+        let v = Value::from_u64(8, 0b1000_0001);
+        assert_eq!(v.shl(&Value::from_u64(3, 1)).to_u64(), Some(0b0000_0010));
+        assert_eq!(v.shr(&Value::from_u64(3, 1)).to_u64(), Some(0b0100_0000));
+        assert_eq!(v.ashr(&Value::from_u64(3, 1)).to_u64(), Some(0b1100_0000));
+        assert_eq!(v.shl(&Value::from_u64(8, 200)).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn case_equality_treats_x_as_literal() {
+        let x = Value::all_x(2);
+        assert!(x.case_eq(&Value::all_x(2)));
+        assert!(!x.case_eq(&Value::zero(2)));
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = Value::from_u64(8, 0xa5);
+        assert_eq!(format!("{v}"), "165");
+        assert_eq!(format!("{v:x}"), "a5");
+        assert_eq!(v.to_binary_string(), "10100101");
+        let x = Value::all_x(4);
+        assert_eq!(x.to_binary_string(), "xxxx");
+    }
+
+    #[test]
+    fn neg_wraps() {
+        let v = Value::from_u64(8, 1).neg();
+        assert_eq!(v.to_u64(), Some(0xff));
+    }
+}

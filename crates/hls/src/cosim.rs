@@ -1,0 +1,252 @@
+//! C↔hardware co-simulation (the paper's Fig. 2 stage 3, "equivalence
+//! verification").
+//!
+//! Runs the same inputs through the CPU reference (the `eda-cmini`
+//! interpreter) and the FSMD hardware model, comparing return values and
+//! output arrays. CPU-side runtime faults (division by zero, OOB) are
+//! counted separately: hardware does not trap, so those inputs are
+//! discrepancy *candidates* rather than equivalence failures.
+
+use crate::fsmd::{execute, FsmdOptions, FsmdResult};
+use crate::ir::LoweredFn;
+use crate::schedule::Schedule;
+use eda_cmini::{CValue, Interp, Program};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One co-simulation stimulus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CosimInput {
+    pub scalars: Vec<i64>,
+    pub arrays: Vec<Vec<i64>>,
+}
+
+/// A recorded mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CosimMismatch {
+    pub input_index: usize,
+    /// `"ret"` or `"array<k>[i]"`.
+    pub location: String,
+    pub cpu: i64,
+    pub hw: i64,
+}
+
+/// Co-simulation outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CosimOutcome {
+    /// Inputs compared (CPU run succeeded).
+    pub compared: usize,
+    /// Inputs where the CPU reference faulted (skipped).
+    pub cpu_faults: usize,
+    /// Recorded mismatches (capped at 16).
+    pub mismatches: Vec<CosimMismatch>,
+    /// Total hardware cycles across runs.
+    pub hw_cycles: u64,
+}
+
+impl CosimOutcome {
+    /// True when every compared input matched.
+    pub fn equivalent(&self) -> bool {
+        self.mismatches.is_empty() && self.compared > 0
+    }
+}
+
+/// Generates `n` seeded-random inputs with scalar values in
+/// `[0, scalar_range)` and array elements in `[0, elem_range)`.
+pub fn random_inputs(
+    f: &LoweredFn,
+    n: usize,
+    seed: u64,
+    scalar_range: i64,
+    elem_range: i64,
+) -> Vec<CosimInput> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc051_3141);
+    (0..n)
+        .map(|_| CosimInput {
+            scalars: f
+                .scalar_params
+                .iter()
+                .map(|_| rng.gen_range(0..scalar_range.max(1)))
+                .collect(),
+            arrays: f
+                .array_params
+                .iter()
+                .map(|a| {
+                    let len = f.arrays[*a as usize].len as usize;
+                    (0..len).map(|_| rng.gen_range(0..elem_range.max(1))).collect()
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Runs the CPU reference for one input. Returns `(ret, out_arrays)`.
+///
+/// # Errors
+///
+/// Propagates interpreter faults (the caller counts them).
+pub fn run_cpu(
+    prog: &Program,
+    func: &str,
+    input: &CosimInput,
+) -> Result<(i64, Vec<Vec<i64>>), eda_cmini::CminiError> {
+    let mut interp = Interp::new(prog);
+    let mut args: Vec<CValue> = Vec::new();
+    let mut ptrs = Vec::new();
+    let f = prog
+        .function(func)
+        .ok_or_else(|| eda_cmini::CminiError::type_err(0, format!("no function `{func}`")))?;
+    let mut scalar_i = 0;
+    let mut array_i = 0;
+    for p in &f.params {
+        if p.ty.is_array() || p.ty.is_pointer() {
+            let data = &input.arrays[array_i];
+            array_i += 1;
+            let ptr = interp.alloc_array(data, p.ty.bits().max(1), p.ty.unsigned);
+            ptrs.push((ptr, data.len()));
+            args.push(ptr);
+        } else {
+            args.push(CValue::Int(input.scalars[scalar_i]));
+            scalar_i += 1;
+        }
+    }
+    let ret = interp.call(func, &args)?;
+    let mut outs = Vec::new();
+    for (ptr, len) in ptrs {
+        outs.push(interp.read_array(ptr, len)?);
+    }
+    Ok((ret.as_int().unwrap_or(0), outs))
+}
+
+/// Runs the hardware model for one input. Returns `(result, out_arrays)`.
+///
+/// # Errors
+///
+/// Propagates FSMD faults (cycle budget).
+pub fn run_hw(
+    f: &LoweredFn,
+    sched: &Schedule,
+    input: &CosimInput,
+    opts: FsmdOptions,
+) -> Result<(FsmdResult, Vec<Vec<i64>>), crate::error::HlsError> {
+    let mut arrays = input.arrays.clone();
+    let r = execute(f, sched, &input.scalars, &mut arrays, opts)?;
+    Ok((r, arrays))
+}
+
+/// Compares CPU and hardware over all `inputs`.
+pub fn cosim(
+    prog: &Program,
+    func: &str,
+    f: &LoweredFn,
+    sched: &Schedule,
+    inputs: &[CosimInput],
+    opts: FsmdOptions,
+) -> CosimOutcome {
+    let mut out = CosimOutcome::default();
+    for (i, input) in inputs.iter().enumerate() {
+        let cpu = match run_cpu(prog, func, input) {
+            Ok(v) => v,
+            Err(_) => {
+                out.cpu_faults += 1;
+                continue;
+            }
+        };
+        let Ok((hw, hw_arrays)) = run_hw(f, sched, input, opts) else {
+            out.cpu_faults += 1;
+            continue;
+        };
+        out.compared += 1;
+        out.hw_cycles += hw.activity.cycles;
+        if let Some(hret) = hw.ret {
+            if hret != cpu.0 && out.mismatches.len() < 16 {
+                out.mismatches.push(CosimMismatch {
+                    input_index: i,
+                    location: "ret".to_string(),
+                    cpu: cpu.0,
+                    hw: hret,
+                });
+            }
+        }
+        for (k, (ca, ha)) in cpu.1.iter().zip(&hw_arrays).enumerate() {
+            for (j, (cv, hv)) in ca.iter().zip(ha).enumerate() {
+                if cv != hv && out.mismatches.len() < 16 {
+                    out.mismatches.push(CosimMismatch {
+                        input_index: i,
+                        location: format!("array{k}[{j}]"),
+                        cpu: *cv,
+                        hw: *hv,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::lower;
+    use crate::schedule::{schedule, Latencies, Resources};
+    use eda_cmini::parse;
+
+    fn setup(src: &str, func: &str) -> (Program, LoweredFn, Schedule) {
+        let prog = parse(src).unwrap();
+        let f = lower(&prog, func).unwrap();
+        let s = schedule(&f, Resources::default(), Latencies::default());
+        (prog, f, s)
+    }
+
+    #[test]
+    fn clean_kernel_is_equivalent() {
+        let src = "
+          int dot(int a[8], int b[8]) {
+            int s = 0;
+            for (int i = 0; i < 8; i++) s += a[i] * b[i];
+            return s;
+          }";
+        let (prog, f, sched) = setup(src, "dot");
+        let inputs = random_inputs(&f, 20, 42, 100, 100);
+        let out = cosim(&prog, "dot", &f, &sched, &inputs, FsmdOptions::default());
+        assert!(out.equivalent(), "{:?}", out.mismatches);
+        assert_eq!(out.compared, 20);
+    }
+
+    #[test]
+    fn narrowed_width_creates_mismatches() {
+        let src = "
+          int acc(int x[16]) {
+            #pragma HLS bitwidth var=s width=8
+            int s = 0;
+            for (int i = 0; i < 16; i++) s += x[i];
+            return s;
+          }";
+        let (prog, f, sched) = setup(src, "acc");
+        // Large elements force the 8-bit accumulator to wrap.
+        let inputs = random_inputs(&f, 10, 7, 100, 100);
+        let out = cosim(&prog, "acc", &f, &sched, &inputs, FsmdOptions::default());
+        assert!(!out.equivalent(), "expected overflow mismatches");
+    }
+
+    #[test]
+    fn cpu_faults_counted_not_compared() {
+        let src = "int f(int a, int b) { return a / b; }";
+        let (prog, f, sched) = setup(src, "f");
+        let inputs = vec![
+            CosimInput { scalars: vec![10, 0], arrays: vec![] },
+            CosimInput { scalars: vec![10, 2], arrays: vec![] },
+        ];
+        let out = cosim(&prog, "f", &f, &sched, &inputs, FsmdOptions::default());
+        assert_eq!(out.cpu_faults, 1);
+        assert_eq!(out.compared, 1);
+        assert!(out.equivalent());
+    }
+
+    #[test]
+    fn deterministic_input_generation() {
+        let (_, f, _) = setup("int f(int a) { return a; }", "f");
+        assert_eq!(random_inputs(&f, 5, 1, 10, 10), random_inputs(&f, 5, 1, 10, 10));
+        assert_ne!(random_inputs(&f, 5, 1, 10, 10), random_inputs(&f, 5, 2, 10, 10));
+    }
+}

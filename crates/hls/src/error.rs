@@ -1,0 +1,61 @@
+//! Error type for the HLS compiler.
+
+use std::fmt;
+
+/// HLS compilation or execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HlsError {
+    /// Source construct outside the synthesizable subset.
+    Unsupported { msg: String, line: u32 },
+    /// Internal scheduling/execution failure.
+    Internal { msg: String },
+    /// FSMD runtime fault (cycle limit).
+    Runtime { msg: String },
+}
+
+impl HlsError {
+    /// Creates an internal error.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        HlsError::Internal { msg: msg.into() }
+    }
+
+    /// Creates a runtime error.
+    pub fn runtime(msg: impl Into<String>) -> Self {
+        HlsError::Runtime { msg: msg.into() }
+    }
+
+    /// Tool-feedback category tag.
+    pub fn category(&self) -> &'static str {
+        match self {
+            HlsError::Unsupported { .. } => "hls-unsupported",
+            HlsError::Internal { .. } => "hls-internal",
+            HlsError::Runtime { .. } => "hls-runtime",
+        }
+    }
+}
+
+impl fmt::Display for HlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HlsError::Unsupported { msg, line } => {
+                write!(f, "HLS: unsupported construct at line {line}: {msg}")
+            }
+            HlsError::Internal { msg } => write!(f, "HLS internal error: {msg}"),
+            HlsError::Runtime { msg } => write!(f, "HLS runtime error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HlsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_category() {
+        let e = HlsError::Unsupported { msg: "malloc".into(), line: 4 };
+        assert!(e.to_string().contains("line 4"));
+        assert_eq!(e.category(), "hls-unsupported");
+    }
+}

@@ -1,0 +1,997 @@
+//! HLS intermediate representation and lowering from mini-C.
+//!
+//! A [`LoweredFn`] is a CFG of basic blocks over flat *slots* (scalar
+//! registers) and *arrays* (memories). Lowering inlines all calls (the
+//! HLS-compatible subset has no recursion), eagerly evaluates `&&`/`||`
+//! and ternaries (documented divergence from C short-circuiting), and
+//! applies `unroll` pragmas by body replication when the trip count is a
+//! compile-time constant divisible by the factor.
+
+use crate::error::HlsError;
+use eda_cmini::{BinOp, Block as CBlock, Expr, Function, Pragma, Program, Stmt, StmtKind, Type,
+                UnOp};
+use std::collections::HashMap;
+
+/// Index of a scalar register slot.
+pub type Slot = u32;
+/// Index of an array (memory).
+pub type ArrId = u32;
+/// Index of a basic block.
+pub type BlockId = u32;
+
+/// Functional-unit class an operation executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Adds, subtracts, compares, logic, shifts, selects, copies.
+    Alu,
+    Mul,
+    Div,
+    /// Memory port of the op's array.
+    Mem,
+}
+
+/// One three-address operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    Const { dst: Slot, value: i64 },
+    Bin { op: BinOp, dst: Slot, a: Slot, b: Slot },
+    Un { op: UnOp, dst: Slot, a: Slot },
+    /// `dst = c ? t : f` (eager select).
+    Select { dst: Slot, c: Slot, t: Slot, f: Slot },
+    Load { dst: Slot, arr: ArrId, idx: Slot },
+    Store { arr: ArrId, idx: Slot, val: Slot },
+    Copy { dst: Slot, src: Slot },
+}
+
+impl Op {
+    /// The functional unit this op occupies.
+    pub fn fu(&self) -> FuClass {
+        match self {
+            Op::Bin { op: BinOp::Mul, .. } => FuClass::Mul,
+            Op::Bin { op: BinOp::Div | BinOp::Rem, .. } => FuClass::Div,
+            Op::Load { .. } | Op::Store { .. } => FuClass::Mem,
+            _ => FuClass::Alu,
+        }
+    }
+
+    /// Destination slot written by this op, if any.
+    pub fn dst(&self) -> Option<Slot> {
+        match self {
+            Op::Const { dst, .. }
+            | Op::Bin { dst, .. }
+            | Op::Un { dst, .. }
+            | Op::Select { dst, .. }
+            | Op::Load { dst, .. }
+            | Op::Copy { dst, .. } => Some(*dst),
+            Op::Store { .. } => None,
+        }
+    }
+
+    /// Slots read by this op.
+    pub fn srcs(&self) -> Vec<Slot> {
+        match self {
+            Op::Const { .. } => vec![],
+            Op::Bin { a, b, .. } => vec![*a, *b],
+            Op::Un { a, .. } => vec![*a],
+            Op::Select { c, t, f, .. } => vec![*c, *t, *f],
+            Op::Load { idx, .. } => vec![*idx],
+            Op::Store { idx, val, .. } => vec![*idx, *val],
+            Op::Copy { src, .. } => vec![*src],
+        }
+    }
+
+    /// The array touched by a memory op.
+    pub fn array(&self) -> Option<ArrId> {
+        match self {
+            Op::Load { arr, .. } | Op::Store { arr, .. } => Some(*arr),
+            _ => None,
+        }
+    }
+}
+
+/// Block terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    Jump(BlockId),
+    Branch { cond: Slot, then_bb: BlockId, else_bb: BlockId },
+    Return(Option<Slot>),
+}
+
+/// A basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    pub ops: Vec<Op>,
+    pub term: Terminator,
+    /// Loop this block belongs to (innermost), if any.
+    pub loop_id: Option<u32>,
+}
+
+/// Scalar register metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotInfo {
+    pub name: String,
+    pub bits: u32,
+    pub unsigned: bool,
+    /// True for compiler temporaries.
+    pub temp: bool,
+}
+
+/// Array metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayInfo {
+    pub name: String,
+    pub len: u64,
+    pub elem_bits: u32,
+    pub unsigned: bool,
+    /// True when the array is a top-level function parameter (external
+    /// memory interface).
+    pub is_param: bool,
+}
+
+/// Loop metadata recorded during lowering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopInfo {
+    pub id: u32,
+    /// Header block (condition check).
+    pub header: BlockId,
+    /// Body entry block.
+    pub body: BlockId,
+    /// Static trip count when known.
+    pub trip_count: Option<u64>,
+    /// Pipeline II requested via pragma.
+    pub pipeline_ii: Option<u32>,
+    /// Unroll factor applied during lowering.
+    pub unrolled: u32,
+}
+
+/// A lowered function ready for scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredFn {
+    pub name: String,
+    pub slots: Vec<SlotInfo>,
+    pub arrays: Vec<ArrayInfo>,
+    pub blocks: Vec<BasicBlock>,
+    pub loops: Vec<LoopInfo>,
+    /// Scalar parameter slots in declaration order.
+    pub scalar_params: Vec<Slot>,
+    /// Array parameter ids in declaration order.
+    pub array_params: Vec<ArrId>,
+    pub entry: BlockId,
+    /// Return value width (bits, unsigned); `None` for void.
+    pub ret: Option<(u32, bool)>,
+    /// Non-fatal notes produced during lowering (ignored pragmas etc.).
+    pub warnings: Vec<String>,
+}
+
+/// Lowers `func` (and transitively inlined callees) from `prog`.
+///
+/// # Errors
+///
+/// Returns [`HlsError`] when the function uses constructs outside the
+/// HLS-compatible subset (dynamic allocation, recursion, unbounded loops,
+/// stdio) — run the repair flow first.
+pub fn lower(prog: &Program, func: &str) -> Result<LoweredFn, HlsError> {
+    let issues = eda_cmini::hls_compat_scan(prog);
+    if let Some(first) = issues.first() {
+        return Err(HlsError::Unsupported { msg: first.to_string(), line: first.line });
+    }
+    let f = prog
+        .function(func)
+        .ok_or_else(|| HlsError::Unsupported { msg: format!("no function `{func}`"), line: 0 })?;
+
+    let mut lw = Lowerer {
+        prog,
+        out: LoweredFn {
+            name: func.to_string(),
+            slots: Vec::new(),
+            arrays: Vec::new(),
+            blocks: Vec::new(),
+            loops: Vec::new(),
+            scalar_params: Vec::new(),
+            array_params: Vec::new(),
+            entry: 0,
+            ret: if f.ret.base == eda_cmini::BaseType::Void {
+                None
+            } else {
+                Some((f.ret.bits().max(1), f.ret.unsigned))
+            },
+            warnings: Vec::new(),
+        },
+        scopes: vec![HashMap::new()],
+        current: 0,
+        loop_stack: Vec::new(),
+        widths: collect_width_pragmas(f),
+        inline_depth: 0,
+        inline_ret: None,
+    };
+    lw.out.blocks.push(BasicBlock { ops: Vec::new(), term: Terminator::Return(None), loop_id: None });
+
+    // Bind parameters.
+    for p in &f.params {
+        if p.ty.is_array() || p.ty.is_pointer() {
+            let len = p.ty.element_count().max(1);
+            let arr = lw.new_array(&p.name, len, p.ty.bits().max(1), p.ty.unsigned, true);
+            lw.bind_array(&p.name, arr, p.ty.dims.clone());
+            lw.out.array_params.push(arr);
+        } else {
+            let slot = lw.new_var(&p.name, &p.ty);
+            lw.out.scalar_params.push(slot);
+        }
+    }
+    lw.lower_block(&f.body)?;
+    // Ensure final block terminates.
+    let cur = lw.current as usize;
+    if matches!(lw.out.blocks[cur].term, Terminator::Return(None)) {
+        // Keep the implicit return.
+    }
+    Ok(lw.out)
+}
+
+fn collect_width_pragmas(f: &Function) -> HashMap<String, u32> {
+    let mut out = HashMap::new();
+    for p in &f.pragmas {
+        if let Some((name, fields)) = p.directive() {
+            if name == "bitwidth" {
+                let var = fields.iter().find(|(k, _)| k == "var").map(|(_, v)| v.clone());
+                let width = fields
+                    .iter()
+                    .find(|(k, _)| k == "width")
+                    .and_then(|(_, v)| v.parse::<u32>().ok());
+                if let (Some(var), Some(width)) = (var, width) {
+                    out.insert(var, width.clamp(1, 64));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[derive(Clone)]
+enum NameBinding {
+    Scalar(Slot),
+    Array { id: ArrId, dims: Vec<u64> },
+}
+
+struct Lowerer<'p> {
+    prog: &'p Program,
+    out: LoweredFn,
+    scopes: Vec<HashMap<String, NameBinding>>,
+    current: BlockId,
+    /// (continue target, break target, loop id)
+    loop_stack: Vec<(BlockId, BlockId, u32)>,
+    widths: HashMap<String, u32>,
+    inline_depth: u32,
+    /// When lowering an inlined callee: (return-value slot, join block).
+    inline_ret: Option<(Slot, BlockId)>,
+}
+
+impl<'p> Lowerer<'p> {
+    fn new_block(&mut self) -> BlockId {
+        let id = self.out.blocks.len() as BlockId;
+        let loop_id = self.loop_stack.last().map(|(_, _, l)| *l);
+        self.out
+            .blocks
+            .push(BasicBlock { ops: Vec::new(), term: Terminator::Return(None), loop_id });
+        id
+    }
+
+    fn new_temp(&mut self, bits: u32, unsigned: bool) -> Slot {
+        let id = self.out.slots.len() as Slot;
+        self.out.slots.push(SlotInfo {
+            name: format!("t{id}"),
+            bits,
+            unsigned,
+            temp: true,
+        });
+        id
+    }
+
+    fn new_var(&mut self, name: &str, ty: &Type) -> Slot {
+        let id = self.out.slots.len() as Slot;
+        let bits = self.widths.get(name).copied().unwrap_or(ty.bits().max(1));
+        self.out.slots.push(SlotInfo {
+            name: format!("{name}_{id}"),
+            bits,
+            unsigned: ty.unsigned,
+            temp: false,
+        });
+        self.scopes
+            .last_mut()
+            .unwrap()
+            .insert(name.to_string(), NameBinding::Scalar(id));
+        id
+    }
+
+    fn new_array(&mut self, name: &str, len: u64, elem_bits: u32, unsigned: bool, is_param: bool) -> ArrId {
+        let id = self.out.arrays.len() as ArrId;
+        let elem_bits = self.widths.get(name).copied().unwrap_or(elem_bits);
+        self.out.arrays.push(ArrayInfo {
+            name: format!("{name}_{id}"),
+            len,
+            elem_bits,
+            unsigned,
+            is_param,
+        });
+        id
+    }
+
+    fn bind_array(&mut self, name: &str, id: ArrId, dims: Vec<u64>) {
+        let dims = if dims.len() > 1 { dims[1..].to_vec() } else { Vec::new() };
+        self.scopes
+            .last_mut()
+            .unwrap()
+            .insert(name.to_string(), NameBinding::Array { id, dims });
+    }
+
+    fn lookup(&self, name: &str) -> Option<NameBinding> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(b) = scope.get(name) {
+                return Some(b.clone());
+            }
+        }
+        None
+    }
+
+    fn push(&mut self, op: Op) {
+        self.out.blocks[self.current as usize].ops.push(op);
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        self.out.blocks[self.current as usize].term = term;
+    }
+
+    fn err<T>(&self, line: u32, msg: impl Into<String>) -> Result<T, HlsError> {
+        Err(HlsError::Unsupported { msg: msg.into(), line })
+    }
+
+    fn lower_block(&mut self, b: &CBlock) -> Result<(), HlsError> {
+        self.scopes.push(HashMap::new());
+        for s in &b.stmts {
+            self.lower_stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt) -> Result<(), HlsError> {
+        match &s.kind {
+            StmtKind::Pragma(_) => Ok(()),
+            StmtKind::Decl { ty, name, init } => {
+                if ty.is_array() {
+                    let arr =
+                        self.new_array(name, ty.element_count(), ty.bits().max(1), ty.unsigned, false);
+                    self.bind_array(name, arr, ty.dims.clone());
+                    Ok(())
+                } else if ty.is_pointer() {
+                    self.err(s.line, "pointer declarations are not HLS-synthesizable")
+                } else {
+                    let slot = self.new_var(name, ty);
+                    let src = match init {
+                        Some(e) => self.lower_expr(e, s.line)?,
+                        None => {
+                            let z = self.new_temp(ty.bits().max(1), ty.unsigned);
+                            self.push(Op::Const { dst: z, value: 0 });
+                            z
+                        }
+                    };
+                    self.push(Op::Copy { dst: slot, src });
+                    Ok(())
+                }
+            }
+            StmtKind::Expr(e) => {
+                self.lower_expr(e, s.line)?;
+                Ok(())
+            }
+            StmtKind::Return(e) => {
+                let slot = match e {
+                    Some(e) => Some(self.lower_expr(e, s.line)?),
+                    None => None,
+                };
+                match self.inline_ret {
+                    Some((ret_slot, join)) => {
+                        if let Some(v) = slot {
+                            self.push(Op::Copy { dst: ret_slot, src: v });
+                        }
+                        self.terminate(Terminator::Jump(join));
+                    }
+                    None => self.terminate(Terminator::Return(slot)),
+                }
+                // Dead block for any trailing code.
+                let dead = self.new_block();
+                self.current = dead;
+                Ok(())
+            }
+            StmtKind::If { cond, then_branch, else_branch } => {
+                let c = self.lower_expr(cond, s.line)?;
+                let then_bb = self.new_block();
+                let else_bb = self.new_block();
+                let join = self.new_block();
+                self.terminate(Terminator::Branch { cond: c, then_bb, else_bb });
+                self.current = then_bb;
+                self.lower_block(then_branch)?;
+                self.terminate(Terminator::Jump(join));
+                self.current = else_bb;
+                if let Some(eb) = else_branch {
+                    self.lower_block(eb)?;
+                }
+                self.terminate(Terminator::Jump(join));
+                self.current = join;
+                Ok(())
+            }
+            StmtKind::While { cond, body, pragmas } => {
+                self.lower_loop(None, Some(cond), None, body, pragmas, None, s.line)
+            }
+            StmtKind::DoWhile { body, cond } => {
+                // do { B } while (c)  =>  B; while (c) { B }
+                self.lower_block(body)?;
+                self.lower_loop(None, Some(cond), None, body, &[], None, s.line)
+            }
+            StmtKind::For { init, cond, step, body, pragmas } => {
+                let trip = static_trip_count(init.as_deref(), cond.as_ref(), step.as_ref());
+                if let Some(i) = init {
+                    self.lower_stmt(i)?;
+                }
+                self.lower_loop(
+                    None,
+                    cond.as_ref(),
+                    step.as_ref(),
+                    body,
+                    pragmas,
+                    trip,
+                    s.line,
+                )
+            }
+            StmtKind::Break => {
+                let Some((_, brk, _)) = self.loop_stack.last().copied() else {
+                    return self.err(s.line, "break outside loop");
+                };
+                self.terminate(Terminator::Jump(brk));
+                let dead = self.new_block();
+                self.current = dead;
+                Ok(())
+            }
+            StmtKind::Continue => {
+                let Some((cont, _, _)) = self.loop_stack.last().copied() else {
+                    return self.err(s.line, "continue outside loop");
+                };
+                self.terminate(Terminator::Jump(cont));
+                let dead = self.new_block();
+                self.current = dead;
+                Ok(())
+            }
+            StmtKind::Block(b) => self.lower_block(b),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lower_loop(
+        &mut self,
+        _init: Option<&Stmt>,
+        cond: Option<&Expr>,
+        step: Option<&Expr>,
+        body: &CBlock,
+        pragmas: &[Pragma],
+        trip: Option<u64>,
+        line: u32,
+    ) -> Result<(), HlsError> {
+        let loop_id = self.out.loops.len() as u32;
+        let mut pipeline_ii = None;
+        let mut unroll = 1u32;
+        for p in pragmas {
+            if let Some((name, fields)) = p.directive() {
+                match name.as_str() {
+                    "pipeline" => {
+                        let ii = fields
+                            .iter()
+                            .find(|(k, _)| k == "ii")
+                            .and_then(|(_, v)| v.parse::<u32>().ok())
+                            .unwrap_or(1);
+                        pipeline_ii = Some(ii.max(1));
+                    }
+                    "unroll" => {
+                        unroll = fields
+                            .iter()
+                            .find(|(k, _)| k == "factor")
+                            .and_then(|(_, v)| v.parse::<u32>().ok())
+                            .unwrap_or(2)
+                            .max(1);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Unrolling requires a known trip count divisible by the factor and
+        // a branch-free body.
+        let mut replicate = 1u32;
+        if unroll > 1 {
+            let branch_free = body_is_branch_free(body);
+            match trip {
+                Some(t) if t % unroll as u64 == 0 && branch_free => replicate = unroll,
+                _ => self.out.warnings.push(format!(
+                    "line {line}: unroll factor {unroll} ignored (trip count unknown, \
+                     not divisible, or body has control flow)"
+                )),
+            }
+        }
+
+        let header = self.new_block();
+        self.terminate(Terminator::Jump(header));
+        let body_bb = self.new_block();
+        let exit_bb = self.new_block();
+
+        self.out.loops.push(LoopInfo {
+            id: loop_id,
+            header,
+            body: body_bb,
+            trip_count: trip,
+            pipeline_ii,
+            unrolled: replicate,
+        });
+
+        // Header: evaluate condition.
+        self.current = header;
+        self.out.blocks[header as usize].loop_id = Some(loop_id);
+        match cond {
+            Some(c) => {
+                let cs = self.lower_expr(c, line)?;
+                self.terminate(Terminator::Branch { cond: cs, then_bb: body_bb, else_bb: exit_bb });
+            }
+            None => self.terminate(Terminator::Jump(body_bb)),
+        }
+
+        // Body (+ step), replicated `replicate` times.
+        self.current = body_bb;
+        self.out.blocks[body_bb as usize].loop_id = Some(loop_id);
+        self.loop_stack.push((header, exit_bb, loop_id));
+        for _ in 0..replicate {
+            self.lower_block(body)?;
+            if let Some(st) = step {
+                self.lower_expr(st, line)?;
+            }
+        }
+        self.loop_stack.pop();
+        self.terminate(Terminator::Jump(header));
+        self.current = exit_bb;
+        Ok(())
+    }
+
+    fn slot_bits(&self, s: Slot) -> (u32, bool) {
+        let i = &self.out.slots[s as usize];
+        (i.bits, i.unsigned)
+    }
+
+    fn lower_expr(&mut self, e: &Expr, line: u32) -> Result<Slot, HlsError> {
+        match e {
+            Expr::IntLit(v) | Expr::CharLit(v) => {
+                let t = self.new_temp(64, false);
+                self.push(Op::Const { dst: t, value: *v });
+                Ok(t)
+            }
+            Expr::StrLit(_) => self.err(line, "string literals are not synthesizable"),
+            Expr::SizeOf(_) => {
+                let t = self.new_temp(64, false);
+                self.push(Op::Const { dst: t, value: 1 });
+                Ok(t)
+            }
+            Expr::Ident(name) => match self.lookup(name) {
+                Some(NameBinding::Scalar(s)) => Ok(s),
+                Some(NameBinding::Array { .. }) => {
+                    self.err(line, format!("array `{name}` used as a scalar"))
+                }
+                None => self.err(line, format!("unknown variable `{name}`")),
+            },
+            Expr::Cast(ty, inner) => {
+                let v = self.lower_expr(inner, line)?;
+                let t = self.new_temp(ty.bits().max(1), ty.unsigned);
+                self.push(Op::Copy { dst: t, src: v });
+                Ok(t)
+            }
+            Expr::Unary(op, a) => {
+                let av = self.lower_expr(a, line)?;
+                let (bits, unsigned) = self.slot_bits(av);
+                let t = self.new_temp(if matches!(op, UnOp::Not) { 1 } else { bits }, unsigned);
+                self.push(Op::Un { op: *op, dst: t, a: av });
+                Ok(t)
+            }
+            Expr::Binary(op, a, b) => {
+                let av = self.lower_expr(a, line)?;
+                let bv = self.lower_expr(b, line)?;
+                let (ab, au) = self.slot_bits(av);
+                let (bb, _) = self.slot_bits(bv);
+                let bits = if op.is_comparison() || matches!(op, BinOp::LogAnd | BinOp::LogOr) {
+                    1
+                } else {
+                    ab.max(bb)
+                };
+                let t = self.new_temp(bits, au);
+                self.push(Op::Bin { op: *op, dst: t, a: av, b: bv });
+                Ok(t)
+            }
+            Expr::Ternary(c, tt, ff) => {
+                let cv = self.lower_expr(c, line)?;
+                let tv = self.lower_expr(tt, line)?;
+                let fv = self.lower_expr(ff, line)?;
+                let (tb, tu) = self.slot_bits(tv);
+                let t = self.new_temp(tb, tu);
+                self.push(Op::Select { dst: t, c: cv, t: tv, f: fv });
+                Ok(t)
+            }
+            Expr::Index(..) => {
+                let (arr, idx) = self.lower_array_access(e, line)?;
+                let (bits, unsigned) = {
+                    let a = &self.out.arrays[arr as usize];
+                    (a.elem_bits, a.unsigned)
+                };
+                let t = self.new_temp(bits, unsigned);
+                self.push(Op::Load { dst: t, arr, idx });
+                Ok(t)
+            }
+            Expr::IncDec { target, inc, prefix } => {
+                let cur = self.lower_expr(target, line)?;
+                let one = self.new_temp(64, false);
+                self.push(Op::Const { dst: one, value: 1 });
+                let (bits, unsigned) = self.slot_bits(cur);
+                let newv = self.new_temp(bits, unsigned);
+                let op = if *inc { BinOp::Add } else { BinOp::Sub };
+                self.push(Op::Bin { op, dst: newv, a: cur, b: one });
+                self.store_target(target, newv, line)?;
+                Ok(if *prefix { newv } else { cur })
+            }
+            Expr::Assign { op, target, value } => {
+                let rhs = self.lower_expr(value, line)?;
+                let v = match op {
+                    None => rhs,
+                    Some(binop) => {
+                        let cur = self.lower_expr(target, line)?;
+                        let (bits, unsigned) = self.slot_bits(cur);
+                        let t = self.new_temp(bits, unsigned);
+                        self.push(Op::Bin { op: *binop, dst: t, a: cur, b: rhs });
+                        t
+                    }
+                };
+                self.store_target(target, v, line)?;
+                Ok(v)
+            }
+            Expr::Call(name, args) => self.lower_call(name, args, line),
+            Expr::AddrOf(_) | Expr::Deref(_) => {
+                self.err(line, "pointer operations are not HLS-synthesizable")
+            }
+        }
+    }
+
+    fn store_target(&mut self, target: &Expr, val: Slot, line: u32) -> Result<(), HlsError> {
+        match target {
+            Expr::Ident(name) => match self.lookup(name) {
+                Some(NameBinding::Scalar(s)) => {
+                    self.push(Op::Copy { dst: s, src: val });
+                    Ok(())
+                }
+                _ => self.err(line, format!("cannot assign to `{name}`")),
+            },
+            Expr::Index(..) => {
+                let (arr, idx) = self.lower_array_access(target, line)?;
+                self.push(Op::Store { arr, idx, val });
+                Ok(())
+            }
+            Expr::Cast(_, inner) => self.store_target(inner, val, line),
+            _ => self.err(line, "unsupported assignment target"),
+        }
+    }
+
+    /// Flattens an `a[i]` / `a[i][j]` chain to (array, linear index slot).
+    fn lower_array_access(&mut self, e: &Expr, line: u32) -> Result<(ArrId, Slot), HlsError> {
+        // Collect the index chain.
+        let mut idxs = Vec::new();
+        let mut cur = e;
+        while let Expr::Index(base, idx) = cur {
+            idxs.push(idx.as_ref());
+            cur = base;
+        }
+        idxs.reverse();
+        let Expr::Ident(name) = cur else {
+            return self.err(line, "only named arrays can be indexed");
+        };
+        let Some(NameBinding::Array { id, dims }) = self.lookup(name) else {
+            return self.err(line, format!("`{name}` is not an array"));
+        };
+        // Linearize: idx0 * prod(dims) + idx1 * prod(dims[1..]) + ...
+        let mut linear: Option<Slot> = None;
+        for (k, idx_expr) in idxs.iter().enumerate() {
+            let iv = self.lower_expr(idx_expr, line)?;
+            let stride: u64 = dims.iter().skip(k).product::<u64>().max(1);
+            let scaled = if stride == 1 {
+                iv
+            } else {
+                let c = self.new_temp(64, false);
+                self.push(Op::Const { dst: c, value: stride as i64 });
+                let t = self.new_temp(64, false);
+                self.push(Op::Bin { op: BinOp::Mul, dst: t, a: iv, b: c });
+                t
+            };
+            linear = Some(match linear {
+                None => scaled,
+                Some(acc) => {
+                    let t = self.new_temp(64, false);
+                    self.push(Op::Bin { op: BinOp::Add, dst: t, a: acc, b: scaled });
+                    t
+                }
+            });
+        }
+        let idx = linear.ok_or(HlsError::Unsupported {
+            msg: "array access without index".to_string(),
+            line,
+        })?;
+        Ok((id, idx))
+    }
+
+    fn lower_call(&mut self, name: &str, args: &[Expr], line: u32) -> Result<Slot, HlsError> {
+        match name {
+            "abs" => {
+                let a = self.lower_expr(&args[0], line)?;
+                let zero = self.new_temp(64, false);
+                self.push(Op::Const { dst: zero, value: 0 });
+                let neg = self.new_temp(64, false);
+                self.push(Op::Bin { op: BinOp::Sub, dst: neg, a: zero, b: a });
+                let isneg = self.new_temp(1, false);
+                self.push(Op::Bin { op: BinOp::Lt, dst: isneg, a, b: zero });
+                let (bits, unsigned) = self.slot_bits(a);
+                let t = self.new_temp(bits, unsigned);
+                self.push(Op::Select { dst: t, c: isneg, t: neg, f: a });
+                Ok(t)
+            }
+            "assert" => {
+                // Hardware has no trap: asserts are dropped with a note.
+                self.out
+                    .warnings
+                    .push(format!("line {line}: assert() dropped during synthesis"));
+                let t = self.new_temp(1, false);
+                self.push(Op::Const { dst: t, value: 0 });
+                Ok(t)
+            }
+            "malloc" | "calloc" | "free" | "printf" | "putchar" | "memset" | "memcpy" => {
+                self.err(line, format!("`{name}` is not HLS-synthesizable"))
+            }
+            _ => {
+                // Inline user function.
+                if self.inline_depth > 16 {
+                    return self.err(line, "inlining depth exceeded");
+                }
+                let callee = self
+                    .prog
+                    .function(name)
+                    .ok_or_else(|| HlsError::Unsupported {
+                        msg: format!("unknown function `{name}`"),
+                        line,
+                    })?
+                    .clone();
+                if callee.params.len() != args.len() {
+                    return self.err(line, format!("`{name}` arity mismatch"));
+                }
+                // Evaluate arguments in the caller scope, then bind a fresh
+                // scope for the callee body.
+                let mut bindings = Vec::new();
+                for (p, a) in callee.params.iter().zip(args) {
+                    if p.ty.is_array() || p.ty.is_pointer() {
+                        // Array argument must be a named array.
+                        let Expr::Ident(an) = a else {
+                            return self.err(line, "array argument must be a plain array name");
+                        };
+                        let Some(NameBinding::Array { id, .. }) = self.lookup(an) else {
+                            return self.err(line, format!("`{an}` is not an array"));
+                        };
+                        let dims =
+                            if p.ty.dims.len() > 1 { p.ty.dims[1..].to_vec() } else { Vec::new() };
+                        bindings.push((p.name.clone(), NameBinding::Array { id, dims }));
+                    } else {
+                        let v = self.lower_expr(a, line)?;
+                        let slot = {
+                            let id = self.out.slots.len() as Slot;
+                            self.out.slots.push(SlotInfo {
+                                name: format!("{}_{}_{id}", name, p.name),
+                                bits: p.ty.bits().max(1),
+                                unsigned: p.ty.unsigned,
+                                temp: false,
+                            });
+                            id
+                        };
+                        self.push(Op::Copy { dst: slot, src: v });
+                        bindings.push((p.name.clone(), NameBinding::Scalar(slot)));
+                    }
+                }
+                let ret_slot = self.new_temp(callee.ret.bits().max(1), callee.ret.unsigned);
+                self.push(Op::Const { dst: ret_slot, value: 0 });
+
+                self.inline_depth += 1;
+                let mut scope = HashMap::new();
+                for (n, b) in bindings {
+                    scope.insert(n, b);
+                }
+                self.scopes.push(scope);
+                // Returns inside the callee become writes to ret_slot +
+                // jump to a join block.
+                let join = self.new_block();
+                let saved = self.inline_ret.replace((ret_slot, join));
+                for s in &callee.body.stmts {
+                    self.lower_stmt(s)?;
+                }
+                self.terminate(Terminator::Jump(join));
+                self.inline_ret = saved;
+                self.scopes.pop();
+                self.inline_depth -= 1;
+                self.current = join;
+                Ok(ret_slot)
+            }
+        }
+    }
+}
+
+fn body_is_branch_free(b: &CBlock) -> bool {
+    b.stmts.iter().all(|s| {
+        matches!(
+            s.kind,
+            StmtKind::Decl { .. } | StmtKind::Expr(_) | StmtKind::Pragma(_)
+        )
+    })
+}
+
+/// Detects `for (i = C0; i < C1; i += C2)`-style loops and returns the trip
+/// count.
+fn static_trip_count(
+    init: Option<&Stmt>,
+    cond: Option<&Expr>,
+    step: Option<&Expr>,
+) -> Option<u64> {
+    let init = init?;
+    let (var, start) = match &init.kind {
+        StmtKind::Decl { name, init: Some(Expr::IntLit(v)), .. } => (name.clone(), *v),
+        StmtKind::Expr(Expr::Assign { op: None, target, value }) => match (&**target, &**value) {
+            (Expr::Ident(n), Expr::IntLit(v)) => (n.clone(), *v),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let (end, inclusive) = match cond? {
+        Expr::Binary(BinOp::Lt, a, b) => match (&**a, &**b) {
+            (Expr::Ident(n), Expr::IntLit(v)) if *n == var => (*v, false),
+            _ => return None,
+        },
+        Expr::Binary(BinOp::Le, a, b) => match (&**a, &**b) {
+            (Expr::Ident(n), Expr::IntLit(v)) if *n == var => (*v, true),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let stride = match step? {
+        Expr::IncDec { target, inc: true, .. } => match &**target {
+            Expr::Ident(n) if *n == var => 1,
+            _ => return None,
+        },
+        Expr::Assign { op: Some(BinOp::Add), target, value } => match (&**target, &**value) {
+            (Expr::Ident(n), Expr::IntLit(v)) if *n == var && *v > 0 => *v,
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let span = end - start + if inclusive { 1 } else { 0 };
+    if span <= 0 {
+        return Some(0);
+    }
+    Some(((span + stride - 1) / stride) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_cmini::parse;
+
+    fn lw(src: &str, f: &str) -> LoweredFn {
+        lower(&parse(src).unwrap(), f).unwrap()
+    }
+
+    #[test]
+    fn lowers_straight_line() {
+        let f = lw("int f(int a, int b) { return a + b * 2; }", "f");
+        assert_eq!(f.scalar_params.len(), 2);
+        assert!(f.blocks[f.entry as usize]
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::Bin { op: BinOp::Mul, .. })));
+    }
+
+    #[test]
+    fn lowers_loop_with_trip_count() {
+        let f = lw(
+            "int f(int x[16]) { int s = 0; for (int i = 0; i < 16; i++) s += x[i]; return s; }",
+            "f",
+        );
+        assert_eq!(f.loops.len(), 1);
+        assert_eq!(f.loops[0].trip_count, Some(16));
+        assert_eq!(f.array_params.len(), 1);
+    }
+
+    #[test]
+    fn pipeline_pragma_recorded() {
+        let f = lw(
+            "void f(int x[8]) {\n#pragma HLS pipeline II=2\nfor (int i = 0; i < 8; i++) x[i] = i; }",
+            "f",
+        );
+        assert_eq!(f.loops[0].pipeline_ii, Some(2));
+    }
+
+    #[test]
+    fn unroll_replicates_branch_free_body() {
+        let f = lw(
+            "void f(int x[8]) {\n#pragma HLS unroll factor=4\nfor (int i = 0; i < 8; i++) x[i] = i; }",
+            "f",
+        );
+        assert_eq!(f.loops[0].unrolled, 4);
+        // Body block contains 4 stores.
+        let body = &f.blocks[f.loops[0].body as usize];
+        let stores = body.ops.iter().filter(|o| matches!(o, Op::Store { .. })).count();
+        assert_eq!(stores, 4);
+    }
+
+    #[test]
+    fn unroll_ignored_with_unknown_trip() {
+        let f = lw(
+            "void f(int x[8], int n) {\n#pragma HLS unroll factor=4\nfor (int i = 0; i < 8; i++) if (n) x[i] = i; }",
+            "f",
+        );
+        assert_eq!(f.loops[0].unrolled, 1);
+        assert!(!f.warnings.is_empty());
+    }
+
+    #[test]
+    fn rejects_malloc() {
+        let r = lower(
+            &parse("int f(int n) { int *p = (int*)malloc(n * sizeof(int)); free(p); return 0; }")
+                .unwrap(),
+            "f",
+        );
+        assert!(matches!(r, Err(HlsError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn inlines_calls() {
+        let f = lw(
+            "int sq(int x) { return x * x; }
+             int f(int a) { return sq(a) + sq(a + 1); }",
+            "f",
+        );
+        let muls: usize = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .filter(|o| matches!(o, Op::Bin { op: BinOp::Mul, .. }))
+            .count();
+        assert_eq!(muls, 2, "both callee bodies inlined");
+    }
+
+    #[test]
+    fn bitwidth_pragma_applies() {
+        let f = lw(
+            "int f(int a) {\n#pragma HLS bitwidth var=acc width=12\nint acc = a; acc += 1; return acc; }",
+            "f",
+        );
+        let acc = f.slots.iter().find(|s| s.name.starts_with("acc")).unwrap();
+        assert_eq!(acc.bits, 12);
+    }
+
+    #[test]
+    fn two_d_arrays_linearized() {
+        let f = lw(
+            "void f(int m[2][3]) { for (int i = 0; i < 2; i++) for (int j = 0; j < 3; j++) m[i][j] = i + j; }",
+            "f",
+        );
+        assert_eq!(f.arrays[0].len, 6);
+    }
+
+    #[test]
+    fn static_trip_count_patterns() {
+        let f = lw(
+            "int f() { int s = 0; for (int i = 2; i <= 10; i += 2) s += i; return s; }",
+            "f",
+        );
+        assert_eq!(f.loops[0].trip_count, Some(5));
+    }
+}

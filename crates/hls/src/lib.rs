@@ -1,0 +1,182 @@
+//! # eda-hls — a from-scratch high-level synthesis compiler
+//!
+//! Compiles the HLS-compatible mini-C subset (see `eda-cmini`) into a
+//! scheduled FSMD hardware model plus synthesizable Verilog, with the
+//! pragma surface the paper's HLS case studies exercise:
+//!
+//! * `#pragma HLS pipeline II=k` — loop pipelining with initiation-interval
+//!   analysis (violations reproduce the paper's pipeline-parallelism
+//!   discrepancies),
+//! * `#pragma HLS unroll factor=f` — loop unrolling by body replication,
+//! * `#pragma HLS bitwidth var=x width=w` — FPGA-side custom bit widths
+//!   (the paper's overflow discrepancy source).
+//!
+//! Pipeline: mini-C → [`ir::lower`] → [`schedule::schedule`] →
+//! { [`fsmd::execute`] (cycle-accurate behaviour + activity),
+//!   [`ppa::estimate`] (area/fmax/power),
+//!   [`emit_rtl::emit_verilog`] (structural Verilog for `eda-hdl`) },
+//! with [`cosim`] providing C↔hardware equivalence checking.
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use eda_hls::{HlsProject, HlsOptions};
+//!
+//! let src = "int dot(int a[4], int b[4]) {
+//!              int s = 0;
+//!              for (int i = 0; i < 4; i++) s += a[i] * b[i];
+//!              return s;
+//!            }";
+//! let prog = eda_cmini::parse(src)?;
+//! let proj = HlsProject::compile(&prog, "dot", HlsOptions::default())?;
+//! let report = proj.cosim_random(16, 99)?;
+//! assert!(report.equivalent());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cosim;
+pub mod emit_rtl;
+pub mod error;
+pub mod fsmd;
+pub mod ir;
+pub mod ppa;
+pub mod schedule;
+
+pub use cosim::{cosim, random_inputs, CosimInput, CosimMismatch, CosimOutcome};
+pub use emit_rtl::emit_verilog;
+pub use error::HlsError;
+pub use fsmd::{execute, Activity, FsmdOptions, FsmdResult};
+pub use ir::{lower, ArrId, BlockId, FuClass, LoweredFn, Op, Slot, Terminator};
+pub use ppa::{estimate, PpaReport};
+pub use schedule::{schedule, BlockSchedule, Latencies, LoopSchedule, Resources, Schedule};
+
+use eda_cmini::Program;
+
+/// Compilation options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HlsOptions {
+    pub resources: Resources,
+    pub latencies: Latencies,
+    pub fsmd: FsmdOptions,
+}
+
+/// A compiled HLS design: lowered IR, schedule, and emitted Verilog.
+#[derive(Debug, Clone)]
+pub struct HlsProject {
+    pub program: Program,
+    pub func: String,
+    pub lowered: LoweredFn,
+    pub schedule: Schedule,
+    pub verilog: String,
+    pub options: HlsOptions,
+}
+
+impl HlsProject {
+    /// Compiles `func` from `prog`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HlsError::Unsupported`] for non-synthesizable input — the
+    /// error feed consumed by the repair framework.
+    pub fn compile(prog: &Program, func: &str, options: HlsOptions) -> Result<Self, HlsError> {
+        let lowered = lower(prog, func)?;
+        let sched = schedule(&lowered, options.resources, options.latencies);
+        let verilog = emit_verilog(&lowered);
+        Ok(HlsProject {
+            program: prog.clone(),
+            func: func.to_string(),
+            lowered,
+            schedule: sched,
+            verilog,
+            options,
+        })
+    }
+
+    /// Runs the hardware model on one input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FSMD faults.
+    pub fn run(
+        &self,
+        scalars: &[i64],
+        arrays: &mut [Vec<i64>],
+    ) -> Result<FsmdResult, HlsError> {
+        execute(&self.lowered, &self.schedule, scalars, arrays, self.options.fsmd)
+    }
+
+    /// PPA estimate from a representative run's activity.
+    pub fn ppa(&self, activity: Activity) -> PpaReport {
+        estimate(&self.lowered, &self.schedule, activity)
+    }
+
+    /// Convenience: co-simulate against the C reference on random inputs.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; kept fallible for future strict modes.
+    pub fn cosim_random(&self, n: usize, seed: u64) -> Result<CosimOutcome, HlsError> {
+        let inputs = random_inputs(&self.lowered, n, seed, 1000, 1000);
+        Ok(cosim(
+            &self.program,
+            &self.func,
+            &self.lowered,
+            &self.schedule,
+            &inputs,
+            self.options.fsmd,
+        ))
+    }
+
+    /// II-violation warnings for feedback prompts.
+    pub fn timing_warnings(&self) -> Vec<String> {
+        let mut out = self.lowered.warnings.clone();
+        for l in &self.schedule.loops {
+            if l.ii_violation {
+                out.push(format!(
+                    "loop {}: requested II={} below required II={} — pipeline hazard",
+                    l.loop_id, l.requested_ii, l.required_ii
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_compiles_and_runs() {
+        let prog = eda_cmini::parse(
+            "int f(int a) { int s = 0; for (int i = 0; i < a; i++) s += i; return s; }",
+        )
+        .unwrap();
+        let p = HlsProject::compile(&prog, "f", HlsOptions::default()).unwrap();
+        let r = p.run(&[10], &mut []).unwrap();
+        assert_eq!(r.ret, Some(45));
+        assert!(p.verilog.contains("module f_hls"));
+        let ppa = p.ppa(r.activity);
+        assert!(ppa.area > 0.0 && ppa.fmax_mhz > 0.0);
+    }
+
+    #[test]
+    fn unsupported_input_reports_error() {
+        let prog = eda_cmini::parse(
+            "int f(int n) { int *p = (int*)malloc(n * sizeof(int)); free(p); return 0; }",
+        )
+        .unwrap();
+        let e = HlsProject::compile(&prog, "f", HlsOptions::default()).unwrap_err();
+        assert_eq!(e.category(), "hls-unsupported");
+    }
+
+    #[test]
+    fn timing_warnings_surface_ii_violations() {
+        let prog = eda_cmini::parse(
+            "void f(int x[16]) {\n#pragma HLS pipeline II=1\nfor (int i = 1; i < 16; i++) x[i] = x[i-1] + 1; }",
+        )
+        .unwrap();
+        let p = HlsProject::compile(&prog, "f", HlsOptions::default()).unwrap();
+        assert!(p.timing_warnings().iter().any(|w| w.contains("pipeline hazard")));
+    }
+}

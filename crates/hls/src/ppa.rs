@@ -1,0 +1,162 @@
+//! Power/performance/area estimation.
+//!
+//! Simple, monotonic cost models calibrated to arbitrary-but-consistent
+//! units: the experiments care about *relative* PPA movement under pragma
+//! and resource changes (the paper's Fig. 2 stage 4 optimization loop),
+//! not absolute silicon numbers.
+
+use crate::fsmd::Activity;
+use crate::ir::LoweredFn;
+use crate::schedule::Schedule;
+
+/// A PPA report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PpaReport {
+    /// Estimated area in equivalent-gate units.
+    pub area: f64,
+    /// Maximum clock frequency in MHz (limited by the slowest used FU).
+    pub fmax_mhz: f64,
+    /// Measured latency in cycles (from an FSMD run).
+    pub latency_cycles: u64,
+    /// Wall-clock latency in microseconds at `fmax`.
+    pub latency_us: f64,
+    /// Dynamic power (mW) from activity.
+    pub dynamic_mw: f64,
+    /// Static power (mW) proportional to area.
+    pub static_mw: f64,
+}
+
+impl PpaReport {
+    /// Total power in mW.
+    pub fn total_mw(&self) -> f64 {
+        self.dynamic_mw + self.static_mw
+    }
+
+    /// Scalar figure of merit (lower is better): latency × area, the usual
+    /// HLS design-space objective.
+    pub fn latency_area_product(&self) -> f64 {
+        self.latency_us.max(1e-9) * self.area
+    }
+}
+
+const AREA_ALU: f64 = 120.0;
+const AREA_MUL: f64 = 900.0;
+const AREA_DIV: f64 = 2200.0;
+const AREA_REG_PER_BIT: f64 = 8.0;
+const AREA_MEM_PER_BIT: f64 = 0.5;
+
+const FMAX_ALU: f64 = 500.0;
+const FMAX_MUL: f64 = 350.0;
+const FMAX_DIV: f64 = 250.0;
+const FMAX_MEM: f64 = 400.0;
+
+/// Energy per op in pJ-equivalents.
+const E_ALU: f64 = 1.0;
+const E_MUL: f64 = 6.0;
+const E_DIV: f64 = 18.0;
+const E_MEM: f64 = 4.0;
+
+/// Estimates PPA for a scheduled design, given the activity of a
+/// representative FSMD run.
+pub fn estimate(f: &LoweredFn, sched: &Schedule, activity: Activity) -> PpaReport {
+    let res = sched.resources;
+    let reg_bits: u64 = f
+        .slots
+        .iter()
+        .filter(|s| !s.temp)
+        .map(|s| s.bits as u64)
+        .sum();
+    // Temporaries share pipeline registers; charge a quarter.
+    let temp_bits: u64 = f
+        .slots
+        .iter()
+        .filter(|s| s.temp)
+        .map(|s| s.bits as u64)
+        .sum();
+    let mem_bits: u64 = f.arrays.iter().map(|a| a.len * a.elem_bits as u64).sum();
+
+    let area = res.alus as f64 * AREA_ALU
+        + res.muls as f64 * AREA_MUL
+        + res.divs as f64 * AREA_DIV
+        + (reg_bits as f64 + temp_bits as f64 / 4.0) * AREA_REG_PER_BIT
+        + mem_bits as f64 * AREA_MEM_PER_BIT;
+
+    // fmax limited by the slowest FU actually used.
+    let mut fmax = FMAX_ALU;
+    if activity.mul_ops > 0 {
+        fmax = fmax.min(FMAX_MUL);
+    }
+    if activity.div_ops > 0 {
+        fmax = fmax.min(FMAX_DIV);
+    }
+    if activity.mem_ops > 0 {
+        fmax = fmax.min(FMAX_MEM);
+    }
+
+    let cycles = activity.cycles.max(1);
+    let latency_us = cycles as f64 / fmax; // cycles / MHz = microseconds
+
+    let energy = activity.alu_ops as f64 * E_ALU
+        + activity.mul_ops as f64 * E_MUL
+        + activity.div_ops as f64 * E_DIV
+        + activity.mem_ops as f64 * E_MEM;
+    // P = E / t; scale into a plausible mW range.
+    let dynamic_mw = energy / latency_us.max(1e-6) * 0.01;
+    let static_mw = area * 0.002;
+
+    PpaReport {
+        area,
+        fmax_mhz: fmax,
+        latency_cycles: cycles,
+        latency_us,
+        dynamic_mw,
+        static_mw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsmd::{execute, FsmdOptions};
+    use crate::ir::lower;
+    use crate::schedule::{schedule, Latencies, Resources};
+    use eda_cmini::parse;
+
+    fn ppa_of(src: &str, func: &str, arrays: &mut [Vec<i64>]) -> PpaReport {
+        let f = lower(&parse(src).unwrap(), func).unwrap();
+        let s = schedule(&f, Resources::default(), Latencies::default());
+        let r = execute(&f, &s, &[], arrays, FsmdOptions::default()).unwrap();
+        estimate(&f, &s, r.activity)
+    }
+
+    #[test]
+    fn multiplier_designs_cost_more_area_like_units() {
+        let add = "int f() { int s = 0; for (int i = 0; i < 32; i++) s += i; return s; }";
+        let mul = "int f() { int s = 0; for (int i = 0; i < 32; i++) s += i * i; return s; }";
+        let p_add = ppa_of(add, "f", &mut []);
+        let p_mul = ppa_of(mul, "f", &mut []);
+        // Multiplication limits fmax and burns more energy.
+        assert!(p_mul.fmax_mhz < p_add.fmax_mhz);
+        assert!(p_mul.latency_cycles > p_add.latency_cycles);
+    }
+
+    #[test]
+    fn pipelining_improves_latency_metric() {
+        let base = "void f(int x[64], int y[64]) { for (int i = 0; i < 64; i++) y[i] = x[i] + 1; }";
+        let piped = "void f(int x[64], int y[64]) {\n#pragma HLS pipeline II=1\nfor (int i = 0; i < 64; i++) y[i] = x[i] + 1; }";
+        let a = ppa_of(base, "f", &mut [vec![0; 64], vec![0; 64]]);
+        let b = ppa_of(piped, "f", &mut [vec![0; 64], vec![0; 64]]);
+        assert!(b.latency_cycles < a.latency_cycles);
+        assert!(b.latency_area_product() < a.latency_area_product());
+    }
+
+    #[test]
+    fn memory_contributes_area() {
+        let small = "int f(int x[4]) { return x[0]; }";
+        let big = "int f(int x[1024]) { return x[0]; }";
+        let a = ppa_of(small, "f", &mut [vec![0; 4]]);
+        let b = ppa_of(big, "f", &mut [vec![0; 1024]]);
+        assert!(b.area > a.area);
+        assert!(b.total_mw() > 0.0);
+    }
+}

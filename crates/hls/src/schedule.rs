@@ -1,0 +1,310 @@
+//! Operation scheduling: resource-constrained list scheduling per basic
+//! block, plus loop pipelining analysis.
+//!
+//! Each basic block is scheduled into *cycles*; an op starts when its
+//! operands are ready and a functional unit of its class is free. Memory
+//! ops keep program order per array (store–store, load–store, store–load).
+//! Pipelined loops get an initiation-interval analysis: the *required* II
+//! follows from loop-carried memory dependencies and resource pressure; a
+//! requested II below it is an II violation (the FSMD models the resulting
+//! stale-read behaviour — the paper's pipeline discrepancy source).
+
+use crate::ir::{ArrId, FuClass, LoweredFn, Op, Slot};
+use std::collections::HashMap;
+
+/// Available functional units / memory ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resources {
+    pub alus: u32,
+    pub muls: u32,
+    pub divs: u32,
+    /// Ports per array memory.
+    pub mem_ports: u32,
+}
+
+impl Default for Resources {
+    fn default() -> Self {
+        Resources { alus: 2, muls: 1, divs: 1, mem_ports: 1 }
+    }
+}
+
+/// Latency in cycles for each op class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latencies {
+    pub alu: u32,
+    pub mul: u32,
+    pub div: u32,
+    pub load: u32,
+    pub store: u32,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        Latencies { alu: 1, mul: 3, div: 16, load: 2, store: 1 }
+    }
+}
+
+impl Latencies {
+    /// Latency of one op.
+    pub fn of(&self, op: &Op) -> u32 {
+        match op {
+            Op::Load { .. } => self.load,
+            Op::Store { .. } => self.store,
+            _ => match op.fu() {
+                FuClass::Alu => self.alu,
+                FuClass::Mul => self.mul,
+                FuClass::Div => self.div,
+                FuClass::Mem => self.load,
+            },
+        }
+    }
+}
+
+/// Schedule of one basic block: `start[i]` is the cycle op `i` issues.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BlockSchedule {
+    pub start: Vec<u32>,
+    /// Total cycles to drain the block (last finish).
+    pub length: u32,
+}
+
+/// Pipelining decision for one loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopSchedule {
+    pub loop_id: u32,
+    pub requested_ii: u32,
+    /// Minimum II supported by dependencies and resources.
+    pub required_ii: u32,
+    /// True when `requested_ii < required_ii`: behaviour may diverge.
+    pub ii_violation: bool,
+}
+
+/// Full schedule of a lowered function.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schedule {
+    pub blocks: Vec<BlockSchedule>,
+    pub loops: Vec<LoopSchedule>,
+    pub resources: Resources,
+    pub latencies: Latencies,
+}
+
+/// Schedules every block of `f` under `res`/`lat`.
+pub fn schedule(f: &LoweredFn, res: Resources, lat: Latencies) -> Schedule {
+    let mut blocks = Vec::with_capacity(f.blocks.len());
+    for b in &f.blocks {
+        blocks.push(schedule_block(&b.ops, res, lat));
+    }
+    let mut loops = Vec::new();
+    for l in &f.loops {
+        if let Some(req) = l.pipeline_ii {
+            let body = &f.blocks[l.body as usize];
+            let required = required_ii(&body.ops, res, lat);
+            loops.push(LoopSchedule {
+                loop_id: l.id,
+                requested_ii: req,
+                required_ii: required,
+                ii_violation: req < required,
+            });
+        }
+    }
+    Schedule { blocks, loops, resources: res, latencies: lat }
+}
+
+/// List-schedules one op sequence.
+pub fn schedule_block(ops: &[Op], res: Resources, lat: Latencies) -> BlockSchedule {
+    let mut start = vec![0u32; ops.len()];
+    // ready[slot] = cycle its value is available.
+    let mut ready: HashMap<Slot, u32> = HashMap::new();
+    // Per-array last memory op finish (conservative ordering for
+    // store-store / load-store / store-load; load-load may reorder).
+    let mut last_store_end: HashMap<ArrId, u32> = HashMap::new();
+    let mut last_access_end: HashMap<ArrId, u32> = HashMap::new();
+    // FU usage per cycle.
+    let mut usage: HashMap<(FuClass, Option<ArrId>, u32), u32> = HashMap::new();
+    let mut length = 0u32;
+
+    for (i, op) in ops.iter().enumerate() {
+        let mut earliest = 0u32;
+        for s in op.srcs() {
+            earliest = earliest.max(ready.get(&s).copied().unwrap_or(0));
+        }
+        if let Some(arr) = op.array() {
+            // All memory ops must wait for prior stores; stores must also
+            // wait for prior loads.
+            earliest = earliest.max(last_store_end.get(&arr).copied().unwrap_or(0));
+            if matches!(op, Op::Store { .. }) {
+                earliest = earliest.max(last_access_end.get(&arr).copied().unwrap_or(0));
+            }
+        }
+        // Find a cycle with a free FU.
+        let class = op.fu();
+        let limit = match class {
+            FuClass::Alu => res.alus,
+            FuClass::Mul => res.muls,
+            FuClass::Div => res.divs,
+            FuClass::Mem => res.mem_ports,
+        }
+        .max(1);
+        let key_arr = op.array();
+        let mut cycle = earliest;
+        loop {
+            let used = usage.get(&(class, key_arr, cycle)).copied().unwrap_or(0);
+            if used < limit {
+                break;
+            }
+            cycle += 1;
+        }
+        *usage.entry((class, key_arr, cycle)).or_insert(0) += 1;
+        start[i] = cycle;
+        let end = cycle + lat.of(op);
+        if let Some(dst) = op.dst() {
+            ready.insert(dst, end);
+        }
+        if let Some(arr) = op.array() {
+            last_access_end.insert(arr, end.max(last_access_end.get(&arr).copied().unwrap_or(0)));
+            if matches!(op, Op::Store { .. }) {
+                last_store_end.insert(arr, end.max(last_store_end.get(&arr).copied().unwrap_or(0)));
+            }
+        }
+        length = length.max(end);
+    }
+    BlockSchedule { start, length: length.max(1) }
+}
+
+/// Minimum initiation interval for a pipelined loop body.
+///
+/// * Resource-limited II: `ceil(ops_of_class / units)` for each class.
+/// * Dependency-limited II: a store followed (in a later iteration) by a
+///   load of the same array forces `II >= store latency` under distance-1
+///   assumptions (indices are not statically disambiguated).
+pub fn required_ii(ops: &[Op], res: Resources, lat: Latencies) -> u32 {
+    let mut counts: HashMap<(FuClass, Option<ArrId>), u32> = HashMap::new();
+    for op in ops {
+        *counts.entry((op.fu(), op.array())).or_insert(0) += 1;
+    }
+    let mut ii = 1u32;
+    for ((class, _), n) in &counts {
+        let units = match class {
+            FuClass::Alu => res.alus,
+            FuClass::Mul => res.muls,
+            FuClass::Div => res.divs,
+            FuClass::Mem => res.mem_ports,
+        }
+        .max(1);
+        ii = ii.max(n.div_ceil(units));
+    }
+    // Loop-carried memory dependency: any array both stored and loaded.
+    let stores: Vec<ArrId> = ops.iter().filter_map(|o| match o {
+        Op::Store { arr, .. } => Some(*arr),
+        _ => None,
+    }).collect();
+    let loads: Vec<ArrId> = ops.iter().filter_map(|o| match o {
+        Op::Load { arr, .. } => Some(*arr),
+        _ => None,
+    }).collect();
+    for s in &stores {
+        if loads.contains(s) {
+            ii = ii.max(lat.store + lat.load);
+        }
+    }
+    ii
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::lower;
+    use eda_cmini::parse;
+
+    fn sched(src: &str, f: &str) -> (crate::ir::LoweredFn, Schedule) {
+        let lf = lower(&parse(src).unwrap(), f).unwrap();
+        let s = schedule(&lf, Resources::default(), Latencies::default());
+        (lf, s)
+    }
+
+    #[test]
+    fn dependent_ops_serialize() {
+        let (lf, s) = sched("int f(int a) { return ((a + 1) * 2) + 3; }", "f");
+        let entry = &s.blocks[lf.entry as usize];
+        // Length must cover add -> mul (3 cycles) -> add chain.
+        assert!(entry.length >= 1 + 3 + 1, "length {}", entry.length);
+    }
+
+    #[test]
+    fn independent_ops_share_cycles_up_to_resources() {
+        // 4 independent adds with 2 ALUs need at least 2 issue cycles.
+        let (lf, s) = sched(
+            "int f(int a, int b, int c, int d) { int w = a+1; int x = b+1; int y = c+1; int z = d+1; return w; }",
+            "f",
+        );
+        let entry = &s.blocks[lf.entry as usize];
+        let adds: Vec<u32> = lf.blocks[lf.entry as usize]
+            .ops
+            .iter()
+            .zip(&entry.start)
+            .filter(|(o, _)| matches!(o, Op::Bin { .. }))
+            .map(|(_, c)| *c)
+            .collect();
+        let first = adds.iter().min().unwrap();
+        let issued_first_cycle = adds.iter().filter(|c| *c == first).count();
+        assert!(issued_first_cycle <= 2, "ALU limit respected: {adds:?}");
+    }
+
+    #[test]
+    fn memory_ops_respect_port_limit_and_order() {
+        let (lf, s) = sched(
+            "void f(int x[8]) { x[0] = 1; x[1] = 2; int a = x[0]; x[2] = a; }",
+            "f",
+        );
+        let entry_ops = &lf.blocks[lf.entry as usize].ops;
+        let entry = &s.blocks[lf.entry as usize];
+        // Each store/load to the same array issues in a distinct cycle.
+        let mem_cycles: Vec<u32> = entry_ops
+            .iter()
+            .zip(&entry.start)
+            .filter(|(o, _)| o.array().is_some())
+            .map(|(_, c)| *c)
+            .collect();
+        let mut sorted = mem_cycles.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), mem_cycles.len(), "one mem port: {mem_cycles:?}");
+    }
+
+    #[test]
+    fn ii_violation_detected_for_feedback_loop() {
+        let src = "
+          void f(int x[16]) {
+            #pragma HLS pipeline II=1
+            for (int i = 1; i < 16; i++) x[i] = x[i - 1] + 1;
+          }";
+        let (_, s) = sched(src, "f");
+        assert_eq!(s.loops.len(), 1);
+        assert!(s.loops[0].ii_violation, "{:?}", s.loops[0]);
+        assert!(s.loops[0].required_ii >= 3);
+    }
+
+    #[test]
+    fn no_violation_without_feedback() {
+        let src = "
+          void f(int x[16], int y[16]) {
+            #pragma HLS pipeline II=3
+            for (int i = 0; i < 16; i++) y[i] = x[i] * 2;
+          }";
+        let (_, s) = sched(src, "f");
+        assert!(!s.loops[0].ii_violation, "{:?}", s.loops[0]);
+    }
+
+    #[test]
+    fn more_alus_shorten_blocks() {
+        let src = "int f(int a, int b, int c, int d) {
+            int w = a+1; int x = b+2; int y = c+3; int z = d+4;
+            return w + x + y + z;
+        }";
+        let lf = lower(&parse(src).unwrap(), "f").unwrap();
+        let narrow = schedule(&lf, Resources { alus: 1, ..Resources::default() }, Latencies::default());
+        let wide = schedule(&lf, Resources { alus: 4, ..Resources::default() }, Latencies::default());
+        let e = lf.entry as usize;
+        assert!(wide.blocks[e].length <= narrow.blocks[e].length);
+    }
+}

@@ -1,0 +1,579 @@
+//! # eda-hlstester — testing behavioral discrepancies between CPU and FPGA
+//!
+//! The paper's Fig. 3 pipeline, end to end:
+//!
+//! 1. **Testbench adaptation** — unsupported constructs (stdio) are removed
+//!    with an LLM repair prompt so the design compiles under HLS.
+//! 2. **Backward slicing** — key variables influencing the output are
+//!    identified (`eda_cmini::backward_slice`).
+//! 3. **Instrumentation** — the CPU interpreter watches the key variables,
+//!    producing *spectra* (value ranges, overflow events, coverage).
+//! 4. **Test input generation** — dynamic numeric mutation of promising
+//!    inputs, combined with an LLM reasoning chain that aims past observed
+//!    value boundaries (overflow hunting).
+//! 5. **Redundancy filtering** — inputs whose CPU spectra signature was
+//!    already observed skip the expensive hardware simulation.
+//!
+//! A *discrepancy* is any input where the HLS hardware model (narrowed bit
+//! widths, pipeline-II hazards, no-trap division) disagrees with the CPU
+//! reference.
+//!
+//! ```no_run
+//! use eda_hlstester::{run_hlstester, HlsTesterConfig};
+//! use eda_llm::{ModelSpec, SimulatedLlm};
+//!
+//! let model = SimulatedLlm::new(ModelSpec::pro());
+//! let case = eda_hlstester::discrepancy_corpus()[0].clone();
+//! let report = run_hlstester(&model, case.source, case.func,
+//!                            &HlsTesterConfig::default()).unwrap();
+//! println!("{} discrepancies in {} sims", report.discrepancies.len(), report.hw_sims_run);
+//! ```
+
+use eda_cmini::{backward_slice, hls_compat_scan, parse, CValue, Interp, Program, StmtKind};
+use eda_hls::{CosimInput, FsmdOptions, HlsError, HlsOptions, HlsProject};
+use eda_llm::{prompts, ChatModel, ChatRequest, SimulatedLlm};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::collections::HashSet;
+
+/// Tester configuration.
+#[derive(Debug, Clone)]
+pub struct HlsTesterConfig {
+    /// Hardware-simulation budget (the expensive resource).
+    pub hw_sim_budget: usize,
+    /// Candidate inputs generated per round.
+    pub batch: usize,
+    /// Generation rounds.
+    pub rounds: usize,
+    /// Skip hardware sims whose CPU spectra signature repeats.
+    pub redundancy_filter: bool,
+    /// Use the LLM reasoning chain (vs. pure random mutation).
+    pub llm_reasoning: bool,
+    pub temperature: f64,
+    pub seed: u64,
+}
+
+impl Default for HlsTesterConfig {
+    fn default() -> Self {
+        HlsTesterConfig {
+            hw_sim_budget: 40,
+            batch: 8,
+            rounds: 8,
+            redundancy_filter: true,
+            llm_reasoning: true,
+            temperature: 0.6,
+            seed: 1,
+        }
+    }
+}
+
+/// One found discrepancy.
+#[derive(Debug, Clone, Serialize)]
+pub struct Discrepancy {
+    pub scalars: Vec<i64>,
+    pub location: String,
+    pub cpu: i64,
+    pub hw: i64,
+}
+
+/// Tester outcome.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct TesterReport {
+    pub key_vars: Vec<String>,
+    pub discrepancies: Vec<Discrepancy>,
+    /// Distinct discrepancy-triggering inputs.
+    pub triggering_inputs: usize,
+    pub inputs_generated: usize,
+    pub hw_sims_run: usize,
+    pub hw_sims_skipped: usize,
+    /// True when testbench adaptation was needed.
+    pub adapted: bool,
+}
+
+/// A corpus case with a latent CPU/FPGA discrepancy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscrepancyCase {
+    pub id: &'static str,
+    pub func: &'static str,
+    pub source: &'static str,
+    /// Human description of the discrepancy mechanism.
+    pub mechanism: &'static str,
+}
+
+/// Built-in cases exercising each discrepancy class the paper names.
+pub fn discrepancy_corpus() -> Vec<DiscrepancyCase> {
+    vec![
+        DiscrepancyCase {
+            id: "acc-overflow-12bit",
+            func: "acc",
+            mechanism: "custom 12-bit accumulator wraps on large inputs",
+            source: "
+int acc(int n, int step) {
+  #pragma HLS bitwidth var=s width=12
+  int s = 0;
+  for (int i = 0; i < 24; i++) {
+    if (i < n) s += step;
+  }
+  return s;
+}",
+        },
+        DiscrepancyCase {
+            id: "prefix-pipeline-hazard",
+            func: "prefix",
+            mechanism: "pipeline II=1 on a loop-carried array recurrence reads stale values",
+            source: "
+int prefix(int x[16], int k) {
+  x[0] = k;
+  #pragma HLS pipeline II=1
+  for (int i = 1; i < 16; i++) {
+    x[i] = x[i] + x[i - 1];
+  }
+  return x[15];
+}",
+        },
+        DiscrepancyCase {
+            id: "div-no-trap",
+            func: "ratio",
+            mechanism: "hardware divider returns 0 where the CPU traps",
+            source: "
+int ratio(int a, int b) {
+  int scaled = a * 100;
+  return scaled / b;
+}",
+        },
+        DiscrepancyCase {
+            id: "mac-overflow-16bit",
+            func: "mac",
+            mechanism: "16-bit product register wraps for large operands",
+            source: "
+int mac(int a, int b, int c) {
+  #pragma HLS bitwidth var=p width=16
+  int p = a * b;
+  return p + c;
+}",
+        },
+        DiscrepancyCase {
+            id: "clean-saturate",
+            func: "sat",
+            mechanism: "no discrepancy (control case)",
+            source: "
+int sat(int a, int b) {
+  int s = a + b;
+  if (s > 255) s = 255;
+  if (s < 0) s = 0;
+  return s;
+}",
+        },
+    ]
+}
+
+/// Runs the five-step tester.
+///
+/// # Errors
+///
+/// Returns [`HlsError`] when the (adapted) program cannot be synthesized.
+pub fn run_hlstester(
+    model: &dyn ChatModel,
+    source: &str,
+    func: &str,
+    cfg: &HlsTesterConfig,
+) -> Result<TesterReport, HlsError> {
+    let mut report = TesterReport::default();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7357_0001);
+
+    // Step 1: testbench adaptation (strip unsupported constructs).
+    let mut current = source.to_string();
+    for _ in 0..4 {
+        let prog = parse(&current)
+            .map_err(|e| HlsError::Unsupported { msg: e.to_string(), line: 0 })?;
+        let issues = hls_compat_scan(&prog);
+        let Some(first) = issues.first() else { break };
+        report.adapted = true;
+        let kind = first.kind.to_string();
+        let mut prompt = prompts::task_header("c-repair", &[("kind", &kind)]);
+        prompt.push_str(&current);
+        let resp = model.complete(&ChatRequest {
+            prompt,
+            temperature: 0.2,
+            sample_index: cfg.seed as u32,
+        });
+        if parse(&resp.text).is_ok() {
+            current = resp.text;
+        } else {
+            break;
+        }
+    }
+    let prog = parse(&current).map_err(|e| HlsError::Unsupported { msg: e.to_string(), line: 0 })?;
+    let project = HlsProject::compile(&prog, func, HlsOptions::default())?;
+
+    // Step 2: backward slicing from the return value.
+    let key_vars = identify_key_vars(&prog, func);
+    report.key_vars = key_vars.clone();
+
+    // Steps 3-5: generation loop.
+    let n_scalars = project.lowered.scalar_params.len();
+    let mut seen_signatures: HashSet<u64> = HashSet::new();
+    let mut triggering: HashSet<Vec<i64>> = HashSet::new();
+    let mut spectra_summary: Vec<(String, i64, i64, u64)> = Vec::new();
+    let mut promising: Vec<Vec<i64>> = Vec::new();
+
+    'outer: for round in 0..cfg.rounds {
+        // Generate a batch: mutations of promising inputs + LLM proposals
+        // + fresh random.
+        let mut batch: Vec<Vec<i64>> = Vec::new();
+        if cfg.llm_reasoning && !spectra_summary.is_empty() {
+            // The reasoning chain needs the concrete simulated model for
+            // its capability-gated heuristics; fall back to plain random
+            // when driven by an opaque model.
+            let llm_inputs = simulated(model)
+                .map(|m| {
+                    m.reason_test_inputs(
+                        &spectra_summary,
+                        n_scalars,
+                        cfg.batch / 2,
+                        cfg.temperature,
+                        cfg.seed * 100 + round as u64,
+                    )
+                })
+                .unwrap_or_default();
+            batch.extend(llm_inputs);
+        }
+        while batch.len() < cfg.batch {
+            if !promising.is_empty() && rng.gen_bool(0.5) {
+                let base = &promising[rng.gen_range(0..promising.len())];
+                batch.push(mutate(base, &mut rng));
+            } else {
+                // Fuzzing mix: mostly random, with classic boundary values
+                // injected per coordinate.
+                const SPECIAL: [i64; 7] = [0, 1, -1, 2, 255, 65_535, 1 << 20];
+                batch.push(
+                    (0..n_scalars)
+                        .map(|_| {
+                            if rng.gen_bool(0.25) {
+                                SPECIAL[rng.gen_range(0..SPECIAL.len())]
+                            } else {
+                                rng.gen_range(0..200)
+                            }
+                        })
+                        .collect(),
+                );
+            }
+        }
+
+        for scalars in batch {
+            report.inputs_generated += 1;
+            let input = CosimInput {
+                scalars: scalars.clone(),
+                arrays: project
+                    .lowered
+                    .array_params
+                    .iter()
+                    .map(|a| {
+                        let len = project.lowered.arrays[*a as usize].len as usize;
+                        (0..len).map(|i| (i as i64 * 3 + scalars.first().copied().unwrap_or(1)) % 50).collect()
+                    })
+                    .collect(),
+            };
+            // Cheap CPU run with instrumentation.
+            let cpu = run_instrumented(&prog, func, &input, &key_vars);
+            let Some((cpu_ret, cpu_arrays, signature, spectra)) = cpu else {
+                // CPU trap: hardware won't trap — guaranteed discrepancy
+                // candidate; always spend a hardware sim here.
+                if report.hw_sims_run >= cfg.hw_sim_budget {
+                    break 'outer;
+                }
+                report.hw_sims_run += 1;
+                if let Ok((hw, _)) = eda_hls::cosim::run_hw(
+                    &project.lowered,
+                    &project.schedule,
+                    &input,
+                    FsmdOptions::default(),
+                ) {
+                    report.discrepancies.push(Discrepancy {
+                        scalars: scalars.clone(),
+                        location: "cpu-trap-vs-hw".to_string(),
+                        cpu: i64::MIN,
+                        hw: hw.ret.unwrap_or(0),
+                    });
+                    triggering.insert(scalars.clone());
+                }
+                continue;
+            };
+            // Update spectra summary for the reasoning chain.
+            spectra_summary = spectra;
+            let interesting = signature_is_new(&mut seen_signatures, signature);
+            if interesting {
+                promising.push(scalars.clone());
+                if promising.len() > 32 {
+                    promising.remove(0);
+                }
+            }
+            // Step 5: redundancy filter.
+            if cfg.redundancy_filter && !interesting {
+                report.hw_sims_skipped += 1;
+                continue;
+            }
+            if report.hw_sims_run >= cfg.hw_sim_budget {
+                break 'outer;
+            }
+            report.hw_sims_run += 1;
+            let Ok((hw, hw_arrays)) = eda_hls::cosim::run_hw(
+                &project.lowered,
+                &project.schedule,
+                &input,
+                FsmdOptions::default(),
+            ) else {
+                continue;
+            };
+            let mut found = false;
+            if let Some(hret) = hw.ret {
+                if hret != cpu_ret {
+                    report.discrepancies.push(Discrepancy {
+                        scalars: scalars.clone(),
+                        location: "ret".to_string(),
+                        cpu: cpu_ret,
+                        hw: hret,
+                    });
+                    found = true;
+                }
+            }
+            for (k, (ca, ha)) in cpu_arrays.iter().zip(&hw_arrays).enumerate() {
+                for (j, (cv, hv)) in ca.iter().zip(ha).enumerate() {
+                    if cv != hv {
+                        report.discrepancies.push(Discrepancy {
+                            scalars: scalars.clone(),
+                            location: format!("array{k}[{j}]"),
+                            cpu: *cv,
+                            hw: *hv,
+                        });
+                        found = true;
+                    }
+                }
+            }
+            if found {
+                triggering.insert(scalars);
+            }
+        }
+    }
+    report.triggering_inputs = triggering.len();
+    Ok(report)
+}
+
+fn signature_is_new(seen: &mut HashSet<u64>, sig: u64) -> bool {
+    seen.insert(sig)
+}
+
+fn simulated(model: &dyn ChatModel) -> Option<SimulatedLlm> {
+    // Reconstruct the tier from the name (same registry as eda-llm).
+    let spec = match model.name() {
+        "sim-ultra-4o" => eda_llm::ModelSpec::ultra(),
+        "sim-pro-4" => eda_llm::ModelSpec::pro(),
+        "sim-coder-34b" => eda_llm::ModelSpec::coder(),
+        "sim-basic-3.5" => eda_llm::ModelSpec::basic(),
+        "sim-cl34b-ft" => eda_llm::ModelSpec::code_llama_ft(),
+        _ => return None,
+    };
+    Some(SimulatedLlm::new(spec))
+}
+
+/// Identifies key variables via backward slicing from the returned value.
+pub fn identify_key_vars(prog: &Program, func: &str) -> Vec<String> {
+    let Some(f) = prog.function(func) else { return Vec::new() };
+    // Find returned identifiers.
+    let mut targets: Vec<String> = Vec::new();
+    eda_cmini::ast::walk_stmts(&f.body, &mut |s| {
+        if let StmtKind::Return(Some(e)) = &s.kind {
+            eda_cmini::ast::walk_expr(e, &mut |x| {
+                if let eda_cmini::Expr::Ident(n) = x {
+                    targets.push(n.clone());
+                }
+            });
+        }
+    });
+    targets.sort();
+    targets.dedup();
+    let mut vars: HashSet<String> = HashSet::new();
+    for t in &targets {
+        let slice = backward_slice(prog, func, t);
+        vars.extend(slice.vars);
+    }
+    // Parameters are inputs, not instrumentation points.
+    for p in &f.params {
+        vars.remove(&p.name);
+    }
+    let mut out: Vec<String> = vars.into_iter().collect();
+    out.sort();
+    out
+}
+
+type InstrumentedRun = (i64, Vec<Vec<i64>>, u64, Vec<(String, i64, i64, u64)>);
+
+/// Runs the CPU reference with spectra instrumentation. Returns `None`
+/// when the CPU run faults.
+fn run_instrumented(
+    prog: &Program,
+    func: &str,
+    input: &CosimInput,
+    key_vars: &[String],
+) -> Option<InstrumentedRun> {
+    let mut interp = Interp::new(prog).watch(key_vars.iter().cloned());
+    let f = prog.function(func)?;
+    let mut args = Vec::new();
+    let mut ptrs = Vec::new();
+    let mut si = 0;
+    let mut ai = 0;
+    for p in &f.params {
+        if p.ty.is_array() || p.ty.is_pointer() {
+            let data = input.arrays.get(ai)?;
+            ai += 1;
+            let ptr = interp.alloc_array(data, p.ty.bits().max(1), p.ty.unsigned);
+            ptrs.push((ptr, data.len()));
+            args.push(ptr);
+        } else {
+            args.push(CValue::Int(*input.scalars.get(si)?));
+            si += 1;
+        }
+    }
+    let ret = interp.call(func, &args).ok()?;
+    let mut arrays = Vec::new();
+    for (ptr, len) in ptrs {
+        arrays.push(interp.read_array(ptr, len).ok()?);
+    }
+    let trace = interp.trace();
+    let signature = trace.spectra_signature();
+    let spectra: Vec<(String, i64, i64, u64)> = trace
+        .spectra
+        .iter()
+        .map(|(k, v)| (k.clone(), v.min, v.max, v.overflows))
+        .collect();
+    Some((ret.as_int().unwrap_or(0), arrays, signature, spectra))
+}
+
+fn mutate(base: &[i64], rng: &mut StdRng) -> Vec<i64> {
+    base.iter()
+        .map(|v| match rng.gen_range(0..6) {
+            0 => v.wrapping_add(1),
+            1 => v.wrapping_sub(1),
+            2 => v.wrapping_mul(2),
+            3 => v.wrapping_mul(10),
+            4 => -v,
+            _ => *v ^ (1 << rng.gen_range(0..16)),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_llm::ModelSpec;
+
+    fn model() -> SimulatedLlm {
+        SimulatedLlm::new(ModelSpec::ultra())
+    }
+
+    #[test]
+    fn finds_overflow_discrepancy() {
+        let case = discrepancy_corpus()
+            .into_iter()
+            .find(|c| c.id == "acc-overflow-12bit")
+            .unwrap();
+        let r = run_hlstester(&model(), case.source, case.func, &HlsTesterConfig::default())
+            .unwrap();
+        assert!(
+            !r.discrepancies.is_empty(),
+            "12-bit accumulator must wrap: {r:?}"
+        );
+        assert!(r.key_vars.contains(&"s".to_string()), "{:?}", r.key_vars);
+    }
+
+    #[test]
+    fn finds_pipeline_hazard_discrepancy() {
+        let case = discrepancy_corpus()
+            .into_iter()
+            .find(|c| c.id == "prefix-pipeline-hazard")
+            .unwrap();
+        let r = run_hlstester(&model(), case.source, case.func, &HlsTesterConfig::default())
+            .unwrap();
+        assert!(!r.discrepancies.is_empty(), "stale reads must surface");
+    }
+
+    #[test]
+    fn finds_divide_trap_mismatch() {
+        let case = discrepancy_corpus()
+            .into_iter()
+            .find(|c| c.id == "div-no-trap")
+            .unwrap();
+        // b = 0 inputs trap on CPU but not in hardware; mutation finds the
+        // region quickly (b starts in [0, 200)).
+        let cfg = HlsTesterConfig { rounds: 12, hw_sim_budget: 60, ..HlsTesterConfig::default() };
+        let r = run_hlstester(&model(), case.source, case.func, &cfg).unwrap();
+        assert!(
+            r.discrepancies.iter().any(|d| d.location == "cpu-trap-vs-hw"),
+            "{:?}",
+            r.discrepancies.iter().map(|d| &d.location).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn control_case_is_clean() {
+        let case = discrepancy_corpus()
+            .into_iter()
+            .find(|c| c.id == "clean-saturate")
+            .unwrap();
+        let r = run_hlstester(&model(), case.source, case.func, &HlsTesterConfig::default())
+            .unwrap();
+        assert!(r.discrepancies.is_empty(), "{:?}", r.discrepancies);
+    }
+
+    #[test]
+    fn redundancy_filter_saves_hw_sims() {
+        let case = discrepancy_corpus()
+            .into_iter()
+            .find(|c| c.id == "acc-overflow-12bit")
+            .unwrap();
+        let with = run_hlstester(
+            &model(),
+            case.source,
+            case.func,
+            &HlsTesterConfig { redundancy_filter: true, ..HlsTesterConfig::default() },
+        )
+        .unwrap();
+        let without = run_hlstester(
+            &model(),
+            case.source,
+            case.func,
+            &HlsTesterConfig { redundancy_filter: false, ..HlsTesterConfig::default() },
+        )
+        .unwrap();
+        assert!(with.hw_sims_skipped > 0, "filter must skip something");
+        assert_eq!(without.hw_sims_skipped, 0);
+        assert!(with.hw_sims_run <= without.hw_sims_run);
+    }
+
+    #[test]
+    fn adaptation_strips_stdio() {
+        let src = r#"
+int noisy(int a) {
+  #pragma HLS bitwidth var=x width=8
+  int x = a * 3;
+  printf("%d", x);
+  return x;
+}"#;
+        let r = run_hlstester(&model(), src, "noisy", &HlsTesterConfig::default()).unwrap();
+        assert!(r.adapted, "printf required adaptation");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let case = discrepancy_corpus()
+            .into_iter()
+            .find(|c| c.id == "mac-overflow-16bit")
+            .unwrap();
+        let cfg = HlsTesterConfig { seed: 9, ..HlsTesterConfig::default() };
+        let a = run_hlstester(&model(), case.source, case.func, &cfg).unwrap();
+        let b = run_hlstester(&model(), case.source, case.func, &cfg).unwrap();
+        assert_eq!(a.discrepancies.len(), b.discrepancies.len());
+        assert_eq!(a.hw_sims_run, b.hw_sims_run);
+    }
+}

@@ -1,0 +1,266 @@
+//! Grammar-based C snippet generation for power stress (paper Section V).
+//!
+//! The simulated model writes loop-nest C programs whose instruction mix
+//! and instruction-level parallelism determine the power the RISC-V OOO
+//! model reports. Generation is conditioned on:
+//!
+//! * **examples in the prompt**: the model extracts structural features
+//!   (multiply/divide/memory density, parallel chain count) from the
+//!   best-scoring examples and samples around that anchor — exploitation;
+//! * **temperature**: wider sampling around the anchor — exploration;
+//! * **SCoT**: the two-stage pseudocode-first prompt improves structure
+//!   (one extra parallel chain, fewer malformed programs), modelling the
+//!   paper's observation that SCoT raises output quality;
+//! * **capability**: weak models emit more malformed or faulting programs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Structural features of a power snippet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnippetFeatures {
+    /// Independent dependency chains (drives ILP).
+    pub chains: u32,
+    /// Statements per loop iteration.
+    pub stmts: u32,
+    /// Fraction of statements that are multiplies.
+    pub mul_frac: f64,
+    /// Fraction that are divides.
+    pub div_frac: f64,
+    /// Fraction that touch memory.
+    pub mem_frac: f64,
+    /// Loop trip count.
+    pub trip: u32,
+}
+
+impl Default for SnippetFeatures {
+    fn default() -> Self {
+        SnippetFeatures { chains: 3, stmts: 8, mul_frac: 0.3, div_frac: 0.05, mem_frac: 0.15, trip: 3000 }
+    }
+}
+
+/// Extracts features from generated snippet text (used to condition later
+/// generations on prompt examples).
+pub fn extract_features(code: &str) -> SnippetFeatures {
+    let stmts = code.matches(';').count().max(1) as u32;
+    let muls = code.matches('*').count() as f64;
+    let divs = code.matches(" / ").count() as f64;
+    let mems = code.matches('[').count() as f64;
+    let chains = code
+        .lines()
+        .filter(|l| l.trim_start().starts_with("int c"))
+        .count()
+        .max(1) as u32;
+    let trip = code
+        .split("i < ")
+        .nth(1)
+        .and_then(|s| s.split(';').next())
+        .and_then(|s| s.trim().parse::<u32>().ok())
+        .unwrap_or(3000);
+    let body_stmts = stmts.saturating_sub(chains + 3).max(1);
+    SnippetFeatures {
+        chains,
+        stmts: body_stmts,
+        mul_frac: (muls / body_stmts as f64).min(1.0),
+        div_frac: (divs / body_stmts as f64).min(1.0),
+        mem_frac: (mems / body_stmts as f64 / 2.0).min(1.0),
+        trip,
+    }
+}
+
+/// Generation context.
+#[derive(Debug, Clone, Copy)]
+pub struct CGenCtx {
+    pub capability: f64,
+    pub temperature: f64,
+    /// Structured Chain-of-Thought two-stage prompting.
+    pub scot: bool,
+}
+
+/// Generates a C power snippet conditioned on scored examples.
+///
+/// `examples` are `(score, code)` pairs from the prompt; the anchor is the
+/// best example's feature vector (when present).
+pub fn generate_snippet(
+    ctx: &CGenCtx,
+    examples: &[(f64, String)],
+    seed: u64,
+) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let anchor = examples
+        .iter()
+        .max_by(|a, b| a.0.total_cmp(&b.0))
+        .map(|(_, code)| extract_features(code))
+        .unwrap_or_default();
+
+    let t = ctx.temperature.clamp(0.0, 2.0);
+    let jitter = |rng: &mut StdRng, v: f64, scale: f64| -> f64 {
+        v + (rng.gen::<f64>() * 2.0 - 1.0) * scale * (0.15 + 0.7 * t)
+    };
+
+    // Capability caps structural quality: weaker models cannot juggle as
+    // many independent chains or as extreme an operation mix (the paper's
+    // fine-tuned model "performs significantly better" than off-the-shelf).
+    let max_chains = (2.0 + ctx.capability * 8.0).floor().clamp(2.0, 8.0);
+    let max_mul = (0.45 + 0.6 * ctx.capability).clamp(0.0, 0.92);
+    let mut chains =
+        (jitter(&mut rng, anchor.chains as f64, 1.2)).round().clamp(1.0, max_chains) as u32;
+    if ctx.scot {
+        // Pseudocode-first planning finds one more independent chain.
+        chains = (chains + 1).min(max_chains as u32);
+    }
+    let stmts = (jitter(&mut rng, anchor.stmts as f64, 4.0)).round().clamp(4.0, 24.0) as u32;
+    let mut mul_frac = jitter(&mut rng, anchor.mul_frac, 0.10).clamp(0.0, max_mul);
+    let div_frac = jitter(&mut rng, anchor.div_frac, 0.05).clamp(0.0, 0.3);
+    let mem_frac = jitter(&mut rng, anchor.mem_frac, 0.08).clamp(0.0, 0.5);
+    if ctx.scot {
+        mul_frac = (mul_frac * 1.15).min(max_mul);
+    }
+    let trip = (jitter(&mut rng, anchor.trip as f64, 800.0)).round().clamp(500.0, 8000.0) as u32;
+
+    // Malformed-output path (weak models, high temperature, no SCoT).
+    let p_bad = ((1.0 - ctx.capability) * 0.10 + t * 0.03) * if ctx.scot { 0.5 } else { 1.0 };
+    let malformed = rng.gen_bool(p_bad.clamp(0.0, 0.6));
+    // Hazardous memory indexing (causes an exception -> zero score).
+    let p_fault = (1.0 - ctx.capability) * 0.08;
+    let faulty = rng.gen_bool(p_fault.clamp(0.0, 0.5));
+
+    let mut code = String::new();
+    code.push_str("int snippet() {\n");
+    for c in 0..chains {
+        let init = 3 + 2 * c + rng.gen_range(0..5);
+        code.push_str(&format!("  int c{c} = {init};\n"));
+    }
+    code.push_str("  int s = 0;\n");
+    code.push_str("  int buf[64];\n");
+    code.push_str("  for (int k = 0; k < 64; k++) buf[k] = k + 1;\n");
+    code.push_str(&format!("  for (int i = 0; i < {trip}; i++) {{\n"));
+    for s_i in 0..stmts {
+        let c = s_i % chains;
+        let c2 = (s_i + 1) % chains;
+        let roll: f64 = rng.gen();
+        let line = if roll < mul_frac {
+            format!("    c{c} = c{c} * {} + c{c2};\n", rng.gen_range(3..31) | 1)
+        } else if roll < mul_frac + div_frac {
+            format!("    c{c} = c{c2} / (c{c} | 1) + {};\n", rng.gen_range(1..9))
+        } else if roll < mul_frac + div_frac + mem_frac {
+            if faulty && s_i == 0 {
+                // Unmasked index: walks off the 64-entry buffer.
+                format!("    buf[i] = c{c} + i;\n")
+            } else if s_i % 3 == 2 {
+                format!("    buf[(i + {c}) & 63] = c{c2};\n")
+            } else {
+                format!("    c{c} = buf[i & 63] + c{c};\n")
+            }
+        } else if roll < mul_frac + div_frac + mem_frac + 0.12 {
+            format!("    c{c} = (c{c} ^ c{c2}) + (c{c2} >> 1);\n")
+        } else {
+            format!("    c{c} = c{c} + c{c2} + {};\n", rng.gen_range(1..7))
+        };
+        code.push_str(&line);
+    }
+    code.push_str("    s = s + c0;\n");
+    code.push_str("  }\n");
+    code.push_str("  return s;\n");
+    code.push_str("}\n");
+
+    if malformed {
+        // Drop one semicolon: a compile error, scoring zero.
+        if let Some(pos) = code.rfind(';') {
+            code.remove(pos);
+        }
+    }
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(cap: f64, temp: f64, scot: bool) -> CGenCtx {
+        CGenCtx { capability: cap, temperature: temp, scot }
+    }
+
+    #[test]
+    fn generated_snippets_usually_compile_and_run() {
+        let mut ok = 0;
+        for seed in 0..30 {
+            let code = generate_snippet(&ctx(0.75, 0.6, true), &[], seed);
+            if eda_riscv::measure_c_power(&code, "snippet", &[]).is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 24, "most snippets score: {ok}/30");
+    }
+
+    #[test]
+    fn weak_models_fail_more_often() {
+        let count_fail = |cap: f64| {
+            (0..40)
+                .filter(|seed| {
+                    let code = generate_snippet(&ctx(cap, 1.2, false), &[], *seed);
+                    eda_riscv::measure_c_power(&code, "snippet", &[]).is_err()
+                })
+                .count()
+        };
+        let weak = count_fail(0.2);
+        let strong = count_fail(0.95);
+        assert!(weak > strong, "weak {weak} vs strong {strong}");
+    }
+
+    #[test]
+    fn examples_anchor_generation() {
+        // A mul-heavy example biases future snippets toward multiplies.
+        let mul_heavy = generate_snippet(
+            &ctx(0.8, 0.1, true),
+            &[(5.5, "int snippet() {\n  int c0 = 3;\n  for (int i = 0; i < 4000; i++) {\n    c0 = c0 * 17 + 1;\n    c0 = c0 * 13 + 2;\n    c0 = c0 * 11 + 3;\n    c0 = c0 * 9 + 4;\n  }\n  return c0;\n}\n".to_string())],
+            7,
+        );
+        let plain = generate_snippet(&ctx(0.8, 0.1, true), &[], 7);
+        let f_anchored = extract_features(&mul_heavy);
+        let f_plain = extract_features(&plain);
+        assert!(
+            f_anchored.mul_frac >= f_plain.mul_frac,
+            "anchored {:.2} vs plain {:.2}",
+            f_anchored.mul_frac,
+            f_plain.mul_frac
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_snippet(&ctx(0.6, 0.8, false), &[], 11);
+        let b = generate_snippet(&ctx(0.6, 0.8, false), &[], 11);
+        assert_eq!(a, b);
+        assert_ne!(a, generate_snippet(&ctx(0.6, 0.8, false), &[], 12));
+    }
+
+    #[test]
+    fn scot_improves_expected_power() {
+        // Average over seeds: SCoT snippets should draw at least as much
+        // power (more chains, more muls) as non-SCoT ones.
+        let avg = |scot: bool| {
+            let mut total = 0.0;
+            let mut n = 0;
+            for seed in 0..25 {
+                let code = generate_snippet(&ctx(0.8, 0.5, scot), &[], seed);
+                if let Ok(r) = eda_riscv::measure_c_power(&code, "snippet", &[]) {
+                    total += r.power_w;
+                    n += 1;
+                }
+            }
+            total / n.max(1) as f64
+        };
+        let with = avg(true);
+        let without = avg(false);
+        assert!(with > without - 0.1, "scot {with:.3} vs plain {without:.3}");
+    }
+
+    #[test]
+    fn feature_extraction_roundtrip() {
+        let code = generate_snippet(&ctx(0.8, 0.3, false), &[], 5);
+        let f = extract_features(&code);
+        assert!(f.chains >= 1 && f.chains <= 6);
+        assert!(f.trip >= 500);
+    }
+}

@@ -1,0 +1,331 @@
+//! # eda-llm — a deterministic simulated LLM for EDA workflows
+//!
+//! This crate is the workspace's substitution for the cloud LLMs the paper
+//! uses (GPT-3.5/4/4o, Code Llama 34B, fine-tuned variants). The paper's
+//! experiments measure *search dynamics around a model* — candidate
+//! quality versus temperature, feedback benefit versus model tier, pool
+//! convergence — not any specific model's weights, so the simulation
+//! exposes exactly those statistical knobs:
+//!
+//! * **capability** — expected bug/defect rate of generated artifacts,
+//! * **feedback_skill** — how much EDA-tool feedback reduces that rate
+//!   (only strong models benefit, reproducing AutoChip's finding),
+//! * **temperature** — diversity/error spread of samples,
+//! * **SCoT** — structured chain-of-thought improves structure quality.
+//!
+//! Everything is deterministic given (model, prompt, temperature, sample
+//! index), making every experiment in the workspace reproducible bit for
+//! bit. The [`ChatModel`] trait is the seam where a real API client would
+//! plug in: frameworks build *text prompts* (see [`prompts`]) and receive
+//! *text completions*.
+//!
+//! ```
+//! use eda_llm::{ChatModel, ChatRequest, ModelSpec, SimulatedLlm};
+//!
+//! let model = SimulatedLlm::new(ModelSpec::ultra());
+//! let problem = eda_suite::problem("counter4").unwrap();
+//! let mut prompt = eda_llm::prompts::task_header(
+//!     "verilog-design", &[("problem", problem.id)]);
+//! prompt.push_str(problem.prompt);
+//! let resp = model.complete(&ChatRequest { prompt, temperature: 0.4, sample_index: 0 });
+//! assert!(resp.text.contains("module"));
+//! ```
+
+pub mod cgen;
+pub mod prompts;
+pub mod repairgen;
+pub mod verilog;
+
+pub use cgen::{extract_features, generate_snippet, CGenCtx, SnippetFeatures};
+pub use prompts::{parse_prompt, ParsedPrompt};
+pub use repairgen::{attempt_repair, RepairCtx};
+pub use verilog::{expected_bugs, generate_candidate, VerilogGenCtx};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A model tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    pub name: String,
+    /// Generation quality in `[0, 1]`.
+    pub capability: f64,
+    /// Ability to exploit EDA-tool feedback in `[0, 1]`.
+    pub feedback_skill: f64,
+}
+
+impl ModelSpec {
+    /// A GPT-3.5-class conversational model.
+    pub fn basic() -> ModelSpec {
+        ModelSpec { name: "sim-basic-3.5".into(), capability: 0.42, feedback_skill: 0.10 }
+    }
+
+    /// A code-tuned open model (Code-Llama-34B-class).
+    pub fn coder() -> ModelSpec {
+        ModelSpec { name: "sim-coder-34b".into(), capability: 0.55, feedback_skill: 0.16 }
+    }
+
+    /// A GPT-4-class model.
+    pub fn pro() -> ModelSpec {
+        ModelSpec { name: "sim-pro-4".into(), capability: 0.72, feedback_skill: 0.28 }
+    }
+
+    /// The strongest tier (GPT-4o-class) — the only one that benefits
+    /// substantially from tool feedback, per the paper.
+    pub fn ultra() -> ModelSpec {
+        ModelSpec { name: "sim-ultra-4o".into(), capability: 0.88, feedback_skill: 0.92 }
+    }
+
+    /// A Code-Llama-34B-Instruct further fine-tuned on 80k QA pairs — the
+    /// Section-V SLT model.
+    pub fn code_llama_ft() -> ModelSpec {
+        ModelSpec { name: "sim-cl34b-ft".into(), capability: 0.68, feedback_skill: 0.40 }
+    }
+
+    /// The off-the-shelf counterpart of [`ModelSpec::code_llama_ft`]
+    /// ("compared to the off-the-shelf model, it performs significantly
+    /// better").
+    pub fn code_llama_raw() -> ModelSpec {
+        ModelSpec { name: "sim-cl34b-raw".into(), capability: 0.48, feedback_skill: 0.25 }
+    }
+}
+
+/// The four commercial tiers AutoChip is evaluated with.
+pub fn model_zoo() -> Vec<ModelSpec> {
+    vec![ModelSpec::basic(), ModelSpec::coder(), ModelSpec::pro(), ModelSpec::ultra()]
+}
+
+/// A completion request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChatRequest {
+    pub prompt: String,
+    pub temperature: f64,
+    /// Index when sampling k candidates from one prompt.
+    pub sample_index: u32,
+}
+
+/// A completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChatResponse {
+    pub text: String,
+}
+
+/// The LLM interface used by every framework. Object-safe so frameworks
+/// can hold `Box<dyn ChatModel>`.
+pub trait ChatModel: Send + Sync {
+    /// Model display name.
+    fn name(&self) -> &str;
+    /// Completes a prompt.
+    fn complete(&self, request: &ChatRequest) -> ChatResponse;
+}
+
+/// The deterministic simulated model.
+#[derive(Debug, Clone)]
+pub struct SimulatedLlm {
+    spec: ModelSpec,
+    base_seed: u64,
+}
+
+impl SimulatedLlm {
+    /// Creates a model with the default base seed.
+    pub fn new(spec: ModelSpec) -> Self {
+        SimulatedLlm { spec, base_seed: 0x11aa_22bb }
+    }
+
+    /// Overrides the base seed (independent replications).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// The model tier.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    fn derive_seed(&self, prompt: &str, temperature: f64, sample_index: u32) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325 ^ self.base_seed;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        for b in self.spec.name.bytes() {
+            mix(b as u64);
+        }
+        for b in prompt.bytes() {
+            mix(b as u64);
+        }
+        mix(temperature.to_bits());
+        mix(sample_index as u64);
+        h
+    }
+
+    /// Proposes test inputs from spectra observations (the HLSTester
+    /// "LLM-based reasoning chain"). Given per-variable (min, max,
+    /// overflow-count) summaries, strong models aim at boundary and
+    /// overflow-triggering values; weak models sample mostly at random.
+    pub fn reason_test_inputs(
+        &self,
+        spectra: &[(String, i64, i64, u64)],
+        n_scalars: usize,
+        n: usize,
+        temperature: f64,
+        seed: u64,
+    ) -> Vec<Vec<i64>> {
+        let mut rng = StdRng::seed_from_u64(seed ^ self.base_seed ^ 0xfeed);
+        let mut out = Vec::with_capacity(n);
+        let observed_max = spectra.iter().map(|(_, _, mx, _)| *mx).max().unwrap_or(100);
+        let saw_overflow = spectra.iter().any(|(_, _, _, o)| *o > 0);
+        for _ in 0..n {
+            let targeted = rng.gen_bool(self.spec.capability.clamp(0.05, 0.95));
+            let row: Vec<i64> = (0..n_scalars)
+                .map(|_| {
+                    if targeted {
+                        // Boundary-oriented: push past observed extremes to
+                        // provoke overflow/path changes.
+                        let base = observed_max.max(1);
+                        let factor = if saw_overflow { 4 } else { 2 };
+                        let spread = (temperature * base as f64) as i64;
+                        base * factor + rng.gen_range(0..=spread.max(1))
+                    } else {
+                        rng.gen_range(0..1000)
+                    }
+                })
+                .collect();
+            out.push(row);
+        }
+        out
+    }
+}
+
+impl ChatModel for SimulatedLlm {
+    fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    fn complete(&self, request: &ChatRequest) -> ChatResponse {
+        let parsed = parse_prompt(&request.prompt);
+        let seed = self.derive_seed(&request.prompt, request.temperature, request.sample_index);
+        let text = match parsed.task.as_str() {
+            "verilog-design" => {
+                let problem_id = parsed.attrs.get("problem").cloned().unwrap_or_default();
+                match eda_suite::problem(&problem_id) {
+                    Some(p) => {
+                        let ctx = VerilogGenCtx {
+                            capability: self.spec.capability,
+                            feedback_skill: self.spec.feedback_skill,
+                            temperature: request.temperature,
+                            feedback_rounds: parsed.feedback_rounds,
+                        };
+                        verilog::generate_candidate(&p, &ctx, seed)
+                    }
+                    None => format!(
+                        "module {}();\n  // specification not understood\nendmodule\n",
+                        if problem_id.is_empty() { "design" } else { &problem_id }
+                    ),
+                }
+            }
+            "c-power-snippet" => {
+                let ctx = CGenCtx {
+                    capability: self.spec.capability,
+                    temperature: request.temperature,
+                    scot: parsed.scot,
+                };
+                cgen::generate_snippet(&ctx, &parsed.examples, seed)
+            }
+            "c-repair" => {
+                let kind = parsed.attrs.get("kind").cloned().unwrap_or_default();
+                let ctx = RepairCtx {
+                    capability: self.spec.capability,
+                    has_template: parsed.template.is_some(),
+                };
+                repairgen::attempt_repair(&parsed.body, &kind, &ctx, seed)
+            }
+            _ => "// unsupported task".to_string(),
+        };
+        ChatResponse { text }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prompts::*;
+
+    #[test]
+    fn verilog_task_roundtrip() {
+        let model = SimulatedLlm::new(ModelSpec::ultra());
+        let p = eda_suite::problem("mux2").unwrap();
+        let mut prompt = task_header("verilog-design", &[("problem", p.id)]);
+        prompt.push_str(p.prompt);
+        let r = model.complete(&ChatRequest { prompt, temperature: 0.2, sample_index: 0 });
+        assert!(r.text.contains("module mux2"));
+    }
+
+    #[test]
+    fn completions_deterministic() {
+        let model = SimulatedLlm::new(ModelSpec::pro());
+        let req = ChatRequest {
+            prompt: task_header("verilog-design", &[("problem", "alu8")]),
+            temperature: 0.9,
+            sample_index: 3,
+        };
+        assert_eq!(model.complete(&req), model.complete(&req));
+        let req2 = ChatRequest { sample_index: 4, ..req.clone() };
+        assert_ne!(model.complete(&req), model.complete(&req2));
+    }
+
+    #[test]
+    fn c_snippet_task() {
+        let model = SimulatedLlm::new(ModelSpec::code_llama_ft());
+        let mut prompt = task_header("c-power-snippet", &[]);
+        prompt.push_str("Write C that maximizes power.\n");
+        prompt.push_str(scot_marker());
+        let r = model.complete(&ChatRequest { prompt, temperature: 0.7, sample_index: 0 });
+        assert!(r.text.contains("int snippet()"));
+    }
+
+    #[test]
+    fn repair_task_with_template() {
+        let model = SimulatedLlm::new(ModelSpec::ultra());
+        let mut prompt = task_header("c-repair", &[("kind", "stdio")]);
+        prompt.push_str("int f(int a) { printf(\"%d\", a); return a; }\n");
+        prompt.push_str(&template_section("remove stdio calls"));
+        let r = model.complete(&ChatRequest { prompt, temperature: 0.1, sample_index: 0 });
+        assert!(!r.text.contains("printf"), "{}", r.text);
+    }
+
+    #[test]
+    fn unknown_problem_yields_stub() {
+        let model = SimulatedLlm::new(ModelSpec::basic());
+        let prompt = task_header("verilog-design", &[("problem", "nonexistent")]);
+        let r = model.complete(&ChatRequest { prompt, temperature: 0.5, sample_index: 0 });
+        assert!(r.text.contains("module"));
+    }
+
+    #[test]
+    fn model_zoo_is_ordered_by_capability() {
+        let zoo = model_zoo();
+        assert_eq!(zoo.len(), 4);
+        for w in zoo.windows(2) {
+            assert!(w[0].capability < w[1].capability);
+        }
+    }
+
+    #[test]
+    fn reasoned_inputs_target_boundaries() {
+        let strong = SimulatedLlm::new(ModelSpec::ultra());
+        let spectra = vec![("acc".to_string(), 0i64, 500i64, 3u64)];
+        let inputs = strong.reason_test_inputs(&spectra, 2, 20, 0.5, 9);
+        assert_eq!(inputs.len(), 20);
+        // Most proposals exceed the observed max (overflow hunting).
+        let beyond = inputs.iter().filter(|row| row.iter().any(|v| *v > 500)).count();
+        assert!(beyond >= 12, "{beyond}/20 beyond observed max");
+    }
+
+    #[test]
+    fn chat_model_is_object_safe() {
+        let m: Box<dyn ChatModel> = Box::new(SimulatedLlm::new(ModelSpec::basic()));
+        assert_eq!(m.name(), "sim-basic-3.5");
+    }
+}

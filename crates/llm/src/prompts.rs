@@ -1,0 +1,186 @@
+//! Prompt construction and parsing.
+//!
+//! Frameworks talk to the LLM through *text prompts*, exactly as they
+//! would to a cloud model; structured task markers (`[[TASK:...]]`,
+//! `[[FEEDBACK]]`, `[[PREVIOUS]]`, `[[TEMPLATE]]`, `[[EXAMPLE score=..]]`,
+//! `[[SCOT]]`) keep the interface honest while letting the simulated model
+//! recover the task deterministically. A real API client would simply
+//! ignore the markers.
+
+use std::collections::HashMap;
+
+/// A parsed task prompt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedPrompt {
+    /// Task name from `[[TASK:name key=value...]]`.
+    pub task: String,
+    /// Key/value attributes on the task marker.
+    pub attrs: HashMap<String, String>,
+    /// Number of `[[FEEDBACK]]` sections (tool-feedback rounds).
+    pub feedback_rounds: u32,
+    /// Content of the last `[[FEEDBACK]]` section.
+    pub last_feedback: Option<String>,
+    /// Content of the `[[PREVIOUS]]` section (prior attempt).
+    pub previous: Option<String>,
+    /// Content of the `[[TEMPLATE]]` section (RAG retrieval).
+    pub template: Option<String>,
+    /// `[[EXAMPLE score=X]]` bodies with scores.
+    pub examples: Vec<(f64, String)>,
+    /// Whether Structured Chain-of-Thought is requested.
+    pub scot: bool,
+    /// Free text outside any marker section.
+    pub body: String,
+}
+
+/// Builds a task prompt with the given marker and attributes.
+pub fn task_header(task: &str, attrs: &[(&str, &str)]) -> String {
+    let mut s = format!("[[TASK:{task}");
+    for (k, v) in attrs {
+        s.push_str(&format!(" {k}={v}"));
+    }
+    s.push_str("]]\n");
+    s
+}
+
+/// Appends a feedback section.
+pub fn feedback_section(text: &str) -> String {
+    format!("[[FEEDBACK]]\n{text}\n[[/FEEDBACK]]\n")
+}
+
+/// Appends a previous-attempt section.
+pub fn previous_section(text: &str) -> String {
+    format!("[[PREVIOUS]]\n{text}\n[[/PREVIOUS]]\n")
+}
+
+/// Appends a retrieved-template section.
+pub fn template_section(text: &str) -> String {
+    format!("[[TEMPLATE]]\n{text}\n[[/TEMPLATE]]\n")
+}
+
+/// Appends a scored example section.
+pub fn example_section(score: f64, text: &str) -> String {
+    format!("[[EXAMPLE score={score:.4}]]\n{text}\n[[/EXAMPLE]]\n")
+}
+
+/// The SCoT marker.
+pub fn scot_marker() -> &'static str {
+    "[[SCOT]]\n"
+}
+
+/// Parses a prompt back into its structured pieces.
+pub fn parse_prompt(prompt: &str) -> ParsedPrompt {
+    let mut out = ParsedPrompt {
+        task: String::new(),
+        attrs: HashMap::new(),
+        feedback_rounds: 0,
+        last_feedback: None,
+        previous: None,
+        template: None,
+        examples: Vec::new(),
+        scot: prompt.contains("[[SCOT]]"),
+        body: String::new(),
+    };
+    // Task marker.
+    if let Some(start) = prompt.find("[[TASK:") {
+        if let Some(end) = prompt[start..].find("]]") {
+            let inner = &prompt[start + 7..start + end];
+            let mut parts = inner.split_whitespace();
+            if let Some(name) = parts.next() {
+                out.task = name.to_string();
+            }
+            for p in parts {
+                if let Some((k, v)) = p.split_once('=') {
+                    out.attrs.insert(k.to_string(), v.to_string());
+                }
+            }
+        }
+    }
+    // Sections.
+    out.feedback_rounds = prompt.matches("[[FEEDBACK]]").count() as u32;
+    out.last_feedback = last_section(prompt, "FEEDBACK");
+    out.previous = last_section(prompt, "PREVIOUS");
+    out.template = last_section(prompt, "TEMPLATE");
+    // Examples.
+    let mut rest = prompt;
+    while let Some(start) = rest.find("[[EXAMPLE score=") {
+        let after = &rest[start + 16..];
+        let Some(close) = after.find("]]") else { break };
+        let score: f64 = after[..close].trim().parse().unwrap_or(0.0);
+        let body_start = start + 16 + close + 2;
+        let Some(endpos) = rest[body_start..].find("[[/EXAMPLE]]") else { break };
+        let body = rest[body_start..body_start + endpos].trim().to_string();
+        out.examples.push((score, body));
+        rest = &rest[body_start + endpos + 12..];
+    }
+    // Body: text before the first marker section.
+    let first_marker = ["[[FEEDBACK]]", "[[PREVIOUS]]", "[[TEMPLATE]]", "[[EXAMPLE", "[[SCOT]]"]
+        .iter()
+        .filter_map(|m| prompt.find(m))
+        .min()
+        .unwrap_or(prompt.len());
+    let body_region = &prompt[..first_marker];
+    out.body = match body_region.find("]]") {
+        Some(p) if body_region.contains("[[TASK:") => body_region[p + 2..].trim().to_string(),
+        _ => body_region.trim().to_string(),
+    };
+    out
+}
+
+fn last_section(prompt: &str, name: &str) -> Option<String> {
+    let open = format!("[[{name}]]");
+    let close = format!("[[/{name}]]");
+    let start = prompt.rfind(&open)? + open.len();
+    let end = prompt[start..].find(&close)? + start;
+    Some(prompt[start..end].trim().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_task_and_sections() {
+        let mut p = task_header("verilog-design", &[("problem", "counter4")]);
+        p.push_str("Design a 4-bit counter.\n");
+        p.push_str(&feedback_section("vector 3: expected 4, got 5"));
+        p.push_str(&previous_section("module counter4(); endmodule"));
+        let parsed = parse_prompt(&p);
+        assert_eq!(parsed.task, "verilog-design");
+        assert_eq!(parsed.attrs["problem"], "counter4");
+        assert_eq!(parsed.feedback_rounds, 1);
+        assert!(parsed.last_feedback.unwrap().contains("expected 4"));
+        assert!(parsed.previous.unwrap().contains("counter4"));
+        assert_eq!(parsed.body, "Design a 4-bit counter.");
+    }
+
+    #[test]
+    fn multiple_feedback_rounds_counted() {
+        let mut p = task_header("verilog-design", &[]);
+        p.push_str(&feedback_section("round one"));
+        p.push_str(&feedback_section("round two"));
+        let parsed = parse_prompt(&p);
+        assert_eq!(parsed.feedback_rounds, 2);
+        assert_eq!(parsed.last_feedback.unwrap(), "round two");
+    }
+
+    #[test]
+    fn examples_with_scores() {
+        let mut p = task_header("c-power-snippet", &[]);
+        p.push_str(&example_section(4.2, "int f() { return 1; }"));
+        p.push_str(&example_section(5.0, "int g() { return 2; }"));
+        p.push_str(scot_marker());
+        let parsed = parse_prompt(&p);
+        assert_eq!(parsed.examples.len(), 2);
+        assert!((parsed.examples[1].0 - 5.0).abs() < 1e-9);
+        assert!(parsed.scot);
+    }
+
+    #[test]
+    fn template_section_parsed() {
+        let mut p = task_header("c-repair", &[("kind", "dynamic-allocation")]);
+        p.push_str(&template_section("replace malloc with a static array"));
+        let parsed = parse_prompt(&p);
+        assert!(parsed.template.unwrap().contains("static array"));
+        assert_eq!(parsed.attrs["kind"], "dynamic-allocation");
+    }
+}

@@ -1,0 +1,518 @@
+//! C program repair generation (paper Fig. 2 stage 2).
+//!
+//! Given a program, an HLS error kind, and (optionally) a retrieved
+//! correction template, the simulated model applies the corresponding AST
+//! rewrite. Template-guided repairs succeed with much higher probability
+//! than unguided ones — the RAG-ablation effect the repair experiment
+//! measures. Some error classes (pointer arithmetic, non-pattern
+//! recursion) resist mechanical rewriting and fail, keeping per-stage
+//! success rates below 100 % as in practice.
+
+use eda_cmini::{emit_program, parse, BinOp, Block, Expr, Program, Stmt, StmtKind, Type};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Repair context.
+#[derive(Debug, Clone, Copy)]
+pub struct RepairCtx {
+    pub capability: f64,
+    /// Whether a retrieved template is present in the prompt.
+    pub has_template: bool,
+}
+
+/// Attempts to repair `src` for the given error kind (an
+/// `eda_cmini::IncompatKind` display tag). Returns the rewritten source;
+/// when the roll or the rewrite fails, the original source is returned
+/// (the error will persist and the framework's loop will observe it).
+pub fn attempt_repair(src: &str, kind: &str, ctx: &RepairCtx, seed: u64) -> String {
+    let p_success = (ctx.capability * if ctx.has_template { 1.25 } else { 0.55 }).clamp(0.0, 0.97);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7e9a_12f3);
+    if !rng.gen_bool(p_success) {
+        return src.to_string();
+    }
+    let Ok(mut prog) = parse(src) else { return src.to_string() };
+    let changed = match kind {
+        "dynamic-allocation" => fix_dynamic_allocation(&mut prog),
+        "stdio" => fix_stdio(&mut prog),
+        "unbounded-loop" | "irregular-exit" => fix_unbounded_loops(&mut prog),
+        "recursion" => fix_linear_recursion(&mut prog),
+        _ => false,
+    };
+    if changed {
+        emit_program(&prog)
+    } else {
+        src.to_string()
+    }
+}
+
+/// Replaces `T *p = (T*)malloc(...)` with a fixed-size array and removes
+/// `free(p)` calls.
+pub fn fix_dynamic_allocation(prog: &mut Program) -> bool {
+    let mut changed = false;
+    for f in &mut prog.functions {
+        changed |= fix_malloc_block(&mut f.body);
+    }
+    changed
+}
+
+fn is_malloc_call(e: &Expr) -> Option<&[Expr]> {
+    match e {
+        Expr::Call(name, args) if name == "malloc" || name == "calloc" => Some(args),
+        Expr::Cast(_, inner) => is_malloc_call(inner),
+        _ => None,
+    }
+}
+
+/// Worst-case element bound for a malloc size expression.
+fn malloc_capacity(args: &[Expr]) -> u64 {
+    fn const_factor(e: &Expr) -> Option<u64> {
+        match e {
+            Expr::IntLit(v) if *v > 0 => Some(*v as u64),
+            Expr::SizeOf(_) => Some(1),
+            Expr::Binary(BinOp::Mul, a, b) => Some(const_factor(a)? * const_factor(b)?),
+            _ => None,
+        }
+    }
+    let total: Option<u64> = match args.len() {
+        1 => const_factor(&args[0]),
+        2 => match (const_factor(&args[0]), const_factor(&args[1])) {
+            (Some(a), Some(b)) => Some(a * b),
+            _ => None,
+        },
+        _ => None,
+    };
+    total.unwrap_or(256).clamp(1, 4096)
+}
+
+fn fix_malloc_block(b: &mut Block) -> bool {
+    let mut changed = false;
+    let mut freed_names: Vec<String> = Vec::new();
+    for s in &mut b.stmts {
+        match &mut s.kind {
+            StmtKind::Decl { ty, name, init }
+                if ty.is_pointer() => {
+                    if let Some(expr) = init {
+                        if let Some(args) = is_malloc_call(expr) {
+                            let cap = malloc_capacity(args);
+                            *ty = Type {
+                                base: ty.base,
+                                unsigned: ty.unsigned,
+                                pointers: 0,
+                                dims: vec![cap],
+                            };
+                            *init = None;
+                            changed = true;
+                            let _ = name;
+                        }
+                    }
+                }
+            StmtKind::Expr(Expr::Call(name, args)) if name == "free" => {
+                if let Some(Expr::Ident(n)) = args.first() {
+                    freed_names.push(n.clone());
+                }
+            }
+            StmtKind::If { then_branch, else_branch, .. } => {
+                changed |= fix_malloc_block(then_branch);
+                if let Some(e) = else_branch {
+                    changed |= fix_malloc_block(e);
+                }
+            }
+            StmtKind::While { body, .. }
+            | StmtKind::DoWhile { body, .. }
+            | StmtKind::For { body, .. } => changed |= fix_malloc_block(body),
+            StmtKind::Block(inner) => changed |= fix_malloc_block(inner),
+            _ => {}
+        }
+    }
+    if changed {
+        b.stmts.retain(|s| {
+            !matches!(&s.kind, StmtKind::Expr(Expr::Call(name, _)) if name == "free")
+        });
+    }
+    changed
+}
+
+/// Deletes `printf`/`putchar` statements.
+pub fn fix_stdio(prog: &mut Program) -> bool {
+    let mut changed = false;
+    for f in &mut prog.functions {
+        changed |= strip_stdio_block(&mut f.body);
+    }
+    changed
+}
+
+fn strip_stdio_block(b: &mut Block) -> bool {
+    let before = b.stmts.len();
+    b.stmts.retain(|s| {
+        !matches!(&s.kind,
+            StmtKind::Expr(Expr::Call(name, _)) if name == "printf" || name == "putchar")
+    });
+    let mut changed = b.stmts.len() != before;
+    for s in &mut b.stmts {
+        match &mut s.kind {
+            StmtKind::If { then_branch, else_branch, .. } => {
+                changed |= strip_stdio_block(then_branch);
+                if let Some(e) = else_branch {
+                    changed |= strip_stdio_block(e);
+                }
+            }
+            StmtKind::While { body, .. }
+            | StmtKind::DoWhile { body, .. }
+            | StmtKind::For { body, .. } => changed |= strip_stdio_block(body),
+            StmtKind::Block(inner) => changed |= strip_stdio_block(inner),
+            _ => {}
+        }
+    }
+    changed
+}
+
+/// Rewrites `while (cond) { ... }` and `while (1) { ...; break; }` loops
+/// into bounded `for` loops with an explicit iteration cap.
+pub fn fix_unbounded_loops(prog: &mut Program) -> bool {
+    let mut next_id = 90_000u32;
+    let mut changed = false;
+    for f in &mut prog.functions {
+        changed |= bound_loops_block(&mut f.body, &mut next_id);
+    }
+    changed
+}
+
+fn bound_loops_block(b: &mut Block, next_id: &mut u32) -> bool {
+    let mut changed = false;
+    for s in &mut b.stmts {
+        let mut replace: Option<StmtKind> = None;
+        match &mut s.kind {
+            StmtKind::While { cond, body, .. } => {
+                let mut inner = body.clone();
+                bound_loops_block(&mut inner, next_id);
+                // Guard first: `if (!(cond)) break;`
+                let mut id = || {
+                    *next_id += 1;
+                    *next_id
+                };
+                let guard = Stmt {
+                    id: id(),
+                    line: s.line,
+                    kind: StmtKind::If {
+                        cond: Expr::Unary(
+                            eda_cmini::UnOp::Not,
+                            Box::new(cond.clone()),
+                        ),
+                        then_branch: Block {
+                            stmts: vec![Stmt { id: id(), line: s.line, kind: StmtKind::Break }],
+                        },
+                        else_branch: None,
+                    },
+                };
+                let mut stmts = vec![guard];
+                stmts.extend(inner.stmts);
+                let var = format!("bound_it_{}", id());
+                replace = Some(StmtKind::For {
+                    init: Some(Box::new(Stmt {
+                        id: id(),
+                        line: s.line,
+                        kind: StmtKind::Decl {
+                            ty: Type::int(),
+                            name: var.clone(),
+                            init: Some(Expr::IntLit(0)),
+                        },
+                    })),
+                    cond: Some(Expr::Binary(
+                        BinOp::Lt,
+                        Box::new(Expr::Ident(var.clone())),
+                        Box::new(Expr::IntLit(4096)),
+                    )),
+                    step: Some(Expr::IncDec {
+                        target: Box::new(Expr::Ident(var)),
+                        inc: true,
+                        prefix: false,
+                    }),
+                    body: Block { stmts },
+                    pragmas: vec![],
+                });
+                changed = true;
+            }
+            StmtKind::If { then_branch, else_branch, .. } => {
+                changed |= bound_loops_block(then_branch, next_id);
+                if let Some(e) = else_branch {
+                    changed |= bound_loops_block(e, next_id);
+                }
+            }
+            StmtKind::For { body, .. } | StmtKind::DoWhile { body, .. } => {
+                changed |= bound_loops_block(body, next_id);
+            }
+            StmtKind::Block(inner) => changed |= bound_loops_block(inner, next_id),
+            _ => {}
+        }
+        if let Some(k) = replace {
+            s.kind = k;
+        }
+    }
+    changed
+}
+
+/// Rewrites the linear-recursion pattern
+/// `int f(int n) { if (n <= C) return E0; return f(n - 1) OP E(n); }`
+/// into an iterative accumulator loop. Returns `false` (repair failure)
+/// when the function does not match the pattern.
+pub fn fix_linear_recursion(prog: &mut Program) -> bool {
+    let names: Vec<String> = eda_cmini::recursive_functions(prog).into_iter().collect();
+    let mut changed = false;
+    for name in names {
+        let Some(f) = prog.function_mut(&name) else { continue };
+        if f.params.len() != 1 || !f.params[0].ty.is_scalar() {
+            continue;
+        }
+        let param = f.params[0].name.clone();
+        // Pattern match the body.
+        if f.body.stmts.len() != 2 {
+            continue;
+        }
+        let (base_cutoff, base_value) = match &f.body.stmts[0].kind {
+            StmtKind::If { cond, then_branch, else_branch: None } => {
+                let base_value = match then_branch.stmts.first().map(|s| &s.kind) {
+                    Some(StmtKind::Return(Some(Expr::IntLit(v)))) => *v,
+                    _ => continue,
+                };
+                let cutoff = match cond {
+                    Expr::Binary(op @ (BinOp::Le | BinOp::Lt | BinOp::Eq), a, b) => {
+                        match (&**a, &**b) {
+                            (Expr::Ident(n), Expr::IntLit(c)) if *n == param => {
+                                if *op == BinOp::Lt {
+                                    c - 1
+                                } else {
+                                    *c
+                                }
+                            }
+                            _ => continue,
+                        }
+                    }
+                    _ => continue,
+                };
+                (cutoff, base_value)
+            }
+            _ => continue,
+        };
+        // `return f(n-1) OP E(n)` or `return E(n) OP f(n-1)`.
+        let StmtKind::Return(Some(ret)) = &f.body.stmts[1].kind else { continue };
+        let is_self_call = |e: &Expr| -> bool {
+            matches!(e, Expr::Call(n, args) if *n == name && args.len() == 1)
+        };
+        let (op, other) = match ret {
+            Expr::Binary(op, a, b) if is_self_call(a) => (*op, (**b).clone()),
+            Expr::Binary(op, a, b) if is_self_call(b) && matches!(op, BinOp::Add | BinOp::Mul) => {
+                (*op, (**a).clone())
+            }
+            _ => continue,
+        };
+        // Build the iterative form.
+        let mut id = 80_000u32;
+        let mut next = || {
+            id += 1;
+            id
+        };
+        let line = f.line;
+        let subst = |e: &Expr| -> Expr { substitute_ident(e, &param, &Expr::Ident("i".into())) };
+        let body = Block {
+            stmts: vec![
+                Stmt {
+                    id: next(),
+                    line,
+                    kind: StmtKind::Decl {
+                        ty: Type::int(),
+                        name: "acc".into(),
+                        init: Some(Expr::IntLit(base_value)),
+                    },
+                },
+                Stmt {
+                    id: next(),
+                    line,
+                    kind: StmtKind::For {
+                        init: Some(Box::new(Stmt {
+                            id: next(),
+                            line,
+                            kind: StmtKind::Decl {
+                                ty: Type::int(),
+                                name: "i".into(),
+                                init: Some(Expr::IntLit(base_cutoff + 1)),
+                            },
+                        })),
+                        cond: Some(Expr::Binary(
+                            BinOp::Le,
+                            Box::new(Expr::Ident("i".into())),
+                            Box::new(Expr::Ident(param.clone())),
+                        )),
+                        step: Some(Expr::IncDec {
+                            target: Box::new(Expr::Ident("i".into())),
+                            inc: true,
+                            prefix: false,
+                        }),
+                        body: Block {
+                            stmts: vec![Stmt {
+                                id: next(),
+                                line,
+                                kind: StmtKind::Expr(Expr::Assign {
+                                    op: Some(op),
+                                    target: Box::new(Expr::Ident("acc".into())),
+                                    value: Box::new(subst(&other)),
+                                }),
+                            }],
+                        },
+                        pragmas: vec![],
+                    },
+                },
+                Stmt {
+                    id: next(),
+                    line,
+                    kind: StmtKind::Return(Some(Expr::Ident("acc".into()))),
+                },
+            ],
+        };
+        f.body = body;
+        changed = true;
+    }
+    changed
+}
+
+fn substitute_ident(e: &Expr, name: &str, with: &Expr) -> Expr {
+    match e {
+        Expr::Ident(n) if n == name => with.clone(),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(substitute_ident(a, name, with)),
+            Box::new(substitute_ident(b, name, with)),
+        ),
+        Expr::Unary(op, a) => Expr::Unary(*op, Box::new(substitute_ident(a, name, with))),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_cmini::{hls_compat_scan, Interp};
+
+    fn repaired(src: &str, kind: &str) -> String {
+        attempt_repair(src, kind, &RepairCtx { capability: 1.0, has_template: true }, 3)
+    }
+
+    #[test]
+    fn malloc_repair_preserves_behaviour() {
+        let src = "
+          int f(int n) {
+            int *b = (int*)malloc(16 * sizeof(int));
+            for (int i = 0; i < n; i++) b[i] = i * i;
+            int s = 0;
+            for (int i = 0; i < n; i++) s += b[i];
+            free(b);
+            return s;
+          }";
+        let fixed = repaired(src, "dynamic-allocation");
+        assert!(!fixed.contains("malloc"), "{fixed}");
+        let issues = hls_compat_scan(&parse(&fixed).unwrap());
+        assert!(issues.is_empty(), "{issues:?}");
+        let before = Interp::new(&parse(src).unwrap()).call_ints("f", &[10]).unwrap();
+        let after = Interp::new(&parse(&fixed).unwrap()).call_ints("f", &[10]).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn stdio_removed() {
+        let src = r#"int f(int a) { printf("%d", a); return a + 1; }"#;
+        let fixed = repaired(src, "stdio");
+        assert!(!fixed.contains("printf"));
+        assert_eq!(
+            Interp::new(&parse(&fixed).unwrap()).call_ints("f", &[4]).unwrap(),
+            5
+        );
+    }
+
+    #[test]
+    fn unbounded_while_becomes_bounded_for() {
+        let src = "
+          int f(int n) {
+            int x = n;
+            while (x * x < 1000) { x = x + 3; }
+            return x;
+          }";
+        let fixed = repaired(src, "unbounded-loop");
+        let prog = parse(&fixed).unwrap();
+        assert!(hls_compat_scan(&prog).is_empty(), "{fixed}");
+        let before = Interp::new(&parse(src).unwrap()).call_ints("f", &[1]).unwrap();
+        let after = Interp::new(&prog).call_ints("f", &[1]).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn while1_break_becomes_bounded() {
+        let src = "
+          int f(int n) {
+            int x = 0;
+            while (1) { x++; if (x >= n) break; }
+            return x;
+          }";
+        let fixed = repaired(src, "irregular-exit");
+        let prog = parse(&fixed).unwrap();
+        assert!(hls_compat_scan(&prog).is_empty(), "{fixed}");
+        assert_eq!(Interp::new(&prog).call_ints("f", &[7]).unwrap(), 7);
+    }
+
+    #[test]
+    fn linear_recursion_becomes_loop() {
+        let src = "
+          int fact(int n) {
+            if (n <= 1) return 1;
+            return fact(n - 1) * n;
+          }";
+        let fixed = repaired(src, "recursion");
+        let prog = parse(&fixed).unwrap();
+        assert!(
+            eda_cmini::recursive_functions(&prog).is_empty(),
+            "recursion removed: {fixed}"
+        );
+        assert_eq!(Interp::new(&prog).call_ints("fact", &[6]).unwrap(), 720);
+    }
+
+    #[test]
+    fn sum_recursion_becomes_loop() {
+        let src = "
+          int tri(int n) {
+            if (n == 0) return 0;
+            return tri(n - 1) + n;
+          }";
+        let fixed = repaired(src, "recursion");
+        let prog = parse(&fixed).unwrap();
+        assert!(eda_cmini::recursive_functions(&prog).is_empty());
+        assert_eq!(Interp::new(&prog).call_ints("tri", &[10]).unwrap(), 55);
+    }
+
+    #[test]
+    fn non_pattern_recursion_fails_gracefully() {
+        let src = "
+          int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+          }";
+        let fixed = repaired(src, "recursion");
+        // Two self-calls don't match the linear pattern: unchanged.
+        assert!(!eda_cmini::recursive_functions(&parse(&fixed).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn low_capability_without_template_often_fails() {
+        let src = r#"int f(int a) { printf("%d", a); return a; }"#;
+        let mut failures = 0;
+        for seed in 0..30 {
+            let out = attempt_repair(
+                src,
+                "stdio",
+                &RepairCtx { capability: 0.4, has_template: false },
+                seed,
+            );
+            if out.contains("printf") {
+                failures += 1;
+            }
+        }
+        assert!(failures >= 10, "unguided weak repairs fail often: {failures}/30");
+    }
+}

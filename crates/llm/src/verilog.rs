@@ -1,0 +1,536 @@
+//! Verilog candidate generation by capability-dependent fault injection.
+//!
+//! The simulated model "writes" a design for a benchmark problem by taking
+//! the problem's reference solution and injecting bugs from the classes
+//! observed in real LLM-generated RTL (wrong operators, off-by-one widths
+//! and indices, missing resets, swapped ternaries, blocking/nonblocking
+//! confusion, outright syntax errors). The *expected number* of bugs falls
+//! with model capability and rises with problem difficulty and sampling
+//! temperature; EDA-tool feedback reduces it further, but only for models
+//! whose `feedback_skill` is high — reproducing AutoChip's observation that
+//! only the strongest model benefits from feedback.
+
+use eda_hdl::ast::{BinaryOp, Edge, Expr, Item, Module, Sensitivity, Stmt, UnaryOp};
+use eda_hdl::{emit_module, parse};
+use eda_suite::Problem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generation context.
+#[derive(Debug, Clone, Copy)]
+pub struct VerilogGenCtx {
+    /// Model capability in `[0, 1]`.
+    pub capability: f64,
+    /// How well the model exploits tool feedback, in `[0, 1]`.
+    pub feedback_skill: f64,
+    /// Sampling temperature in `[0, ~1.5]`.
+    pub temperature: f64,
+    /// Tool-feedback rounds present in the prompt.
+    pub feedback_rounds: u32,
+}
+
+/// Expected bug count for a problem under a context.
+///
+/// Calibration targets (pass@1 ≈ e^-λ plus a small benign-bug tail):
+/// the strongest tier lands ≈0.8 on easy and ≈0.45 on hard problems,
+/// the weakest ≈0.3 easy / ≈0.03 hard — the regime where AutoChip-style
+/// search strategies actually differ, matching the paper's published
+/// pass-rate ranges for commercial models on VerilogEval.
+pub fn expected_bugs(ctx: &VerilogGenCtx, difficulty_level: u32) -> f64 {
+    let base = 2.2 * difficulty_level as f64;
+    // Irreducible difficulty floor: even the best models make some
+    // mistakes on hard specs (no tier saturates pass@k trivially).
+    let skill = 0.12 + 0.88 * (1.0 - ctx.capability).max(0.0);
+    let temp = 0.55 + 0.9 * ctx.temperature;
+    let feedback_gain = (1.0 - ctx.capability * ctx.feedback_skill)
+        .max(0.05)
+        .powi(ctx.feedback_rounds as i32);
+    base * skill * temp * feedback_gain
+}
+
+/// Probability that a candidate has a *syntax* error (vs. functional bugs).
+fn syntax_error_prob(ctx: &VerilogGenCtx) -> f64 {
+    (0.10 * (1.0 - ctx.capability) + 0.03 * ctx.temperature)
+        * (1.0 - 0.8 * ctx.capability * ctx.feedback_skill).powi(ctx.feedback_rounds as i32)
+}
+
+/// Generates one candidate solution (Verilog source text).
+pub fn generate_candidate(problem: &Problem, ctx: &VerilogGenCtx, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut file = parse(problem.reference).expect("suite references parse");
+    let module = file
+        .modules
+        .iter_mut()
+        .find(|m| m.name == problem.module_name)
+        .expect("module present");
+
+    // Syntax-error path.
+    if rng.gen_bool(syntax_error_prob(ctx).clamp(0.0, 0.9)) {
+        return corrupt_syntax(&emit_module(module), &mut rng);
+    }
+
+    let lambda = expected_bugs(ctx, problem.difficulty.level());
+    // Sample bug count: floor + Bernoulli remainder (cheap Poisson-ish).
+    let mut n_bugs = lambda.floor() as u32;
+    if rng.gen_bool((lambda - lambda.floor()).clamp(0.0, 1.0)) {
+        n_bugs += 1;
+    }
+    for _ in 0..n_bugs {
+        inject_bug(module, &mut rng);
+    }
+    emit_module(module)
+}
+
+fn corrupt_syntax(src: &str, rng: &mut StdRng) -> String {
+    let tokens = [";", ")", "end", "endmodule", "="];
+    let victim = tokens[rng.gen_range(0..tokens.len())];
+    if let Some(pos) = src.rfind(victim) {
+        let mut s = String::with_capacity(src.len());
+        s.push_str(&src[..pos]);
+        s.push_str(&src[pos + victim.len()..]);
+        s
+    } else {
+        // Guaranteed corruption.
+        src.replacen("module", "modul", 1)
+    }
+}
+
+/// All bug classes the injector knows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BugKind {
+    SwapBinaryOp,
+    DropUnaryNot,
+    ConstOffByOne,
+    TernarySwap,
+    WrongEdge,
+    NonblockingToBlocking,
+    DropResetBranch,
+    IndexOffByOne,
+}
+
+const ALL_BUGS: [BugKind; 8] = [
+    BugKind::SwapBinaryOp,
+    BugKind::DropUnaryNot,
+    BugKind::ConstOffByOne,
+    BugKind::TernarySwap,
+    BugKind::WrongEdge,
+    BugKind::NonblockingToBlocking,
+    BugKind::DropResetBranch,
+    BugKind::IndexOffByOne,
+];
+
+fn inject_bug(module: &mut Module, rng: &mut StdRng) {
+    // Try bug kinds in random order until one applies.
+    let mut order: Vec<BugKind> = ALL_BUGS.to_vec();
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    for kind in order {
+        if try_inject(module, kind, rng) {
+            return;
+        }
+    }
+}
+
+fn try_inject(module: &mut Module, kind: BugKind, rng: &mut StdRng) -> bool {
+    match kind {
+        BugKind::WrongEdge => {
+            for item in &mut module.items {
+                if let Item::Always { sensitivity: Sensitivity::Edges(edges), .. } = item {
+                    if let Some(e) = edges.first_mut() {
+                        e.edge = match e.edge {
+                            Edge::Pos => Edge::Neg,
+                            Edge::Neg => Edge::Pos,
+                        };
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        BugKind::NonblockingToBlocking => {
+            for item in &mut module.items {
+                if let Item::Always { sensitivity: Sensitivity::Edges(_), body, .. } = item {
+                    if let Some(s) = find_stmt_mut(body, &mut |s| {
+                        matches!(s, Stmt::NonBlocking { .. })
+                    }) {
+                        if let Stmt::NonBlocking { lhs, rhs, line } = s.clone() {
+                            *s = Stmt::Blocking { lhs, rhs, line };
+                            return true;
+                        }
+                    }
+                }
+            }
+            false
+        }
+        BugKind::DropResetBranch => {
+            for item in &mut module.items {
+                if let Item::Always { body, .. } = item {
+                    if let Some(s) = find_stmt_mut(body, &mut |s| {
+                        matches!(s, Stmt::If { else_branch: Some(_), .. })
+                    }) {
+                        if let Stmt::If { else_branch: Some(e), .. } = s.clone() {
+                            *s = (*e).clone();
+                            return true;
+                        }
+                    }
+                }
+            }
+            false
+        }
+        BugKind::SwapBinaryOp => mutate_some_expr(module, rng, &mut |e, rng| {
+            if let Expr::Binary(op, _, _) = e {
+                let new = swap_op(*op, rng);
+                if new != *op {
+                    *op = new;
+                    return true;
+                }
+            }
+            false
+        }),
+        BugKind::DropUnaryNot => mutate_some_expr(module, rng, &mut |e, _| {
+            if let Expr::Unary(UnaryOp::Not, inner) = e {
+                *e = (**inner).clone();
+                return true;
+            }
+            if let Expr::Unary(UnaryOp::LogicNot, inner) = e {
+                *e = (**inner).clone();
+                return true;
+            }
+            false
+        }),
+        BugKind::ConstOffByOne => mutate_some_expr(module, rng, &mut |e, rng| {
+            match e {
+                Expr::UnsizedLiteral(v) if *v > 0 => {
+                    *v = if rng.gen_bool(0.5) { *v + 1 } else { *v - 1 };
+                    true
+                }
+                Expr::Literal(v) => {
+                    if let Some(x) = v.to_u64() {
+                        let w = v.width();
+                        let nx = if rng.gen_bool(0.5) { x.wrapping_add(1) } else { x.wrapping_sub(1) };
+                        *v = eda_hdl::Value::from_u64(w, nx);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                _ => false,
+            }
+        }),
+        BugKind::TernarySwap => mutate_some_expr(module, rng, &mut |e, _| {
+            if let Expr::Ternary(_, t, f) = e {
+                std::mem::swap(t, f);
+                return true;
+            }
+            false
+        }),
+        BugKind::IndexOffByOne => mutate_some_expr(module, rng, &mut |e, rng| {
+            if let Expr::Index(_, idx) = e {
+                if let Expr::UnsizedLiteral(v) = &mut **idx {
+                    *v = if *v == 0 || rng.gen_bool(0.5) { *v + 1 } else { *v - 1 };
+                    return true;
+                }
+            }
+            if let Expr::PartSelect(_, hi, _lo) = e {
+                if let Expr::UnsizedLiteral(v) = &mut **hi {
+                    if *v > 0 {
+                        *v -= 1;
+                        return true;
+                    }
+                }
+            }
+            false
+        }),
+    }
+}
+
+/// Picks a wrong-but-plausible replacement operator. Randomized so that
+/// two swaps at the same site rarely cancel out (real models don't emit
+/// self-annihilating bug pairs).
+fn swap_op(op: BinaryOp, rng: &mut StdRng) -> BinaryOp {
+    use BinaryOp::*;
+    let pick = |rng: &mut StdRng, opts: &[BinaryOp]| opts[rng.gen_range(0..opts.len())];
+    match op {
+        Add => pick(rng, &[Sub, Or, Xor]),
+        Sub => pick(rng, &[Add, Xor]),
+        And => pick(rng, &[Or, Xor]),
+        Or => pick(rng, &[And, Xor]),
+        Xor => pick(rng, &[And, Or]),
+        Lt => pick(rng, &[Le, Ge]),
+        Le => pick(rng, &[Lt, Gt]),
+        Gt => pick(rng, &[Ge, Le]),
+        Ge => pick(rng, &[Gt, Lt]),
+        Eq => Ne,
+        Ne => Eq,
+        Shl => Shr,
+        Shr => Shl,
+        other => other,
+    }
+}
+
+/// Finds the first statement satisfying `pred` (depth-first), mutable.
+fn find_stmt_mut<'a>(
+    s: &'a mut Stmt,
+    pred: &mut impl FnMut(&Stmt) -> bool,
+) -> Option<&'a mut Stmt> {
+    if pred(s) {
+        return Some(s);
+    }
+    match s {
+        Stmt::Block(stmts) => {
+            for st in stmts {
+                if let Some(f) = find_stmt_mut(st, pred) {
+                    return Some(f);
+                }
+            }
+            None
+        }
+        Stmt::If { then_branch, else_branch, .. } => {
+            if let Some(f) = find_stmt_mut(then_branch, pred) {
+                return Some(f);
+            }
+            match else_branch {
+                Some(e) => find_stmt_mut(e, pred),
+                None => None,
+            }
+        }
+        Stmt::Case { arms, default, .. } => {
+            for a in arms {
+                if let Some(f) = find_stmt_mut(&mut a.body, pred) {
+                    return Some(f);
+                }
+            }
+            match default {
+                Some(d) => find_stmt_mut(d, pred),
+                None => None,
+            }
+        }
+        Stmt::For { body, .. } => find_stmt_mut(body, pred),
+        _ => None,
+    }
+}
+
+/// Applies `f` to one randomly-chosen matching expression in the module.
+fn mutate_some_expr(
+    module: &mut Module,
+    rng: &mut StdRng,
+    f: &mut impl FnMut(&mut Expr, &mut StdRng) -> bool,
+) -> bool {
+    // Collect mutable expression pointers is awkward in safe Rust; instead
+    // walk twice: count matches, pick an index, then apply at that index.
+    let mut count = 0usize;
+    visit_module_exprs(module, &mut |e| {
+        let mut probe = e.clone();
+        let mut probe_rng = StdRng::seed_from_u64(0);
+        if f(&mut probe, &mut probe_rng) {
+            count += 1;
+        }
+        false
+    });
+    if count == 0 {
+        return false;
+    }
+    let target = rng.gen_range(0..count);
+    let mut seen = 0usize;
+    let mut applied = false;
+    let mut apply_rng = StdRng::seed_from_u64(rng.gen());
+    visit_module_exprs(module, &mut |e| {
+        if applied {
+            return false;
+        }
+        let mut probe = e.clone();
+        let mut probe_rng = StdRng::seed_from_u64(0);
+        if f(&mut probe, &mut probe_rng) {
+            if seen == target {
+                f(e, &mut apply_rng);
+                applied = true;
+                return true;
+            }
+            seen += 1;
+        }
+        false
+    });
+    applied
+}
+
+/// Visits every expression in the module; the callback returns `true` to
+/// stop descending into children (after mutation).
+fn visit_module_exprs(module: &mut Module, f: &mut impl FnMut(&mut Expr) -> bool) {
+    for item in &mut module.items {
+        match item {
+            Item::Assign { rhs, .. } => visit_expr(rhs, f),
+            Item::Always { body, .. } | Item::Initial { body, .. } => visit_stmt_exprs(body, f),
+            _ => {}
+        }
+    }
+}
+
+fn visit_stmt_exprs(s: &mut Stmt, f: &mut impl FnMut(&mut Expr) -> bool) {
+    match s {
+        Stmt::Blocking { rhs, .. } | Stmt::NonBlocking { rhs, .. } => visit_expr(rhs, f),
+        Stmt::If { cond, then_branch, else_branch, .. } => {
+            visit_expr(cond, f);
+            visit_stmt_exprs(then_branch, f);
+            if let Some(e) = else_branch {
+                visit_stmt_exprs(e, f);
+            }
+        }
+        Stmt::Case { subject, arms, default, .. } => {
+            visit_expr(subject, f);
+            for a in arms {
+                visit_stmt_exprs(&mut a.body, f);
+            }
+            if let Some(d) = default {
+                visit_stmt_exprs(d, f);
+            }
+        }
+        Stmt::For { cond, body, .. } => {
+            visit_expr(cond, f);
+            visit_stmt_exprs(body, f);
+        }
+        Stmt::Block(stmts) => {
+            for st in stmts {
+                visit_stmt_exprs(st, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn visit_expr(e: &mut Expr, f: &mut impl FnMut(&mut Expr) -> bool) {
+    if f(e) {
+        return;
+    }
+    match e {
+        Expr::Index(a, b) | Expr::Binary(_, a, b) | Expr::Replicate(a, b) => {
+            visit_expr(a, f);
+            visit_expr(b, f);
+        }
+        Expr::PartSelect(a, b, c) | Expr::Ternary(a, b, c) => {
+            visit_expr(a, f);
+            visit_expr(b, f);
+            visit_expr(c, f);
+        }
+        Expr::Unary(_, a) => visit_expr(a, f),
+        Expr::Concat(parts) => {
+            for p in parts {
+                visit_expr(p, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_suite::problem;
+
+    fn ctx(cap: f64, temp: f64, rounds: u32) -> VerilogGenCtx {
+        VerilogGenCtx {
+            capability: cap,
+            feedback_skill: cap, // tests: skill tracks capability
+            temperature: temp,
+            feedback_rounds: rounds,
+        }
+    }
+
+    #[test]
+    fn high_capability_often_correct_on_easy() {
+        let p = problem("not_gate").unwrap();
+        let tb = p.testbench(8, 1).unwrap();
+        let mut correct = 0;
+        for seed in 0..40 {
+            let src = generate_candidate(&p, &ctx(0.9, 0.3, 0), seed);
+            if let Ok(r) = eda_hdl::check_source(&src, p.module_name, &tb) {
+                if r.all_passed() {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(correct >= 18, "strong model solves easy problems: {correct}/40");
+    }
+
+    #[test]
+    fn capability_orders_pass_rates_on_hard() {
+        // Some injected bug classes are benign under the vector protocol
+        // (e.g. edge polarity when inputs are stable across the clock), so
+        // the robust property is the *ordering* of pass rates by tier —
+        // which is what every Section-IV experiment measures.
+        let p = problem("seq_detector_101").unwrap();
+        let tb = p.testbench(48, 2).unwrap();
+        let rate = |cap: f64| {
+            (0..30)
+                .filter(|seed| {
+                    let src = generate_candidate(&p, &ctx(cap, 0.8, 0), *seed);
+                    matches!(eda_hdl::check_source(&src, p.module_name, &tb),
+                             Ok(r) if r.all_passed())
+                })
+                .count()
+        };
+        let weak = rate(0.3);
+        let strong = rate(0.92);
+        assert!(weak < strong, "weak {weak}/30 vs strong {strong}/30");
+        assert!(weak <= 20, "weak model must stay well below ceiling: {weak}/30");
+    }
+
+    #[test]
+    fn feedback_helps_capable_models_only() {
+        let strong_0 = expected_bugs(&ctx(0.9, 0.5, 0), 2);
+        let strong_3 = expected_bugs(&ctx(0.9, 0.5, 3), 2);
+        let weak_0 = expected_bugs(&ctx(0.35, 0.5, 0), 2);
+        let weak_3 = expected_bugs(&ctx(0.35, 0.5, 3), 2);
+        let strong_gain = strong_0 / strong_3.max(1e-9);
+        let weak_gain = weak_0 / weak_3.max(1e-9);
+        assert!(
+            strong_gain > 2.0 * weak_gain,
+            "strong {strong_gain:.2} vs weak {weak_gain:.2}"
+        );
+    }
+
+    #[test]
+    fn temperature_increases_bug_rate() {
+        assert!(expected_bugs(&ctx(0.6, 1.2, 0), 2) > expected_bugs(&ctx(0.6, 0.1, 0), 2));
+    }
+
+    #[test]
+    fn candidates_deterministic_per_seed() {
+        let p = problem("alu8").unwrap();
+        let a = generate_candidate(&p, &ctx(0.5, 0.7, 0), 42);
+        let b = generate_candidate(&p, &ctx(0.5, 0.7, 0), 42);
+        let c = generate_candidate(&p, &ctx(0.5, 0.7, 0), 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds diversify candidates");
+    }
+
+    #[test]
+    fn syntax_errors_happen_for_weak_models() {
+        let p = problem("counter4").unwrap();
+        let mut syntax_errors = 0;
+        for seed in 0..60 {
+            let src = generate_candidate(&p, &ctx(0.2, 1.0, 0), seed);
+            if eda_hdl::compile(&src, p.module_name).is_err() {
+                syntax_errors += 1;
+            }
+        }
+        assert!(syntax_errors >= 2, "some candidates must fail to compile: {syntax_errors}");
+    }
+
+    #[test]
+    fn injected_bugs_change_behaviour() {
+        let p = problem("adder8").unwrap();
+        let tb = p.testbench(24, 5).unwrap();
+        // Force heavy bug injection.
+        let mut broken = 0;
+        for seed in 100..130 {
+            let src = generate_candidate(&p, &ctx(0.05, 1.4, 0), seed);
+            match eda_hdl::check_source(&src, p.module_name, &tb) {
+                Ok(r) if !r.all_passed() => broken += 1,
+                Err(_) => broken += 1,
+                _ => {}
+            }
+        }
+        assert!(broken >= 15, "bug injection must usually break the design: {broken}/30");
+    }
+}

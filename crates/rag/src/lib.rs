@@ -1,0 +1,237 @@
+//! # eda-rag — retrieval-augmented generation support
+//!
+//! BM25 retrieval over a document corpus, used by the HLS repair framework
+//! (paper Fig. 2 stage 2): compiler error messages are the queries, and
+//! expert-written *correction templates* are the documents. Retrieved
+//! templates are injected into the simulated LLM's prompt to guide repairs.
+//!
+//! ```
+//! use eda_rag::{Index, Document};
+//!
+//! let mut index = Index::new();
+//! index.add(Document::new("d1", "malloc dynamic allocation", "replace malloc with a static array"));
+//! index.add(Document::new("d2", "recursion stack", "convert recursion to iteration"));
+//! let hits = index.search("error: call to malloc is not synthesizable", 1);
+//! assert_eq!(hits[0].doc.id, "d1");
+//! ```
+
+pub mod templates;
+
+pub use templates::{repair_corpus, RepairTemplate};
+
+use std::collections::HashMap;
+
+/// A retrievable document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    pub id: String,
+    /// Title/keywords (weighted higher in scoring).
+    pub title: String,
+    pub body: String,
+}
+
+impl Document {
+    /// Creates a document.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, body: impl Into<String>) -> Self {
+        Document { id: id.into(), title: title.into(), body: body.into() }
+    }
+}
+
+/// A scored search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    pub doc: Document,
+    pub score: f64,
+}
+
+/// Lowercases and splits text into alphanumeric tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            cur.extend(c.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// BM25 parameters.
+const K1: f64 = 1.4;
+const B: f64 = 0.75;
+/// Weight multiplier for title tokens.
+const TITLE_WEIGHT: usize = 3;
+
+/// An inverted-index BM25 search engine.
+#[derive(Debug, Clone, Default)]
+pub struct Index {
+    docs: Vec<Document>,
+    /// term -> (doc idx -> term frequency)
+    postings: HashMap<String, HashMap<usize, u32>>,
+    doc_len: Vec<u32>,
+    total_len: u64,
+}
+
+impl Index {
+    /// Empty index.
+    pub fn new() -> Self {
+        Index::default()
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when no documents are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Adds a document to the index.
+    pub fn add(&mut self, doc: Document) {
+        let idx = self.docs.len();
+        let mut tokens = Vec::new();
+        for t in tokenize(&doc.title) {
+            for _ in 0..TITLE_WEIGHT {
+                tokens.push(t.clone());
+            }
+        }
+        tokens.extend(tokenize(&doc.body));
+        self.doc_len.push(tokens.len() as u32);
+        self.total_len += tokens.len() as u64;
+        for t in tokens {
+            *self.postings.entry(t).or_default().entry(idx).or_insert(0) += 1;
+        }
+        self.docs.push(doc);
+    }
+
+    /// Returns the top-`k` documents for `query`, best first. Documents
+    /// with zero overlap are omitted.
+    pub fn search(&self, query: &str, k: usize) -> Vec<Hit> {
+        if self.docs.is_empty() {
+            return Vec::new();
+        }
+        let avg_len = self.total_len as f64 / self.docs.len() as f64;
+        let n = self.docs.len() as f64;
+        let mut scores: HashMap<usize, f64> = HashMap::new();
+        for term in tokenize(query) {
+            let Some(posting) = self.postings.get(&term) else { continue };
+            let df = posting.len() as f64;
+            let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+            for (&doc, &tf) in posting {
+                let tf = tf as f64;
+                let dl = self.doc_len[doc] as f64;
+                let denom = tf + K1 * (1.0 - B + B * dl / avg_len.max(1.0));
+                *scores.entry(doc).or_insert(0.0) += idf * tf * (K1 + 1.0) / denom;
+            }
+        }
+        let mut hits: Vec<Hit> = scores
+            .into_iter()
+            .map(|(i, score)| Hit { doc: self.docs[i].clone(), score })
+            .collect();
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc.id.cmp(&b.doc.id)));
+        hits.truncate(k);
+        hits
+    }
+}
+
+impl FromIterator<Document> for Index {
+    fn from_iter<T: IntoIterator<Item = Document>>(iter: T) -> Self {
+        let mut idx = Index::new();
+        for d in iter {
+            idx.add(d);
+        }
+        idx
+    }
+}
+
+impl Extend<Document> for Index {
+    fn extend<T: IntoIterator<Item = Document>>(&mut self, iter: T) {
+        for d in iter {
+            self.add(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Index {
+        [
+            Document::new("malloc", "dynamic memory malloc free heap",
+                          "replace heap allocation with fixed-size static arrays"),
+            Document::new("recursion", "recursion recursive call stack",
+                          "rewrite recursive functions as explicit iteration with a loop"),
+            Document::new("loops", "unbounded loop while bound",
+                          "add a compile-time trip bound to every loop"),
+            Document::new("io", "printf stdio output",
+                          "remove stdio calls; hardware has no console"),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn retrieves_the_relevant_template() {
+        let idx = sample();
+        assert_eq!(idx.search("dynamic allocation via malloc", 1)[0].doc.id, "malloc");
+        assert_eq!(idx.search("function is mutually recursive", 1)[0].doc.id, "recursion");
+        assert_eq!(idx.search("loop bound not statically analyzable", 1)[0].doc.id, "loops");
+    }
+
+    #[test]
+    fn irrelevant_query_returns_nothing() {
+        let idx = sample();
+        assert!(idx.search("banana smoothie", 3).is_empty());
+    }
+
+    #[test]
+    fn ranking_is_ordered_and_truncated() {
+        let idx = sample();
+        let hits = idx.search("loop recursion malloc", 2);
+        assert_eq!(hits.len(), 2);
+        assert!(hits[0].score >= hits[1].score);
+    }
+
+    #[test]
+    fn tokenizer_normalizes() {
+        assert_eq!(tokenize("Foo_bar, BAZ-42!"), vec!["foo_bar", "baz", "42"]);
+        assert!(tokenize("...").is_empty());
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common_ones() {
+        let mut idx = Index::new();
+        for i in 0..20 {
+            idx.add(Document::new(format!("common{i}"), "loop", "loop loop loop"));
+        }
+        idx.add(Document::new("rare", "quicksort pivot", "partition around pivot"));
+        let hits = idx.search("pivot loop", 1);
+        assert_eq!(hits[0].doc.id, "rare");
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut idx: Index = vec![Document::new("a", "t", "b")].into_iter().collect();
+        idx.extend(vec![Document::new("b", "t2", "b2")]);
+        assert_eq!(idx.len(), 2);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn repair_corpus_is_searchable() {
+        let idx: Index = repair_corpus()
+            .into_iter()
+            .map(|t| t.to_document())
+            .collect();
+        let hits = idx.search("HLS error dynamic-allocation call to malloc", 1);
+        assert_eq!(hits[0].doc.id, "tpl-malloc-to-static");
+    }
+}

@@ -1,0 +1,126 @@
+//! The expert correction-template corpus for HLS repair.
+//!
+//! Each template pairs the *symptom* (keywords matching HLS tool error
+//! text, see `eda_cmini::IncompatKind` display strings) with the *rewrite
+//! strategy* the LLM should follow. The repair framework retrieves the
+//! best-matching template for each error and injects it into the prompt —
+//! the paper's "correction templates from the external library".
+
+use crate::Document;
+
+/// One correction template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairTemplate {
+    pub id: &'static str,
+    /// Keywords matched against error text.
+    pub symptom: &'static str,
+    /// Rewrite guidance injected into the repair prompt.
+    pub strategy: &'static str,
+    /// The `IncompatKind` display tag this template fixes.
+    pub fixes_kind: &'static str,
+}
+
+impl RepairTemplate {
+    /// Converts to an indexable document.
+    pub fn to_document(&self) -> Document {
+        Document::new(self.id, self.symptom, self.strategy)
+    }
+}
+
+/// The built-in corpus.
+pub fn repair_corpus() -> Vec<RepairTemplate> {
+    vec![
+        RepairTemplate {
+            id: "tpl-malloc-to-static",
+            symptom: "dynamic-allocation malloc calloc free heap allocation",
+            strategy: "Replace every malloc/calloc buffer with a fixed-size local array \
+                       sized by the worst-case bound; delete the free() calls; index the \
+                       array exactly as the pointer was indexed.",
+            fixes_kind: "dynamic-allocation",
+        },
+        RepairTemplate {
+            id: "tpl-recursion-to-loop",
+            symptom: "recursion recursive mutually function call stack",
+            strategy: "Convert the recursion to an explicit loop: introduce an iteration \
+                       variable or an explicit fixed-depth stack array and iterate until \
+                       the base case; for linear recursions accumulate in a scalar.",
+            fixes_kind: "recursion",
+        },
+        RepairTemplate {
+            id: "tpl-bound-the-loop",
+            symptom: "unbounded-loop loop bound statically analyzable trip count while",
+            strategy: "Give the loop a compile-time bound: rewrite `while (cond)` as \
+                       `for (int it = 0; it < MAX_ITERS; it++) { if (!(cond)) break; ... }` \
+                       with MAX_ITERS a safe worst case.",
+            fixes_kind: "unbounded-loop",
+        },
+        RepairTemplate {
+            id: "tpl-while1-restructure",
+            symptom: "irregular-exit while(1) break infinite loop",
+            strategy: "Restructure the while(1)/break pattern into a bounded for loop whose \
+                       condition encodes the exit test.",
+            fixes_kind: "irregular-exit",
+        },
+        RepairTemplate {
+            id: "tpl-remove-stdio",
+            symptom: "stdio printf putchar console output",
+            strategy: "Delete printf/putchar calls; if the value being printed is a result, \
+                       return it or store it into an output array instead.",
+            fixes_kind: "stdio",
+        },
+        RepairTemplate {
+            id: "tpl-pointer-to-index",
+            symptom: "pointer-arithmetic pointer arithmetic offset",
+            strategy: "Replace pointer arithmetic with explicit array indexing: keep the \
+                       base array and compute the element index as an integer.",
+            fixes_kind: "pointer-arithmetic",
+        },
+        RepairTemplate {
+            id: "tpl-pipeline-feedback",
+            symptom: "pipeline hazard initiation interval II violation feedback dependency",
+            strategy: "Raise the pipeline II to at least the loop-carried dependency \
+                       latency, or break the feedback by buffering the previous iteration's \
+                       value in a scalar register.",
+            fixes_kind: "pipeline-hazard",
+        },
+        RepairTemplate {
+            id: "tpl-widen-accumulator",
+            symptom: "overflow bitwidth accumulator wrap narrow width",
+            strategy: "Widen the accumulator's bitwidth pragma (or remove it) so the \
+                       largest intermediate value fits.",
+            fixes_kind: "overflow",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_covers_every_incompat_kind() {
+        let corpus = repair_corpus();
+        for kind in [
+            "dynamic-allocation",
+            "recursion",
+            "unbounded-loop",
+            "irregular-exit",
+            "stdio",
+            "pointer-arithmetic",
+        ] {
+            assert!(
+                corpus.iter().any(|t| t.fixes_kind == kind),
+                "missing template for {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn template_ids_unique() {
+        let corpus = repair_corpus();
+        let mut ids: Vec<&str> = corpus.iter().map(|t| t.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), corpus.len());
+    }
+}

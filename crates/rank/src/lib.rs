@@ -1,0 +1,295 @@
+//! # eda-rank — self-consistency ranking of LLM-generated Verilog
+//!
+//! VRank-style candidate selection (paper Section II, [14]): exploit the
+//! probabilistic nature of LLMs by sampling many candidates, *clustering
+//! them by simulation behaviour* on shared inputs, ranking clusters by
+//! size (majority voting over functional behaviour), and returning a
+//! representative of the largest cluster. No ground truth is consulted at
+//! selection time — consistency substitutes for correctness.
+//!
+//! ```
+//! use eda_rank::{rank_candidates, RankConfig};
+//! use eda_llm::{ModelSpec, SimulatedLlm};
+//!
+//! let model = SimulatedLlm::new(ModelSpec::pro());
+//! let problem = eda_suite::problem("parity8").unwrap();
+//! let outcome = rank_candidates(&model, &problem, &RankConfig::default()).unwrap();
+//! assert!(!outcome.clusters.is_empty());
+//! ```
+
+use eda_hdl::{compile, run_vectors, HdlError, Simulator, Value, VectorTest};
+use eda_llm::{prompts, ChatModel, ChatRequest};
+use eda_suite::Problem;
+use std::collections::HashMap;
+
+/// Ranking configuration.
+#[derive(Debug, Clone)]
+pub struct RankConfig {
+    /// Candidates to sample.
+    pub k: u32,
+    pub temperature: f64,
+    /// Shared stimulus vectors used for behavioural clustering.
+    pub cluster_vectors: usize,
+    pub seed: u64,
+}
+
+impl Default for RankConfig {
+    fn default() -> Self {
+        RankConfig { k: 10, temperature: 0.8, cluster_vectors: 24, seed: 1 }
+    }
+}
+
+/// One behavioural cluster.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Behaviour signature (hash of all output responses).
+    pub signature: u64,
+    /// Candidate indices in the cluster.
+    pub members: Vec<usize>,
+    /// Index of the representative candidate.
+    pub representative: usize,
+}
+
+/// Ranking outcome.
+#[derive(Debug, Clone)]
+pub struct RankOutcome {
+    /// All candidate sources, index-aligned with cluster members.
+    pub candidates: Vec<String>,
+    /// Clusters, largest first. Non-compiling candidates form no cluster.
+    pub clusters: Vec<Cluster>,
+    /// Candidates that failed to compile.
+    pub failed_to_compile: Vec<usize>,
+    /// The selected candidate (largest cluster's representative), if any
+    /// candidate compiled.
+    pub selected: Option<usize>,
+}
+
+/// Behaviour signature of `source` on the stimulus inputs of `tb`
+/// (expected outputs are ignored — no ground-truth peeking).
+///
+/// # Errors
+///
+/// Returns the compile/simulation error for broken candidates.
+pub fn behaviour_signature(
+    source: &str,
+    problem: &Problem,
+    tb: &VectorTest,
+) -> Result<u64, HdlError> {
+    let design = compile(source, problem.module_name)?;
+    // Candidate must expose the same ports.
+    for name in tb.inputs.iter().chain(tb.outputs.iter()) {
+        if design.signal(name).is_none() {
+            return Err(HdlError::elab(format!("candidate lacks port `{name}`")));
+        }
+    }
+    let mut sim = Simulator::new(&design);
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    if let Some((rst, level)) = &tb.reset {
+        sim.poke(rst, Value::bit(*level))?;
+        if let Some(clk) = &tb.clock {
+            for _ in 0..2 {
+                sim.poke(clk, Value::bit(false))?;
+                sim.settle()?;
+                sim.poke(clk, Value::bit(true))?;
+                sim.settle()?;
+            }
+        }
+        sim.poke(rst, Value::bit(!*level))?;
+        sim.settle()?;
+    }
+    for vector in &tb.vectors {
+        for (name, value) in tb.inputs.iter().zip(&vector.inputs) {
+            sim.poke(name, *value)?;
+        }
+        match &tb.clock {
+            Some(clk) => {
+                sim.poke(clk, Value::bit(false))?;
+                sim.settle()?;
+                sim.poke(clk, Value::bit(true))?;
+                sim.settle()?;
+            }
+            None => sim.settle()?,
+        }
+        for name in &tb.outputs {
+            let v = sim.peek(name)?;
+            mix(v.to_u128().map(|x| x as u64).unwrap_or(u64::MAX));
+            mix(v.width() as u64);
+        }
+    }
+    Ok(h)
+}
+
+/// Samples `k` candidates, clusters them by behaviour, and selects the
+/// largest cluster's representative.
+///
+/// # Errors
+///
+/// Fails only if the reference testbench cannot be built.
+pub fn rank_candidates(
+    model: &dyn ChatModel,
+    problem: &Problem,
+    cfg: &RankConfig,
+) -> Result<RankOutcome, HdlError> {
+    let tb = problem.testbench(cfg.cluster_vectors, cfg.seed)?;
+    let mut prompt = prompts::task_header("verilog-design", &[("problem", problem.id)]);
+    prompt.push_str(problem.prompt);
+
+    let mut candidates = Vec::with_capacity(cfg.k as usize);
+    for k in 0..cfg.k.max(1) {
+        let resp = model.complete(&ChatRequest {
+            prompt: prompt.clone(),
+            temperature: cfg.temperature,
+            sample_index: k + cfg.seed as u32 * 101,
+        });
+        candidates.push(resp.text);
+    }
+
+    let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut failed = Vec::new();
+    for (i, src) in candidates.iter().enumerate() {
+        match behaviour_signature(src, problem, &tb) {
+            Ok(sig) => groups.entry(sig).or_default().push(i),
+            Err(_) => failed.push(i),
+        }
+    }
+    let mut clusters: Vec<Cluster> = groups
+        .into_iter()
+        .map(|(signature, members)| Cluster {
+            signature,
+            representative: members[0],
+            members,
+        })
+        .collect();
+    clusters.sort_by(|a, b| {
+        b.members
+            .len()
+            .cmp(&a.members.len())
+            .then(a.signature.cmp(&b.signature))
+    });
+    let selected = clusters.first().map(|c| c.representative);
+    Ok(RankOutcome { candidates, clusters, failed_to_compile: failed, selected })
+}
+
+/// Measures pass@1 of a selection strategy against the ground-truth
+/// testbench: `selected` (self-consistency) versus the first candidate
+/// (random pick baseline) versus any candidate passing (pass@k ceiling).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SelectionQuality {
+    pub consistency_pick_correct: bool,
+    pub random_pick_correct: bool,
+    pub any_correct: bool,
+}
+
+/// Evaluates an outcome against ground truth (for experiments only).
+pub fn judge_selection(
+    outcome: &RankOutcome,
+    problem: &Problem,
+    vectors: usize,
+    seed: u64,
+) -> Result<SelectionQuality, HdlError> {
+    let tb = problem.testbench(vectors, seed)?;
+    let passes = |i: usize| -> bool {
+        matches!(
+            eda_hdl::check_source(&outcome.candidates[i], problem.module_name, &tb),
+            Ok(r) if r.all_passed()
+        )
+    };
+    let consistency = outcome.selected.map(passes).unwrap_or(false);
+    let random = if outcome.candidates.is_empty() { false } else { passes(0) };
+    let any = (0..outcome.candidates.len()).any(passes);
+    // Also exercise the vector runner to keep the report honest about the
+    // testbench actually being checkable.
+    if let Some(sel) = outcome.selected {
+        if let Ok(design) = compile(&outcome.candidates[sel], problem.module_name) {
+            let _ = run_vectors(&design, &tb);
+        }
+    }
+    Ok(SelectionQuality {
+        consistency_pick_correct: consistency,
+        random_pick_correct: random,
+        any_correct: any,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_llm::{ModelSpec, SimulatedLlm};
+
+    #[test]
+    fn clustering_groups_identical_behaviour() {
+        let model = SimulatedLlm::new(ModelSpec::ultra());
+        let p = eda_suite::problem("not_gate").unwrap();
+        let out = rank_candidates(&model, &p, &RankConfig::default()).unwrap();
+        // A strong model at moderate temperature mostly emits the correct
+        // design: the largest cluster dominates.
+        let largest = out.clusters.first().map(|c| c.members.len()).unwrap_or(0);
+        assert!(largest >= 5, "dominant cluster: {largest}/10");
+    }
+
+    #[test]
+    fn selection_beats_or_matches_random_on_average() {
+        let model = SimulatedLlm::new(ModelSpec::coder());
+        let p = eda_suite::problem("gray_encoder4").unwrap();
+        let mut cons = 0;
+        let mut rand_pick = 0;
+        for seed in 0..10 {
+            let out = rank_candidates(
+                &model,
+                &p,
+                &RankConfig { seed, temperature: 0.9, ..RankConfig::default() },
+            )
+            .unwrap();
+            let q = judge_selection(&out, &p, 32, seed + 500).unwrap();
+            cons += q.consistency_pick_correct as u32;
+            rand_pick += q.random_pick_correct as u32;
+        }
+        assert!(
+            cons >= rand_pick,
+            "consistency {cons}/10 vs random {rand_pick}/10"
+        );
+    }
+
+    #[test]
+    fn broken_candidates_tracked() {
+        let model = SimulatedLlm::new(ModelSpec::basic());
+        let p = eda_suite::problem("traffic_light").unwrap();
+        let out = rank_candidates(
+            &model,
+            &p,
+            &RankConfig { k: 12, temperature: 1.2, ..RankConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(
+            out.failed_to_compile.len()
+                + out.clusters.iter().map(|c| c.members.len()).sum::<usize>(),
+            out.candidates.len()
+        );
+    }
+
+    #[test]
+    fn signature_differs_for_different_behaviour() {
+        let p = eda_suite::problem("not_gate").unwrap();
+        let tb = p.testbench(8, 1).unwrap();
+        let good = "module not_gate(input a, output y); assign y = ~a; endmodule";
+        let bad = "module not_gate(input a, output y); assign y = a; endmodule";
+        let s1 = behaviour_signature(good, &p, &tb).unwrap();
+        let s2 = behaviour_signature(bad, &p, &tb).unwrap();
+        assert_ne!(s1, s2);
+        // And identical behaviour -> identical signature.
+        let good2 = "module not_gate(input a, output y); assign y = !a; endmodule";
+        assert_eq!(s1, behaviour_signature(good2, &p, &tb).unwrap());
+    }
+
+    #[test]
+    fn missing_ports_rejected() {
+        let p = eda_suite::problem("mux2").unwrap();
+        let tb = p.testbench(8, 1).unwrap();
+        let wrong = "module mux2(input x, output z); assign z = x; endmodule";
+        assert!(behaviour_signature(wrong, &p, &tb).is_err());
+    }
+}

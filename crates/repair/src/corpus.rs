@@ -1,0 +1,218 @@
+//! A corpus of C programs with seeded HLS incompatibilities, used by the
+//! repair experiments (paper Fig. 2). Each program is a realistic small
+//! kernel whose "software-style" constructs an HLS tool rejects.
+
+/// One broken program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrokenProgram {
+    pub id: &'static str,
+    /// Top function to synthesize.
+    pub func: &'static str,
+    pub source: &'static str,
+    /// The `IncompatKind` display tags seeded into the program.
+    pub seeded_kinds: &'static [&'static str],
+}
+
+/// The built-in corpus.
+pub fn corpus() -> Vec<BrokenProgram> {
+    vec![
+        BrokenProgram {
+            id: "vecsum-malloc",
+            func: "vecsum",
+            source: "
+int vecsum(int n) {
+  int *buf = (int*)malloc(32 * sizeof(int));
+  for (int i = 0; i < 32; i++) buf[i] = i * 3;
+  int s = 0;
+  for (int i = 0; i < n; i++) s += buf[i & 31];
+  free(buf);
+  return s;
+}",
+            seeded_kinds: &["dynamic-allocation"],
+        },
+        BrokenProgram {
+            id: "factorial-recursive",
+            func: "factorial",
+            source: "
+int factorial(int n) {
+  if (n <= 1) return 1;
+  return factorial(n - 1) * n;
+}",
+            seeded_kinds: &["recursion"],
+        },
+        BrokenProgram {
+            id: "trisum-recursive",
+            func: "trisum",
+            source: "
+int trisum(int n) {
+  if (n == 0) return 0;
+  return trisum(n - 1) + n;
+}",
+            seeded_kinds: &["recursion"],
+        },
+        BrokenProgram {
+            id: "collatz-unbounded",
+            func: "collatz",
+            source: "
+int collatz(int n) {
+  int steps = 0;
+  while (n > 1) {
+    if (n % 2 == 0) n = n / 2; else n = 3 * n + 1;
+    steps++;
+  }
+  return steps;
+}",
+            seeded_kinds: &["unbounded-loop"],
+        },
+        BrokenProgram {
+            id: "poll-while1",
+            func: "poll",
+            source: "
+int poll(int target) {
+  int v = 1;
+  while (1) {
+    v = (v * 5 + 3) % 97;
+    if (v == target % 97) break;
+  }
+  return v;
+}",
+            seeded_kinds: &["irregular-exit"],
+        },
+        BrokenProgram {
+            id: "debug-printf",
+            func: "scale3",
+            source: r#"
+int scale3(int x) {
+  int y = x * 3;
+  printf("y=%d", y);
+  return y;
+}"#,
+            seeded_kinds: &["stdio"],
+        },
+        BrokenProgram {
+            id: "histogram-malloc-printf",
+            func: "histogram",
+            source: r#"
+int histogram(int n) {
+  int *bins = (int*)malloc(8 * sizeof(int));
+  for (int i = 0; i < 8; i++) bins[i] = 0;
+  for (int i = 0; i < n; i++) bins[(i * 7) & 7] += 1;
+  int mx = 0;
+  for (int i = 0; i < 8; i++) {
+    printf("%d", bins[i]);
+    if (bins[i] > mx) mx = bins[i];
+  }
+  free(bins);
+  return mx;
+}"#,
+            seeded_kinds: &["dynamic-allocation", "stdio"],
+        },
+        BrokenProgram {
+            id: "sqrt-newton-unbounded",
+            func: "isqrt",
+            source: "
+int isqrt(int n) {
+  if (n < 2) return n;
+  int x = n;
+  int prev = 0;
+  while (x != prev) {
+    prev = x;
+    x = (x + n / x) / 2;
+  }
+  return x;
+}",
+            seeded_kinds: &["unbounded-loop"],
+        },
+        BrokenProgram {
+            id: "powsum-recursive-printf",
+            func: "powsum",
+            source: r#"
+int powsum(int n) {
+  if (n <= 0) return 1;
+  printf("n=%d", n);
+  return powsum(n - 1) + n * n;
+}"#,
+            seeded_kinds: &["recursion", "stdio"],
+        },
+        BrokenProgram {
+            id: "gcd-unbounded",
+            func: "gcd",
+            source: "
+int gcd(int a, int b) {
+  while (b != 0) {
+    int t = b;
+    b = a % b;
+    a = t;
+  }
+  return a;
+}",
+            seeded_kinds: &["unbounded-loop"],
+        },
+        BrokenProgram {
+            id: "fib-hard-recursion",
+            func: "fib",
+            source: "
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}",
+            // Double recursion: resists the linear-pattern rewrite —
+            // a deliberately hard case keeping success rates < 100%.
+            seeded_kinds: &["recursion"],
+        },
+        BrokenProgram {
+            id: "movavg-clean",
+            func: "movavg",
+            // Already compatible: the preprocessing stage must report no
+            // issues (false-positive control).
+            source: "
+int movavg(int x[16]) {
+  int s = 0;
+  for (int i = 0; i < 16; i++) s += x[i];
+  return s / 16;
+}",
+            seeded_kinds: &[],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_cmini::{hls_compat_scan, parse};
+
+    #[test]
+    fn corpus_programs_parse_and_run() {
+        for p in corpus() {
+            let prog = parse(p.source).unwrap_or_else(|e| panic!("{}: {e}", p.id));
+            assert!(prog.function(p.func).is_some(), "{}", p.id);
+        }
+    }
+
+    #[test]
+    fn seeded_kinds_detected_by_scan() {
+        for p in corpus() {
+            let prog = parse(p.source).unwrap();
+            let issues = hls_compat_scan(&prog);
+            for kind in p.seeded_kinds {
+                assert!(
+                    issues.iter().any(|i| i.kind.to_string() == *kind),
+                    "{}: expected {kind} in {issues:?}",
+                    p.id
+                );
+            }
+            if p.seeded_kinds.is_empty() {
+                assert!(issues.is_empty(), "{}: {issues:?}", p.id);
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_ids_unique() {
+        let c = corpus();
+        let mut ids: Vec<&str> = c.iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), c.len());
+    }
+}

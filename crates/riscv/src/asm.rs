@@ -1,0 +1,362 @@
+//! Text assembler for RV32IM with labels and common pseudo-instructions
+//! (`li`, `mv`, `j`, `nop`).
+
+use crate::isa::{reg_by_name, AluOp, BranchOp, Instr, MulOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Assembly error with line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    pub line: u32,
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assembly error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles source text into decoded instructions.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] on unknown mnemonics, registers, or labels.
+///
+/// # Examples
+///
+/// ```
+/// let prog = eda_riscv::assemble("
+///     li t0, 5
+///     li a0, 0
+/// loop:
+///     add a0, a0, t0
+///     addi t0, t0, -1
+///     bne t0, zero, loop
+///     ecall
+/// ").unwrap();
+/// assert_eq!(prog.len(), 6);
+/// ```
+pub fn assemble(src: &str) -> Result<Vec<Instr>, AsmError> {
+    // Pass 1: strip comments, collect labels.
+    struct Line {
+        text: String,
+        line_no: u32,
+    }
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut lines: Vec<Line> = Vec::new();
+    let mut index = 0u32;
+    for (ln, raw) in src.lines().enumerate() {
+        let ln = ln as u32 + 1;
+        let mut text = raw;
+        if let Some(p) = text.find('#') {
+            text = &text[..p];
+        }
+        if let Some(p) = text.find("//") {
+            text = &text[..p];
+        }
+        let mut text = text.trim().to_string();
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+                return Err(AsmError { line: ln, msg: format!("bad label `{label}`") });
+            }
+            labels.insert(label.to_string(), index);
+            text = rest[1..].trim().to_string();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        // `li` with a large immediate expands to two instructions.
+        let words: Vec<&str> = text.split_whitespace().collect();
+        let expands = words[0] == "li" && {
+            let imm = text.rsplit(',').next().unwrap_or("").trim();
+            parse_imm(imm).map(|v| !(-2048..=2047).contains(&v)).unwrap_or(false)
+        };
+        index += if expands { 2 } else { 1 };
+        lines.push(Line { text, line_no: ln });
+    }
+
+    // Pass 2: encode.
+    let mut out = Vec::new();
+    for l in &lines {
+        encode(&l.text, l.line_no, &labels, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn parse_imm(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()
+    } else if let Some(hex) = s.strip_prefix("-0x") {
+        i64::from_str_radix(hex, 16).ok().map(|v| -v)
+    } else {
+        s.parse::<i64>().ok()
+    }
+}
+
+fn encode(
+    text: &str,
+    line: u32,
+    labels: &HashMap<String, u32>,
+    out: &mut Vec<Instr>,
+) -> Result<(), AsmError> {
+    let err = |msg: String| AsmError { line, msg };
+    let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (text, ""),
+    };
+    let ops: Vec<String> = if rest.is_empty() {
+        vec![]
+    } else {
+        rest.split(',').map(|s| s.trim().to_string()).collect()
+    };
+    let reg = |s: &str| reg_by_name(s).ok_or_else(|| err(format!("unknown register `{s}`")));
+    let imm = |s: &str| {
+        parse_imm(s)
+            .map(|v| v as i32)
+            .ok_or_else(|| err(format!("bad immediate `{s}`")))
+    };
+    let target = |s: &str| -> Result<u32, AsmError> {
+        if let Some(v) = parse_imm(s) {
+            return Ok(v as u32);
+        }
+        labels
+            .get(s)
+            .copied()
+            .ok_or_else(|| err(format!("unknown label `{s}`")))
+    };
+    // `off(base)` addressing.
+    let mem = |s: &str| -> Result<(i32, u8), AsmError> {
+        let open = s.find('(').ok_or_else(|| err(format!("expected off(reg), got `{s}`")))?;
+        let close = s.rfind(')').ok_or_else(|| err(format!("missing `)` in `{s}`")))?;
+        let off = if s[..open].trim().is_empty() { 0 } else { imm(&s[..open])? };
+        let base = reg(s[open + 1..close].trim())?;
+        Ok((off, base))
+    };
+
+    let alu3 = |op: AluOp, ops: &[String]| -> Result<Instr, AsmError> {
+        Ok(Instr::Alu { op, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, rs2: reg(&ops[2])? })
+    };
+    let alui = |op: AluOp, ops: &[String]| -> Result<Instr, AsmError> {
+        Ok(Instr::AluImm { op, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, imm: imm(&ops[2])? })
+    };
+    let mul3 = |op: MulOp, ops: &[String]| -> Result<Instr, AsmError> {
+        Ok(Instr::Mul { op, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, rs2: reg(&ops[2])? })
+    };
+    let br = |op: BranchOp, ops: &[String]| -> Result<Instr, AsmError> {
+        Ok(Instr::Branch { op, rs1: reg(&ops[0])?, rs2: reg(&ops[1])?, target: target(&ops[2])? })
+    };
+
+    let need = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(format!("`{mnemonic}` expects {n} operands")))
+        }
+    };
+
+    let instr = match mnemonic {
+        "nop" => Instr::Nop,
+        "ecall" => Instr::Ecall,
+        "add" => { need(3)?; alu3(AluOp::Add, &ops)? }
+        "sub" => { need(3)?; alu3(AluOp::Sub, &ops)? }
+        "and" => { need(3)?; alu3(AluOp::And, &ops)? }
+        "or" => { need(3)?; alu3(AluOp::Or, &ops)? }
+        "xor" => { need(3)?; alu3(AluOp::Xor, &ops)? }
+        "sll" => { need(3)?; alu3(AluOp::Sll, &ops)? }
+        "srl" => { need(3)?; alu3(AluOp::Srl, &ops)? }
+        "sra" => { need(3)?; alu3(AluOp::Sra, &ops)? }
+        "slt" => { need(3)?; alu3(AluOp::Slt, &ops)? }
+        "sltu" => { need(3)?; alu3(AluOp::Sltu, &ops)? }
+        "addi" => { need(3)?; alui(AluOp::Add, &ops)? }
+        "andi" => { need(3)?; alui(AluOp::And, &ops)? }
+        "ori" => { need(3)?; alui(AluOp::Or, &ops)? }
+        "xori" => { need(3)?; alui(AluOp::Xor, &ops)? }
+        "slli" => { need(3)?; alui(AluOp::Sll, &ops)? }
+        "srli" => { need(3)?; alui(AluOp::Srl, &ops)? }
+        "srai" => { need(3)?; alui(AluOp::Sra, &ops)? }
+        "slti" => { need(3)?; alui(AluOp::Slt, &ops)? }
+        "sltiu" => { need(3)?; alui(AluOp::Sltu, &ops)? }
+        "mul" => { need(3)?; mul3(MulOp::Mul, &ops)? }
+        "mulh" => { need(3)?; mul3(MulOp::Mulh, &ops)? }
+        "div" => { need(3)?; mul3(MulOp::Div, &ops)? }
+        "divu" => { need(3)?; mul3(MulOp::Divu, &ops)? }
+        "rem" => { need(3)?; mul3(MulOp::Rem, &ops)? }
+        "remu" => { need(3)?; mul3(MulOp::Remu, &ops)? }
+        "beq" => { need(3)?; br(BranchOp::Beq, &ops)? }
+        "bne" => { need(3)?; br(BranchOp::Bne, &ops)? }
+        "blt" => { need(3)?; br(BranchOp::Blt, &ops)? }
+        "bge" => { need(3)?; br(BranchOp::Bge, &ops)? }
+        "bltu" => { need(3)?; br(BranchOp::Bltu, &ops)? }
+        "bgeu" => { need(3)?; br(BranchOp::Bgeu, &ops)? }
+        "lui" => {
+            need(2)?;
+            Instr::Lui { rd: reg(&ops[0])?, imm: imm(&ops[1])? }
+        }
+        "lw" => {
+            need(2)?;
+            let (off, base) = mem(&ops[1])?;
+            Instr::Lw { rd: reg(&ops[0])?, rs1: base, off }
+        }
+        "sw" => {
+            need(2)?;
+            let (off, base) = mem(&ops[1])?;
+            Instr::Sw { rs1: base, rs2: reg(&ops[0])?, off }
+        }
+        "jal" => match ops.len() {
+            1 => Instr::Jal { rd: 1, target: target(&ops[0])? },
+            2 => Instr::Jal { rd: reg(&ops[0])?, target: target(&ops[1])? },
+            _ => return Err(err("`jal` expects 1 or 2 operands".into())),
+        },
+        "jalr" => {
+            need(2)?;
+            let (off, base) = mem(&ops[1])?;
+            Instr::Jalr { rd: reg(&ops[0])?, rs1: base, off }
+        }
+        "j" => {
+            need(1)?;
+            Instr::Jal { rd: 0, target: target(&ops[0])? }
+        }
+        "mv" => {
+            need(2)?;
+            Instr::AluImm { op: AluOp::Add, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, imm: 0 }
+        }
+        "li" => {
+            need(2)?;
+            let rd = reg(&ops[0])?;
+            let v = parse_imm(&ops[1]).ok_or_else(|| err(format!("bad immediate `{}`", ops[1])))? as i32;
+            if (-2048..=2047).contains(&v) {
+                Instr::AluImm { op: AluOp::Add, rd, rs1: 0, imm: v }
+            } else {
+                // lui + addi expansion.
+                let hi = (v.wrapping_add(if v & 0x800 != 0 { 0x1000 } else { 0 })) >> 12;
+                let lo = v - (hi << 12);
+                out.push(Instr::Lui { rd, imm: hi });
+                Instr::AluImm { op: AluOp::Add, rd, rs1: rd, imm: lo }
+            }
+        }
+        other => return Err(err(format!("unknown mnemonic `{other}`"))),
+    };
+    out.push(instr);
+    Ok(())
+}
+
+/// Renders a program back to text (with `@index` branch targets).
+pub fn disassemble(prog: &[Instr]) -> String {
+    prog.iter()
+        .enumerate()
+        .map(|(i, x)| format!("{i:4}: {x}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{Cpu, CpuConfig};
+
+    #[test]
+    fn assemble_and_run_loop() {
+        let prog = assemble(
+            "
+            li t0, 10
+            li a0, 0
+        loop:
+            add a0, a0, t0
+            addi t0, t0, -1
+            bne t0, zero, loop
+            ecall
+        ",
+        )
+        .unwrap();
+        let r = Cpu::new(CpuConfig::default()).run(&prog).unwrap();
+        assert_eq!(r.a0, 55);
+    }
+
+    #[test]
+    fn li_expansion_for_large_imm() {
+        let prog = assemble("li a0, 100000\necall").unwrap();
+        assert_eq!(prog.len(), 3, "lui+addi+ecall");
+        let r = Cpu::new(CpuConfig::default()).run(&prog).unwrap();
+        assert_eq!(r.a0, 100000);
+    }
+
+    #[test]
+    fn li_negative_large() {
+        let prog = assemble("li a0, -100000\necall").unwrap();
+        let r = Cpu::new(CpuConfig::default()).run(&prog).unwrap();
+        assert_eq!(r.a0 as i32, -100000);
+    }
+
+    #[test]
+    fn memory_syntax() {
+        let prog = assemble(
+            "
+            li t0, 123
+            sw t0, 16(zero)
+            lw a0, 16(zero)
+            ecall
+        ",
+        )
+        .unwrap();
+        let r = Cpu::new(CpuConfig::default()).run(&prog).unwrap();
+        assert_eq!(r.a0, 123);
+    }
+
+    #[test]
+    fn errors_reported_with_line() {
+        let e = assemble("add a0, a0\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = assemble("bogus a0, a0, a0").unwrap_err();
+        assert!(e.msg.contains("bogus"));
+        let e = assemble("beq a0, a0, nowhere").unwrap_err();
+        assert!(e.msg.contains("nowhere"));
+    }
+
+    #[test]
+    fn comments_and_multiple_labels() {
+        let prog = assemble(
+            "
+            # comment
+            start: loop2: li a0, 1 // trailing
+            j end
+            end: ecall
+        ",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 3);
+    }
+
+    #[test]
+    fn disassemble_is_readable() {
+        let prog = assemble("li a0, 7\necall").unwrap();
+        let text = disassemble(&prog);
+        assert!(text.contains("addi a0, zero, 7"));
+        assert!(text.contains("ecall"));
+    }
+
+    #[test]
+    fn mul_div_ops() {
+        let prog = assemble(
+            "
+            li t0, 12
+            li t1, 5
+            mul t2, t0, t1
+            div t3, t2, t1
+            rem a0, t2, t0
+            ecall
+        ",
+        )
+        .unwrap();
+        let r = Cpu::new(CpuConfig::default()).run(&prog).unwrap();
+        assert_eq!(r.regs[7], 60);
+        assert_eq!(r.regs[28], 12);
+        assert_eq!(r.a0, 0);
+    }
+}

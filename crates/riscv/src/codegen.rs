@@ -1,0 +1,807 @@
+//! Mini-C → RV32IM code generation.
+//!
+//! Reuses the `eda-hls` lowering (three-address CFG with inlined calls) as
+//! the compiler middle end, then performs usage-ranked register allocation
+//! over the callee-saved/argument pool with stack spills, and emits
+//! branch-resolved RV32IM. This is the "C compiler" of the SLT case study:
+//! the quality gap between compiled C and hand-scheduled assembly is part
+//! of the effect the paper measures (GP's asm beats the LLM's C).
+//!
+//! ILP32 model: every slot is 32 bits (mini-C `long` is truncated —
+//! documented divergence acceptable for power workloads).
+
+use crate::isa::{AluOp, BranchOp, Instr, MulOp, Reg};
+use eda_cmini::{BinOp, Program, UnOp};
+use eda_hls::{LoweredFn, Op, Terminator};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Code generation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodegenError {
+    pub msg: String,
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codegen error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// Where a scalar parameter lives in the compiled program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamLoc {
+    Reg(Reg),
+    /// Absolute byte address of the spill slot.
+    Mem(u32),
+}
+
+/// A compiled program plus its data-layout map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledProgram {
+    pub instrs: Vec<Instr>,
+    /// Scalar parameter locations, in declaration order.
+    pub params: Vec<ParamLoc>,
+    /// Base byte address of each array parameter, in declaration order.
+    pub array_bases: Vec<u32>,
+    /// Total data bytes used (spills + arrays).
+    pub data_bytes: u32,
+}
+
+/// Register pool available to the allocator (callee-saved + spare args).
+const ALLOC_POOL: [Reg; 18] = [
+    8, 9, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, // s0..s11
+    12, 13, 14, 15, 16, 17, // a2..a7
+];
+/// Scratch registers for spilled operands/addresses.
+const SCRATCH: [Reg; 4] = [5, 6, 7, 28]; // t0..t2, t3
+
+const SPILL_BASE: u32 = 0x100;
+const ARRAY_BASE: u32 = 0x400;
+/// Largest absolute address foldable into a load/store immediate.
+const IMM12_MAX: u32 = 2047;
+
+/// Compiles `func` from `prog` into RV32IM.
+///
+/// # Errors
+///
+/// Fails when HLS lowering rejects the program (run the compat scan /
+/// repair first) or on internal inconsistencies.
+pub fn compile_c(prog: &Program, func: &str) -> Result<CompiledProgram, CodegenError> {
+    let lowered =
+        eda_hls::lower(prog, func).map_err(|e| CodegenError { msg: e.to_string() })?;
+    compile_lowered(&lowered)
+}
+
+/// Compiles an already-lowered function.
+///
+/// # Errors
+///
+/// Fails on internal inconsistencies (should not occur for valid IR).
+pub fn compile_lowered(f: &LoweredFn) -> Result<CompiledProgram, CodegenError> {
+    // Classify slots: compiler temporaries whose definition and every use
+    // stay inside one basic block live in the scratch ring (no spills);
+    // everything else competes for the global register pool by usage.
+    let mut def_use_blocks: HashMap<u32, std::collections::HashSet<usize>> = HashMap::new();
+    let mut usage: HashMap<u32, u64> = HashMap::new();
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let touch = |slot: u32, weight: u64, map: &mut HashMap<u32, std::collections::HashSet<usize>>, usage: &mut HashMap<u32, u64>| {
+            map.entry(slot).or_default().insert(bi);
+            *usage.entry(slot).or_insert(0) += weight;
+        };
+        for op in &b.ops {
+            if let Some(d) = op.dst() {
+                touch(d, 1, &mut def_use_blocks, &mut usage);
+            }
+            for s in op.srcs() {
+                touch(s, 2, &mut def_use_blocks, &mut usage);
+            }
+        }
+        match &b.term {
+            Terminator::Branch { cond, .. } => touch(*cond, 2, &mut def_use_blocks, &mut usage),
+            Terminator::Return(Some(v)) => touch(*v, 2, &mut def_use_blocks, &mut usage),
+            _ => {}
+        }
+    }
+    let is_local_temp = |slot: u32| -> bool {
+        f.slots
+            .get(slot as usize)
+            .map(|i| i.temp)
+            .unwrap_or(false)
+            && def_use_blocks.get(&slot).map(|b| b.len() <= 1).unwrap_or(true)
+    };
+    let mut ranked: Vec<u32> = usage
+        .keys()
+        .copied()
+        .filter(|s| !is_local_temp(*s))
+        .collect();
+    // Deterministic allocation: break usage ties by slot id (HashMap
+    // iteration order must not leak into the generated code).
+    ranked.sort_by_key(|s| (std::cmp::Reverse(usage[s]), *s));
+    let mut reg_of: HashMap<u32, Reg> = HashMap::new();
+    let mut spill_of: HashMap<u32, u32> = HashMap::new();
+    let mut next_spill = SPILL_BASE;
+    for (i, slot) in ranked.iter().enumerate() {
+        if i < ALLOC_POOL.len() {
+            reg_of.insert(*slot, ALLOC_POOL[i]);
+        } else {
+            spill_of.insert(*slot, next_spill);
+            next_spill += 4;
+        }
+    }
+    // Parameters not used anywhere still need homes.
+    for p in &f.scalar_params {
+        if !reg_of.contains_key(p) && !spill_of.contains_key(p) {
+            spill_of.insert(*p, next_spill);
+            next_spill += 4;
+        }
+    }
+
+    // Array layout.
+    let mut array_base = vec![0u32; f.arrays.len()];
+    let mut next_arr = ARRAY_BASE.max(next_spill);
+    for (i, a) in f.arrays.iter().enumerate() {
+        array_base[i] = next_arr;
+        next_arr += (a.len as u32) * 4;
+    }
+
+    let array_len_bytes: Vec<u32> = f.arrays.iter().map(|a| a.len as u32 * 4).collect();
+    let local_temps: std::collections::HashSet<u32> =
+        usage.keys().copied().filter(|s| is_local_temp(*s)).collect();
+    let mut cg = Cg {
+        instrs: Vec::new(),
+        reg_of,
+        spill_of,
+        array_base: array_base.clone(),
+        array_len_bytes,
+        block_start: vec![0; f.blocks.len()],
+        fixups: Vec::new(),
+        local_temps,
+        ring: HashMap::new(),
+        ring_of: HashMap::new(),
+        temp_uses: HashMap::new(),
+        overflow_of: HashMap::new(),
+        next_overflow: next_arr,
+        pending_const: HashMap::new(),
+    };
+
+    // Emit blocks in order; record start indices; fix up branch targets.
+    for (bi, b) in f.blocks.iter().enumerate() {
+        cg.block_start[bi] = cg.instrs.len() as u32;
+        cg.begin_block(b);
+        for op in &b.ops {
+            cg.emit_op(f, op)?;
+        }
+        match &b.term {
+            Terminator::Jump(t) => {
+                // Fall-through elision is handled at fixup time.
+                cg.fixups.push((cg.instrs.len(), *t as usize, None));
+                cg.instrs.push(Instr::Jal { rd: 0, target: 0 });
+            }
+            Terminator::Branch { cond, then_bb, else_bb } => {
+                let c = cg.read(*cond, 0);
+                cg.fixups.push((cg.instrs.len(), *then_bb as usize, None));
+                cg.instrs.push(Instr::Branch {
+                    op: BranchOp::Bne,
+                    rs1: c,
+                    rs2: 0,
+                    target: 0,
+                });
+                cg.fixups.push((cg.instrs.len(), *else_bb as usize, None));
+                cg.instrs.push(Instr::Jal { rd: 0, target: 0 });
+            }
+            Terminator::Return(v) => {
+                if let Some(v) = v {
+                    let r = cg.read(*v, 0);
+                    cg.instrs
+                        .push(Instr::AluImm { op: AluOp::Add, rd: 10, rs1: r, imm: 0 });
+                }
+                cg.instrs.push(Instr::Ecall);
+            }
+        }
+    }
+    // Apply fixups.
+    for (at, bb, _) in &cg.fixups {
+        let target = cg.block_start[*bb];
+        match &mut cg.instrs[*at] {
+            Instr::Jal { target: t, .. } => *t = target,
+            Instr::Branch { target: t, .. } => *t = target,
+            _ => unreachable!(),
+        }
+    }
+
+    let params = f
+        .scalar_params
+        .iter()
+        .map(|p| {
+            cg.reg_of
+                .get(p)
+                .map(|r| ParamLoc::Reg(*r))
+                .unwrap_or_else(|| ParamLoc::Mem(cg.spill_of[p]))
+        })
+        .collect();
+    let array_bases = f.array_params.iter().map(|a| array_base[*a as usize]).collect();
+
+    let data_bytes = cg.next_overflow;
+    Ok(CompiledProgram {
+        instrs: cg.instrs,
+        params,
+        array_bases,
+        data_bytes,
+    })
+}
+
+struct Cg {
+    instrs: Vec<Instr>,
+    reg_of: HashMap<u32, Reg>,
+    spill_of: HashMap<u32, u32>,
+    array_base: Vec<u32>,
+    array_len_bytes: Vec<u32>,
+    block_start: Vec<u32>,
+    fixups: Vec<(usize, usize, Option<()>)>,
+    /// Block-local temporaries eligible for the scratch ring.
+    local_temps: std::collections::HashSet<u32>,
+    /// Ring register -> (temp slot, remaining uses in this block).
+    ring: HashMap<Reg, (u32, u32)>,
+    /// Temp slot -> ring register (inverse map).
+    ring_of: HashMap<u32, Reg>,
+    /// Remaining in-block uses per temp (decremented on reads).
+    temp_uses: HashMap<u32, u32>,
+    /// Overflow spill addresses for ring-evicted temps.
+    overflow_of: HashMap<u32, u32>,
+    next_overflow: u32,
+    /// Lazy constants: local temps defined by `Op::Const` are not
+    /// materialized until read, and fold into immediate operands where the
+    /// ISA allows — what any peephole pass does.
+    pending_const: HashMap<u32, i64>,
+}
+
+/// Scratch-ring registers for block-local temps (t4..t6).
+const RING: [Reg; 3] = [29, 30, 31];
+
+impl Cg {
+    fn li(&mut self, rd: Reg, v: i64) {
+        let v = v as i32;
+        if (-2048..=2047).contains(&v) {
+            self.instrs.push(Instr::AluImm { op: AluOp::Add, rd, rs1: 0, imm: v });
+        } else {
+            let hi = (v.wrapping_add(if v & 0x800 != 0 { 0x1000 } else { 0 })) >> 12;
+            let lo = v - (hi << 12);
+            self.instrs.push(Instr::Lui { rd, imm: hi });
+            self.instrs.push(Instr::AluImm { op: AluOp::Add, rd, rs1: rd, imm: lo });
+        }
+    }
+
+    /// Resets ring state and precomputes in-block use counts of temps.
+    fn begin_block(&mut self, b: &eda_hls::ir::BasicBlock) {
+        self.ring.clear();
+        self.ring_of.clear();
+        self.temp_uses.clear();
+        self.pending_const.clear();
+        let note = |slot: u32, uses: &mut HashMap<u32, u32>, local: &std::collections::HashSet<u32>| {
+            if local.contains(&slot) {
+                *uses.entry(slot).or_insert(0) += 1;
+            }
+        };
+        for op in &b.ops {
+            for s in op.srcs() {
+                note(s, &mut self.temp_uses, &self.local_temps);
+            }
+        }
+        match &b.term {
+            Terminator::Branch { cond, .. } => note(*cond, &mut self.temp_uses, &self.local_temps),
+            Terminator::Return(Some(v)) => note(*v, &mut self.temp_uses, &self.local_temps),
+            _ => {}
+        }
+    }
+
+    /// Materializes a slot's value into a register: its home register, its
+    /// scratch-ring register, or a scratch loaded from the spill area.
+    fn read(&mut self, slot: u32, scratch_idx: usize) -> Reg {
+        if let Some(r) = self.reg_of.get(&slot) {
+            return *r;
+        }
+        if let Some(v) = self.pending_const.get(&slot).copied() {
+            let s = SCRATCH[scratch_idx];
+            self.li(s, v);
+            self.consume_temp_use(slot);
+            return s;
+        }
+        if let Some(r) = self.ring_of.get(&slot).copied() {
+            // Consume one use; free the ring register at zero.
+            if let Some((_, left)) = self.ring.get_mut(&r) {
+                *left = left.saturating_sub(1);
+                if *left == 0 {
+                    self.ring.remove(&r);
+                    self.ring_of.remove(&slot);
+                }
+            }
+            return r;
+        }
+        let s = SCRATCH[scratch_idx];
+        let addr = self
+            .spill_of
+            .get(&slot)
+            .or_else(|| self.overflow_of.get(&slot))
+            .copied()
+            .unwrap_or(SPILL_BASE);
+        self.instrs.push(Instr::Lw { rd: s, rs1: 0, off: addr as i32 });
+        s
+    }
+
+    /// Consumes one in-block use of a temp (folded or materialized).
+    fn consume_temp_use(&mut self, slot: u32) {
+        if let Some(left) = self.temp_uses.get_mut(&slot) {
+            *left = left.saturating_sub(1);
+            if *left == 0 {
+                self.pending_const.remove(&slot);
+                if let Some(r) = self.ring_of.remove(&slot) {
+                    self.ring.remove(&r);
+                }
+            }
+        }
+    }
+
+    /// Returns the register in which to compute a slot's new value.
+    fn dst_reg(&mut self, slot: u32) -> Reg {
+        if let Some(r) = self.reg_of.get(&slot) {
+            return *r;
+        }
+        if self.local_temps.contains(&slot) {
+            let uses = self.temp_uses.get(&slot).copied().unwrap_or(0);
+            // Find a free ring register (no live temp mapped to it).
+            for r in RING {
+                if let std::collections::hash_map::Entry::Vacant(e) = self.ring.entry(r) {
+                    if uses > 0 {
+                        e.insert((slot, uses));
+                        self.ring_of.insert(slot, r);
+                    }
+                    return r;
+                }
+            }
+            // Ring full: compute into the spill scratch; commit() writes it
+            // to an overflow slot.
+        }
+        SCRATCH[2]
+    }
+
+    /// Stores the computed value back when the slot has no register home.
+    fn commit(&mut self, slot: u32, reg: Reg) {
+        if self.reg_of.contains_key(&slot) || self.ring_of.contains_key(&slot) {
+            return;
+        }
+        if self.local_temps.contains(&slot) {
+            if self.temp_uses.get(&slot).copied().unwrap_or(0) == 0 {
+                return; // dead temp: nothing reads it
+            }
+            let addr = *self.overflow_of.entry(slot).or_insert_with(|| {
+                let a = self.next_overflow;
+                self.next_overflow += 4;
+                a
+            });
+            self.instrs.push(Instr::Sw { rs1: 0, rs2: reg, off: addr as i32 });
+            return;
+        }
+        let addr = self.spill_of.get(&slot).copied().unwrap_or(SPILL_BASE);
+        self.instrs.push(Instr::Sw { rs1: 0, rs2: reg, off: addr as i32 });
+    }
+
+    fn emit_op(&mut self, f: &LoweredFn, op: &Op) -> Result<(), CodegenError> {
+        match op {
+            Op::Const { dst, value } => {
+                if self.local_temps.contains(dst) && !self.reg_of.contains_key(dst) {
+                    self.pending_const.insert(*dst, *value);
+                } else {
+                    let d = self.dst_reg(*dst);
+                    self.li(d, *value);
+                    self.commit(*dst, d);
+                }
+            }
+            Op::Copy { dst, src } => {
+                // Constant source: load the immediate straight into place.
+                if let Some(v) = self.pending_const.get(src).copied() {
+                    let d = self.dst_reg(*dst);
+                    self.li(d, v);
+                    self.consume_temp_use(*src);
+                    self.commit(*dst, d);
+                    return Ok(());
+                }
+                // Copy coalescing: when the source temp was produced by the
+                // immediately-preceding instruction and dies here, retarget
+                // that instruction instead of emitting a move.
+                if let Some(r) = self.ring_of.get(src).copied() {
+                    let dying = self.temp_uses.get(src).copied() == Some(1);
+                    let last_defines = self
+                        .instrs
+                        .last()
+                        .and_then(instr_rd)
+                        .map(|rd| rd == r)
+                        .unwrap_or(false);
+                    if dying && last_defines {
+                        let d = self.dst_reg(*dst);
+                        if let Some(last) = self.instrs.last_mut() {
+                            set_instr_rd(last, d);
+                        }
+                        self.consume_temp_use(*src);
+                        self.commit(*dst, d);
+                        return Ok(());
+                    }
+                }
+                let s = self.read(*src, 0);
+                let d = self.dst_reg(*dst);
+                self.instrs.push(Instr::AluImm { op: AluOp::Add, rd: d, rs1: s, imm: 0 });
+                self.commit(*dst, d);
+            }
+            Op::Un { op, dst, a } => {
+                let s = self.read(*a, 0);
+                let d = self.dst_reg(*dst);
+                match op {
+                    UnOp::Neg => {
+                        self.instrs.push(Instr::Alu { op: AluOp::Sub, rd: d, rs1: 0, rs2: s })
+                    }
+                    UnOp::Not => {
+                        self.instrs
+                            .push(Instr::AluImm { op: AluOp::Sltu, rd: d, rs1: s, imm: 1 })
+                    }
+                    UnOp::BitNot => {
+                        self.instrs
+                            .push(Instr::AluImm { op: AluOp::Xor, rd: d, rs1: s, imm: -1 })
+                    }
+                }
+                self.commit(*dst, d);
+            }
+            Op::Select { dst, c, t, f: fv } => {
+                // Branchless select: mask = -(c != 0); dst = f ^ ((t^f) & mask).
+                // The xor/and chain builds in SCRATCH[0] (free once `c` is
+                // consumed) so the final write to `d` cannot clobber `rf`
+                // even when `d` falls back to a scratch register.
+                let rc = self.read(*c, 0);
+                let rt = self.read(*t, 1);
+                let rf = self.read(*fv, 2);
+                let m = SCRATCH[3];
+                let tmp = SCRATCH[0];
+                self.instrs.push(Instr::Alu { op: AluOp::Sltu, rd: m, rs1: 0, rs2: rc });
+                self.instrs.push(Instr::Alu { op: AluOp::Sub, rd: m, rs1: 0, rs2: m });
+                self.instrs.push(Instr::Alu { op: AluOp::Xor, rd: tmp, rs1: rt, rs2: rf });
+                self.instrs.push(Instr::Alu { op: AluOp::And, rd: tmp, rs1: tmp, rs2: m });
+                let d = self.dst_reg(*dst);
+                self.instrs.push(Instr::Alu { op: AluOp::Xor, rd: d, rs1: rf, rs2: tmp });
+                self.commit(*dst, d);
+            }
+            Op::Bin { op, dst, a, b } => {
+                let unsigned = f.slots[*a as usize].unsigned || f.slots[*b as usize].unsigned;
+                // Immediate folding: `x OP const` uses the I-form when the
+                // ISA has one and the constant fits.
+                if let Some(imm_op) = imm_form(*op, unsigned) {
+                    let commutative = matches!(
+                        op,
+                        BinOp::Add | BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor
+                    );
+                    let (reg_src, const_src) = if self.foldable_const(b).is_some() {
+                        (*a, *b)
+                    } else if commutative && self.foldable_const(a).is_some() {
+                        (*b, *a)
+                    } else if *op == BinOp::Sub && self.foldable_const_neg(b).is_some() {
+                        // x - C  ->  addi x, -C
+                        let v = self.foldable_const_neg(b).unwrap();
+                        let ra = self.read(*a, 0);
+                        let d = self.dst_reg(*dst);
+                        self.instrs.push(Instr::AluImm {
+                            op: AluOp::Add,
+                            rd: d,
+                            rs1: ra,
+                            imm: v as i32,
+                        });
+                        self.consume_temp_use(*b);
+                        self.commit(*dst, d);
+                        return Ok(());
+                    } else {
+                        (u32::MAX, u32::MAX)
+                    };
+                    if const_src != u32::MAX {
+                        let v = self.foldable_const(&const_src).unwrap();
+                        let ra = self.read(reg_src, 0);
+                        let d = self.dst_reg(*dst);
+                        self.instrs.push(Instr::AluImm {
+                            op: imm_op,
+                            rd: d,
+                            rs1: ra,
+                            imm: v as i32,
+                        });
+                        self.consume_temp_use(const_src);
+                        self.commit(*dst, d);
+                        return Ok(());
+                    }
+                }
+                let ra = self.read(*a, 0);
+                let rb = self.read(*b, 1);
+                let d = self.dst_reg(*dst);
+                self.emit_bin(*op, d, ra, rb, unsigned);
+                self.commit(*dst, d);
+            }
+            Op::Load { dst, arr, idx } => {
+                let ri = self.read(*idx, 0);
+                let addr = SCRATCH[1];
+                self.instrs.push(Instr::AluImm { op: AluOp::Sll, rd: addr, rs1: ri, imm: 2 });
+                let base = self.array_base[*arr as usize];
+                let end = base + self.array_len_bytes[*arr as usize];
+                let d = self.dst_reg(*dst);
+                if end <= IMM12_MAX {
+                    // Small base folds into the load immediate (what any
+                    // real compiler emits): slli + lw.
+                    self.instrs.push(Instr::Lw { rd: d, rs1: addr, off: base as i32 });
+                } else {
+                    let basereg = SCRATCH[3];
+                    self.li(basereg, base as i64);
+                    self.instrs
+                        .push(Instr::Alu { op: AluOp::Add, rd: addr, rs1: addr, rs2: basereg });
+                    self.instrs.push(Instr::Lw { rd: d, rs1: addr, off: 0 });
+                }
+                self.commit(*dst, d);
+            }
+            Op::Store { arr, idx, val } => {
+                let ri = self.read(*idx, 0);
+                let rv = self.read(*val, 1);
+                let addr = SCRATCH[2];
+                self.instrs.push(Instr::AluImm { op: AluOp::Sll, rd: addr, rs1: ri, imm: 2 });
+                let base = self.array_base[*arr as usize];
+                let end = base + self.array_len_bytes[*arr as usize];
+                if end <= IMM12_MAX {
+                    self.instrs.push(Instr::Sw { rs1: addr, rs2: rv, off: base as i32 });
+                } else {
+                    let basereg = SCRATCH[3];
+                    self.li(basereg, base as i64);
+                    self.instrs
+                        .push(Instr::Alu { op: AluOp::Add, rd: addr, rs1: addr, rs2: basereg });
+                    self.instrs.push(Instr::Sw { rs1: addr, rs2: rv, off: 0 });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pending constant on `slot` that fits an I-immediate.
+    fn foldable_const(&self, slot: &u32) -> Option<i64> {
+        self.pending_const
+            .get(slot)
+            .copied()
+            .filter(|v| (-2048..=2047).contains(v))
+    }
+
+    /// Pending constant whose negation fits an I-immediate.
+    fn foldable_const_neg(&self, slot: &u32) -> Option<i64> {
+        self.pending_const
+            .get(slot)
+            .copied()
+            .map(|v| -v)
+            .filter(|v| (-2048..=2047).contains(v))
+    }
+
+    fn emit_bin(&mut self, op: BinOp, d: Reg, a: Reg, b: Reg, unsigned: bool) {
+        use AluOp::*;
+        let push = |cg: &mut Self, i: Instr| cg.instrs.push(i);
+        match op {
+            BinOp::Add => push(self, Instr::Alu { op: Add, rd: d, rs1: a, rs2: b }),
+            BinOp::Sub => push(self, Instr::Alu { op: Sub, rd: d, rs1: a, rs2: b }),
+            BinOp::Mul => push(self, Instr::Mul { op: MulOp::Mul, rd: d, rs1: a, rs2: b }),
+            BinOp::Div => push(
+                self,
+                Instr::Mul {
+                    op: if unsigned { MulOp::Divu } else { MulOp::Div },
+                    rd: d,
+                    rs1: a,
+                    rs2: b,
+                },
+            ),
+            BinOp::Rem => push(
+                self,
+                Instr::Mul {
+                    op: if unsigned { MulOp::Remu } else { MulOp::Rem },
+                    rd: d,
+                    rs1: a,
+                    rs2: b,
+                },
+            ),
+            BinOp::Shl => push(self, Instr::Alu { op: Sll, rd: d, rs1: a, rs2: b }),
+            BinOp::Shr => push(
+                self,
+                Instr::Alu { op: if unsigned { Srl } else { Sra }, rd: d, rs1: a, rs2: b },
+            ),
+            BinOp::BitAnd => push(self, Instr::Alu { op: And, rd: d, rs1: a, rs2: b }),
+            BinOp::BitOr => push(self, Instr::Alu { op: Or, rd: d, rs1: a, rs2: b }),
+            BinOp::BitXor => push(self, Instr::Alu { op: Xor, rd: d, rs1: a, rs2: b }),
+            BinOp::Lt => push(
+                self,
+                Instr::Alu { op: if unsigned { Sltu } else { Slt }, rd: d, rs1: a, rs2: b },
+            ),
+            BinOp::Gt => push(
+                self,
+                Instr::Alu { op: if unsigned { Sltu } else { Slt }, rd: d, rs1: b, rs2: a },
+            ),
+            BinOp::Le => {
+                // a <= b  ==  !(b < a)
+                self.emit_bin(BinOp::Gt, d, a, b, unsigned);
+                self.instrs.push(Instr::AluImm { op: Xor, rd: d, rs1: d, imm: 1 });
+            }
+            BinOp::Ge => {
+                self.emit_bin(BinOp::Lt, d, a, b, unsigned);
+                self.instrs.push(Instr::AluImm { op: Xor, rd: d, rs1: d, imm: 1 });
+            }
+            BinOp::Eq => {
+                push(self, Instr::Alu { op: Sub, rd: d, rs1: a, rs2: b });
+                push(self, Instr::AluImm { op: Sltu, rd: d, rs1: d, imm: 1 });
+            }
+            BinOp::Ne => {
+                push(self, Instr::Alu { op: Sub, rd: d, rs1: a, rs2: b });
+                push(self, Instr::Alu { op: Sltu, rd: d, rs1: 0, rs2: d });
+            }
+            BinOp::LogAnd => {
+                push(self, Instr::Alu { op: Sltu, rd: SCRATCH[3], rs1: 0, rs2: a });
+                push(self, Instr::Alu { op: Sltu, rd: d, rs1: 0, rs2: b });
+                push(self, Instr::Alu { op: And, rd: d, rs1: d, rs2: SCRATCH[3] });
+            }
+            BinOp::LogOr => {
+                push(self, Instr::Alu { op: Or, rd: d, rs1: a, rs2: b });
+                push(self, Instr::Alu { op: Sltu, rd: d, rs1: 0, rs2: d });
+            }
+        }
+    }
+}
+
+/// The I-type form of a binary op, when the ISA has one.
+fn imm_form(op: BinOp, unsigned: bool) -> Option<AluOp> {
+    Some(match op {
+        BinOp::Add => AluOp::Add,
+        BinOp::BitAnd => AluOp::And,
+        BinOp::BitOr => AluOp::Or,
+        BinOp::BitXor => AluOp::Xor,
+        BinOp::Shl => AluOp::Sll,
+        BinOp::Shr => {
+            if unsigned {
+                AluOp::Srl
+            } else {
+                AluOp::Sra
+            }
+        }
+        BinOp::Lt => {
+            if unsigned {
+                AluOp::Sltu
+            } else {
+                AluOp::Slt
+            }
+        }
+        _ => return None,
+    })
+}
+
+/// Destination register of an instruction, if it has one (incl. x0 writes).
+fn instr_rd(i: &Instr) -> Option<Reg> {
+    match i {
+        Instr::Alu { rd, .. }
+        | Instr::AluImm { rd, .. }
+        | Instr::Mul { rd, .. }
+        | Instr::Lui { rd, .. }
+        | Instr::Lw { rd, .. }
+        | Instr::Jal { rd, .. }
+        | Instr::Jalr { rd, .. } => Some(*rd),
+        _ => None,
+    }
+}
+
+fn set_instr_rd(i: &mut Instr, new_rd: Reg) {
+    match i {
+        Instr::Alu { rd, .. }
+        | Instr::AluImm { rd, .. }
+        | Instr::Mul { rd, .. }
+        | Instr::Lui { rd, .. }
+        | Instr::Lw { rd, .. }
+        | Instr::Jal { rd, .. }
+        | Instr::Jalr { rd, .. } => *rd = new_rd,
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{Cpu, CpuConfig};
+    use eda_cmini::parse;
+
+    /// Compiles and runs `func`, presetting scalar params.
+    fn run_c(src: &str, func: &str, args: &[i64]) -> u32 {
+        let prog = parse(src).unwrap();
+        let compiled = compile_c(&prog, func).unwrap();
+        let mut cpu = Cpu::new(CpuConfig::default());
+        for (loc, v) in compiled.params.iter().zip(args) {
+            match loc {
+                ParamLoc::Reg(r) => cpu.regs[*r as usize] = *v as u32,
+                ParamLoc::Mem(addr) => cpu.store_word(*addr, *v as u32).unwrap(),
+            }
+        }
+        cpu.run(&compiled.instrs).unwrap().a0
+    }
+
+    #[test]
+    fn scalar_arithmetic_matches_c() {
+        let src = "int f(int a, int b) { return (a + b) * 3 - a / 2; }";
+        let p = parse(src).unwrap();
+        for (a, b) in [(4i64, 9i64), (100, 1), (7, 7)] {
+            let expect = eda_cmini::Interp::new(&p).call_ints("f", &[a, b]).unwrap() as u32;
+            assert_eq!(run_c(src, "f", &[a, b]), expect, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn loops_and_conditionals() {
+        let src = "
+          int f(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) {
+              if (i % 3 == 0) s += i * 2; else s -= 1;
+            }
+            return s;
+          }";
+        let p = parse(src).unwrap();
+        let expect = eda_cmini::Interp::new(&p).call_ints("f", &[25]).unwrap() as u32;
+        assert_eq!(run_c(src, "f", &[25]), expect);
+    }
+
+    #[test]
+    fn arrays_round_trip_through_memory() {
+        let src = "
+          int f(int x[8]) {
+            int s = 0;
+            for (int i = 0; i < 8; i++) { x[i] = i * i; s += x[i]; }
+            return s;
+          }";
+        let prog = parse(src).unwrap();
+        let compiled = compile_c(&prog, "f").unwrap();
+        let mut cpu = Cpu::new(CpuConfig::default());
+        let r = cpu.run(&compiled.instrs).unwrap();
+        assert_eq!(r.a0, (0..8).map(|i| i * i).sum::<u32>());
+        // Array contents visible at the advertised base.
+        let base = compiled.array_bases[0];
+        assert_eq!(cpu.load_word(base + 3 * 4).unwrap(), 9);
+    }
+
+    #[test]
+    fn negative_numbers_and_comparisons() {
+        let src = "int f(int a) { if (a < 0) return -a; return a; }";
+        assert_eq!(run_c(src, "f", &[-42]) as i32, 42);
+        assert_eq!(run_c(src, "f", &[17]), 17);
+    }
+
+    #[test]
+    fn ternary_select_branchless() {
+        let src = "int f(int a, int b) { return a > b ? a - b : b - a; }";
+        assert_eq!(run_c(src, "f", &[10, 4]), 6);
+        assert_eq!(run_c(src, "f", &[4, 10]), 6);
+    }
+
+    #[test]
+    fn spills_beyond_register_pool() {
+        // More than 18 live variables forces spilling; results must match.
+        let mut src = String::from("int f(int a) {\n");
+        for i in 0..30 {
+            src.push_str(&format!("  int v{i} = a + {i};\n"));
+        }
+        src.push_str("  int s = 0;\n");
+        for i in 0..30 {
+            src.push_str(&format!("  s += v{i};\n"));
+        }
+        src.push_str("  return s;\n}\n");
+        let p = parse(&src).unwrap();
+        let expect = eda_cmini::Interp::new(&p).call_ints("f", &[5]).unwrap() as u32;
+        assert_eq!(run_c(&src, "f", &[5]), expect);
+    }
+
+    #[test]
+    fn inlined_helpers() {
+        let src = "
+          int sq(int x) { return x * x; }
+          int f(int a) { return sq(a) + sq(a + 1); }";
+        assert_eq!(run_c(src, "f", &[3]), 9 + 16);
+    }
+}

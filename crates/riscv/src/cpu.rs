@@ -1,0 +1,380 @@
+//! Functional RV32IM simulator.
+//!
+//! Executes a decoded instruction sequence, producing the architectural
+//! result and a dynamic *trace* consumed by the out-of-order timing/power
+//! model ([`crate::ooo`]).
+
+use crate::isa::{AluOp, BranchOp, Instr, MulOp, UnitClass};
+use std::fmt;
+
+/// Runtime fault ("unwanted exception" — scores zero in the SLT loop).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpuError {
+    /// Load/store outside memory.
+    MemFault { addr: u32, pc: u32 },
+    /// Jump outside the program.
+    PcFault { pc: u32 },
+    /// Dynamic instruction budget exhausted.
+    Timeout,
+    /// Misaligned access.
+    Misaligned { addr: u32, pc: u32 },
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::MemFault { addr, pc } => write!(f, "memory fault at 0x{addr:x} (pc {pc})"),
+            CpuError::PcFault { pc } => write!(f, "pc out of range ({pc})"),
+            CpuError::Timeout => write!(f, "instruction budget exhausted"),
+            CpuError::Misaligned { addr, pc } => {
+                write!(f, "misaligned access 0x{addr:x} (pc {pc})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CpuError {}
+
+/// One dynamic trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Static instruction index.
+    pub pc: u32,
+    pub unit: UnitClass,
+    pub rd: Option<u8>,
+    /// Up to two source registers (255 = unused).
+    pub rs: [u8; 2],
+    /// Branches: taken?
+    pub taken: bool,
+    /// True for conditional branches (predictable).
+    pub is_cond_branch: bool,
+    /// True for div/rem (long-latency).
+    pub is_div: bool,
+    /// True for loads (memory latency).
+    pub is_load: bool,
+}
+
+/// Result of a functional run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuResult {
+    /// Register file at halt.
+    pub regs: [u32; 32],
+    /// `a0` (return-value convention).
+    pub a0: u32,
+    /// Dynamic instruction count.
+    pub dyn_instrs: u64,
+    /// Execution trace (possibly truncated to `trace_limit`).
+    pub trace: Vec<TraceEntry>,
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuConfig {
+    /// Memory size in bytes (word-addressed internally).
+    pub mem_bytes: u32,
+    /// Max dynamic instructions before [`CpuError::Timeout`].
+    pub max_instrs: u64,
+    /// Cap on recorded trace entries (the power model uses steady-state
+    /// behaviour; a bounded window keeps memory flat).
+    pub trace_limit: usize,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig { mem_bytes: 1 << 20, max_instrs: 2_000_000, trace_limit: 200_000 }
+    }
+}
+
+/// The functional CPU.
+pub struct Cpu {
+    pub regs: [u32; 32],
+    pub mem: Vec<u32>,
+    config: CpuConfig,
+}
+
+impl Cpu {
+    /// Fresh CPU with zeroed registers and memory.
+    pub fn new(config: CpuConfig) -> Self {
+        Cpu { regs: [0; 32], mem: vec![0; (config.mem_bytes / 4) as usize], config }
+    }
+
+    /// Writes a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range or misaligned addresses.
+    pub fn store_word(&mut self, addr: u32, v: u32) -> Result<(), CpuError> {
+        if !addr.is_multiple_of(4) {
+            return Err(CpuError::Misaligned { addr, pc: 0 });
+        }
+        let i = (addr / 4) as usize;
+        match self.mem.get_mut(i) {
+            Some(slot) => {
+                *slot = v;
+                Ok(())
+            }
+            None => Err(CpuError::MemFault { addr, pc: 0 }),
+        }
+    }
+
+    /// Reads a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range or misaligned addresses.
+    pub fn load_word(&self, addr: u32) -> Result<u32, CpuError> {
+        if !addr.is_multiple_of(4) {
+            return Err(CpuError::Misaligned { addr, pc: 0 });
+        }
+        self.mem
+            .get((addr / 4) as usize)
+            .copied()
+            .ok_or(CpuError::MemFault { addr, pc: 0 })
+    }
+
+    /// Runs `program` from instruction 0 until `ecall`, fault, or budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CpuError`] encountered.
+    pub fn run(&mut self, program: &[Instr]) -> Result<CpuResult, CpuError> {
+        let mut pc: u32 = 0;
+        let mut dyn_instrs: u64 = 0;
+        let mut trace = Vec::new();
+        loop {
+            let Some(instr) = program.get(pc as usize) else {
+                return Err(CpuError::PcFault { pc });
+            };
+            dyn_instrs += 1;
+            if dyn_instrs > self.config.max_instrs {
+                return Err(CpuError::Timeout);
+            }
+            let mut entry = TraceEntry {
+                pc,
+                unit: instr.unit(),
+                rd: instr.rd(),
+                rs: [255, 255],
+                taken: false,
+                is_cond_branch: false,
+                is_div: false,
+                is_load: matches!(instr, Instr::Lw { .. }),
+            };
+            for (k, s) in instr.srcs().iter().take(2).enumerate() {
+                entry.rs[k] = *s;
+            }
+            let mut next_pc = pc + 1;
+            match instr {
+                Instr::Nop => {}
+                Instr::Alu { op, rd, rs1, rs2 } => {
+                    let v = alu(*op, self.regs[*rs1 as usize], self.regs[*rs2 as usize]);
+                    self.write(*rd, v);
+                }
+                Instr::AluImm { op, rd, rs1, imm } => {
+                    let v = alu(*op, self.regs[*rs1 as usize], *imm as u32);
+                    self.write(*rd, v);
+                }
+                Instr::Mul { op, rd, rs1, rs2 } => {
+                    let a = self.regs[*rs1 as usize];
+                    let b = self.regs[*rs2 as usize];
+                    entry.is_div = matches!(op, MulOp::Div | MulOp::Divu | MulOp::Rem | MulOp::Remu);
+                    let v = match op {
+                        MulOp::Mul => a.wrapping_mul(b),
+                        MulOp::Mulh => {
+                            ((a as i32 as i64).wrapping_mul(b as i32 as i64) >> 32) as u32
+                        }
+                        // RISC-V defines division by zero (no trap).
+                        MulOp::Div => {
+                            if b == 0 {
+                                u32::MAX
+                            } else {
+                                (a as i32).wrapping_div(b as i32) as u32
+                            }
+                        }
+                        MulOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
+                        MulOp::Rem => {
+                            if b == 0 {
+                                a
+                            } else {
+                                (a as i32).wrapping_rem(b as i32) as u32
+                            }
+                        }
+                        MulOp::Remu => {
+                            if b == 0 {
+                                a
+                            } else {
+                                a % b
+                            }
+                        }
+                    };
+                    self.write(*rd, v);
+                }
+                Instr::Lui { rd, imm } => self.write(*rd, (*imm as u32) << 12),
+                Instr::Lw { rd, rs1, off } => {
+                    let addr = self.regs[*rs1 as usize].wrapping_add(*off as u32);
+                    let v = self.load_word(addr).map_err(|e| at_pc(e, pc))?;
+                    self.write(*rd, v);
+                }
+                Instr::Sw { rs1, rs2, off } => {
+                    let addr = self.regs[*rs1 as usize].wrapping_add(*off as u32);
+                    let v = self.regs[*rs2 as usize];
+                    self.store_word(addr, v).map_err(|e| at_pc(e, pc))?;
+                }
+                Instr::Branch { op, rs1, rs2, target } => {
+                    let a = self.regs[*rs1 as usize];
+                    let b = self.regs[*rs2 as usize];
+                    let take = match op {
+                        BranchOp::Beq => a == b,
+                        BranchOp::Bne => a != b,
+                        BranchOp::Blt => (a as i32) < (b as i32),
+                        BranchOp::Bge => (a as i32) >= (b as i32),
+                        BranchOp::Bltu => a < b,
+                        BranchOp::Bgeu => a >= b,
+                    };
+                    entry.is_cond_branch = true;
+                    entry.taken = take;
+                    if take {
+                        next_pc = *target;
+                    }
+                }
+                Instr::Jal { rd, target } => {
+                    self.write(*rd, pc + 1);
+                    entry.taken = true;
+                    next_pc = *target;
+                }
+                Instr::Jalr { rd, rs1, off } => {
+                    let t = self.regs[*rs1 as usize].wrapping_add(*off as u32);
+                    self.write(*rd, pc + 1);
+                    entry.taken = true;
+                    next_pc = t;
+                }
+                Instr::Ecall => {
+                    if trace.len() < self.config.trace_limit {
+                        trace.push(entry);
+                    }
+                    return Ok(CpuResult {
+                        regs: self.regs,
+                        a0: self.regs[10],
+                        dyn_instrs,
+                        trace,
+                    });
+                }
+            }
+            if trace.len() < self.config.trace_limit {
+                trace.push(entry);
+            }
+            pc = next_pc;
+        }
+    }
+
+    fn write(&mut self, rd: u8, v: u32) {
+        if rd != 0 {
+            self.regs[rd as usize] = v;
+        }
+    }
+}
+
+fn at_pc(e: CpuError, pc: u32) -> CpuError {
+    match e {
+        CpuError::MemFault { addr, .. } => CpuError::MemFault { addr, pc },
+        CpuError::Misaligned { addr, .. } => CpuError::Misaligned { addr, pc },
+        other => other,
+    }
+}
+
+fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a.wrapping_shl(b & 31),
+        AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+        AluOp::Sltu => (a < b) as u32,
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a.wrapping_shr(b & 31),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AluOp, BranchOp, Instr};
+
+    fn run(prog: &[Instr]) -> CpuResult {
+        Cpu::new(CpuConfig::default()).run(prog).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_loop() {
+        // a0 = sum(1..=5)
+        let prog = vec![
+            Instr::AluImm { op: AluOp::Add, rd: 5, rs1: 0, imm: 1 },  // t0 = 1
+            Instr::AluImm { op: AluOp::Add, rd: 10, rs1: 0, imm: 0 }, // a0 = 0
+            Instr::AluImm { op: AluOp::Add, rd: 6, rs1: 0, imm: 6 },  // t1 = 6
+            Instr::Alu { op: AluOp::Add, rd: 10, rs1: 10, rs2: 5 },   // a0 += t0
+            Instr::AluImm { op: AluOp::Add, rd: 5, rs1: 5, imm: 1 },  // t0++
+            Instr::Branch { op: BranchOp::Blt, rs1: 5, rs2: 6, target: 3 },
+            Instr::Ecall,
+        ];
+        let r = run(&prog);
+        assert_eq!(r.a0, 15);
+        assert!(r.trace.iter().any(|t| t.is_cond_branch && t.taken));
+    }
+
+    #[test]
+    fn division_by_zero_is_defined() {
+        use crate::isa::MulOp;
+        let prog = vec![
+            Instr::AluImm { op: AluOp::Add, rd: 5, rs1: 0, imm: 42 },
+            Instr::Mul { op: MulOp::Divu, rd: 10, rs1: 5, rs2: 0 },
+            Instr::Ecall,
+        ];
+        assert_eq!(run(&prog).a0, u32::MAX);
+    }
+
+    #[test]
+    fn memory_roundtrip_and_fault() {
+        let prog = vec![
+            Instr::AluImm { op: AluOp::Add, rd: 5, rs1: 0, imm: 100 },
+            Instr::Sw { rs1: 0, rs2: 5, off: 64 },
+            Instr::Lw { rd: 10, rs1: 0, off: 64 },
+            Instr::Ecall,
+        ];
+        assert_eq!(run(&prog).a0, 100);
+        let bad = vec![Instr::Lw { rd: 10, rs1: 0, off: 1 << 24 }, Instr::Ecall];
+        let e = Cpu::new(CpuConfig::default()).run(&bad).unwrap_err();
+        assert!(matches!(e, CpuError::MemFault { .. }));
+    }
+
+    #[test]
+    fn infinite_loop_times_out() {
+        let prog = vec![Instr::Jal { rd: 0, target: 0 }];
+        let e = Cpu::new(CpuConfig { max_instrs: 1000, ..CpuConfig::default() })
+            .run(&prog)
+            .unwrap_err();
+        assert_eq!(e, CpuError::Timeout);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let prog = vec![
+            Instr::AluImm { op: AluOp::Add, rd: 0, rs1: 0, imm: 99 },
+            Instr::Alu { op: AluOp::Add, rd: 10, rs1: 0, rs2: 0 },
+            Instr::Ecall,
+        ];
+        assert_eq!(run(&prog).a0, 0);
+    }
+
+    #[test]
+    fn shifts_and_compares() {
+        // slti a0, t1, 0 -> 1 because (-8 >> 1) = -4 < 0 under arithmetic shift.
+        let prog = vec![
+            Instr::AluImm { op: AluOp::Add, rd: 5, rs1: 0, imm: -8 },
+            Instr::AluImm { op: AluOp::Sra, rd: 6, rs1: 5, imm: 1 },
+            Instr::AluImm { op: AluOp::Slt, rd: 10, rs1: 6, imm: 0 },
+            Instr::Ecall,
+        ];
+        assert_eq!(run(&prog).a0, 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! RV32IM instruction set (assembler-level representation).
+//!
+//! Instructions are kept in decoded form — the experiments manipulate
+//! instruction *sequences* (the genetic-programming baseline mutates them
+//! directly), not binary encodings.
+
+use std::fmt;
+
+/// Architectural register x0..x31.
+pub type Reg = u8;
+
+/// Register ABI names for display.
+pub const REG_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+/// Looks up a register by ABI or `x<N>` name.
+pub fn reg_by_name(name: &str) -> Option<Reg> {
+    if let Some(stripped) = name.strip_prefix('x') {
+        if let Ok(n) = stripped.parse::<u8>() {
+            if n < 32 {
+                return Some(n);
+            }
+        }
+    }
+    REG_NAMES.iter().position(|n| *n == name).map(|i| i as Reg)
+}
+
+/// ALU operation selector shared by register and immediate forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+}
+
+/// M-extension operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulOp {
+    Mul,
+    Mulh,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+}
+
+/// Branch comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchOp {
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+}
+
+/// One decoded instruction. Branch/jump targets are instruction indices
+/// (the assembler resolves labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `op rd, rs1, rs2`
+    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// `opi rd, rs1, imm`
+    AluImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    /// M extension `op rd, rs1, rs2`
+    Mul { op: MulOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// `lui rd, imm` (imm is the final upper value, not shifted here).
+    Lui { rd: Reg, imm: i32 },
+    /// `lw rd, off(rs1)`
+    Lw { rd: Reg, rs1: Reg, off: i32 },
+    /// `sw rs2, off(rs1)`
+    Sw { rs1: Reg, rs2: Reg, off: i32 },
+    /// Conditional branch to instruction index `target`.
+    Branch { op: BranchOp, rs1: Reg, rs2: Reg, target: u32 },
+    /// Unconditional jump, link in `rd`.
+    Jal { rd: Reg, target: u32 },
+    /// Indirect jump `jalr rd, rs1, off`.
+    Jalr { rd: Reg, rs1: Reg, off: i32 },
+    /// Environment call: halts the simulation (test-end convention).
+    Ecall,
+    Nop,
+}
+
+impl Instr {
+    /// Destination register, if any (x0 writes are discarded).
+    pub fn rd(&self) -> Option<Reg> {
+        let rd = match self {
+            Instr::Alu { rd, .. }
+            | Instr::AluImm { rd, .. }
+            | Instr::Mul { rd, .. }
+            | Instr::Lui { rd, .. }
+            | Instr::Lw { rd, .. }
+            | Instr::Jal { rd, .. }
+            | Instr::Jalr { rd, .. } => *rd,
+            _ => return None,
+        };
+        (rd != 0).then_some(rd)
+    }
+
+    /// Source registers.
+    pub fn srcs(&self) -> Vec<Reg> {
+        match self {
+            Instr::Alu { rs1, rs2, .. } | Instr::Mul { rs1, rs2, .. } => vec![*rs1, *rs2],
+            Instr::AluImm { rs1, .. } | Instr::Lw { rs1, .. } | Instr::Jalr { rs1, .. } => {
+                vec![*rs1]
+            }
+            Instr::Sw { rs1, rs2, .. } | Instr::Branch { rs1, rs2, .. } => vec![*rs1, *rs2],
+            _ => vec![],
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn r(x: Reg) -> &'static str {
+            REG_NAMES[x as usize]
+        }
+        match self {
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                write!(f, "{} {}, {}, {}", format!("{op:?}").to_lowercase(), r(*rd), r(*rs1), r(*rs2))
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let name = match op {
+                    AluOp::Add => "addi",
+                    AluOp::Sll => "slli",
+                    AluOp::Slt => "slti",
+                    AluOp::Sltu => "sltiu",
+                    AluOp::Xor => "xori",
+                    AluOp::Srl => "srli",
+                    AluOp::Sra => "srai",
+                    AluOp::Or => "ori",
+                    AluOp::And => "andi",
+                    AluOp::Sub => "subi",
+                };
+                write!(f, "{name} {}, {}, {imm}", r(*rd), r(*rs1))
+            }
+            Instr::Mul { op, rd, rs1, rs2 } => {
+                write!(f, "{} {}, {}, {}", format!("{op:?}").to_lowercase(), r(*rd), r(*rs1), r(*rs2))
+            }
+            Instr::Lui { rd, imm } => write!(f, "lui {}, {imm}", r(*rd)),
+            Instr::Lw { rd, rs1, off } => write!(f, "lw {}, {off}({})", r(*rd), r(*rs1)),
+            Instr::Sw { rs1, rs2, off } => write!(f, "sw {}, {off}({})", r(*rs2), r(*rs1)),
+            Instr::Branch { op, rs1, rs2, target } => {
+                write!(f, "{} {}, {}, @{target}", format!("{op:?}").to_lowercase(), r(*rs1), r(*rs2))
+            }
+            Instr::Jal { rd, target } => write!(f, "jal {}, @{target}", r(*rd)),
+            Instr::Jalr { rd, rs1, off } => write!(f, "jalr {}, {off}({})", r(*rd), r(*rs1)),
+            Instr::Ecall => write!(f, "ecall"),
+            Instr::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+/// Functional-unit class an instruction occupies in the OOO model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnitClass {
+    Alu,
+    MulDiv,
+    LoadStore,
+    Branch,
+    System,
+}
+
+impl Instr {
+    /// FU class for timing/power.
+    pub fn unit(&self) -> UnitClass {
+        match self {
+            Instr::Alu { .. } | Instr::AluImm { .. } | Instr::Lui { .. } | Instr::Nop => {
+                UnitClass::Alu
+            }
+            Instr::Mul { .. } => UnitClass::MulDiv,
+            Instr::Lw { .. } | Instr::Sw { .. } => UnitClass::LoadStore,
+            Instr::Branch { .. } | Instr::Jal { .. } | Instr::Jalr { .. } => UnitClass::Branch,
+            Instr::Ecall => UnitClass::System,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_lookup() {
+        assert_eq!(reg_by_name("zero"), Some(0));
+        assert_eq!(reg_by_name("x5"), Some(5));
+        assert_eq!(reg_by_name("t0"), Some(5));
+        assert_eq!(reg_by_name("a0"), Some(10));
+        assert_eq!(reg_by_name("x32"), None);
+    }
+
+    #[test]
+    fn rd_and_srcs() {
+        let i = Instr::Alu { op: AluOp::Add, rd: 3, rs1: 1, rs2: 2 };
+        assert_eq!(i.rd(), Some(3));
+        assert_eq!(i.srcs(), vec![1, 2]);
+        let z = Instr::AluImm { op: AluOp::Add, rd: 0, rs1: 1, imm: 5 };
+        assert_eq!(z.rd(), None, "x0 writes discarded");
+    }
+
+    #[test]
+    fn display_readable() {
+        let i = Instr::Lw { rd: 10, rs1: 2, off: 8 };
+        assert_eq!(i.to_string(), "lw a0, 8(sp)");
+    }
+
+    #[test]
+    fn unit_classes() {
+        assert_eq!(Instr::Ecall.unit(), UnitClass::System);
+        assert_eq!(
+            Instr::Mul { op: MulOp::Div, rd: 1, rs1: 2, rs2: 3 }.unit(),
+            UnitClass::MulDiv
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Levenshtein distance on code text.
+//!
+//! The paper's temperature-adaptation schedule "depends on the score of the
+//! generated snippet as well as its Levenshtein distance to the other
+//! snippets in the pool", forcing diversity so the LLM doesn't converge to
+//! a local optimum.
+
+/// Levenshtein edit distance between two byte strings, single-row DP.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a = a.as_bytes();
+    let b = b.as_bytes();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = if ca == cb { 0 } else { 1 };
+            let val = (prev + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev = row[j + 1];
+            row[j + 1] = val;
+        }
+    }
+    row[b.len()]
+}
+
+/// Distance normalized by the longer length (0 = identical, 1 = disjoint).
+pub fn normalized_distance(a: &str, b: &str) -> f64 {
+    let max = a.len().max(b.len());
+    if max == 0 {
+        return 0.0;
+    }
+    levenshtein(a, b) as f64 / max as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn normalized_bounds() {
+        assert_eq!(normalized_distance("", ""), 0.0);
+        assert_eq!(normalized_distance("aaa", "aaa"), 0.0);
+        assert!((normalized_distance("abc", "xyz") - 1.0).abs() < 1e-9);
+        let d = normalized_distance("int x = 1;", "int y = 1;");
+        assert!(d > 0.0 && d < 0.5);
+    }
+
+    #[test]
+    fn triangle_like_sanity() {
+        let (a, b, c) = ("for(i)", "for(j)", "while(k)");
+        let ab = levenshtein(a, b);
+        let bc = levenshtein(b, c);
+        let ac = levenshtein(a, c);
+        assert!(ac <= ab + bc);
+    }
+}

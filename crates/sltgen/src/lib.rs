@@ -1,0 +1,317 @@
+//! # eda-sltgen — LLM-driven System-Level Test program generation
+//!
+//! The paper's Section V optimization loop (Fig. 5), reproduced end to end:
+//!
+//! 1. a handwritten example pool seeds the search;
+//! 2. each iteration builds a prompt from `n` randomly picked pool
+//!    examples *with their measured powers* (+ the SCoT marker for
+//!    pseudocode-first generation);
+//! 3. the LLM's C snippet is compiled to RV32IM and evaluated on the
+//!    superscalar OOO power model — **score zero on any compile error or
+//!    exception**;
+//! 4. scored snippets are admitted to the pool under a Levenshtein
+//!    diversity rule;
+//! 5. the sampling **temperature adapts** like simulated annealing: good
+//!    novel snippets cool the search (exploitation), stagnation and
+//!    near-duplicates heat it (exploration);
+//! 6. a **virtual clock** enforces the 24 h (LLM) / 39 h (GP) budgets.
+//!
+//! The [`gp`] module provides the assembly-level genetic-programming
+//! baseline the paper compares against.
+
+pub mod gp;
+pub mod levenshtein;
+pub mod pool;
+pub mod virtual_clock;
+
+pub use gp::{evaluate_genome, run_gp, GpConfig, OptRun};
+pub use levenshtein::{levenshtein, normalized_distance};
+pub use pool::{CandidatePool, PoolEntry};
+pub use virtual_clock::VirtualClock;
+
+use eda_llm::{prompts, ChatModel, ChatRequest};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// LLM loop configuration.
+#[derive(Debug, Clone)]
+pub struct SltConfig {
+    /// Virtual wall-clock budget in hours (paper: 24).
+    pub virtual_hours: f64,
+    /// Virtual seconds per snippet: generation + measurement
+    /// (paper: 24 h / 2021 snippets ≈ 42.8 s).
+    pub seconds_per_snippet: f64,
+    /// Examples sampled into each prompt.
+    pub n_examples: usize,
+    /// Structured Chain-of-Thought prompting.
+    pub scot: bool,
+    /// Adaptive temperature schedule (ablation switch).
+    pub adaptive_temperature: bool,
+    /// Levenshtein diversity pressure on pool admission (ablation switch).
+    pub diversity_pressure: bool,
+    pub pool_capacity: usize,
+    pub initial_temperature: f64,
+    pub min_temperature: f64,
+    pub max_temperature: f64,
+    /// Normalized distance under which snippets count as near-duplicates.
+    pub near_duplicate_distance: f64,
+    pub seed: u64,
+}
+
+impl Default for SltConfig {
+    fn default() -> Self {
+        SltConfig {
+            virtual_hours: 24.0,
+            seconds_per_snippet: 42.75,
+            n_examples: 3,
+            scot: true,
+            adaptive_temperature: true,
+            diversity_pressure: true,
+            pool_capacity: 24,
+            initial_temperature: 0.7,
+            min_temperature: 0.15,
+            max_temperature: 1.4,
+            near_duplicate_distance: 0.12,
+            seed: 1,
+        }
+    }
+}
+
+/// Detailed LLM-loop outcome (superset of [`OptRun`]).
+#[derive(Debug, Clone)]
+pub struct SltRun {
+    pub run: OptRun,
+    pub final_temperature: f64,
+    pub pool_diversity: f64,
+    pub pool_best: f64,
+}
+
+/// Handwritten seed programs ("initially, we provide a handwritten set of
+/// programs as examples").
+pub fn handwritten_examples() -> Vec<String> {
+    vec![
+        // A plain arithmetic loop.
+        "int snippet() {
+  int c0 = 5;
+  int s = 0;
+  for (int i = 0; i < 2000; i++) {
+    c0 = c0 + i;
+    s = s + c0;
+  }
+  return s;
+}"
+        .to_string(),
+        // A multiply chain.
+        "int snippet() {
+  int c0 = 7;
+  int c1 = 13;
+  int s = 0;
+  for (int i = 0; i < 2000; i++) {
+    c0 = c0 * 17 + 1;
+    c1 = c1 * 23 + c0;
+    s = s + c1;
+  }
+  return s;
+}"
+        .to_string(),
+        // Memory streaming.
+        "int snippet() {
+  int buf[64];
+  for (int k = 0; k < 64; k++) buf[k] = k;
+  int s = 0;
+  for (int i = 0; i < 2000; i++) {
+    s = s + buf[i & 63];
+    buf[(i + 1) & 63] = s;
+  }
+  return s;
+}"
+        .to_string(),
+    ]
+}
+
+/// Scores one C snippet (power in watts; 0 on compile error or exception).
+pub fn score_snippet(code: &str) -> f64 {
+    eda_riscv::measure_c_power(code, "snippet", &[])
+        .map(|r| r.power_w)
+        .unwrap_or(0.0)
+}
+
+/// Runs the LLM optimization loop under its virtual time budget.
+pub fn run_slt_llm(model: &dyn ChatModel, cfg: &SltConfig) -> SltRun {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x517_600d);
+    let mut clock = VirtualClock::new();
+    let budget = cfg.virtual_hours * 3600.0;
+
+    let mut pool = CandidatePool::new(cfg.pool_capacity);
+    for code in handwritten_examples() {
+        let score = score_snippet(&code);
+        pool.admit(code, score, false, 0.0);
+    }
+
+    let mut temperature = cfg.initial_temperature;
+    let mut best: (f64, String) = pool
+        .best()
+        .map(|e| (e.score, e.code.clone()))
+        .unwrap_or((0.0, String::new()));
+    let mut history = Vec::new();
+    let mut evaluations = 0usize;
+    let mut zero_scores = 0usize;
+    let mut sample_index = 0u32;
+
+    while clock.seconds() < budget {
+        // Build the prompt: task marker + n random scored examples (+SCoT).
+        let mut prompt = prompts::task_header("c-power-snippet", &[]);
+        prompt.push_str(
+            "Write a C function `int snippet()` that maximizes the power \
+             consumption of an out-of-order RISC-V processor.\n",
+        );
+        for (score, code) in pool.sample_examples(cfg.n_examples, &mut rng) {
+            prompt.push_str(&prompts::example_section(score, &code));
+        }
+        if cfg.scot {
+            prompt.push_str(prompts::scot_marker());
+        }
+        sample_index += 1;
+        let resp = model.complete(&ChatRequest {
+            prompt,
+            temperature,
+            sample_index: sample_index + cfg.seed as u32 * 1009,
+        });
+        let code = resp.text;
+        let score = score_snippet(&code);
+        clock.advance(cfg.seconds_per_snippet);
+        evaluations += 1;
+        if score <= 0.0 {
+            zero_scores += 1;
+        }
+        let min_dist = pool.min_distance(&code);
+        let improved = score > best.0;
+        if improved {
+            best = (score, code.clone());
+        }
+        pool.admit(code, score, cfg.diversity_pressure, cfg.near_duplicate_distance);
+        history.push((clock.hours(), best.0));
+
+        // Temperature adaptation (simulated-annealing-flavoured schedule
+        // driven by score and Levenshtein distance, per the paper).
+        if cfg.adaptive_temperature {
+            if score <= 0.0 {
+                temperature *= 1.06; // broken output: explore elsewhere
+            } else if improved {
+                temperature *= 0.88; // new best: exploit this region
+            } else if min_dist < cfg.near_duplicate_distance {
+                temperature *= 1.10; // pool collapsing: force diversity
+            } else {
+                temperature *= 0.995; // slow cooling
+            }
+            temperature = temperature.clamp(cfg.min_temperature, cfg.max_temperature);
+        }
+    }
+
+    SltRun {
+        run: OptRun {
+            approach: format!("llm-{}", model.name()),
+            evaluations,
+            zero_scores,
+            best_power_w: best.0,
+            best_artifact: best.1,
+            history,
+            virtual_hours_used: clock.hours(),
+        },
+        final_temperature: temperature,
+        pool_diversity: pool.diversity(),
+        pool_best: pool.best().map(|e| e.score).unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_llm::{ModelSpec, SimulatedLlm};
+
+    fn short_cfg() -> SltConfig {
+        SltConfig { virtual_hours: 1.2, ..SltConfig::default() }
+    }
+
+    #[test]
+    fn handwritten_examples_all_score() {
+        for ex in handwritten_examples() {
+            assert!(score_snippet(&ex) > 1.0, "{ex}");
+        }
+    }
+
+    #[test]
+    fn loop_improves_on_seeds() {
+        let model = SimulatedLlm::new(ModelSpec::code_llama_ft());
+        let seed_best = handwritten_examples()
+            .iter()
+            .map(|e| score_snippet(e))
+            .fold(0.0, f64::max);
+        let run = run_slt_llm(&model, &SltConfig { virtual_hours: 2.0, ..short_cfg() });
+        assert!(
+            run.run.best_power_w > seed_best,
+            "loop {} vs seeds {}",
+            run.run.best_power_w,
+            seed_best
+        );
+    }
+
+    #[test]
+    fn respects_virtual_budget() {
+        let model = SimulatedLlm::new(ModelSpec::code_llama_ft());
+        let run = run_slt_llm(&model, &short_cfg());
+        // 1.2h * 3600 / 42.75 ≈ 101 snippets.
+        assert!(run.run.evaluations >= 95 && run.run.evaluations <= 106,
+                "{}", run.run.evaluations);
+        assert!(run.run.virtual_hours_used >= 1.2);
+    }
+
+    #[test]
+    fn temperature_stays_clamped_and_adapts() {
+        let model = SimulatedLlm::new(ModelSpec::code_llama_ft());
+        let cfg = short_cfg();
+        let run = run_slt_llm(&model, &cfg);
+        assert!(run.final_temperature >= cfg.min_temperature);
+        assert!(run.final_temperature <= cfg.max_temperature);
+        assert_ne!(run.final_temperature, cfg.initial_temperature);
+    }
+
+    #[test]
+    fn diversity_pressure_keeps_pool_varied() {
+        let model = SimulatedLlm::new(ModelSpec::code_llama_ft());
+        let with = run_slt_llm(
+            &model,
+            &SltConfig { diversity_pressure: true, seed: 5, ..short_cfg() },
+        );
+        let without = run_slt_llm(
+            &model,
+            &SltConfig { diversity_pressure: false, seed: 5, ..short_cfg() },
+        );
+        assert!(
+            with.pool_diversity >= without.pool_diversity * 0.9,
+            "with {} vs without {}",
+            with.pool_diversity,
+            without.pool_diversity
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let model = SimulatedLlm::new(ModelSpec::code_llama_ft());
+        let cfg = SltConfig { virtual_hours: 0.6, seed: 3, ..SltConfig::default() };
+        let a = run_slt_llm(&model, &cfg);
+        let b = run_slt_llm(&model, &cfg);
+        assert_eq!(a.run.best_power_w, b.run.best_power_w);
+        assert_eq!(a.run.evaluations, b.run.evaluations);
+    }
+
+    #[test]
+    fn history_is_monotone_best_so_far() {
+        let model = SimulatedLlm::new(ModelSpec::code_llama_ft());
+        let run = run_slt_llm(&model, &short_cfg());
+        for w in run.run.history.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+            assert!(w[1].0 >= w[0].0);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! The candidate pool of scored snippets (paper Fig. 5).
+
+use crate::levenshtein::normalized_distance;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One pool entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolEntry {
+    pub code: String,
+    /// Power in watts.
+    pub score: f64,
+}
+
+/// A bounded, diversity-aware candidate pool.
+#[derive(Debug, Clone)]
+pub struct CandidatePool {
+    entries: Vec<PoolEntry>,
+    capacity: usize,
+}
+
+impl CandidatePool {
+    /// Empty pool with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        CandidatePool { entries: Vec::new(), capacity: capacity.max(2) }
+    }
+
+    /// Current entries.
+    pub fn entries(&self) -> &[PoolEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Best entry.
+    pub fn best(&self) -> Option<&PoolEntry> {
+        self.entries
+            .iter()
+            .max_by(|a, b| a.score.total_cmp(&b.score))
+    }
+
+    /// Minimum normalized Levenshtein distance from `code` to any entry
+    /// (1.0 for an empty pool).
+    pub fn min_distance(&self, code: &str) -> f64 {
+        self.entries
+            .iter()
+            .map(|e| normalized_distance(code, &e.code))
+            .fold(1.0, f64::min)
+    }
+
+    /// Mean pairwise normalized distance (pool diversity, sampled exactly).
+    pub fn diversity(&self) -> f64 {
+        if self.entries.len() < 2 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for i in 0..self.entries.len() {
+            for j in i + 1..self.entries.len() {
+                total += normalized_distance(&self.entries[i].code, &self.entries[j].code);
+                count += 1;
+            }
+        }
+        total / count as f64
+    }
+
+    /// Admits a candidate: kept when the pool has room, or when it beats
+    /// the worst entry. With `diversity_pressure`, near-duplicates
+    /// (distance < `min_dist`) are only admitted if they beat the *best*
+    /// score — the Levenshtein rule that stops the pool collapsing onto
+    /// one snippet. Returns whether the candidate was admitted.
+    pub fn admit(
+        &mut self,
+        code: String,
+        score: f64,
+        diversity_pressure: bool,
+        min_dist: f64,
+    ) -> bool {
+        if score <= 0.0 {
+            return false;
+        }
+        if diversity_pressure && self.min_distance(&code) < min_dist {
+            let best = self.best().map(|e| e.score).unwrap_or(0.0);
+            if score <= best {
+                return false;
+            }
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(PoolEntry { code, score });
+            return true;
+        }
+        let (worst_idx, worst) = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.score.total_cmp(&b.1.score))
+            .map(|(i, e)| (i, e.score))
+            .expect("non-empty");
+        if score > worst {
+            self.entries[worst_idx] = PoolEntry { code, score };
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Picks `n` random entries (with replacement when the pool is small)
+    /// as prompt examples.
+    pub fn sample_examples(&self, n: usize, rng: &mut StdRng) -> Vec<(f64, String)> {
+        if self.entries.is_empty() {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|_| {
+                let e = &self.entries[rng.gen_range(0..self.entries.len())];
+                (e.score, e.code.clone())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn admit_and_evict_worst() {
+        let mut p = CandidatePool::new(2);
+        assert!(p.admit("aaaa".into(), 1.0, false, 0.1));
+        assert!(p.admit("bbbb".into(), 2.0, false, 0.1));
+        assert!(p.admit("cccc".into(), 3.0, false, 0.1));
+        assert_eq!(p.len(), 2);
+        assert!((p.best().unwrap().score - 3.0).abs() < 1e-9);
+        // 1.0 was evicted.
+        assert!(p.entries().iter().all(|e| e.score > 1.5));
+    }
+
+    #[test]
+    fn zero_scores_rejected() {
+        let mut p = CandidatePool::new(4);
+        assert!(!p.admit("x".into(), 0.0, false, 0.1));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn diversity_pressure_blocks_near_duplicates() {
+        let mut p = CandidatePool::new(8);
+        let base = "int f() { return 1 + 2 + 3; }".to_string();
+        assert!(p.admit(base.clone(), 3.0, true, 0.2));
+        // Nearly identical, not better than best: rejected.
+        let near = "int f() { return 1 + 2 + 4; }".to_string();
+        assert!(!p.admit(near.clone(), 2.9, true, 0.2));
+        // Same near-duplicate but better than best: admitted.
+        assert!(p.admit(near, 3.5, true, 0.2));
+        // Without pressure, duplicates flow in.
+        let mut q = CandidatePool::new(8);
+        assert!(q.admit(base.clone(), 3.0, false, 0.2));
+        assert!(q.admit(base, 2.0, false, 0.2));
+    }
+
+    #[test]
+    fn diversity_metric_behaviour() {
+        let mut same = CandidatePool::new(4);
+        same.admit("identical code".into(), 1.0, false, 0.0);
+        same.admit("identical code".into(), 1.1, false, 0.0);
+        let mut mixed = CandidatePool::new(4);
+        mixed.admit("int a = 5;".into(), 1.0, false, 0.0);
+        mixed.admit("while (x) { y++; }".into(), 1.1, false, 0.0);
+        assert!(mixed.diversity() > same.diversity());
+    }
+
+    #[test]
+    fn sampling_examples() {
+        let mut p = CandidatePool::new(4);
+        p.admit("a".into(), 1.0, false, 0.0);
+        p.admit("b".into(), 2.0, false, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ex = p.sample_examples(3, &mut rng);
+        assert_eq!(ex.len(), 3);
+        assert!(CandidatePool::new(2).sample_examples(2, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,531 @@
+//! The benchmark problem definitions.
+//!
+//! 31 problems spanning combinational and sequential design, three
+//! difficulty tiers, written in the Verilog subset of `eda-hdl`. Every
+//! reference is validated against its own generated testbench in the crate
+//! tests.
+
+use crate::{Difficulty, Problem, ProblemKind};
+
+fn comb(
+    id: &'static str,
+    name: &'static str,
+    difficulty: Difficulty,
+    prompt: &'static str,
+    module_name: &'static str,
+    reference: &'static str,
+) -> Problem {
+    Problem {
+        id,
+        name,
+        difficulty,
+        prompt,
+        module_name,
+        reference,
+        kind: ProblemKind::Comb,
+        c_model: None,
+    }
+}
+
+/// Combinational problem with an untimed mini-C behavioural model.
+#[allow(clippy::too_many_arguments)]
+fn comb_m(
+    id: &'static str,
+    name: &'static str,
+    difficulty: Difficulty,
+    prompt: &'static str,
+    module_name: &'static str,
+    reference: &'static str,
+    c_model: &'static str,
+) -> Problem {
+    Problem {
+        id,
+        name,
+        difficulty,
+        prompt,
+        module_name,
+        reference,
+        kind: ProblemKind::Comb,
+        c_model: Some(c_model),
+    }
+}
+
+fn seq(
+    id: &'static str,
+    name: &'static str,
+    difficulty: Difficulty,
+    prompt: &'static str,
+    module_name: &'static str,
+    reference: &'static str,
+    reset: bool,
+) -> Problem {
+    Problem {
+        id,
+        name,
+        difficulty,
+        prompt,
+        module_name,
+        reference,
+        kind: ProblemKind::Seq {
+            clock: "clk".to_string(),
+            reset: reset.then(|| "rst".to_string()),
+        },
+        c_model: None,
+    }
+}
+
+/// Returns the full problem suite.
+pub fn all_problems() -> Vec<Problem> {
+    use Difficulty::*;
+    vec![
+        comb(
+            "not_gate",
+            "Inverter",
+            Easy,
+            "Implement a module `not_gate` with one input `a` and one output `y` \
+             where `y` is the logical inverse of `a`.",
+            "not_gate",
+            "module not_gate(input a, output y);\n  assign y = ~a;\nendmodule\n",
+        ),
+        comb(
+            "mux2",
+            "2:1 multiplexer",
+            Easy,
+            "Implement `mux2` with inputs `s`, `a`, `b` and output `y`; `y` follows \
+             `a` when `s` is 0 and `b` when `s` is 1.",
+            "mux2",
+            "module mux2(input s, a, b, output y);\n  assign y = s ? b : a;\nendmodule\n",
+        ),
+        comb(
+            "mux4",
+            "4:1 multiplexer",
+            Easy,
+            "Implement `mux4` with a 2-bit select `s`, four 1-bit data inputs `d0..d3`, \
+             and output `y` equal to the selected input.",
+            "mux4",
+            "module mux4(input [1:0] s, input d0, d1, d2, d3, output reg y);\n\
+             \x20 always @(*) begin\n\
+             \x20   case (s)\n\
+             \x20     2'd0: y = d0;\n\
+             \x20     2'd1: y = d1;\n\
+             \x20     2'd2: y = d2;\n\
+             \x20     default: y = d3;\n\
+             \x20   endcase\n\
+             \x20 end\nendmodule\n",
+        ),
+        comb(
+            "half_adder",
+            "Half adder",
+            Easy,
+            "Implement `half_adder` with inputs `a`, `b` and outputs `s` (sum) and \
+             `c` (carry).",
+            "half_adder",
+            "module half_adder(input a, b, output s, c);\n\
+             \x20 assign s = a ^ b;\n\
+             \x20 assign c = a & b;\nendmodule\n",
+        ),
+        comb(
+            "full_adder",
+            "Full adder",
+            Easy,
+            "Implement `full_adder` with inputs `a`, `b`, `cin` and outputs `s`, `cout`.",
+            "full_adder",
+            "module full_adder(input a, b, cin, output s, cout);\n\
+             \x20 assign s = a ^ b ^ cin;\n\
+             \x20 assign cout = (a & b) | (cin & (a ^ b));\nendmodule\n",
+        ),
+        comb_m(
+            "adder8",
+            "8-bit adder with carry",
+            Easy,
+            "Implement `adder8`: add 8-bit inputs `a` and `b` producing an 8-bit sum \
+             `s` and a carry-out `cout`.",
+            "adder8",
+            "module adder8(input [7:0] a, b, output [7:0] s, output cout);\n\
+             \x20 assign {cout, s} = a + b;\nendmodule\n",
+            // Packed outputs MSB-first over the port list {s, cout}.
+            "int model(int a, int b) {
+               int sum = (a & 255) + (b & 255);
+               return (sum & 255) * 2 + (sum >> 8);
+             }",
+        ),
+        comb(
+            "subtractor8",
+            "8-bit subtractor with borrow",
+            Easy,
+            "Implement `subtractor8`: compute `d = a - b` for 8-bit inputs and raise \
+             `borrow` when `b > a`.",
+            "subtractor8",
+            "module subtractor8(input [7:0] a, b, output [7:0] d, output borrow);\n\
+             \x20 assign d = a - b;\n\
+             \x20 assign borrow = b > a;\nendmodule\n",
+        ),
+        comb(
+            "comparator4",
+            "4-bit comparator",
+            Easy,
+            "Implement `comparator4` comparing 4-bit `a` and `b` with outputs `eq`, \
+             `lt`, `gt`.",
+            "comparator4",
+            "module comparator4(input [3:0] a, b, output eq, lt, gt);\n\
+             \x20 assign eq = a == b;\n\
+             \x20 assign lt = a < b;\n\
+             \x20 assign gt = a > b;\nendmodule\n",
+        ),
+        comb(
+            "parity8",
+            "8-bit parity generator",
+            Easy,
+            "Implement `parity8` producing the even parity bit `p` of the 8-bit input \
+             `d` (p is 1 when the number of ones is odd).",
+            "parity8",
+            "module parity8(input [7:0] d, output p);\n  assign p = ^d;\nendmodule\n",
+        ),
+        comb(
+            "decoder3to8",
+            "3-to-8 decoder",
+            Easy,
+            "Implement `decoder3to8`: a 3-bit input `a` selects which single bit of \
+             the 8-bit output `y` is high.",
+            "decoder3to8",
+            "module decoder3to8(input [2:0] a, output [7:0] y);\n\
+             \x20 assign y = 8'd1 << a;\nendmodule\n",
+        ),
+        comb_m(
+            "gray_encoder4",
+            "Binary to Gray converter",
+            Easy,
+            "Implement `gray_encoder4`: convert a 4-bit binary input `b` to Gray code \
+             output `g`.",
+            "gray_encoder4",
+            "module gray_encoder4(input [3:0] b, output [3:0] g);\n\
+             \x20 assign g = b ^ (b >> 1);\nendmodule\n",
+            "int model(int b) { b = b & 15; return b ^ (b >> 1); }",
+        ),
+        comb(
+            "priority_encoder8",
+            "8-bit priority encoder",
+            Medium,
+            "Implement `priority_encoder8`: output the 3-bit index `idx` of the \
+             highest set bit of the 8-bit input `d`, and `valid` when any bit is set.",
+            "priority_encoder8",
+            "module priority_encoder8(input [7:0] d, output reg [2:0] idx, output valid);\n\
+             \x20 assign valid = |d;\n\
+             \x20 always @(*) begin\n\
+             \x20   if (d[7]) idx = 3'd7;\n\
+             \x20   else if (d[6]) idx = 3'd6;\n\
+             \x20   else if (d[5]) idx = 3'd5;\n\
+             \x20   else if (d[4]) idx = 3'd4;\n\
+             \x20   else if (d[3]) idx = 3'd3;\n\
+             \x20   else if (d[2]) idx = 3'd2;\n\
+             \x20   else if (d[1]) idx = 3'd1;\n\
+             \x20   else idx = 3'd0;\n\
+             \x20 end\nendmodule\n",
+        ),
+        comb_m(
+            "popcount8",
+            "8-bit population count",
+            Medium,
+            "Implement `popcount8`: output the 4-bit count `c` of set bits in the \
+             8-bit input `d`.",
+            "popcount8",
+            "module popcount8(input [7:0] d, output [3:0] c);\n\
+             \x20 assign c = d[0] + d[1] + d[2] + d[3] + d[4] + d[5] + d[6] + d[7];\n\
+             endmodule\n",
+            "int model(int d) {
+               int c = 0;
+               for (int i = 0; i < 8; i++) c += (d >> i) & 1;
+               return c;
+             }",
+        ),
+        comb(
+            "alu8",
+            "8-bit ALU",
+            Medium,
+            "Implement `alu8`: an 8-bit ALU with 2-bit opcode `op` — 0: add, 1: \
+             subtract, 2: bitwise AND, 3: bitwise OR — inputs `a`, `b`, output `y` \
+             and a `zero` flag.",
+            "alu8",
+            "module alu8(input [1:0] op, input [7:0] a, b, output reg [7:0] y, output zero);\n\
+             \x20 assign zero = y == 8'd0;\n\
+             \x20 always @(*) begin\n\
+             \x20   case (op)\n\
+             \x20     2'd0: y = a + b;\n\
+             \x20     2'd1: y = a - b;\n\
+             \x20     2'd2: y = a & b;\n\
+             \x20     default: y = a | b;\n\
+             \x20   endcase\n\
+             \x20 end\nendmodule\n",
+        ),
+        comb(
+            "barrel_shifter8",
+            "8-bit barrel shifter",
+            Medium,
+            "Implement `barrel_shifter8`: shift the 8-bit input `d` left by `amt` \
+             (3 bits) when `dir` is 0, right when `dir` is 1.",
+            "barrel_shifter8",
+            "module barrel_shifter8(input [7:0] d, input [2:0] amt, input dir, \
+             output [7:0] y);\n\
+             \x20 assign y = dir ? (d >> amt) : (d << amt);\nendmodule\n",
+        ),
+        comb(
+            "multiplier4",
+            "4x4 multiplier",
+            Medium,
+            "Implement `multiplier4`: multiply 4-bit unsigned inputs `a` and `b` into \
+             an 8-bit product `p`.",
+            "multiplier4",
+            "module multiplier4(input [3:0] a, b, output [7:0] p);\n\
+             \x20 assign p = a * b;\nendmodule\n",
+        ),
+        comb_m(
+            "min_max8",
+            "8-bit min/max",
+            Medium,
+            "Implement `min_max8`: output the minimum `mn` and maximum `mx` of two \
+             8-bit unsigned inputs `a`, `b`.",
+            "min_max8",
+            "module min_max8(input [7:0] a, b, output [7:0] mn, mx);\n\
+             \x20 assign mn = a < b ? a : b;\n\
+             \x20 assign mx = a < b ? b : a;\nendmodule\n",
+            // Packed outputs MSB-first: {mn, mx} = 16 bits.
+            "int model(int a, int b) {
+               a = a & 255; b = b & 255;
+               int mn = a < b ? a : b;
+               int mx = a < b ? b : a;
+               return mn * 256 + mx;
+             }",
+        ),
+        comb(
+            "divider4",
+            "4-bit divider",
+            Hard,
+            "Implement `divider4`: divide 4-bit `a` by 4-bit `b` producing quotient \
+             `q` and remainder `r` (outputs are don't-care when `b` is zero).",
+            "divider4",
+            "module divider4(input [3:0] a, b, output [3:0] q, r);\n\
+             \x20 assign q = a / b;\n\
+             \x20 assign r = a % b;\nendmodule\n",
+        ),
+        comb(
+            "sorter4",
+            "4-element sorting network",
+            Hard,
+            "Implement `sorter4`: sort four 4-bit unsigned inputs `a`, `b`, `c`, `d` \
+             into ascending outputs `y0 <= y1 <= y2 <= y3`.",
+            "sorter4",
+            "module sorter4(input [3:0] a, b, c, d, output reg [3:0] y0, y1, y2, y3);\n\
+             \x20 reg [3:0] t;\n\
+             \x20 always @(*) begin\n\
+             \x20   y0 = a; y1 = b; y2 = c; y3 = d;\n\
+             \x20   if (y0 > y1) begin t = y0; y0 = y1; y1 = t; end\n\
+             \x20   if (y2 > y3) begin t = y2; y2 = y3; y3 = t; end\n\
+             \x20   if (y0 > y2) begin t = y0; y0 = y2; y2 = t; end\n\
+             \x20   if (y1 > y3) begin t = y1; y1 = y3; y3 = t; end\n\
+             \x20   if (y1 > y2) begin t = y1; y1 = y2; y2 = t; end\n\
+             \x20 end\nendmodule\n",
+        ),
+        seq(
+            "dff",
+            "D flip-flop",
+            Easy,
+            "Implement `dff`: a positive-edge-triggered D flip-flop with input `d` \
+             and output `q`, with synchronous active-high reset `rst`.",
+            "dff",
+            "module dff(input clk, rst, d, output reg q);\n\
+             \x20 always @(posedge clk)\n\
+             \x20   if (rst) q <= 1'b0; else q <= d;\nendmodule\n",
+            true,
+        ),
+        seq(
+            "counter4",
+            "4-bit counter",
+            Easy,
+            "Implement `counter4`: a 4-bit up counter `q` with synchronous \
+             active-high reset `rst`, incrementing every rising clock edge.",
+            "counter4",
+            "module counter4(input clk, rst, output reg [3:0] q);\n\
+             \x20 always @(posedge clk)\n\
+             \x20   if (rst) q <= 4'd0; else q <= q + 4'd1;\nendmodule\n",
+            true,
+        ),
+        seq(
+            "shift_reg8",
+            "8-bit shift register",
+            Easy,
+            "Implement `shift_reg8`: an 8-bit shift register with serial input \
+             `sin`, parallel output `q`, shifting towards the MSB each clock, with \
+             synchronous reset `rst`.",
+            "shift_reg8",
+            "module shift_reg8(input clk, rst, sin, output reg [7:0] q);\n\
+             \x20 always @(posedge clk)\n\
+             \x20   if (rst) q <= 8'd0; else q <= {q[6:0], sin};\nendmodule\n",
+            true,
+        ),
+        seq(
+            "updown_counter4",
+            "4-bit up/down counter",
+            Medium,
+            "Implement `updown_counter4`: a 4-bit counter with enable `en` and \
+             direction `up` (1 counts up, 0 counts down), synchronous reset `rst`.",
+            "updown_counter4",
+            "module updown_counter4(input clk, rst, en, up, output reg [3:0] q);\n\
+             \x20 always @(posedge clk)\n\
+             \x20   if (rst) q <= 4'd0;\n\
+             \x20   else if (en) q <= up ? q + 4'd1 : q - 4'd1;\nendmodule\n",
+            true,
+        ),
+        seq(
+            "edge_detector",
+            "Rising edge detector",
+            Medium,
+            "Implement `edge_detector`: output `pulse` is high for one cycle when \
+             input `a` transitions from 0 to 1, with synchronous reset `rst`.",
+            "edge_detector",
+            "module edge_detector(input clk, rst, a, output pulse);\n\
+             \x20 reg prev;\n\
+             \x20 always @(posedge clk)\n\
+             \x20   if (rst) prev <= 1'b0; else prev <= a;\n\
+             \x20 assign pulse = a & ~prev;\nendmodule\n",
+            true,
+        ),
+        seq(
+            "lfsr8",
+            "8-bit LFSR",
+            Medium,
+            "Implement `lfsr8`: an 8-bit Fibonacci LFSR with taps at bits 7, 5, 4, 3, \
+             seeded to 8'h01 by synchronous reset `rst`, shifting every clock.",
+            "lfsr8",
+            "module lfsr8(input clk, rst, output reg [7:0] q);\n\
+             \x20 wire fb;\n\
+             \x20 assign fb = q[7] ^ q[5] ^ q[4] ^ q[3];\n\
+             \x20 always @(posedge clk)\n\
+             \x20   if (rst) q <= 8'd1; else q <= {q[6:0], fb};\nendmodule\n",
+            true,
+        ),
+        seq(
+            "pwm4",
+            "4-bit PWM generator",
+            Medium,
+            "Implement `pwm4`: a free-running 4-bit counter; output `out` is high \
+             while the counter value is less than the 4-bit `duty` input. \
+             Synchronous reset `rst` clears the counter.",
+            "pwm4",
+            "module pwm4(input clk, rst, input [3:0] duty, output out);\n\
+             \x20 reg [3:0] cnt;\n\
+             \x20 always @(posedge clk)\n\
+             \x20   if (rst) cnt <= 4'd0; else cnt <= cnt + 4'd1;\n\
+             \x20 assign out = cnt < duty;\nendmodule\n",
+            true,
+        ),
+        seq(
+            "gray_counter4",
+            "4-bit Gray-code counter",
+            Medium,
+            "Implement `gray_counter4`: a counter whose 4-bit output `g` steps \
+             through the Gray-code sequence each clock, with synchronous reset.",
+            "gray_counter4",
+            "module gray_counter4(input clk, rst, output [3:0] g);\n\
+             \x20 reg [3:0] bin;\n\
+             \x20 always @(posedge clk)\n\
+             \x20   if (rst) bin <= 4'd0; else bin <= bin + 4'd1;\n\
+             \x20 assign g = bin ^ (bin >> 1);\nendmodule\n",
+            true,
+        ),
+        seq(
+            "seq_detector_101",
+            "\"101\" sequence detector",
+            Hard,
+            "Implement `seq_detector_101`: a Moore FSM over serial input `din` that \
+             raises `found` for one cycle after observing the overlapping pattern \
+             1-0-1, with synchronous reset `rst`.",
+            "seq_detector_101",
+            "module seq_detector_101(input clk, rst, din, output found);\n\
+             \x20 reg [1:0] state;\n\
+             \x20 localparam S0 = 2'd0;\n\
+             \x20 localparam S1 = 2'd1;\n\
+             \x20 localparam S10 = 2'd2;\n\
+             \x20 localparam S101 = 2'd3;\n\
+             \x20 always @(posedge clk) begin\n\
+             \x20   if (rst) state <= S0;\n\
+             \x20   else begin\n\
+             \x20     case (state)\n\
+             \x20       S0: state <= din ? S1 : S0;\n\
+             \x20       S1: state <= din ? S1 : S10;\n\
+             \x20       S10: state <= din ? S101 : S0;\n\
+             \x20       default: state <= din ? S1 : S10;\n\
+             \x20     endcase\n\
+             \x20   end\n\
+             \x20 end\n\
+             \x20 assign found = state == S101;\nendmodule\n",
+            true,
+        ),
+        seq(
+            "traffic_light",
+            "Traffic light controller",
+            Hard,
+            "Implement `traffic_light`: a controller cycling green (4 cycles), \
+             yellow (2 cycles), red (3 cycles) on a one-hot output `light` \
+             ({red, yellow, green}), with synchronous reset to green.",
+            "traffic_light",
+            "module traffic_light(input clk, rst, output reg [2:0] light);\n\
+             \x20 reg [1:0] state;\n\
+             \x20 reg [2:0] timer;\n\
+             \x20 localparam GREEN = 2'd0;\n\
+             \x20 localparam YELLOW = 2'd1;\n\
+             \x20 localparam RED = 2'd2;\n\
+             \x20 always @(posedge clk) begin\n\
+             \x20   if (rst) begin state <= GREEN; timer <= 3'd0; end\n\
+             \x20   else begin\n\
+             \x20     case (state)\n\
+             \x20       GREEN: if (timer == 3'd3) begin state <= YELLOW; timer <= 3'd0; end\n\
+             \x20              else timer <= timer + 3'd1;\n\
+             \x20       YELLOW: if (timer == 3'd1) begin state <= RED; timer <= 3'd0; end\n\
+             \x20               else timer <= timer + 3'd1;\n\
+             \x20       default: if (timer == 3'd2) begin state <= GREEN; timer <= 3'd0; end\n\
+             \x20                else timer <= timer + 3'd1;\n\
+             \x20     endcase\n\
+             \x20   end\n\
+             \x20 end\n\
+             \x20 always @(*) begin\n\
+             \x20   case (state)\n\
+             \x20     GREEN: light = 3'b001;\n\
+             \x20     YELLOW: light = 3'b010;\n\
+             \x20     default: light = 3'b100;\n\
+             \x20   endcase\n\
+             \x20 end\nendmodule\n",
+            true,
+        ),
+        seq(
+            "ram16x8",
+            "16x8 single-port RAM",
+            Hard,
+            "Implement `ram16x8`: a 16-entry, 8-bit RAM with synchronous write \
+             (write `wd` to `addr` when `we` is high) and asynchronous read \
+             (`rd` always shows the word at `addr`).",
+            "ram16x8",
+            "module ram16x8(input clk, rst, we, input [3:0] addr, input [7:0] wd, \
+             output [7:0] rd);\n\
+             \x20 reg [7:0] mem [0:15];\n\
+             \x20 always @(posedge clk)\n\
+             \x20   if (we) mem[addr] <= wd;\n\
+             \x20 assign rd = mem[addr];\nendmodule\n",
+            true,
+        ),
+        seq(
+            "accumulator8",
+            "8-bit accumulator",
+            Medium,
+            "Implement `accumulator8`: on each clock with `en` high, add the 8-bit \
+             input `d` into the 8-bit register `acc` (wrapping); synchronous reset \
+             clears it.",
+            "accumulator8",
+            "module accumulator8(input clk, rst, en, input [7:0] d, \
+             output reg [7:0] acc);\n\
+             \x20 always @(posedge clk)\n\
+             \x20   if (rst) acc <= 8'd0;\n\
+             \x20   else if (en) acc <= acc + d;\nendmodule\n",
+            true,
+        ),
+    ]
+}

@@ -1,0 +1,327 @@
+//! And-Inverter Graph with structural hashing and constant folding.
+
+use std::collections::HashMap;
+
+/// A literal: node index shifted left, LSB = complemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// Constant false.
+    pub const FALSE: Lit = Lit(0);
+    /// Constant true.
+    pub const TRUE: Lit = Lit(1);
+
+    /// Builds a literal from node index and complement flag.
+    pub fn new(node: u32, compl: bool) -> Lit {
+        Lit(node << 1 | compl as u32)
+    }
+
+    /// Node index.
+    pub fn node(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Complement flag.
+    pub fn is_compl(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Complemented literal.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+/// Node payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Node {
+    /// Constant-zero node (index 0).
+    Const,
+    /// Primary input.
+    Input,
+    /// Two-input AND.
+    And(Lit, Lit),
+}
+
+/// The AIG.
+#[derive(Debug, Clone, Default)]
+pub struct Aig {
+    nodes: Vec<Node>,
+    strash: HashMap<(Lit, Lit), u32>,
+    inputs: Vec<u32>,
+    input_names: Vec<String>,
+    outputs: Vec<(String, Lit)>,
+}
+
+impl Aig {
+    /// Empty AIG (with the constant node).
+    pub fn new() -> Self {
+        Aig {
+            nodes: vec![Node::Const],
+            strash: HashMap::new(),
+            inputs: Vec::new(),
+            input_names: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Adds a named primary input, returning its literal.
+    pub fn input(&mut self, name: impl Into<String>) -> Lit {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node::Input);
+        self.inputs.push(id);
+        self.input_names.push(name.into());
+        Lit::new(id, false)
+    }
+
+    /// Registers a named output.
+    pub fn output(&mut self, name: impl Into<String>, lit: Lit) {
+        self.outputs.push((name.into(), lit));
+    }
+
+    /// Outputs (name, literal).
+    pub fn outputs(&self) -> &[(String, Lit)] {
+        &self.outputs
+    }
+
+    /// Input names in creation order.
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Number of AND nodes.
+    pub fn and_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, Node::And(..))).count()
+    }
+
+    /// Total node count (const + inputs + ands).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only the constant node exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: u32) -> Node {
+        self.nodes[id as usize]
+    }
+
+    /// AND with constant folding, redundancy rules, and structural hashing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // Constant / trivial rules.
+        if a == Lit::FALSE || b == Lit::FALSE || a == b.not() {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE || a == b {
+            return a;
+        }
+        let (x, y) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        if let Some(&n) = self.strash.get(&(x, y)) {
+            return Lit::new(n, false);
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node::And(x, y));
+        self.strash.insert((x, y), id);
+        Lit::new(id, false)
+    }
+
+    /// OR via De Morgan.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and(a.not(), b.not()).not()
+    }
+
+    /// XOR (3 ANDs worst case; folds constants).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let n1 = self.and(a, b.not());
+        let n2 = self.and(a.not(), b);
+        self.or(n1, n2)
+    }
+
+    /// 2:1 mux: `s ? t : f`.
+    pub fn mux(&mut self, s: Lit, t: Lit, f: Lit) -> Lit {
+        let a = self.and(s, t);
+        let b = self.and(s.not(), f);
+        self.or(a, b)
+    }
+
+    /// Evaluates all outputs for an input assignment (by input order).
+    pub fn simulate(&self, inputs: &[bool]) -> Vec<bool> {
+        let mut values = vec![false; self.nodes.len()];
+        for (k, id) in self.inputs.iter().enumerate() {
+            values[*id as usize] = inputs.get(k).copied().unwrap_or(false);
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Node::And(a, b) = n {
+                let av = values[a.node() as usize] ^ a.is_compl();
+                let bv = values[b.node() as usize] ^ b.is_compl();
+                values[i] = av && bv;
+            }
+        }
+        self.outputs
+            .iter()
+            .map(|(_, l)| values[l.node() as usize] ^ l.is_compl())
+            .collect()
+    }
+
+    /// Logic depth (AND levels) of the output cone.
+    pub fn depth(&self) -> u32 {
+        let mut level = vec![0u32; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Node::And(a, b) = n {
+                level[i] = 1 + level[a.node() as usize].max(level[b.node() as usize]);
+            }
+        }
+        self.outputs
+            .iter()
+            .map(|(_, l)| level[l.node() as usize])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Marks nodes reachable from the outputs; returns the live AND count
+    /// (dead-code measure for optimization reporting).
+    pub fn live_and_count(&self) -> usize {
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack: Vec<u32> = self.outputs.iter().map(|(_, l)| l.node()).collect();
+        while let Some(n) = stack.pop() {
+            if live[n as usize] {
+                continue;
+            }
+            live[n as usize] = true;
+            if let Node::And(a, b) = self.nodes[n as usize] {
+                stack.push(a.node());
+                stack.push(b.node());
+            }
+        }
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| live[*i] && matches!(n, Node::And(..)))
+            .count()
+    }
+
+    /// Rebuilds the AIG keeping only logic reachable from outputs
+    /// (dead-node elimination). Input order is preserved.
+    pub fn sweep(&self) -> Aig {
+        let mut out = Aig::new();
+        let mut map: HashMap<u32, Lit> = HashMap::new();
+        map.insert(0, Lit::FALSE);
+        for (id, name) in self.inputs.iter().zip(&self.input_names) {
+            let l = out.input(name.clone());
+            map.insert(*id, l);
+        }
+        // Nodes are topologically ordered by construction.
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack: Vec<u32> = self.outputs.iter().map(|(_, l)| l.node()).collect();
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut live[n as usize], true) {
+                continue;
+            }
+            if let Node::And(a, b) = self.nodes[n as usize] {
+                stack.push(a.node());
+                stack.push(b.node());
+            }
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !live[i] {
+                continue;
+            }
+            if let Node::And(a, b) = n {
+                let la = map[&a.node()];
+                let lb = map[&b.node()];
+                let la = if a.is_compl() { la.not() } else { la };
+                let lb = if b.is_compl() { lb.not() } else { lb };
+                let l = out.and(la, lb);
+                map.insert(i as u32, l);
+            }
+        }
+        for (name, l) in &self.outputs {
+            let m = map.get(&l.node()).copied().unwrap_or(Lit::FALSE);
+            out.output(name.clone(), if l.is_compl() { m.not() } else { m });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding_rules() {
+        let mut g = Aig::new();
+        let a = g.input("a");
+        assert_eq!(g.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(g.and(a, Lit::TRUE), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, a.not()), Lit::FALSE);
+        assert_eq!(g.and_count(), 0);
+    }
+
+    #[test]
+    fn structural_hashing_dedupes() {
+        let mut g = Aig::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let x = g.and(a, b);
+        let y = g.and(b, a);
+        assert_eq!(x, y);
+        assert_eq!(g.and_count(), 1);
+    }
+
+    #[test]
+    fn xor_and_mux_truth_tables() {
+        let mut g = Aig::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let s = g.input("s");
+        let x = g.xor(a, b);
+        let m = g.mux(s, a, b);
+        g.output("x", x);
+        g.output("m", m);
+        for bits in 0..8u32 {
+            let (av, bv, sv) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
+            let out = g.simulate(&[av, bv, sv]);
+            assert_eq!(out[0], av ^ bv);
+            assert_eq!(out[1], if sv { av } else { bv });
+        }
+    }
+
+    #[test]
+    fn depth_counts_levels() {
+        let mut g = Aig::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("c");
+        let ab = g.and(a, b);
+        let abc = g.and(ab, c);
+        g.output("y", abc);
+        assert_eq!(g.depth(), 2);
+    }
+
+    #[test]
+    fn sweep_drops_dead_logic() {
+        let mut g = Aig::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let _dead = g.and(a, b);
+        let live = g.or(a, b);
+        g.output("y", live);
+        assert_eq!(g.and_count(), 2);
+        let swept = g.sweep();
+        assert_eq!(swept.and_count(), 1);
+        // Behaviour preserved.
+        for bits in 0..4u32 {
+            let ins = [bits & 1 == 1, bits & 2 == 2];
+            assert_eq!(g.simulate(&ins), swept.simulate(&ins));
+        }
+    }
+}

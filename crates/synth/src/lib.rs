@@ -1,0 +1,51 @@
+//! # eda-synth — logic synthesis: AIG, optimization, technology mapping
+//!
+//! The gate-level back end of the `llm4eda` workspace (paper Fig. 1's
+//! "logic synthesis" stage and the LLSM context of Section II):
+//!
+//! * [`aig`] — And-Inverter Graph with structural hashing, constant
+//!   folding, simulation, depth/size metrics, and dead-logic sweeping,
+//! * [`from_hdl`] — symbolic synthesis of Verilog-subset modules into AIGs
+//!   (combinational clouds; sequential designs cut at register boundaries
+//!   with `name$next` next-state outputs),
+//! * [`mapping`] — greedy technology mapping onto a small standard-cell
+//!   library with area/delay/power reporting.
+//!
+//! ```
+//! let file = eda_hdl::parse(
+//!     "module xor2(input a, b, output y); assign y = a ^ b; endmodule").unwrap();
+//! let sm = eda_synth::synthesize(file.module("xor2").unwrap()).unwrap();
+//! let report = eda_synth::map(&sm.aig);
+//! assert!(report.total_cells >= 3, "xor needs a few gates");
+//! ```
+
+pub mod aig;
+pub mod from_hdl;
+pub mod mapping;
+
+pub use aig::{Aig, Lit, Node};
+pub use from_hdl::{synthesize, SynthError, SynthesizedModule};
+pub use mapping::{map, Cell, MapReport};
+
+/// One-call flow: parse-level module → mapped netlist report.
+///
+/// # Errors
+///
+/// Propagates [`SynthError`] from synthesis.
+pub fn synthesize_and_map(module: &eda_hdl::ast::Module) -> Result<MapReport, SynthError> {
+    let sm = synthesize(module)?;
+    Ok(map(&sm.aig))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn one_call_flow() {
+        let file = eda_hdl::parse(
+            "module m(input [3:0] a, b, output [3:0] y); assign y = a & b; endmodule",
+        )
+        .unwrap();
+        let r = crate::synthesize_and_map(file.module("m").unwrap()).unwrap();
+        assert_eq!(r.total_cells, 4, "four AND2 cells");
+    }
+}

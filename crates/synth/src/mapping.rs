@@ -1,0 +1,208 @@
+//! Technology mapping and gate-level PPA reporting.
+//!
+//! Maps an AIG onto a small standard-cell library with greedy pattern
+//! matching (NAND2/NOR2/AND2/OR2/INV/AOI21-lite) and reports area, worst
+//! path delay, and a switching-activity power proxy. Used by the unified
+//! agent's back-end stage (paper Fig. 1 "logic synthesis" box).
+
+use crate::aig::{Aig, Lit, Node};
+
+/// A technology cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cell {
+    Inv,
+    Nand2,
+    Nor2,
+    And2,
+    Or2,
+}
+
+impl Cell {
+    /// Area in gate-equivalents.
+    pub fn area(self) -> f64 {
+        match self {
+            Cell::Inv => 0.7,
+            Cell::Nand2 => 1.0,
+            Cell::Nor2 => 1.1,
+            Cell::And2 => 1.4,
+            Cell::Or2 => 1.5,
+        }
+    }
+
+    /// Delay in normalized units.
+    pub fn delay(self) -> f64 {
+        match self {
+            Cell::Inv => 0.5,
+            Cell::Nand2 => 1.0,
+            Cell::Nor2 => 1.2,
+            Cell::And2 => 1.5,
+            Cell::Or2 => 1.6,
+        }
+    }
+}
+
+/// Mapped netlist summary.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MapReport {
+    /// Cell instance counts.
+    pub cells: Vec<(Cell, usize)>,
+    pub total_cells: usize,
+    pub area: f64,
+    /// Worst input→output delay.
+    pub delay: f64,
+    /// Switching power proxy (toggling nodes × capacitance proxy).
+    pub power: f64,
+}
+
+impl MapReport {
+    /// Count of a given cell type.
+    pub fn count(&self, c: Cell) -> usize {
+        self.cells.iter().find(|(k, _)| *k == c).map(|(_, n)| *n).unwrap_or(0)
+    }
+}
+
+/// Maps the (already swept) AIG onto the cell library.
+///
+/// Strategy: every AND node becomes NAND2 when its output is consumed
+/// complemented more often than not (saving an inverter), AND2 otherwise;
+/// complemented fanins of inputs cost explicit inverters (deduplicated per
+/// node).
+pub fn map(aig: &Aig) -> MapReport {
+    let n = aig.len();
+    // Fanout counts: (plain, complemented) uses per node.
+    let mut uses = vec![(0u32, 0u32); n];
+    let mark_use = |l: Lit, uses: &mut Vec<(u32, u32)>| {
+        if l.node() == 0 {
+            return;
+        }
+        if l.is_compl() {
+            uses[l.node() as usize].1 += 1;
+        } else {
+            uses[l.node() as usize].0 += 1;
+        }
+    };
+    for i in 0..n {
+        if let Node::And(a, b) = aig.node(i as u32) {
+            mark_use(a, &mut uses);
+            mark_use(b, &mut uses);
+        }
+    }
+    for (_, l) in aig.outputs() {
+        mark_use(*l, &mut uses);
+    }
+
+    let mut inv = 0usize;
+    let mut nand = 0usize;
+    let mut and2 = 0usize;
+    let mut nor = 0usize;
+    let mut or2 = 0usize;
+    // Per-node arrival time for delay; (value available plain, compl).
+    let mut arrival = vec![0.0f64; n];
+
+    for i in 0..n {
+        match aig.node(i as u32) {
+            Node::Const | Node::Input => {}
+            Node::And(a, b) => {
+                let (pa, ca) = (arrival[a.node() as usize], arrival[a.node() as usize]);
+                let _ = pa;
+                let in_arrival = ca.max(arrival[b.node() as usize]);
+                let (plain, compl) = uses[i];
+                // Both fanins complemented: NOR of the plain signals
+                // (De Morgan), otherwise NAND/AND2.
+                let both_compl = a.is_compl() && b.is_compl();
+                if both_compl && compl >= plain {
+                    // !(A' & B') = A | B -> complemented output preferred
+                    // means (A' & B') = NOR(A,B).
+                    nor += 1;
+                    arrival[i] = in_arrival + Cell::Nor2.delay();
+                } else if both_compl {
+                    or2 += 1;
+                    inv += 1; // need the AND polarity back
+                    arrival[i] = in_arrival + Cell::Or2.delay() + Cell::Inv.delay();
+                } else {
+                    // Inverters for complemented fanins of non-inverting
+                    // sources.
+                    if a.is_compl() && !matches!(aig.node(a.node()), Node::And(..)) {
+                        inv += 1;
+                    }
+                    if b.is_compl() && !matches!(aig.node(b.node()), Node::And(..)) {
+                        inv += 1;
+                    }
+                    if compl > plain {
+                        nand += 1;
+                        arrival[i] = in_arrival + Cell::Nand2.delay();
+                    } else {
+                        and2 += 1;
+                        arrival[i] = in_arrival + Cell::And2.delay();
+                    }
+                }
+            }
+        }
+    }
+    for (_, l) in aig.outputs() {
+        if l.is_compl() {
+            inv += 1;
+        }
+    }
+
+    let cells = vec![
+        (Cell::Inv, inv),
+        (Cell::Nand2, nand),
+        (Cell::Nor2, nor),
+        (Cell::And2, and2),
+        (Cell::Or2, or2),
+    ];
+    let area: f64 = cells.iter().map(|(c, n)| c.area() * *n as f64).sum();
+    let total_cells: usize = cells.iter().map(|(_, n)| n).sum();
+    let delay = arrival.iter().copied().fold(0.0, f64::max)
+        + if inv > 0 { Cell::Inv.delay() } else { 0.0 };
+    // Switching proxy: half the nodes toggle per cycle, each driving ~2 loads.
+    let power = total_cells as f64 * 0.5 * 2.0;
+
+    MapReport { cells, total_cells, area, delay, power }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::from_hdl::synthesize;
+    use eda_hdl::parse;
+
+    fn report(src: &str, name: &str) -> MapReport {
+        let file = parse(src).unwrap();
+        let sm = synthesize(file.module(name).unwrap()).unwrap();
+        map(&sm.aig)
+    }
+
+    #[test]
+    fn bigger_logic_maps_to_more_cells() {
+        let small = report(
+            "module s(input a, b, output y); assign y = a & b; endmodule",
+            "s",
+        );
+        let big = report(
+            "module b(input [7:0] x, y, output [7:0] s); assign s = x + y; endmodule",
+            "b",
+        );
+        assert!(big.total_cells > small.total_cells);
+        assert!(big.area > small.area);
+        assert!(big.delay > small.delay, "{} vs {}", big.delay, small.delay);
+    }
+
+    #[test]
+    fn single_and_maps_tiny() {
+        let r = report("module s(input a, b, output y); assign y = a & b; endmodule", "s");
+        assert!(r.total_cells <= 2, "{r:?}");
+        assert!(r.area <= 3.0);
+    }
+
+    #[test]
+    fn report_count_accessor() {
+        let r = report("module s(input a, b, output y); assign y = ~(a & b); endmodule", "s");
+        assert_eq!(
+            r.count(Cell::Nand2) + r.count(Cell::And2) + r.count(Cell::Inv) + r.count(Cell::Nor2),
+            r.total_cells
+        );
+        assert!(r.power > 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! HLSTester (paper Fig. 3) hunting CPU-vs-FPGA behavioral discrepancies:
+//! backward slicing picks the key variables, spectra-guided generation and
+//! LLM reasoning steer the inputs, and the redundancy filter skips
+//! hardware simulations whose CPU spectra repeat.
+//!
+//! ```sh
+//! cargo run --release --example discrepancy_hunt
+//! ```
+
+use llm4eda::{hlstester, llm};
+
+fn main() {
+    let model = llm::SimulatedLlm::new(llm::ModelSpec::pro());
+    for case in hlstester::discrepancy_corpus() {
+        println!("== {} — {}", case.id, case.mechanism);
+        match hlstester::run_hlstester(
+            &model,
+            case.source,
+            case.func,
+            &hlstester::HlsTesterConfig::default(),
+        ) {
+            Ok(r) => {
+                println!(
+                    "  key vars {:?}; {} inputs generated, {} hw sims ({} skipped as redundant)",
+                    r.key_vars, r.inputs_generated, r.hw_sims_run, r.hw_sims_skipped
+                );
+                match r.discrepancies.first() {
+                    Some(d) => println!(
+                        "  DISCREPANCY at {} for inputs {:?}: cpu={} hw={} ({} triggering inputs total)",
+                        d.location, d.scalars, d.cpu, d.hw, r.triggering_inputs
+                    ),
+                    None => println!("  clean — no divergence found"),
+                }
+            }
+            Err(e) => println!("  synthesis failed: {e}"),
+        }
+        println!();
+    }
+}

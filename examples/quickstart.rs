@@ -1,0 +1,36 @@
+//! Quickstart: drive the whole stack in a few lines.
+//!
+//! 1. Ask the (simulated) LLM for a Verilog design through AutoChip.
+//! 2. Verify it against the benchmark testbench.
+//! 3. Synthesize it to gates and print the PPA summary.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use llm4eda::{agent, autochip, llm, suite};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A GPT-4o-class simulated model (see eda-llm for the tier registry).
+    let model = llm::SimulatedLlm::new(llm::ModelSpec::ultra());
+
+    // --- one-shot framework call ---------------------------------------
+    let problem = suite::problem("gray_encoder4").expect("known benchmark problem");
+    println!("spec: {}", problem.prompt);
+    let result = autochip::run_autochip(&model, &problem, &autochip::AutoChipConfig::default())?;
+    println!(
+        "\nAutoChip: solved={} after {} candidates (best score {:.2})",
+        result.solved,
+        result.candidates_evaluated,
+        result.best_score
+    );
+    println!("--- generated RTL ---\n{}", result.best_source);
+
+    // --- or let the unified agent own the full flow ---------------------
+    let agent = agent::Agent::new(model, agent::AgentConfig::default());
+    for id in ["full_adder", "counter4", "alu8"] {
+        let report = agent.run_flow(id)?;
+        println!("{}", report.summary());
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! # llm4eda — Large Language Models for Electronic Design Automation
+//!
+//! A from-scratch Rust reproduction of the systems presented in the SOCC
+//! 2025 special-session paper *"Large Language Models (LLMs) for Electronic
+//! Design Automation (EDA)"*: the LLM-aided HLS repair and discrepancy-
+//! testing flows (Section III), the AutoChip feedback/tree-search Verilog
+//! generation family (Section IV), the System-Level Test power-hunt loop
+//! with its genetic-programming baseline (Section V), and the unified
+//! multi-modal EDA agent the paper envisions (Section VI) — together with
+//! every substrate they need: a Verilog simulator, a mini-C toolchain, an
+//! HLS compiler, a logic synthesizer, a RISC-V out-of-order power model, a
+//! BM25 retriever, and a deterministic simulated LLM.
+//!
+//! This facade re-exports each workspace crate under a short module name;
+//! see the individual crates for full documentation:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`hdl`] | `eda-hdl` | Verilog subset: parse, elaborate, simulate, lint |
+//! | [`cmini`] | `eda-cmini` | mini-C: parse, interpret, analyze |
+//! | [`suite`] | `eda-suite` | benchmark problems + reference solutions |
+//! | [`hls`] | `eda-hls` | HLS compiler: schedule, FSMD, PPA, RTL |
+//! | [`synth`] | `eda-synth` | AIG logic synthesis + technology mapping |
+//! | [`riscv`] | `eda-riscv` | RV32IM toolchain + OOO power model |
+//! | [`rag`] | `eda-rag` | BM25 retrieval + repair templates |
+//! | [`llm`] | `eda-llm` | the deterministic simulated LLM |
+//! | [`autochip`] | `eda-autochip` | feedback/tree-search generation |
+//! | [`rank`] | `eda-rank` | self-consistency candidate ranking |
+//! | [`repair`] | `eda-repair` | HLS program repair pipeline |
+//! | [`hlstester`] | `eda-hlstester` | CPU/FPGA discrepancy testing |
+//! | [`sltgen`] | `eda-sltgen` | SLT power-hunt loop + GP baseline |
+//! | [`agent`] | `eda-core` | the unified EDA agent |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use llm4eda::{agent, llm};
+//!
+//! let model = llm::SimulatedLlm::new(llm::ModelSpec::ultra());
+//! let a = agent::Agent::new(model, agent::AgentConfig::default());
+//! let report = a.run_flow("full_adder").unwrap();
+//! assert!(report.success);
+//! ```
+
+pub use eda_core as agent;
+pub use eda_autochip as autochip;
+pub use eda_cmini as cmini;
+pub use eda_hdl as hdl;
+pub use eda_hls as hls;
+pub use eda_hlstester as hlstester;
+pub use eda_llm as llm;
+pub use eda_rag as rag;
+pub use eda_rank as rank;
+pub use eda_repair as repair;
+pub use eda_riscv as riscv;
+pub use eda_sltgen as sltgen;
+pub use eda_suite as suite;
+pub use eda_synth as synth;

@@ -1,0 +1,162 @@
+//! Cross-crate integration tests: each test exercises a complete paper
+//! flow through the public facade, spanning several workspace crates.
+
+use llm4eda::{agent, autochip, cmini, hdl, hls, hlstester, llm, rank, repair, riscv, sltgen,
+              suite, synth};
+
+fn ultra() -> llm::SimulatedLlm {
+    llm::SimulatedLlm::new(llm::ModelSpec::ultra())
+}
+
+#[test]
+fn spec_to_gates_through_the_agent() {
+    // Fig. 1 end to end: NL spec -> RTL -> lint -> verify -> gates -> PPA.
+    let a = agent::Agent::new(ultra(), agent::AgentConfig::default());
+    let report = a.run_flow("adder8").unwrap();
+    assert!(report.success, "{}", report.summary());
+    assert!(report.cells.unwrap() > 8, "an 8-bit adder needs real gates");
+    assert!(report.area.unwrap() > 0.0);
+}
+
+#[test]
+fn llm_rtl_simulates_in_the_hdl_simulator() {
+    // eda-llm -> eda-hdl: a generated candidate is real Verilog that
+    // elaborates and simulates.
+    let p = suite::problem("mux4").unwrap();
+    let r = autochip::run_autochip(&ultra(), &p, &autochip::AutoChipConfig::default()).unwrap();
+    let design = hdl::compile(&r.best_source, p.module_name).unwrap();
+    let mut sim = hdl::Simulator::new(&design);
+    sim.poke("s", hdl::Value::from_u64(2, 1)).unwrap();
+    sim.poke("d0", hdl::Value::bit(false)).unwrap();
+    sim.poke("d1", hdl::Value::bit(true)).unwrap();
+    sim.poke("d2", hdl::Value::bit(false)).unwrap();
+    sim.poke("d3", hdl::Value::bit(false)).unwrap();
+    sim.settle().unwrap();
+    assert_eq!(sim.peek("y").unwrap().to_u64(), Some(1));
+}
+
+#[test]
+fn repaired_c_flows_into_hls_and_riscv() {
+    // eda-repair -> eda-hls + eda-riscv: the repaired program is accepted
+    // by both back ends and behaves identically.
+    let broken = repair::corpus()
+        .into_iter()
+        .find(|p| p.id == "vecsum-malloc")
+        .unwrap();
+    let rep = repair::run_repair(&ultra(), broken.source, broken.func,
+                                 &repair::RepairConfig::default());
+    assert!(rep.final_compiles);
+    let prog = cmini::parse(&rep.final_source).unwrap();
+    // HLS side.
+    let proj = hls::HlsProject::compile(&prog, broken.func, hls::HlsOptions::default()).unwrap();
+    let hw = proj.run(&[10], &mut []).unwrap();
+    // CPU side.
+    let expect = cmini::Interp::new(&prog).call_ints(broken.func, &[10]).unwrap();
+    assert_eq!(hw.ret, Some(expect));
+    // RISC-V side.
+    let compiled = riscv::compile_c(&prog, broken.func).unwrap();
+    let mut cpu = riscv::Cpu::new(riscv::CpuConfig::default());
+    for (loc, v) in compiled.params.iter().zip(&[10i64]) {
+        match loc {
+            riscv::ParamLoc::Reg(r) => cpu.regs[*r as usize] = *v as u32,
+            riscv::ParamLoc::Mem(a) => cpu.store_word(*a, *v as u32).unwrap(),
+        }
+    }
+    assert_eq!(cpu.run(&compiled.instrs).unwrap().a0 as i64, expect);
+}
+
+#[test]
+fn generated_verilog_synthesizes_to_gates() {
+    // eda-llm -> eda-synth: a correct generated design maps to cells and
+    // the AIG is behaviourally faithful on sampled patterns.
+    let p = suite::problem("parity8").unwrap();
+    let r = autochip::run_autochip(&ultra(), &p, &autochip::AutoChipConfig::default()).unwrap();
+    assert!(r.solved);
+    let file = hdl::parse(&r.best_source).unwrap();
+    let sm = synth::synthesize(file.module(p.module_name).unwrap()).unwrap();
+    let map = synth::map(&sm.aig);
+    assert!(map.total_cells >= 7, "8-input parity needs a xor tree");
+    // Parity of 0b1011_0001 is 0 (even number of ones).
+    let inputs: Vec<bool> = (0..8).map(|i| [1u8, 0, 0, 0, 1, 1, 0, 1][i] == 1).collect();
+    let named: Vec<bool> = sm
+        .aig
+        .input_names()
+        .iter()
+        .map(|n| {
+            let bit: usize = n.trim_start_matches("d[").trim_end_matches(']').parse().unwrap();
+            inputs[bit]
+        })
+        .collect();
+    let out = sm.aig.simulate(&named);
+    assert_eq!(out[0], false);
+}
+
+#[test]
+fn slt_snippets_flow_through_the_whole_riscv_stack() {
+    // eda-llm C -> eda-hls lowering -> eda-riscv codegen -> OOO power.
+    let model = llm::SimulatedLlm::new(llm::ModelSpec::code_llama_ft());
+    let run = sltgen::run_slt_llm(
+        &model,
+        &sltgen::SltConfig { virtual_hours: 0.3, ..Default::default() },
+    );
+    assert!(run.run.best_power_w > 2.0);
+    // The best artifact is real C our toolchain accepts.
+    let prog = cmini::parse(&run.run.best_artifact).unwrap();
+    assert!(prog.function("snippet").is_some());
+}
+
+#[test]
+fn hlstester_finds_planted_discrepancy_end_to_end() {
+    let case = hlstester::discrepancy_corpus()
+        .into_iter()
+        .find(|c| c.id == "mac-overflow-16bit")
+        .unwrap();
+    let r = hlstester::run_hlstester(
+        &llm::SimulatedLlm::new(llm::ModelSpec::pro()),
+        case.source,
+        case.func,
+        &hlstester::HlsTesterConfig::default(),
+    )
+    .unwrap();
+    assert!(!r.discrepancies.is_empty());
+    // Replay one discrepancy manually through both sides.
+    let d = &r.discrepancies[0];
+    let prog = cmini::parse(case.source).unwrap();
+    let cpu = cmini::Interp::new(&prog).call_ints(case.func, &d.scalars);
+    match cpu {
+        Ok(v) => assert_eq!(v, d.cpu, "replay must match the recorded CPU value"),
+        Err(_) => assert_eq!(d.cpu, i64::MIN, "trap discrepancies record MIN"),
+    }
+}
+
+#[test]
+fn rank_and_autochip_agree_on_ground_truth() {
+    // A candidate AutoChip says is solved must land in a cluster whose
+    // representative also passes the ground-truth testbench.
+    let p = suite::problem("comparator4").unwrap();
+    let out = rank::rank_candidates(&ultra(), &p, &rank::RankConfig::default()).unwrap();
+    let q = rank::judge_selection(&out, &p, 48, 77).unwrap();
+    if q.any_correct {
+        assert!(
+            q.consistency_pick_correct || !q.random_pick_correct,
+            "consistency pick must not be strictly worse than random"
+        );
+    }
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    // Same seeds, same outputs — across every major flow.
+    let p = suite::problem("lfsr8").unwrap();
+    let cfg = autochip::AutoChipConfig { seed: 5, ..Default::default() };
+    let a = autochip::run_autochip(&ultra(), &p, &cfg).unwrap();
+    let b = autochip::run_autochip(&ultra(), &p, &cfg).unwrap();
+    assert_eq!(a.best_source, b.best_source);
+
+    let broken = repair::corpus()[0].clone();
+    let r1 = repair::run_repair(&ultra(), broken.source, broken.func,
+                                &repair::RepairConfig::default());
+    let r2 = repair::run_repair(&ultra(), broken.source, broken.func,
+                                &repair::RepairConfig::default());
+    assert_eq!(r1.final_source, r2.final_source);
+}

@@ -1,0 +1,128 @@
+//! Property-based tests over core data structures and invariants,
+//! spanning crates through the facade.
+
+use llm4eda::{cmini, hdl, hls, riscv, sltgen, synth};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// HDL Value arithmetic agrees with native wrapping arithmetic.
+    #[test]
+    fn value_add_matches_u64(a in any::<u64>(), b in any::<u64>(), w in 1u32..=64) {
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let va = hdl::Value::from_u64(w, a & mask);
+        let vb = hdl::Value::from_u64(w, b & mask);
+        let sum = va.add(&vb);
+        prop_assert_eq!(sum.to_u64(), Some((a & mask).wrapping_add(b & mask) & mask));
+    }
+
+    /// Slice/concat round-trips for any split point.
+    #[test]
+    fn value_slice_concat_roundtrip(v in any::<u64>(), w in 2u32..=64, cut in 1u32..63) {
+        let cut = cut.min(w - 1);
+        let val = hdl::Value::from_u64(w, v);
+        let hi = val.slice(w - 1, cut);
+        let lo = val.slice(cut - 1, 0);
+        prop_assert_eq!(hi.concat(&lo).to_u64(), val.to_u64());
+    }
+
+    /// X never silently becomes defined through bitwise ops with X inputs
+    /// on both sides.
+    #[test]
+    fn x_is_sticky_for_xor(w in 1u32..=64) {
+        let x = hdl::Value::all_x(w);
+        prop_assert!(x.xor(&x).has_x());
+        prop_assert!(x.add(&x).has_x());
+    }
+
+    /// The mini-C width wrap is idempotent and bounded.
+    #[test]
+    fn cmini_wrap_idempotent(v in any::<i64>(), bits in 1u32..=63, unsigned in any::<bool>()) {
+        let once = cmini::wrap(v, bits, unsigned);
+        prop_assert_eq!(cmini::wrap(once, bits, unsigned), once);
+        let once = once as i128;
+        if unsigned {
+            prop_assert!(once >= 0 && once < (1i128 << bits));
+        } else {
+            prop_assert!(once >= -(1i128 << (bits - 1)) && once < (1i128 << (bits - 1)));
+        }
+    }
+
+    /// Levenshtein is a metric: symmetric, zero iff equal, triangle holds.
+    #[test]
+    fn levenshtein_is_a_metric(a in "[a-z]{0,24}", b in "[a-z]{0,24}", c in "[a-z]{0,24}") {
+        let ab = sltgen::levenshtein(&a, &b);
+        let ba = sltgen::levenshtein(&b, &a);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ab == 0, a == b);
+        let bc = sltgen::levenshtein(&b, &c);
+        let ac = sltgen::levenshtein(&a, &c);
+        prop_assert!(ac <= ab + bc);
+    }
+
+    /// AIG and() is commutative and idempotent under structural hashing.
+    #[test]
+    fn aig_and_commutes(seed in any::<bool>()) {
+        let mut g = synth::Aig::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let (x, y) = if seed { (a, b) } else { (b, a) };
+        let n1 = g.and(x, y);
+        let n2 = g.and(y, x);
+        prop_assert_eq!(n1, n2);
+        prop_assert_eq!(g.and(n1, n1), n1);
+    }
+
+    /// C arithmetic agrees between the interpreter, the HLS FSMD, and the
+    /// compiled RISC-V binary on a random expression-grid program.
+    #[test]
+    fn three_backends_agree(a in 0i64..1000, b in 1i64..1000, k in 1i64..16) {
+        let src = format!(
+            "int f(int a, int b) {{
+               int acc = 0;
+               for (int i = 0; i < {k}; i++) {{
+                 acc += (a + i) * (b - i) + (a >> 1) - (b & 7);
+               }}
+               return acc;
+             }}"
+        );
+        let prog = cmini::parse(&src).unwrap();
+        let cpu = cmini::Interp::new(&prog).call_ints("f", &[a, b]).unwrap();
+        // FSMD.
+        let proj = hls::HlsProject::compile(&prog, "f", hls::HlsOptions::default()).unwrap();
+        let hw = proj.run(&[a, b], &mut []).unwrap();
+        prop_assert_eq!(hw.ret, Some(cpu));
+        // RISC-V (32-bit model: compare in wrapped i32 space).
+        let compiled = riscv::compile_c(&prog, "f").unwrap();
+        let mut cpu32 = riscv::Cpu::new(riscv::CpuConfig::default());
+        for (loc, v) in compiled.params.iter().zip(&[a, b]) {
+            match loc {
+                riscv::ParamLoc::Reg(r) => cpu32.regs[*r as usize] = *v as u32,
+                riscv::ParamLoc::Mem(addr) => cpu32.store_word(*addr, *v as u32).unwrap(),
+            }
+        }
+        let rv = cpu32.run(&compiled.instrs).unwrap().a0;
+        prop_assert_eq!(rv as i32, cpu as i32);
+    }
+
+    /// Every suite testbench is internally consistent for any seed.
+    #[test]
+    fn suite_testbenches_self_consistent(seed in 0u64..500) {
+        let p = eda_suite::problem("alu8").unwrap();
+        let tb = p.testbench(12, seed).unwrap();
+        let report = hdl::check_source(p.reference, p.module_name, &tb).unwrap();
+        prop_assert!(report.all_passed());
+    }
+
+    /// The assembler round-trips through disassembly for ALU programs.
+    #[test]
+    fn assembler_accepts_own_alu_output(n in 1usize..20) {
+        let body: String = (0..n)
+            .map(|i| format!("addi t{}, zero, {}\n", i % 3, i + 1))
+            .collect();
+        let src = format!("{body}ecall\n");
+        let prog = riscv::assemble(&src).unwrap();
+        prop_assert_eq!(prog.len(), n + 1);
+    }
+}

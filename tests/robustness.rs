@@ -1,0 +1,116 @@
+//! Robustness: no front end may panic on malformed input — they are fed
+//! LLM output all day. Mutated/truncated/garbage sources must produce
+//! `Err`, never a crash.
+
+use llm4eda::{cmini, hdl, riscv, suite};
+use proptest::prelude::*;
+
+/// Deterministic byte-level mutation of a source string.
+fn mutate(src: &str, seed: u64) -> String {
+    let mut bytes: Vec<u8> = src.bytes().collect();
+    if bytes.is_empty() {
+        return String::new();
+    }
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..1 + seed % 5 {
+        let pos = (next() as usize) % bytes.len();
+        match next() % 3 {
+            0 => {
+                // Delete a byte.
+                bytes.remove(pos);
+                if bytes.is_empty() {
+                    return String::new();
+                }
+            }
+            1 => bytes[pos] = b"(){};=<>+-*/&|^~!#@$"[(next() as usize) % 20],
+            _ => {
+                let end = (pos + 1 + (next() as usize) % 20).min(bytes.len());
+                bytes.truncate(end);
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[test]
+fn hdl_parser_never_panics_on_mutated_references() {
+    for p in suite::all_problems() {
+        for seed in 0..50u64 {
+            let src = mutate(p.reference, seed);
+            // Err is fine; panic is not.
+            let _ = hdl::parse(&src);
+            let _ = hdl::compile(&src, p.module_name);
+        }
+    }
+}
+
+#[test]
+fn cmini_parser_never_panics_on_mutated_programs() {
+    let programs = [
+        "int f(int a) { return a * 2; }",
+        "int g(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
+        "void h(int x[8]) { x[0] = 1; }",
+    ];
+    for src in programs {
+        for seed in 0..80u64 {
+            let _ = cmini::parse(&mutate(src, seed));
+        }
+    }
+}
+
+#[test]
+fn assembler_never_panics_on_mutated_asm() {
+    let src = "li t0, 10\nloop:\nadd a0, a0, t0\naddi t0, t0, -1\nbne t0, zero, loop\necall\n";
+    for seed in 0..80u64 {
+        let _ = riscv::assemble(&mutate(src, seed));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary ASCII never panics any front end.
+    #[test]
+    fn garbage_is_rejected_gracefully(src in "[ -~\\n]{0,200}") {
+        let _ = hdl::parse(&src);
+        let _ = cmini::parse(&src);
+        let _ = riscv::assemble(&src);
+    }
+
+    /// A program that parses must also survive elaboration attempts
+    /// without panicking (errors allowed).
+    #[test]
+    fn parsed_hdl_elaborates_or_errors(seed in 0u64..200) {
+        let p = suite::problem("alu8").unwrap();
+        let src = mutate(p.reference, seed);
+        if let Ok(file) = hdl::parse(&src) {
+            for m in &file.modules {
+                let _ = hdl::elaborate(&file, &m.name);
+                let _ = hdl::lint_module(m);
+            }
+        }
+    }
+
+    /// Mini-C that parses never panics the HLS lowering or the interpreter
+    /// (runtime errors allowed).
+    #[test]
+    fn parsed_c_lowers_or_errors(seed in 0u64..200) {
+        let base = "int f(int a, int b) { int s = 0; for (int i = 0; i < 8; i++) s += a * b + i; return s; }";
+        let src = mutate(base, seed);
+        if let Ok(prog) = cmini::parse(&src) {
+            let _ = llm4eda::hls::lower(&prog, "f");
+            let mut interp = cmini::Interp::new(&prog).with_limits(cmini::InterpLimits {
+                max_steps: 10_000,
+                max_call_depth: 8,
+                max_heap_words: 1 << 12,
+            });
+            let _ = interp.call_ints("f", &[3, 4]);
+        }
+    }
+}
