@@ -21,6 +21,7 @@
 //! assert!(r.best_score > 0.9);
 //! ```
 
+use eda_exec::{Engine, EvalCache, EvalKey, ExecReport};
 use eda_hdl::{check_source, HdlError, TbReport, VectorTest};
 use eda_llm::{prompts, ChatModel, ChatRequest};
 use eda_suite::Problem;
@@ -68,6 +69,10 @@ pub struct AutoChipResult {
     pub solved: bool,
     pub rounds: Vec<Round>,
     pub candidates_evaluated: u32,
+    /// Execution-engine counters (tasks run, cache hits/misses; wall-clock
+    /// fields are not serialized, so parallel and sequential runs emit
+    /// identical JSON).
+    pub exec: ExecReport,
 }
 
 /// Scores one candidate: compile errors score 0 with the error text as
@@ -91,7 +96,8 @@ fn feedback_text(report: &TbReport) -> String {
     }
 }
 
-/// Runs the AutoChip loop for one problem.
+/// Runs the AutoChip loop for one problem on the process-default engine
+/// (`EDA_EXEC_THREADS` sizes the pool; `1` forces sequential).
 ///
 /// # Errors
 ///
@@ -101,7 +107,39 @@ pub fn run_autochip(
     problem: &Problem,
     cfg: &AutoChipConfig,
 ) -> Result<AutoChipResult, HdlError> {
+    run_autochip_with(model, problem, cfg, &Engine::from_env())
+}
+
+/// Cache key for one candidate evaluation: source text, target module,
+/// and the testbench identity (vector count + seed fully determine the
+/// generated stimulus).
+fn candidate_key(source: &str, problem: &Problem, cfg: &AutoChipConfig) -> u64 {
+    EvalKey::new()
+        .text(source)
+        .text(problem.module_name)
+        .word(cfg.tb_vectors as u64)
+        .word(cfg.seed)
+        .finish()
+}
+
+/// Runs the AutoChip loop on an explicit [`Engine`]. Each round's `k`
+/// candidates are generated and scored as engine batches: results are
+/// collected by candidate index and duplicate sources are scored once
+/// via the per-run eval cache, so the outcome is bit-identical across
+/// thread counts (only wall-clock differs).
+///
+/// # Errors
+///
+/// Fails only when the reference testbench cannot be built (a suite bug).
+pub fn run_autochip_with(
+    model: &dyn ChatModel,
+    problem: &Problem,
+    cfg: &AutoChipConfig,
+    engine: &Engine,
+) -> Result<AutoChipResult, HdlError> {
     let tb = problem.testbench(cfg.tb_vectors, cfg.seed)?;
+    let cache: EvalCache<(f64, String)> = EvalCache::new();
+    let exec_base = engine.report();
     let mut prompt = prompts::task_header("verilog-design", &[("problem", problem.id)]);
     prompt.push_str(problem.prompt);
     prompt.push('\n');
@@ -112,24 +150,41 @@ pub fn run_autochip(
     let mut evaluated = 0u32;
 
     for depth in 0..cfg.max_depth.max(1) {
-        let mut round_best: Option<(f64, String, String)> = None;
-        let mut scores = Vec::with_capacity(cfg.k_candidates as usize);
-        for k in 0..cfg.k_candidates.max(1) {
-            let resp = model.complete(&ChatRequest {
-                prompt: prompt.clone(),
-                temperature: cfg.temperature,
-                sample_index: depth * 1000 + k + cfg.seed as u32 * 31,
-            });
-            let (score, feedback) = evaluate_candidate(&resp.text, problem, &tb);
-            evaluated += 1;
-            scores.push(score);
-            let better = round_best.as_ref().map(|(s, _, _)| score > *s).unwrap_or(true);
+        // Sample this round's k candidates as one parallel batch (each
+        // sample index is fixed up front, so streams match the
+        // sequential path).
+        let ks: Vec<u32> = (0..cfg.k_candidates.max(1)).collect();
+        let sources = engine.map_stage("generate", ks, |_, k| {
+            model
+                .complete(&ChatRequest {
+                    prompt: prompt.clone(),
+                    temperature: cfg.temperature,
+                    sample_index: depth * 1000 + k + cfg.seed as u32 * 31,
+                })
+                .text
+        });
+        // Score the batch: duplicates (within the round or from earlier
+        // rounds) come from the cache, fresh sources fan out to workers.
+        let results = engine.score_batch_stage(
+            "evaluate",
+            &cache,
+            &sources,
+            |src| candidate_key(src, problem, cfg),
+            |_, src| evaluate_candidate(src, problem, &tb),
+        );
+        evaluated += sources.len() as u32;
+
+        let mut round_best: Option<(f64, usize)> = None;
+        let mut scores = Vec::with_capacity(sources.len());
+        for (i, (score, _)) in results.iter().enumerate() {
+            scores.push(*score);
+            let better = round_best.map(|(s, _)| *score > s).unwrap_or(true);
             if better {
-                round_best = Some((score, resp.text, feedback));
+                round_best = Some((*score, i));
             }
         }
-        let (rb_score, rb_source, rb_feedback) =
-            round_best.expect("at least one candidate per round");
+        let (rb_score, rb_idx) = round_best.expect("at least one candidate per round");
+        let (rb_source, rb_feedback) = (&sources[rb_idx], &results[rb_idx].1);
         if rb_score > best_score {
             best_score = rb_score;
             best_source = rb_source.clone();
@@ -146,8 +201,8 @@ pub fn run_autochip(
         }
         // Feed the best response and its tool output back (AutoChip's
         // feedback edge).
-        prompt.push_str(&prompts::previous_section(&rb_source));
-        prompt.push_str(&prompts::feedback_section(&rb_feedback));
+        prompt.push_str(&prompts::previous_section(rb_source));
+        prompt.push_str(&prompts::feedback_section(rb_feedback));
     }
 
     Ok(AutoChipResult {
@@ -158,6 +213,7 @@ pub fn run_autochip(
         solved: best_score >= 1.0,
         rounds,
         candidates_evaluated: evaluated,
+        exec: ExecReport::since(engine, &cache, &exec_base),
     })
 }
 
@@ -276,6 +332,22 @@ mod tests {
         let r = run_autochip(&model, &p, &AutoChipConfig::default()).unwrap();
         assert!(r.solved, "score {}", r.best_score);
         assert!(r.rounds.len() <= 2);
+    }
+
+    #[test]
+    fn default_config_run_reuses_cached_evaluations() {
+        // Weak models repeat themselves at the default temperature:
+        // duplicate candidates must be served from the eval cache, never
+        // re-scored, and the counters must say so.
+        let model = SimulatedLlm::new(ModelSpec::basic());
+        let p = eda_suite::problem("mux4").unwrap();
+        let r = run_autochip(&model, &p, &AutoChipConfig::default()).unwrap();
+        assert!(r.exec.cache_hits > 0, "default run produced no duplicate candidates");
+        assert_eq!(r.exec.tasks_run, r.exec.cache_misses + r.rounds.len() as u64 * 5);
+        assert_eq!(
+            r.exec.cache_hits + r.exec.cache_misses,
+            r.rounds.iter().map(|rd| rd.scores.len() as u64).sum::<u64>()
+        );
     }
 
     #[test]

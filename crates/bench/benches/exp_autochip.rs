@@ -6,10 +6,12 @@
 //! significantly from iterating on EDA-tool feedback; weaker tiers do as
 //! well or better just sampling more candidates.
 
-use eda_autochip::{run_autochip, AutoChipConfig};
+use eda_autochip::{run_autochip, run_autochip_with, AutoChipConfig};
 use eda_bench::{banner, format_table, mean, write_json};
+use eda_exec::Engine;
 use eda_llm::{model_zoo, SimulatedLlm};
 use serde::Serialize;
+use std::time::Instant;
 
 #[derive(Serialize)]
 struct Row {
@@ -79,4 +81,49 @@ fn main() {
         json.first().map(|r| r.feedback_gain).unwrap_or(0.0),
     );
     write_json("exp_autochip", &json);
+    engine_comparison();
+}
+
+/// Time the same candidate-evaluation workload on the sequential and the
+/// work-stealing engine. Scores must be bit-identical; only wall-clock and
+/// the (timing-excluded) thread count may differ.
+fn engine_comparison() {
+    banner("E1b: evaluation engine — sequential vs. work-stealing wall-clock");
+    let spec = model_zoo().into_iter().last().expect("model zoo is non-empty");
+    let model = SimulatedLlm::new(spec);
+    let problems = ["alu8", "sorter4", "divider4", "lfsr8"];
+    let cfg = AutoChipConfig { k_candidates: 8, max_depth: 2, temperature: 1.0, seed: 7, ..Default::default() };
+
+    let mut timings = Vec::new();
+    let mut outcomes: Vec<Vec<(bool, f64, u64)>> = Vec::new();
+    for (label, engine) in [
+        ("sequential", Engine::sequential()),
+        ("parallel", Engine::from_env()),
+    ] {
+        let start = Instant::now();
+        let mut runs = Vec::new();
+        for pid in &problems {
+            let problem = eda_suite::problem(pid).expect("known problem");
+            let r = run_autochip_with(&model, &problem, &cfg, &engine).expect("suite testbench");
+            runs.push((r.solved, r.best_score, r.exec.cache_hits));
+        }
+        let elapsed = start.elapsed();
+        timings.push((label, engine.threads(), elapsed));
+        outcomes.push(runs);
+    }
+    assert_eq!(outcomes[0], outcomes[1], "engines must agree on every outcome");
+    let cache_hits: u64 = outcomes[0].iter().map(|(_, _, h)| h).sum();
+    for (label, threads, elapsed) in &timings {
+        println!("  {label:<10} threads={threads:<2} wall={:>8.2?}", elapsed);
+    }
+    println!("  eval-cache hits across problems: {cache_hits}");
+    let (seq, par) = (timings[0].2, timings[1].2);
+    if timings[1].1 > 1 {
+        println!(
+            "  speedup: {:.2}x ({seq:.2?} -> {par:.2?})",
+            seq.as_secs_f64() / par.as_secs_f64().max(1e-9),
+        );
+    } else {
+        println!("  single hardware thread available; engines are equivalent");
+    }
 }

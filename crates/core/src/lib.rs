@@ -22,6 +22,7 @@ pub mod debug;
 pub use debug::{cross_level_check, CrossLevelError, CrossLevelMismatch, CrossLevelReport};
 
 use eda_autochip::{run_autochip, AutoChipConfig};
+use eda_exec::ExecReport;
 use eda_hdl::{check_source, lint_module, parse, LintWarning};
 use eda_llm::{ChatModel, SimulatedLlm};
 use eda_suite::Problem;
@@ -98,6 +99,8 @@ pub struct DesignState {
     pub verify_score: Option<f64>,
     /// Gate-level summary after technology mapping.
     pub netlist: Option<MapReport>,
+    /// Execution-engine counters from the RTL generation stage.
+    pub exec: Option<ExecReport>,
     /// Tool-invocation log (the agent's "conversation" with its tools).
     pub log: Vec<String>,
 }
@@ -121,6 +124,10 @@ pub struct FlowReport {
     pub cells: Option<usize>,
     pub area: Option<f64>,
     pub delay: Option<f64>,
+    /// Evaluation-engine counters from candidate generation (timing
+    /// fields are skipped during serialization, so parallel and
+    /// sequential runs report identically).
+    pub exec: ExecReport,
 }
 
 impl FlowReport {
@@ -238,6 +245,7 @@ impl Agent {
             cells: state.netlist.as_ref().map(|n| n.total_cells),
             area: state.netlist.as_ref().map(|n| n.area),
             delay: state.netlist.as_ref().map(|n| n.delay),
+            exec: state.exec.clone().unwrap_or_default(),
         }
     }
 }
@@ -288,10 +296,12 @@ impl EdaTool for GenerateRtl<'_> {
     fn run(&self, state: &mut DesignState) -> StageStatus {
         match run_autochip(self.model, self.problem, self.cfg) {
             Ok(r) if r.solved => {
+                state.exec = Some(r.exec);
                 state.rtl = Some(r.best_source);
                 StageStatus::Passed
             }
             Ok(r) => {
+                state.exec = Some(r.exec);
                 state.rtl = Some(r.best_source);
                 StageStatus::Failed(format!("best candidate scored {:.2}", r.best_score))
             }

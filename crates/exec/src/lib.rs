@@ -1,0 +1,714 @@
+//! # eda-exec — parallel candidate-evaluation engine with eval caching
+//!
+//! LLM-guided EDA flows (AutoChip refinement, SLT power-virus pools,
+//! repair sweeps, HLS discrepancy testing) all share one hot shape:
+//! a batch of independent candidates per round, each scored by a
+//! deterministic simulator. This crate gives every flow the same two
+//! primitives:
+//!
+//! * [`Engine`] — a scoped work-stealing thread pool (crossbeam deques,
+//!   one LIFO worker per thread, a global FIFO injector). Results are
+//!   collected **by candidate index**, so a parallel batch is
+//!   bit-identical to the sequential fallback ([`Engine::sequential`],
+//!   also selected by `EDA_EXEC_THREADS=1`).
+//! * [`EvalCache`] — a sharded, mutex-guarded memo table keyed by a
+//!   FNV-1a [`EvalKey`] over `(source hash, module name, testbench
+//!   seed/vectors)`, so duplicate candidates are scored once. Hit/miss
+//!   counters are updated in deterministic (sequential bookkeeping)
+//!   order, so reports match across thread counts.
+//!
+//! [`Engine::score_batch`] combines both: within-batch duplicates are
+//! deduplicated *before* evaluation (counted as cache hits), unique
+//! work fans out across the pool, and results fan back in input order.
+//!
+//! ```
+//! use eda_exec::{Engine, EvalCache, EvalKey};
+//!
+//! let engine = Engine::from_env();
+//! let cache: EvalCache<u64> = EvalCache::new();
+//! let items = vec!["a", "b", "a", "c"];
+//! let scores = engine.score_batch(
+//!     &cache,
+//!     &items,
+//!     |s| EvalKey::new().text(s).finish(),
+//!     |_, s| s.len() as u64,
+//! );
+//! assert_eq!(scores, vec![1, 1, 1, 1]);
+//! assert_eq!(cache.hits(), 1); // the duplicate "a" was never re-scored
+//! ```
+
+use crossbeam::deque::{Injector, Worker};
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Environment variable selecting the worker-thread count.
+/// `1` forces the deterministic sequential fallback; `0` or unset means
+/// "use available parallelism".
+pub const THREADS_ENV: &str = "EDA_EXEC_THREADS";
+
+const MAX_THREADS: usize = 64;
+const CACHE_SHARDS: usize = 16;
+
+// ---------------------------------------------------------------------------
+// EvalKey
+// ---------------------------------------------------------------------------
+
+/// FNV-1a key builder for cache entries. Chain [`text`](EvalKey::text) /
+/// [`word`](EvalKey::word) calls over every input that influences a
+/// candidate's score — source, module name, testbench seed and vectors —
+/// then [`finish`](EvalKey::finish).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalKey {
+    h: u64,
+}
+
+impl Default for EvalKey {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EvalKey {
+    pub fn new() -> Self {
+        EvalKey { h: 0xcbf2_9ce4_8422_2325 }
+    }
+
+    fn mix_byte(mut self, b: u8) -> Self {
+        self.h ^= b as u64;
+        self.h = self.h.wrapping_mul(0x100_0000_01b3);
+        self
+    }
+
+    /// Folds a string in, length-prefixed so `("ab","c")` and `("a","bc")`
+    /// key differently.
+    pub fn text(self, s: &str) -> Self {
+        let mut k = self.word(s.len() as u64);
+        for b in s.bytes() {
+            k = k.mix_byte(b);
+        }
+        k
+    }
+
+    /// Folds one 64-bit word in (seeds, widths, vector values...).
+    pub fn word(mut self, w: u64) -> Self {
+        for b in w.to_le_bytes() {
+            self = self.mix_byte(b);
+        }
+        self
+    }
+
+    /// Folds a slice of words in, length-prefixed (testbench vectors).
+    pub fn words(self, ws: &[u64]) -> Self {
+        let mut k = self.word(ws.len() as u64);
+        for &w in ws {
+            k = k.word(w);
+        }
+        k
+    }
+
+    pub fn finish(self) -> u64 {
+        // Final avalanche (splitmix64 tail) so near-identical inputs
+        // spread across shards.
+        let mut z = self.h;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EvalCache
+// ---------------------------------------------------------------------------
+
+/// Counter snapshot for an [`EvalCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: u64,
+}
+
+/// Sharded memo table for candidate evaluations. Values are cloned out,
+/// so keep them cheap (scores, small reports).
+///
+/// Create one cache **per run** (not a global): counters then serialize
+/// deterministically into flow reports.
+#[derive(Debug)]
+pub struct EvalCache<V> {
+    shards: Vec<Mutex<HashMap<u64, V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V> Default for EvalCache<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> EvalCache<V> {
+    pub fn new() -> Self {
+        EvalCache {
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, V>> {
+        &self.shards[(key as usize) % CACHE_SHARDS]
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats { hits: self.hits(), misses: self.misses(), entries: self.len() as u64 }
+    }
+}
+
+impl<V: Clone> EvalCache<V> {
+    /// Looks a key up, counting a hit or a miss.
+    pub fn lookup(&self, key: u64) -> Option<V> {
+        let got = self.shard(key).lock().get(&key).cloned();
+        match got {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts without touching the counters (pair with [`lookup`](Self::lookup)).
+    pub fn insert(&self, key: u64, value: V) {
+        self.shard(key).lock().insert(key, value);
+    }
+
+    /// Memoized evaluation: returns the cached value or computes, stores
+    /// and returns it. Safe to call concurrently from worker threads;
+    /// two racing computations of the same key both store (last wins,
+    /// values for one key must be equal by construction).
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&self, key: u64, f: F) -> V {
+        if let Some(v) = self.lookup(key) {
+            return v;
+        }
+        let v = f();
+        self.insert(key, v.clone());
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// Wall-clock of one named batch (not serialized — timing only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTiming {
+    pub stage: String,
+    pub tasks: u64,
+    pub wall_ns: u64,
+}
+
+/// Serializable counter snapshot surfaced in flow reports. Timing and
+/// thread-count fields are `#[serde(skip)]` so parallel and sequential
+/// runs serialize identically.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct ExecReport {
+    /// Evaluations actually executed (cache hits excluded).
+    pub tasks_run: u64,
+    /// Batches submitted through the engine.
+    pub batches: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    #[serde(skip)]
+    pub threads: u64,
+    #[serde(skip)]
+    pub wall_ns: u64,
+    #[serde(skip)]
+    pub stages: Vec<StageTiming>,
+}
+
+impl ExecReport {
+    /// Snapshot of an engine plus a cache's counters.
+    pub fn collect<V>(engine: &Engine, cache: &EvalCache<V>) -> Self {
+        let mut r = engine.report();
+        let s = cache.stats();
+        r.cache_hits = s.hits;
+        r.cache_misses = s.misses;
+        r
+    }
+
+    /// Counters accrued since `base` was captured with
+    /// [`Engine::report`]. Flows take a baseline at entry and report the
+    /// delta at exit, so a caller reusing one engine across several runs
+    /// still gets per-run numbers (the cache is per-run already).
+    pub fn since<V>(engine: &Engine, cache: &EvalCache<V>, base: &ExecReport) -> Self {
+        let mut r = Self::collect(engine, cache);
+        r.tasks_run = r.tasks_run.saturating_sub(base.tasks_run);
+        r.batches = r.batches.saturating_sub(base.batches);
+        r.wall_ns = r.wall_ns.saturating_sub(base.wall_ns);
+        let skip = base.stages.len().min(r.stages.len());
+        r.stages.drain(..skip);
+        r
+    }
+}
+
+/// Work-stealing evaluation engine. Construct once per run and thread it
+/// through the flow; see [`Engine::from_env`] for the standard knob.
+#[derive(Debug)]
+pub struct Engine {
+    threads: usize,
+    tasks_run: AtomicU64,
+    batches: AtomicU64,
+    wall_ns: AtomicU64,
+    stages: Mutex<Vec<StageTiming>>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Engine {
+    fn with_thread_count(threads: usize) -> Self {
+        Engine {
+            threads: threads.clamp(1, MAX_THREADS),
+            tasks_run: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            wall_ns: AtomicU64::new(0),
+            stages: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pool sized from `EDA_EXEC_THREADS`, falling back to available
+    /// parallelism. `EDA_EXEC_THREADS=1` selects the sequential path.
+    pub fn from_env() -> Self {
+        let requested = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        if requested > 0 {
+            return Self::with_thread_count(requested);
+        }
+        let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self::with_thread_count(avail)
+    }
+
+    /// Deterministic single-thread fallback (no worker threads spawned).
+    pub fn sequential() -> Self {
+        Self::with_thread_count(1)
+    }
+
+    /// Pool with an explicit thread count (clamped to `1..=64`).
+    pub fn with_threads(threads: usize) -> Self {
+        Self::with_thread_count(threads)
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+
+    /// Counter snapshot (cache fields zero — see [`ExecReport::collect`]).
+    pub fn report(&self) -> ExecReport {
+        ExecReport {
+            tasks_run: self.tasks_run.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            cache_hits: 0,
+            cache_misses: 0,
+            threads: self.threads as u64,
+            wall_ns: self.wall_ns.load(Ordering::Relaxed),
+            stages: self.stages.lock().clone(),
+        }
+    }
+
+    /// Maps `f` over `items`, returning results in input order. The
+    /// parallel path distributes `(index, item)` tasks through a global
+    /// injector to LIFO workers and writes each result into its input
+    /// slot, so output is identical to the sequential path.
+    pub fn map_indexed<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        self.map_stage("batch", items, f)
+    }
+
+    /// [`map_indexed`](Self::map_indexed) with a stage label recorded in
+    /// the per-stage wall-clock table.
+    pub fn map_stage<T, R, F>(&self, stage: &str, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        let start = Instant::now();
+        let workers = self.threads.min(n.max(1));
+        let out: Vec<R> = if workers <= 1 {
+            items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect()
+        } else {
+            let injector = Injector::new();
+            for task in items.into_iter().enumerate() {
+                injector.push(task);
+            }
+            let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+            crossbeam::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|_| {
+                        let local: Worker<(usize, T)> = Worker::new_lifo();
+                        loop {
+                            let task = local
+                                .pop()
+                                .or_else(|| injector.steal_batch_and_pop(&local).success());
+                            match task {
+                                Some((i, t)) => {
+                                    let r = f(i, t);
+                                    *slots[i].lock() = Some(r);
+                                }
+                                None => break,
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("exec worker panicked");
+            slots
+                .into_iter()
+                .map(|m| m.into_inner().expect("exec: unfilled result slot"))
+                .collect()
+        };
+        let wall = start.elapsed().as_nanos() as u64;
+        self.tasks_run.fetch_add(n as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.wall_ns.fetch_add(wall, Ordering::Relaxed);
+        self.stages.lock().push(StageTiming {
+            stage: stage.to_string(),
+            tasks: n as u64,
+            wall_ns: wall,
+        });
+        out
+    }
+
+    /// Batch scoring with cache + within-batch deduplication.
+    ///
+    /// Each item is keyed by `key_of`; items whose key is already cached
+    /// — or already claimed by an earlier item in the same batch — are
+    /// never evaluated (both count as cache hits; the hit counter is
+    /// bumped in input order, before any evaluation, so counts are
+    /// independent of thread scheduling). Unique items run through the
+    /// pool and fan back out to every index sharing their key.
+    pub fn score_batch<T, V, K, F>(
+        &self,
+        cache: &EvalCache<V>,
+        items: &[T],
+        key_of: K,
+        eval: F,
+    ) -> Vec<V>
+    where
+        T: Sync,
+        V: Clone + Send,
+        K: Fn(&T) -> u64,
+        F: Fn(usize, &T) -> V + Sync,
+    {
+        self.score_batch_stage("score", cache, items, key_of, eval)
+    }
+
+    /// [`score_batch`](Self::score_batch) with a stage label.
+    pub fn score_batch_stage<T, V, K, F>(
+        &self,
+        stage: &str,
+        cache: &EvalCache<V>,
+        items: &[T],
+        key_of: K,
+        eval: F,
+    ) -> Vec<V>
+    where
+        T: Sync,
+        V: Clone + Send,
+        K: Fn(&T) -> u64,
+        F: Fn(usize, &T) -> V + Sync,
+    {
+        let keys: Vec<u64> = items.iter().map(&key_of).collect();
+        // Sequential bookkeeping pass: resolve each index to a cached
+        // value, a duplicate of an earlier index, or fresh work.
+        let mut resolved: Vec<Option<V>> = Vec::with_capacity(items.len());
+        let mut first_claim: HashMap<u64, usize> = HashMap::new();
+        let mut fresh: Vec<usize> = Vec::new();
+        for (i, &key) in keys.iter().enumerate() {
+            match first_claim.entry(key) {
+                Entry::Occupied(_) => {
+                    // Within-batch duplicate: scored once, shared here.
+                    cache.hits.fetch_add(1, Ordering::Relaxed);
+                    resolved.push(None);
+                }
+                Entry::Vacant(slot) => {
+                    if let Some(v) = cache.lookup(key) {
+                        resolved.push(Some(v));
+                    } else {
+                        slot.insert(i);
+                        fresh.push(i);
+                        resolved.push(None);
+                    }
+                }
+            }
+        }
+        // Evaluate only the fresh indices, in parallel.
+        let fresh_values = self.map_stage(stage, fresh.clone(), |_, i| eval(i, &items[i]));
+        let mut by_key: HashMap<u64, V> = HashMap::with_capacity(fresh.len());
+        for (i, v) in fresh.into_iter().zip(fresh_values) {
+            cache.insert(keys[i], v.clone());
+            by_key.insert(keys[i], v);
+        }
+        resolved
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| match slot {
+                Some(v) => v,
+                None => by_key
+                    .get(&keys[i])
+                    .cloned()
+                    .expect("exec: fresh evaluation missing for key"),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        for engine in [Engine::sequential(), Engine::with_threads(8)] {
+            let items: Vec<u64> = (0..100).collect();
+            let out = engine.map_indexed(items, |i, x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            assert_eq!(out, (0..100u64).map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let work = |_, x: u64| x.wrapping_mul(0x9e37_79b9).rotate_left(13) ^ 0xabcd;
+        let items: Vec<u64> = (0..500).map(|i| i * 7 + 3).collect();
+        let seq = Engine::sequential().map_indexed(items.clone(), work);
+        let par = Engine::with_threads(6).map_indexed(items, work);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn counters_track_batches_and_tasks() {
+        let e = Engine::with_threads(4);
+        e.map_stage("a", vec![1, 2, 3], |_, x| x);
+        e.map_stage("b", vec![4, 5], |_, x| x);
+        let r = e.report();
+        assert_eq!(r.tasks_run, 5);
+        assert_eq!(r.batches, 2);
+        assert_eq!(r.stages.len(), 2);
+        assert_eq!(r.stages[0].stage, "a");
+        assert_eq!(r.stages[0].tasks, 3);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let e = Engine::with_threads(4);
+        let out: Vec<u64> = e.map_indexed(Vec::<u64>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn eval_key_sensitive_to_every_component() {
+        let base = EvalKey::new().text("module m").text("m").word(7).finish();
+        assert_ne!(base, EvalKey::new().text("module n").text("m").word(7).finish());
+        assert_ne!(base, EvalKey::new().text("module m").text("n").word(7).finish());
+        assert_ne!(base, EvalKey::new().text("module m").text("m").word(8).finish());
+        // Length prefixing: shifting a byte across a boundary changes the key.
+        assert_ne!(
+            EvalKey::new().text("ab").text("c").finish(),
+            EvalKey::new().text("a").text("bc").finish()
+        );
+        // And the same inputs always key identically.
+        assert_eq!(base, EvalKey::new().text("module m").text("m").word(7).finish());
+    }
+
+    #[test]
+    fn eval_key_distinguishes_testbench_vectors() {
+        let a = EvalKey::new().text("src").words(&[1, 2, 3]).finish();
+        let b = EvalKey::new().text("src").words(&[1, 2, 4]).finish();
+        let c = EvalKey::new().text("src").words(&[1, 2]).finish();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn cache_hit_miss_accounting() {
+        let c: EvalCache<u32> = EvalCache::new();
+        assert_eq!(c.lookup(42), None);
+        c.insert(42, 7);
+        assert_eq!(c.lookup(42), Some(7));
+        assert_eq!(c.lookup(43), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 1));
+        let mut calls = 0;
+        let v = c.get_or_insert_with(42, || {
+            calls += 1;
+            0
+        });
+        assert_eq!(v, 7);
+        assert_eq!(calls, 0, "cached key must not re-evaluate");
+    }
+
+    #[test]
+    fn concurrent_insert_get_is_consistent() {
+        let c: EvalCache<u64> = EvalCache::new();
+        let e = Engine::with_threads(8);
+        // 400 tasks over 50 distinct keys, all racing get_or_insert_with.
+        let evals = AtomicU64::new(0);
+        let out = e.map_indexed((0..400u64).collect(), |_, i| {
+            let key = i % 50;
+            c.get_or_insert_with(key, || {
+                evals.fetch_add(1, Ordering::Relaxed);
+                key * 3
+            })
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64 % 50) * 3);
+        }
+        assert_eq!(c.len(), 50);
+        assert_eq!(c.hits() + c.misses(), 400);
+        // Racing duplicate evaluations are allowed but bounded by misses.
+        assert!(evals.load(Ordering::Relaxed) >= 50);
+        assert_eq!(evals.load(Ordering::Relaxed), c.misses());
+    }
+
+    #[test]
+    fn score_batch_dedups_and_fans_out() {
+        let c: EvalCache<u64> = EvalCache::new();
+        let e = Engine::with_threads(4);
+        let evals = AtomicU64::new(0);
+        let items = vec!["x", "y", "x", "z", "y", "x"];
+        let out = e.score_batch(
+            &c,
+            &items,
+            |s| EvalKey::new().text(s).finish(),
+            |_, s| {
+                evals.fetch_add(1, Ordering::Relaxed);
+                s.len() as u64 + s.bytes().map(u64::from).sum::<u64>()
+            },
+        );
+        assert_eq!(out.len(), 6);
+        assert_eq!(out[0], out[2]);
+        assert_eq!(out[0], out[5]);
+        assert_eq!(out[1], out[4]);
+        assert_eq!(evals.load(Ordering::Relaxed), 3, "three distinct candidates");
+        assert_eq!(c.hits(), 3, "three within-batch duplicates");
+        assert_eq!(c.misses(), 3);
+        // A second identical batch is served fully from cache.
+        let again = e.score_batch(&c, &items, |s| EvalKey::new().text(s).finish(), |_, s| {
+            evals.fetch_add(1, Ordering::Relaxed);
+            s.len() as u64
+        });
+        assert_eq!(again, out);
+        assert_eq!(evals.load(Ordering::Relaxed), 3);
+        assert_eq!(c.hits(), 9);
+    }
+
+    #[test]
+    fn score_batch_counters_match_across_modes() {
+        let items: Vec<u32> = vec![1, 2, 1, 3, 2, 1, 4];
+        let run = |engine: Engine| {
+            let c: EvalCache<u32> = EvalCache::new();
+            let out = engine.score_batch(&c, &items, |&x| x as u64, |_, &x| x * 10);
+            (out, c.hits(), c.misses())
+        };
+        let (seq, seq_h, seq_m) = run(Engine::sequential());
+        let (par, par_h, par_m) = run(Engine::with_threads(8));
+        assert_eq!(seq, par);
+        assert_eq!((seq_h, seq_m), (par_h, par_m));
+        assert_eq!((seq_h, seq_m), (3, 4));
+    }
+
+    #[test]
+    fn exec_report_serializes_without_timing_fields() {
+        let e = Engine::with_threads(3);
+        e.map_indexed(vec![1, 2], |_, x| x);
+        let mut s = serde::Serializer::new(false);
+        e.report().serialize(&mut s);
+        let json = s.into_string();
+        assert!(json.contains("\"tasks_run\":2"));
+        assert!(!json.contains("wall_ns"), "timing must not serialize: {json}");
+        assert!(!json.contains("threads"), "thread count must not serialize: {json}");
+    }
+
+    #[test]
+    fn since_reports_per_run_deltas_on_a_reused_engine() {
+        // A caller may thread one engine through several flow runs; each
+        // run must still report only its own counters.
+        let e = Engine::with_threads(4);
+        let mut reports = Vec::new();
+        for _ in 0..2 {
+            let cache: EvalCache<u64> = EvalCache::new();
+            let base = e.report();
+            e.score_batch(&cache, &[1u64, 2, 2, 3], |x| *x, |_, x| x * 10);
+            reports.push(ExecReport::since(&e, &cache, &base));
+        }
+        // Serialized form (counters only — timing is skipped) must match
+        // exactly between the two runs; raw wall-clock may differ.
+        let json: Vec<String> = reports
+            .iter()
+            .map(|r| {
+                let mut s = serde::Serializer::new(false);
+                r.serialize(&mut s);
+                s.into_string()
+            })
+            .collect();
+        assert_eq!(json[0], json[1]);
+        assert_eq!(reports[0].tasks_run, 3);
+        assert_eq!(reports[0].batches, 1);
+        assert_eq!(reports[0].cache_hits, 1);
+        assert_eq!(reports[0].cache_misses, 3);
+        assert_eq!(reports[0].stages.len(), 1);
+    }
+
+    #[test]
+    fn env_knob_forces_sequential() {
+        // Parsed value 1 => sequential engine.
+        std::env::set_var(THREADS_ENV, "1");
+        let e = Engine::from_env();
+        std::env::remove_var(THREADS_ENV);
+        assert!(!e.is_parallel());
+        assert_eq!(e.threads(), 1);
+    }
+}

@@ -227,7 +227,7 @@ mod tests {
         let (lf, s) = sched("int f(int a) { return ((a + 1) * 2) + 3; }", "f");
         let entry = &s.blocks[lf.entry as usize];
         // Length must cover add -> mul (3 cycles) -> add chain.
-        assert!(entry.length >= 1 + 3 + 1, "length {}", entry.length);
+        assert!(entry.length > 1 + 3, "length {}", entry.length);
     }
 
     #[test]

@@ -30,6 +30,7 @@ mod corpus;
 pub use corpus::{corpus, BrokenProgram};
 
 use eda_cmini::{hls_compat_scan, parse, Incompat};
+use eda_exec::{Engine, EvalCache, EvalKey};
 use eda_hls::{cosim, random_inputs, HlsOptions, HlsProject, PpaReport};
 use eda_llm::{prompts, ChatModel, ChatRequest};
 use eda_rag::{repair_corpus, Index};
@@ -193,6 +194,21 @@ pub fn run_repair(
     }
 }
 
+/// Runs the full repair pipeline over a batch of programs as one engine
+/// batch. Each program's pipeline is independent and internally seeded,
+/// so reports come back in corpus order and are bit-identical to calling
+/// [`run_repair`] in a loop — parallelism only changes wall-clock.
+pub fn run_repair_batch(
+    model: &dyn ChatModel,
+    programs: &[BrokenProgram],
+    cfg: &RepairConfig,
+    engine: &Engine,
+) -> Vec<RepairReport> {
+    engine.map_stage("repair-batch", programs.to_vec(), |_, p| {
+        run_repair(model, p.source, p.func, cfg)
+    })
+}
+
 /// Crude capability probe: tier names encode capability in this workspace;
 /// unknown models get a mid estimate. (A real deployment would calibrate
 /// per-model detection rates offline, exactly like this.)
@@ -253,16 +269,24 @@ pub fn optimize_ppa(
     let mut best_source = source.to_string();
     let mut steps = Vec::new();
 
+    // Pragma moves frequently regenerate a source already evaluated (the
+    // same directive applied to the same loop), so evaluations are
+    // memoized per (source, func, seed).
+    let cache: EvalCache<Option<(PpaReport, bool)>> = EvalCache::new();
     let eval = |src: &str| -> Option<(PpaReport, bool)> {
-        let prog = parse(src).ok()?;
-        let proj = HlsProject::compile(&prog, func, HlsOptions::default()).ok()?;
-        let inputs = random_inputs(&proj.lowered, 6, seed, 40, 50);
-        let outcome = cosim(&prog, func, &proj.lowered, &proj.schedule, &inputs, proj.options.fsmd);
-        // PPA from the first input's activity (representative run).
-        let mut arrays = inputs.first().map(|i| i.arrays.clone()).unwrap_or_default();
-        let scalars = inputs.first().map(|i| i.scalars.clone()).unwrap_or_default();
-        let run = proj.run(&scalars, &mut arrays).ok()?;
-        Some((proj.ppa(run.activity), outcome.equivalent() || outcome.compared == 0))
+        let key = EvalKey::new().text(src).text(func).word(seed).finish();
+        cache.get_or_insert_with(key, || {
+            let prog = parse(src).ok()?;
+            let proj = HlsProject::compile(&prog, func, HlsOptions::default()).ok()?;
+            let inputs = random_inputs(&proj.lowered, 6, seed, 40, 50);
+            let outcome =
+                cosim(&prog, func, &proj.lowered, &proj.schedule, &inputs, proj.options.fsmd);
+            // PPA from the first input's activity (representative run).
+            let mut arrays = inputs.first().map(|i| i.arrays.clone()).unwrap_or_default();
+            let scalars = inputs.first().map(|i| i.scalars.clone()).unwrap_or_default();
+            let run = proj.run(&scalars, &mut arrays).ok()?;
+            Some((proj.ppa(run.activity), outcome.equivalent() || outcome.compared == 0))
+        })
     };
 
     let Some((initial_ppa, _)) = eval(source) else {

@@ -10,6 +10,7 @@
 //! loop.
 
 use crate::virtual_clock::VirtualClock;
+use eda_exec::Engine;
 use eda_riscv::{measure_program_power, AluOp, Instr, MulOp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -127,8 +128,19 @@ pub fn evaluate_genome(genome: &[Instr], harness_trips: i32) -> f64 {
     measure_program_power(&prog).map(|r| r.power_w).unwrap_or(0.0)
 }
 
-/// Runs the GP search under its virtual time budget.
+/// Runs the GP search under its virtual time budget on the
+/// process-default engine (`EDA_EXEC_THREADS`).
 pub fn run_gp(cfg: &GpConfig) -> OptRun {
+    run_gp_with(cfg, &Engine::from_env())
+}
+
+/// Runs the GP search on an explicit [`Engine`]. The initial population
+/// is scored as one parallel batch (genomes are drawn from the RNG
+/// up-front in the same order as the sequential path, and bookkeeping is
+/// applied in index order, so outcomes are bit-identical); the
+/// steady-state generational loop stays sequential because each child
+/// depends on the population it is bred from.
+pub fn run_gp_with(cfg: &GpConfig, engine: &Engine) -> OptRun {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x006e_7a51);
     let mut clock = VirtualClock::new();
     let budget = cfg.virtual_hours * 3600.0;
@@ -159,20 +171,32 @@ pub fn run_gp(cfg: &GpConfig) -> OptRun {
         (genome, score)
     };
 
-    // Initial population.
+    // Initial population: draw every genome first (identical RNG stream
+    // to the sequential path — the budget check is simulated, since the
+    // real clock only advances on evaluation), score them as one engine
+    // batch, then apply clock/best/history bookkeeping in index order.
+    let mut initial: Vec<Vec<Instr>> = Vec::with_capacity(cfg.population);
+    let mut simulated_clock = clock.seconds();
     for _ in 0..cfg.population {
-        if clock.seconds() >= budget {
+        if simulated_clock >= budget {
             break;
         }
-        let genome: Vec<Instr> = (0..cfg.genome_len).map(|_| random_instr(&mut rng)).collect();
-        population.push(eval(
-            genome,
-            &mut clock,
-            &mut evaluations,
-            &mut zero_scores,
-            &mut best,
-            &mut history,
-        ));
+        initial.push((0..cfg.genome_len).map(|_| random_instr(&mut rng)).collect());
+        simulated_clock += cfg.seconds_per_eval;
+    }
+    let initial_scores =
+        engine.map_stage("gp-init", initial.clone(), |_, g| evaluate_genome(&g, cfg.harness_trips));
+    for (genome, score) in initial.into_iter().zip(initial_scores) {
+        clock.advance(cfg.seconds_per_eval);
+        evaluations += 1;
+        if score <= 0.0 {
+            zero_scores += 1;
+        }
+        if score > best.0 {
+            best = (score, genome.clone());
+        }
+        history.push((clock.hours(), best.0));
+        population.push((genome, score));
     }
 
     // Generational loop with tournament selection and elitism.

@@ -1,0 +1,241 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the subset the workspace's execution engine builds on:
+//!
+//! * [`scope`] — structured scoped threads (backed by `std::thread::scope`,
+//!   which adopted crossbeam's design in Rust 1.63);
+//! * [`deque`] — an `Injector` / `Worker` / `Stealer` work-stealing trio.
+//!   The sharded queues use small mutex-guarded ring buffers rather than
+//!   the upstream lock-free Chase-Lev deque; the *scheduling behaviour*
+//!   (LIFO owner pops, FIFO steals from the opposite end, batched injector
+//!   drains) matches upstream, which is what the engine's throughput and
+//!   determinism properties rely on.
+
+/// Structured scoped-thread entry point, mirroring `crossbeam::scope`.
+///
+/// Unlike upstream this cannot observe child panics as an `Err` (std's
+/// scope propagates them), so the `Result` is always `Ok` — kept so call
+/// sites written against crossbeam's signature compile unchanged.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(Scope::wrap(s))))
+}
+
+/// Wrapper over [`std::thread::Scope`] exposing crossbeam's `spawn(|_| ..)`
+/// closure shape (the closure receives the scope again for nested spawns).
+#[repr(transparent)]
+pub struct Scope<'scope, 'env: 'scope>(std::thread::Scope<'scope, 'env>);
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    fn wrap<'a>(s: &'a std::thread::Scope<'scope, 'env>) -> &'a Self {
+        // SAFETY: repr(transparent) newtype over std's Scope.
+        unsafe { &*(s as *const std::thread::Scope<'scope, 'env> as *const Self) }
+    }
+
+    pub fn spawn<F, T>(&'scope self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.0.spawn(move || f(Scope::wrap(&self.0)))
+    }
+}
+
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt, mirroring `crossbeam_deque::Steal`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        Empty,
+        Success(T),
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// Global FIFO injector queue.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Injector { q: Mutex::new(VecDeque::new()) }
+        }
+
+        pub fn push(&self, task: T) {
+            self.q.lock().unwrap().push_back(task);
+        }
+
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock().unwrap().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch into `dest`'s local queue and pops one task.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = self.q.lock().unwrap();
+            let take = (q.len() / 2).clamp(usize::from(!q.is_empty()), 16);
+            if take == 0 {
+                return Steal::Empty;
+            }
+            let mut local = dest.inner.lock().unwrap();
+            for _ in 0..take {
+                match q.pop_front() {
+                    Some(v) => local.push_back(v),
+                    None => break,
+                }
+            }
+            match local.pop_back() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().unwrap().is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            self.q.lock().unwrap().len()
+        }
+    }
+
+    /// A worker-owned deque: the owner pushes/pops LIFO at the back,
+    /// thieves steal FIFO from the front.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Default for Worker<T> {
+        fn default() -> Self {
+            Self::new_lifo()
+        }
+    }
+
+    impl<T> Worker<T> {
+        pub fn new_lifo() -> Self {
+            Worker { inner: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        pub fn push(&self, task: T) {
+            self.inner.lock().unwrap().push_back(task);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap().pop_back()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    /// Handle other workers use to steal from a [`Worker`].
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().unwrap().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn scoped_threads_join_results() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::scope(|s| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| s.spawn(move |_| x * 10))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn worker_lifo_stealer_fifo() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(1)); // oldest stolen first
+        assert_eq!(w.pop(), Some(3)); // newest popped first
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn injector_batch_pop_conserves_tasks() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        let got = inj.steal_batch_and_pop(&w);
+        assert!(matches!(got, Steal::Success(_)));
+        // One task popped, the rest split between the local queue and the
+        // injector — nothing lost.
+        assert_eq!(1 + w.len() + inj.len(), 10);
+    }
+}

@@ -1,0 +1,385 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of proptest this workspace's property tests use:
+//! the [`proptest!`] macro, `any::<T>()`, integer-range strategies,
+//! simple character-class string patterns (`"[a-z]{0,24}"`), per-test
+//! deterministic case generation, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with
+//! the sampled inputs in the message) and string patterns support only
+//! `[class]{m,n}` / `[class]{n}` / `[class]*` / `[class]+` segments plus
+//! literals — exactly the shapes used in `tests/`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError, TestRunner,
+    };
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Error type produced by `prop_assert!` failures (panics in this shim,
+/// kept for signature compatibility).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// Deterministic case runner: hashes the test name so each test gets an
+/// independent but reproducible stream.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    pub fn new(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        }
+        h ^= (case as u64) << 32 | 0x9e37;
+        TestRunner { rng: StdRng::seed_from_u64(h) }
+    }
+
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A value generator. `S: Strategy` samples one value per test case.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Mix of finite magnitudes; avoids NaN/inf (like proptest's default).
+        let exp = rng.gen_range(-60i32..60);
+        let mant: f64 = rng.gen();
+        (mant * 2.0 - 1.0) * (2f64).powi(exp)
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — uniform over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_strategy_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// String pattern strategy: a `&str` is interpreted as a simplified regex
+/// of literal characters and `[class]{m,n}` segments.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '[' {
+            // Character class.
+            let mut class: Vec<char> = Vec::new();
+            i += 1;
+            while i < chars.len() && chars[i] != ']' {
+                let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                    i += 1;
+                    unescape(chars[i])
+                } else {
+                    chars[i]
+                };
+                // Range like `a-z` (the '-' must not be last-in-class).
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    let hi = chars[i + 2];
+                    for v in (c as u32)..=(hi as u32) {
+                        if let Some(ch) = char::from_u32(v) {
+                            class.push(ch);
+                        }
+                    }
+                    i += 3;
+                } else {
+                    class.push(c);
+                    i += 1;
+                }
+            }
+            i += 1; // ']'
+            let (lo, hi) = parse_repeat(&chars, &mut i);
+            let n = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+            for _ in 0..n {
+                if !class.is_empty() {
+                    out.push(class[rng.gen_range(0..class.len())]);
+                }
+            }
+        } else {
+            let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 1;
+                unescape(chars[i])
+            } else {
+                chars[i]
+            };
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        c => c,
+    }
+}
+
+/// Parses a trailing `{m,n}`, `{n}`, `*`, `+`, or `?` repetition.
+fn parse_repeat(chars: &[char], i: &mut usize) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| *i + p)
+                .unwrap_or(chars.len());
+            let spec: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            if let Some((a, b)) = spec.split_once(',') {
+                let lo = a.trim().parse().unwrap_or(0);
+                let hi = b.trim().parse().unwrap_or(lo);
+                (lo, hi.max(lo))
+            } else {
+                let n = spec.trim().parse().unwrap_or(1);
+                (n, n)
+            }
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+/// Strategy-combinator module namespace placeholder (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, StdRng};
+    use rand::Rng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// `prop::collection::vec(strategy, min..=max)`.
+    pub fn vec<S: Strategy>(
+        element: S,
+        size: std::ops::RangeInclusive<usize>,
+    ) -> VecStrategy<S> {
+        VecStrategy { element, min: *size.start(), max: *size.end() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.min..=self.max);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prop {
+    pub use super::collection;
+}
+
+/// Asserts inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Equality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Inequality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// The `proptest!` block macro: expands each contained
+/// `#[test] fn name(arg in strategy, ...) { body }` into a plain test
+/// that samples `cases` deterministic inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..cfg.cases {
+                let mut __runner = $crate::TestRunner::new(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::sample(&$strat, __runner.rng());)*
+                let __dbg = format!(concat!($("  ", stringify!($arg), " = {:?}\n"),*), $(&$arg),*);
+                let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| { $body }));
+                if let Err(e) = __result {
+                    eprintln!("proptest case {} failed with inputs:\n{}", __case, __dbg);
+                    ::std::panic::resume_unwind(e);
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_sampling_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = sample_pattern("[a-z]{0,24}", &mut rng);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = sample_pattern("[ -~\\n]{0,200}", &mut rng);
+            assert!(t.len() <= 200);
+            assert!(t.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic_per_name_and_case() {
+        let a: u64 = any::<u64>().sample(TestRunner::new("t", 3).rng());
+        let b: u64 = any::<u64>().sample(TestRunner::new("t", 3).rng());
+        let c: u64 = any::<u64>().sample(TestRunner::new("t", 4).rng());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_expansion_works(x in any::<u32>(), w in 1u32..=64, s in "[a-c]{1,4}") {
+            prop_assert!((1..=64).contains(&w));
+            prop_assert_eq!(x, x);
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+        }
+    }
+}

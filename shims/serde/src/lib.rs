@@ -1,0 +1,323 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the slice of serde it uses: the [`Serialize`] trait, a derive macro
+//! (re-exported from the local `serde_derive`), and a JSON writer that
+//! `serde_json` (also vendored) drives. The data model is collapsed to
+//! exactly what this workspace serializes: structs with named fields,
+//! enums (unit / tuple / struct variants), integers, floats, bools,
+//! strings, options, sequences, and tuples.
+//!
+//! Output conventions match upstream `serde_json`: unit variants render
+//! as strings, newtype variants as one-entry objects, `None` as `null`,
+//! non-finite floats as `null`, and integral floats keep a `.0` suffix.
+
+pub use serde_derive::Serialize;
+
+/// A type that can write itself into a [`Serializer`].
+pub trait Serialize {
+    fn serialize(&self, s: &mut Serializer);
+}
+
+/// Pretty/compact JSON writer.
+///
+/// Layout state (comma insertion, indentation) lives here so both the
+/// derive-generated code and the manual impls below stay trivial.
+pub struct Serializer {
+    out: String,
+    pretty: bool,
+    indent: usize,
+    /// Whether the current nesting level already holds an element.
+    has_element: Vec<bool>,
+}
+
+impl Serializer {
+    pub fn new(pretty: bool) -> Self {
+        Serializer { out: String::new(), pretty, indent: 0, has_element: Vec::new() }
+    }
+
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    fn newline_indent(&mut self) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.indent {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    /// Called before writing an element of an object/array: inserts the
+    /// separating comma and indentation.
+    fn element_prelude(&mut self) {
+        if let Some(has) = self.has_element.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+        if !self.has_element.is_empty() {
+            self.newline_indent();
+        }
+    }
+
+    pub fn begin_object(&mut self) {
+        self.out.push('{');
+        self.indent += 1;
+        self.has_element.push(false);
+    }
+
+    pub fn end_object(&mut self) {
+        let had = self.has_element.pop().unwrap_or(false);
+        self.indent -= 1;
+        if had {
+            self.newline_indent();
+        }
+        self.out.push('}');
+    }
+
+    /// Writes an object key; the caller serializes the value next.
+    pub fn key(&mut self, name: &str) {
+        self.element_prelude();
+        self.write_json_string(name);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+    }
+
+    pub fn begin_array(&mut self) {
+        self.out.push('[');
+        self.indent += 1;
+        self.has_element.push(false);
+    }
+
+    pub fn end_array(&mut self) {
+        let had = self.has_element.pop().unwrap_or(false);
+        self.indent -= 1;
+        if had {
+            self.newline_indent();
+        }
+        self.out.push(']');
+    }
+
+    /// Writes one array element.
+    pub fn element<T: Serialize + ?Sized>(&mut self, value: &T) {
+        self.element_prelude();
+        value.serialize(self);
+    }
+
+    pub fn write_null(&mut self) {
+        self.out.push_str("null");
+    }
+
+    pub fn write_bool(&mut self, v: bool) {
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    pub fn write_i64(&mut self, v: i64) {
+        self.out.push_str(&v.to_string());
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        self.out.push_str(&v.to_string());
+    }
+
+    pub fn write_f64(&mut self, v: f64) {
+        if !v.is_finite() {
+            // serde_json cannot represent non-finite floats; emit null.
+            self.write_null();
+        } else if v == v.trunc() && v.abs() < 1e15 {
+            // Keep serde_json's "1.0" (not "1") convention.
+            self.out.push_str(&format!("{:.1}", v));
+        } else {
+            self.out.push_str(&format!("{}", v));
+        }
+    }
+
+    pub fn write_str(&mut self, v: &str) {
+        self.write_json_string(v);
+    }
+
+    fn write_json_string(&mut self, v: &str) {
+        self.out.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                s.write_i64(*self as i64);
+            }
+        }
+    )*};
+}
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                s.write_u64(*self as u64);
+            }
+        }
+    )*};
+}
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_bool(*self);
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_f64(*self);
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_f64(*self as f64);
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_str(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_str(self);
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self, s: &mut Serializer) {
+        let mut buf = [0u8; 4];
+        s.write_str(self.encode_utf8(&mut buf));
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, s: &mut Serializer) {
+        (**self).serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        match self {
+            Some(v) => v.serialize(s),
+            None => s.write_null(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, s: &mut Serializer) {
+        s.begin_array();
+        for v in self {
+            s.element(v);
+        }
+        s.end_array();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, s: &mut Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        (**self).serialize(s);
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self, s: &mut Serializer) {
+                s.begin_array();
+                $(s.element(&self.$idx);)+
+                s.end_array();
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_compact<T: Serialize>(v: &T) -> String {
+        let mut s = Serializer::new(false);
+        v.serialize(&mut s);
+        s.into_string()
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(to_compact(&1u32), "1");
+        assert_eq!(to_compact(&-3i64), "-3");
+        assert_eq!(to_compact(&true), "true");
+        assert_eq!(to_compact(&1.0f64), "1.0");
+        assert_eq!(to_compact(&1.5f64), "1.5");
+        assert_eq!(to_compact(&f64::INFINITY), "null");
+        assert_eq!(to_compact(&"a\"b\n"), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(to_compact(&vec![1, 2, 3]), "[1,2,3]");
+        assert_eq!(to_compact(&Some(2u8)), "2");
+        assert_eq!(to_compact(&Option::<u8>::None), "null");
+        assert_eq!(to_compact(&(1.5f64, 2.0f64)), "[1.5,2.0]");
+    }
+
+    #[test]
+    fn pretty_object_layout() {
+        let mut s = Serializer::new(true);
+        s.begin_object();
+        s.key("a");
+        1u8.serialize(&mut s);
+        s.key("b");
+        vec!["x"].serialize(&mut s);
+        s.end_object();
+        assert_eq!(s.into_string(), "{\n  \"a\": 1,\n  \"b\": [\n    \"x\"\n  ]\n}");
+    }
+}

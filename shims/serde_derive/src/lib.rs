@@ -1,0 +1,273 @@
+//! `#[derive(Serialize)]` for the vendored serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote — the
+//! build environment is offline). Supports the shapes this workspace
+//! uses: structs with named fields, enums with unit / tuple / struct
+//! variants, and the `#[serde(skip)]` field attribute. Generics are not
+//! supported and produce a compile error naming the offending type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    match generate(&tokens) {
+        Ok(code) => code.parse().expect("derive(Serialize): generated code must parse"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(tokens: &[TokenTree]) -> Result<String, String> {
+    let mut i = 0;
+    // Skip outer attributes (doc comments etc.) and visibility.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // '#' + bracket group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                break;
+            }
+            _ => return Err(format!("derive(Serialize): unexpected token `{}`", tokens[i])),
+        }
+    }
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("derive(Serialize): expected struct/enum, got `{other}`")),
+    };
+    let name = match &tokens[i + 1] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("derive(Serialize): expected type name, got `{other}`")),
+    };
+    if matches!(&tokens.get(i + 2), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("derive(Serialize): generics on `{name}` are not supported"));
+    }
+    let body = tokens[i + 2..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .ok_or_else(|| format!("derive(Serialize): `{name}` has no braced body"))?;
+
+    let body_code = if kind == "struct" {
+        struct_body(&parse_fields(body)?)
+    } else {
+        enum_body(&name, &parse_variants(body)?)?
+    };
+
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn serialize(&self, s: &mut ::serde::Serializer) {{\n{body_code}    }}\n\
+         }}\n"
+    ))
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+/// True when an attribute token group is `serde(... skip ...)`.
+fn attr_is_serde_skip(group: &TokenStream) -> bool {
+    let items: Vec<TokenTree> = group.clone().into_iter().collect();
+    match items.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => items.iter().any(|t| {
+            matches!(t, TokenTree::Group(g)
+                if g.stream().into_iter().any(|x|
+                    matches!(x, TokenTree::Ident(ref id) if id.to_string() == "skip")))
+        }),
+        _ => false,
+    }
+}
+
+/// Parses `attrs* vis? name : type ,` sequences from a brace body.
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        // Attributes.
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                if attr_is_serde_skip(&g.stream()) {
+                    skip = true;
+                }
+            }
+            i += 2;
+        }
+        // Visibility.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        let Some(TokenTree::Ident(fname)) = tokens.get(i) else {
+            if tokens.get(i).is_none() {
+                break;
+            }
+            return Err(format!("derive(Serialize): expected field name, got `{}`", tokens[i]));
+        };
+        fields.push(Field { name: fname.to_string(), skip });
+        // Skip `: type` up to the next top-level comma (angle-bracket aware).
+        let mut angle = 0i32;
+        i += 1;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Parses enum variants: `attrs* Name (group)? ,`.
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(vname)) = tokens.get(i) else {
+            if tokens.get(i).is_none() {
+                break;
+            }
+            return Err(format!("derive(Serialize): expected variant, got `{}`", tokens[i]));
+        };
+        let name = vname.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut arity = if inner.is_empty() { 0 } else { 1 };
+                let mut angle = 0i32;
+                for t in &inner {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => arity += 1,
+                        _ => {}
+                    }
+                }
+                i += 1;
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream())?;
+                i += 1;
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant `= expr` and the trailing comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn struct_body(fields: &[Field]) -> String {
+    let mut code = String::from("        s.begin_object();\n");
+    for f in fields.iter().filter(|f| !f.skip) {
+        code.push_str(&format!(
+            "        s.key({:?});\n        ::serde::Serialize::serialize(&self.{}, s);\n",
+            f.name, f.name
+        ));
+    }
+    code.push_str("        s.end_object();\n");
+    code
+}
+
+fn enum_body(name: &str, variants: &[Variant]) -> Result<String, String> {
+    if variants.is_empty() {
+        return Ok("        match *self {}\n".to_string());
+    }
+    let mut code = String::from("        match self {\n");
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {
+                code.push_str(&format!(
+                    "            {name}::{vn} => s.write_str({vn:?}),\n"
+                ));
+            }
+            VariantShape::Tuple(1) => {
+                code.push_str(&format!(
+                    "            {name}::{vn}(__f0) => {{ s.begin_object(); s.key({vn:?}); \
+                     ::serde::Serialize::serialize(__f0, s); s.end_object(); }}\n"
+                ));
+            }
+            VariantShape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                let elems: String = binds
+                    .iter()
+                    .map(|b| format!("s.element({b}); "))
+                    .collect();
+                code.push_str(&format!(
+                    "            {name}::{vn}({}) => {{ s.begin_object(); s.key({vn:?}); \
+                     s.begin_array(); {elems}s.end_array(); s.end_object(); }}\n",
+                    binds.join(", ")
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let binds: Vec<&str> =
+                    fields.iter().map(|f| f.name.as_str()).collect();
+                let body: String = fields
+                    .iter()
+                    .filter(|f| !f.skip)
+                    .map(|f| {
+                        format!(
+                            "s.key({:?}); ::serde::Serialize::serialize({}, s); ",
+                            f.name, f.name
+                        )
+                    })
+                    .collect();
+                code.push_str(&format!(
+                    "            {name}::{vn} {{ {} }} => {{ s.begin_object(); s.key({vn:?}); \
+                     s.begin_object(); {body}s.end_object(); s.end_object(); }}\n",
+                    binds.join(", ")
+                ));
+            }
+        }
+    }
+    code.push_str("        }\n");
+    Ok(code)
+}

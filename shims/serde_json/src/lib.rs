@@ -1,0 +1,100 @@
+//! Offline stand-in for `serde_json`: serialization of the local
+//! `serde::Serialize` data model to compact or pretty JSON strings.
+//!
+//! Serialization here is infallible (non-finite floats collapse to
+//! `null`), but the public API keeps `Result` so call sites written
+//! against upstream serde_json compile unchanged.
+
+use serde::{Serialize, Serializer};
+use std::fmt;
+
+/// Serialization error (never produced; kept for API compatibility).
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut s = Serializer::new(false);
+    value.serialize(&mut s);
+    Ok(s.into_string())
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut s = Serializer::new(true);
+    value.serialize(&mut s);
+    Ok(s.into_string())
+}
+
+/// Serializes `value` as a compact JSON byte vector.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(serde::Serialize)]
+    struct Demo {
+        id: String,
+        score: f64,
+        tags: Vec<u32>,
+        // Exists only to prove skip keeps it out of the output.
+        #[allow(dead_code)]
+        #[serde(skip)]
+        hidden: u64,
+        note: Option<String>,
+    }
+
+    #[test]
+    fn derived_struct_roundtrip_shape() {
+        let d = Demo {
+            id: "x".into(),
+            score: 0.5,
+            tags: vec![1, 2],
+            hidden: 9,
+            note: None,
+        };
+        assert_eq!(
+            to_string(&d).unwrap(),
+            r#"{"id":"x","score":0.5,"tags":[1,2],"note":null}"#
+        );
+        assert!(to_string_pretty(&d).unwrap().contains("\n  \"score\": 0.5"));
+        assert!(!to_string(&d).unwrap().contains("hidden"));
+    }
+
+    #[derive(serde::Serialize)]
+    enum Status {
+        Ok,
+        Warned(u32),
+        Failed(String),
+        Pair(u32, u32),
+        Detail { code: u32, msg: String },
+    }
+
+    #[test]
+    fn derived_enum_shapes() {
+        assert_eq!(to_string(&Status::Ok).unwrap(), r#""Ok""#);
+        assert_eq!(to_string(&Status::Warned(3)).unwrap(), r#"{"Warned":3}"#);
+        assert_eq!(
+            to_string(&Status::Failed("e".into())).unwrap(),
+            r#"{"Failed":"e"}"#
+        );
+        assert_eq!(to_string(&Status::Pair(1, 2)).unwrap(), r#"{"Pair":[1,2]}"#);
+        assert_eq!(
+            to_string(&Status::Detail { code: 7, msg: "m".into() }).unwrap(),
+            r#"{"Detail":{"code":7,"msg":"m"}}"#
+        );
+    }
+}

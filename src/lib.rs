@@ -29,6 +29,7 @@
 //! | [`repair`] | `eda-repair` | HLS program repair pipeline |
 //! | [`hlstester`] | `eda-hlstester` | CPU/FPGA discrepancy testing |
 //! | [`sltgen`] | `eda-sltgen` | SLT power-hunt loop + GP baseline |
+//! | [`exec`] | `eda-exec` | work-stealing eval engine + eval cache |
 //! | [`agent`] | `eda-core` | the unified EDA agent |
 //!
 //! ## Quickstart
@@ -45,6 +46,7 @@
 pub use eda_core as agent;
 pub use eda_autochip as autochip;
 pub use eda_cmini as cmini;
+pub use eda_exec as exec;
 pub use eda_hdl as hdl;
 pub use eda_hls as hls;
 pub use eda_hlstester as hlstester;

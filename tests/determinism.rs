@@ -1,0 +1,130 @@
+//! Determinism regression layer: every flow that runs on the eval engine
+//! must produce byte-identical serialized output regardless of thread
+//! count and across repeated runs. Each test runs its flow twice on the
+//! parallel engine and twice on the sequential engine and asserts all
+//! four JSON serializations are equal (timing fields are excluded from
+//! serialization by `ExecReport` itself, so this also pins the counter
+//! accounting).
+
+use llm4eda::{autochip, exec, llm, repair, sltgen, suite};
+
+fn ultra() -> llm::SimulatedLlm {
+    llm::SimulatedLlm::new(llm::ModelSpec::ultra())
+}
+
+/// Two runs per engine; returns the four serializations in order
+/// [par, par, seq, seq].
+fn four_runs<F, T>(run: F) -> Vec<String>
+where
+    F: Fn(&exec::Engine) -> T,
+    T: serde::Serialize,
+{
+    let parallel = exec::Engine::with_threads(4);
+    let sequential = exec::Engine::sequential();
+    [&parallel, &parallel, &sequential, &sequential]
+        .iter()
+        .map(|engine| serde_json::to_string(&run(engine)).expect("flow output serializes"))
+        .collect()
+}
+
+fn assert_all_identical(runs: &[String], flow: &str) {
+    for (i, r) in runs.iter().enumerate().skip(1) {
+        assert_eq!(
+            &runs[0], r,
+            "{flow}: run {i} diverged from run 0 (parallel/sequential or rerun mismatch)"
+        );
+    }
+}
+
+#[test]
+fn autochip_is_deterministic_across_engines() {
+    let model = ultra();
+    let problem = suite::problem("alu8").unwrap();
+    let cfg = autochip::AutoChipConfig {
+        k_candidates: 4,
+        max_depth: 3,
+        temperature: 1.0,
+        seed: 11,
+        ..Default::default()
+    };
+    let runs = four_runs(|engine| {
+        autochip::run_autochip_with(&model, &problem, &cfg, engine).expect("suite testbench")
+    });
+    assert_all_identical(&runs, "autochip");
+}
+
+#[test]
+fn slt_pool_loop_is_deterministic_across_engines() {
+    let model = ultra();
+    let cfg = sltgen::SltConfig {
+        virtual_hours: 2.0,
+        seed: 5,
+        ..Default::default()
+    };
+    let runs = four_runs(|engine| sltgen::run_slt_llm_with(&model, &cfg, engine));
+    assert_all_identical(&runs, "slt-llm");
+}
+
+#[test]
+fn gp_baseline_is_deterministic_across_engines() {
+    let cfg = sltgen::GpConfig {
+        virtual_hours: 2.0,
+        seed: 5,
+        ..Default::default()
+    };
+    let runs = four_runs(|engine| sltgen::gp::run_gp_with(&cfg, engine));
+    assert_all_identical(&runs, "gp");
+}
+
+#[test]
+fn repair_batch_is_deterministic_across_engines() {
+    let model = ultra();
+    let corpus = repair::corpus();
+    let cfg = repair::RepairConfig::default();
+    let runs = four_runs(|engine| repair::run_repair_batch(&model, &corpus, &cfg, engine));
+    assert_all_identical(&runs, "repair-batch");
+}
+
+#[test]
+fn repair_batch_matches_sequential_single_runs() {
+    // The batched API must be a pure parallelization of the one-at-a-time
+    // loop: same reports, same order.
+    let model = ultra();
+    let corpus = repair::corpus();
+    let cfg = repair::RepairConfig::default();
+    let engine = exec::Engine::with_threads(4);
+    let batched = repair::run_repair_batch(&model, &corpus, &cfg, &engine);
+    let looped: Vec<_> = corpus
+        .iter()
+        .map(|p| repair::run_repair(&model, p.source, p.func, &cfg))
+        .collect();
+    assert_eq!(
+        serde_json::to_string(&batched).unwrap(),
+        serde_json::to_string(&looped).unwrap(),
+        "batched repair diverged from the sequential loop"
+    );
+}
+
+#[test]
+fn autochip_cache_hits_are_counted_and_stable() {
+    // With a weak model and several rounds, duplicate candidates are
+    // common: the per-run eval cache must report hits, and identically so
+    // on both engines.
+    let model = llm::SimulatedLlm::new(llm::ModelSpec::basic());
+    let problem = suite::problem("mux4").unwrap();
+    let cfg = autochip::AutoChipConfig {
+        k_candidates: 6,
+        max_depth: 4,
+        temperature: 0.2,
+        seed: 3,
+        ..Default::default()
+    };
+    let par = autochip::run_autochip_with(&model, &problem, &cfg, &exec::Engine::with_threads(4))
+        .unwrap();
+    let seq =
+        autochip::run_autochip_with(&model, &problem, &cfg, &exec::Engine::sequential()).unwrap();
+    assert!(par.exec.cache_hits > 0, "low temperature must produce duplicate candidates");
+    assert_eq!(par.exec.cache_hits, seq.exec.cache_hits);
+    assert_eq!(par.exec.cache_misses, seq.exec.cache_misses);
+    assert_eq!(par.exec.tasks_run, seq.exec.tasks_run);
+}

@@ -88,7 +88,7 @@ fn generated_verilog_synthesizes_to_gates() {
         })
         .collect();
     let out = sm.aig.simulate(&named);
-    assert_eq!(out[0], false);
+    assert!(!out[0]);
 }
 
 #[test]
@@ -131,17 +131,28 @@ fn hlstester_finds_planted_discrepancy_end_to_end() {
 
 #[test]
 fn rank_and_autochip_agree_on_ground_truth() {
-    // A candidate AutoChip says is solved must land in a cluster whose
-    // representative also passes the ground-truth testbench.
+    // Self-consistency selection must be at least as good as a random
+    // pick in aggregate. Any single seed can go either way (consistency
+    // is a heuristic), so judge across a batch of seeds.
     let p = suite::problem("comparator4").unwrap();
-    let out = rank::rank_candidates(&ultra(), &p, &rank::RankConfig::default()).unwrap();
-    let q = rank::judge_selection(&out, &p, 48, 77).unwrap();
-    if q.any_correct {
-        assert!(
-            q.consistency_pick_correct || !q.random_pick_correct,
-            "consistency pick must not be strictly worse than random"
-        );
+    let (mut any, mut cons, mut rand_pick) = (0u32, 0u32, 0u32);
+    for seed in 0..8 {
+        let out = rank::rank_candidates(
+            &ultra(),
+            &p,
+            &rank::RankConfig { seed, ..Default::default() },
+        )
+        .unwrap();
+        let q = rank::judge_selection(&out, &p, 48, 77).unwrap();
+        any += q.any_correct as u32;
+        cons += q.consistency_pick_correct as u32;
+        rand_pick += q.random_pick_correct as u32;
     }
+    assert!(any > 0, "a strong model must solve comparator4 at least once");
+    assert!(
+        cons >= rand_pick,
+        "consistency picks ({cons}/8) must not trail random picks ({rand_pick}/8)"
+    );
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests over core data structures and invariants,
 //! spanning crates through the facade.
 
-use llm4eda::{cmini, hdl, hls, riscv, sltgen, synth};
+use llm4eda::{cmini, exec, hdl, hls, riscv, sltgen, synth};
 use proptest::prelude::*;
 
 proptest! {
@@ -124,5 +124,43 @@ proptest! {
         let src = format!("{body}ecall\n");
         let prog = riscv::assemble(&src).unwrap();
         prop_assert_eq!(prog.len(), n + 1);
+    }
+
+    /// Parallel batch scoring on the engine equals a plain sequential map:
+    /// same scores, same order, for any batch (duplicates included).
+    #[test]
+    fn parallel_batch_scoring_matches_sequential_map(
+        items in proptest::collection::vec(0u64..32, 0..=40),
+        threads in 1usize..8,
+    ) {
+        let score = |x: &u64| (x.wrapping_mul(0x9e37_79b9) ^ (x >> 3)) as i64 - 7;
+        let expected: Vec<i64> = items.iter().map(score).collect();
+
+        let engine = exec::Engine::with_threads(threads);
+        let cache: exec::EvalCache<i64> = exec::EvalCache::new();
+        let got = engine.score_batch(
+            &cache,
+            &items,
+            |x| exec::EvalKey::new().word(*x).finish(),
+            |_, x| score(x),
+        );
+        prop_assert_eq!(&got, &expected);
+
+        // Within-batch duplicates are scored once; every hit + miss
+        // accounts for exactly one input.
+        let distinct = items.iter().collect::<std::collections::HashSet<_>>().len() as u64;
+        prop_assert_eq!(cache.misses(), distinct);
+        prop_assert_eq!(cache.hits() + cache.misses(), items.len() as u64);
+
+        // A second pass over the same batch is served purely from cache
+        // and still matches.
+        let again = engine.score_batch(
+            &cache,
+            &items,
+            |x| exec::EvalKey::new().word(*x).finish(),
+            |_, x| score(x),
+        );
+        prop_assert_eq!(&again, &expected);
+        prop_assert_eq!(cache.misses(), distinct);
     }
 }
