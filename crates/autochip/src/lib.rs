@@ -23,7 +23,7 @@
 
 use eda_exec::{Engine, EvalCache, EvalKey, ExecReport};
 use eda_hdl::{check_source, HdlError, TbReport, VectorTest};
-use eda_llm::{prompts, ChatModel, ChatRequest};
+use eda_llm::{prompts, ChatModel, ChatRequest, LlmReport, ResilienceConfig, ResilientClient};
 use eda_suite::Problem;
 use serde::Serialize;
 
@@ -39,11 +39,22 @@ pub struct AutoChipConfig {
     pub tb_vectors: usize,
     /// Experiment seed.
     pub seed: u64,
+    /// LLM transport resilience (fault injection, retries, degradation).
+    /// Defaults from `EDA_LLM_FAULT_RATE` & co.; unset env means the
+    /// fault-free direct path, byte-identical to calling the model.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for AutoChipConfig {
     fn default() -> Self {
-        AutoChipConfig { k_candidates: 5, max_depth: 4, temperature: 0.6, tb_vectors: 48, seed: 1 }
+        AutoChipConfig {
+            k_candidates: 5,
+            max_depth: 4,
+            temperature: 0.6,
+            tb_vectors: 48,
+            seed: 1,
+            resilience: ResilienceConfig::default(),
+        }
     }
 }
 
@@ -73,6 +84,9 @@ pub struct AutoChipResult {
     /// fields are not serialized, so parallel and sequential runs emit
     /// identical JSON).
     pub exec: ExecReport,
+    /// LLM transport counters (requests, retries, injected faults,
+    /// degraded completions, virtual time).
+    pub llm: LlmReport,
 }
 
 /// Scores one candidate: compile errors score 0 with the error text as
@@ -140,6 +154,11 @@ pub fn run_autochip_with(
     let tb = problem.testbench(cfg.tb_vectors, cfg.seed)?;
     let cache: EvalCache<(f64, String)> = EvalCache::new();
     let exec_base = engine.report();
+    // All LLM traffic goes through the resilient client: with faults
+    // configured it retries/degrades per request (purely, so candidate k
+    // sees the same faults on every engine); without, it is a
+    // zero-overhead pass-through.
+    let client = ResilientClient::new(model, &cfg.resilience);
     let mut prompt = prompts::task_header("verilog-design", &[("problem", problem.id)]);
     prompt.push_str(problem.prompt);
     prompt.push('\n');
@@ -155,7 +174,7 @@ pub fn run_autochip_with(
         // sequential path).
         let ks: Vec<u32> = (0..cfg.k_candidates.max(1)).collect();
         let sources = engine.map_stage("generate", ks, |_, k| {
-            model
+            client
                 .complete(&ChatRequest {
                     prompt: prompt.clone(),
                     temperature: cfg.temperature,
@@ -214,6 +233,7 @@ pub fn run_autochip_with(
         rounds,
         candidates_evaluated: evaluated,
         exec: ExecReport::since(engine, &cache, &exec_base),
+        llm: client.report(),
     })
 }
 
@@ -227,6 +247,8 @@ pub struct StructuredFlowConfig {
     pub temperature: f64,
     pub tb_vectors: usize,
     pub seed: u64,
+    /// LLM transport resilience (see [`AutoChipConfig::resilience`]).
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for StructuredFlowConfig {
@@ -237,6 +259,7 @@ impl Default for StructuredFlowConfig {
             temperature: 0.5,
             tb_vectors: 48,
             seed: 1,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -251,6 +274,8 @@ pub struct StructuredFlowResult {
     /// Simulated human interventions (0 = "no human feedback needed").
     pub human_interventions: u32,
     pub final_score: f64,
+    /// LLM transport counters.
+    pub llm: LlmReport,
 }
 
 /// Runs the structured conversational flow: one candidate per round, tool
@@ -265,6 +290,7 @@ pub fn run_structured_flow(
     cfg: &StructuredFlowConfig,
 ) -> Result<StructuredFlowResult, HdlError> {
     let tb = problem.testbench(cfg.tb_vectors, cfg.seed)?;
+    let client = ResilientClient::new(model, &cfg.resilience);
     let mut prompt = prompts::task_header("verilog-design", &[("problem", problem.id)]);
     prompt.push_str(problem.prompt);
     prompt.push('\n');
@@ -275,7 +301,7 @@ pub fn run_structured_flow(
     let mut rounds_used = 0u32;
     for round in 0..cfg.max_rounds.max(1) {
         rounds_used = round + 1;
-        let resp = model.complete(&ChatRequest {
+        let resp = client.complete(&ChatRequest {
             prompt: prompt.clone(),
             temperature: cfg.temperature,
             sample_index: round + cfg.seed as u32 * 17,
@@ -289,6 +315,7 @@ pub fn run_structured_flow(
                 rounds_used,
                 human_interventions: humans,
                 final_score: 1.0,
+                llm: client.report(),
             });
         }
         if score > best {
@@ -317,6 +344,7 @@ pub fn run_structured_flow(
         rounds_used,
         human_interventions: humans,
         final_score: best,
+        llm: client.report(),
     })
 }
 
@@ -436,6 +464,39 @@ mod tests {
             "at least half need no human feedback: {human_free}/{}",
             set.len()
         );
+    }
+
+    #[test]
+    fn zero_fault_run_has_clean_llm_counters() {
+        let model = SimulatedLlm::new(ModelSpec::ultra());
+        let p = eda_suite::problem("mux2").unwrap();
+        let cfg = AutoChipConfig {
+            resilience: eda_llm::ResilienceConfig::off(),
+            ..AutoChipConfig::default()
+        };
+        let r = run_autochip(&model, &p, &cfg).unwrap();
+        assert_eq!(r.llm.requests, r.candidates_evaluated as u64);
+        assert_eq!(r.llm.retries, 0);
+        assert_eq!(r.llm.faults.total(), 0);
+        assert!(!r.llm.degraded);
+    }
+
+    #[test]
+    fn faulty_transport_run_completes_with_counters() {
+        let model = SimulatedLlm::new(ModelSpec::pro());
+        let p = eda_suite::problem("counter4").unwrap();
+        let cfg = AutoChipConfig {
+            resilience: eda_llm::ResilienceConfig::with_fault_rate(0.4, 11),
+            ..AutoChipConfig::default()
+        };
+        let r = run_autochip(&model, &p, &cfg).unwrap();
+        assert!(r.llm.faults.total() > 0, "{:?}", r.llm);
+        assert!(r.llm.retries > 0, "{:?}", r.llm);
+        assert!(r.llm.virtual_time_us > r.llm.requests * 800_000, "{:?}", r.llm);
+        // Same faults, same outcome: the run is still deterministic.
+        let again = run_autochip(&model, &p, &cfg).unwrap();
+        assert_eq!(r.best_score, again.best_score);
+        assert_eq!(r.llm, again.llm);
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! E10 — Resilience: pass rate vs. LLM fault rate per model tier.
+//!
+//! Sweeps the transport fault rate from 0.0 to 0.5 and reruns the
+//! AutoChip flow for each model tier twice per rate: once through the
+//! full `ResilientClient` stack (retries + backoff + hedging +
+//! degradation to the next-cheaper tier) and once *bare* — same fault
+//! injection but zero retries and no fallback, so every transport error
+//! surfaces as a garbage candidate. Expected shape: the bare arm erodes
+//! roughly linearly with the per-attempt error rate, while the
+//! resilient arm holds near its fault-free pass rate (the retry budget
+//! absorbs transient errors; degradation keeps availability), paying
+//! only in retries and virtual hours. At rate 0.0 both arms are a
+//! pass-through and must match the direct-path baseline exactly.
+
+use eda_autochip::{run_autochip, AutoChipConfig};
+use eda_bench::{banner, format_table, mean, write_json};
+use eda_llm::{model_zoo, LlmReport, ModelSpec, ResilienceConfig, SimulatedLlm};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    fault_rate: f64,
+    pass_resilient: f64,
+    pass_bare: f64,
+    retries_per_request: f64,
+    faults_injected: u64,
+    fallback_share: f64,
+    exhausted: u64,
+    virtual_hours: f64,
+}
+
+const FAULT_RATES: [f64; 6] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+
+/// Same fault injection, no recovery: zero retries, no hedging, no
+/// cheaper-tier fallback.
+fn bare(rate: f64, seed: u64) -> ResilienceConfig {
+    let mut cfg = ResilienceConfig::with_fault_rate(rate, seed);
+    cfg.policy.max_retries = 0;
+    cfg.policy.hedge_after_s = None;
+    cfg.fallback = false;
+    cfg
+}
+
+fn sweep(
+    model: &SimulatedLlm,
+    spec: &ModelSpec,
+    problems: &[&str],
+    seeds: &[u64],
+    rate: f64,
+    resilient: bool,
+) -> (f64, LlmReport) {
+    let mut passes = Vec::new();
+    let mut llm = LlmReport::default();
+    for pid in problems {
+        let problem = eda_suite::problem(pid).expect("known problem");
+        for &seed in seeds {
+            // Fault seed varies per (tier, problem, run seed) so each
+            // cell sees an independent fault pattern — but the SAME
+            // pattern in both arms, which differ only in recovery.
+            let fault_seed = seed ^ fnv(&spec.name) ^ fnv(pid);
+            // A tight candidate budget (k=2 × depth 2) so individual
+            // lost/corrupted completions actually move the pass rate —
+            // with large k, candidate redundancy masks the transport.
+            let cfg = AutoChipConfig {
+                k_candidates: 2,
+                max_depth: 2,
+                temperature: 0.8,
+                seed,
+                resilience: if resilient {
+                    ResilienceConfig::with_fault_rate(rate, fault_seed)
+                } else {
+                    bare(rate, fault_seed)
+                },
+                ..Default::default()
+            };
+            let r = run_autochip(model, &problem, &cfg).expect("suite testbench");
+            passes.push(r.solved as u8 as f64);
+            accumulate(&mut llm, &r.llm);
+        }
+    }
+    (mean(&passes), llm)
+}
+
+fn main() {
+    banner("E10: resilience — pass rate vs. transport fault rate (per tier)");
+    let problems = [
+        "mux2", "alu8", "counter4", "lfsr8", "edge_detector", "priority_encoder8",
+        "seq_detector_101", "traffic_light",
+    ];
+    let seeds = [1u64, 2, 3];
+    let mut json = Vec::new();
+    let mut table = Vec::new();
+
+    for spec in model_zoo() {
+        let model = SimulatedLlm::new(spec.clone());
+        let mut row = vec![spec.name.clone()];
+        for &rate in &FAULT_RATES {
+            let (pass, llm) = sweep(&model, &spec, &problems, &seeds, rate, true);
+            let (pass_bare, _) = sweep(&model, &spec, &problems, &seeds, rate, false);
+            row.push(format!("{pass:.2}/{pass_bare:.2}"));
+            json.push(Row {
+                model: spec.name.clone(),
+                fault_rate: rate,
+                pass_resilient: pass,
+                pass_bare,
+                retries_per_request: llm.retries as f64 / llm.requests.max(1) as f64,
+                faults_injected: llm.faults.total(),
+                fallback_share: llm.fallback_completions as f64 / llm.requests.max(1) as f64,
+                exhausted: llm.exhausted,
+                virtual_hours: llm.virtual_time_us as f64 / 3.6e9,
+            });
+        }
+        table.push(row);
+    }
+
+    println!("cell format: resilient-stack pass / bare (no-retry) pass\n");
+    println!(
+        "{}",
+        format_table(
+            &["model", "p=0.0", "p=0.1", "p=0.2", "p=0.3", "p=0.4", "p=0.5"],
+            &table
+        )
+    );
+
+    // Detail line for the CI-exercised rate: how hard the stack worked.
+    banner("E10 detail at fault rate 0.3");
+    let detail: Vec<Vec<String>> = json
+        .iter()
+        .filter(|r| r.fault_rate == 0.3)
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                format!("{:.2}", r.pass_resilient),
+                format!("{:.2}", r.retries_per_request),
+                format!("{}", r.faults_injected),
+                format!("{:.2}", r.fallback_share),
+                format!("{}", r.exhausted),
+                format!("{:.2}", r.virtual_hours),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["model", "pass", "retries/req", "faults", "fallback", "exhausted", "vhours"],
+            &detail
+        )
+    );
+    write_json("exp_resilience", &json);
+}
+
+/// Sums the serializable counters of one run into the sweep total.
+fn accumulate(total: &mut LlmReport, run: &LlmReport) {
+    total.requests += run.requests;
+    total.retries += run.retries;
+    total.hedges += run.hedges;
+    total.hedge_wins += run.hedge_wins;
+    total.exhausted += run.exhausted;
+    total.fallback_completions += run.fallback_completions;
+    total.degraded |= run.degraded;
+    total.faults.timeouts += run.faults.timeouts;
+    total.faults.rate_limits += run.faults.rate_limits;
+    total.faults.server_errors += run.faults.server_errors;
+    total.faults.truncated += run.faults.truncated;
+    total.faults.garbled += run.faults.garbled;
+    total.faults.latency_spikes += run.faults.latency_spikes;
+    total.virtual_time_us += run.virtual_time_us;
+}
+
+/// FNV-1a over a string (fault-seed material).
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}

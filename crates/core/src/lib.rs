@@ -24,7 +24,7 @@ pub use debug::{cross_level_check, CrossLevelError, CrossLevelMismatch, CrossLev
 use eda_autochip::{run_autochip, AutoChipConfig};
 use eda_exec::ExecReport;
 use eda_hdl::{check_source, lint_module, parse, LintWarning};
-use eda_llm::{ChatModel, SimulatedLlm};
+use eda_llm::{ChatModel, LlmReport, SimulatedLlm};
 use eda_suite::Problem;
 use eda_synth::{synthesize_and_map, MapReport};
 use serde::Serialize;
@@ -101,6 +101,8 @@ pub struct DesignState {
     pub netlist: Option<MapReport>,
     /// Execution-engine counters from the RTL generation stage.
     pub exec: Option<ExecReport>,
+    /// LLM transport counters from the RTL generation stage.
+    pub llm: Option<LlmReport>,
     /// Tool-invocation log (the agent's "conversation" with its tools).
     pub log: Vec<String>,
 }
@@ -128,6 +130,9 @@ pub struct FlowReport {
     /// fields are skipped during serialization, so parallel and
     /// sequential runs report identically).
     pub exec: ExecReport,
+    /// LLM transport counters from candidate generation (requests,
+    /// retries, injected faults, degraded completions).
+    pub llm: LlmReport,
 }
 
 impl FlowReport {
@@ -246,6 +251,7 @@ impl Agent {
             area: state.netlist.as_ref().map(|n| n.area),
             delay: state.netlist.as_ref().map(|n| n.delay),
             exec: state.exec.clone().unwrap_or_default(),
+            llm: state.llm.clone().unwrap_or_default(),
         }
     }
 }
@@ -297,11 +303,13 @@ impl EdaTool for GenerateRtl<'_> {
         match run_autochip(self.model, self.problem, self.cfg) {
             Ok(r) if r.solved => {
                 state.exec = Some(r.exec);
+                state.llm = Some(r.llm);
                 state.rtl = Some(r.best_source);
                 StageStatus::Passed
             }
             Ok(r) => {
                 state.exec = Some(r.exec);
+                state.llm = Some(r.llm);
                 state.rtl = Some(r.best_source);
                 StageStatus::Failed(format!("best candidate scored {:.2}", r.best_score))
             }
@@ -440,6 +448,7 @@ mod tests {
         assert!(r.cells.unwrap_or(0) > 0, "synthesis produced gates");
         let verify = r.stages.iter().find(|s| s.stage == Stage::Verify).unwrap();
         assert_eq!(verify.status, StageStatus::Passed);
+        assert!(r.llm.requests > 0, "generation stage must report LLM traffic");
     }
 
     #[test]

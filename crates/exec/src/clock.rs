@@ -1,0 +1,149 @@
+//! Virtual clocks for time-budgeted and fault-injected runs.
+//!
+//! [`VirtualClock`] models wall-clock budgets without burning real time
+//! (the paper compares a 24-hour LLM run against a 39-hour GP run; each
+//! evaluation advances virtual time by the measured per-snippet cost of
+//! the original setup). [`SharedClock`] is its thread-safe sibling for
+//! code that accrues virtual time from engine worker threads: it counts
+//! integer microseconds through an atomic, so concurrent advances
+//! commute exactly and totals are bit-identical across thread counts
+//! (floating-point accumulation would not be associative).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Microseconds per virtual second.
+pub const US_PER_S: u64 = 1_000_000;
+
+/// Converts virtual seconds to whole microseconds (saturating, negatives
+/// clamp to zero).
+pub fn s_to_us(seconds: f64) -> u64 {
+    if seconds <= 0.0 {
+        return 0;
+    }
+    let us = seconds * US_PER_S as f64;
+    if us >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        us.round() as u64
+    }
+}
+
+/// A single-owner virtual clock accumulating seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct VirtualClock {
+    seconds: f64,
+}
+
+impl VirtualClock {
+    /// Starts at zero.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Advances by `seconds`.
+    pub fn advance(&mut self, seconds: f64) {
+        self.seconds += seconds.max(0.0);
+    }
+
+    /// Elapsed virtual seconds.
+    pub fn seconds(&self) -> f64 {
+        self.seconds
+    }
+
+    /// Elapsed virtual hours.
+    pub fn hours(&self) -> f64 {
+        self.seconds / 3600.0
+    }
+}
+
+/// A thread-safe virtual clock counting whole microseconds.
+///
+/// Concurrent `advance_us` calls commute (integer atomic adds), so the
+/// final reading is independent of thread interleaving — a requirement
+/// for flows whose serialized reports must match across engine thread
+/// counts.
+#[derive(Debug, Default)]
+pub struct SharedClock {
+    micros: AtomicU64,
+}
+
+impl SharedClock {
+    /// Starts at zero.
+    pub fn new() -> Self {
+        SharedClock::default()
+    }
+
+    /// Advances by a whole number of virtual microseconds.
+    pub fn advance_us(&self, us: u64) {
+        self.micros.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Advances by `seconds` (rounded to microseconds; negatives ignored).
+    pub fn advance(&self, seconds: f64) {
+        self.advance_us(s_to_us(seconds));
+    }
+
+    /// Elapsed virtual microseconds.
+    pub fn micros(&self) -> u64 {
+        self.micros.load(Ordering::Relaxed)
+    }
+
+    /// Elapsed virtual seconds.
+    pub fn seconds(&self) -> f64 {
+        self.micros() as f64 / US_PER_S as f64
+    }
+
+    /// Elapsed virtual hours.
+    pub fn hours(&self) -> f64 {
+        self.seconds() / 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_accumulates() {
+        let mut c = VirtualClock::new();
+        c.advance(1800.0);
+        c.advance(1800.0);
+        assert!((c.hours() - 1.0).abs() < 1e-12);
+        c.advance(-5.0); // negative advances are ignored
+        assert!((c.seconds() - 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_clock_counts_micros_exactly() {
+        let c = SharedClock::new();
+        c.advance_us(500_000);
+        c.advance(0.25);
+        c.advance(-3.0); // ignored
+        assert_eq!(c.micros(), 750_000);
+        assert!((c.seconds() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_clock_total_is_order_independent() {
+        // Same advances from many threads always sum identically.
+        let engine = crate::Engine::with_threads(8);
+        let totals: Vec<u64> = (0..3)
+            .map(|_| {
+                let c = SharedClock::new();
+                engine.map_indexed((1..=100u64).collect(), |_, i| c.advance_us(i * 7));
+                c.micros()
+            })
+            .collect();
+        assert_eq!(totals[0], (1..=100u64).map(|i| i * 7).sum::<u64>());
+        assert_eq!(totals[0], totals[1]);
+        assert_eq!(totals[0], totals[2]);
+    }
+
+    #[test]
+    fn s_to_us_clamps_and_rounds() {
+        assert_eq!(s_to_us(-1.0), 0);
+        assert_eq!(s_to_us(0.0000005), 1); // rounds, not truncates
+        assert_eq!(s_to_us(2.5), 2_500_000);
+        assert_eq!(s_to_us(f64::MAX), u64::MAX);
+    }
+}

@@ -37,6 +37,10 @@
 //! assert_eq!(cache.hits(), 1); // the duplicate "a" was never re-scored
 //! ```
 
+pub mod clock;
+
+pub use clock::{s_to_us, SharedClock, VirtualClock, US_PER_S};
+
 use crossbeam::deque::{Injector, Worker};
 use parking_lot::Mutex;
 use serde::Serialize;

@@ -32,7 +32,9 @@
 use eda_cmini::{backward_slice, hls_compat_scan, parse, CValue, Interp, Program, StmtKind};
 use eda_exec::Engine;
 use eda_hls::{CosimInput, FsmdOptions, HlsError, HlsOptions, HlsProject};
-use eda_llm::{prompts, ChatModel, ChatRequest, SimulatedLlm};
+use eda_llm::{
+    prompts, ChatModel, ChatRequest, LlmReport, ResilienceConfig, ResilientClient, SimulatedLlm,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -53,6 +55,9 @@ pub struct HlsTesterConfig {
     pub llm_reasoning: bool,
     pub temperature: f64,
     pub seed: u64,
+    /// LLM transport resilience (fault injection, retries, degradation).
+    /// Defaults from `EDA_LLM_FAULT_RATE` & co.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for HlsTesterConfig {
@@ -65,6 +70,7 @@ impl Default for HlsTesterConfig {
             llm_reasoning: true,
             temperature: 0.6,
             seed: 1,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -90,6 +96,9 @@ pub struct TesterReport {
     pub hw_sims_skipped: usize,
     /// True when testbench adaptation was needed.
     pub adapted: bool,
+    /// LLM transport counters (requests, retries, injected faults,
+    /// degraded completions, virtual time).
+    pub llm: LlmReport,
 }
 
 /// A corpus case with a latent CPU/FPGA discrepancy.
@@ -201,6 +210,7 @@ pub fn run_hlstester_with(
     engine: &Engine,
 ) -> Result<TesterReport, HlsError> {
     let mut report = TesterReport::default();
+    let client = ResilientClient::new(model, &cfg.resilience);
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7357_0001);
 
     // Step 1: testbench adaptation (strip unsupported constructs). Each
@@ -216,7 +226,7 @@ pub fn run_hlstester_with(
         let kind = first.kind.to_string();
         let mut prompt = prompts::task_header("c-repair", &[("kind", &kind)]);
         prompt.push_str(&current);
-        let resp = model.complete(&ChatRequest {
+        let resp = client.complete(&ChatRequest {
             prompt,
             temperature: 0.2,
             sample_index: cfg.seed as u32 + attempt,
@@ -388,6 +398,7 @@ pub fn run_hlstester_with(
         }
     }
     report.triggering_inputs = triggering.len();
+    report.llm = client.report();
     Ok(report)
 }
 

@@ -34,11 +34,20 @@
 pub mod cgen;
 pub mod prompts;
 pub mod repairgen;
+pub mod resilient;
+pub mod transport;
 pub mod verilog;
 
 pub use cgen::{extract_features, generate_snippet, CGenCtx, SnippetFeatures};
 pub use prompts::{parse_prompt, ParsedPrompt};
 pub use repairgen::{attempt_repair, RepairCtx};
+pub use resilient::{
+    ClientError, LlmReport, ResilienceConfig, ResilientClient, RetryPolicy, FAULT_RATE_ENV,
+    FAULT_SEED_ENV, MAX_RETRIES_ENV,
+};
+pub use transport::{
+    DirectTransport, FaultConfig, FaultStats, FaultyTransport, Reply, Transport, TransportError,
+};
 pub use verilog::{expected_bugs, generate_candidate, VerilogGenCtx};
 
 use rand::rngs::StdRng;
@@ -88,6 +97,22 @@ impl ModelSpec {
     pub fn code_llama_raw() -> ModelSpec {
         ModelSpec { name: "sim-cl34b-raw".into(), capability: 0.48, feedback_skill: 0.25 }
     }
+
+    /// The next-cheaper tier to degrade to when `name`'s tier keeps
+    /// failing: ultra → pro → coder → basic; the fine-tuned Code Llama
+    /// falls back to its off-the-shelf counterpart. Unknown names
+    /// degrade straight to [`ModelSpec::basic`].
+    pub fn cheaper_tier(name: &str) -> ModelSpec {
+        if name.contains("ultra") {
+            ModelSpec::pro()
+        } else if name.contains("pro") {
+            ModelSpec::coder()
+        } else if name.contains("cl34b-ft") {
+            ModelSpec::code_llama_raw()
+        } else {
+            ModelSpec::basic()
+        }
+    }
 }
 
 /// The four commercial tiers AutoChip is evaluated with.
@@ -117,6 +142,16 @@ pub trait ChatModel: Send + Sync {
     fn name(&self) -> &str;
     /// Completes a prompt.
     fn complete(&self, request: &ChatRequest) -> ChatResponse;
+}
+
+impl<T: ChatModel + ?Sized> ChatModel for &T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn complete(&self, request: &ChatRequest) -> ChatResponse {
+        (**self).complete(request)
+    }
 }
 
 /// The deterministic simulated model.

@@ -1,0 +1,710 @@
+//! Retry, backoff, hedging, and graceful degradation over a [`Transport`].
+//!
+//! [`ResilientClient`] is the piece every flow talks to instead of a raw
+//! model: it retries transport errors with exponential backoff and
+//! deterministic jitter, hedges latency spikes with a duplicate request
+//! (canceling the loser), and degrades to a cheaper [`ModelSpec`] tier
+//! after `degrade_after` consecutive failed attempts of a request —
+//! trading answer quality for availability, exactly like a production
+//! serving stack.
+//!
+//! All time is virtual: waits are billed to an [`eda_exec::SharedClock`]
+//! in whole microseconds, so chaos tests run in milliseconds of real
+//! time and totals are bit-identical across engine thread counts.
+//!
+//! **Determinism.** Every decision — fault draws, backoff jitter, hedge
+//! outcomes, degradation — is a pure function of `(config, request,
+//! attempt)`. There is deliberately no cross-request state: a degraded
+//! request falls back for its own remaining attempts and the *next*
+//! request starts on the primary tier again (recovery is implicit).
+//! This is what lets parallel and sequential engine runs serialize
+//! byte-identically even under fault injection: faults land by
+//! candidate, never by thread timing.
+
+use crate::transport::{
+    DirectTransport, FaultConfig, FaultStats, FaultyTransport, Reply, Transport, TransportError,
+    HEDGE_ATTEMPT_SALT,
+};
+use crate::{ChatModel, ChatRequest, ChatResponse, ModelSpec, SimulatedLlm};
+use eda_exec::{s_to_us, SharedClock};
+use serde::Serialize;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Overall fault rate injected into every flow's LLM traffic
+/// (`0.0`–`1.0`; unset means no faults). Mirrors `EDA_EXEC_THREADS`.
+pub const FAULT_RATE_ENV: &str = "EDA_LLM_FAULT_RATE";
+/// Retry budget per request (retries after the first attempt).
+pub const MAX_RETRIES_ENV: &str = "EDA_LLM_MAX_RETRIES";
+/// Fault-injection seed (defaults to a fixed constant).
+pub const FAULT_SEED_ENV: &str = "EDA_LLM_FAULT_SEED";
+
+/// Retry/backoff/hedging/degradation policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first attempt.
+    pub max_retries: u32,
+    /// First backoff wait.
+    pub base_backoff_s: f64,
+    /// Exponential growth per retry.
+    pub backoff_multiplier: f64,
+    /// Backoff cap.
+    pub max_backoff_s: f64,
+    /// Jitter fraction: each wait is scaled by a deterministic factor in
+    /// `[1 - jitter, 1 + jitter)` derived from the request and attempt.
+    pub jitter: f64,
+    /// Issue a hedged duplicate when an attempt's latency exceeds this;
+    /// the slower copy is canceled. `None` disables hedging.
+    pub hedge_after_s: Option<f64>,
+    /// Consecutive failed attempts of one request before its remaining
+    /// attempts fall back to the cheaper tier.
+    pub degrade_after: u32,
+    /// Virtual-time budget per request (backoff + attempt costs); the
+    /// request fails with a typed error rather than waiting past it.
+    pub request_deadline_s: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff_s: 0.5,
+            backoff_multiplier: 2.0,
+            max_backoff_s: 8.0,
+            jitter: 0.2,
+            hedge_after_s: Some(2.5),
+            degrade_after: 3,
+            request_deadline_s: 120.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before retry `retry_index` (0-based), in microseconds:
+    /// `base * multiplier^retry_index` capped at `max_backoff_s`, scaled
+    /// by deterministic jitter derived from `(req_hash, retry_index)`.
+    pub fn backoff_us(&self, req_hash: u64, retry_index: u32) -> u64 {
+        let raw = self.base_backoff_s * self.backoff_multiplier.powi(retry_index as i32);
+        let capped = raw.min(self.max_backoff_s);
+        let scaled = capped * self.jitter_factor(req_hash, retry_index);
+        s_to_us(scaled)
+    }
+
+    /// Deterministic jitter multiplier in `[1 - jitter, 1 + jitter)`.
+    fn jitter_factor(&self, req_hash: u64, retry_index: u32) -> f64 {
+        if self.jitter <= 0.0 {
+            return 1.0;
+        }
+        let mut z = req_hash
+            ^ (retry_index as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ 0x6a09_e667_f3bc_c909;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        1.0 + self.jitter * (2.0 * unit - 1.0)
+    }
+}
+
+/// Complete resilience configuration carried by every flow config.
+///
+/// `Default` reads the environment (mirroring [`eda_exec::Engine`]'s
+/// `EDA_EXEC_THREADS`): with no `EDA_LLM_*` variables set it is the
+/// fault-free direct path, byte-identical to calling the model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceConfig {
+    pub faults: FaultConfig,
+    pub policy: RetryPolicy,
+    /// Allow degradation to a cheaper tier ([`ModelSpec::cheaper_tier`]).
+    pub fallback: bool,
+}
+
+impl ResilienceConfig {
+    /// Fault-free, env-independent configuration (the direct path).
+    pub fn off() -> Self {
+        ResilienceConfig {
+            faults: FaultConfig::none(),
+            policy: RetryPolicy::default(),
+            fallback: true,
+        }
+    }
+
+    /// Env-independent configuration with an overall fault `rate` spread
+    /// over the classes per [`FaultConfig::uniform`].
+    pub fn with_fault_rate(rate: f64, seed: u64) -> Self {
+        ResilienceConfig { faults: FaultConfig::uniform(rate, seed), ..Self::off() }
+    }
+
+    /// Reads `EDA_LLM_FAULT_RATE`, `EDA_LLM_FAULT_SEED`, and
+    /// `EDA_LLM_MAX_RETRIES`. Unset variables mean no faults and the
+    /// default retry budget.
+    pub fn from_env() -> Self {
+        let rate = std::env::var(FAULT_RATE_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .unwrap_or(0.0);
+        let seed = std::env::var(FAULT_SEED_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(FaultConfig::default().seed);
+        let mut cfg = Self::with_fault_rate(rate, seed);
+        if let Some(r) =
+            std::env::var(MAX_RETRIES_ENV).ok().and_then(|s| s.trim().parse::<u32>().ok())
+        {
+            cfg.policy.max_retries = r.min(16);
+        }
+        cfg
+    }
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Typed failure of a fully-retried request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// Every attempt in the retry budget failed.
+    RetriesExhausted { attempts: u32, last: TransportError },
+    /// The per-request virtual-time budget ran out mid-retry.
+    DeadlineExceeded { spent_s: f64 },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts (last: {last})")
+            }
+            ClientError::DeadlineExceeded { spent_s } => {
+                write!(f, "request deadline exceeded after {spent_s:.1}s virtual")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Serializable counter snapshot of one client's traffic. All counters
+/// are sums of per-request pure outcomes, so they are identical across
+/// engine thread counts and reruns.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct LlmReport {
+    /// Requests issued through the client.
+    pub requests: u64,
+    /// Retry attempts (beyond each request's first attempt).
+    pub retries: u64,
+    /// Hedged duplicates issued on latency spikes.
+    pub hedges: u64,
+    /// Hedges that finished first (the original was canceled).
+    pub hedge_wins: u64,
+    /// Requests whose whole retry budget failed.
+    pub exhausted: u64,
+    /// Completions served by the cheaper fallback tier.
+    pub fallback_completions: u64,
+    /// True when any completion was served degraded.
+    pub degraded: bool,
+    /// Injected-fault counters from the transport.
+    pub faults: FaultStats,
+    /// Total virtual time billed (latency + backoff + error waits).
+    pub virtual_time_us: u64,
+}
+
+/// The resilient LLM client: a [`Transport`] stack plus retry state.
+/// Implements [`ChatModel`], so flows use it as a drop-in; a request
+/// that fails its whole budget surfaces as an `// llm-transport-error`
+/// comment completion (which every evaluator scores as garbage) while
+/// [`ResilientClient::try_complete`] exposes the typed error.
+pub struct ResilientClient<'a> {
+    primary: Box<dyn Transport + 'a>,
+    fallback: Option<Box<dyn Transport + 'a>>,
+    policy: RetryPolicy,
+    clock: SharedClock,
+    name: String,
+    requests: AtomicU64,
+    retries: AtomicU64,
+    hedges: AtomicU64,
+    hedge_wins: AtomicU64,
+    exhausted: AtomicU64,
+    fallback_completions: AtomicU64,
+}
+
+impl<'a> ResilientClient<'a> {
+    /// Builds the standard stack for `model`: a [`FaultyTransport`] when
+    /// faults are configured (plus a fault-free cheaper-tier fallback),
+    /// or the bare [`DirectTransport`] when they are not.
+    pub fn new(model: &'a dyn ChatModel, cfg: &ResilienceConfig) -> Self {
+        let name = model.name().to_string();
+        let primary: Box<dyn Transport + 'a> = if cfg.faults.any() {
+            Box::new(FaultyTransport::new(DirectTransport::new(model), cfg.faults.clone()))
+        } else {
+            Box::new(DirectTransport::new(model))
+        };
+        let fallback: Option<Box<dyn Transport + 'a>> = (cfg.fallback && cfg.faults.any())
+            .then(|| {
+                let spec = ModelSpec::cheaper_tier(&name);
+                Box::new(DirectTransport::new(SimulatedLlm::new(spec))) as Box<dyn Transport + 'a>
+            });
+        Self::from_parts(&name, primary, fallback, cfg.policy.clone())
+    }
+
+    /// Fault-free direct client (identical outputs to the bare model).
+    pub fn direct(model: &'a dyn ChatModel) -> Self {
+        Self::new(model, &ResilienceConfig::off())
+    }
+
+    /// Assembles a client from explicit transports (tests, custom stacks).
+    pub fn from_parts(
+        name: &str,
+        primary: Box<dyn Transport + 'a>,
+        fallback: Option<Box<dyn Transport + 'a>>,
+        policy: RetryPolicy,
+    ) -> Self {
+        ResilientClient {
+            primary,
+            fallback,
+            policy,
+            clock: SharedClock::new(),
+            name: name.to_string(),
+            requests: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
+            exhausted: AtomicU64::new(0),
+            fallback_completions: AtomicU64::new(0),
+        }
+    }
+
+    /// The virtual clock accumulating this client's waits.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Counter snapshot for flow reports.
+    pub fn report(&self) -> LlmReport {
+        let fallback_completions = self.fallback_completions.load(Ordering::Relaxed);
+        LlmReport {
+            requests: self.requests.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            hedges: self.hedges.load(Ordering::Relaxed),
+            hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
+            exhausted: self.exhausted.load(Ordering::Relaxed),
+            fallback_completions,
+            degraded: fallback_completions > 0,
+            faults: self.primary.fault_stats(),
+            virtual_time_us: self.clock.micros(),
+        }
+    }
+
+    /// Completes `request` with retries, backoff, hedging, and
+    /// degradation, billing every wait to the virtual clock.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::RetriesExhausted`] when every attempt fails, or
+    /// [`ClientError::DeadlineExceeded`] when the per-request virtual
+    /// budget runs out first.
+    pub fn try_complete(&self, request: &ChatRequest) -> Result<ChatResponse, ClientError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let req_hash = hash_request(request);
+        let deadline_us = s_to_us(self.policy.request_deadline_s);
+        let attempts = self.policy.max_retries + 1;
+        let mut spent_us: u64 = 0;
+        let mut consecutive_failures = 0u32;
+        let mut last_err: Option<TransportError> = None;
+
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                spent_us += self.policy.backoff_us(req_hash, attempt - 1);
+            }
+            if spent_us > deadline_us {
+                self.clock.advance_us(spent_us);
+                self.exhausted.fetch_add(1, Ordering::Relaxed);
+                return Err(ClientError::DeadlineExceeded {
+                    spent_s: spent_us as f64 / 1e6,
+                });
+            }
+            // Degradation: after `degrade_after` consecutive failures of
+            // THIS request, its remaining attempts go to the cheaper
+            // tier. The next request starts on the primary again
+            // (recovery) — per-request state keeps the whole client a
+            // pure function of its inputs.
+            let degraded =
+                consecutive_failures >= self.policy.degrade_after && self.fallback.is_some();
+            let transport: &dyn Transport = if degraded {
+                self.fallback.as_deref().expect("degraded implies fallback")
+            } else {
+                self.primary.as_ref()
+            };
+            match transport.send(request, attempt) {
+                Ok(reply) => {
+                    let (latency_us, text) = self.maybe_hedge(transport, request, attempt, reply);
+                    spent_us += latency_us;
+                    if degraded {
+                        self.fallback_completions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.clock.advance_us(spent_us);
+                    return Ok(ChatResponse { text });
+                }
+                Err(e) => {
+                    spent_us += s_to_us(e.cost_s());
+                    consecutive_failures += 1;
+                    last_err = Some(e);
+                }
+            }
+        }
+        self.clock.advance_us(spent_us);
+        self.exhausted.fetch_add(1, Ordering::Relaxed);
+        Err(ClientError::RetriesExhausted {
+            attempts,
+            last: last_err.expect("exhaustion implies at least one error"),
+        })
+    }
+
+    /// Hedging: when an attempt's latency exceeds `hedge_after_s`, fire
+    /// a salted duplicate and keep whichever copy finishes first — the
+    /// loser is canceled (its text is dropped and its remaining latency
+    /// is never billed).
+    fn maybe_hedge(
+        &self,
+        transport: &dyn Transport,
+        request: &ChatRequest,
+        attempt: u32,
+        reply: Reply,
+    ) -> (u64, String) {
+        let Some(hedge_after_s) = self.policy.hedge_after_s else {
+            return (reply.latency_us, reply.text);
+        };
+        let hedge_at_us = s_to_us(hedge_after_s);
+        if reply.latency_us <= hedge_at_us {
+            return (reply.latency_us, reply.text);
+        }
+        self.hedges.fetch_add(1, Ordering::Relaxed);
+        match transport.send(request, attempt | HEDGE_ATTEMPT_SALT) {
+            Ok(hedge) => {
+                // The hedge starts hedge_at_us in; it wins if it still
+                // finishes before the original.
+                let hedge_done_us = hedge_at_us + hedge.latency_us;
+                if hedge_done_us < reply.latency_us {
+                    self.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                    (hedge_done_us, hedge.text)
+                } else {
+                    (reply.latency_us, reply.text)
+                }
+            }
+            // A failed hedge is just a canceled hedge: the original
+            // (already successful) reply stands.
+            Err(_) => (reply.latency_us, reply.text),
+        }
+    }
+}
+
+impl ChatModel for ResilientClient<'_> {
+    /// Always the primary model's name, even for degraded completions,
+    /// so reports pin the tier the run was configured with.
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn complete(&self, request: &ChatRequest) -> ChatResponse {
+        match self.try_complete(request) {
+            Ok(resp) => resp,
+            Err(e) => ChatResponse { text: format!("// llm-transport-error: {e}\n") },
+        }
+    }
+}
+
+/// FNV-1a over the request identity (jitter seed material).
+fn hash_request(request: &ChatRequest) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for b in request.prompt.bytes() {
+        mix(b as u64);
+    }
+    mix(request.temperature.to_bits());
+    mix(request.sample_index as u64);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::BASE_LATENCY_US;
+
+    fn req(prompt: &str, idx: u32) -> ChatRequest {
+        ChatRequest { prompt: prompt.into(), temperature: 0.3, sample_index: idx }
+    }
+
+    fn no_jitter_policy() -> RetryPolicy {
+        RetryPolicy { jitter: 0.0, hedge_after_s: None, ..RetryPolicy::default() }
+    }
+
+    /// Fails the first `fails` attempts of every request, then succeeds.
+    struct FailN {
+        fails: u32,
+        err: TransportError,
+        calls: AtomicU64,
+    }
+
+    impl Transport for FailN {
+        fn name(&self) -> &str {
+            "mock-fail-n"
+        }
+        fn send(&self, _r: &ChatRequest, attempt: u32) -> Result<Reply, TransportError> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            if attempt < self.fails {
+                Err(self.err.clone())
+            } else {
+                Ok(Reply { text: "primary-ok".into(), latency_us: BASE_LATENCY_US })
+            }
+        }
+    }
+
+    fn fail_n(fails: u32, err: TransportError) -> FailN {
+        FailN { fails, err, calls: AtomicU64::new(0) }
+    }
+
+    /// Always succeeds with a fixed text/latency.
+    struct AlwaysOk {
+        text: &'static str,
+        latency_us: u64,
+        calls: AtomicU64,
+    }
+
+    impl Transport for AlwaysOk {
+        fn name(&self) -> &str {
+            "mock-ok"
+        }
+        fn send(&self, _r: &ChatRequest, _attempt: u32) -> Result<Reply, TransportError> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            Ok(Reply { text: self.text.into(), latency_us: self.latency_us })
+        }
+    }
+
+    /// Slow original, fast hedge.
+    struct SlowThenHedge {
+        slow_us: u64,
+        hedge_us: u64,
+    }
+
+    impl Transport for SlowThenHedge {
+        fn name(&self) -> &str {
+            "mock-hedge"
+        }
+        fn send(&self, _r: &ChatRequest, attempt: u32) -> Result<Reply, TransportError> {
+            if attempt & HEDGE_ATTEMPT_SALT != 0 {
+                Ok(Reply { text: "hedge-text".into(), latency_us: self.hedge_us })
+            } else {
+                Ok(Reply { text: "slow-text".into(), latency_us: self.slow_us })
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_is_pinned() {
+        let p = no_jitter_policy();
+        let got: Vec<u64> = (0..6).map(|k| p.backoff_us(0xdead, k)).collect();
+        assert_eq!(
+            got,
+            vec![500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000, 8_000_000],
+            "0.5s doubling capped at 8s"
+        );
+    }
+
+    #[test]
+    fn jittered_backoff_is_bounded_and_deterministic() {
+        let p = RetryPolicy { jitter: 0.2, ..no_jitter_policy() };
+        for k in 0..5u32 {
+            let a = p.backoff_us(77, k);
+            let b = p.backoff_us(77, k);
+            assert_eq!(a, b, "jitter must be deterministic");
+            let nominal = no_jitter_policy().backoff_us(77, k) as f64;
+            assert!((a as f64) >= nominal * 0.8 - 1.0 && (a as f64) <= nominal * 1.2 + 1.0);
+        }
+        // Different requests spread their retries (thundering-herd guard).
+        let spread: std::collections::HashSet<u64> =
+            (0..32u64).map(|h| p.backoff_us(h, 0)).collect();
+        assert!(spread.len() > 16, "jitter must actually vary: {}", spread.len());
+    }
+
+    #[test]
+    fn virtual_clock_schedule_is_exact() {
+        // Two rate-limit failures (1.0s advertised wait each), then
+        // success: 1.0 + backoff(0.5) + 1.0 + backoff(1.0) + 0.8 = 4.3s.
+        let t = fail_n(2, TransportError::RateLimited { retry_after_s: 1.0 });
+        let client =
+            ResilientClient::from_parts("pin", Box::new(t), None, no_jitter_policy());
+        let resp = client.try_complete(&req("p", 0)).unwrap();
+        assert_eq!(resp.text, "primary-ok");
+        assert_eq!(client.clock().micros(), 4_300_000);
+        let r = client.report();
+        assert_eq!((r.requests, r.retries, r.exhausted), (1, 2, 0));
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_returns_typed_error() {
+        let t = fail_n(u32::MAX, TransportError::Server { code: 503 });
+        let client =
+            ResilientClient::from_parts("exhaust", Box::new(t), None, no_jitter_policy());
+        let err = client.try_complete(&req("p", 1)).unwrap_err();
+        assert_eq!(
+            err,
+            ClientError::RetriesExhausted {
+                attempts: 5,
+                last: TransportError::Server { code: 503 },
+            }
+        );
+        let r = client.report();
+        assert_eq!((r.requests, r.retries, r.exhausted), (1, 4, 1));
+        // The infallible ChatModel surface turns it into a comment
+        // completion every evaluator scores as garbage.
+        let text = client.complete(&req("p", 2)).text;
+        assert!(text.starts_with("// llm-transport-error:"), "{text}");
+    }
+
+    #[test]
+    fn deadline_exceeded_is_typed() {
+        let t = fail_n(u32::MAX, TransportError::Timeout { waited_s: 10.0 });
+        let policy = RetryPolicy {
+            max_retries: 10,
+            request_deadline_s: 15.0,
+            ..no_jitter_policy()
+        };
+        let client = ResilientClient::from_parts("deadline", Box::new(t), None, policy);
+        match client.try_complete(&req("p", 0)) {
+            Err(ClientError::DeadlineExceeded { spent_s }) => {
+                assert!(spent_s > 15.0, "{spent_s}")
+            }
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+        assert_eq!(client.report().exhausted, 1);
+    }
+
+    #[test]
+    fn degradation_triggers_at_exactly_n_failures_and_recovers() {
+        let primary = fail_n(u32::MAX, TransportError::Timeout { waited_s: 10.0 });
+        let fallback = AlwaysOk { text: "fallback-text", latency_us: 400_000, calls: AtomicU64::new(0) };
+        let policy = RetryPolicy { degrade_after: 2, ..no_jitter_policy() };
+        let client = ResilientClient::from_parts(
+            "degrade",
+            Box::new(primary),
+            Some(Box::new(fallback)),
+            policy,
+        );
+        let resp = client.complete(&req("a", 0));
+        assert_eq!(resp.text, "fallback-text");
+        let r = client.report();
+        // Attempts 0 and 1 hit the (failing) primary; attempt 2 — after
+        // exactly two consecutive failures — is served degraded.
+        assert_eq!((r.retries, r.fallback_completions), (2, 1));
+        assert!(r.degraded);
+
+        // Recovery: the next request starts on the primary tier again.
+        let _ = client.complete(&req("b", 1));
+        let r2 = client.report();
+        assert_eq!(r2.fallback_completions, 2);
+        assert_eq!(r2.retries, 4, "second request retried the primary twice again");
+    }
+
+    #[test]
+    fn hedging_cancels_the_loser() {
+        // Original takes 5s; hedge fires at 2.5s and takes 0.5s more →
+        // hedge wins at 3.0s, the original is canceled.
+        let policy = RetryPolicy { hedge_after_s: Some(2.5), ..RetryPolicy::default() };
+        let client = ResilientClient::from_parts(
+            "hedge-win",
+            Box::new(SlowThenHedge { slow_us: 5_000_000, hedge_us: 500_000 }),
+            None,
+            policy.clone(),
+        );
+        let resp = client.try_complete(&req("h", 0)).unwrap();
+        assert_eq!(resp.text, "hedge-text");
+        assert_eq!(client.clock().micros(), 3_000_000);
+        let r = client.report();
+        assert_eq!((r.hedges, r.hedge_wins), (1, 1));
+
+        // Slow hedge loses: the original's reply and latency stand.
+        let client2 = ResilientClient::from_parts(
+            "hedge-lose",
+            Box::new(SlowThenHedge { slow_us: 5_000_000, hedge_us: 4_000_000 }),
+            None,
+            policy,
+        );
+        let resp2 = client2.try_complete(&req("h", 0)).unwrap();
+        assert_eq!(resp2.text, "slow-text");
+        assert_eq!(client2.clock().micros(), 5_000_000);
+        let r2 = client2.report();
+        assert_eq!((r2.hedges, r2.hedge_wins), (1, 0));
+    }
+
+    #[test]
+    fn zero_fault_client_is_byte_identical_to_the_model() {
+        let model = SimulatedLlm::new(ModelSpec::ultra());
+        let client = ResilientClient::new(&model, &ResilienceConfig::off());
+        assert_eq!(client.name(), model.name());
+        for i in 0..5u32 {
+            let r = crate::prompts::task_header("verilog-design", &[("problem", "mux2")]);
+            let request = ChatRequest { prompt: r, temperature: 0.6, sample_index: i };
+            assert_eq!(client.complete(&request), model.complete(&request));
+        }
+        let rep = client.report();
+        assert_eq!(rep.retries, 0);
+        assert_eq!(rep.faults.total(), 0);
+        assert!(!rep.degraded);
+        assert_eq!(rep.virtual_time_us, rep.requests * BASE_LATENCY_US);
+    }
+
+    #[test]
+    fn faulty_stack_converges_and_counts() {
+        let model = SimulatedLlm::new(ModelSpec::pro());
+        let cfg = ResilienceConfig::with_fault_rate(0.5, 99);
+        let client = ResilientClient::new(&model, &cfg);
+        for i in 0..60u32 {
+            let text = client.complete(&req(&format!("probe {i}"), i)).text;
+            assert!(!text.is_empty() || text.is_empty()); // no panics, always a response
+        }
+        let r = client.report();
+        assert_eq!(r.requests, 60);
+        assert!(r.retries > 0, "{r:?}");
+        assert!(r.faults.total() > 0, "{r:?}");
+        assert!(r.virtual_time_us > 60 * BASE_LATENCY_US, "{r:?}");
+    }
+
+    #[test]
+    fn cheaper_tier_ladder() {
+        assert_eq!(ModelSpec::cheaper_tier("sim-ultra-4o").name, "sim-pro-4");
+        assert_eq!(ModelSpec::cheaper_tier("sim-pro-4").name, "sim-coder-34b");
+        assert_eq!(ModelSpec::cheaper_tier("sim-coder-34b").name, "sim-basic-3.5");
+        assert_eq!(ModelSpec::cheaper_tier("sim-cl34b-ft").name, "sim-cl34b-raw");
+        assert_eq!(ModelSpec::cheaper_tier("anything-else").name, "sim-basic-3.5");
+    }
+
+    #[test]
+    fn env_parsing_mirrors_exec_threads() {
+        std::env::set_var(FAULT_RATE_ENV, "0.25");
+        std::env::set_var(MAX_RETRIES_ENV, "7");
+        std::env::set_var(FAULT_SEED_ENV, "123");
+        let cfg = ResilienceConfig::from_env();
+        std::env::remove_var(FAULT_RATE_ENV);
+        std::env::remove_var(MAX_RETRIES_ENV);
+        std::env::remove_var(FAULT_SEED_ENV);
+        assert!((cfg.faults.timeout_p - 0.0625).abs() < 1e-12);
+        assert_eq!(cfg.policy.max_retries, 7);
+        assert_eq!(cfg.faults.seed, 123);
+        // Unset -> fault-free direct path.
+        let off = ResilienceConfig::from_env();
+        assert!(!off.faults.any());
+        assert_eq!(off.policy.max_retries, RetryPolicy::default().max_retries);
+    }
+}

@@ -1,0 +1,543 @@
+//! Transport seam between [`ChatModel`] consumers and the model itself.
+//!
+//! Real LLM deployments sit behind a network: requests time out, rate
+//! limits fire, gateways return 5xx, latency spikes, and completions
+//! arrive truncated or garbled. The simulated workspace reproduces all
+//! of that behind one seam:
+//!
+//! * [`Transport`] — one attempt of one request: either a [`Reply`]
+//!   (text + simulated latency) or a [`TransportError`].
+//! * [`DirectTransport`] — the fault-free adapter around any
+//!   [`ChatModel`]; constant base latency, never errors.
+//! * [`FaultyTransport`] — deterministic, seed-driven fault injection at
+//!   configurable per-class probabilities ([`FaultConfig`]). Every fault
+//!   decision is a pure function of `(seed, request, attempt)` — *never*
+//!   of shared mutable state — so faults land on the same candidates
+//!   regardless of engine thread count or scheduling, and whole flow
+//!   runs are bit-reproducible given `(seed, config)`.
+//!
+//! The retry/backoff/degradation logic on top lives in
+//! [`crate::resilient`].
+
+use crate::{ChatModel, ChatRequest};
+use eda_exec::s_to_us;
+use serde::Serialize;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Attempt-index salt marking a hedged duplicate request, so the hedge
+/// draws an independent fault/latency outcome from the same transport.
+pub const HEDGE_ATTEMPT_SALT: u32 = 0x4000_0000;
+
+/// One successful transport attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    pub text: String,
+    /// Simulated time-to-completion for this attempt.
+    pub latency_us: u64,
+}
+
+/// Transport-level failure of one attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransportError {
+    /// The attempt produced no answer within the connection budget;
+    /// `waited_s` virtual seconds were burned finding out.
+    Timeout { waited_s: f64 },
+    /// 429-style rejection with an advertised retry-after.
+    RateLimited { retry_after_s: f64 },
+    /// Transient 5xx-style server failure.
+    Server { code: u16 },
+}
+
+impl TransportError {
+    /// Virtual seconds a caller spends on this failed attempt (the
+    /// timeout wait, the advertised retry-after, or a fast error reply).
+    pub fn cost_s(&self) -> f64 {
+        match self {
+            TransportError::Timeout { waited_s } => *waited_s,
+            TransportError::RateLimited { retry_after_s } => *retry_after_s,
+            TransportError::Server { .. } => 0.2,
+        }
+    }
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Timeout { waited_s } => {
+                write!(f, "timeout after {waited_s:.1}s")
+            }
+            TransportError::RateLimited { retry_after_s } => {
+                write!(f, "rate limited (retry after {retry_after_s:.1}s)")
+            }
+            TransportError::Server { code } => write!(f, "server error {code}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Counters of injected faults, by class. All-zero for fault-free
+/// transports. Totals are atomic sums, so they are identical across
+/// engine thread counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct FaultStats {
+    pub timeouts: u64,
+    pub rate_limits: u64,
+    pub server_errors: u64,
+    pub truncated: u64,
+    pub garbled: u64,
+    pub latency_spikes: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults of every class.
+    pub fn total(&self) -> u64 {
+        self.timeouts
+            + self.rate_limits
+            + self.server_errors
+            + self.truncated
+            + self.garbled
+            + self.latency_spikes
+    }
+
+    /// Faults that surface as [`TransportError`] (and therefore retry).
+    pub fn errors(&self) -> u64 {
+        self.timeouts + self.rate_limits + self.server_errors
+    }
+}
+
+/// One attempt of one request. Implementations must be pure per
+/// `(request, attempt)` — the same inputs always produce the same
+/// outcome — so flows stay deterministic under parallel evaluation.
+pub trait Transport: Send + Sync {
+    /// Transport display name (for logs and reports).
+    fn name(&self) -> &str;
+
+    /// Performs attempt `attempt` of `request`.
+    fn send(&self, request: &ChatRequest, attempt: u32) -> Result<Reply, TransportError>;
+
+    /// Injected-fault counters (all zero for fault-free transports).
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+}
+
+/// The fault-free adapter: completes through the wrapped model at a
+/// constant simulated base latency, never errors.
+#[derive(Debug, Clone)]
+pub struct DirectTransport<M> {
+    model: M,
+    base_latency_us: u64,
+}
+
+/// Default simulated time-to-completion of a healthy request (0.8 s).
+pub const BASE_LATENCY_US: u64 = 800_000;
+
+impl<M: ChatModel> DirectTransport<M> {
+    pub fn new(model: M) -> Self {
+        DirectTransport { model, base_latency_us: BASE_LATENCY_US }
+    }
+
+    /// Overrides the simulated base latency.
+    pub fn with_base_latency_us(mut self, us: u64) -> Self {
+        self.base_latency_us = us;
+        self
+    }
+}
+
+impl<M: ChatModel> Transport for DirectTransport<M> {
+    fn name(&self) -> &str {
+        self.model.name()
+    }
+
+    fn send(&self, request: &ChatRequest, _attempt: u32) -> Result<Reply, TransportError> {
+        Ok(Reply {
+            text: self.model.complete(request).text,
+            latency_us: self.base_latency_us,
+        })
+    }
+}
+
+/// Per-class fault probabilities plus the injection seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Attempt hangs and times out (error; costs [`FaultConfig::timeout_s`]).
+    pub timeout_p: f64,
+    /// 429-style rejection (error; costs the advertised retry-after).
+    pub rate_limit_p: f64,
+    /// Transient 5xx (error; fast failure).
+    pub server_error_p: f64,
+    /// Completion arrives cut off mid-stream.
+    pub truncate_p: f64,
+    /// Completion arrives with corrupted spans.
+    pub garble_p: f64,
+    /// Latency multiplied by [`FaultConfig::spike_factor`] (no error —
+    /// hedging territory).
+    pub latency_spike_p: f64,
+    /// Virtual seconds burned by one timed-out attempt.
+    pub timeout_s: f64,
+    /// Latency multiplier on a spike.
+    pub spike_factor: f64,
+    /// Injection seed: same `(seed, request, attempt)` → same faults.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    /// No faults injected.
+    fn default() -> Self {
+        FaultConfig {
+            timeout_p: 0.0,
+            rate_limit_p: 0.0,
+            server_error_p: 0.0,
+            truncate_p: 0.0,
+            garble_p: 0.0,
+            latency_spike_p: 0.0,
+            timeout_s: 10.0,
+            spike_factor: 8.0,
+            seed: 0x00fa_0175,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultConfig::default()
+    }
+
+    /// Spreads one overall fault `rate` over the classes with a fixed
+    /// mix (25% timeout, 20% rate-limit, 20% 5xx, 15% truncation,
+    /// 10% garbling, 10% latency spike). `rate` is clamped to `[0, 1]`.
+    pub fn uniform(rate: f64, seed: u64) -> Self {
+        let r = rate.clamp(0.0, 1.0);
+        FaultConfig {
+            timeout_p: 0.25 * r,
+            rate_limit_p: 0.20 * r,
+            server_error_p: 0.20 * r,
+            truncate_p: 0.15 * r,
+            garble_p: 0.10 * r,
+            latency_spike_p: 0.10 * r,
+            seed,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// True when any class has nonzero probability.
+    pub fn any(&self) -> bool {
+        self.timeout_p > 0.0
+            || self.rate_limit_p > 0.0
+            || self.server_error_p > 0.0
+            || self.truncate_p > 0.0
+            || self.garble_p > 0.0
+            || self.latency_spike_p > 0.0
+    }
+
+    /// Probability that one attempt fails with a [`TransportError`].
+    pub fn error_rate(&self) -> f64 {
+        (self.timeout_p + self.rate_limit_p + self.server_error_p).min(1.0)
+    }
+}
+
+/// Deterministic per-attempt uniform stream: FNV-1a over the request
+/// identity, then splitmix64 per draw. Draw order is fixed, so the same
+/// `(seed, request, attempt)` always yields the same fault pattern.
+struct FaultDraw {
+    state: u64,
+}
+
+impl FaultDraw {
+    fn new(seed: u64, request: &ChatRequest, attempt: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        for b in request.prompt.bytes() {
+            mix(b as u64);
+        }
+        mix(request.temperature.to_bits());
+        mix(request.sample_index as u64);
+        mix(attempt as u64);
+        FaultDraw { state: h }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// One Bernoulli trial (always consumes exactly one draw).
+    fn hit(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+}
+
+/// Atomic mirror of [`FaultStats`].
+#[derive(Debug, Default)]
+struct AtomicFaultStats {
+    timeouts: AtomicU64,
+    rate_limits: AtomicU64,
+    server_errors: AtomicU64,
+    truncated: AtomicU64,
+    garbled: AtomicU64,
+    latency_spikes: AtomicU64,
+}
+
+impl AtomicFaultStats {
+    fn snapshot(&self) -> FaultStats {
+        FaultStats {
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            rate_limits: self.rate_limits.load(Ordering::Relaxed),
+            server_errors: self.server_errors.load(Ordering::Relaxed),
+            truncated: self.truncated.load(Ordering::Relaxed),
+            garbled: self.garbled.load(Ordering::Relaxed),
+            latency_spikes: self.latency_spikes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Seed-driven fault-injecting wrapper around any [`Transport`].
+#[derive(Debug)]
+pub struct FaultyTransport<T> {
+    inner: T,
+    cfg: FaultConfig,
+    stats: AtomicFaultStats,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    pub fn new(inner: T, cfg: FaultConfig) -> Self {
+        FaultyTransport { inner, cfg, stats: AtomicFaultStats::default() }
+    }
+
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn send(&self, request: &ChatRequest, attempt: u32) -> Result<Reply, TransportError> {
+        // One Bernoulli draw per class, in fixed order, so the outcome
+        // stream is a pure function of (seed, request, attempt).
+        let mut draw = FaultDraw::new(self.cfg.seed, request, attempt);
+        let timeout = draw.hit(self.cfg.timeout_p);
+        let rate_limited = draw.hit(self.cfg.rate_limit_p);
+        let server = draw.hit(self.cfg.server_error_p);
+        let spike = draw.hit(self.cfg.latency_spike_p);
+        let truncate = draw.hit(self.cfg.truncate_p);
+        let garble = draw.hit(self.cfg.garble_p);
+        if timeout {
+            self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+            return Err(TransportError::Timeout { waited_s: self.cfg.timeout_s });
+        }
+        if rate_limited {
+            self.stats.rate_limits.fetch_add(1, Ordering::Relaxed);
+            return Err(TransportError::RateLimited {
+                retry_after_s: 1.0 + (draw.unit() * 4.0 * 10.0).round() / 10.0,
+            });
+        }
+        if server {
+            self.stats.server_errors.fetch_add(1, Ordering::Relaxed);
+            let code = if draw.unit() < 0.5 { 500 } else { 503 };
+            return Err(TransportError::Server { code });
+        }
+        let mut reply = self.inner.send(request, attempt)?;
+        if spike {
+            self.stats.latency_spikes.fetch_add(1, Ordering::Relaxed);
+            reply.latency_us = s_to_us(
+                reply.latency_us as f64 / 1e6 * self.cfg.spike_factor.max(1.0),
+            );
+        }
+        if truncate {
+            self.stats.truncated.fetch_add(1, Ordering::Relaxed);
+            reply.text = truncate_text(&reply.text, draw.unit());
+        } else if garble {
+            self.stats.garbled.fetch_add(1, Ordering::Relaxed);
+            reply.text = garble_text(&reply.text, &mut draw);
+        }
+        Ok(reply)
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.stats.snapshot()
+    }
+}
+
+/// Cuts a completion off mid-stream, keeping a `[0.2, 0.8)` prefix
+/// (UTF-8-safe).
+fn truncate_text(text: &str, unit: f64) -> String {
+    let keep = ((text.len() as f64) * (0.2 + 0.6 * unit)) as usize;
+    let mut cut = keep.min(text.len());
+    while cut > 0 && !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    text[..cut].to_string()
+}
+
+/// Corrupts ~8% of the bytes of a completion with punctuation noise
+/// (only ASCII positions are touched, so the result stays valid UTF-8).
+fn garble_text(text: &str, draw: &mut FaultDraw) -> String {
+    const NOISE: &[u8; 16] = b"#@$%^&*~`?<>|\\{}";
+    let mut bytes = text.as_bytes().to_vec();
+    for b in bytes.iter_mut() {
+        if b.is_ascii() && draw.hit(0.08) {
+            *b = NOISE[(draw.next_u64() as usize) % NOISE.len()];
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelSpec, SimulatedLlm};
+
+    fn req(prompt: &str, idx: u32) -> ChatRequest {
+        ChatRequest { prompt: prompt.into(), temperature: 0.4, sample_index: idx }
+    }
+
+    fn faulty(rate: f64, seed: u64) -> FaultyTransport<DirectTransport<SimulatedLlm>> {
+        FaultyTransport::new(
+            DirectTransport::new(SimulatedLlm::new(ModelSpec::ultra())),
+            FaultConfig::uniform(rate, seed),
+        )
+    }
+
+    #[test]
+    fn direct_transport_is_faithful_and_fault_free() {
+        let model = SimulatedLlm::new(ModelSpec::ultra());
+        let t = DirectTransport::new(model.clone());
+        let r = req("hello", 0);
+        let reply = t.send(&r, 0).unwrap();
+        assert_eq!(reply.text, model.complete(&r).text);
+        assert_eq!(reply.latency_us, BASE_LATENCY_US);
+        assert_eq!(t.fault_stats().total(), 0);
+    }
+
+    #[test]
+    fn fault_outcome_is_pure_per_request_and_attempt() {
+        let t = faulty(0.5, 42);
+        for i in 0..40u32 {
+            let r = req("probe", i);
+            for attempt in 0..3 {
+                let a = t.send(&r, attempt);
+                let b = t.send(&r, attempt);
+                assert_eq!(a, b, "request {i} attempt {attempt} not reproducible");
+            }
+        }
+    }
+
+    #[test]
+    fn different_attempts_draw_independent_faults() {
+        let t = faulty(0.5, 7);
+        let outcomes: Vec<bool> = (0..64u32)
+            .map(|a| t.send(&req("same prompt", 1), a).is_ok())
+            .collect();
+        assert!(outcomes.iter().any(|o| *o), "some attempt must succeed");
+        assert!(outcomes.iter().any(|o| !*o), "some attempt must fail at p=0.5");
+    }
+
+    #[test]
+    fn seed_changes_fault_pattern() {
+        let pattern = |seed: u64| -> Vec<bool> {
+            let t = faulty(0.4, seed);
+            (0..64u32).map(|i| t.send(&req("x", i), 0).is_ok()).collect()
+        };
+        assert_ne!(pattern(1), pattern(2));
+        assert_eq!(pattern(3), pattern(3));
+    }
+
+    #[test]
+    fn all_fault_classes_fire_and_are_counted() {
+        let t = faulty(0.9, 11);
+        let mut ok = 0u32;
+        for i in 0..300u32 {
+            if t.send(&req("class sweep", i), 0).is_ok() {
+                ok += 1;
+            }
+        }
+        let s = t.fault_stats();
+        assert!(s.timeouts > 0, "{s:?}");
+        assert!(s.rate_limits > 0, "{s:?}");
+        assert!(s.server_errors > 0, "{s:?}");
+        assert!(s.truncated > 0, "{s:?}");
+        assert!(s.garbled > 0, "{s:?}");
+        assert!(s.latency_spikes > 0, "{s:?}");
+        assert_eq!(s.errors(), 300 - ok as u64);
+    }
+
+    #[test]
+    fn certain_timeout_always_errors() {
+        let cfg = FaultConfig { timeout_p: 1.0, ..FaultConfig::default() };
+        let t = FaultyTransport::new(
+            DirectTransport::new(SimulatedLlm::new(ModelSpec::basic())),
+            cfg,
+        );
+        for i in 0..10u32 {
+            match t.send(&req("y", i), 0) {
+                Err(TransportError::Timeout { waited_s }) => assert_eq!(waited_s, 10.0),
+                other => panic!("expected timeout, got {other:?}"),
+            }
+        }
+        assert_eq!(t.fault_stats().timeouts, 10);
+    }
+
+    #[test]
+    fn truncation_shortens_and_garbling_corrupts() {
+        let model = SimulatedLlm::new(ModelSpec::ultra());
+        let clean = model.complete(&req("z", 0)).text;
+        let trunc = FaultyTransport::new(
+            DirectTransport::new(model.clone()),
+            FaultConfig { truncate_p: 1.0, ..FaultConfig::default() },
+        );
+        let t = trunc.send(&req("z", 0), 0).unwrap().text;
+        assert!(t.len() < clean.len(), "{} vs {}", t.len(), clean.len());
+        assert!(clean.starts_with(&t), "truncation must be a prefix");
+
+        let garb = FaultyTransport::new(
+            DirectTransport::new(model),
+            FaultConfig { garble_p: 1.0, ..FaultConfig::default() },
+        );
+        let g = garb.send(&req("z", 0), 0).unwrap().text;
+        assert_eq!(g.len(), clean.len());
+        assert_ne!(g, clean, "garbling must corrupt some bytes");
+    }
+
+    #[test]
+    fn latency_spike_multiplies_base_latency() {
+        let t = FaultyTransport::new(
+            DirectTransport::new(SimulatedLlm::new(ModelSpec::basic())),
+            FaultConfig { latency_spike_p: 1.0, ..FaultConfig::default() },
+        );
+        let reply = t.send(&req("w", 0), 0).unwrap();
+        assert_eq!(reply.latency_us, BASE_LATENCY_US * 8);
+        assert_eq!(t.fault_stats().latency_spikes, 1);
+    }
+
+    #[test]
+    fn uniform_mix_sums_to_rate() {
+        let c = FaultConfig::uniform(0.4, 0);
+        let sum = c.timeout_p
+            + c.rate_limit_p
+            + c.server_error_p
+            + c.truncate_p
+            + c.garble_p
+            + c.latency_spike_p;
+        assert!((sum - 0.4).abs() < 1e-12);
+        assert!(c.any());
+        assert!(!FaultConfig::none().any());
+        assert!((FaultConfig::uniform(0.4, 0).error_rate() - 0.26).abs() < 1e-12);
+    }
+}

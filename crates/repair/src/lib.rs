@@ -32,7 +32,7 @@ pub use corpus::{corpus, BrokenProgram};
 use eda_cmini::{hls_compat_scan, parse, Incompat};
 use eda_exec::{Engine, EvalCache, EvalKey};
 use eda_hls::{cosim, random_inputs, HlsOptions, HlsProject, PpaReport};
-use eda_llm::{prompts, ChatModel, ChatRequest};
+use eda_llm::{prompts, ChatModel, ChatRequest, LlmReport, ResilienceConfig, ResilientClient};
 use eda_rag::{repair_corpus, Index};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -49,11 +49,21 @@ pub struct RepairConfig {
     /// Random inputs for equivalence verification.
     pub cosim_inputs: usize,
     pub seed: u64,
+    /// LLM transport resilience (fault injection, retries, degradation).
+    /// Defaults from `EDA_LLM_FAULT_RATE` & co.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for RepairConfig {
     fn default() -> Self {
-        RepairConfig { max_rounds: 8, use_rag: true, temperature: 0.3, cosim_inputs: 12, seed: 1 }
+        RepairConfig {
+            max_rounds: 8,
+            use_rag: true,
+            temperature: 0.3,
+            cosim_inputs: 12,
+            seed: 1,
+            resilience: ResilienceConfig::default(),
+        }
     }
 }
 
@@ -86,6 +96,9 @@ pub struct RepairReport {
     /// candidates, not equivalence failures).
     pub cpu_faults: usize,
     pub final_source: String,
+    /// LLM transport counters (requests, retries, injected faults,
+    /// degraded completions, virtual time).
+    pub llm: LlmReport,
 }
 
 /// Runs stages 1–3 of the pipeline.
@@ -96,6 +109,7 @@ pub fn run_repair(
     cfg: &RepairConfig,
 ) -> RepairReport {
     let rag: Index = repair_corpus().into_iter().map(|t| t.to_document()).collect();
+    let client = ResilientClient::new(model, &cfg.resilience);
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x005e_9a77);
 
     // Stage 1: preprocessing.
@@ -135,7 +149,7 @@ pub fn run_repair(
         if let Some(hit) = &template {
             prompt.push_str(&prompts::template_section(&hit.doc.body));
         }
-        let resp = model.complete(&ChatRequest {
+        let resp = client.complete(&ChatRequest {
             prompt,
             temperature: cfg.temperature,
             sample_index: round + cfg.seed as u32 * 13,
@@ -191,6 +205,7 @@ pub fn run_repair(
         equivalent,
         cpu_faults,
         final_source: current,
+        llm: client.report(),
     }
 }
 
@@ -480,6 +495,21 @@ mod tests {
             }
         }
         assert!(with_rag > without, "RAG {with_rag} vs no-RAG {without}");
+    }
+
+    #[test]
+    fn faulty_transport_repair_is_reproducible() {
+        let model = SimulatedLlm::new(ModelSpec::ultra());
+        let p = corpus().into_iter().find(|p| p.id == "vecsum-malloc").unwrap();
+        let cfg = RepairConfig {
+            resilience: ResilienceConfig::with_fault_rate(0.3, 7),
+            ..RepairConfig::default()
+        };
+        let a = run_repair(&model, p.source, p.func, &cfg);
+        let b = run_repair(&model, p.source, p.func, &cfg);
+        assert_eq!(a.final_source, b.final_source);
+        assert_eq!(a.llm, b.llm);
+        assert!(a.llm.requests > 0);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub use pool::{CandidatePool, PoolEntry};
 pub use virtual_clock::VirtualClock;
 
 use eda_exec::{Engine, EvalCache, EvalKey, ExecReport};
-use eda_llm::{prompts, ChatModel, ChatRequest};
+use eda_llm::{prompts, ChatModel, ChatRequest, LlmReport, ResilienceConfig, ResilientClient};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -58,6 +58,9 @@ pub struct SltConfig {
     /// Normalized distance under which snippets count as near-duplicates.
     pub near_duplicate_distance: f64,
     pub seed: u64,
+    /// LLM transport resilience (fault injection, retries, degradation).
+    /// Defaults from `EDA_LLM_FAULT_RATE` & co.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for SltConfig {
@@ -75,6 +78,7 @@ impl Default for SltConfig {
             max_temperature: 1.4,
             near_duplicate_distance: 0.12,
             seed: 1,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -89,6 +93,9 @@ pub struct SltRun {
     /// Execution-engine counters for this run (seed-pool batch + cached
     /// per-iteration power measurements).
     pub exec: ExecReport,
+    /// LLM transport counters (requests, retries, injected faults,
+    /// degraded completions, virtual time).
+    pub llm: LlmReport,
 }
 
 /// Handwritten seed programs ("initially, we provide a handwritten set of
@@ -165,6 +172,7 @@ pub fn run_slt_llm_with(model: &dyn ChatModel, cfg: &SltConfig, engine: &Engine)
     let budget = cfg.virtual_hours * 3600.0;
     let cache: EvalCache<f64> = EvalCache::new();
     let exec_base = engine.report();
+    let client = ResilientClient::new(model, &cfg.resilience);
 
     let mut pool = CandidatePool::new(cfg.pool_capacity);
     let seeds = handwritten_examples();
@@ -203,7 +211,7 @@ pub fn run_slt_llm_with(model: &dyn ChatModel, cfg: &SltConfig, engine: &Engine)
             prompt.push_str(prompts::scot_marker());
         }
         sample_index += 1;
-        let resp = model.complete(&ChatRequest {
+        let resp = client.complete(&ChatRequest {
             prompt,
             temperature,
             sample_index: sample_index + cfg.seed as u32 * 1009,
@@ -253,6 +261,7 @@ pub fn run_slt_llm_with(model: &dyn ChatModel, cfg: &SltConfig, engine: &Engine)
         pool_diversity: pool.diversity(),
         pool_best: pool.best().map(|e| e.score).unwrap_or(0.0),
         exec: ExecReport::since(engine, &cache, &exec_base),
+        llm: client.report(),
     }
 }
 
@@ -344,6 +353,24 @@ mod tests {
         let b = run_slt_llm(&model, &cfg);
         assert_eq!(a.run.best_power_w, b.run.best_power_w);
         assert_eq!(a.run.evaluations, b.run.evaluations);
+    }
+
+    #[test]
+    fn faulty_transport_loop_still_converges() {
+        let model = SimulatedLlm::new(ModelSpec::code_llama_ft());
+        let cfg = SltConfig {
+            virtual_hours: 0.6,
+            resilience: ResilienceConfig::with_fault_rate(0.3, 5),
+            ..SltConfig::default()
+        };
+        let run = run_slt_llm(&model, &cfg);
+        assert!(run.llm.faults.total() > 0, "{:?}", run.llm);
+        assert!(run.llm.retries > 0, "{:?}", run.llm);
+        assert!(run.run.best_power_w > 0.0);
+        // Bit-reproducible under injected faults.
+        let again = run_slt_llm(&model, &cfg);
+        assert_eq!(run.run.best_power_w, again.run.best_power_w);
+        assert_eq!(run.llm, again.llm);
     }
 
     #[test]

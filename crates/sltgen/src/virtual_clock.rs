@@ -5,46 +5,10 @@
 //! points in the power-vs-time series) without burning real days: each
 //! evaluation advances virtual time by the measured per-snippet cost of
 //! the original setup.
+//!
+//! The implementation now lives in `eda-exec` (shared with the LLM
+//! transport resilience layer, which bills retries/backoff against the
+//! same virtual timebase); this module re-exports it so existing
+//! `sltgen::virtual_clock` callers keep working.
 
-/// A virtual clock accumulating seconds.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct VirtualClock {
-    seconds: f64,
-}
-
-impl VirtualClock {
-    /// Starts at zero.
-    pub fn new() -> Self {
-        VirtualClock::default()
-    }
-
-    /// Advances by `seconds`.
-    pub fn advance(&mut self, seconds: f64) {
-        self.seconds += seconds.max(0.0);
-    }
-
-    /// Elapsed virtual seconds.
-    pub fn seconds(&self) -> f64 {
-        self.seconds
-    }
-
-    /// Elapsed virtual hours.
-    pub fn hours(&self) -> f64 {
-        self.seconds / 3600.0
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn accumulates() {
-        let mut c = VirtualClock::new();
-        c.advance(1800.0);
-        c.advance(1800.0);
-        assert!((c.hours() - 1.0).abs() < 1e-12);
-        c.advance(-5.0); // negative advances are ignored
-        assert!((c.seconds() - 3600.0).abs() < 1e-12);
-    }
-}
+pub use eda_exec::{SharedClock, VirtualClock};

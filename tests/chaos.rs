@@ -1,0 +1,207 @@
+//! Chaos suite: every flow must survive an unreliable LLM transport.
+//!
+//! The resilience layer (`eda_llm::transport` + `eda_llm::resilient`)
+//! injects timeouts, rate limits, 5xx errors, truncated/garbled
+//! completions, and latency spikes at configurable probabilities. These
+//! properties pin the contract:
+//!
+//! * for arbitrary fault probabilities up to 0.5 and arbitrary seeds,
+//!   every flow returns `Ok` — it never panics and never runs past its
+//!   per-request virtual-clock deadline;
+//! * fault injection is bit-reproducible given `(seed, config)`: the
+//!   same run serializes byte-identically every time.
+//!
+//! CI runs this file with `EDA_LLM_FAULT_RATE=0.3` exported so the
+//! env-driven default path is exercised end to end as well (the
+//! `configured_fault_rate` test below reads the variable; it never sets
+//! it, so local `cargo test` runs the same test fault-free).
+
+use llm4eda::{autochip, hlstester, llm, repair, sltgen, suite};
+use proptest::prelude::*;
+
+fn ultra() -> llm::SimulatedLlm {
+    llm::SimulatedLlm::new(llm::ModelSpec::ultra())
+}
+
+fn resilience(rate: f64, seed: u64) -> llm::ResilienceConfig {
+    llm::ResilienceConfig::with_fault_rate(rate, seed)
+}
+
+/// Worst admissible virtual cost per request: the retry policy's
+/// 120-second deadline plus one full attempt (timeout 10 s, spiked
+/// latency < 7 s) that may start just under it.
+const WORST_REQUEST_US: u64 = 140 * 1_000_000;
+
+fn assert_bounded_virtual_time(report: &llm::LlmReport, flow: &str) {
+    assert!(
+        report.virtual_time_us <= report.requests * WORST_REQUEST_US,
+        "{flow}: virtual time ran past the per-request deadline: {report:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// AutoChip completes under any fault mix up to 0.5.
+    #[test]
+    fn autochip_survives_arbitrary_fault_rates(rate_pct in 0u32..=50, seed in 0u64..10_000) {
+        let problem = suite::problem("mux2").unwrap();
+        let cfg = autochip::AutoChipConfig {
+            k_candidates: 2,
+            max_depth: 2,
+            tb_vectors: 8,
+            resilience: resilience(rate_pct as f64 / 100.0, seed),
+            ..Default::default()
+        };
+        let r = autochip::run_autochip(&ultra(), &problem, &cfg).unwrap();
+        prop_assert!(r.llm.requests > 0);
+        assert_bounded_virtual_time(&r.llm, "autochip");
+    }
+
+    /// The SLT loop stays inside its virtual budget under faults.
+    #[test]
+    fn slt_survives_arbitrary_fault_rates(rate_pct in 0u32..=50, seed in 0u64..10_000) {
+        let cfg = sltgen::SltConfig {
+            virtual_hours: 0.15,
+            resilience: resilience(rate_pct as f64 / 100.0, seed),
+            ..Default::default()
+        };
+        let run = sltgen::run_slt_llm(&ultra(), &cfg);
+        // The snippet budget is time-driven and unaffected by transport
+        // faults (a failed completion still costs one snippet slot).
+        let budget = (0.15 * 3600.0 / cfg.seconds_per_snippet).ceil() as usize;
+        prop_assert!(run.run.evaluations <= budget + 1, "{}", run.run.evaluations);
+        assert_bounded_virtual_time(&run.llm, "slt");
+    }
+
+    /// The repair pipeline completes under any fault mix up to 0.5.
+    #[test]
+    fn repair_survives_arbitrary_fault_rates(rate_pct in 0u32..=50, seed in 0u64..10_000) {
+        let p = repair::corpus().into_iter().find(|p| p.id == "vecsum-malloc").unwrap();
+        let cfg = repair::RepairConfig {
+            max_rounds: 4,
+            cosim_inputs: 4,
+            resilience: resilience(rate_pct as f64 / 100.0, seed),
+            ..Default::default()
+        };
+        let r = repair::run_repair(&ultra(), p.source, p.func, &cfg);
+        prop_assert!(r.llm.requests > 0);
+        assert_bounded_virtual_time(&r.llm, "repair");
+    }
+
+    /// HLSTester completes under any fault mix up to 0.5 (the adaptation
+    /// stage is its LLM traffic; a printf source forces it to run).
+    #[test]
+    fn hlstester_survives_arbitrary_fault_rates(rate_pct in 0u32..=50, seed in 0u64..10_000) {
+        let src = r#"
+int noisy(int a) {
+  #pragma HLS bitwidth var=x width=8
+  int x = a * 3;
+  printf("%d", x);
+  return x;
+}"#;
+        let cfg = hlstester::HlsTesterConfig {
+            rounds: 2,
+            batch: 4,
+            hw_sim_budget: 6,
+            resilience: resilience(rate_pct as f64 / 100.0, seed),
+            ..Default::default()
+        };
+        let r = hlstester::run_hlstester(&ultra(), src, "noisy", &cfg).unwrap();
+        prop_assert!(r.llm.requests > 0);
+        assert_bounded_virtual_time(&r.llm, "hlstester");
+    }
+
+    /// Fault injection is bit-reproducible: the same (seed, config) run
+    /// serializes byte-identically, including every fault counter.
+    #[test]
+    fn fault_injection_is_bit_reproducible(rate_pct in 0u32..=50, seed in 0u64..10_000) {
+        let problem = suite::problem("counter4").unwrap();
+        let cfg = autochip::AutoChipConfig {
+            k_candidates: 3,
+            max_depth: 2,
+            tb_vectors: 8,
+            resilience: resilience(rate_pct as f64 / 100.0, seed),
+            ..Default::default()
+        };
+        let a = autochip::run_autochip(&ultra(), &problem, &cfg).unwrap();
+        let b = autochip::run_autochip(&ultra(), &problem, &cfg).unwrap();
+        prop_assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+}
+
+/// End-to-end sweep at the fault rate CI exports via
+/// `EDA_LLM_FAULT_RATE` (defaults to 0 locally, where the counters are
+/// legitimately zero): all four flows finish, and at substantial rates
+/// they do so while actually absorbing faults.
+#[test]
+fn all_flows_survive_the_configured_fault_rate() {
+    let rate: f64 = std::env::var(llm::FAULT_RATE_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0.0);
+    let res = resilience(rate, 0xc4a05);
+    let model = ultra();
+
+    let problem = suite::problem("alu8").unwrap();
+    let a = autochip::run_autochip(
+        &model,
+        &problem,
+        &autochip::AutoChipConfig {
+            k_candidates: 3,
+            max_depth: 3,
+            resilience: res.clone(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let s = sltgen::run_slt_llm(
+        &llm::SimulatedLlm::new(llm::ModelSpec::code_llama_ft()),
+        &sltgen::SltConfig { virtual_hours: 0.3, resilience: res.clone(), ..Default::default() },
+    );
+
+    let p = repair::corpus().into_iter().find(|p| p.id == "vecsum-malloc").unwrap();
+    let rp = repair::run_repair(
+        &model,
+        p.source,
+        p.func,
+        &repair::RepairConfig { resilience: res.clone(), ..Default::default() },
+    );
+
+    let noisy = r#"
+int noisy(int a) {
+  #pragma HLS bitwidth var=x width=8
+  int x = a * 3;
+  printf("%d", x);
+  return x;
+}"#;
+    let h = hlstester::run_hlstester(
+        &model,
+        noisy,
+        "noisy",
+        &hlstester::HlsTesterConfig { resilience: res, ..Default::default() },
+    )
+    .unwrap();
+
+    for (flow, rep) in
+        [("autochip", &a.llm), ("slt", &s.llm), ("repair", &rp.llm), ("hlstester", &h.llm)]
+    {
+        assert!(rep.requests > 0, "{flow} issued no LLM requests");
+        assert_bounded_virtual_time(rep, flow);
+        if rate == 0.0 {
+            assert_eq!(rep.faults.total(), 0, "{flow} injected faults at rate 0");
+            assert_eq!(rep.retries, 0, "{flow} retried at rate 0");
+        }
+    }
+    if rate >= 0.2 {
+        let faults: u64 =
+            [&a.llm, &s.llm, &rp.llm, &h.llm].iter().map(|r| r.faults.total()).sum();
+        let retries: u64 = [&a.llm, &s.llm, &rp.llm, &h.llm].iter().map(|r| r.retries).sum();
+        assert!(faults > 0, "rate {rate} injected no faults across four flows");
+        assert!(retries > 0, "rate {rate} triggered no retries across four flows");
+    }
+}

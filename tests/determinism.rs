@@ -106,6 +106,47 @@ fn repair_batch_matches_sequential_single_runs() {
 }
 
 #[test]
+fn autochip_with_faulty_transport_is_deterministic_across_engines() {
+    // Fault injection is pure per (seed, request, attempt), so retries,
+    // degradations, and corrupted completions land on the same
+    // candidates whichever engine evaluates them: parallel and
+    // sequential runs must still serialize byte-identically — including
+    // the fault counters in the `llm` report.
+    let model = ultra();
+    let problem = suite::problem("alu8").unwrap();
+    let cfg = autochip::AutoChipConfig {
+        k_candidates: 4,
+        max_depth: 3,
+        seed: 11,
+        resilience: llm::ResilienceConfig::with_fault_rate(0.35, 21),
+        ..Default::default()
+    };
+    let runs = four_runs(|engine| {
+        autochip::run_autochip_with(&model, &problem, &cfg, engine).expect("suite testbench")
+    });
+    assert_all_identical(&runs, "autochip-faulty");
+    // The config must actually have exercised the fault path, or this
+    // test silently degenerates into the fault-free variant above.
+    let run = autochip::run_autochip(&model, &problem, &cfg).unwrap();
+    assert!(run.llm.faults.total() > 0, "fault rate 0.35 injected nothing: {:?}", run.llm);
+}
+
+#[test]
+fn slt_with_faulty_transport_is_deterministic_across_engines() {
+    let model = ultra();
+    let cfg = sltgen::SltConfig {
+        virtual_hours: 1.0,
+        seed: 5,
+        resilience: llm::ResilienceConfig::with_fault_rate(0.35, 13),
+        ..Default::default()
+    };
+    let runs = four_runs(|engine| sltgen::run_slt_llm_with(&model, &cfg, engine));
+    assert_all_identical(&runs, "slt-llm-faulty");
+    let run = sltgen::run_slt_llm(&model, &cfg);
+    assert!(run.llm.faults.total() > 0, "fault rate 0.35 injected nothing: {:?}", run.llm);
+}
+
+#[test]
 fn autochip_cache_hits_are_counted_and_stable() {
     // With a weak model and several rounds, duplicate candidates are
     // common: the per-run eval cache must report hits, and identically so

@@ -8,9 +8,6 @@ use proptest::prelude::*;
 /// Deterministic byte-level mutation of a source string.
 fn mutate(src: &str, seed: u64) -> String {
     let mut bytes: Vec<u8> = src.bytes().collect();
-    if bytes.is_empty() {
-        return String::new();
-    }
     let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
     let mut next = || {
         state ^= state << 13;
@@ -19,14 +16,17 @@ fn mutate(src: &str, seed: u64) -> String {
         state
     };
     for _ in 0..1 + seed % 5 {
+        // Re-check emptiness and recompute the position bound at the top
+        // of EVERY iteration: delete and truncate shrink the buffer, so
+        // any index derived from an earlier length may be past the end.
+        if bytes.is_empty() {
+            break;
+        }
         let pos = (next() as usize) % bytes.len();
         match next() % 3 {
             0 => {
                 // Delete a byte.
                 bytes.remove(pos);
-                if bytes.is_empty() {
-                    return String::new();
-                }
             }
             1 => bytes[pos] = b"(){};=<>+-*/&|^~!#@$"[(next() as usize) % 20],
             _ => {
@@ -36,6 +36,18 @@ fn mutate(src: &str, seed: u64) -> String {
         }
     }
     String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[test]
+fn mutate_survives_tiny_sources() {
+    // Regression: repeated delete/truncate edits on short inputs must
+    // never index past the shrunk buffer or panic on emptiness.
+    for src in ["", "a", "ab", ";", "{}"] {
+        for seed in 0..2000u64 {
+            let out = mutate(src, seed);
+            assert!(out.len() <= src.len(), "mutation never grows: {out:?}");
+        }
+    }
 }
 
 #[test]
