@@ -21,7 +21,7 @@
 //! assert!(r.best_score > 0.9);
 //! ```
 
-use eda_exec::{Engine, EvalCache, EvalKey, ExecReport};
+use eda_exec::{CancelToken, Engine, EvalCache, EvalKey, ExecReport};
 use eda_hdl::{check_source, HdlError, TbReport, VectorTest};
 use eda_llm::{prompts, ChatModel, ChatRequest, LlmReport, ResilienceConfig, ResilientClient};
 use eda_suite::Problem;
@@ -43,6 +43,9 @@ pub struct AutoChipConfig {
     /// Defaults from `EDA_LLM_FAULT_RATE` & co.; unset env means the
     /// fault-free direct path, byte-identical to calling the model.
     pub resilience: ResilienceConfig,
+    /// Cooperative cancellation, polled at round boundaries: once the
+    /// token fires the loop winds down and returns its partial result.
+    pub cancel: CancelToken,
 }
 
 impl Default for AutoChipConfig {
@@ -54,6 +57,7 @@ impl Default for AutoChipConfig {
             tb_vectors: 48,
             seed: 1,
             resilience: ResilienceConfig::default(),
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -169,6 +173,9 @@ pub fn run_autochip_with(
     let mut evaluated = 0u32;
 
     for depth in 0..cfg.max_depth.max(1) {
+        if cfg.cancel.is_cancelled() {
+            break;
+        }
         // Sample this round's k candidates as one parallel batch (each
         // sample index is fixed up front, so streams match the
         // sequential path).
@@ -249,6 +256,8 @@ pub struct StructuredFlowConfig {
     pub seed: u64,
     /// LLM transport resilience (see [`AutoChipConfig::resilience`]).
     pub resilience: ResilienceConfig,
+    /// Cooperative cancellation (see [`AutoChipConfig::cancel`]).
+    pub cancel: CancelToken,
 }
 
 impl Default for StructuredFlowConfig {
@@ -260,6 +269,7 @@ impl Default for StructuredFlowConfig {
             tb_vectors: 48,
             seed: 1,
             resilience: ResilienceConfig::default(),
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -300,6 +310,9 @@ pub fn run_structured_flow(
     let mut humans = 0u32;
     let mut rounds_used = 0u32;
     for round in 0..cfg.max_rounds.max(1) {
+        if cfg.cancel.is_cancelled() {
+            break;
+        }
         rounds_used = round + 1;
         let resp = client.complete(&ChatRequest {
             prompt: prompt.clone(),

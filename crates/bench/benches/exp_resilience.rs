@@ -76,7 +76,7 @@ fn sweep(
             };
             let r = run_autochip(model, &problem, &cfg).expect("suite testbench");
             passes.push(r.solved as u8 as f64);
-            accumulate(&mut llm, &r.llm);
+            llm.merge(&r.llm);
         }
     }
     (mean(&passes), llm)
@@ -148,24 +148,6 @@ fn main() {
         )
     );
     write_json("exp_resilience", &json);
-}
-
-/// Sums the serializable counters of one run into the sweep total.
-fn accumulate(total: &mut LlmReport, run: &LlmReport) {
-    total.requests += run.requests;
-    total.retries += run.retries;
-    total.hedges += run.hedges;
-    total.hedge_wins += run.hedge_wins;
-    total.exhausted += run.exhausted;
-    total.fallback_completions += run.fallback_completions;
-    total.degraded |= run.degraded;
-    total.faults.timeouts += run.faults.timeouts;
-    total.faults.rate_limits += run.faults.rate_limits;
-    total.faults.server_errors += run.faults.server_errors;
-    total.faults.truncated += run.faults.truncated;
-    total.faults.garbled += run.faults.garbled;
-    total.faults.latency_spikes += run.faults.latency_spikes;
-    total.virtual_time_us += run.virtual_time_us;
 }
 
 /// FNV-1a over a string (fault-seed material).

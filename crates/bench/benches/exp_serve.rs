@@ -1,0 +1,272 @@
+//! E11 — serving: multi-tenant scheduling + cross-job LLM coalescing.
+//!
+//! Drives the `eda-serve` layer with seeded synthetic traffic and
+//! measures what the paper's flows look like as a *service* rather than
+//! a library call:
+//!
+//! 1. **Coalescing sweep** — the same duplicate-heavy trace with the
+//!    cross-job request cache on vs. off. Job outcomes are required to
+//!    be identical (coalescing is a pure transport-call optimization);
+//!    the hit rate and the saved transport requests are the result.
+//! 2. **Load sweep** — arrival rate from light to far past saturation
+//!    at a fixed worker count: throughput, p50/p99 virtual wait, and
+//!    the shed rate. Below the admission limits the shed rate must be
+//!    exactly zero; above them it grows but stays bounded (the
+//!    scheduler never queues unboundedly).
+//! 3. **Fair-share check** — a saturated two-tenant trace showing the
+//!    billed-service split tracking the configured 3:1 weights.
+
+use eda_bench::{banner, format_table, write_json};
+use eda_llm::{ModelSpec, SimulatedLlm};
+use eda_serve::{
+    generate_trace, serve_trace_with, ServeConfig, TenantConfig, TrafficConfig,
+};
+use eda_exec::Engine;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CoalesceRow {
+    duplicate_rate: f64,
+    coalesce: bool,
+    transport_requests: u64,
+    coalesce_hits: u64,
+    hit_rate: f64,
+    completed: u64,
+    outcomes_digest: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct LoadRow {
+    mean_interarrival_s: f64,
+    submitted: u64,
+    completed: u64,
+    shed: u64,
+    shed_rate: f64,
+    p50_wait_s: f64,
+    p99_wait_s: f64,
+    throughput_per_hour: f64,
+}
+
+#[derive(Serialize)]
+struct ShareRow {
+    tenant: String,
+    weight: u64,
+    completed: u64,
+    /// Share of billed service among the first half of completions —
+    /// the saturated window. (A work-conserving scheduler eventually
+    /// runs *everything*, so whole-trace shares always converge to the
+    /// submitted mix; weights govern who goes first under contention.)
+    saturated_share: f64,
+    mean_wait_s: f64,
+}
+
+#[derive(Serialize)]
+struct Json {
+    coalescing: Vec<CoalesceRow>,
+    load: Vec<LoadRow>,
+    fairness: Vec<ShareRow>,
+}
+
+/// FNV-1a over the serialized job outcomes: cheap equality digest.
+fn digest(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn main() {
+    let engine = Engine::from_env();
+    let model = SimulatedLlm::new(ModelSpec::ultra());
+
+    banner("E11.1: cross-job coalescing — duplicate-heavy trace, cache on vs off");
+    let mut coalescing = Vec::new();
+    let mut table = Vec::new();
+    for &dup in &[0.0, 0.3, 0.6] {
+        let trace = generate_trace(&TrafficConfig {
+            jobs: 24,
+            duplicate_rate: dup,
+            seed: 17,
+            ..Default::default()
+        });
+        let mut digests = Vec::new();
+        for &coalesce in &[true, false] {
+            let cfg = ServeConfig { coalesce, ..Default::default() };
+            let r = serve_trace_with(&model, &trace, &cfg, &engine);
+            let d = digest(&serde_json::to_string(&r.jobs).unwrap());
+            digests.push(d);
+            table.push(vec![
+                format!("{dup:.1}"),
+                if coalesce { "on" } else { "off" }.into(),
+                format!("{}", r.llm.requests),
+                format!("{}", r.coalesce.hits),
+                format!("{:.2}", r.coalesce.hit_rate()),
+                format!("{}", r.stats.completed),
+            ]);
+            coalescing.push(CoalesceRow {
+                duplicate_rate: dup,
+                coalesce,
+                transport_requests: r.llm.requests,
+                coalesce_hits: r.coalesce.hits,
+                hit_rate: r.coalesce.hit_rate(),
+                completed: r.stats.completed,
+                outcomes_digest: d,
+            });
+        }
+        assert_eq!(
+            digests[0], digests[1],
+            "coalescing changed a job outcome at duplicate rate {dup}"
+        );
+    }
+    println!(
+        "{}",
+        format_table(
+            &["dup-rate", "coalesce", "transport-reqs", "hits", "hit-rate", "completed"],
+            &table
+        )
+    );
+    println!("(identical outcome digests per row pair: coalescing only saves transport calls)\n");
+
+    banner("E11.2: load sweep — throughput, waits, shed rate vs arrival rate");
+    let mut load = Vec::new();
+    let mut table = Vec::new();
+    for &gap_s in &[8.0f64, 4.0, 2.0, 1.0, 0.25, 0.0] {
+        let trace = generate_trace(&TrafficConfig {
+            jobs: 32,
+            mean_interarrival_us: (gap_s * 1e6) as u64,
+            duplicate_rate: 0.3,
+            seed: 23,
+            ..Default::default()
+        });
+        // Tight admission limits so the sweep actually crosses them:
+        // per-tenant queues of 6 and a backlog of 16 against a burst of
+        // 32 simultaneous arrivals.
+        let cfg = ServeConfig {
+            tenants: vec![
+                TenantConfig::new("alpha", 3, 6),
+                TenantConfig::new("beta", 2, 6),
+                TenantConfig::new("gamma", 1, 6),
+            ],
+            max_backlog: 16,
+            ..Default::default()
+        };
+        let r = serve_trace_with(&model, &trace, &cfg, &engine);
+        let shed = r.stats.rejected_queue_full + r.stats.rejected_overloaded + r.stats.expired;
+        let row = LoadRow {
+            mean_interarrival_s: gap_s,
+            submitted: r.stats.submitted,
+            completed: r.stats.completed,
+            shed,
+            shed_rate: shed as f64 / r.stats.submitted.max(1) as f64,
+            p50_wait_s: r.stats.p50_wait_us as f64 / 1e6,
+            p99_wait_s: r.stats.p99_wait_us as f64 / 1e6,
+            throughput_per_hour: r.stats.throughput_per_hour,
+        };
+        table.push(vec![
+            format!("{gap_s:.2}"),
+            format!("{}", row.completed),
+            format!("{}", row.shed),
+            format!("{:.2}", row.shed_rate),
+            format!("{:.1}", row.p50_wait_s),
+            format!("{:.1}", row.p99_wait_s),
+            format!("{:.0}", row.throughput_per_hour),
+        ]);
+        load.push(row);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["gap(s)", "completed", "shed", "shed-rate", "p50-wait(s)", "p99-wait(s)", "jobs/h"],
+            &table
+        )
+    );
+    let light = &load[0];
+    assert_eq!(light.shed, 0, "light load must shed nothing");
+    let burst = load.last().unwrap();
+    assert!(burst.shed > 0, "a 32-burst against a 16-backlog must shed");
+    assert!(
+        burst.shed_rate < 1.0 && burst.completed > 0,
+        "shedding must stay bounded: {burst:?}",
+    );
+    println!("(light load sheds zero; shed rate stays bounded past saturation)\n");
+
+    banner("E11.3: weighted fair share — saturated 3:1 tenants");
+    let mut fairness = Vec::new();
+    let trace = generate_trace(&TrafficConfig {
+        jobs: 40,
+        tenants: vec![("alpha".into(), 1.0), ("beta".into(), 1.0)],
+        mean_interarrival_us: 0,
+        duplicate_rate: 0.2,
+        seed: 31,
+        ..Default::default()
+    });
+    let cfg = ServeConfig {
+        tenants: vec![TenantConfig::new("alpha", 3, 64), TenantConfig::new("beta", 1, 64)],
+        workers: 2,
+        max_backlog: 128,
+        ..Default::default()
+    };
+    let r = serve_trace_with(&model, &trace, &cfg, &engine);
+    // Measure service over the saturated window (first half of the
+    // completions, while both tenants still have queued work) plus the
+    // mean wait — the two places weighted fairness is visible.
+    let by_id: std::collections::HashMap<u64, &eda_serve::JobRecord> =
+        r.jobs.iter().map(|j| (j.id, j)).collect();
+    let window = &r.completion_order[..r.completion_order.len() / 2];
+    let mut service: std::collections::HashMap<&str, u64> = Default::default();
+    let mut waits: std::collections::HashMap<&str, (u64, u64)> = Default::default();
+    for rec in r.jobs.iter() {
+        if let eda_serve::JobOutcome::Completed { wait_us, .. } = rec.outcome {
+            let e = waits.entry(rec.tenant.as_str()).or_default();
+            e.0 += wait_us;
+            e.1 += 1;
+        }
+    }
+    for cid in window {
+        let rec = by_id[cid];
+        if let eda_serve::JobOutcome::Completed { service_us, .. } = rec.outcome {
+            *service.entry(rec.tenant.as_str()).or_default() += service_us;
+        }
+    }
+    let windowed_total: u64 = service.values().sum();
+    let mut table = Vec::new();
+    for t in &r.tenants {
+        let sat_share =
+            *service.get(t.name.as_str()).unwrap_or(&0) as f64 / windowed_total.max(1) as f64;
+        let (wsum, wn) = waits.get(t.name.as_str()).copied().unwrap_or((0, 0));
+        let mean_wait_s = wsum as f64 / wn.max(1) as f64 / 1e6;
+        table.push(vec![
+            t.name.clone(),
+            format!("{}", t.weight),
+            format!("{}", t.completed),
+            format!("{sat_share:.2}"),
+            format!("{mean_wait_s:.1}"),
+        ]);
+        fairness.push(ShareRow {
+            tenant: t.name.clone(),
+            weight: t.weight,
+            completed: t.completed,
+            saturated_share: sat_share,
+            mean_wait_s,
+        });
+    }
+    println!(
+        "{}",
+        format_table(
+            &["tenant", "weight", "completed", "saturated-share", "mean-wait(s)"],
+            &table
+        )
+    );
+    let alpha = &fairness[0];
+    let beta = &fairness[1];
+    assert!(
+        alpha.saturated_share > beta.saturated_share,
+        "weight-3 tenant must dominate the saturated window: {:.2} vs {:.2}",
+        alpha.saturated_share,
+        beta.saturated_share
+    );
+
+    write_json("exp_serve", &Json { coalescing, load, fairness });
+}

@@ -172,15 +172,17 @@ pub trait EdaTool {
     fn run(&self, state: &mut DesignState) -> StageStatus;
 }
 
-/// The unified agent.
-pub struct Agent {
-    model: SimulatedLlm,
+/// The unified agent, generic over its model: the default
+/// [`SimulatedLlm`] for library use, or any other [`ChatModel`] — a
+/// resilient client, a serve-layer job handle — for hosted pipelines.
+pub struct Agent<M: ChatModel = SimulatedLlm> {
+    model: M,
     config: AgentConfig,
 }
 
-impl Agent {
-    /// Creates an agent around a simulated model.
-    pub fn new(model: SimulatedLlm, config: AgentConfig) -> Self {
+impl<M: ChatModel> Agent<M> {
+    /// Creates an agent around a model.
+    pub fn new(model: M, config: AgentConfig) -> Self {
         Agent { model, config }
     }
 
@@ -289,7 +291,7 @@ fn run_stage(
 // --- concrete tools ---
 
 struct GenerateRtl<'a> {
-    model: &'a SimulatedLlm,
+    model: &'a dyn ChatModel,
     problem: &'a Problem,
     cfg: &'a AutoChipConfig,
 }

@@ -1,0 +1,174 @@
+//! Shared, hardened environment-knob parsing.
+//!
+//! Every `EDA_*` knob in the workspace (`EDA_EXEC_THREADS`,
+//! `EDA_LLM_FAULT_RATE`, `EDA_SERVE_WORKERS`, ...) goes through this one
+//! parser, so malformed or out-of-range values are rejected with an
+//! error naming the variable and the offending value instead of being
+//! silently defaulted (the pre-hardening behaviour) or panicking with an
+//! anonymous `unwrap` backtrace. Unset variables are *not* errors: they
+//! mean "use the default" and parse to `None`.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A malformed or out-of-range environment knob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvKnobError {
+    /// The variable that failed to parse (e.g. `EDA_EXEC_THREADS`).
+    pub var: String,
+    /// The raw value found in the environment.
+    pub value: String,
+    /// Why it was rejected (expected type or range).
+    pub reason: String,
+}
+
+impl fmt::Display for EnvKnobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid value `{}` for environment variable {}: {}",
+            self.value, self.var, self.reason
+        )
+    }
+}
+
+impl std::error::Error for EnvKnobError {}
+
+/// Reads and parses `var`. Unset (or empty after trimming) means "use
+/// the default" and returns `Ok(None)`; anything else must parse as `T`.
+///
+/// # Errors
+///
+/// [`EnvKnobError`] naming the variable when the value does not parse.
+pub fn parse_knob<T: FromStr>(var: &str) -> Result<Option<T>, EnvKnobError> {
+    let Ok(raw) = std::env::var(var) else {
+        return Ok(None);
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    trimmed.parse::<T>().map(Some).map_err(|_| EnvKnobError {
+        var: var.to_string(),
+        value: trimmed.to_string(),
+        reason: format!("expected a {}", std::any::type_name::<T>()),
+    })
+}
+
+/// [`parse_knob`] plus an inclusive range check.
+///
+/// # Errors
+///
+/// [`EnvKnobError`] naming the variable when the value does not parse or
+/// falls outside `[lo, hi]`.
+pub fn parse_knob_in<T>(var: &str, lo: T, hi: T) -> Result<Option<T>, EnvKnobError>
+where
+    T: FromStr + PartialOrd + fmt::Display + Copy,
+{
+    match parse_knob::<T>(var)? {
+        None => Ok(None),
+        Some(v) if v < lo || v > hi => Err(EnvKnobError {
+            var: var.to_string(),
+            value: v.to_string(),
+            reason: format!("expected a value in [{lo}, {hi}]"),
+        }),
+        Some(v) => Ok(Some(v)),
+    }
+}
+
+/// Boolean knob: accepts `1/0`, `true/false`, `yes/no`, `on/off`
+/// (case-insensitive). Unset returns `Ok(None)`.
+///
+/// # Errors
+///
+/// [`EnvKnobError`] naming the variable for any other value.
+pub fn parse_bool_knob(var: &str) -> Result<Option<bool>, EnvKnobError> {
+    let Some(raw) = parse_knob::<String>(var)? else {
+        return Ok(None);
+    };
+    match raw.to_ascii_lowercase().as_str() {
+        "1" | "true" | "yes" | "on" => Ok(Some(true)),
+        "0" | "false" | "no" | "off" => Ok(Some(false)),
+        other => Err(EnvKnobError {
+            var: var.to_string(),
+            value: other.to_string(),
+            reason: "expected one of 1/0, true/false, yes/no, on/off".to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test uses its own variable name: the test harness runs tests
+    // on threads and the process environment is shared.
+
+    #[test]
+    fn unset_and_empty_mean_default() {
+        assert_eq!(parse_knob::<u32>("EDA_TEST_KNOB_UNSET"), Ok(None));
+        std::env::set_var("EDA_TEST_KNOB_EMPTY", "   ");
+        assert_eq!(parse_knob::<u32>("EDA_TEST_KNOB_EMPTY"), Ok(None));
+        std::env::remove_var("EDA_TEST_KNOB_EMPTY");
+    }
+
+    #[test]
+    fn well_formed_values_parse_with_whitespace() {
+        std::env::set_var("EDA_TEST_KNOB_OK", " 42 ");
+        assert_eq!(parse_knob::<u64>("EDA_TEST_KNOB_OK"), Ok(Some(42)));
+        std::env::remove_var("EDA_TEST_KNOB_OK");
+    }
+
+    #[test]
+    fn malformed_values_error_and_name_the_variable() {
+        std::env::set_var("EDA_TEST_KNOB_BAD", "three");
+        let err = parse_knob::<u32>("EDA_TEST_KNOB_BAD").unwrap_err();
+        std::env::remove_var("EDA_TEST_KNOB_BAD");
+        assert_eq!(err.var, "EDA_TEST_KNOB_BAD");
+        assert_eq!(err.value, "three");
+        let msg = err.to_string();
+        assert!(msg.contains("EDA_TEST_KNOB_BAD"), "{msg}");
+        assert!(msg.contains("three"), "{msg}");
+    }
+
+    #[test]
+    fn out_of_range_values_error_with_the_range() {
+        std::env::set_var("EDA_TEST_KNOB_RANGE", "99");
+        let err = parse_knob_in::<u32>("EDA_TEST_KNOB_RANGE", 0, 64).unwrap_err();
+        std::env::remove_var("EDA_TEST_KNOB_RANGE");
+        assert!(err.to_string().contains("[0, 64]"), "{err}");
+        std::env::set_var("EDA_TEST_KNOB_RANGE_OK", "64");
+        assert_eq!(parse_knob_in::<u32>("EDA_TEST_KNOB_RANGE_OK", 0, 64), Ok(Some(64)));
+        std::env::remove_var("EDA_TEST_KNOB_RANGE_OK");
+    }
+
+    #[test]
+    fn float_range_rejects_nan_free_bounds() {
+        std::env::set_var("EDA_TEST_KNOB_RATE", "0.35");
+        assert_eq!(parse_knob_in::<f64>("EDA_TEST_KNOB_RATE", 0.0, 1.0), Ok(Some(0.35)));
+        std::env::remove_var("EDA_TEST_KNOB_RATE");
+        std::env::set_var("EDA_TEST_KNOB_RATE2", "1.5");
+        assert!(parse_knob_in::<f64>("EDA_TEST_KNOB_RATE2", 0.0, 1.0).is_err());
+        std::env::remove_var("EDA_TEST_KNOB_RATE2");
+    }
+
+    #[test]
+    fn bool_knob_accepts_the_usual_spellings() {
+        for (raw, want) in [
+            ("1", true),
+            ("true", true),
+            ("YES", true),
+            ("on", true),
+            ("0", false),
+            ("False", false),
+            ("no", false),
+            ("OFF", false),
+        ] {
+            std::env::set_var("EDA_TEST_KNOB_BOOL", raw);
+            assert_eq!(parse_bool_knob("EDA_TEST_KNOB_BOOL"), Ok(Some(want)), "{raw}");
+        }
+        std::env::set_var("EDA_TEST_KNOB_BOOL", "maybe");
+        assert!(parse_bool_knob("EDA_TEST_KNOB_BOOL").is_err());
+        std::env::remove_var("EDA_TEST_KNOB_BOOL");
+    }
+}

@@ -38,15 +38,18 @@
 //! ```
 
 pub mod clock;
+pub mod env;
 
 pub use clock::{s_to_us, SharedClock, VirtualClock, US_PER_S};
+pub use env::{parse_bool_knob, parse_knob, parse_knob_in, EnvKnobError};
 
 use crossbeam::deque::{Injector, Worker};
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Environment variable selecting the worker-thread count.
@@ -56,6 +59,36 @@ pub const THREADS_ENV: &str = "EDA_EXEC_THREADS";
 
 const MAX_THREADS: usize = 64;
 const CACHE_SHARDS: usize = 16;
+
+// ---------------------------------------------------------------------------
+// CancelToken
+// ---------------------------------------------------------------------------
+
+/// Cooperative cancellation flag shared between a flow and whoever is
+/// supervising it (the serve scheduler, a deadline watchdog, a caller).
+///
+/// Cloning shares the flag. Flows poll [`is_cancelled`](Self::is_cancelled)
+/// at round boundaries and wind down early, returning whatever partial
+/// report they have; cancellation is a request, never an abort.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
 
 // ---------------------------------------------------------------------------
 // EvalKey
@@ -309,16 +342,29 @@ impl Engine {
 
     /// Pool sized from `EDA_EXEC_THREADS`, falling back to available
     /// parallelism. `EDA_EXEC_THREADS=1` selects the sequential path.
+    ///
+    /// # Panics
+    ///
+    /// On a malformed or out-of-range `EDA_EXEC_THREADS`, with a message
+    /// naming the variable; use [`Engine::try_from_env`] to handle the
+    /// error instead.
     pub fn from_env() -> Self {
-        let requested = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .unwrap_or(0);
+        match Self::try_from_env() {
+            Ok(engine) => engine,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Engine::from_env`]: `EDA_EXEC_THREADS` unset or
+    /// `0` means available parallelism, `1..=64` is an explicit count,
+    /// and anything else is an [`EnvKnobError`] naming the variable.
+    pub fn try_from_env() -> Result<Self, EnvKnobError> {
+        let requested = env::parse_knob_in::<usize>(THREADS_ENV, 0, MAX_THREADS)?.unwrap_or(0);
         if requested > 0 {
-            return Self::with_thread_count(requested);
+            return Ok(Self::with_thread_count(requested));
         }
         let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Self::with_thread_count(avail)
+        Ok(Self::with_thread_count(avail))
     }
 
     /// Deterministic single-thread fallback (no worker threads spawned).
@@ -708,11 +754,34 @@ mod tests {
 
     #[test]
     fn env_knob_forces_sequential() {
-        // Parsed value 1 => sequential engine.
+        // One test owns THREADS_ENV end to end (the process environment
+        // is shared across test threads): parsed value 1 => sequential
+        // engine; malformed and out-of-range values => typed errors.
         std::env::set_var(THREADS_ENV, "1");
         let e = Engine::from_env();
-        std::env::remove_var(THREADS_ENV);
         assert!(!e.is_parallel());
         assert_eq!(e.threads(), 1);
+
+        std::env::set_var(THREADS_ENV, "lots");
+        let err = Engine::try_from_env().unwrap_err();
+        assert_eq!(err.var, THREADS_ENV);
+        assert!(err.to_string().contains(THREADS_ENV), "{err}");
+
+        std::env::set_var(THREADS_ENV, "65");
+        assert!(Engine::try_from_env().is_err(), "out-of-range thread count must be rejected");
+
+        std::env::remove_var(THREADS_ENV);
+        assert!(Engine::try_from_env().is_ok());
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!t.is_cancelled());
+        u.cancel();
+        assert!(t.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(u.is_cancelled());
     }
 }

@@ -30,7 +30,7 @@
 //! ```
 
 use eda_cmini::{backward_slice, hls_compat_scan, parse, CValue, Interp, Program, StmtKind};
-use eda_exec::Engine;
+use eda_exec::{CancelToken, Engine};
 use eda_hls::{CosimInput, FsmdOptions, HlsError, HlsOptions, HlsProject};
 use eda_llm::{
     prompts, ChatModel, ChatRequest, LlmReport, ResilienceConfig, ResilientClient, SimulatedLlm,
@@ -58,6 +58,9 @@ pub struct HlsTesterConfig {
     /// LLM transport resilience (fault injection, retries, degradation).
     /// Defaults from `EDA_LLM_FAULT_RATE` & co.
     pub resilience: ResilienceConfig,
+    /// Cooperative cancellation, polled at round boundaries: once the
+    /// token fires the loop winds down and returns its partial result.
+    pub cancel: CancelToken,
 }
 
 impl Default for HlsTesterConfig {
@@ -71,6 +74,7 @@ impl Default for HlsTesterConfig {
             temperature: 0.6,
             seed: 1,
             resilience: ResilienceConfig::default(),
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -252,6 +256,9 @@ pub fn run_hlstester_with(
     let mut promising: Vec<Vec<i64>> = Vec::new();
 
     'outer: for round in 0..cfg.rounds {
+        if cfg.cancel.is_cancelled() {
+            break;
+        }
         // Generate a batch: mutations of promising inputs + LLM proposals
         // + fresh random.
         let mut batch: Vec<Vec<i64>> = Vec::new();

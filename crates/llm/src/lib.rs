@@ -32,6 +32,7 @@
 //! ```
 
 pub mod cgen;
+pub mod coalesce;
 pub mod prompts;
 pub mod repairgen;
 pub mod resilient;
@@ -39,6 +40,7 @@ pub mod transport;
 pub mod verilog;
 
 pub use cgen::{extract_features, generate_snippet, CGenCtx, SnippetFeatures};
+pub use coalesce::{CoalesceReport, CoalescingLlm, JobHandle, CANCELLED_COMPLETION};
 pub use prompts::{parse_prompt, ParsedPrompt};
 pub use repairgen::{attempt_repair, RepairCtx};
 pub use resilient::{

@@ -26,7 +26,7 @@ use crate::transport::{
     HEDGE_ATTEMPT_SALT,
 };
 use crate::{ChatModel, ChatRequest, ChatResponse, ModelSpec, SimulatedLlm};
-use eda_exec::{s_to_us, SharedClock};
+use eda_exec::{s_to_us, EnvKnobError, SharedClock};
 use serde::Serialize;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -138,22 +138,31 @@ impl ResilienceConfig {
     /// Reads `EDA_LLM_FAULT_RATE`, `EDA_LLM_FAULT_SEED`, and
     /// `EDA_LLM_MAX_RETRIES`. Unset variables mean no faults and the
     /// default retry budget.
+    ///
+    /// # Panics
+    ///
+    /// On a malformed or out-of-range variable, with a message naming
+    /// it; use [`ResilienceConfig::try_from_env`] to handle the error.
     pub fn from_env() -> Self {
-        let rate = std::env::var(FAULT_RATE_ENV)
-            .ok()
-            .and_then(|s| s.trim().parse::<f64>().ok())
-            .unwrap_or(0.0);
-        let seed = std::env::var(FAULT_SEED_ENV)
-            .ok()
-            .and_then(|s| s.trim().parse::<u64>().ok())
-            .unwrap_or(FaultConfig::default().seed);
-        let mut cfg = Self::with_fault_rate(rate, seed);
-        if let Some(r) =
-            std::env::var(MAX_RETRIES_ENV).ok().and_then(|s| s.trim().parse::<u32>().ok())
-        {
-            cfg.policy.max_retries = r.min(16);
+        match Self::try_from_env() {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
         }
-        cfg
+    }
+
+    /// Fallible form of [`ResilienceConfig::from_env`]: the fault rate
+    /// must be in `[0, 1]` and the retry budget in `[0, 16]`; malformed
+    /// or out-of-range values are an [`EnvKnobError`] naming the
+    /// variable instead of a silent default.
+    pub fn try_from_env() -> Result<Self, EnvKnobError> {
+        let rate = eda_exec::parse_knob_in::<f64>(FAULT_RATE_ENV, 0.0, 1.0)?.unwrap_or(0.0);
+        let seed =
+            eda_exec::parse_knob::<u64>(FAULT_SEED_ENV)?.unwrap_or(FaultConfig::default().seed);
+        let mut cfg = Self::with_fault_rate(rate, seed);
+        if let Some(r) = eda_exec::parse_knob_in::<u32>(MAX_RETRIES_ENV, 0, 16)? {
+            cfg.policy.max_retries = r;
+        }
+        Ok(cfg)
     }
 }
 
@@ -210,6 +219,34 @@ pub struct LlmReport {
     pub faults: FaultStats,
     /// Total virtual time billed (latency + backoff + error waits).
     pub virtual_time_us: u64,
+}
+
+impl LlmReport {
+    /// Adds `other`'s counters into `self`. This is the one shared
+    /// aggregation helper for everything that sums LLM traffic across
+    /// runs, flows, or jobs (benches, serve reports): counters add,
+    /// fault classes add, and `degraded` is sticky (true if either side
+    /// ever degraded).
+    pub fn merge(&mut self, other: &LlmReport) {
+        self.requests += other.requests;
+        self.retries += other.retries;
+        self.hedges += other.hedges;
+        self.hedge_wins += other.hedge_wins;
+        self.exhausted += other.exhausted;
+        self.fallback_completions += other.fallback_completions;
+        self.degraded |= other.degraded;
+        self.faults.merge(&other.faults);
+        self.virtual_time_us += other.virtual_time_us;
+    }
+
+    /// Fold of [`merge`](Self::merge) over any iterator of reports.
+    pub fn merged<'a, I: IntoIterator<Item = &'a LlmReport>>(reports: I) -> LlmReport {
+        let mut total = LlmReport::default();
+        for r in reports {
+            total.merge(r);
+        }
+        total
+    }
 }
 
 /// The resilient LLM client: a [`Transport`] stack plus retry state.
@@ -312,6 +349,26 @@ impl<'a> ResilientClient<'a> {
     /// [`ClientError::DeadlineExceeded`] when the per-request virtual
     /// budget runs out first.
     pub fn try_complete(&self, request: &ChatRequest) -> Result<ChatResponse, ClientError> {
+        self.run_costed(request).0
+    }
+
+    /// Infallible completion that also returns the request's virtual
+    /// cost in microseconds (latency + backoff + error waits). This is
+    /// the seam job-level billing layers on (see `crate::coalesce`): the
+    /// cost of a request is a pure function of `(config, request)`, so a
+    /// caller can bill it to its own clock. Failures surface as the same
+    /// `// llm-transport-error` comment completion as
+    /// [`ChatModel::complete`], still carrying their full cost.
+    pub fn complete_costed(&self, request: &ChatRequest) -> (ChatResponse, u64) {
+        let (result, spent_us) = self.run_costed(request);
+        let resp = result
+            .unwrap_or_else(|e| ChatResponse { text: format!("// llm-transport-error: {e}\n") });
+        (resp, spent_us)
+    }
+
+    /// The retry loop proper: returns the outcome plus the virtual
+    /// microseconds spent, after billing them to the client clock.
+    fn run_costed(&self, request: &ChatRequest) -> (Result<ChatResponse, ClientError>, u64) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let req_hash = hash_request(request);
         let deadline_us = s_to_us(self.policy.request_deadline_s);
@@ -328,9 +385,10 @@ impl<'a> ResilientClient<'a> {
             if spent_us > deadline_us {
                 self.clock.advance_us(spent_us);
                 self.exhausted.fetch_add(1, Ordering::Relaxed);
-                return Err(ClientError::DeadlineExceeded {
-                    spent_s: spent_us as f64 / 1e6,
-                });
+                return (
+                    Err(ClientError::DeadlineExceeded { spent_s: spent_us as f64 / 1e6 }),
+                    spent_us,
+                );
             }
             // Degradation: after `degrade_after` consecutive failures of
             // THIS request, its remaining attempts go to the cheaper
@@ -352,7 +410,7 @@ impl<'a> ResilientClient<'a> {
                         self.fallback_completions.fetch_add(1, Ordering::Relaxed);
                     }
                     self.clock.advance_us(spent_us);
-                    return Ok(ChatResponse { text });
+                    return (Ok(ChatResponse { text }), spent_us);
                 }
                 Err(e) => {
                     spent_us += s_to_us(e.cost_s());
@@ -363,10 +421,13 @@ impl<'a> ResilientClient<'a> {
         }
         self.clock.advance_us(spent_us);
         self.exhausted.fetch_add(1, Ordering::Relaxed);
-        Err(ClientError::RetriesExhausted {
-            attempts,
-            last: last_err.expect("exhaustion implies at least one error"),
-        })
+        (
+            Err(ClientError::RetriesExhausted {
+                attempts,
+                last: last_err.expect("exhaustion implies at least one error"),
+            }),
+            spent_us,
+        )
     }
 
     /// Hedging: when an attempt's latency exceeds `hedge_after_s`, fire
@@ -422,8 +483,9 @@ impl ChatModel for ResilientClient<'_> {
     }
 }
 
-/// FNV-1a over the request identity (jitter seed material).
-fn hash_request(request: &ChatRequest) -> u64 {
+/// FNV-1a over the request identity (jitter seed material; also the
+/// coalescing key — see `crate::coalesce`).
+pub(crate) fn hash_request(request: &ChatRequest) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut mix = |x: u64| {
         h ^= x;

@@ -105,6 +105,17 @@ impl FaultStats {
     pub fn errors(&self) -> u64 {
         self.timeouts + self.rate_limits + self.server_errors
     }
+
+    /// Adds `other`'s counters into `self` (aggregating across runs or
+    /// clients).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.timeouts += other.timeouts;
+        self.rate_limits += other.rate_limits;
+        self.server_errors += other.server_errors;
+        self.truncated += other.truncated;
+        self.garbled += other.garbled;
+        self.latency_spikes += other.latency_spikes;
+    }
 }
 
 /// One attempt of one request. Implementations must be pure per

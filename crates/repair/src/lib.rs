@@ -30,7 +30,7 @@ mod corpus;
 pub use corpus::{corpus, BrokenProgram};
 
 use eda_cmini::{hls_compat_scan, parse, Incompat};
-use eda_exec::{Engine, EvalCache, EvalKey};
+use eda_exec::{CancelToken, Engine, EvalCache, EvalKey};
 use eda_hls::{cosim, random_inputs, HlsOptions, HlsProject, PpaReport};
 use eda_llm::{prompts, ChatModel, ChatRequest, LlmReport, ResilienceConfig, ResilientClient};
 use eda_rag::{repair_corpus, Index};
@@ -52,6 +52,9 @@ pub struct RepairConfig {
     /// LLM transport resilience (fault injection, retries, degradation).
     /// Defaults from `EDA_LLM_FAULT_RATE` & co.
     pub resilience: ResilienceConfig,
+    /// Cooperative cancellation, polled at round boundaries: once the
+    /// token fires the loop winds down and returns its partial result.
+    pub cancel: CancelToken,
 }
 
 impl Default for RepairConfig {
@@ -63,6 +66,7 @@ impl Default for RepairConfig {
             cosim_inputs: 12,
             seed: 1,
             resilience: ResilienceConfig::default(),
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -132,6 +136,9 @@ pub fn run_repair(
     let mut current = source.to_string();
     let mut rounds = Vec::new();
     for round in 0..cfg.max_rounds {
+        if cfg.cancel.is_cancelled() {
+            break;
+        }
         let issues = match parse(&current) {
             Ok(p) => hls_compat_scan(&p),
             Err(_) => break,

@@ -1,0 +1,926 @@
+//! # eda-serve — deterministic multi-tenant flow serving
+//!
+//! The paper's flows (AutoChip §IV, HLS repair/tester §III, SLT
+//! generation §V, the unified agent §VI) are one-shot library calls;
+//! the ROADMAP's north star is a system that serves heavy traffic. This
+//! crate is that serving layer: clients submit [`FlowJob`]s — any flow,
+//! tagged with a tenant, a priority class, and a virtual-time deadline —
+//! and a scheduler drains them onto the `eda-exec` pool:
+//!
+//! * **Fair-share scheduling** — strict [`Priority`] classes; within a
+//!   class, tenants are served by weighted fair queuing (the tenant
+//!   with the smallest `billed_service / weight` goes first), FIFO
+//!   within each `(tenant, priority)` queue.
+//! * **Admission control** — bounded per-tenant queues and a global
+//!   backlog limit; overload sheds jobs with typed [`RejectError`]s and
+//!   backpressure counters instead of queuing unboundedly.
+//! * **Cross-job LLM coalescing** — all jobs share one
+//!   [`CoalescingLlm`]: identical `(model, prompt, temperature, seed)`
+//!   requests make a single transport-level call (see
+//!   `eda_llm::coalesce`); duplicate-heavy traffic gets cheaper without
+//!   changing any job's output or virtual duration.
+//! * **Deadlines + cancellation** — a job still queued past its
+//!   deadline expires unstarted; a running job that bills more than its
+//!   deadline of virtual service is cooperatively cancelled through its
+//!   [`CancelToken`] and returns its partial result.
+//!
+//! **Determinism.** All scheduling happens in virtual time, simulated
+//! as a discrete-event loop. Job service times are pure functions of
+//! the job spec (per-job billing clocks, order-independent coalescing),
+//! every queue decision is arithmetic over those pure quantities, and
+//! ties break on submission order — so the same `(traffic trace,
+//! config, seed)` produces a bit-identical [`ServeReport`] (completion
+//! order, per-job outcomes, every counter) at any `EDA_EXEC_THREADS`.
+//! Host threads only change wall-clock: a dispatch wave's jobs run in
+//! parallel on the engine, but their virtual outcomes do not depend on
+//! which worker ran them.
+
+pub mod traffic;
+
+pub use traffic::{generate_trace, TrafficConfig};
+
+use eda_core::{Agent, AgentConfig};
+use eda_exec::{CancelToken, Engine, EnvKnobError};
+use eda_llm::{
+    ChatModel, CoalesceReport, CoalescingLlm, LlmReport, ResilienceConfig,
+};
+use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+
+/// Virtual worker-slot count of the scheduler (1–64; independent of the
+/// host thread pool, so it never affects determinism).
+pub const SERVE_WORKERS_ENV: &str = "EDA_SERVE_WORKERS";
+/// Per-tenant queue bound.
+pub const SERVE_QUEUE_CAP_ENV: &str = "EDA_SERVE_QUEUE_CAP";
+/// Global backlog bound across all tenants.
+pub const SERVE_MAX_BACKLOG_ENV: &str = "EDA_SERVE_MAX_BACKLOG";
+/// Cross-job LLM request coalescing on/off.
+pub const SERVE_COALESCE_ENV: &str = "EDA_SERVE_COALESCE";
+
+/// Provisional service billed to a tenant at dispatch time (replaced by
+/// the measured service once the job runs): keeps one tenant from
+/// monopolizing a single dispatch wave before any of its bills land.
+const PROVISIONAL_SERVICE_US: u64 = 5_000_000;
+
+// ---------------------------------------------------------------------------
+// Job model
+// ---------------------------------------------------------------------------
+
+/// Strict priority classes: all queued Interactive work dispatches
+/// before any Standard, which dispatches before any Batch. Fairness
+/// applies *within* a class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum Priority {
+    Interactive,
+    Standard,
+    Batch,
+}
+
+impl Priority {
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Standard, Priority::Batch];
+
+    fn index(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Standard => 1,
+            Priority::Batch => 2,
+        }
+    }
+}
+
+/// What a job runs: one of the four flows, or the full agent pipeline.
+/// Every variant carries its own seed, so a cloned spec replays the
+/// same request stream byte for byte (what makes coalescing bite).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum FlowSpec {
+    AutoChip { problem: String, k: u32, depth: u32, tb_vectors: usize, seed: u64 },
+    Structured { problem: String, rounds: u32, seed: u64 },
+    Slt { virtual_hours: f64, seed: u64 },
+    Repair { program: String, rounds: u32, seed: u64 },
+    HlsTester { case: String, rounds: u32, seed: u64 },
+    Agent { problem: String, seed: u64 },
+}
+
+/// One submitted job.
+#[derive(Debug, Clone, Serialize)]
+pub struct FlowJob {
+    /// Client-chosen id, echoed in the report (unique per trace).
+    pub id: u64,
+    pub tenant: String,
+    pub priority: Priority,
+    /// Virtual arrival time.
+    pub arrival_us: u64,
+    /// Virtual-time budget relative to arrival: still queued past it ⇒
+    /// expires unstarted; billing more service than it ⇒ cooperative
+    /// cancellation. `0` means no deadline.
+    pub deadline_us: u64,
+    pub flow: FlowSpec,
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// One tenant's scheduling contract.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantConfig {
+    pub name: String,
+    /// Fair-share weight (≥ 1): a weight-3 tenant is entitled to 3× the
+    /// service of a weight-1 tenant under contention.
+    pub weight: u64,
+    /// Max jobs queued for this tenant (across priorities).
+    pub queue_cap: usize,
+}
+
+impl TenantConfig {
+    pub fn new(name: &str, weight: u64, queue_cap: usize) -> Self {
+        TenantConfig { name: name.to_string(), weight: weight.max(1), queue_cap: queue_cap.max(1) }
+    }
+}
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    pub tenants: Vec<TenantConfig>,
+    /// Virtual worker slots (concurrent jobs in virtual time).
+    pub workers: usize,
+    /// Global queued-job bound across all tenants.
+    pub max_backlog: usize,
+    /// Cross-job LLM request coalescing.
+    pub coalesce: bool,
+    /// Transport resilience of the shared LLM stack (fault injection,
+    /// retries, degradation) — the per-job flows run their own clients
+    /// as pass-throughs on top of it.
+    pub resilience: ResilienceConfig,
+    /// Fixed non-LLM virtual overhead billed per job (tool setup,
+    /// result marshalling).
+    pub service_overhead_us: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            tenants: vec![
+                TenantConfig::new("alpha", 3, 32),
+                TenantConfig::new("beta", 2, 32),
+                TenantConfig::new("gamma", 1, 32),
+            ],
+            workers: 4,
+            max_backlog: 64,
+            coalesce: true,
+            resilience: ResilienceConfig::off(),
+            service_overhead_us: 500_000,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Defaults overridden by the `EDA_SERVE_*` knobs.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvKnobError`] naming the variable on malformed or
+    /// out-of-range values (shared parser: `eda_exec::env`).
+    pub fn try_from_env() -> Result<Self, EnvKnobError> {
+        let mut cfg = Self::default();
+        if let Some(w) = eda_exec::parse_knob_in::<usize>(SERVE_WORKERS_ENV, 1, 64)? {
+            cfg.workers = w;
+        }
+        if let Some(cap) = eda_exec::parse_knob_in::<usize>(SERVE_QUEUE_CAP_ENV, 1, 1_000_000)? {
+            for t in &mut cfg.tenants {
+                t.queue_cap = cap;
+            }
+        }
+        if let Some(b) = eda_exec::parse_knob_in::<usize>(SERVE_MAX_BACKLOG_ENV, 1, 1_000_000)? {
+            cfg.max_backlog = b;
+        }
+        if let Some(c) = eda_exec::parse_bool_knob(SERVE_COALESCE_ENV)? {
+            cfg.coalesce = c;
+        }
+        cfg.resilience = ResilienceConfig::try_from_env()?;
+        Ok(cfg)
+    }
+
+    /// Panicking form of [`ServeConfig::try_from_env`] (the message
+    /// names the offending variable).
+    pub fn from_env() -> Self {
+        match Self::try_from_env() {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Outcomes & report
+// ---------------------------------------------------------------------------
+
+/// Typed admission rejection (load shedding).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum RejectError {
+    /// The tenant's own queue is at capacity.
+    QueueFull { tenant: String, cap: usize },
+    /// The global backlog limit is hit (system-wide overload).
+    Overloaded { backlog: usize, limit: usize },
+    /// The job names a tenant the config does not know.
+    UnknownTenant { tenant: String },
+}
+
+impl fmt::Display for RejectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectError::QueueFull { tenant, cap } => {
+                write!(f, "tenant `{tenant}` queue full (cap {cap})")
+            }
+            RejectError::Overloaded { backlog, limit } => {
+                write!(f, "system overloaded (backlog {backlog} >= limit {limit})")
+            }
+            RejectError::UnknownTenant { tenant } => write!(f, "unknown tenant `{tenant}`"),
+        }
+    }
+}
+
+impl std::error::Error for RejectError {}
+
+/// Final state of one submitted job.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum JobOutcome {
+    Completed {
+        start_us: u64,
+        finish_us: u64,
+        wait_us: u64,
+        service_us: u64,
+        /// The deadline fired mid-run; the result is partial.
+        cancelled: bool,
+        solved: bool,
+        score: f64,
+    },
+    /// Shed at admission.
+    Rejected { reason: RejectError },
+    /// Still queued when its deadline elapsed; never ran.
+    Expired { wait_us: u64 },
+}
+
+/// One job's record in the report (submission order).
+#[derive(Debug, Clone, Serialize)]
+pub struct JobRecord {
+    pub id: u64,
+    pub tenant: String,
+    pub priority: Priority,
+    pub arrival_us: u64,
+    pub outcome: JobOutcome,
+}
+
+/// Aggregate counters of one serve trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct ServeStats {
+    pub submitted: u64,
+    pub admitted: u64,
+    pub completed: u64,
+    /// Completed jobs whose deadline fired mid-run.
+    pub cancelled: u64,
+    /// Jobs that expired in queue.
+    pub expired: u64,
+    /// Backpressure counters, by rejection class.
+    pub rejected_queue_full: u64,
+    pub rejected_overloaded: u64,
+    pub rejected_unknown_tenant: u64,
+    /// Virtual waiting-time percentiles over completed jobs.
+    pub p50_wait_us: u64,
+    pub p99_wait_us: u64,
+    /// Virtual time of the last completion.
+    pub makespan_us: u64,
+    /// Completed jobs per virtual hour.
+    pub throughput_per_hour: f64,
+}
+
+/// Per-tenant accounting.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantStats {
+    pub name: String,
+    pub weight: u64,
+    pub submitted: u64,
+    pub completed: u64,
+    /// Rejected + expired.
+    pub shed: u64,
+    /// Billed virtual service.
+    pub service_us: u64,
+    /// This tenant's fraction of all billed service.
+    pub share: f64,
+}
+
+/// The deterministic outcome of one serve trace: same `(trace, config,
+/// seed)` ⇒ byte-identical serialization at any `EDA_EXEC_THREADS`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeReport {
+    pub model: String,
+    /// One record per submitted job, in submission order.
+    pub jobs: Vec<JobRecord>,
+    /// Job ids in virtual completion order.
+    pub completion_order: Vec<u64>,
+    pub stats: ServeStats,
+    /// Per-tenant accounting, in config order.
+    pub tenants: Vec<TenantStats>,
+    /// Cross-job coalescing counters.
+    pub coalesce: CoalesceReport,
+    /// Transport-level traffic of the shared stack (unique calls only —
+    /// coalesced hits never reach it). Faults and retries live here.
+    pub llm: LlmReport,
+    /// Flow-level traffic merged over all executed jobs (what the jobs
+    /// observed, coalesced hits included).
+    pub flows_llm: LlmReport,
+}
+
+// ---------------------------------------------------------------------------
+// Job execution (pure per job)
+// ---------------------------------------------------------------------------
+
+struct ExecutedJob {
+    service_us: u64,
+    cancelled: bool,
+    solved: bool,
+    score: f64,
+    llm: LlmReport,
+}
+
+/// Runs one job's flow against the shared stack. Pure per `(job.flow,
+/// job.deadline_us, shared-stack config)`: billing goes to a fresh
+/// per-job clock, and the flow runs sequentially with resilience off
+/// (the shared stack below already provides faults/retries), so the
+/// result is independent of scheduling and host threads.
+fn run_flow_job(shared: &CoalescingLlm<'_>, job: &FlowJob, overhead_us: u64) -> ExecutedJob {
+    let token = CancelToken::new();
+    let handle = shared.handle(job.deadline_us, token.clone());
+    let engine = Engine::sequential();
+    let off = ResilienceConfig::off();
+    let (solved, score, llm) = match &job.flow {
+        FlowSpec::AutoChip { problem, k, depth, tb_vectors, seed } => {
+            match eda_suite::problem(problem) {
+                Some(p) => {
+                    let cfg = eda_autochip::AutoChipConfig {
+                        k_candidates: (*k).max(1),
+                        max_depth: (*depth).max(1),
+                        tb_vectors: (*tb_vectors).max(1),
+                        seed: *seed,
+                        resilience: off,
+                        cancel: token.clone(),
+                        ..Default::default()
+                    };
+                    match eda_autochip::run_autochip_with(&handle, &p, &cfg, &engine) {
+                        Ok(r) => (r.solved, r.best_score, r.llm),
+                        Err(_) => (false, 0.0, LlmReport::default()),
+                    }
+                }
+                None => (false, 0.0, LlmReport::default()),
+            }
+        }
+        FlowSpec::Structured { problem, rounds, seed } => match eda_suite::problem(problem) {
+            Some(p) => {
+                let cfg = eda_autochip::StructuredFlowConfig {
+                    max_rounds: (*rounds).max(1),
+                    seed: *seed,
+                    resilience: off,
+                    cancel: token.clone(),
+                    ..Default::default()
+                };
+                match eda_autochip::run_structured_flow(&handle, &p, &cfg) {
+                    Ok(r) => (r.solved, r.final_score, r.llm),
+                    Err(_) => (false, 0.0, LlmReport::default()),
+                }
+            }
+            None => (false, 0.0, LlmReport::default()),
+        },
+        FlowSpec::Slt { virtual_hours, seed } => {
+            let cfg = eda_sltgen::SltConfig {
+                virtual_hours: *virtual_hours,
+                seed: *seed,
+                resilience: off,
+                cancel: token.clone(),
+                ..Default::default()
+            };
+            let r = eda_sltgen::run_slt_llm_with(&handle, &cfg, &engine);
+            (r.run.best_power_w > 0.0, r.run.best_power_w, r.llm)
+        }
+        FlowSpec::Repair { program, rounds, seed } => {
+            match eda_repair::corpus().into_iter().find(|p| p.id == program) {
+                Some(p) => {
+                    let cfg = eda_repair::RepairConfig {
+                        max_rounds: (*rounds).max(1),
+                        cosim_inputs: 4,
+                        seed: *seed,
+                        resilience: off,
+                        cancel: token.clone(),
+                        ..Default::default()
+                    };
+                    let r = eda_repair::run_repair(&handle, p.source, p.func, &cfg);
+                    let solved = r.final_compiles && r.equivalent.unwrap_or(false);
+                    let score = if solved {
+                        1.0
+                    } else if r.final_compiles {
+                        0.5
+                    } else {
+                        0.0
+                    };
+                    (solved, score, r.llm)
+                }
+                None => (false, 0.0, LlmReport::default()),
+            }
+        }
+        FlowSpec::HlsTester { case, rounds, seed } => {
+            match eda_hlstester::discrepancy_corpus().into_iter().find(|c| c.id == case) {
+                Some(c) => {
+                    let cfg = eda_hlstester::HlsTesterConfig {
+                        rounds: (*rounds).max(1) as usize,
+                        batch: 4,
+                        hw_sim_budget: 8,
+                        seed: *seed,
+                        resilience: off,
+                        cancel: token.clone(),
+                        ..Default::default()
+                    };
+                    match eda_hlstester::run_hlstester_with(&handle, c.source, c.func, &cfg, &engine)
+                    {
+                        Ok(r) => {
+                            (!r.discrepancies.is_empty(), r.discrepancies.len() as f64, r.llm)
+                        }
+                        Err(_) => (false, 0.0, LlmReport::default()),
+                    }
+                }
+                None => (false, 0.0, LlmReport::default()),
+            }
+        }
+        FlowSpec::Agent { problem, seed } => {
+            let cfg = AgentConfig {
+                autochip: eda_autochip::AutoChipConfig {
+                    k_candidates: 2,
+                    max_depth: 2,
+                    tb_vectors: 8,
+                    seed: *seed,
+                    resilience: off,
+                    cancel: token.clone(),
+                    ..Default::default()
+                },
+                signoff_vectors: 32,
+                seed: *seed,
+            };
+            let agent = Agent::new(&handle, cfg);
+            match agent.run_flow(problem) {
+                Ok(r) => (r.success, if r.success { 1.0 } else { 0.0 }, r.llm),
+                Err(_) => (false, 0.0, LlmReport::default()),
+            }
+        }
+    };
+    ExecutedJob {
+        service_us: handle.clock().micros() + overhead_us,
+        cancelled: token.is_cancelled(),
+        solved,
+        score,
+        llm,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler (discrete-event, virtual time)
+// ---------------------------------------------------------------------------
+
+struct TenantState {
+    cfg: TenantConfig,
+    /// FIFO queue of job indices per priority class.
+    queues: [VecDeque<usize>; 3],
+    queued: usize,
+    /// Billed virtual service (provisional at dispatch, corrected to
+    /// the measured value after the job runs).
+    service_us: u64,
+    submitted: u64,
+    completed: u64,
+    shed: u64,
+}
+
+/// Serves `jobs` (any order; sorted internally by arrival, submission
+/// order breaking ties) on the process-default engine.
+pub fn serve_trace(model: &dyn ChatModel, jobs: &[FlowJob], cfg: &ServeConfig) -> ServeReport {
+    serve_trace_with(model, jobs, cfg, &Engine::from_env())
+}
+
+/// [`serve_trace`] on an explicit [`Engine`]. The engine only sets how
+/// many jobs of a dispatch wave run concurrently on the host — virtual
+/// outcomes are engine-independent.
+pub fn serve_trace_with(
+    model: &dyn ChatModel,
+    jobs: &[FlowJob],
+    cfg: &ServeConfig,
+    engine: &Engine,
+) -> ServeReport {
+    let shared = CoalescingLlm::new(model, &cfg.resilience, cfg.coalesce);
+    let workers_total = cfg.workers.clamp(1, 64);
+    let overhead_us = cfg.service_overhead_us;
+
+    let mut tenants: Vec<TenantState> = cfg
+        .tenants
+        .iter()
+        .map(|t| TenantState {
+            cfg: t.clone(),
+            queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            queued: 0,
+            service_us: 0,
+            submitted: 0,
+            completed: 0,
+            shed: 0,
+        })
+        .collect();
+    let tenant_index: HashMap<String, usize> =
+        tenants.iter().enumerate().map(|(i, t)| (t.cfg.name.clone(), i)).collect();
+
+    // Arrival order: by arrival time, submission index breaking ties.
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| (jobs[i].arrival_us, i));
+
+    let mut outcomes: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+    let mut stats = ServeStats::default();
+    let mut flows_llm = LlmReport::default();
+    let mut completion_order: Vec<u64> = Vec::new();
+
+    let mut now: u64 = 0;
+    let mut next_arrival = 0usize; // index into `order`
+    let mut total_queued = 0usize;
+    let mut free_workers = workers_total;
+    // Running jobs: min-heap on (finish_us, dispatch_seq) — dispatch
+    // order breaks finish-time ties deterministically.
+    let mut busy: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+    let mut dispatch_seq: u64 = 0;
+
+    // Weighted fair pick: the highest nonempty priority class wins
+    // outright; within it, the tenant with minimal service/weight
+    // (exact cross-multiplied compare), name breaking ties; FIFO within
+    // the (tenant, priority) queue.
+    let pick_next = |tenants: &mut Vec<TenantState>, total_queued: &mut usize| -> Option<usize> {
+        for prio in 0..3 {
+            let mut best: Option<usize> = None;
+            for (ti, t) in tenants.iter().enumerate() {
+                if t.queues[prio].is_empty() {
+                    continue;
+                }
+                best = Some(match best {
+                    None => ti,
+                    Some(b) => {
+                        let (bt, ct) = (&tenants[b], t);
+                        let lhs = ct.service_us as u128 * bt.cfg.weight as u128;
+                        let rhs = bt.service_us as u128 * ct.cfg.weight as u128;
+                        if lhs < rhs || (lhs == rhs && ct.cfg.name < bt.cfg.name) {
+                            ti
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            if let Some(ti) = best {
+                let idx = tenants[ti].queues[prio].pop_front().expect("nonempty queue");
+                tenants[ti].queued -= 1;
+                *total_queued -= 1;
+                return Some(idx);
+            }
+        }
+        None
+    };
+
+    loop {
+        // 1. Admit every arrival due by `now`.
+        while next_arrival < order.len() && jobs[order[next_arrival]].arrival_us <= now {
+            let idx = order[next_arrival];
+            next_arrival += 1;
+            let job = &jobs[idx];
+            stats.submitted += 1;
+            let Some(&ti) = tenant_index.get(&job.tenant) else {
+                stats.rejected_unknown_tenant += 1;
+                outcomes[idx] = Some(JobOutcome::Rejected {
+                    reason: RejectError::UnknownTenant { tenant: job.tenant.clone() },
+                });
+                continue;
+            };
+            tenants[ti].submitted += 1;
+            if total_queued >= cfg.max_backlog {
+                stats.rejected_overloaded += 1;
+                tenants[ti].shed += 1;
+                outcomes[idx] = Some(JobOutcome::Rejected {
+                    reason: RejectError::Overloaded {
+                        backlog: total_queued,
+                        limit: cfg.max_backlog,
+                    },
+                });
+                continue;
+            }
+            if tenants[ti].queued >= tenants[ti].cfg.queue_cap {
+                stats.rejected_queue_full += 1;
+                tenants[ti].shed += 1;
+                outcomes[idx] = Some(JobOutcome::Rejected {
+                    reason: RejectError::QueueFull {
+                        tenant: job.tenant.clone(),
+                        cap: tenants[ti].cfg.queue_cap,
+                    },
+                });
+                continue;
+            }
+            stats.admitted += 1;
+            tenants[ti].queues[job.priority.index()].push_back(idx);
+            tenants[ti].queued += 1;
+            total_queued += 1;
+        }
+
+        // 2. Fill free worker slots: pick, expire stale jobs, bill
+        // provisional service so one tenant cannot claim a whole wave.
+        let mut wave: Vec<usize> = Vec::new();
+        while wave.len() < free_workers {
+            let Some(idx) = pick_next(&mut tenants, &mut total_queued) else { break };
+            let job = &jobs[idx];
+            let ti = tenant_index[&job.tenant];
+            let wait_us = now - job.arrival_us;
+            if job.deadline_us > 0 && wait_us > job.deadline_us {
+                stats.expired += 1;
+                tenants[ti].shed += 1;
+                outcomes[idx] = Some(JobOutcome::Expired { wait_us });
+                continue;
+            }
+            tenants[ti].service_us += PROVISIONAL_SERVICE_US;
+            wave.push(idx);
+        }
+
+        if !wave.is_empty() {
+            free_workers -= wave.len();
+            // Host-parallel execution of the wave; virtual outcomes are
+            // pure per job, so the engine only affects wall-clock.
+            let executed =
+                engine.map_stage("serve-wave", wave.clone(), |_, idx| {
+                    run_flow_job(&shared, &jobs[idx], overhead_us)
+                });
+            for (idx, ex) in wave.into_iter().zip(executed) {
+                let job = &jobs[idx];
+                let ti = tenant_index[&job.tenant];
+                // Correct the provisional bill to the measured service.
+                tenants[ti].service_us = tenants[ti]
+                    .service_us
+                    .saturating_sub(PROVISIONAL_SERVICE_US)
+                    .saturating_add(ex.service_us);
+                let wait_us = now - job.arrival_us;
+                let finish_us = now + ex.service_us;
+                dispatch_seq += 1;
+                busy.push(Reverse((finish_us, dispatch_seq, idx)));
+                outcomes[idx] = Some(JobOutcome::Completed {
+                    start_us: now,
+                    finish_us,
+                    wait_us,
+                    service_us: ex.service_us,
+                    cancelled: ex.cancelled,
+                    solved: ex.solved,
+                    score: ex.score,
+                });
+                flows_llm.merge(&ex.llm);
+                stats.completed += 1;
+                stats.cancelled += ex.cancelled as u64;
+                tenants[ti].completed += 1;
+            }
+            continue;
+        }
+
+        // 3. Nothing dispatchable: advance virtual time to the next
+        // event — completions before arrivals at equal timestamps.
+        let next_completion = busy.peek().map(|Reverse((f, _, _))| *f);
+        let upcoming_arrival =
+            (next_arrival < order.len()).then(|| jobs[jobs_order(&order, next_arrival)].arrival_us);
+        match (next_completion, upcoming_arrival) {
+            (None, None) => break,
+            (Some(f), a) if a.is_none_or(|a| f <= a) => {
+                now = f;
+                let Reverse((_, _, idx)) = busy.pop().expect("peeked completion");
+                free_workers += 1;
+                completion_order.push(jobs[idx].id);
+                stats.makespan_us = stats.makespan_us.max(now);
+            }
+            (_, Some(a)) => now = a,
+            (Some(_), None) => unreachable!("covered by the guarded arm"),
+        }
+    }
+
+    // Finalize stats.
+    let mut waits: Vec<u64> = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            Some(JobOutcome::Completed { wait_us, .. }) => Some(*wait_us),
+            _ => None,
+        })
+        .collect();
+    waits.sort_unstable();
+    stats.p50_wait_us = percentile(&waits, 50);
+    stats.p99_wait_us = percentile(&waits, 99);
+    stats.throughput_per_hour = if stats.makespan_us > 0 {
+        stats.completed as f64 / (stats.makespan_us as f64 / 3.6e9)
+    } else {
+        0.0
+    };
+
+    let total_service: u64 = tenants.iter().map(|t| t.service_us).sum();
+    let tenant_stats: Vec<TenantStats> = tenants
+        .iter()
+        .map(|t| TenantStats {
+            name: t.cfg.name.clone(),
+            weight: t.cfg.weight,
+            submitted: t.submitted,
+            completed: t.completed,
+            shed: t.shed,
+            service_us: t.service_us,
+            share: if total_service > 0 {
+                t.service_us as f64 / total_service as f64
+            } else {
+                0.0
+            },
+        })
+        .collect();
+
+    let records: Vec<JobRecord> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| JobRecord {
+            id: j.id,
+            tenant: j.tenant.clone(),
+            priority: j.priority,
+            arrival_us: j.arrival_us,
+            outcome: outcomes[i].clone().unwrap_or(JobOutcome::Expired { wait_us: 0 }),
+        })
+        .collect();
+
+    ServeReport {
+        model: shared.name().to_string(),
+        jobs: records,
+        completion_order,
+        stats,
+        tenants: tenant_stats,
+        coalesce: shared.report(),
+        llm: shared.llm_report(),
+        flows_llm,
+    }
+}
+
+fn jobs_order(order: &[usize], i: usize) -> usize {
+    order[i]
+}
+
+/// Nearest-rank percentile over a sorted slice (0 for an empty one).
+fn percentile(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (pct * sorted.len() as u64).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_llm::{ModelSpec, SimulatedLlm};
+
+    fn model() -> SimulatedLlm {
+        SimulatedLlm::new(ModelSpec::ultra())
+    }
+
+    fn tiny_autochip(id: u64, tenant: &str, priority: Priority, arrival_us: u64) -> FlowJob {
+        FlowJob {
+            id,
+            tenant: tenant.into(),
+            priority,
+            arrival_us,
+            deadline_us: 0,
+            flow: FlowSpec::AutoChip {
+                problem: "mux2".into(),
+                k: 1,
+                depth: 1,
+                tb_vectors: 8,
+                seed: id,
+            },
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let r = serve_trace(&model(), &[], &ServeConfig::default());
+        assert_eq!(r.stats.submitted, 0);
+        assert!(r.completion_order.is_empty());
+    }
+
+    #[test]
+    fn single_job_completes_with_sane_accounting() {
+        let jobs = vec![tiny_autochip(1, "alpha", Priority::Standard, 1_000)];
+        let r = serve_trace(&model(), &jobs, &ServeConfig::default());
+        assert_eq!(r.stats.completed, 1);
+        assert_eq!(r.completion_order, vec![1]);
+        match &r.jobs[0].outcome {
+            JobOutcome::Completed { start_us, finish_us, wait_us, service_us, solved, .. } => {
+                assert_eq!(*start_us, 1_000);
+                assert_eq!(*wait_us, 0);
+                assert_eq!(*finish_us, start_us + service_us);
+                assert!(*solved, "ultra solves mux2");
+                assert!(*service_us >= 500_000, "overhead must be billed");
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert_eq!(r.stats.makespan_us, match &r.jobs[0].outcome {
+            JobOutcome::Completed { finish_us, .. } => *finish_us,
+            _ => unreachable!(),
+        });
+    }
+
+    #[test]
+    fn unknown_tenant_is_rejected_typed() {
+        let jobs = vec![tiny_autochip(9, "nobody", Priority::Standard, 0)];
+        let r = serve_trace(&model(), &jobs, &ServeConfig::default());
+        assert_eq!(r.stats.rejected_unknown_tenant, 1);
+        assert!(matches!(
+            &r.jobs[0].outcome,
+            JobOutcome::Rejected { reason: RejectError::UnknownTenant { .. } }
+        ));
+    }
+
+    #[test]
+    fn queue_cap_sheds_the_overflow() {
+        let cfg = ServeConfig {
+            tenants: vec![TenantConfig::new("alpha", 1, 2)],
+            workers: 1,
+            max_backlog: 100,
+            ..Default::default()
+        };
+        // Four simultaneous arrivals against a cap-2 queue: admission
+        // precedes dispatch within a timestep, so the first two queue
+        // and the last two are shed with a typed error.
+        let jobs: Vec<FlowJob> =
+            (0..4).map(|i| tiny_autochip(i, "alpha", Priority::Standard, 0)).collect();
+        let r = serve_trace(&model(), &jobs, &cfg);
+        assert_eq!(r.stats.rejected_queue_full, 2, "{:?}", r.stats);
+        assert_eq!(r.stats.completed, 2);
+        let shed: Vec<u64> = r
+            .jobs
+            .iter()
+            .filter(|j| matches!(j.outcome, JobOutcome::Rejected { .. }))
+            .map(|j| j.id)
+            .collect();
+        assert_eq!(shed, vec![2, 3], "FIFO admission: the latest arrivals are shed");
+    }
+
+    #[test]
+    fn strict_priority_preempts_queue_order() {
+        let cfg = ServeConfig { workers: 1, ..Default::default() };
+        // Batch arrives first, Interactive second, both before the
+        // worker frees: Interactive must still dispatch first once the
+        // initial job finishes.
+        let mut jobs = vec![
+            tiny_autochip(1, "alpha", Priority::Standard, 0), // occupies the worker
+            tiny_autochip(2, "beta", Priority::Batch, 10),
+            tiny_autochip(3, "gamma", Priority::Interactive, 20),
+        ];
+        jobs[1].flow = jobs[0].flow.clone(); // keep it cheap
+        let r = serve_trace(&model(), &jobs, &cfg);
+        assert_eq!(r.stats.completed, 3);
+        let pos = |id: u64| r.completion_order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(3) < pos(2), "interactive before batch: {:?}", r.completion_order);
+    }
+
+    #[test]
+    fn report_serializes_and_percentiles_are_ordered() {
+        let jobs: Vec<FlowJob> = (0..6)
+            .map(|i| tiny_autochip(i, ["alpha", "beta"][i as usize % 2], Priority::Standard, i * 500))
+            .collect();
+        let r = serve_trace(&model(), &jobs, &ServeConfig::default());
+        let json = serde_json::to_string(&r).expect("report serializes");
+        assert!(json.contains("completion_order"));
+        assert!(r.stats.p50_wait_us <= r.stats.p99_wait_us);
+        assert!(r.stats.throughput_per_hour > 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&xs, 50), 50);
+        assert_eq!(percentile(&xs, 99), 100);
+        assert_eq!(percentile(&xs, 1), 10);
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 99), 7);
+    }
+
+    #[test]
+    fn env_knobs_are_hardened() {
+        std::env::set_var(SERVE_WORKERS_ENV, "not-a-number");
+        let err = ServeConfig::try_from_env().unwrap_err();
+        std::env::remove_var(SERVE_WORKERS_ENV);
+        assert_eq!(err.var, SERVE_WORKERS_ENV);
+        assert!(err.to_string().contains(SERVE_WORKERS_ENV));
+
+        std::env::set_var(SERVE_MAX_BACKLOG_ENV, "0");
+        assert!(ServeConfig::try_from_env().is_err());
+        std::env::remove_var(SERVE_MAX_BACKLOG_ENV);
+
+        std::env::set_var(SERVE_COALESCE_ENV, "off");
+        let cfg = ServeConfig::try_from_env().unwrap();
+        std::env::remove_var(SERVE_COALESCE_ENV);
+        assert!(!cfg.coalesce);
+    }
+}

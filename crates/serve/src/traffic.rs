@@ -1,0 +1,174 @@
+//! Seeded synthetic traffic for the serving layer.
+//!
+//! Generates a reproducible stream of [`FlowJob`]s: tenants drawn from
+//! a weighted distribution, priorities skewed toward interactive use,
+//! uniform interarrival gaps, and — crucially for benchmarking the
+//! coalescing layer — a configurable fraction of *duplicate* jobs that
+//! clone an earlier job's flow spec verbatim, replaying an identical
+//! LLM request stream.
+
+use crate::{FlowJob, FlowSpec, Priority};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Small, host-cheap problems from the built-in suite.
+const PROBLEMS: [&str; 6] = ["mux2", "half_adder", "full_adder", "dff", "parity8", "counter4"];
+
+/// Traffic-shape knobs. All randomness flows from `seed`.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Number of jobs to emit.
+    pub jobs: usize,
+    /// `(tenant, weight)` sampling distribution.
+    pub tenants: Vec<(String, f64)>,
+    /// Mean interarrival gap; actual gaps are uniform in `[0, 2*mean]`.
+    pub mean_interarrival_us: u64,
+    /// Fraction of jobs (after the first few) that clone an earlier
+    /// job's flow spec verbatim — identical request streams, so the
+    /// coalescing cache can serve them without new transport calls.
+    pub duplicate_rate: f64,
+    /// Deadline range (virtual µs relative to arrival); `(0, 0)` emits
+    /// deadline-free jobs.
+    pub deadline_us: (u64, u64),
+    pub seed: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            jobs: 24,
+            tenants: vec![
+                ("alpha".to_string(), 3.0),
+                ("beta".to_string(), 2.0),
+                ("gamma".to_string(), 1.0),
+            ],
+            mean_interarrival_us: 2_000_000,
+            duplicate_rate: 0.35,
+            deadline_us: (0, 0),
+            seed: 7,
+        }
+    }
+}
+
+/// Generates the trace: deterministic for a given config (same seed,
+/// same byte-identical jobs).
+pub fn generate_trace(cfg: &TrafficConfig) -> Vec<FlowJob> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5e27_e000_0000_0000);
+    let total_weight: f64 = cfg.tenants.iter().map(|(_, w)| w.max(0.0)).sum();
+    let mut jobs: Vec<FlowJob> = Vec::with_capacity(cfg.jobs);
+    let mut arrival = 0u64;
+
+    for i in 0..cfg.jobs {
+        if i > 0 {
+            arrival += rng.gen_range(0..=cfg.mean_interarrival_us.saturating_mul(2));
+        }
+        let tenant = pick_tenant(&cfg.tenants, total_weight, &mut rng);
+        let priority = {
+            let p: f64 = rng.gen();
+            if p < 0.3 {
+                Priority::Interactive
+            } else if p < 0.8 {
+                Priority::Standard
+            } else {
+                Priority::Batch
+            }
+        };
+        let deadline_us = if cfg.deadline_us.1 > cfg.deadline_us.0 {
+            rng.gen_range(cfg.deadline_us.0..=cfg.deadline_us.1)
+        } else {
+            cfg.deadline_us.0
+        };
+        // Clone an earlier spec verbatim at the duplicate rate: the
+        // replayed request stream is what the coalescing layer dedups.
+        let flow = if i >= 2 && rng.gen::<f64>() < cfg.duplicate_rate {
+            let donor = rng.gen_range(0..jobs.len());
+            jobs[donor].flow.clone()
+        } else {
+            fresh_flow(&mut rng)
+        };
+        jobs.push(FlowJob {
+            id: i as u64,
+            tenant,
+            priority,
+            arrival_us: arrival,
+            deadline_us,
+            flow,
+        });
+    }
+    jobs
+}
+
+fn pick_tenant(tenants: &[(String, f64)], total: f64, rng: &mut StdRng) -> String {
+    if tenants.is_empty() || total <= 0.0 {
+        return "alpha".to_string();
+    }
+    let mut x: f64 = rng.gen::<f64>() * total;
+    for (name, w) in tenants {
+        x -= w.max(0.0);
+        if x <= 0.0 {
+            return name.clone();
+        }
+    }
+    tenants[tenants.len() - 1].0.clone()
+}
+
+fn fresh_flow(rng: &mut StdRng) -> FlowSpec {
+    let problem = PROBLEMS[rng.gen_range(0..PROBLEMS.len())].to_string();
+    let seed = rng.gen_range(0..8u64);
+    match rng.gen_range(0..10u32) {
+        0..=4 => FlowSpec::AutoChip {
+            problem,
+            k: rng.gen_range(1..=2),
+            depth: rng.gen_range(1..=2),
+            tb_vectors: 8,
+            seed,
+        },
+        5..=7 => FlowSpec::Structured { problem, rounds: rng.gen_range(1..=3), seed },
+        8 => FlowSpec::Repair { program: "debug-printf".to_string(), rounds: 2, seed },
+        _ => FlowSpec::Agent { problem, seed },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic() {
+        let cfg = TrafficConfig::default();
+        let a = generate_trace(&cfg);
+        let b = generate_trace(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.tenant, y.tenant);
+            assert_eq!(x.arrival_us, y.arrival_us);
+            assert_eq!(x.flow, y.flow);
+        }
+    }
+
+    #[test]
+    fn duplicate_rate_produces_repeated_specs() {
+        let cfg = TrafficConfig { jobs: 40, duplicate_rate: 0.6, ..Default::default() };
+        let jobs = generate_trace(&cfg);
+        let mut dup = 0usize;
+        for (i, j) in jobs.iter().enumerate() {
+            if jobs[..i].iter().any(|e| e.flow == j.flow) {
+                dup += 1;
+            }
+        }
+        assert!(dup >= 10, "expected heavy duplication, saw {dup}/40");
+    }
+
+    #[test]
+    fn arrivals_are_nondecreasing_and_tenants_known() {
+        let jobs = generate_trace(&TrafficConfig::default());
+        let names = ["alpha", "beta", "gamma"];
+        let mut last = 0;
+        for j in &jobs {
+            assert!(j.arrival_us >= last);
+            last = j.arrival_us;
+            assert!(names.contains(&j.tenant.as_str()), "{}", j.tenant);
+        }
+    }
+}

@@ -29,7 +29,7 @@ pub use levenshtein::{levenshtein, normalized_distance};
 pub use pool::{CandidatePool, PoolEntry};
 pub use virtual_clock::VirtualClock;
 
-use eda_exec::{Engine, EvalCache, EvalKey, ExecReport};
+use eda_exec::{CancelToken, Engine, EvalCache, EvalKey, ExecReport};
 use eda_llm::{prompts, ChatModel, ChatRequest, LlmReport, ResilienceConfig, ResilientClient};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -61,6 +61,9 @@ pub struct SltConfig {
     /// LLM transport resilience (fault injection, retries, degradation).
     /// Defaults from `EDA_LLM_FAULT_RATE` & co.
     pub resilience: ResilienceConfig,
+    /// Cooperative cancellation, polled each iteration: once the token
+    /// fires the loop winds down and returns its partial result.
+    pub cancel: CancelToken,
 }
 
 impl Default for SltConfig {
@@ -79,6 +82,7 @@ impl Default for SltConfig {
             near_duplicate_distance: 0.12,
             seed: 1,
             resilience: ResilienceConfig::default(),
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -198,6 +202,9 @@ pub fn run_slt_llm_with(model: &dyn ChatModel, cfg: &SltConfig, engine: &Engine)
     let mut sample_index = 0u32;
 
     while clock.seconds() < budget {
+        if cfg.cancel.is_cancelled() {
+            break;
+        }
         // Build the prompt: task marker + n random scored examples (+SCoT).
         let mut prompt = prompts::task_header("c-power-snippet", &[]);
         prompt.push_str(

@@ -31,6 +31,7 @@
 //! | [`sltgen`] | `eda-sltgen` | SLT power-hunt loop + GP baseline |
 //! | [`exec`] | `eda-exec` | work-stealing eval engine + eval cache |
 //! | [`agent`] | `eda-core` | the unified EDA agent |
+//! | [`serve`] | `eda-serve` | multi-tenant flow serving: fair-share scheduling, admission control, LLM coalescing |
 //!
 //! ## Quickstart
 //!
@@ -55,6 +56,7 @@ pub use eda_rag as rag;
 pub use eda_rank as rank;
 pub use eda_repair as repair;
 pub use eda_riscv as riscv;
+pub use eda_serve as serve;
 pub use eda_sltgen as sltgen;
 pub use eda_suite as suite;
 pub use eda_synth as synth;

@@ -16,7 +16,7 @@
 //! `configured_fault_rate` test below reads the variable; it never sets
 //! it, so local `cargo test` runs the same test fault-free).
 
-use llm4eda::{autochip, hlstester, llm, repair, sltgen, suite};
+use llm4eda::{autochip, hlstester, llm, repair, serve, sltgen, suite};
 use proptest::prelude::*;
 
 fn ultra() -> llm::SimulatedLlm {
@@ -112,6 +112,40 @@ int noisy(int a) {
         assert_bounded_virtual_time(&r.llm, "hlstester");
     }
 
+    /// The serving layer survives a faulty shared transport: for
+    /// arbitrary fault rates up to 0.5 the trace completes without
+    /// panicking, every job's virtual cost stays inside the transport's
+    /// per-request bound, and deadline overruns stay within one
+    /// worst-case request of the budget (cancellation is cooperative —
+    /// it fires at the first request after the budget is exhausted).
+    #[test]
+    fn serve_survives_arbitrary_fault_rates(rate_pct in 0u32..=50, seed in 0u64..10_000) {
+        let deadline_us = 600 * 1_000_000;
+        let trace = serve::generate_trace(&serve::TrafficConfig {
+            jobs: 8,
+            duplicate_rate: 0.4,
+            deadline_us: (deadline_us, deadline_us),
+            seed,
+            ..Default::default()
+        });
+        let cfg = serve::ServeConfig {
+            resilience: resilience(rate_pct as f64 / 100.0, seed ^ 0x5e),
+            ..Default::default()
+        };
+        let r = serve::serve_trace(&ultra(), &trace, &cfg);
+        prop_assert_eq!(r.stats.completed + r.stats.expired, r.stats.admitted);
+        assert_bounded_virtual_time(&r.llm, "serve");
+        for rec in &r.jobs {
+            if let serve::JobOutcome::Completed { service_us, .. } = rec.outcome {
+                prop_assert!(
+                    service_us <= deadline_us + WORST_REQUEST_US + cfg.service_overhead_us,
+                    "job {} overran its deadline by more than one request: {service_us}",
+                    rec.id
+                );
+            }
+        }
+    }
+
     /// Fault injection is bit-reproducible: the same (seed, config) run
     /// serializes byte-identically, including every fault counter.
     #[test]
@@ -183,13 +217,32 @@ int noisy(int a) {
         &model,
         noisy,
         "noisy",
-        &hlstester::HlsTesterConfig { resilience: res, ..Default::default() },
+        &hlstester::HlsTesterConfig { resilience: res.clone(), ..Default::default() },
     )
     .unwrap();
 
-    for (flow, rep) in
-        [("autochip", &a.llm), ("slt", &s.llm), ("repair", &rp.llm), ("hlstester", &h.llm)]
-    {
+    // A short serve trace rides the same configured fault rate through
+    // the shared coalescing stack: no panics, and the whole trace stays
+    // inside the transport's per-request virtual bound.
+    let sv = serve::serve_trace(
+        &model,
+        &serve::generate_trace(&serve::TrafficConfig {
+            jobs: 6,
+            duplicate_rate: 0.5,
+            seed: 0xc4a05,
+            ..Default::default()
+        }),
+        &serve::ServeConfig { resilience: res, ..Default::default() },
+    );
+    assert_eq!(sv.stats.completed, sv.stats.admitted, "{:?}", sv.stats);
+
+    for (flow, rep) in [
+        ("autochip", &a.llm),
+        ("slt", &s.llm),
+        ("repair", &rp.llm),
+        ("hlstester", &h.llm),
+        ("serve", &sv.llm),
+    ] {
         assert!(rep.requests > 0, "{flow} issued no LLM requests");
         assert_bounded_virtual_time(rep, flow);
         if rate == 0.0 {

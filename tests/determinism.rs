@@ -6,7 +6,7 @@
 //! serialization by `ExecReport` itself, so this also pins the counter
 //! accounting).
 
-use llm4eda::{autochip, exec, llm, repair, sltgen, suite};
+use llm4eda::{autochip, exec, llm, repair, serve, sltgen, suite};
 
 fn ultra() -> llm::SimulatedLlm {
     llm::SimulatedLlm::new(llm::ModelSpec::ultra())
@@ -144,6 +144,74 @@ fn slt_with_faulty_transport_is_deterministic_across_engines() {
     assert_all_identical(&runs, "slt-llm-faulty");
     let run = sltgen::run_slt_llm(&model, &cfg);
     assert!(run.llm.faults.total() > 0, "fault rate 0.35 injected nothing: {:?}", run.llm);
+}
+
+#[test]
+fn serve_trace_is_deterministic_across_thread_counts() {
+    // The serving layer schedules in virtual time: job service times are
+    // pure per job spec and coalescing is order-independent, so the full
+    // ServeReport — completion order, per-job outcomes, fairness
+    // accounting, coalescing counters — must serialize byte-identically
+    // at 1, 4, and 8 host threads (and across reruns).
+    let model = ultra();
+    let trace = serve::generate_trace(&serve::TrafficConfig {
+        jobs: 16,
+        duplicate_rate: 0.4,
+        seed: 13,
+        ..Default::default()
+    });
+    let cfg = serve::ServeConfig::default();
+    let runs: Vec<String> = [1usize, 4, 8, 4]
+        .iter()
+        .map(|&t| {
+            let engine = exec::Engine::with_threads(t);
+            let report = serve::serve_trace_with(&model, &trace, &cfg, &engine);
+            serde_json::to_string(&report).expect("serve report serializes")
+        })
+        .collect();
+    assert_all_identical(&runs, "serve-trace");
+}
+
+#[test]
+fn serve_coalescing_changes_no_outcome() {
+    // Coalescing must be a pure transport-call optimization: every job
+    // outcome, wait time, and fairness number is identical with it on or
+    // off — only the coalescing counters themselves (and the number of
+    // unique transport calls) may differ.
+    let model = ultra();
+    let trace = serve::generate_trace(&serve::TrafficConfig {
+        jobs: 14,
+        duplicate_rate: 0.5,
+        seed: 29,
+        ..Default::default()
+    });
+    let on = serve::serve_trace_with(
+        &model,
+        &trace,
+        &serve::ServeConfig { coalesce: true, ..Default::default() },
+        &exec::Engine::with_threads(4),
+    );
+    let off = serve::serve_trace_with(
+        &model,
+        &trace,
+        &serve::ServeConfig { coalesce: false, ..Default::default() },
+        &exec::Engine::with_threads(4),
+    );
+    assert!(on.coalesce.hits > 0, "duplicate-heavy trace must coalesce: {:?}", on.coalesce);
+    assert_eq!(off.coalesce.hits, 0);
+    assert_eq!(
+        serde_json::to_string(&on.jobs).unwrap(),
+        serde_json::to_string(&off.jobs).unwrap(),
+        "coalescing changed a job outcome"
+    );
+    assert_eq!(on.completion_order, off.completion_order);
+    assert_eq!(on.stats, off.stats);
+    assert!(
+        on.llm.requests < off.llm.requests,
+        "coalescing must reduce transport requests: {} vs {}",
+        on.llm.requests,
+        off.llm.requests
+    );
 }
 
 #[test]
