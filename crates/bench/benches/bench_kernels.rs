@@ -1,27 +1,89 @@
 //! Criterion micro-benchmarks for the workspace's hot kernels: the HDL
-//! event simulator, symbolic synthesis + mapping, BM25 retrieval,
-//! Levenshtein distance, the RISC-V OOO power model, and HLS scheduling.
+//! event simulator (both engines), memoized elaboration, symbolic
+//! synthesis + mapping, BM25 retrieval, Levenshtein distance, the RISC-V
+//! OOO power model (both engines), and HLS scheduling.
+//!
+//! Knobs (typed via `eda_exec::parse_bool_knob`):
+//! - `EDA_BENCH_QUICK=1`  — short warmup/measurement for CI smoke runs.
+//! - `EDA_BENCH_CHECK=1`  — compare against `results/bench_kernels.json`
+//!   and exit non-zero if any kernel regressed more than 2x.
+//! - `EDA_BENCH_WRITE=1`  — rewrite the threshold baseline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use criterion::{black_box, Criterion};
+use std::time::Duration;
+
+const BASELINE_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/bench_kernels.json");
+
+/// A kernel must run slower than `baseline * REGRESSION_FACTOR` to fail
+/// the CI smoke check. 2x absorbs runner noise while still catching
+/// order-of-magnitude regressions (e.g. the fast path silently off).
+const REGRESSION_FACTOR: f64 = 2.0;
+
+const LFSR_SRC: &str = "module lfsr(input clk, rst, output reg [15:0] q);
+     wire fb;
+     assign fb = q[15] ^ q[13] ^ q[12] ^ q[10];
+     always @(posedge clk)
+       if (rst) q <= 16'd1; else q <= {q[14:0], fb};
+   endmodule";
+
+/// Wide-vector clocked datapath: 64-bit accumulate/rotate network where
+/// the word-parallel `u128` evaluation dominates.
+const WIDE_SRC: &str = "module widepath(input clk, rst, input [63:0] k, output reg [63:0] acc);
+     wire [63:0] mixed;
+     wire [63:0] rot;
+     assign rot = {acc[30:0], acc[63:31]};
+     assign mixed = (acc ^ k) + (rot & 64'hfedcba9876543210);
+     always @(posedge clk)
+       if (rst) acc <= 64'd1; else acc <= mixed + (acc >> 7);
+   endmodule";
+
+fn run_lfsr(design: &eda_hdl::Design, fast_path: bool) -> eda_hdl::Value {
+    let mut sim = eda_hdl::Simulator::new(design);
+    sim.set_fast_path(fast_path);
+    sim.poke("rst", eda_hdl::Value::bit(true)).unwrap();
+    eda_hdl::clock_cycles(&mut sim, "clk", 1, |_, _| Ok(())).unwrap();
+    sim.poke("rst", eda_hdl::Value::bit(false)).unwrap();
+    eda_hdl::clock_cycles(&mut sim, "clk", 1000, |_, _| Ok(())).unwrap();
+    sim.peek("q").unwrap()
+}
+
+fn run_wide(design: &eda_hdl::Design, fast_path: bool) -> eda_hdl::Value {
+    let mut sim = eda_hdl::Simulator::new(design);
+    sim.set_fast_path(fast_path);
+    sim.poke("rst", eda_hdl::Value::bit(true)).unwrap();
+    sim.poke("k", eda_hdl::Value::from_u64(64, 0x9e37_79b9_7f4a_7c15)).unwrap();
+    eda_hdl::clock_cycles(&mut sim, "clk", 1, |_, _| Ok(())).unwrap();
+    sim.poke("rst", eda_hdl::Value::bit(false)).unwrap();
+    eda_hdl::clock_cycles(&mut sim, "clk", 512, |_, _| Ok(())).unwrap();
+    sim.peek("acc").unwrap()
+}
 
 fn bench_hdl_simulator(c: &mut Criterion) {
-    let src = "module lfsr(input clk, rst, output reg [15:0] q);
-                 wire fb;
-                 assign fb = q[15] ^ q[13] ^ q[12] ^ q[10];
-                 always @(posedge clk)
-                   if (rst) q <= 16'd1; else q <= {q[14:0], fb};
-               endmodule";
-    let design = eda_hdl::compile(src, "lfsr").unwrap();
+    let lfsr = eda_hdl::compile(LFSR_SRC, "lfsr").unwrap();
     c.bench_function("hdl_sim_lfsr_1000_cycles", |b| {
-        b.iter(|| {
-            let mut sim = eda_hdl::Simulator::new(&design);
-            sim.poke("rst", eda_hdl::Value::bit(true)).unwrap();
-            eda_hdl::clock_cycles(&mut sim, "clk", 1, |_, _| Ok(())).unwrap();
-            sim.poke("rst", eda_hdl::Value::bit(false)).unwrap();
-            eda_hdl::clock_cycles(&mut sim, "clk", 1000, |_, _| Ok(())).unwrap();
-            black_box(sim.peek("q").unwrap())
-        })
+        b.iter(|| black_box(run_lfsr(&lfsr, true)))
+    });
+    c.bench_function("hdl_sim_lfsr_1000_cycles_four_state", |b| {
+        b.iter(|| black_box(run_lfsr(&lfsr, false)))
+    });
+    let wide = eda_hdl::compile(WIDE_SRC, "widepath").unwrap();
+    c.bench_function("hdl_sim_wide_datapath_512_cycles", |b| {
+        b.iter(|| black_box(run_wide(&wide, true)))
+    });
+    c.bench_function("hdl_sim_wide_datapath_512_cycles_four_state", |b| {
+        b.iter(|| black_box(run_wide(&wide, false)))
+    });
+}
+
+fn bench_elaboration(c: &mut Criterion) {
+    // Steady-state flow behaviour: the same module source compiled over
+    // and over (candidate evaluation, testbench construction).
+    c.bench_function("hdl_elab_memoized_compile", |b| {
+        b.iter(|| black_box(eda_hdl::compile_cached(LFSR_SRC, "lfsr").unwrap()))
+    });
+    c.bench_function("hdl_elab_uncached_compile", |b| {
+        b.iter(|| black_box(eda_hdl::compile(LFSR_SRC, "lfsr").unwrap()))
     });
 }
 
@@ -92,6 +154,15 @@ fn bench_ooo_model(c: &mut Criterion) {
             ))
         })
     });
+    c.bench_function("ooo_analyze_16k_instrs_reference", |b| {
+        b.iter(|| {
+            black_box(eda_riscv::analyze_reference(
+                black_box(&trace),
+                eda_riscv::UarchConfig::default(),
+                eda_riscv::PowerParams::default(),
+            ))
+        })
+    });
 }
 
 fn bench_hls_schedule(c: &mut Criterion) {
@@ -117,13 +188,113 @@ fn bench_hls_schedule(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_hdl_simulator,
-    bench_synthesis,
-    bench_retrieval,
-    bench_levenshtein,
-    bench_ooo_model,
-    bench_hls_schedule
-);
-criterion_main!(benches);
+fn knob(name: &str) -> bool {
+    eda_exec::parse_bool_knob(name)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .unwrap_or(false)
+}
+
+fn lookup(results: &[(String, f64)], name: &str) -> f64 {
+    results
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, ns)| *ns)
+        .unwrap_or_else(|| panic!("kernel `{name}` missing from results"))
+}
+
+/// Prints the optimized-vs-reference speedup per engine pair plus the
+/// geometric-mean aggregate.
+fn report_speedups(results: &[(String, f64)]) {
+    const PAIRS: &[(&str, &str, &str)] = &[
+        (
+            "lfsr event sim",
+            "hdl_sim_lfsr_1000_cycles_four_state",
+            "hdl_sim_lfsr_1000_cycles",
+        ),
+        (
+            "wide datapath sim",
+            "hdl_sim_wide_datapath_512_cycles_four_state",
+            "hdl_sim_wide_datapath_512_cycles",
+        ),
+        (
+            "elaboration",
+            "hdl_elab_uncached_compile",
+            "hdl_elab_memoized_compile",
+        ),
+        (
+            "ooo analysis",
+            "ooo_analyze_16k_instrs_reference",
+            "ooo_analyze_16k_instrs",
+        ),
+    ];
+    let mut log_sum = 0.0;
+    for (label, slow, fast) in PAIRS {
+        let ratio = lookup(results, slow) / lookup(results, fast);
+        log_sum += ratio.ln();
+        println!("speedup: {label:<20} {ratio:.2}x");
+    }
+    let aggregate = (log_sum / PAIRS.len() as f64).exp();
+    println!("speedup: aggregate (geomean) {aggregate:.2}x");
+}
+
+fn write_baseline(results: &[(String, f64)]) {
+    let mut out = String::from("{\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!("  \"{name}\": {ns:.1}{comma}\n"));
+    }
+    out.push_str("}\n");
+    std::fs::write(BASELINE_PATH, out).unwrap();
+    println!("wrote baseline to {BASELINE_PATH}");
+}
+
+/// Compares against the checked-in baseline; returns the failure count.
+fn check_baseline(results: &[(String, f64)]) -> usize {
+    let text = std::fs::read_to_string(BASELINE_PATH).unwrap_or_else(|e| {
+        panic!("missing baseline {BASELINE_PATH} ({e}); regenerate with EDA_BENCH_WRITE=1")
+    });
+    let baseline = serde_json::from_str(&text).unwrap();
+    let mut failures = 0;
+    for (name, ns) in results {
+        let Some(base) = baseline.get(name).and_then(|v| v.as_f64()) else {
+            println!("check: {name:<44} no baseline (new kernel), skipping");
+            continue;
+        };
+        let ratio = ns / base;
+        if ratio > REGRESSION_FACTOR {
+            println!("check: {name:<44} FAIL {ratio:.2}x of baseline ({base:.0} ns -> {ns:.0} ns)");
+            failures += 1;
+        } else {
+            println!("check: {name:<44} ok   {ratio:.2}x of baseline");
+        }
+    }
+    failures
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    if knob("EDA_BENCH_QUICK") {
+        c = c
+            .warm_up_time(Duration::from_millis(20))
+            .measurement_time(Duration::from_millis(80));
+    }
+    bench_hdl_simulator(&mut c);
+    bench_elaboration(&mut c);
+    bench_synthesis(&mut c);
+    bench_retrieval(&mut c);
+    bench_levenshtein(&mut c);
+    bench_ooo_model(&mut c);
+    bench_hls_schedule(&mut c);
+
+    report_speedups(c.results());
+    if knob("EDA_BENCH_WRITE") {
+        write_baseline(c.results());
+    }
+    if knob("EDA_BENCH_CHECK") {
+        let failures = check_baseline(c.results());
+        if failures > 0 {
+            eprintln!("{failures} kernel(s) regressed more than {REGRESSION_FACTOR}x");
+            std::process::exit(1);
+        }
+    }
+}

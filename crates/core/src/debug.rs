@@ -11,7 +11,7 @@
 //! compensating for error-prone HDL generation.
 
 use eda_cmini::{CminiError, Interp};
-use eda_hdl::{compile, HdlError, Simulator, Value};
+use eda_hdl::{compile_cached as compile, HdlError, Simulator, Value};
 use eda_suite::Problem;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

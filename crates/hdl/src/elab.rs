@@ -195,6 +195,107 @@ impl Design {
     pub fn port(&self, name: &str) -> Option<&PortInfo> {
         self.ports.iter().find(|p| p.name == name)
     }
+
+    /// Static two-state feasibility profile: scans every expression in the
+    /// design for constructs that can manufacture X from fully-defined
+    /// inputs. The simulator's fast path handles such nodes with a
+    /// per-expression fall-back, so this is a diagnostic (benchmarks and
+    /// tests use it to predict how much of a run stays on the fast path).
+    pub fn two_state_profile(&self) -> TwoStateProfile {
+        let mut p = TwoStateProfile::default();
+        let scan_lv = |lv: &ELValue, p: &mut TwoStateProfile| match lv {
+            ELValue::Bit(_, idx) | ELValue::Mem(_, idx) => count_x_sources(idx, p),
+            _ => {}
+        };
+        for a in &self.assigns {
+            count_x_sources(&a.rhs, &mut p);
+            scan_lv(&a.lhs, &mut p);
+        }
+        for proc in &self.processes {
+            for i in &proc.program.instrs {
+                match i {
+                    Instr::Assign { lhs, rhs, .. } => {
+                        count_x_sources(rhs, &mut p);
+                        scan_lv(lhs, &mut p);
+                    }
+                    Instr::JumpIfFalse { cond, .. } => count_x_sources(cond, &mut p),
+                    Instr::CaseDispatch { subject, arms, .. } => {
+                        count_x_sources(subject, &mut p);
+                        for (labels, _) in arms {
+                            for l in labels {
+                                count_x_sources(l, &mut p);
+                            }
+                        }
+                    }
+                    Instr::Display { args, .. } | Instr::ErrorTask { args, .. } => {
+                        for a in args {
+                            count_x_sources(a, &mut p);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        p.uninit_signals = self.signals.iter().filter(|s| s.init.is_none()).count();
+        p
+    }
+}
+
+/// Result of [`Design::two_state_profile`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TwoStateProfile {
+    /// Expression nodes that can yield X from defined operands: `/` and
+    /// `%` (X on zero divisor), dynamic bit selects (X out of range),
+    /// memory reads (uninitialized words), and X literals.
+    pub x_sources: usize,
+    /// Signals without an initializer; they start as X and keep the
+    /// simulator on the four-state engine until reset washes them out.
+    pub uninit_signals: usize,
+}
+
+impl TwoStateProfile {
+    /// True when no expression in the design can manufacture X: once the
+    /// initial X state is overwritten, the whole run stays two-state.
+    pub fn pure(&self) -> bool {
+        self.x_sources == 0
+    }
+}
+
+fn count_x_sources(e: &EExpr, p: &mut TwoStateProfile) {
+    match &e.kind {
+        EExprKind::Const(c) => {
+            if c.has_x() {
+                p.x_sources += 1;
+            }
+        }
+        EExprKind::Signal(_) | EExprKind::PartSelect(..) => {}
+        EExprKind::MemRead(_, idx) => {
+            p.x_sources += 1;
+            count_x_sources(idx, p);
+        }
+        EExprKind::BitSelect(_, idx) => {
+            p.x_sources += 1;
+            count_x_sources(idx, p);
+        }
+        EExprKind::Unary(_, a) => count_x_sources(a, p),
+        EExprKind::Binary(op, a, b) => {
+            if matches!(op, crate::ast::BinaryOp::Div | crate::ast::BinaryOp::Rem) {
+                p.x_sources += 1;
+            }
+            count_x_sources(a, p);
+            count_x_sources(b, p);
+        }
+        EExprKind::Ternary(c, t, f) => {
+            count_x_sources(c, p);
+            count_x_sources(t, p);
+            count_x_sources(f, p);
+        }
+        EExprKind::Concat(parts) => {
+            for part in parts {
+                count_x_sources(part, p);
+            }
+        }
+    }
 }
 
 /// Elaborates `top` within `file`, applying `param_overrides` to the top

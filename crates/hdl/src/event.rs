@@ -1,0 +1,163 @@
+//! Arena-backed future-event queue for the simulator.
+//!
+//! Events are plain `Copy` records stored in a slab arena; the priority
+//! queue itself is a binary min-heap of arena slot indices ordered by
+//! `(time, seq)`. The sequence counter makes ordering FIFO-stable within a
+//! time step, matching the scheduling order of the previous
+//! `BinaryHeap<Reverse<(time, seq, event)>>` implementation exactly. Freed
+//! slots are recycled through a free list, so steady-state scheduling
+//! (delays, periodic clocks) performs no allocation once the arena and heap
+//! have reached their high-water mark.
+
+/// Payload of a scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EventKind {
+    /// Resume process `proc` at instruction `pc`.
+    Resume { proc: u32, pc: u32 },
+    /// Fire a periodic process.
+    Periodic { proc: u32 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+/// Min-heap of future events keyed by `(time, seq)`.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    arena: Vec<Event>,
+    free: Vec<u32>,
+    heap: Vec<u32>,
+    seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&self, slot: u32) -> (u64, u64) {
+        let e = &self.arena[slot as usize];
+        (e.time, e.seq)
+    }
+
+    /// Schedules `kind` at absolute time `time`. Events at the same time
+    /// fire in schedule order.
+    pub fn schedule(&mut self, time: u64, kind: EventKind) {
+        self.seq += 1;
+        let ev = Event { time, seq: self.seq, kind };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.arena[s as usize] = ev;
+                s
+            }
+            None => {
+                self.arena.push(ev);
+                (self.arena.len() - 1) as u32
+            }
+        };
+        self.heap.push(slot);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Earliest scheduled time, if any.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.first().map(|&s| self.arena[s as usize].time)
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(u64, EventKind)> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().unwrap();
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down(0);
+        }
+        self.free.push(top);
+        let e = self.arena[top as usize];
+        Some((e.time, e.kind))
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.key(self.heap[i]) < self.key(self.heap[parent]) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut min = i;
+            if l < n && self.key(self.heap[l]) < self.key(self.heap[min]) {
+                min = l;
+            }
+            if r < n && self.key(self.heap[r]) < self.key(self.heap[min]) {
+                min = r;
+            }
+            if min == i {
+                return;
+            }
+            self.heap.swap(i, min);
+            i = min;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_fifo_order() {
+        let mut q = EventQueue::new();
+        q.schedule(10, EventKind::Periodic { proc: 0 });
+        q.schedule(5, EventKind::Resume { proc: 1, pc: 3 });
+        q.schedule(5, EventKind::Resume { proc: 2, pc: 0 });
+        q.schedule(7, EventKind::Periodic { proc: 9 });
+        assert_eq!(q.peek_time(), Some(5));
+        assert_eq!(q.pop(), Some((5, EventKind::Resume { proc: 1, pc: 3 })));
+        assert_eq!(q.pop(), Some((5, EventKind::Resume { proc: 2, pc: 0 })));
+        assert_eq!(q.pop(), Some((7, EventKind::Periodic { proc: 9 })));
+        assert_eq!(q.pop(), Some((10, EventKind::Periodic { proc: 0 })));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn slots_recycle_without_arena_growth() {
+        let mut q = EventQueue::new();
+        for round in 0..100u64 {
+            q.schedule(round, EventKind::Periodic { proc: 0 });
+            q.schedule(round, EventKind::Resume { proc: 1, pc: 0 });
+            assert!(q.pop().is_some());
+            assert!(q.pop().is_some());
+        }
+        assert!(q.arena.len() <= 2, "arena grew past high-water mark: {}", q.arena.len());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        for t in [9u64, 3, 7, 1, 5] {
+            q.schedule(t, EventKind::Periodic { proc: t as u32 });
+        }
+        let mut seen = Vec::new();
+        while let Some((t, _)) = q.pop() {
+            seen.push(t);
+            if t == 3 {
+                q.schedule(4, EventKind::Periodic { proc: 99 });
+            }
+        }
+        assert_eq!(seen, vec![1, 3, 4, 5, 7, 9]);
+    }
+}

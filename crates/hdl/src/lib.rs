@@ -40,14 +40,17 @@ pub mod ast;
 pub mod elab;
 pub mod emit;
 pub mod error;
+mod event;
 pub mod lexer;
 pub mod lint;
+pub mod memo;
 pub mod parser;
 pub mod sim;
 pub mod testbench;
 pub mod value;
 
-pub use elab::{elaborate, elaborate_with_params, Design};
+pub use elab::{elaborate, elaborate_with_params, Design, TwoStateProfile};
+pub use memo::{compile_cached, elab_cache_stats, ElabCacheStats};
 pub use emit::{emit_file, emit_module};
 pub use error::HdlError;
 pub use lint::{lint_module, LintKind, LintWarning};

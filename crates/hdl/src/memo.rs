@@ -1,0 +1,201 @@
+//! Memoized elaboration keyed by module-source hash.
+//!
+//! Candidate-evaluation flows (`autochip`, `repair`, `rank`, the suite
+//! testbenches) repeatedly compile the same source text: retries, cached
+//! LLM completions, and cross-job duplicates all re-elaborate identical
+//! modules. [`compile_cached`] parses and elaborates once per distinct
+//! `(source, top)` pair and hands out a shared [`Arc<Design>`] afterwards.
+//!
+//! Keying and invalidation: the cache key is an FNV-1a hash of the top
+//! module name and the full source text, verified against the stored
+//! key material on lookup so hash collisions degrade to a miss rather
+//! than a wrong design. A design's elaboration depends on nothing but
+//! that pair — there are no include paths or environment-dependent
+//! defines in this Verilog subset — so entries never need invalidation;
+//! the cache is only *bounded* (FIFO eviction at [`CACHE_CAP`] entries).
+//! Only successful elaborations are cached: error paths are already
+//! deduplicated by the eval-result caches in `eda-exec`.
+//!
+//! The `EDA_HDL_ELAB_CACHE` knob (default on) disables memoization when
+//! set to `0`/`false` — useful for isolating cache effects in benchmarks.
+
+use crate::elab::Design;
+use crate::error::HdlError;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Maximum number of cached designs; the oldest entry is evicted first.
+pub const CACHE_CAP: usize = 256;
+
+/// Hit/miss counters for the process-wide elaboration cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ElabCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+struct Entry {
+    /// Collision guard: `top`, a `\0` separator, then the source text.
+    key_material: Box<str>,
+    design: Arc<Design>,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<u64, Vec<Entry>>,
+    order: VecDeque<u64>,
+    live: usize,
+    stats: ElabCacheStats,
+}
+
+fn cache() -> &'static Mutex<Inner> {
+    static CACHE: OnceLock<Mutex<Inner>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Inner::default()))
+}
+
+/// Cache enablement, read once per process from `EDA_HDL_ELAB_CACHE`.
+fn cache_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        eda_exec::parse_bool_knob("EDA_HDL_ELAB_CACHE")
+            .unwrap_or_else(|e| panic!("{e}"))
+            .unwrap_or(true)
+    })
+}
+
+fn fnv1a(parts: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for &b in *part {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Parses and elaborates `(src, top)`, memoizing successful results in a
+/// process-wide bounded cache. Equivalent to `Arc::new(compile(src, top))`
+/// in every observable way: a cached design is the exact value the first
+/// elaboration produced.
+///
+/// # Errors
+///
+/// Propagates [`HdlError`] from lexing, parsing, or elaboration; errors
+/// are never cached.
+pub fn compile_cached(src: &str, top: &str) -> Result<Arc<Design>, HdlError> {
+    if !cache_enabled() {
+        return Ok(Arc::new(crate::compile(src, top)?));
+    }
+    let hash = fnv1a(&[top.as_bytes(), src.as_bytes()]);
+    {
+        let mut inner = cache().lock().unwrap();
+        if let Some(entries) = inner.map.get(&hash) {
+            if let Some(e) = entries.iter().find(|e| key_matches(&e.key_material, top, src)) {
+                let design = Arc::clone(&e.design);
+                inner.stats.hits += 1;
+                return Ok(design);
+            }
+        }
+    }
+    // Elaborate outside the lock so parallel engines don't serialize on
+    // distinct sources.
+    let design = Arc::new(crate::compile(src, top)?);
+    let mut inner = cache().lock().unwrap();
+    inner.stats.misses += 1;
+    let entries = inner.map.entry(hash).or_default();
+    // A racing thread may have inserted while we elaborated; reuse its
+    // Arc so every holder shares one allocation.
+    if let Some(e) = entries.iter().find(|e| key_matches(&e.key_material, top, src)) {
+        return Ok(Arc::clone(&e.design));
+    }
+    let mut key_material = String::with_capacity(top.len() + 1 + src.len());
+    key_material.push_str(top);
+    key_material.push('\0');
+    key_material.push_str(src);
+    entries.push(Entry { key_material: key_material.into_boxed_str(), design: Arc::clone(&design) });
+    inner.order.push_back(hash);
+    inner.live += 1;
+    while inner.live > CACHE_CAP {
+        let Some(old) = inner.order.pop_front() else { break };
+        let mut removed = false;
+        let mut now_empty = false;
+        if let Some(bucket) = inner.map.get_mut(&old) {
+            if !bucket.is_empty() {
+                bucket.remove(0);
+                removed = true;
+            }
+            now_empty = bucket.is_empty();
+        }
+        if removed {
+            inner.live -= 1;
+        }
+        if now_empty {
+            inner.map.remove(&old);
+        }
+    }
+    Ok(design)
+}
+
+fn key_matches(key_material: &str, top: &str, src: &str) -> bool {
+    key_material.len() == top.len() + 1 + src.len()
+        && key_material.as_bytes()[top.len()] == 0
+        && key_material[..top.len()] == *top
+        && key_material[top.len() + 1..] == *src
+}
+
+/// Snapshot of the process-wide elaboration-cache counters.
+pub fn elab_cache_stats() -> ElabCacheStats {
+    cache().lock().unwrap().stats
+}
+
+/// Empties the cache (testing/benchmarking helper). Counters are kept.
+pub fn elab_cache_clear() {
+    let mut inner = cache().lock().unwrap();
+    inner.map.clear();
+    inner.order.clear();
+    inner.live = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC_A: &str = "module memo_a(input x, output y); assign y = ~x; endmodule";
+    const SRC_B: &str = "module memo_a(input x, output y); assign y = x; endmodule";
+
+    #[test]
+    fn cached_design_is_shared_and_identical() {
+        let d1 = compile_cached(SRC_A, "memo_a").unwrap();
+        let d2 = compile_cached(SRC_A, "memo_a").unwrap();
+        assert!(Arc::ptr_eq(&d1, &d2), "second compile must hit the cache");
+        // Same source, different top-name key material must not collide.
+        assert!(compile_cached(SRC_A, "nonexistent").is_err());
+    }
+
+    #[test]
+    fn different_sources_same_module_name_are_distinct() {
+        let d1 = compile_cached(SRC_A, "memo_a").unwrap();
+        let d2 = compile_cached(SRC_B, "memo_a").unwrap();
+        assert!(!Arc::ptr_eq(&d1, &d2));
+        assert_eq!(d1.assigns.len(), 1);
+        assert_eq!(d2.assigns.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        assert!(compile_cached("module broken(", "broken").is_err());
+        assert!(compile_cached("module broken(", "broken").is_err());
+    }
+
+    #[test]
+    fn matches_uncached_compile() {
+        let cached = compile_cached(SRC_A, "memo_a").unwrap();
+        let fresh = crate::compile(SRC_A, "memo_a").unwrap();
+        assert_eq!(cached.signals.len(), fresh.signals.len());
+        assert_eq!(cached.assigns.len(), fresh.assigns.len());
+        assert_eq!(cached.name, fresh.name);
+    }
+}

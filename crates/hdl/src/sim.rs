@@ -7,26 +7,28 @@
 //! active events. `initial` processes may suspend at `#delay` and resume at
 //! a later simulation time; `always #n` processes re-run periodically.
 
-use crate::ast::{Direction, Edge};
+use crate::ast::{BinaryOp, Direction, Edge, UnaryOp};
 use crate::elab::{
     apply_binary, apply_unary, Design, EExpr, EExprKind, ELValue, Instr, MemId, SignalId, Trigger,
 };
 use crate::error::HdlError;
-use crate::value::Value;
-use std::collections::BinaryHeap;
-use std::cmp::Reverse;
+use crate::event::{EventKind, EventQueue};
+use crate::value::{mask128, Value, MAX_WIDTH};
 
-/// Scheduler event waiting for a future simulation time.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-enum FutureEvent {
-    /// Resume process `proc` at instruction `pc`.
-    Resume { proc: usize, pc: usize },
-    /// Fire a periodic process.
-    Periodic { proc: usize },
+/// Default for the two-state fast path, read once per process from the
+/// `EDA_HDL_FAST_PATH` knob (default: enabled). Tests that need both
+/// engines in one process use [`Simulator::set_fast_path`] instead.
+fn fast_path_default() -> bool {
+    static DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        eda_exec::parse_bool_knob("EDA_HDL_FAST_PATH")
+            .unwrap_or_else(|e| panic!("{e}"))
+            .unwrap_or(true)
+    })
 }
 
 /// A committed nonblocking write target, resolved at schedule time.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum NbaTarget {
     Sig { id: SignalId, hi: u32, lo: u32 },
     Mem { id: MemId, addr: u32 },
@@ -84,20 +86,29 @@ pub struct Simulator<'d> {
     sigs: Vec<Value>,
     mems: Vec<Vec<Value>>,
     time: u64,
-    seq: u64,
-    future: BinaryHeap<Reverse<(u64, u64, FutureEvent)>>,
+    future: EventQueue,
     // Dependency maps.
     sig_to_assigns: Vec<Vec<u32>>,
     sig_to_comb: Vec<Vec<u32>>,
     sig_to_edge: Vec<Vec<(u32, Edge)>>,
     mem_to_assigns: Vec<Vec<u32>>,
     mem_to_comb: Vec<Vec<u32>>,
-    // Pending work for the current delta.
+    // Pending work for the current delta. The `scratch_*` buffers are the
+    // double-buffered halves drained by `settle`; swapping instead of
+    // `mem::take` keeps their capacity across delta cycles.
     active_assigns: Vec<u32>,
     assign_pending: Vec<bool>,
     active_procs: Vec<(u32, usize)>,
     proc_pending: Vec<bool>,
     nba: Vec<(NbaTarget, Value)>,
+    scratch_assigns: Vec<u32>,
+    scratch_procs: Vec<(u32, usize)>,
+    scratch_nba: Vec<(NbaTarget, Value)>,
+    // Two-state fast path: when `fast_path` is on and no signal currently
+    // holds an X bit, expressions are evaluated as plain u128 words.
+    fast_path: bool,
+    x_sigs: u32,
+    ts_evals: u64,
     finished: bool,
     output: String,
     errors: Vec<String>,
@@ -117,21 +128,22 @@ impl<'d> Simulator<'d> {
         let nsig = design.signals.len();
         let nproc = design.processes.len();
         let nassign = design.assigns.len();
+        let sigs: Vec<Value> = design
+            .signals
+            .iter()
+            .map(|s| s.init.map_or(Value::all_x(s.width), |v| v.resize(s.width)))
+            .collect();
+        let x_sigs = sigs.iter().filter(|v| v.has_x()).count() as u32;
         let mut sim = Simulator {
             design,
-            sigs: design
-                .signals
-                .iter()
-                .map(|s| s.init.map_or(Value::all_x(s.width), |v| v.resize(s.width)))
-                .collect(),
+            sigs,
             mems: design
                 .mems
                 .iter()
                 .map(|m| vec![Value::all_x(m.width); m.depth as usize])
                 .collect(),
             time: 0,
-            seq: 0,
-            future: BinaryHeap::new(),
+            future: EventQueue::new(),
             sig_to_assigns: vec![Vec::new(); nsig],
             sig_to_comb: vec![Vec::new(); nsig],
             sig_to_edge: vec![Vec::new(); nsig],
@@ -142,6 +154,12 @@ impl<'d> Simulator<'d> {
             active_procs: Vec::new(),
             proc_pending: vec![false; nproc],
             nba: Vec::new(),
+            scratch_assigns: Vec::new(),
+            scratch_procs: Vec::new(),
+            scratch_nba: Vec::new(),
+            fast_path: fast_path_default(),
+            x_sigs,
+            ts_evals: 0,
             finished: false,
             output: String::new(),
             errors: Vec::new(),
@@ -184,6 +202,27 @@ impl<'d> Simulator<'d> {
         self.limits = limits;
     }
 
+    /// Enables or disables the two-state fast path for this instance,
+    /// overriding the `EDA_HDL_FAST_PATH` process default. With the fast
+    /// path off every expression runs on the reference four-state
+    /// evaluator; results are bit-identical either way.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.fast_path = on;
+    }
+
+    /// Number of expressions evaluated on the two-state fast path so far
+    /// (diagnostic; not part of [`SimStats`] so both engines report
+    /// identical stats).
+    pub fn fast_evals(&self) -> u64 {
+        self.ts_evals
+    }
+
+    /// Number of signals currently holding at least one X bit. The fast
+    /// path engages exactly while this is zero.
+    pub fn x_signal_count(&self) -> u32 {
+        self.x_sigs
+    }
+
     fn schedule_time_zero(&mut self) {
         if self.started {
             return;
@@ -197,12 +236,8 @@ impl<'d> Simulator<'d> {
                 Trigger::Comb => self.wake_proc(i as u32, 0),
                 Trigger::Initial => self.wake_proc(i as u32, 0),
                 Trigger::Periodic(period) => {
-                    self.seq += 1;
-                    self.future.push(Reverse((
-                        self.time + period,
-                        self.seq,
-                        FutureEvent::Periodic { proc: i },
-                    )));
+                    self.future
+                        .schedule(self.time + period, EventKind::Periodic { proc: i as u32 });
                 }
                 Trigger::Edges(_) => {}
             }
@@ -298,6 +333,14 @@ impl<'d> Simulator<'d> {
         Ok(())
     }
 
+    /// Forces a signal by id — the hot-path form of [`Simulator::poke`]
+    /// (no name lookup). Resolve the id once via [`Design::signal`].
+    pub fn poke_id(&mut self, id: SignalId, value: Value) {
+        self.schedule_time_zero();
+        let w = self.design.signals[id].width;
+        self.commit_signal(id, value.resize(w));
+    }
+
     /// Writes one memory word directly (testbench convenience).
     pub fn poke_mem(&mut self, name: &str, addr: u32, value: Value) -> Result<(), HdlError> {
         self.schedule_time_zero();
@@ -316,13 +359,19 @@ impl<'d> Simulator<'d> {
     }
 
     fn wake_mem_dependents(&mut self, id: MemId) {
-        let assigns = self.mem_to_assigns[id].clone();
-        for a in assigns {
-            self.wake_assign(a);
+        // Disjoint field borrows: iterate the dependency map while pushing
+        // onto the pending queues, without cloning the map entry.
+        for &a in &self.mem_to_assigns[id] {
+            if !self.assign_pending[a as usize] {
+                self.assign_pending[a as usize] = true;
+                self.active_assigns.push(a);
+            }
         }
-        let combs = self.mem_to_comb[id].clone();
-        for p in combs {
-            self.wake_proc(p, 0);
+        for &p in &self.mem_to_comb[id] {
+            if self.running_proc != Some(p) && !self.proc_pending[p as usize] {
+                self.proc_pending[p as usize] = true;
+                self.active_procs.push((p, 0));
+            }
         }
     }
 
@@ -339,10 +388,12 @@ impl<'d> Simulator<'d> {
                 if self.nba.is_empty() {
                     return Ok(());
                 }
-                let writes = std::mem::take(&mut self.nba);
-                for (target, v) in writes {
+                std::mem::swap(&mut self.nba, &mut self.scratch_nba);
+                for i in 0..self.scratch_nba.len() {
+                    let (target, v) = self.scratch_nba[i];
                     self.commit_nba(target, v);
                 }
+                self.scratch_nba.clear();
                 continue;
             }
             deltas += 1;
@@ -353,18 +404,21 @@ impl<'d> Simulator<'d> {
                     self.time
                 )));
             }
-            let assigns = std::mem::take(&mut self.active_assigns);
-            for a in &assigns {
-                self.assign_pending[*a as usize] = false;
+            std::mem::swap(&mut self.active_assigns, &mut self.scratch_assigns);
+            for i in 0..self.scratch_assigns.len() {
+                self.assign_pending[self.scratch_assigns[i] as usize] = false;
             }
-            for a in assigns {
+            for i in 0..self.scratch_assigns.len() {
+                let a = self.scratch_assigns[i];
                 self.eval_cont_assign(a as usize)?;
             }
-            let procs = std::mem::take(&mut self.active_procs);
-            for (p, _) in &procs {
-                self.proc_pending[*p as usize] = false;
+            self.scratch_assigns.clear();
+            std::mem::swap(&mut self.active_procs, &mut self.scratch_procs);
+            for i in 0..self.scratch_procs.len() {
+                self.proc_pending[self.scratch_procs[i].0 as usize] = false;
             }
-            for (p, pc) in procs {
+            for i in 0..self.scratch_procs.len() {
+                let (p, pc) = self.scratch_procs[i];
                 self.running_proc = Some(p);
                 let r = self.run_program(p as usize, pc);
                 self.running_proc = None;
@@ -372,10 +426,12 @@ impl<'d> Simulator<'d> {
                 if self.finished {
                     self.active_assigns.clear();
                     self.active_procs.clear();
+                    self.scratch_procs.clear();
                     self.nba.clear();
                     return Ok(());
                 }
             }
+            self.scratch_procs.clear();
         }
     }
 
@@ -388,29 +444,22 @@ impl<'d> Simulator<'d> {
         self.schedule_time_zero();
         self.settle()?;
         while !self.finished {
-            let Some(Reverse((t, _, _))) = self.future.peek() else { break };
-            let t = *t;
+            let Some(t) = self.future.peek_time() else { break };
             if t > max_time {
                 self.time = max_time;
                 break;
             }
             self.time = t;
-            while let Some(Reverse((et, _, _))) = self.future.peek() {
-                if *et != t {
-                    break;
-                }
-                let Reverse((_, _, ev)) = self.future.pop().unwrap();
+            while self.future.peek_time() == Some(t) {
+                let (_, ev) = self.future.pop().unwrap();
                 match ev {
-                    FutureEvent::Resume { proc, pc } => self.wake_proc(proc as u32, pc),
-                    FutureEvent::Periodic { proc } => {
-                        self.wake_proc(proc as u32, 0);
-                        if let Trigger::Periodic(period) = self.design.processes[proc].trigger {
-                            self.seq += 1;
-                            self.future.push(Reverse((
-                                t + period,
-                                self.seq,
-                                FutureEvent::Periodic { proc },
-                            )));
+                    EventKind::Resume { proc, pc } => self.wake_proc(proc, pc as usize),
+                    EventKind::Periodic { proc } => {
+                        self.wake_proc(proc, 0);
+                        if let Trigger::Periodic(period) =
+                            self.design.processes[proc as usize].trigger
+                        {
+                            self.future.schedule(t + period, EventKind::Periodic { proc });
                         }
                     }
                 }
@@ -423,11 +472,13 @@ impl<'d> Simulator<'d> {
     // --- execution ---
 
     fn eval_cont_assign(&mut self, idx: usize) -> Result<(), HdlError> {
-        let a = &self.design.assigns[idx];
-        let w = a.lhs.width(self.design);
-        let v = self.eval(&a.rhs)?.resize(w);
-        let lhs = a.lhs.clone();
-        self.write_lvalue(&lhs, v);
+        // Borrow the assign through the `'d` design reference so the lvalue
+        // does not need to be cloned while `&mut self` writes it.
+        let design: &'d Design = self.design;
+        let a = &design.assigns[idx];
+        let w = a.lhs.width(design);
+        let v = self.eval_value(&a.rhs)?.resize(w);
+        self.write_lvalue(&a.lhs, v);
         Ok(())
     }
 
@@ -449,8 +500,8 @@ impl<'d> Simulator<'d> {
             match instr {
                 Instr::Halt => return Ok(()),
                 Instr::Assign { lhs, rhs, nonblocking, .. } => {
-                    let w = lhs.width(self.design);
-                    let v = self.eval(rhs)?.resize(w);
+                    let w = lhs.width(design);
+                    let v = self.eval_value(rhs)?.resize(w);
                     if *nonblocking {
                         self.queue_nba(lhs, v)?;
                     } else {
@@ -459,21 +510,25 @@ impl<'d> Simulator<'d> {
                 }
                 Instr::Jump(t) => pc = *t,
                 Instr::JumpIfFalse { cond, target } => {
-                    let c = self.eval(cond)?;
+                    let c = self.eval_value(cond)?;
                     if c.truthy() != Some(true) {
                         pc = *target;
                     }
                 }
                 Instr::CaseDispatch { subject, wildcard, arms, default } => {
-                    let s = self.eval(subject)?;
+                    let s = self.eval_value(subject)?;
                     let mut target = *default;
                     'outer: for (labels, at) in arms {
                         for l in labels {
-                            let lv = self.eval(l)?;
+                            let lv = self.eval_value(l)?;
                             let hit = if *wildcard {
                                 casez_match(&s, &lv)
                             } else {
-                                s.case_eq(&lv.resize(s.width()))
+                                // case_eq compares at the max operand
+                                // width; resizing the label down first
+                                // would falsely match labels wider than
+                                // the subject.
+                                s.case_eq(&lv)
                             };
                             if hit {
                                 target = *at;
@@ -484,27 +539,29 @@ impl<'d> Simulator<'d> {
                     pc = target;
                 }
                 Instr::Delay(amount) => {
-                    self.seq += 1;
-                    self.future.push(Reverse((
+                    self.future.schedule(
                         self.time + amount,
-                        self.seq,
-                        FutureEvent::Resume { proc: proc_idx, pc },
-                    )));
+                        EventKind::Resume { proc: proc_idx as u32, pc: pc as u32 },
+                    );
                     return Ok(());
                 }
                 Instr::Display { newline, fmt, args } => {
-                    let vals: Result<Vec<Value>, HdlError> =
-                        args.iter().map(|a| self.eval(a)).collect();
-                    let s = format_display(fmt, &vals?, self.time);
+                    let mut vals = Vec::with_capacity(args.len());
+                    for a in args {
+                        vals.push(self.eval_value(a)?);
+                    }
+                    let s = format_display(fmt, &vals, self.time);
                     self.output.push_str(&s);
                     if *newline {
                         self.output.push('\n');
                     }
                 }
                 Instr::ErrorTask { fmt, args } => {
-                    let vals: Result<Vec<Value>, HdlError> =
-                        args.iter().map(|a| self.eval(a)).collect();
-                    let s = format_display(fmt, &vals?, self.time);
+                    let mut vals = Vec::with_capacity(args.len());
+                    for a in args {
+                        vals.push(self.eval_value(a)?);
+                    }
+                    let s = format_display(fmt, &vals, self.time);
                     self.errors.push(s);
                 }
                 Instr::Finish => {
@@ -525,7 +582,7 @@ impl<'d> Simulator<'d> {
                 self.nba.push((NbaTarget::Sig { id: *id, hi: *hi, lo: *lo }, v));
             }
             ELValue::Bit(id, idx) => {
-                let i = self.eval(idx)?;
+                let i = self.eval_value(idx)?;
                 let t = match i.to_u64() {
                     Some(b) if b < self.design.signals[*id].width as u64 => {
                         NbaTarget::Sig { id: *id, hi: b as u32, lo: b as u32 }
@@ -535,7 +592,7 @@ impl<'d> Simulator<'d> {
                 self.nba.push((t, v));
             }
             ELValue::Mem(id, idx) => {
-                let i = self.eval(idx)?;
+                let i = self.eval_value(idx)?;
                 let t = match i.to_u64() {
                     Some(a) if a < self.design.mems[*id].depth as u64 => {
                         NbaTarget::Mem { id: *id, addr: a as u32 }
@@ -591,7 +648,7 @@ impl<'d> Simulator<'d> {
                 self.commit_signal(*id, old.splice(*hi, *lo, &v));
             }
             ELValue::Bit(id, idx) => {
-                if let Ok(i) = self.eval(idx) {
+                if let Ok(i) = self.eval_value(idx) {
                     if let Some(b) = i.to_u64() {
                         if b < self.design.signals[*id].width as u64 {
                             let old = self.sigs[*id];
@@ -601,7 +658,7 @@ impl<'d> Simulator<'d> {
                 }
             }
             ELValue::Mem(id, idx) => {
-                if let Ok(i) = self.eval(idx) {
+                if let Ok(i) = self.eval_value(idx) {
                     if let Some(a) = i.to_u64() {
                         if (a as usize) < self.mems[*id].len() {
                             let w = self.design.mems[*id].width;
@@ -632,30 +689,120 @@ impl<'d> Simulator<'d> {
         }
         self.sigs[id] = newv;
         self.stats.toggles += 1;
-        // Wake level-sensitive dependents.
-        let assigns = self.sig_to_assigns[id].clone();
-        for a in assigns {
-            self.wake_assign(a);
+        // Maintain the X census the two-state fast path gates on.
+        match (old.has_x(), newv.has_x()) {
+            (false, true) => self.x_sigs += 1,
+            (true, false) => self.x_sigs -= 1,
+            _ => {}
         }
-        let combs = self.sig_to_comb[id].clone();
-        for p in combs {
-            self.wake_proc(p, 0);
+        // Wake level-sensitive dependents. Iterating the dependency maps
+        // directly (disjoint field borrows) avoids cloning a Vec per
+        // commit, which dominated the hot path.
+        for &a in &self.sig_to_assigns[id] {
+            if !self.assign_pending[a as usize] {
+                self.assign_pending[a as usize] = true;
+                self.active_assigns.push(a);
+            }
+        }
+        for &p in &self.sig_to_comb[id] {
+            if self.running_proc != Some(p) && !self.proc_pending[p as usize] {
+                self.proc_pending[p as usize] = true;
+                self.active_procs.push((p, 0));
+            }
         }
         // Edge detection on bit 0.
         if !self.sig_to_edge[id].is_empty() {
             let ob = old.get_bit(0);
             let nb = newv.get_bit(0);
-            let edges = self.sig_to_edge[id].clone();
-            for (p, edge) in edges {
+            for &(p, edge) in &self.sig_to_edge[id] {
                 let fire = match edge {
                     Edge::Pos => nb == Some(true) && ob != Some(true),
                     Edge::Neg => nb == Some(false) && ob != Some(false),
                 };
-                if fire {
-                    self.wake_proc(p, 0);
+                if fire && self.running_proc != Some(p) && !self.proc_pending[p as usize] {
+                    self.proc_pending[p as usize] = true;
+                    self.active_procs.push((p, 0));
                 }
             }
         }
+    }
+
+    /// Evaluates an expression, dispatching to the two-state fast path
+    /// when it is engaged (fast path enabled and no signal holds X), and
+    /// to the reference four-state engine otherwise. Both paths produce
+    /// bit-identical values: the fast path refuses (returns `None`) any
+    /// node that could manufacture X from fully-defined inputs, and the
+    /// whole expression then falls back to [`Simulator::eval`].
+    fn eval_value(&mut self, e: &EExpr) -> Result<Value, HdlError> {
+        if self.fast_path && self.x_sigs == 0 {
+            if let Some(v) = self.eval_ts(e) {
+                self.ts_evals += 1;
+                return Ok(Value::from_u128(e.width.clamp(1, MAX_WIDTH), v));
+            }
+        }
+        self.eval(e)
+    }
+
+    /// Two-state evaluator: the expression value as a u128 masked to the
+    /// node width, or `None` when four-state evaluation could yield X
+    /// even though every signal is defined (X literals, division or
+    /// remainder by zero, out-of-range bit selects, reads of
+    /// uninitialized memory words). Callable only while `x_sigs == 0`,
+    /// which guarantees every signal read is fully defined.
+    fn eval_ts(&self, e: &EExpr) -> Option<u128> {
+        let v: u128 = match &e.kind {
+            EExprKind::Const(c) => c.to_u128()?,
+            EExprKind::Signal(s) => self.sigs[*s].bits128(),
+            EExprKind::MemRead(m, idx) => {
+                let i = self.eval_ts(idx)?;
+                let word = self.mems[*m].get(usize::try_from(i).ok()?)?;
+                word.to_u128()?
+            }
+            EExprKind::BitSelect(s, idx) => {
+                let i = self.eval_ts(idx)?;
+                let sig = &self.sigs[*s];
+                if i >= sig.width() as u128 {
+                    return None; // four-state reads X out of range
+                }
+                sig.bits128() >> (i as u32) & 1
+            }
+            EExprKind::PartSelect(s, hi, lo) => {
+                if *lo >= MAX_WIDTH {
+                    0
+                } else {
+                    self.sigs[*s].bits128() >> lo & mask128(hi - lo + 1)
+                }
+            }
+            EExprKind::Unary(op, a) => {
+                let av = self.eval_ts(a)?;
+                eval_unary_ts(*op, av, a.width)
+            }
+            EExprKind::Binary(op, a, b) => {
+                let av = self.eval_ts(a)?;
+                let bv = self.eval_ts(b)?;
+                eval_binary_ts(*op, av, a.width, bv, b.width)?
+            }
+            EExprKind::Ternary(c, t, f) => {
+                if self.eval_ts(c)? != 0 {
+                    self.eval_ts(t)?
+                } else {
+                    self.eval_ts(f)?
+                }
+            }
+            EExprKind::Concat(parts) => {
+                let mut acc = 0u128;
+                for p in parts {
+                    let pv = self.eval_ts(p)?;
+                    if p.width >= MAX_WIDTH {
+                        acc = pv;
+                    } else {
+                        acc = acc << p.width | pv;
+                    }
+                }
+                acc
+            }
+        };
+        Some(v & mask128(e.width))
     }
 
     fn eval(&self, e: &EExpr) -> Result<Value, HdlError> {
@@ -714,6 +861,96 @@ impl<'d> Simulator<'d> {
         };
         Ok(v.resize(e.width))
     }
+}
+
+/// Two-state mirror of [`apply_unary`]: `av` is the operand masked to its
+/// node width `aw`. Total on defined inputs, so no `Option`.
+#[inline]
+fn eval_unary_ts(op: UnaryOp, av: u128, aw: u32) -> u128 {
+    match op {
+        UnaryOp::Not => !av & mask128(aw),
+        UnaryOp::LogicNot => (av == 0) as u128,
+        UnaryOp::Neg => av.wrapping_neg() & mask128(aw),
+        UnaryOp::Plus => av,
+        UnaryOp::RedAnd => (av == mask128(aw)) as u128,
+        UnaryOp::RedOr => (av != 0) as u128,
+        UnaryOp::RedXor => (av.count_ones() & 1) as u128,
+        UnaryOp::RedNand => (av != mask128(aw)) as u128,
+        UnaryOp::RedNor => (av == 0) as u128,
+        UnaryOp::RedXnor => (av.count_ones() & 1 ^ 1) as u128,
+    }
+}
+
+/// Two-state mirror of [`apply_binary`] at the operand node widths
+/// `aw`/`bw`; returns `None` where the four-state result would be X
+/// (division/remainder by zero).
+#[inline]
+fn eval_binary_ts(op: BinaryOp, av: u128, aw: u32, bv: u128, bw: u32) -> Option<u128> {
+    use BinaryOp::*;
+    let m = mask128(aw.max(bw));
+    let v = match op {
+        Add => av.wrapping_add(bv) & m,
+        Sub => av.wrapping_sub(bv) & m,
+        Mul => av.wrapping_mul(bv) & m,
+        Div => {
+            if bv == 0 {
+                return None;
+            }
+            (av / bv) & m
+        }
+        Rem => {
+            if bv == 0 {
+                return None;
+            }
+            (av % bv) & m
+        }
+        Pow => {
+            let mut acc: u128 = 1;
+            for _ in 0..bv.min(MAX_WIDTH as u128) {
+                acc = acc.wrapping_mul(av);
+            }
+            acc & m
+        }
+        And => av & bv,
+        Or => av | bv,
+        Xor => av ^ bv,
+        Xnor => !(av ^ bv) & m,
+        LogicAnd => (av != 0 && bv != 0) as u128,
+        LogicOr => (av != 0 || bv != 0) as u128,
+        // With both operands defined and zero-extended to a common width,
+        // case equality coincides with logical equality.
+        Eq | CaseEq => (av == bv) as u128,
+        Ne | CaseNe => (av != bv) as u128,
+        Lt => (av < bv) as u128,
+        Le => (av <= bv) as u128,
+        Gt => (av > bv) as u128,
+        Ge => (av >= bv) as u128,
+        Shl | AShl => {
+            if bv >= aw as u128 {
+                0
+            } else {
+                av << bv & mask128(aw)
+            }
+        }
+        Shr => {
+            if bv >= aw as u128 {
+                0
+            } else {
+                av >> bv
+            }
+        }
+        AShr => {
+            let sh = bv.min(aw as u128) as u32;
+            let base = if sh >= aw { 0 } else { av >> sh };
+            let sign = av >> (aw - 1) & 1 == 1;
+            if sign {
+                base | (mask128(aw) & !mask128(aw - sh))
+            } else {
+                base
+            }
+        }
+    };
+    Some(v)
 }
 
 /// `casez` matching: label bits that are X act as wildcards.
@@ -791,8 +1028,7 @@ fn format_display(fmt: &str, args: &[Value], time: u64) -> String {
 ///
 /// Propagates parse/elaboration/simulation errors.
 pub fn run_testbench(src: &str, top: &str, max_time: u64) -> Result<TbRun, HdlError> {
-    let file = crate::parser::parse(src)?;
-    let design = crate::elab::elaborate(&file, top)?;
+    let design = crate::memo::compile_cached(src, top)?;
     let mut sim = Simulator::new(&design);
     sim.run(max_time)?;
     Ok(TbRun {
@@ -828,10 +1064,15 @@ pub fn clock_cycles<F>(
 where
     F: FnMut(u32, &mut Simulator<'_>) -> Result<(), HdlError>,
 {
+    // Resolve the clock once; per-cycle pokes then skip the name lookup.
+    let id = sim
+        .design
+        .signal(clk)
+        .ok_or_else(|| HdlError::sim(format!("unknown signal `{clk}`")))?;
     for c in 0..cycles {
-        sim.poke(clk, Value::bit(false))?;
+        sim.poke_id(id, Value::bit(false));
         sim.settle()?;
-        sim.poke(clk, Value::bit(true))?;
+        sim.poke_id(id, Value::bit(true));
         sim.settle()?;
         f(c, sim)?;
     }

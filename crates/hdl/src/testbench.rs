@@ -165,8 +165,9 @@ pub fn run_vectors(design: &Design, test: &VectorTest) -> Result<TbReport, HdlEr
 ///
 /// Propagates parse, elaboration, and simulation errors.
 pub fn check_source(src: &str, top: &str, test: &VectorTest) -> Result<TbReport, HdlError> {
-    let file = crate::parser::parse(src)?;
-    let design = crate::elab::elaborate(&file, top)?;
+    // Memoized: repeated evaluations of the same candidate source (retries,
+    // duplicate completions, cross-flow reuse) skip re-elaboration.
+    let design = crate::memo::compile_cached(src, top)?;
     run_vectors(&design, test)
 }
 

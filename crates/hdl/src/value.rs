@@ -45,6 +45,15 @@ fn mask_words(width: u32) -> [u64; 2] {
     }
 }
 
+/// Low `width` bits set, as a single 128-bit word. Widths above 128 saturate.
+pub(crate) fn mask128(width: u32) -> u128 {
+    if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
 impl Value {
     /// Creates a value of `width` bits from the low bits of `v`.
     ///
@@ -119,6 +128,33 @@ impl Value {
         }
     }
 
+    /// Defined bits as one 128-bit word (X positions read as 0).
+    #[inline]
+    pub(crate) fn bits128(&self) -> u128 {
+        self.bits[0] as u128 | (self.bits[1] as u128) << 64
+    }
+
+    /// X mask as one 128-bit word.
+    #[inline]
+    pub(crate) fn xmask128(&self) -> u128 {
+        self.xmask[0] as u128 | (self.xmask[1] as u128) << 64
+    }
+
+    /// Builds a value from 128-bit bit/xmask words, truncating to `width`
+    /// and keeping the `bits & xmask == 0` representation invariant.
+    #[inline]
+    pub(crate) fn from_words(width: u32, bits: u128, xmask: u128) -> Self {
+        let w = width.clamp(1, MAX_WIDTH);
+        let m = mask128(w);
+        let xm = xmask & m;
+        let b = bits & m & !xm;
+        Value {
+            width: w,
+            bits: [b as u64, (b >> 64) as u64],
+            xmask: [xm as u64, (xm >> 64) as u64],
+        }
+    }
+
     /// Truthiness following Verilog: `Some(true)` if any defined bit is 1,
     /// `Some(false)` if all bits are defined 0, `None` (X) otherwise.
     pub fn truthy(&self) -> Option<bool> {
@@ -188,46 +224,58 @@ impl Value {
     pub fn slice(&self, hi: u32, lo: u32) -> Self {
         assert!(hi >= lo, "slice hi < lo");
         let w = (hi - lo + 1).min(MAX_WIDTH);
-        let mut out = Value::zero(w);
-        for i in 0..w {
-            out.set_bit_raw(i, self.get_bit(lo + i));
+        if lo >= MAX_WIDTH {
+            return Value::zero(w);
         }
-        out
+        // Bits above self.width are 0 in the representation, so a plain
+        // word shift reads them as defined zeros, matching get_bit.
+        Value::from_words(w, self.bits128() >> lo, self.xmask128() >> lo)
     }
 
     /// Returns a copy with bits `[hi:lo]` replaced by `src` (low bits first).
     pub fn splice(&self, hi: u32, lo: u32, src: &Value) -> Self {
-        let mut out = *self;
-        for i in lo..=hi.min(self.width.saturating_sub(1)) {
-            out.set_bit_raw(i, src.get_bit(i - lo));
+        let hi_eff = hi.min(self.width.saturating_sub(1));
+        if lo > hi_eff {
+            return *self;
         }
-        out
+        let n = hi_eff - lo + 1;
+        let field = mask128(n) << lo;
+        let src_bits = (src.bits128() & mask128(n)) << lo;
+        let src_x = (src.xmask128() & mask128(n)) << lo;
+        Value::from_words(
+            self.width,
+            (self.bits128() & !field) | src_bits,
+            (self.xmask128() & !field) | src_x,
+        )
     }
 
     /// Concatenation `{self, rhs}` (self becomes the high part).
     pub fn concat(&self, rhs: &Value) -> Self {
         let w = (self.width + rhs.width).min(MAX_WIDTH);
-        let mut out = Value::zero(w);
-        for i in 0..rhs.width.min(w) {
-            out.set_bit_raw(i, rhs.get_bit(i));
+        if rhs.width >= MAX_WIDTH {
+            return rhs.resize(w);
         }
-        for i in 0..self.width {
-            let pos = rhs.width + i;
-            if pos < w {
-                out.set_bit_raw(pos, self.get_bit(i));
-            }
-        }
-        out
+        Value::from_words(
+            w,
+            rhs.bits128() | self.bits128() << rhs.width,
+            rhs.xmask128() | self.xmask128() << rhs.width,
+        )
     }
 
     /// Replication `{n{self}}`.
     pub fn replicate(&self, n: u32) -> Self {
         assert!(n >= 1, "replication count must be >= 1");
-        let mut out = *self;
-        for _ in 1..n {
-            out = out.concat(self);
+        let w = (self.width as u64 * n as u64).min(MAX_WIDTH as u64) as u32;
+        let (mut bits, mut xmask) = (0u128, 0u128);
+        for k in 0..n as u64 {
+            let pos = k * self.width as u64;
+            if pos >= MAX_WIDTH as u64 {
+                break;
+            }
+            bits |= self.bits128() << pos;
+            xmask |= self.xmask128() << pos;
         }
-        out
+        Value::from_words(w, bits, xmask)
     }
 
     // --- bitwise ---
@@ -415,14 +463,15 @@ impl Value {
             return Value::all_x(self.width);
         }
         let sh = (rhs.to_u128().unwrap()).min(self.width as u128) as u32;
+        let base = if sh >= self.width { 0 } else { self.bits128() >> sh };
         let sign = self.get_bit(self.width - 1) == Some(true);
-        let mut out = self.shr(&Value::from_u64(32, sh as u64));
-        if sign {
-            for i in (self.width.saturating_sub(sh))..self.width {
-                out.set_bit_raw(i, Some(true));
-            }
-        }
-        out
+        let fill = if sign {
+            // Ones in the vacated top `sh` positions.
+            mask128(self.width) & !mask128(self.width - sh)
+        } else {
+            0
+        };
+        Value::from_words(self.width, base | fill, 0)
     }
 
     // --- comparisons (return 1-bit values) ---

@@ -17,7 +17,7 @@
 //! assert!(!outcome.clusters.is_empty());
 //! ```
 
-use eda_hdl::{compile, run_vectors, HdlError, Simulator, Value, VectorTest};
+use eda_hdl::{compile_cached as compile, run_vectors, HdlError, Simulator, Value, VectorTest};
 use eda_llm::{prompts, ChatModel, ChatRequest};
 use eda_suite::Problem;
 use std::collections::HashMap;

@@ -153,15 +153,12 @@ impl Cpu {
                 pc,
                 unit: instr.unit(),
                 rd: instr.rd(),
-                rs: [255, 255],
+                rs: instr.srcs2(),
                 taken: false,
                 is_cond_branch: false,
                 is_div: false,
                 is_load: matches!(instr, Instr::Lw { .. }),
             };
-            for (k, s) in instr.srcs().iter().take(2).enumerate() {
-                entry.rs[k] = *s;
-            }
             let mut next_pc = pc + 1;
             match instr {
                 Instr::Nop => {}

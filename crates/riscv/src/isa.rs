@@ -9,6 +9,9 @@ use std::fmt;
 /// Architectural register x0..x31.
 pub type Reg = u8;
 
+/// Sentinel marking an unused source-register slot in [`Instr::srcs2`].
+pub const NO_REG: Reg = 255;
+
 /// Register ABI names for display.
 pub const REG_NAMES: [&str; 32] = [
     "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
@@ -110,13 +113,22 @@ impl Instr {
 
     /// Source registers.
     pub fn srcs(&self) -> Vec<Reg> {
+        self.srcs2().into_iter().filter(|&r| r != NO_REG).collect()
+    }
+
+    /// Source registers as a fixed pair ([`NO_REG`] marks unused slots).
+    /// Allocation-free form of [`Instr::srcs`] for trace-construction hot
+    /// paths.
+    pub fn srcs2(&self) -> [Reg; 2] {
         match self {
-            Instr::Alu { rs1, rs2, .. } | Instr::Mul { rs1, rs2, .. } => vec![*rs1, *rs2],
+            Instr::Alu { rs1, rs2, .. }
+            | Instr::Mul { rs1, rs2, .. }
+            | Instr::Sw { rs1, rs2, .. }
+            | Instr::Branch { rs1, rs2, .. } => [*rs1, *rs2],
             Instr::AluImm { rs1, .. } | Instr::Lw { rs1, .. } | Instr::Jalr { rs1, .. } => {
-                vec![*rs1]
+                [*rs1, NO_REG]
             }
-            Instr::Sw { rs1, rs2, .. } | Instr::Branch { rs1, rs2, .. } => vec![*rs1, *rs2],
-            _ => vec![],
+            _ => [NO_REG, NO_REG],
         }
     }
 }

@@ -28,8 +28,11 @@ pub mod ooo;
 pub use asm::{assemble, disassemble, AsmError};
 pub use codegen::{compile_c, compile_lowered, CodegenError, CompiledProgram, ParamLoc};
 pub use cpu::{Cpu, CpuConfig, CpuError, CpuResult, TraceEntry};
-pub use isa::{reg_by_name, AluOp, BranchOp, Instr, MulOp, Reg, UnitClass};
-pub use ooo::{analyze, PowerParams, UarchConfig, UarchReport};
+pub use isa::{reg_by_name, AluOp, BranchOp, Instr, MulOp, Reg, UnitClass, NO_REG};
+pub use ooo::{
+    analyze, analyze_reference, analyze_reference_with_retire, analyze_with_retire, PowerParams,
+    UarchConfig, UarchReport,
+};
 
 use std::fmt;
 

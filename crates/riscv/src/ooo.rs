@@ -103,8 +103,174 @@ pub struct UarchReport {
     pub branch: u64,
 }
 
+/// Static per-pc issue properties, decoded once per program. The trace
+/// repeats pcs (loops), so caching the unit-class/port/latency resolution
+/// per static instruction removes the per-dynamic-instruction match and the
+/// hash-map port bookkeeping from the wakeup/select loop.
+#[derive(Debug, Clone, Copy)]
+struct PcInfo {
+    /// Index into the per-class port-usage lanes (Alu/MulDiv/LoadStore/
+    /// Branch; System shares the Alu lane as in the reference model).
+    class: u8,
+    /// Issue ports for the class, already clamped to at least 1.
+    ports: u32,
+    latency: u64,
+}
+
+const UNDECODED: u8 = u8::MAX;
+
 /// Replays `trace` through the microarchitectural model.
+///
+/// This is the optimized engine: bit-identical to [`analyze_reference`]
+/// (the pre-optimization model, kept as the differential oracle), but with
+/// per-pc pre-decoded issue properties and dense cycle-indexed port-usage
+/// lanes instead of a `HashMap<(UnitClass, u64), u32>` in the select loop.
 pub fn analyze(trace: &[TraceEntry], cfg: UarchConfig, power: PowerParams) -> UarchReport {
+    analyze_with_retire(trace, cfg, power).0
+}
+
+/// [`analyze`] plus the per-instruction retirement (completion) times, for
+/// differential testing of retirement order against the reference model.
+pub fn analyze_with_retire(
+    trace: &[TraceEntry],
+    cfg: UarchConfig,
+    power: PowerParams,
+) -> (UarchReport, Vec<u64>) {
+    let mut reg_ready = [0u64; 32];
+    // One usage lane per port class, indexed by absolute cycle. A slot is
+    // only incremented after passing the `used < ports` check, so stored
+    // counts never exceed the port count; u16 covers any plausible config.
+    let mut usage: [Vec<u16>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    let mut decode: Vec<PcInfo> = Vec::new();
+    let mut div_free: u64 = 0;
+    let mut retire_times: Vec<u64> = Vec::with_capacity(trace.len());
+    let mut fetch_cycle: u64 = 0;
+    let mut fetched_this_cycle: u32 = 0;
+    let mut bpred = vec![2u8; cfg.bpred_entries.max(1)];
+    let mut mispredicts = 0u64;
+    let mut counts = [0u64; 5];
+    let mut last_done = 0u64;
+
+    for (i, e) in trace.iter().enumerate() {
+        // Front end: fetch_width per cycle, stalled by mispredicts.
+        if fetched_this_cycle >= cfg.fetch_width {
+            fetch_cycle += 1;
+            fetched_this_cycle = 0;
+        }
+        let fetch_t = fetch_cycle;
+        fetched_this_cycle += 1;
+
+        // ROB window: cannot dispatch further than rob_size in flight.
+        let rob_gate = if i >= cfg.rob_size {
+            retire_times[i - cfg.rob_size]
+        } else {
+            0
+        };
+
+        let mut earliest = (fetch_t + 1).max(rob_gate);
+        for r in e.rs {
+            if r < 32 {
+                earliest = earliest.max(reg_ready[r as usize]);
+            }
+        }
+
+        // Pre-decoded issue properties (filled on first dynamic occurrence
+        // of each pc; the instruction at a pc is static, so is_div/is_load
+        // and hence latency are constant per pc).
+        let pc = e.pc as usize;
+        if pc >= decode.len() {
+            decode.resize(pc + 1, PcInfo { class: UNDECODED, ports: 0, latency: 0 });
+        }
+        let mut info = decode[pc];
+        if info.class == UNDECODED {
+            let (class, ports, latency) = match e.unit {
+                UnitClass::Alu => (0u8, cfg.alu_ports, cfg.alu_latency),
+                UnitClass::MulDiv => (
+                    1,
+                    cfg.muldiv_ports,
+                    if e.is_div { cfg.div_latency } else { cfg.mul_latency },
+                ),
+                UnitClass::LoadStore => (
+                    2,
+                    cfg.lsu_ports,
+                    if e.is_load { cfg.load_latency } else { 1 },
+                ),
+                UnitClass::Branch => (3, cfg.branch_ports, cfg.alu_latency),
+                UnitClass::System => (0, cfg.alu_ports, 1),
+            };
+            info = PcInfo { class, ports: ports.max(1), latency };
+            decode[pc] = info;
+        }
+        // Divides additionally serialize on the unpipelined divider.
+        if e.is_div {
+            earliest = earliest.max(div_free);
+        }
+        let lane = &mut usage[info.class as usize];
+        let mut issue = earliest as usize;
+        while issue < lane.len() && lane[issue] as u32 >= info.ports {
+            issue += 1;
+        }
+        if issue >= lane.len() {
+            lane.resize(issue + 1, 0);
+        }
+        lane[issue] += 1;
+        let done = issue as u64 + info.latency;
+        if e.is_div {
+            div_free = done;
+        }
+        if let Some(rd) = e.rd {
+            reg_ready[rd as usize] = done;
+        }
+        retire_times.push(done);
+        last_done = last_done.max(done);
+
+        // Branch prediction (2-bit saturating counters).
+        match e.unit {
+            UnitClass::Branch if e.is_cond_branch => {
+                counts[4] += 1;
+                let idx = (e.pc as usize) & (bpred.len() - 1);
+                let predict_taken = bpred[idx] >= 2;
+                if predict_taken != e.taken {
+                    mispredicts += 1;
+                    // Flush: front end restarts after resolution.
+                    fetch_cycle = fetch_cycle.max(done + cfg.mispredict_penalty);
+                    fetched_this_cycle = 0;
+                }
+                bpred[idx] = match (bpred[idx], e.taken) {
+                    (c, true) => (c + 1).min(3),
+                    (c, false) => c.saturating_sub(1),
+                };
+            }
+            UnitClass::Branch => counts[4] += 1,
+            UnitClass::Alu => counts[0] += 1,
+            UnitClass::MulDiv => {
+                if e.is_div {
+                    counts[2] += 1;
+                } else {
+                    counts[1] += 1;
+                }
+            }
+            UnitClass::LoadStore => counts[3] += 1,
+            UnitClass::System => counts[0] += 1,
+        }
+    }
+
+    (finish_report(trace.len(), last_done, mispredicts, counts, power), retire_times)
+}
+
+/// The pre-optimization model, kept verbatim as the differential oracle for
+/// [`analyze`]. Per-dynamic-instruction unit resolution and hash-map port
+/// bookkeeping; results are bit-identical to the optimized engine.
+pub fn analyze_reference(trace: &[TraceEntry], cfg: UarchConfig, power: PowerParams) -> UarchReport {
+    analyze_reference_with_retire(trace, cfg, power).0
+}
+
+/// [`analyze_reference`] plus per-instruction retirement times.
+pub fn analyze_reference_with_retire(
+    trace: &[TraceEntry],
+    cfg: UarchConfig,
+    power: PowerParams,
+) -> (UarchReport, Vec<u64>) {
     let mut reg_ready = [0u64; 32];
     let mut port_usage: HashMap<(UnitClass, u64), u32> = HashMap::new();
     let mut div_free: u64 = 0;
@@ -208,7 +374,19 @@ pub fn analyze(trace: &[TraceEntry], cfg: UarchConfig, power: PowerParams) -> Ua
         }
     }
 
-    let instrs = trace.len() as u64;
+    (finish_report(trace.len(), last_done, mispredicts, counts, power), retire_times)
+}
+
+/// Shared report construction (both engines funnel through this so the
+/// power arithmetic is literally the same code).
+fn finish_report(
+    trace_len: usize,
+    last_done: u64,
+    mispredicts: u64,
+    counts: [u64; 5],
+    power: PowerParams,
+) -> UarchReport {
+    let instrs = trace_len as u64;
     let cycles = last_done.max(1);
     let energy = counts[0] as f64 * power.e_alu
         + counts[1] as f64 * power.e_mul
@@ -336,6 +514,39 @@ mod tests {
         // 100 divides at 12 cycles each on one unpipelined unit.
         assert!(r.cycles >= 100 * 12, "cycles {}", r.cycles);
         assert!(r.ipc < 0.2);
+    }
+
+    #[test]
+    fn optimized_matches_reference_bit_exactly() {
+        // Mixed-unit program with loops (repeated pcs exercise the
+        // pre-decode cache), divides, loads/stores, and mispredicts.
+        let src = "
+            li t0, 120
+            li t1, 7
+            li t2, 13
+        loop:
+            mul t3, t1, t2
+            div t4, t3, t1
+            add t5, t1, t2
+            sw t3, 64(zero)
+            lw t6, 64(zero)
+            addi t0, t0, -1
+            bne t0, zero, loop
+            ecall
+        ";
+        let prog = assemble(src).unwrap();
+        let r = Cpu::new(CpuConfig::default()).run(&prog).unwrap();
+        for cfg in [
+            UarchConfig::default(),
+            UarchConfig { rob_size: 4, fetch_width: 1, ..UarchConfig::default() },
+            UarchConfig { alu_ports: 4, lsu_ports: 2, bpred_entries: 16, ..UarchConfig::default() },
+        ] {
+            let (fast, fast_retire) = analyze_with_retire(&r.trace, cfg, PowerParams::default());
+            let (refr, ref_retire) =
+                analyze_reference_with_retire(&r.trace, cfg, PowerParams::default());
+            assert_eq!(fast, refr);
+            assert_eq!(fast_retire, ref_retire, "retirement order diverged");
+        }
     }
 
     #[test]

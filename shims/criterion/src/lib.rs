@@ -19,6 +19,8 @@ pub struct Criterion {
     /// Target time per benchmark's measurement phase.
     measurement: Duration,
     warmup: Duration,
+    /// `(name, mean ns/iter)` per completed benchmark, in run order.
+    results: Vec<(String, f64)>,
 }
 
 impl Default for Criterion {
@@ -26,6 +28,7 @@ impl Default for Criterion {
         Criterion {
             measurement: Duration::from_millis(600),
             warmup: Duration::from_millis(150),
+            results: Vec::new(),
         }
     }
 }
@@ -63,7 +66,15 @@ impl Criterion {
             b.elapsed.as_nanos() as f64 / b.iters as f64
         };
         println!("bench: {name:<44} {:>14} ({} iters)", format_ns(ns), b.iters);
+        self.results.push((name.to_string(), ns));
         self
+    }
+
+    /// Mean ns/iter for every benchmark run so far (run order). Offline
+    /// extension used by CI threshold checks; not part of upstream
+    /// criterion's API.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
     }
 }
 

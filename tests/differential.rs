@@ -1,0 +1,437 @@
+//! Differential fuzzing of the simulator fast paths.
+//!
+//! A seeded generator produces random HDL designs (combinational and
+//! clocked, mixed widths, with a deliberate X-injection arm) and random
+//! stimulus. Every design is run twice — once with the two-state fast path
+//! disabled (the reference four-state engine) and once with it enabled —
+//! and the waveforms must match on *every* signal at *every* step, along
+//! with final state and simulator statistics. A separate arm drives the
+//! out-of-order timing model with random programs and asserts the
+//! optimized engine reproduces the pre-optimization model's cycle counts
+//! and retirement order bit-exactly.
+
+use llm4eda::hdl;
+use llm4eda::riscv;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Widths chosen to straddle word boundaries (1 bit, sub-word, 64-bit
+/// word edge, and >64 so both `u64` lanes of a `Value` are live).
+const WIDTHS: &[u32] = &[1, 2, 3, 5, 8, 13, 17, 24, 32, 48, 63, 64, 65, 100];
+
+struct GenDesign {
+    src: String,
+    /// Input ports to drive (name, width); excludes clk/rst.
+    inputs: Vec<(String, u32)>,
+    /// Every named signal to compare between engines.
+    signals: Vec<(String, u32)>,
+    clocked: bool,
+}
+
+fn pick_width(rng: &mut StdRng) -> u32 {
+    WIDTHS[rng.gen_range(0..WIDTHS.len())]
+}
+
+/// Random expression over `names`, as Verilog source. `allow_x` permits
+/// X/Z literals (the four-state arm).
+fn gen_expr(rng: &mut StdRng, names: &[(String, u32)], depth: u32, allow_x: bool) -> String {
+    if depth == 0 || rng.gen_bool(0.25) {
+        return gen_leaf(rng, names, allow_x);
+    }
+    match rng.gen_range(0..10u32) {
+        0..=4 => {
+            const OPS: &[&str] = &[
+                "+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", ">>>", "==", "!=", "<", "<=",
+                ">", ">=", "&&", "||",
+            ];
+            let op = OPS[rng.gen_range(0..OPS.len())];
+            format!(
+                "({} {op} {})",
+                gen_expr(rng, names, depth - 1, allow_x),
+                gen_expr(rng, names, depth - 1, allow_x)
+            )
+        }
+        5 => {
+            let op = ["~", "!", "-"][rng.gen_range(0..3)];
+            format!("({op}{})", gen_expr(rng, names, depth - 1, allow_x))
+        }
+        6 => format!(
+            "({} ? {} : {})",
+            gen_expr(rng, names, depth - 1, allow_x),
+            gen_expr(rng, names, depth - 1, allow_x),
+            gen_expr(rng, names, depth - 1, allow_x)
+        ),
+        7 => {
+            // Bit- or part-select on a random named signal (in range).
+            let (n, w) = &names[rng.gen_range(0..names.len())];
+            let hi = rng.gen_range(0..*w);
+            if rng.gen_bool(0.5) {
+                format!("{n}[{hi}]")
+            } else {
+                let lo = rng.gen_range(0..=hi);
+                format!("{n}[{hi}:{lo}]")
+            }
+        }
+        8 => format!(
+            "{{{}, {}}}",
+            gen_expr(rng, names, depth - 1, allow_x),
+            gen_expr(rng, names, depth - 1, allow_x)
+        ),
+        _ => gen_leaf(rng, names, allow_x),
+    }
+}
+
+fn gen_leaf(rng: &mut StdRng, names: &[(String, u32)], allow_x: bool) -> String {
+    match rng.gen_range(0..10u32) {
+        0..=4 => names[rng.gen_range(0..names.len())].0.clone(),
+        5..=6 => {
+            let w = [1u32, 4, 8, 16, 32][rng.gen_range(0..5)];
+            let v = rng.gen::<u64>() & if w >= 64 { u64::MAX } else { (1 << w) - 1 };
+            format!("{w}'d{v}")
+        }
+        7 if allow_x => {
+            // Based binary literal with x/z digits (z collapses to x in
+            // this four-state-lite value model).
+            let w = rng.gen_range(2..10u32);
+            let digits: String = (0..w)
+                .map(|_| ['0', '1', 'x', 'z'][rng.gen_range(0..4)])
+                .collect();
+            format!("{w}'b{digits}")
+        }
+        _ => {
+            // Reduction of a named signal.
+            let (n, _) = &names[rng.gen_range(0..names.len())];
+            let op = ["&", "|", "^"][rng.gen_range(0..3)];
+            format!("({op}{n})")
+        }
+    }
+}
+
+/// Random combinational design: a few inputs, a chain of wires each
+/// assigned an expression over everything declared before it.
+fn gen_comb(rng: &mut StdRng, allow_x: bool) -> GenDesign {
+    let n_in = rng.gen_range(2..=4usize);
+    let n_wire = rng.gen_range(3..=8usize);
+    let mut names: Vec<(String, u32)> = (0..n_in)
+        .map(|i| (format!("i{i}"), pick_width(rng)))
+        .collect();
+    let ports: Vec<String> = names
+        .iter()
+        .map(|(n, w)| format!("input [{}:0] {n}", w - 1))
+        .collect();
+    let mut body = String::new();
+    for k in 0..n_wire {
+        let w = pick_width(rng);
+        let name = format!("w{k}");
+        let expr = gen_expr(rng, &names, 3, allow_x);
+        body.push_str(&format!("  wire [{}:0] {name};\n  assign {name} = {expr};\n", w - 1));
+        names.push((name, w));
+    }
+    let src = format!("module dut({});\n{body}endmodule\n", ports.join(", "));
+    GenDesign {
+        src,
+        inputs: names[..n_in].to_vec(),
+        signals: names,
+        clocked: false,
+    }
+}
+
+/// Random clocked design: registers with reset, nonblocking updates from
+/// expressions over registers and inputs, plus comb decode wires.
+fn gen_clocked(rng: &mut StdRng, allow_x: bool) -> GenDesign {
+    let n_in = rng.gen_range(1..=3usize);
+    let n_reg = rng.gen_range(2..=4usize);
+    let n_wire = rng.gen_range(1..=3usize);
+    let inputs: Vec<(String, u32)> = (0..n_in)
+        .map(|i| (format!("i{i}"), pick_width(rng)))
+        .collect();
+    let regs: Vec<(String, u32)> = (0..n_reg)
+        .map(|i| (format!("r{i}"), pick_width(rng)))
+        .collect();
+    let mut ports: Vec<String> = vec!["input clk".into(), "input rst".into()];
+    ports.extend(inputs.iter().map(|(n, w)| format!("input [{}:0] {n}", w - 1)));
+    let mut body = String::new();
+    for (n, w) in &regs {
+        body.push_str(&format!("  reg [{}:0] {n};\n", w - 1));
+    }
+    let mut env: Vec<(String, u32)> = inputs.clone();
+    env.extend(regs.iter().cloned());
+    for (n, w) in &regs {
+        let init = rng.gen::<u64>() & if *w >= 64 { u64::MAX } else { (1 << w) - 1 };
+        let next = gen_expr(rng, &env, 2, allow_x);
+        body.push_str(&format!(
+            "  always @(posedge clk) begin\n    if (rst) {n} <= {w}'d{init}; else {n} <= {next};\n  end\n"
+        ));
+    }
+    let mut names = env.clone();
+    for k in 0..n_wire {
+        let w = pick_width(rng);
+        let name = format!("w{k}");
+        let expr = gen_expr(rng, &names, 2, allow_x);
+        body.push_str(&format!("  wire [{}:0] {name};\n  assign {name} = {expr};\n", w - 1));
+        names.push((name, w));
+    }
+    let src = format!("module dut({});\n{body}endmodule\n", ports.join(", "));
+    GenDesign { src, inputs, signals: names, clocked: true }
+}
+
+fn random_value(rng: &mut StdRng, w: u32, allow_x: bool) -> hdl::Value {
+    if allow_x && rng.gen_bool(0.25) {
+        // All-X or partially-X stimulus.
+        let mut v = hdl::Value::all_x(w);
+        for bit in 0..w {
+            if rng.gen_bool(0.5) {
+                v = v.with_bit(bit, Some(rng.gen_bool(0.5)));
+            }
+        }
+        v
+    } else {
+        let hi = rng.gen::<u64>() as u128;
+        let lo = rng.gen::<u64>() as u128;
+        hdl::Value::from_u128(w, hi << 64 | lo)
+    }
+}
+
+/// Runs `design` under both engines with identical stimulus and asserts
+/// waveform equality on every signal at every step.
+fn run_differential(g: &GenDesign, seed: u64, steps: usize, allow_x: bool) {
+    let design = hdl::compile(&g.src, "dut")
+        .unwrap_or_else(|e| panic!("seed {seed}: generated design failed to compile: {e}\n{}", g.src));
+    let mut reference = hdl::Simulator::new(&design);
+    reference.set_fast_path(false);
+    let mut fast = hdl::Simulator::new(&design);
+    fast.set_fast_path(true);
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd1ff_e4e2);
+    let drive = |refr: &mut hdl::Simulator, fast: &mut hdl::Simulator, name: &str, v: hdl::Value| {
+        refr.poke(name, v).unwrap();
+        fast.poke(name, v).unwrap();
+    };
+    if g.clocked {
+        drive(&mut reference, &mut fast, "rst", hdl::Value::bit(true));
+        for _ in 0..2 {
+            drive(&mut reference, &mut fast, "clk", hdl::Value::bit(false));
+            reference.settle().unwrap();
+            fast.settle().unwrap();
+            drive(&mut reference, &mut fast, "clk", hdl::Value::bit(true));
+            reference.settle().unwrap();
+            fast.settle().unwrap();
+        }
+        drive(&mut reference, &mut fast, "rst", hdl::Value::bit(false));
+    }
+    for step in 0..steps {
+        let stim: Vec<(String, hdl::Value)> = g
+            .inputs
+            .iter()
+            .map(|(n, w)| (n.clone(), random_value(&mut rng, *w, allow_x)))
+            .collect();
+        for (n, v) in &stim {
+            drive(&mut reference, &mut fast, n, *v);
+        }
+        if g.clocked {
+            drive(&mut reference, &mut fast, "clk", hdl::Value::bit(false));
+            reference.settle().unwrap();
+            fast.settle().unwrap();
+            drive(&mut reference, &mut fast, "clk", hdl::Value::bit(true));
+        }
+        reference.settle().unwrap();
+        fast.settle().unwrap();
+        for (n, _) in &g.signals {
+            let a = reference.peek(n).unwrap();
+            let b = fast.peek(n).unwrap();
+            assert_eq!(
+                a, b,
+                "seed {seed} step {step}: signal `{n}` diverged (reference {a:?} vs fast {b:?})\n{}",
+                g.src
+            );
+        }
+    }
+    // Final state, statistics, and process output must also agree.
+    assert_eq!(
+        format!("{:?}", reference.stats()),
+        format!("{:?}", fast.stats()),
+        "seed {seed}: stats diverged\n{}",
+        g.src
+    );
+    assert_eq!(reference.output(), fast.output(), "seed {seed}: $display output diverged");
+    assert_eq!(reference.time(), fast.time(), "seed {seed}: sim time diverged");
+}
+
+#[test]
+fn combinational_designs_match_across_engines() {
+    for seed in 0..112u64 {
+        let mut rng = StdRng::seed_from_u64(seed * 7919 + 13);
+        let g = gen_comb(&mut rng, false);
+        run_differential(&g, seed, 24, false);
+    }
+}
+
+#[test]
+fn clocked_designs_match_across_engines() {
+    for seed in 0..96u64 {
+        let mut rng = StdRng::seed_from_u64(seed * 104_729 + 7);
+        let g = gen_clocked(&mut rng, false);
+        run_differential(&g, seed, 16, false);
+    }
+}
+
+#[test]
+fn x_injection_designs_match_across_engines() {
+    // The deliberate X/Z arm: X literals inside expressions and X-laced
+    // stimulus exercise the fall-back boundary between engines.
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(seed * 6151 + 3);
+        let g = gen_comb(&mut rng, true);
+        run_differential(&g, seed, 16, true);
+    }
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(seed * 9973 + 1);
+        let g = gen_clocked(&mut rng, true);
+        run_differential(&g, seed, 12, true);
+    }
+}
+
+#[test]
+fn fast_path_actually_engages_on_pure_designs() {
+    // Guard against the fast path silently never engaging (which would
+    // make the differential suite vacuous).
+    let mut engaged = 0usize;
+    for seed in 200..216u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen_comb(&mut rng, false);
+        let design = hdl::compile(&g.src, "dut").unwrap();
+        let mut sim = hdl::Simulator::new(&design);
+        sim.set_fast_path(true);
+        let mut srng = StdRng::seed_from_u64(seed ^ 0xfeed);
+        for _ in 0..8 {
+            for (n, w) in &g.inputs {
+                sim.poke(n, random_value(&mut srng, *w, false)).unwrap();
+            }
+            sim.settle().unwrap();
+        }
+        if sim.fast_evals() > 0 {
+            engaged += 1;
+        }
+    }
+    assert!(engaged >= 12, "fast path engaged on only {engaged}/16 pure designs");
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-order model arm.
+// ---------------------------------------------------------------------------
+
+fn random_program(rng: &mut StdRng) -> Vec<riscv::Instr> {
+    use riscv::{AluOp, BranchOp, Instr, MulOp};
+    const ALU: &[AluOp] = &[
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Sll,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Xor,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Or,
+        AluOp::And,
+    ];
+    const MUL: &[MulOp] = &[
+        MulOp::Mul,
+        MulOp::Mulh,
+        MulOp::Div,
+        MulOp::Divu,
+        MulOp::Rem,
+        MulOp::Remu,
+    ];
+    const BR: &[BranchOp] = &[
+        BranchOp::Beq,
+        BranchOp::Bne,
+        BranchOp::Blt,
+        BranchOp::Bge,
+        BranchOp::Bltu,
+        BranchOp::Bgeu,
+    ];
+    let iters = rng.gen_range(3..=12u32);
+    // prog[0]: loop counter in t6 (x31).
+    let mut prog = vec![Instr::AluImm { op: AluOp::Add, rd: 31, rs1: 0, imm: iters as i32 }];
+    let body = rng.gen_range(12..=40usize);
+    let body_start = prog.len() as u32;
+    let mut k = 0usize;
+    while k < body {
+        let rd = rng.gen_range(1..31u8); // keep x31 as the loop counter
+        let rs1 = rng.gen_range(0..31u8);
+        let rs2 = rng.gen_range(0..31u8);
+        let instr = match rng.gen_range(0..10u32) {
+            0..=3 => Instr::Alu { op: ALU[rng.gen_range(0..ALU.len())], rd, rs1, rs2 },
+            4..=5 => Instr::AluImm {
+                op: ALU[rng.gen_range(0..ALU.len())],
+                rd,
+                rs1,
+                imm: rng.gen_range(-64..64i32),
+            },
+            6 => Instr::Mul { op: MUL[rng.gen_range(0..MUL.len())], rd, rs1, rs2 },
+            7 => Instr::Lw { rd, rs1: 0, off: rng.gen_range(0..64i32) * 4 },
+            8 => Instr::Sw { rs1: 0, rs2, off: rng.gen_range(0..64i32) * 4 },
+            _ => {
+                // Forward conditional branch skipping 1-3 instructions but
+                // never past the end of the body (the loop-counter
+                // decrement in the tail must always execute).
+                let room = (body - k - 1) as u32;
+                if room == 0 {
+                    Instr::Alu { op: ALU[rng.gen_range(0..ALU.len())], rd, rs1, rs2 }
+                } else {
+                    let skip = rng.gen_range(1..=3u32).min(room);
+                    Instr::Branch {
+                        op: BR[rng.gen_range(0..BR.len())],
+                        rs1,
+                        rs2,
+                        target: prog.len() as u32 + 1 + skip,
+                    }
+                }
+            }
+        };
+        prog.push(instr);
+        k += 1;
+    }
+    prog.push(Instr::AluImm { op: riscv::AluOp::Add, rd: 31, rs1: 31, imm: -1 });
+    prog.push(Instr::Branch { op: BranchOp::Bne, rs1: 31, rs2: 0, target: body_start });
+    prog.push(Instr::Ecall);
+    prog
+}
+
+fn random_uarch(rng: &mut StdRng) -> riscv::UarchConfig {
+    riscv::UarchConfig {
+        fetch_width: rng.gen_range(1..=8u32),
+        alu_ports: rng.gen_range(1..=4u32),
+        muldiv_ports: rng.gen_range(1..=2u32),
+        lsu_ports: rng.gen_range(1..=2u32),
+        branch_ports: rng.gen_range(1..=2u32),
+        rob_size: [4usize, 8, 32, 64, 128][rng.gen_range(0..5)],
+        alu_latency: 1,
+        mul_latency: rng.gen_range(2..=4u64),
+        div_latency: rng.gen_range(8..=20u64),
+        load_latency: rng.gen_range(2..=4u64),
+        mispredict_penalty: rng.gen_range(4..=12u64),
+        bpred_entries: [4usize, 16, 256, 1024][rng.gen_range(0..4)],
+    }
+}
+
+#[test]
+fn ooo_optimized_matches_reference_on_random_programs() {
+    let mut checked = 0usize;
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed * 31 + 5);
+        let prog = random_program(&mut rng);
+        let result = riscv::Cpu::new(riscv::CpuConfig::default())
+            .run(&prog)
+            .unwrap_or_else(|e| panic!("seed {seed}: program faulted: {e}"));
+        let cfg = random_uarch(&mut rng);
+        let power = riscv::PowerParams::default();
+        let (fast, fast_retire) = riscv::analyze_with_retire(&result.trace, cfg, power);
+        let (refr, ref_retire) = riscv::analyze_reference_with_retire(&result.trace, cfg, power);
+        assert_eq!(fast, refr, "seed {seed}: report diverged under {cfg:?}");
+        assert_eq!(fast_retire, ref_retire, "seed {seed}: retirement order diverged");
+        assert_eq!(fast_retire.len(), result.trace.len());
+        checked += 1;
+    }
+    assert_eq!(checked, 64);
+}

@@ -1,0 +1,394 @@
+//! Golden-vector replay: reference simulator waveforms and out-of-order
+//! cycle counts snapshotted into `tests/golden/golden.json`, replayed
+//! bit-exactly by both the four-state reference engine and the two-state
+//! fast path.
+//!
+//! The snapshot locks in *post-bugfix* behaviour (it was generated after
+//! the `casez` label-width comparison fix in the simulator), so any
+//! regression in either engine — or any silent semantic drift — shows up
+//! as a byte-level diff against a human-readable JSON file.
+//!
+//! Regenerate with `EDA_GOLDEN_REGEN=1 cargo test --test golden_vectors`.
+
+use llm4eda::{hdl, riscv};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/golden.json");
+
+#[derive(Serialize)]
+struct Golden {
+    hdl: Vec<HdlGolden>,
+    ooo: Vec<OooGolden>,
+}
+
+#[derive(Serialize)]
+struct HdlGolden {
+    name: String,
+    signals: Vec<String>,
+    /// One row per step, values index-aligned with `signals`. Defined
+    /// values render as hex (`0x..`); values with X bits render as a
+    /// binary string (`b01xx..`) so X positions are locked exactly.
+    steps: Vec<Vec<String>>,
+}
+
+#[derive(Serialize)]
+struct OooGolden {
+    name: String,
+    instrs: u64,
+    cycles: u64,
+    mispredicts: u64,
+    alu: u64,
+    mul: u64,
+    div: u64,
+    mem: u64,
+    branch: u64,
+}
+
+fn render(v: &hdl::Value) -> String {
+    if let Some(x) = v.to_u128() {
+        format!("0x{x:x}")
+    } else {
+        let mut s = String::from("b");
+        for i in (0..v.width()).rev() {
+            s.push(match v.get_bit(i) {
+                None => 'x',
+                Some(true) => '1',
+                Some(false) => '0',
+            });
+        }
+        s
+    }
+}
+
+struct HdlCase {
+    name: &'static str,
+    src: &'static str,
+    top: &'static str,
+    /// Clock/reset names for sequential cases.
+    clock: Option<&'static str>,
+    reset: Option<&'static str>,
+    /// Input ports to drive (name, width).
+    inputs: &'static [(&'static str, u32)],
+    /// Signals recorded per step.
+    watch: &'static [&'static str],
+    steps: usize,
+    seed: u64,
+}
+
+/// Fixed designs (drawn from the `hdl_stress` suite) whose waveforms are
+/// snapshotted.
+fn hdl_cases() -> Vec<HdlCase> {
+    vec![
+        HdlCase {
+            name: "rca4",
+            src: "
+              module fa(input a, b, cin, output s, cout);
+                assign s = a ^ b ^ cin;
+                assign cout = (a & b) | (cin & (a ^ b));
+              endmodule
+              module rca4(input [3:0] a, b, input cin, output [3:0] s, output cout);
+                wire c0, c1, c2;
+                fa f0(.a(a[0]), .b(b[0]), .cin(cin), .s(s[0]), .cout(c0));
+                fa f1(.a(a[1]), .b(b[1]), .cin(c0),  .s(s[1]), .cout(c1));
+                fa f2(.a(a[2]), .b(b[2]), .cin(c1),  .s(s[2]), .cout(c2));
+                fa f3(.a(a[3]), .b(b[3]), .cin(c2),  .s(s[3]), .cout(cout));
+              endmodule",
+            top: "rca4",
+            clock: None,
+            reset: None,
+            inputs: &[("a", 4), ("b", 4), ("cin", 1)],
+            watch: &["s", "cout", "c0", "c1", "c2"],
+            steps: 48,
+            seed: 11,
+        },
+        HdlCase {
+            name: "wide100",
+            src: "
+              module wide(input [99:0] a, b, output [100:0] s, output [99:0] x);
+                assign s = a + b;
+                assign x = a ^ b;
+              endmodule",
+            top: "wide",
+            clock: None,
+            reset: None,
+            inputs: &[("a", 100), ("b", 100)],
+            watch: &["s", "x"],
+            steps: 16,
+            seed: 23,
+        },
+        HdlCase {
+            name: "pingpong",
+            src: "
+              module pp(input clk, rst, output [1:0] code);
+                reg a, b;
+                always @(posedge clk) begin
+                  if (rst) a <= 1'b0; else a <= b;
+                end
+                always @(posedge clk) begin
+                  if (rst) b <= 1'b1; else b <= a;
+                end
+                assign code = {a, b};
+              endmodule",
+            top: "pp",
+            clock: Some("clk"),
+            reset: Some("rst"),
+            inputs: &[],
+            watch: &["code", "a", "b"],
+            steps: 8,
+            seed: 0,
+        },
+        HdlCase {
+            name: "casez_priority",
+            src: "
+              module pri(input [3:0] req, output reg [1:0] grant);
+                always @(*) begin
+                  casez (req)
+                    4'bzzz1: grant = 2'd0;
+                    4'bzz1z: grant = 2'd1;
+                    4'bz1zz: grant = 2'd2;
+                    4'b1zzz: grant = 2'd3;
+                    default: grant = 2'd0;
+                  endcase
+                end
+              endmodule",
+            top: "pri",
+            clock: None,
+            reset: None,
+            inputs: &[("req", 4)],
+            watch: &["grant"],
+            steps: 16,
+            seed: 5,
+        },
+        HdlCase {
+            name: "mini_alu",
+            src: "
+              module mini_alu(input [1:0] op, input [3:0] a, b, output reg [3:0] y);
+                always @(*) begin
+                  case (op)
+                    2'd0: y = a + b;
+                    2'd1: y = a - b;
+                    2'd2: y = a * b;
+                    default: y = (a < b) ? a : b;
+                  endcase
+                end
+              endmodule",
+            top: "mini_alu",
+            clock: None,
+            reset: None,
+            inputs: &[("op", 2), ("a", 4), ("b", 4)],
+            watch: &["y"],
+            steps: 48,
+            seed: 31,
+        },
+        HdlCase {
+            name: "xz_shift_register",
+            // Uninitialized registers hold X until the pipeline fills; the
+            // snapshot locks the exact X-to-defined transition.
+            src: "
+              module sr(input clk, d, output reg q1, output reg q2);
+                always @(posedge clk) begin
+                  q1 <= d;
+                  q2 <= q1;
+                end
+              endmodule",
+            top: "sr",
+            clock: Some("clk"),
+            reset: None,
+            inputs: &[("d", 1)],
+            watch: &["q1", "q2"],
+            steps: 6,
+            seed: 2,
+        },
+    ]
+}
+
+fn mask_u128(w: u32) -> u128 {
+    if w >= 128 {
+        u128::MAX
+    } else {
+        (1 << w) - 1
+    }
+}
+
+fn run_hdl_case(case: &HdlCase, fast_path: bool) -> HdlGolden {
+    let design = hdl::compile(case.src, case.top).unwrap();
+    let mut sim = hdl::Simulator::new(&design);
+    sim.set_fast_path(fast_path);
+    let mut rng = StdRng::seed_from_u64(case.seed ^ 0x601d_e4e2);
+    // Exhaustive for the casez case (4-bit input); seeded random otherwise.
+    if let Some(rst) = case.reset {
+        sim.poke(rst, hdl::Value::bit(true)).unwrap();
+        if let Some(clk) = case.clock {
+            for _ in 0..2 {
+                sim.poke(clk, hdl::Value::bit(false)).unwrap();
+                sim.settle().unwrap();
+                sim.poke(clk, hdl::Value::bit(true)).unwrap();
+                sim.settle().unwrap();
+            }
+        }
+        sim.poke(rst, hdl::Value::bit(false)).unwrap();
+    }
+    let mut steps = Vec::with_capacity(case.steps);
+    for step in 0..case.steps {
+        for (i, (n, w)) in case.inputs.iter().enumerate() {
+            let v = if case.name == "casez_priority" {
+                step as u128 // exhaustive 4-bit sweep
+            } else {
+                let hi = rng.gen::<u64>() as u128;
+                let lo = rng.gen::<u64>() as u128;
+                let _ = i;
+                (hi << 64 | lo) & mask_u128(*w)
+            };
+            sim.poke(n, hdl::Value::from_u128(*w, v)).unwrap();
+        }
+        match case.clock {
+            Some(clk) => {
+                sim.poke(clk, hdl::Value::bit(false)).unwrap();
+                sim.settle().unwrap();
+                sim.poke(clk, hdl::Value::bit(true)).unwrap();
+                sim.settle().unwrap();
+            }
+            None => sim.settle().unwrap(),
+        }
+        steps.push(case.watch.iter().map(|n| render(&sim.peek(n).unwrap())).collect());
+    }
+    HdlGolden {
+        name: case.name.to_string(),
+        signals: case.watch.iter().map(|s| s.to_string()).collect(),
+        steps,
+    }
+}
+
+/// Fixed assembly programs whose out-of-order cycle counts are snapshotted.
+fn ooo_cases() -> Vec<(&'static str, String)> {
+    let mut dependent = String::from("li t0, 1\n");
+    for _ in 0..200 {
+        dependent.push_str("add t0, t0, t0\n");
+    }
+    dependent.push_str("ecall\n");
+
+    let mut independent = String::from("li t0, 1\nli t1, 2\nli t2, 3\nli t3, 4\n");
+    for _ in 0..100 {
+        independent
+            .push_str("add t0, t0, zero\nadd t1, t1, zero\nadd t2, t2, zero\nadd t3, t3, zero\n");
+    }
+    independent.push_str("ecall\n");
+
+    let loop_mix = String::from(
+        "
+        li t0, 500
+        li t1, 7
+        li t2, 13
+    loop:
+        mul t3, t1, t2
+        add t4, t1, t2
+        sw t3, 64(zero)
+        addi t0, t0, -1
+        bne t0, zero, loop
+        ecall
+    ",
+    );
+
+    let mut divides = String::from("li t0, 100\nli t1, 7\n");
+    for _ in 0..50 {
+        divides.push_str("div t2, t0, t1\ndiv t3, t0, t1\n");
+    }
+    divides.push_str("ecall\n");
+
+    vec![
+        ("dependent_chain", dependent),
+        ("independent_adds", independent),
+        ("loop_mix", loop_mix),
+        ("divider_serialized", divides),
+    ]
+}
+
+fn run_ooo_case(name: &str, src: &str, reference: bool) -> OooGolden {
+    let prog = riscv::assemble(src).unwrap();
+    let result = riscv::Cpu::new(riscv::CpuConfig::default()).run(&prog).unwrap();
+    let cfg = riscv::UarchConfig::default();
+    let power = riscv::PowerParams::default();
+    let r = if reference {
+        riscv::analyze_reference(&result.trace, cfg, power)
+    } else {
+        riscv::analyze(&result.trace, cfg, power)
+    };
+    OooGolden {
+        name: name.to_string(),
+        instrs: r.instrs,
+        cycles: r.cycles,
+        mispredicts: r.branch_mispredicts,
+        alu: r.alu,
+        mul: r.mul,
+        div: r.div,
+        mem: r.mem,
+        branch: r.branch,
+    }
+}
+
+fn build_golden(hdl_fast: bool, ooo_reference: bool) -> String {
+    let golden = Golden {
+        hdl: hdl_cases().iter().map(|c| run_hdl_case(c, hdl_fast)).collect(),
+        ooo: ooo_cases()
+            .iter()
+            .map(|(n, s)| run_ooo_case(n, s, ooo_reference))
+            .collect(),
+    };
+    let mut text = serde_json::to_string_pretty(&golden).unwrap();
+    text.push('\n');
+    text
+}
+
+#[test]
+fn golden_vectors_replay_bit_exactly_on_both_engines() {
+    // The snapshot is generated by the reference (four-state) engine; the
+    // fast path and the optimized OoO engine must reproduce it exactly.
+    let reference = build_golden(false, true);
+    let fast = build_golden(true, false);
+    assert_eq!(reference, fast, "engines disagree before touching the snapshot");
+
+    if std::env::var("EDA_GOLDEN_REGEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden")).unwrap();
+        std::fs::write(GOLDEN_PATH, &reference).unwrap();
+        return;
+    }
+    let on_disk = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!("missing golden snapshot {GOLDEN_PATH} ({e}); regenerate with EDA_GOLDEN_REGEN=1")
+    });
+    assert_eq!(
+        on_disk, reference,
+        "golden snapshot drifted; if the change is intentional, regenerate with EDA_GOLDEN_REGEN=1"
+    );
+}
+
+#[test]
+fn golden_snapshot_is_parseable_and_has_expected_shape() {
+    let text = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!("missing golden snapshot {GOLDEN_PATH} ({e}); regenerate with EDA_GOLDEN_REGEN=1")
+    });
+    let v = serde_json::from_str(&text).unwrap();
+    let hdl_cases_json = v.get("hdl").unwrap().as_array().unwrap();
+    assert_eq!(hdl_cases_json.len(), hdl_cases().len());
+    for c in hdl_cases_json {
+        let signals = c.get("signals").unwrap().as_array().unwrap();
+        for row in c.get("steps").unwrap().as_array().unwrap() {
+            assert_eq!(row.as_array().unwrap().len(), signals.len());
+        }
+    }
+    // The X-transition case must actually snapshot X bits (binary form).
+    let sr = hdl_cases_json
+        .iter()
+        .find(|c| c.get("name").unwrap().as_str() == Some("xz_shift_register"))
+        .unwrap();
+    let first_row = &sr.get("steps").unwrap().as_array().unwrap()[0];
+    let q2 = first_row.as_array().unwrap()[1].as_str().unwrap();
+    assert!(q2.starts_with('b') && q2.contains('x'), "expected X in first q2 sample, got {q2}");
+    let ooo = v.get("ooo").unwrap().as_array().unwrap();
+    assert_eq!(ooo.len(), 4);
+    for c in ooo {
+        assert!(c.get("cycles").unwrap().as_u64().unwrap() > 0);
+        assert!(c.get("instrs").unwrap().as_u64().unwrap() > 0);
+    }
+}

@@ -230,6 +230,148 @@ fn testbench_source_with_tasks_runs() {
 }
 
 #[test]
+fn x_propagates_through_arithmetic_and_fast_path_disengages() {
+    // The two-state fast path must hand off to the four-state engine the
+    // moment an X enters a signal, and re-engage once the X washes out.
+    let src = "
+      module xarith(input [7:0] a, b, output [8:0] s, output [7:0] p);
+        assign s = a + b;
+        assign p = a * b;
+      endmodule";
+    let design = hdl::compile(src, "xarith").unwrap();
+    let mut sim = hdl::Simulator::new(&design);
+    sim.set_fast_path(true);
+    sim.poke("a", hdl::Value::from_u64(8, 3)).unwrap();
+    sim.poke("b", hdl::Value::from_u64(8, 5)).unwrap();
+    // First settle still computes under the four-state engine: the output
+    // nets hold their initial X until this very evaluation defines them.
+    sim.settle().unwrap();
+    assert_eq!(sim.peek("s").unwrap().to_u64(), Some(8));
+    assert_eq!(sim.x_signal_count(), 0);
+    sim.poke("a", hdl::Value::from_u64(8, 4)).unwrap();
+    sim.settle().unwrap();
+    assert_eq!(sim.peek("s").unwrap().to_u64(), Some(9));
+    let engaged = sim.fast_evals();
+    assert!(engaged > 0, "fast path never engaged on a pure design");
+
+    // Inject X: arithmetic poisons, the X census rises, and evaluation
+    // falls back to the four-state engine.
+    sim.poke("a", hdl::Value::all_x(8)).unwrap();
+    sim.settle().unwrap();
+    assert!(sim.peek("s").unwrap().has_x(), "X must poison addition");
+    assert!(sim.peek("p").unwrap().has_x(), "X must poison multiplication");
+    assert!(sim.x_signal_count() > 0);
+    let during_x = sim.fast_evals();
+
+    // Wash the X out: census returns to zero and the fast path resumes.
+    sim.poke("a", hdl::Value::from_u64(8, 200)).unwrap();
+    sim.poke("b", hdl::Value::from_u64(8, 100)).unwrap();
+    sim.settle().unwrap();
+    assert_eq!(sim.peek("s").unwrap().to_u64(), Some(300));
+    assert_eq!(sim.x_signal_count(), 0, "X census must drop once X washes out");
+    // The washing settle itself still saw X on the outputs; the round
+    // after it runs two-state again.
+    sim.poke("a", hdl::Value::from_u64(8, 201)).unwrap();
+    sim.settle().unwrap();
+    assert_eq!(sim.peek("s").unwrap().to_u64(), Some(301));
+    assert!(sim.fast_evals() > during_x, "fast path must re-engage after X clears");
+}
+
+#[test]
+fn z_literals_collapse_to_x_on_buses() {
+    // This value model is four-state-lite: Z is not modelled separately
+    // and a z literal lexes to X. A "tri-stated" driver therefore yields
+    // X, and anything consuming it sees X — both engines must agree.
+    let src = "
+      module tri_bus(input sel, input [3:0] d, output [3:0] bus, output any);
+        assign bus = sel ? d : 4'bzzzz;
+        assign any = |bus;
+      endmodule";
+    let design = hdl::compile(src, "tri_bus").unwrap();
+    for fast in [false, true] {
+        let mut sim = hdl::Simulator::new(&design);
+        sim.set_fast_path(fast);
+        sim.poke("sel", hdl::Value::bit(false)).unwrap();
+        sim.poke("d", hdl::Value::from_u64(4, 9)).unwrap();
+        sim.settle().unwrap();
+        assert!(sim.peek("bus").unwrap().has_x(), "undriven bus reads X (fast={fast})");
+        assert!(sim.peek("any").unwrap().has_x());
+        sim.poke("sel", hdl::Value::bit(true)).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.peek("bus").unwrap().to_u64(), Some(9), "driven bus (fast={fast})");
+        assert_eq!(sim.peek("any").unwrap().to_u64(), Some(1));
+    }
+}
+
+#[test]
+fn x_in_clocked_fsm_state_resolves_after_reset() {
+    // An FSM whose state register starts uninitialized (X): the comb
+    // decode stays X, the fast path stays disengaged, and only a reset
+    // pulse brings the design into two-state territory.
+    let src = "
+      module fsm(input clk, rst, go, output reg [1:0] state, output busy);
+        always @(posedge clk) begin
+          if (rst) state <= 2'd0;
+          else if (go) state <= state + 2'd1;
+        end
+        assign busy = state != 2'd0;
+      endmodule";
+    let design = hdl::compile(src, "fsm").unwrap();
+    let mut sim = hdl::Simulator::new(&design);
+    sim.set_fast_path(true);
+    assert!(sim.x_signal_count() > 0, "uninitialized state must register in the X census");
+    sim.poke("rst", hdl::Value::bit(false)).unwrap();
+    sim.poke("go", hdl::Value::bit(true)).unwrap();
+    hdl::clock_cycles(&mut sim, "clk", 2, |_, _| Ok(())).unwrap();
+    // X + 1 is still X: clocking without reset must not launder the state.
+    assert!(sim.peek("state").unwrap().has_x(), "X state must persist without reset");
+    assert!(sim.peek("busy").unwrap().has_x());
+    sim.poke("rst", hdl::Value::bit(true)).unwrap();
+    hdl::clock_cycles(&mut sim, "clk", 1, |_, _| Ok(())).unwrap();
+    sim.poke("rst", hdl::Value::bit(false)).unwrap();
+    let before = sim.fast_evals();
+    hdl::clock_cycles(&mut sim, "clk", 3, |_, _| Ok(())).unwrap();
+    assert_eq!(sim.peek("state").unwrap().to_u64(), Some(3));
+    assert_eq!(sim.peek("busy").unwrap().to_u64(), Some(1));
+    assert_eq!(sim.x_signal_count(), 0);
+    assert!(sim.fast_evals() > before, "fast path must engage after reset clears X");
+}
+
+#[test]
+fn case_labels_wider_than_subject_do_not_falsely_match() {
+    // Regression pin for a latent four-state bug surfaced by this suite:
+    // the case dispatcher used to resize labels down to the subject width
+    // before comparing, so a wide label like 5'b10001 truncated to 1 and
+    // falsely matched subject 1'b1. Verilog case equality compares at the
+    // *maximum* of both widths (zero-extending the narrower side).
+    let src = "
+      module casew(input s, output reg [3:0] y);
+        always @(*) begin
+          case (s)
+            5'b10001: y = 4'd9;
+            1'b1:     y = 4'd5;
+            default:  y = 4'd2;
+          endcase
+        end
+      endmodule";
+    let design = hdl::compile(src, "casew").unwrap();
+    for fast in [false, true] {
+        let mut sim = hdl::Simulator::new(&design);
+        sim.set_fast_path(fast);
+        sim.poke("s", hdl::Value::bit(true)).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(
+            sim.peek("y").unwrap().to_u64(),
+            Some(5),
+            "subject 1 must match label 1'b1, not truncated 5'b10001 (fast={fast})"
+        );
+        sim.poke("s", hdl::Value::bit(false)).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.peek("y").unwrap().to_u64(), Some(2), "default arm (fast={fast})");
+    }
+}
+
+#[test]
 fn lint_catches_generated_bug_classes() {
     // The lint checks must fire on the exact bug classes the simulated
     // LLM injects.
