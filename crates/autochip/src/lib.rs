@@ -21,7 +21,7 @@
 //! assert!(r.best_score > 0.9);
 //! ```
 
-use eda_exec::{CancelToken, Engine, EvalCache, EvalKey, ExecReport};
+use eda_exec::{backing, CancelToken, Engine, EvalCache, EvalKey, ExecReport, StoreStats};
 use eda_hdl::{check_source, HdlError, TbReport, VectorTest};
 use eda_llm::{prompts, ChatModel, ChatRequest, LlmReport, ResilienceConfig, ResilientClient};
 use eda_suite::Problem;
@@ -91,6 +91,10 @@ pub struct AutoChipResult {
     /// LLM transport counters (requests, retries, injected faults,
     /// degraded completions, virtual time).
     pub llm: LlmReport,
+    /// Persistent-store counters for this run (zeros when no store is
+    /// installed). Delta of the process-global store over the run, so
+    /// concurrent flows sharing one store each see combined traffic.
+    pub store: StoreStats,
 }
 
 /// Scores one candidate: compile errors score 0 with the error text as
@@ -128,6 +132,13 @@ pub fn run_autochip(
     run_autochip_with(model, problem, cfg, &Engine::from_env())
 }
 
+/// Engine version for persisted eval results: the content hashes of the
+/// HDL simulator and the problem suite combined. Editing either crate
+/// changes the hash, so stale store entries self-invalidate.
+fn eval_version() -> u64 {
+    eda_exec::combine_versions(&[eda_hdl::content_hash(), eda_suite::content_hash()])
+}
+
 /// Cache key for one candidate evaluation: source text, target module,
 /// and the testbench identity (vector count + seed fully determine the
 /// generated stimulus).
@@ -156,8 +167,13 @@ pub fn run_autochip_with(
     engine: &Engine,
 ) -> Result<AutoChipResult, HdlError> {
     let tb = problem.testbench(cfg.tb_vectors, cfg.seed)?;
-    let cache: EvalCache<(f64, String)> = EvalCache::new();
+    // Persistent when a store is installed (warm runs skip the
+    // simulator for previously-scored sources); a plain per-run cache
+    // otherwise.
+    eda_store::ensure_env_install();
+    let cache: EvalCache<(f64, String)> = EvalCache::persistent(eval_version());
     let exec_base = engine.report();
+    let store_base = backing::installed_stats();
     // All LLM traffic goes through the resilient client: with faults
     // configured it retries/degrades per request (purely, so candidate k
     // sees the same faults on every engine); without, it is a
@@ -241,6 +257,7 @@ pub fn run_autochip_with(
         candidates_evaluated: evaluated,
         exec: ExecReport::since(engine, &cache, &exec_base),
         llm: client.report(),
+        store: backing::installed_stats().since(&store_base),
     })
 }
 

@@ -43,6 +43,14 @@ pub use interp::{wrap, CValue, ExecTrace, Interp, InterpLimits, OpCounters, VarS
 pub use parser::parse;
 pub use pretty::{emit_expr, emit_function, emit_program};
 
+/// Content hash of this crate's sources (computed by `build.rs`).
+/// Persisted results keyed on it self-invalidate when the engine
+/// changes.
+pub fn content_hash() -> u64 {
+    // Emitted as decimal by build.rs; parsing cannot fail.
+    env!("EDA_CONTENT_HASH").parse().unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -22,7 +22,7 @@ pub mod debug;
 pub use debug::{cross_level_check, CrossLevelError, CrossLevelMismatch, CrossLevelReport};
 
 use eda_autochip::{run_autochip, AutoChipConfig};
-use eda_exec::ExecReport;
+use eda_exec::{ExecReport, StoreStats};
 use eda_hdl::{check_source, lint_module, parse, LintWarning};
 use eda_llm::{ChatModel, LlmReport, SimulatedLlm};
 use eda_suite::Problem;
@@ -103,6 +103,8 @@ pub struct DesignState {
     pub exec: Option<ExecReport>,
     /// LLM transport counters from the RTL generation stage.
     pub llm: Option<LlmReport>,
+    /// Persistent-store counters from the RTL generation stage.
+    pub store: Option<StoreStats>,
     /// Tool-invocation log (the agent's "conversation" with its tools).
     pub log: Vec<String>,
 }
@@ -133,6 +135,9 @@ pub struct FlowReport {
     /// LLM transport counters from candidate generation (requests,
     /// retries, injected faults, degraded completions).
     pub llm: LlmReport,
+    /// Persistent-store counters from candidate generation (all zeros
+    /// when no store is installed).
+    pub store: StoreStats,
 }
 
 impl FlowReport {
@@ -254,6 +259,7 @@ impl<M: ChatModel> Agent<M> {
             delay: state.netlist.as_ref().map(|n| n.delay),
             exec: state.exec.clone().unwrap_or_default(),
             llm: state.llm.clone().unwrap_or_default(),
+            store: state.store.unwrap_or_default(),
         }
     }
 }
@@ -306,12 +312,14 @@ impl EdaTool for GenerateRtl<'_> {
             Ok(r) if r.solved => {
                 state.exec = Some(r.exec);
                 state.llm = Some(r.llm);
+                state.store = Some(r.store);
                 state.rtl = Some(r.best_source);
                 StageStatus::Passed
             }
             Ok(r) => {
                 state.exec = Some(r.exec);
                 state.llm = Some(r.llm);
+                state.store = Some(r.store);
                 state.rtl = Some(r.best_source);
                 StageStatus::Failed(format!("best candidate scored {:.2}", r.best_score))
             }

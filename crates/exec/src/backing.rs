@@ -1,0 +1,358 @@
+//! Persistent key-value backing for caches — the seam `eda-store` plugs
+//! into.
+//!
+//! The eval cache ([`crate::EvalCache`]) and the LLM client keep their
+//! hot state in process memory; this module defines the *optional* disk
+//! layer underneath them. It deliberately holds only the interface — the
+//! [`KvBacking`] trait, the typed namespaces, the [`StoreStats`]
+//! counters, the [`CacheValue`] codec, and a process-global install slot
+//! — so that `eda-exec` stays dependency-free and `eda-store` (which
+//! depends on `eda-exec` for env parsing and hashing) can implement it
+//! without a crate cycle.
+//!
+//! **Semantic invisibility.** A backing is a pure cache: a `load` hit
+//! must return exactly the bytes a prior `store` of the same
+//! `(namespace, version, key)` wrote, or `None`. Every value cached
+//! through this seam is a deterministic function of its key material, so
+//! a flow run with a backing installed — cold, warm, or with a corrupted
+//! store underneath — produces results bit-identical to a run without
+//! one. `tests/store.rs` holds that property under fault injection.
+//!
+//! **Versioning.** `version` carries a content hash of the engine that
+//! computed the value (simulator, power model, LLM generator — see
+//! [`combine_versions`]). An implementation must never return bytes
+//! stored under a different version for the same key: after an engine
+//! change the old entries are stale and self-invalidate.
+
+use crate::env::{parse_bool_knob, EnvKnobError};
+use serde::Serialize;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Namespace tag for eval results: `(source hash, testbench hash,
+/// simulator version hash) → eval result`.
+pub const NS_EVAL: u8 = 0;
+/// Namespace tag for completions: `(model, prompt, temperature, seed) →
+/// completion`.
+pub const NS_COMPLETION: u8 = 1;
+
+/// Knob disabling the installed backing without uninstalling it
+/// (`EDA_STORE_ENABLE=0`); parsed once per lookup site construction.
+pub const STORE_ENABLE_ENV: &str = "EDA_STORE_ENABLE";
+
+/// Counter snapshot of a persistent store. All counters are sums of
+/// per-operation outcomes, so totals are order-independent; merged into
+/// flow reports next to `LlmReport`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct StoreStats {
+    /// Loads served from disk.
+    pub hits: u64,
+    /// Loads that found nothing usable.
+    pub misses: u64,
+    /// Entries written (after admission).
+    pub writes: u64,
+    /// Writes rejected by the admission policy (TinyLFU scan guard).
+    pub admission_rejects: u64,
+    /// Entries evicted to stay inside the size budget.
+    pub evictions: u64,
+    /// Entries dropped because their version hash was stale.
+    pub invalidations: u64,
+    /// Entries that failed checksum/shape validation and were
+    /// quarantined — detected, never served.
+    pub corruptions: u64,
+}
+
+impl StoreStats {
+    /// Adds `other`'s counters into `self` (cross-run aggregation).
+    pub fn merge(&mut self, other: &StoreStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.writes += other.writes;
+        self.admission_rejects += other.admission_rejects;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+        self.corruptions += other.corruptions;
+    }
+
+    /// Counters accrued since `base` was captured (per-run deltas on the
+    /// shared process-global store).
+    pub fn since(&self, base: &StoreStats) -> StoreStats {
+        StoreStats {
+            hits: self.hits.saturating_sub(base.hits),
+            misses: self.misses.saturating_sub(base.misses),
+            writes: self.writes.saturating_sub(base.writes),
+            admission_rejects: self.admission_rejects.saturating_sub(base.admission_rejects),
+            evictions: self.evictions.saturating_sub(base.evictions),
+            invalidations: self.invalidations.saturating_sub(base.invalidations),
+            corruptions: self.corruptions.saturating_sub(base.corruptions),
+        }
+    }
+
+    /// Total loads (hits + misses).
+    pub fn loads(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// A persistent content-addressed byte store. Implementations must be
+/// safe to share across threads and must satisfy the invisibility and
+/// versioning contracts in the module docs.
+pub trait KvBacking: Send + Sync {
+    /// Returns the payload stored under `(ns, version, key)`, or `None`
+    /// on miss, stale version, or detected corruption.
+    fn load(&self, ns: u8, version: u64, key: u64) -> Option<Vec<u8>>;
+    /// Stores `bytes` under `(ns, version, key)`. Best-effort: admission
+    /// policy or I/O failure may drop the write (the cache above simply
+    /// recomputes next time).
+    fn store(&self, ns: u8, version: u64, key: u64, bytes: &[u8]);
+    /// Counter snapshot.
+    fn stats(&self) -> StoreStats;
+}
+
+fn slot() -> &'static RwLock<Option<Arc<dyn KvBacking>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<dyn KvBacking>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Installs `kv` as the process-global backing. Caches and clients
+/// capture it **at construction** ([`crate::EvalCache::persistent`],
+/// the LLM client's `new`), so install before building the flow.
+/// Replaces any previous backing.
+pub fn install(kv: Arc<dyn KvBacking>) {
+    *slot().write().expect("backing slot poisoned") = Some(kv);
+}
+
+/// Removes the process-global backing (tests and benches; subsequent
+/// cache constructions run memory-only).
+pub fn uninstall() {
+    *slot().write().expect("backing slot poisoned") = None;
+}
+
+/// Whether a backing occupies the slot, regardless of
+/// `EDA_STORE_ENABLE`. Lets an env bootstrap avoid clobbering a
+/// manually installed store.
+pub fn is_installed() -> bool {
+    slot().read().expect("backing slot poisoned").is_some()
+}
+
+/// The currently installed backing, honoring `EDA_STORE_ENABLE=0`.
+///
+/// # Panics
+///
+/// On a malformed `EDA_STORE_ENABLE` value, naming the variable.
+pub fn installed() -> Option<Arc<dyn KvBacking>> {
+    match try_installed() {
+        Ok(kv) => kv,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`installed`].
+///
+/// # Errors
+///
+/// [`EnvKnobError`] when `EDA_STORE_ENABLE` is set to a non-boolean.
+pub fn try_installed() -> Result<Option<Arc<dyn KvBacking>>, EnvKnobError> {
+    if !parse_bool_knob(STORE_ENABLE_ENV)?.unwrap_or(true) {
+        return Ok(None);
+    }
+    Ok(slot().read().expect("backing slot poisoned").clone())
+}
+
+/// Stats of the installed backing, or zeros when none is installed.
+/// Flows snapshot this at entry and report the delta at exit.
+pub fn installed_stats() -> StoreStats {
+    slot()
+        .read()
+        .expect("backing slot poisoned")
+        .as_ref()
+        .map(|kv| kv.stats())
+        .unwrap_or_default()
+}
+
+/// Folds several engine content hashes into one version hash (e.g. the
+/// simulator plus the testbench generator for eval results). Order
+/// matters; empty input maps to a fixed non-zero constant.
+pub fn combine_versions(parts: &[u64]) -> u64 {
+    let mut k = crate::EvalKey::new().word(parts.len() as u64);
+    for &p in parts {
+        k = k.word(p);
+    }
+    k.finish()
+}
+
+// ---------------------------------------------------------------------------
+// CacheValue codec
+// ---------------------------------------------------------------------------
+
+/// Byte codec for values an [`crate::EvalCache`] persists. `decode` must
+/// be the exact inverse of `encode`; a `None` from `decode` (foreign or
+/// truncated bytes) degrades to a cache miss, never a wrong value.
+pub trait CacheValue: Sized {
+    fn encode(&self, out: &mut Vec<u8>);
+    fn decode(bytes: &[u8]) -> Option<Self>;
+}
+
+impl CacheValue for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        Some(u64::from_le_bytes(bytes.try_into().ok()?))
+    }
+}
+
+impl CacheValue for i64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        Some(i64::from_le_bytes(bytes.try_into().ok()?))
+    }
+}
+
+impl CacheValue for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        Some(f64::from_bits(u64::from_le_bytes(bytes.try_into().ok()?)))
+    }
+}
+
+impl CacheValue for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+impl CacheValue for (f64, String) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_bits().to_le_bytes());
+        out.extend_from_slice(self.1.as_bytes());
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let head: [u8; 8] = bytes.get(..8)?.try_into().ok()?;
+        let text = String::from_utf8(bytes[8..].to_vec()).ok()?;
+        Some((f64::from_bits(u64::from_le_bytes(head)), text))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+
+    /// In-memory backing used by the unit tests below.
+    #[derive(Default)]
+    struct MemBacking {
+        map: Mutex<HashMap<(u8, u64, u64), Vec<u8>>>,
+        stats: Mutex<StoreStats>,
+    }
+
+    impl KvBacking for MemBacking {
+        fn load(&self, ns: u8, version: u64, key: u64) -> Option<Vec<u8>> {
+            let got = self.map.lock().get(&(ns, version, key)).cloned();
+            let mut s = self.stats.lock();
+            match got {
+                Some(v) => {
+                    s.hits += 1;
+                    Some(v)
+                }
+                None => {
+                    s.misses += 1;
+                    None
+                }
+            }
+        }
+        fn store(&self, ns: u8, version: u64, key: u64, bytes: &[u8]) {
+            self.map.lock().insert((ns, version, key), bytes.to_vec());
+            self.stats.lock().writes += 1;
+        }
+        fn stats(&self) -> StoreStats {
+            *self.stats.lock()
+        }
+    }
+
+    #[test]
+    fn codec_roundtrips() {
+        fn rt<V: CacheValue + PartialEq + std::fmt::Debug>(v: V) {
+            let mut bytes = Vec::new();
+            v.encode(&mut bytes);
+            assert_eq!(V::decode(&bytes), Some(v));
+        }
+        rt(0u64);
+        rt(u64::MAX);
+        rt(-17i64);
+        rt(0.15625f64);
+        rt(-0.0f64);
+        rt(String::from("module m; endmodule"));
+        rt(String::new());
+        rt((0.875f64, String::from("feedback: mismatch at vector 3")));
+        rt((1.0f64, String::new()));
+    }
+
+    #[test]
+    fn codec_rejects_malformed_bytes() {
+        assert_eq!(u64::decode(&[1, 2, 3]), None);
+        assert_eq!(f64::decode(&[]), None);
+        assert_eq!(<(f64, String)>::decode(&[0; 4]), None);
+        assert_eq!(String::decode(&[0xff, 0xfe]), None, "invalid UTF-8 is a miss");
+    }
+
+    #[test]
+    fn eval_cache_writes_through_and_reloads() {
+        let kv = Arc::new(MemBacking::default());
+        let version = 7;
+        {
+            let cache: crate::EvalCache<(f64, String)> =
+                crate::EvalCache::with_backing(kv.clone(), version);
+            cache.insert(42, (0.5, "fb".into()));
+            assert_eq!(kv.stats().writes, 1);
+        }
+        // A fresh cache (new process run, same store) sees the entry.
+        let cache2: crate::EvalCache<(f64, String)> =
+            crate::EvalCache::with_backing(kv.clone(), version);
+        assert_eq!(cache2.lookup(42), Some((0.5, "fb".into())));
+        assert_eq!(cache2.hits(), 1, "a store hit counts as a cache hit");
+        // Different version: the store must not serve it.
+        let cache3: crate::EvalCache<(f64, String)> = crate::EvalCache::with_backing(kv, version + 1);
+        assert_eq!(cache3.lookup(42), None);
+    }
+
+    #[test]
+    fn install_uninstall_roundtrip() {
+        // Serialized with other global-slot users via the env-var-free
+        // nature of this test: it restores the empty slot on exit.
+        let kv: Arc<dyn KvBacking> = Arc::new(MemBacking::default());
+        install(kv);
+        assert!(installed().is_some());
+        assert_eq!(installed_stats(), StoreStats::default());
+        uninstall();
+        assert!(installed().is_none());
+        assert_eq!(installed_stats(), StoreStats::default());
+    }
+
+    #[test]
+    fn combine_versions_is_order_and_arity_sensitive() {
+        let a = combine_versions(&[1, 2]);
+        assert_ne!(a, combine_versions(&[2, 1]));
+        assert_ne!(a, combine_versions(&[1, 2, 0]));
+        assert_eq!(a, combine_versions(&[1, 2]));
+        assert_ne!(combine_versions(&[]), 0);
+    }
+
+    #[test]
+    fn stats_merge_and_since() {
+        let mut a = StoreStats { hits: 2, misses: 1, writes: 3, ..StoreStats::default() };
+        let b = StoreStats { hits: 1, corruptions: 4, ..StoreStats::default() };
+        a.merge(&b);
+        assert_eq!((a.hits, a.misses, a.writes, a.corruptions), (3, 1, 3, 4));
+        let d = a.since(&b);
+        assert_eq!((d.hits, d.corruptions), (2, 0));
+        assert_eq!(a.loads(), 4);
+    }
+}

@@ -37,9 +37,11 @@
 //! assert_eq!(cache.hits(), 1); // the duplicate "a" was never re-scored
 //! ```
 
+pub mod backing;
 pub mod clock;
 pub mod env;
 
+pub use backing::{combine_versions, CacheValue, KvBacking, StoreStats, NS_COMPLETION, NS_EVAL};
 pub use clock::{s_to_us, SharedClock, VirtualClock, US_PER_S};
 pub use env::{parse_bool_knob, parse_knob, parse_knob_in, EnvKnobError};
 
@@ -173,12 +175,32 @@ pub struct CacheStats {
 /// so keep them cheap (scores, small reports).
 ///
 /// Create one cache **per run** (not a global): counters then serialize
-/// deterministically into flow reports.
+/// deterministically into flow reports. [`EvalCache::persistent`] layers
+/// the process-global [`backing::KvBacking`] (when one is installed)
+/// underneath: misses fall through to disk and inserts write through, so
+/// a warm store turns re-runs' misses into hits without changing any
+/// value a flow observes.
 #[derive(Debug)]
 pub struct EvalCache<V> {
     shards: Vec<Mutex<HashMap<u64, V>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    backing: Option<BackingHooks<V>>,
+}
+
+/// Captured backing plus the value codec, bound at construction so the
+/// hot-path methods keep their `V: Clone`-only bounds.
+struct BackingHooks<V> {
+    kv: Arc<dyn KvBacking>,
+    version: u64,
+    enc: fn(&V) -> Vec<u8>,
+    dec: fn(&[u8]) -> Option<V>,
+}
+
+impl<V> std::fmt::Debug for BackingHooks<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackingHooks").field("version", &self.version).finish_non_exhaustive()
+    }
 }
 
 impl<V> Default for EvalCache<V> {
@@ -193,6 +215,7 @@ impl<V> EvalCache<V> {
             shards: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            backing: None,
         }
     }
 
@@ -219,10 +242,48 @@ impl<V> EvalCache<V> {
     pub fn stats(&self) -> CacheStats {
         CacheStats { hits: self.hits(), misses: self.misses(), entries: self.len() as u64 }
     }
+
+    /// Whether a persistent backing is attached.
+    pub fn is_persistent(&self) -> bool {
+        self.backing.is_some()
+    }
+}
+
+impl<V: CacheValue> EvalCache<V> {
+    /// Cache layered over the process-global persistent backing
+    /// ([`backing::install`]) under `version` — the content hash of the
+    /// engine producing the values (see [`combine_versions`]). When no
+    /// backing is installed (or `EDA_STORE_ENABLE=0`) this is exactly
+    /// [`EvalCache::new`].
+    pub fn persistent(version: u64) -> Self {
+        match backing::installed() {
+            Some(kv) => Self::with_backing(kv, version),
+            None => Self::new(),
+        }
+    }
+
+    /// Cache layered over an explicit backing (tests, custom stores).
+    pub fn with_backing(kv: Arc<dyn KvBacking>, version: u64) -> Self {
+        EvalCache {
+            backing: Some(BackingHooks {
+                kv,
+                version,
+                enc: |v| {
+                    let mut out = Vec::new();
+                    v.encode(&mut out);
+                    out
+                },
+                dec: V::decode,
+            }),
+            ..Self::new()
+        }
+    }
 }
 
 impl<V: Clone> EvalCache<V> {
-    /// Looks a key up, counting a hit or a miss.
+    /// Looks a key up, counting a hit or a miss. With a persistent
+    /// backing attached, a memory miss falls through to disk; a usable
+    /// entry there is promoted into memory and counts as a hit.
     pub fn lookup(&self, key: u64) -> Option<V> {
         let got = self.shard(key).lock().get(&key).cloned();
         match got {
@@ -231,14 +292,28 @@ impl<V: Clone> EvalCache<V> {
                 Some(v)
             }
             None => {
+                if let Some(v) = self.backing_load(key) {
+                    self.shard(key).lock().insert(key, v.clone());
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(v);
+                }
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
+    fn backing_load(&self, key: u64) -> Option<V> {
+        let b = self.backing.as_ref()?;
+        (b.dec)(&b.kv.load(NS_EVAL, b.version, key)?)
+    }
+
     /// Inserts without touching the counters (pair with [`lookup`](Self::lookup)).
+    /// Writes through to the persistent backing when one is attached.
     pub fn insert(&self, key: u64, value: V) {
+        if let Some(b) = &self.backing {
+            b.kv.store(NS_EVAL, b.version, key, &(b.enc)(&value));
+        }
         self.shard(key).lock().insert(key, value);
     }
 

@@ -284,6 +284,14 @@ impl ChatModel for SimulatedLlm {
     }
 }
 
+/// Content hash of this crate's sources (computed by `build.rs`).
+/// Persisted results keyed on it self-invalidate when the engine
+/// changes.
+pub fn content_hash() -> u64 {
+    // Emitted as decimal by build.rs; parsing cannot fail.
+    env!("EDA_CONTENT_HASH").parse().unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,10 +26,12 @@ use crate::transport::{
     HEDGE_ATTEMPT_SALT,
 };
 use crate::{ChatModel, ChatRequest, ChatResponse, ModelSpec, SimulatedLlm};
-use eda_exec::{s_to_us, EnvKnobError, SharedClock};
+use eda_exec::backing::{self, KvBacking, NS_COMPLETION};
+use eda_exec::{s_to_us, EnvKnobError, EvalKey, SharedClock};
 use serde::Serialize;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Overall fault rate injected into every flow's LLM traffic
 /// (`0.0`–`1.0`; unset means no faults). Mirrors `EDA_EXEC_THREADS`.
@@ -219,6 +221,10 @@ pub struct LlmReport {
     pub faults: FaultStats,
     /// Total virtual time billed (latency + backoff + error waits).
     pub virtual_time_us: u64,
+    /// Completions served from the persistent store (no transport I/O).
+    pub store_hits: u64,
+    /// Raw transport sends (attempts + hedges); shrinks on warm runs.
+    pub transport_sends: u64,
 }
 
 impl LlmReport {
@@ -237,6 +243,8 @@ impl LlmReport {
         self.degraded |= other.degraded;
         self.faults.merge(&other.faults);
         self.virtual_time_us += other.virtual_time_us;
+        self.store_hits += other.store_hits;
+        self.transport_sends += other.transport_sends;
     }
 
     /// Fold of [`merge`](Self::merge) over any iterator of reports.
@@ -266,12 +274,24 @@ pub struct ResilientClient<'a> {
     hedge_wins: AtomicU64,
     exhausted: AtomicU64,
     fallback_completions: AtomicU64,
+    store_hits: AtomicU64,
+    transport_sends: AtomicU64,
+    /// Persistent completion store: `(backing, llm engine version)`.
+    backing: Option<(Arc<dyn KvBacking>, u64)>,
 }
 
 impl<'a> ResilientClient<'a> {
     /// Builds the standard stack for `model`: a [`FaultyTransport`] when
     /// faults are configured (plus a fault-free cheaper-tier fallback),
-    /// or the bare [`DirectTransport`] when they are not.
+    /// or the bare [`DirectTransport`] when they are not. When a
+    /// persistent store is installed ([`eda_exec::backing::install`]),
+    /// completions are served from and written through to it, keyed on
+    /// `(model, prompt, temperature, sample index)` and versioned by
+    /// this crate's content hash.
+    ///
+    /// # Panics
+    ///
+    /// On a malformed `EDA_STORE_ENABLE` value.
     pub fn new(model: &'a dyn ChatModel, cfg: &ResilienceConfig) -> Self {
         let name = model.name().to_string();
         let primary: Box<dyn Transport + 'a> = if cfg.faults.any() {
@@ -284,7 +304,10 @@ impl<'a> ResilientClient<'a> {
                 let spec = ModelSpec::cheaper_tier(&name);
                 Box::new(DirectTransport::new(SimulatedLlm::new(spec))) as Box<dyn Transport + 'a>
             });
-        Self::from_parts(&name, primary, fallback, cfg.policy.clone())
+        let mut client = Self::from_parts(&name, primary, fallback, cfg.policy.clone());
+        eda_store::ensure_env_install();
+        client.backing = backing::installed().map(|kv| (kv, crate::content_hash()));
+        client
     }
 
     /// Fault-free direct client (identical outputs to the bare model).
@@ -311,7 +334,18 @@ impl<'a> ResilientClient<'a> {
             hedge_wins: AtomicU64::new(0),
             exhausted: AtomicU64::new(0),
             fallback_completions: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+            transport_sends: AtomicU64::new(0),
+            backing: None,
         }
+    }
+
+    /// Layers an explicit persistent store under this client (tests,
+    /// benches): completions are loaded from and written through to
+    /// `kv`'s completion namespace at engine `version`.
+    pub fn with_backing(mut self, kv: Arc<dyn KvBacking>, version: u64) -> Self {
+        self.backing = Some((kv, version));
+        self
     }
 
     /// The virtual clock accumulating this client's waits.
@@ -337,6 +371,8 @@ impl<'a> ResilientClient<'a> {
             degraded: fallback_completions > 0,
             faults: self.primary.fault_stats(),
             virtual_time_us: self.clock.micros(),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            transport_sends: self.transport_sends.load(Ordering::Relaxed),
         }
     }
 
@@ -370,6 +406,20 @@ impl<'a> ResilientClient<'a> {
     /// microseconds spent, after billing them to the client clock.
     fn run_costed(&self, request: &ChatRequest) -> (Result<ChatResponse, ClientError>, u64) {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        // Persistent fast path: an intact stored completion is served
+        // with its original virtual cost billed identically, so warm
+        // runs stay bit-identical to cold ones (including the clock)
+        // while skipping the transport entirely.
+        let store_key = self.backing.as_ref().map(|_| completion_key(&self.name, request));
+        if let (Some((kv, version)), Some(key)) = (&self.backing, store_key) {
+            if let Some((cost_us, text)) =
+                kv.load(NS_COMPLETION, *version, key).as_deref().and_then(decode_completion)
+            {
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                self.clock.advance_us(cost_us);
+                return (Ok(ChatResponse { text }), cost_us);
+            }
+        }
         let req_hash = hash_request(request);
         let deadline_us = s_to_us(self.policy.request_deadline_s);
         let attempts = self.policy.max_retries + 1;
@@ -402,12 +452,20 @@ impl<'a> ResilientClient<'a> {
             } else {
                 self.primary.as_ref()
             };
+            self.transport_sends.fetch_add(1, Ordering::Relaxed);
             match transport.send(request, attempt) {
                 Ok(reply) => {
                     let (latency_us, text) = self.maybe_hedge(transport, request, attempt, reply);
                     spent_us += latency_us;
                     if degraded {
                         self.fallback_completions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Write through the completion with its full cost
+                    // (backoffs included) so a warm hit bills the same
+                    // virtual time this cold completion did. Failures
+                    // are never stored.
+                    if let (Some((kv, version)), Some(key)) = (&self.backing, store_key) {
+                        kv.store(NS_COMPLETION, *version, key, &encode_completion(spent_us, &text));
                     }
                     self.clock.advance_us(spent_us);
                     return (Ok(ChatResponse { text }), spent_us);
@@ -449,6 +507,7 @@ impl<'a> ResilientClient<'a> {
             return (reply.latency_us, reply.text);
         }
         self.hedges.fetch_add(1, Ordering::Relaxed);
+        self.transport_sends.fetch_add(1, Ordering::Relaxed);
         match transport.send(request, attempt | HEDGE_ATTEMPT_SALT) {
             Ok(hedge) => {
                 // The hedge starts hedge_at_us in; it wins if it still
@@ -481,6 +540,33 @@ impl ChatModel for ResilientClient<'_> {
             Err(e) => ChatResponse { text: format!("// llm-transport-error: {e}\n") },
         }
     }
+}
+
+/// Persistent-store key for a completion. Unlike [`hash_request`] (a
+/// per-client jitter/coalescing key) it folds in the *model name*: the
+/// store outlives the process and is shared across flows, so two models
+/// given the same prompt must never collide.
+pub fn completion_key(model: &str, request: &ChatRequest) -> u64 {
+    EvalKey::new()
+        .text(model)
+        .text(&request.prompt)
+        .word(request.temperature.to_bits())
+        .word(request.sample_index as u64)
+        .finish()
+}
+
+/// Stored completion payload: 8-byte LE virtual cost, then UTF-8 text.
+fn encode_completion(cost_us: u64, text: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + text.len());
+    out.extend_from_slice(&cost_us.to_le_bytes());
+    out.extend_from_slice(text.as_bytes());
+    out
+}
+
+fn decode_completion(bytes: &[u8]) -> Option<(u64, String)> {
+    let cost = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?);
+    let text = std::str::from_utf8(&bytes[8..]).ok()?;
+    Some((cost, text.to_string()))
 }
 
 /// FNV-1a over the request identity (jitter seed material; also the
@@ -750,6 +836,89 @@ mod tests {
         assert_eq!(ModelSpec::cheaper_tier("sim-coder-34b").name, "sim-basic-3.5");
         assert_eq!(ModelSpec::cheaper_tier("sim-cl34b-ft").name, "sim-cl34b-raw");
         assert_eq!(ModelSpec::cheaper_tier("anything-else").name, "sim-basic-3.5");
+    }
+
+    /// In-memory [`KvBacking`] for store-path tests.
+    #[derive(Default)]
+    struct MemBacking {
+        map: std::sync::Mutex<std::collections::HashMap<(u8, u64, u64), Vec<u8>>>,
+    }
+
+    impl KvBacking for MemBacking {
+        fn load(&self, ns: u8, version: u64, key: u64) -> Option<Vec<u8>> {
+            self.map.lock().unwrap().get(&(ns, version, key)).cloned()
+        }
+        fn store(&self, ns: u8, version: u64, key: u64, bytes: &[u8]) {
+            self.map.lock().unwrap().insert((ns, version, key), bytes.to_vec());
+        }
+        fn stats(&self) -> backing::StoreStats {
+            backing::StoreStats::default()
+        }
+    }
+
+    #[test]
+    fn store_hit_skips_transport_and_bills_identical_cost() {
+        let kv = Arc::new(MemBacking::default());
+        let t = AlwaysOk { text: "stored-me", latency_us: 800_000, calls: AtomicU64::new(0) };
+        let client = ResilientClient::from_parts("m", Box::new(t), None, no_jitter_policy())
+            .with_backing(kv.clone(), 1);
+        let (cold, cold_cost) = client.complete_costed(&req("p", 0));
+        let (warm, warm_cost) = client.complete_costed(&req("p", 0));
+        assert_eq!(cold, warm, "warm completion must be byte-identical");
+        assert_eq!(cold_cost, warm_cost, "warm hit bills the original cost");
+        let r = client.report();
+        assert_eq!((r.requests, r.store_hits, r.transport_sends), (2, 1, 1));
+        assert_eq!(r.virtual_time_us, cold_cost * 2);
+
+        // A second client (fresh process) over the same store is warm
+        // from its first request.
+        let t2 = AlwaysOk { text: "never-seen", latency_us: 1, calls: AtomicU64::new(0) };
+        let client2 = ResilientClient::from_parts("m", Box::new(t2), None, no_jitter_policy())
+            .with_backing(kv.clone(), 1);
+        assert_eq!(client2.complete(&req("p", 0)).text, "stored-me");
+        assert_eq!(client2.report().transport_sends, 0);
+
+        // A different model name must not collide on the same prompt.
+        let t3 = AlwaysOk { text: "other-model", latency_us: 1, calls: AtomicU64::new(0) };
+        let client3 = ResilientClient::from_parts("m2", Box::new(t3), None, no_jitter_policy())
+            .with_backing(kv.clone(), 1);
+        assert_eq!(client3.complete(&req("p", 0)).text, "other-model");
+
+        // An engine-version bump makes the store cold again.
+        let t4 = AlwaysOk { text: "new-engine", latency_us: 1, calls: AtomicU64::new(0) };
+        let client4 = ResilientClient::from_parts("m", Box::new(t4), None, no_jitter_policy())
+            .with_backing(kv, 2);
+        assert_eq!(client4.complete(&req("p", 0)).text, "new-engine");
+    }
+
+    #[test]
+    fn failures_are_never_stored() {
+        let kv = Arc::new(MemBacking::default());
+        let t = fail_n(u32::MAX, TransportError::Server { code: 500 });
+        let client = ResilientClient::from_parts("f", Box::new(t), None, no_jitter_policy())
+            .with_backing(kv.clone(), 1);
+        assert!(client.try_complete(&req("p", 0)).is_err());
+        assert!(kv.map.lock().unwrap().is_empty(), "exhausted requests must not be cached");
+        let r = client.report();
+        assert_eq!((r.store_hits, r.transport_sends), (0, 5));
+        // The request succeeds later (transient outage over) and only
+        // then is it stored.
+        let t2 = fail_n(0, TransportError::Server { code: 500 });
+        let client2 = ResilientClient::from_parts("f", Box::new(t2), None, no_jitter_policy())
+            .with_backing(kv.clone(), 1);
+        assert_eq!(client2.complete(&req("p", 0)).text, "primary-ok");
+        assert_eq!(kv.map.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn completion_payload_roundtrips() {
+        let enc = encode_completion(123_456, "text π ✓");
+        assert_eq!(decode_completion(&enc), Some((123_456, "text π ✓".to_string())));
+        assert_eq!(decode_completion(&enc[..4]), None, "short payloads are rejected");
+        // Key folds the model name in (unlike hash_request).
+        let r = req("same", 0);
+        assert_ne!(completion_key("a", &r), completion_key("b", &r));
+        assert_eq!(completion_key("a", &r), completion_key("a", &r));
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub use levenshtein::{levenshtein, normalized_distance};
 pub use pool::{CandidatePool, PoolEntry};
 pub use virtual_clock::VirtualClock;
 
-use eda_exec::{CancelToken, Engine, EvalCache, EvalKey, ExecReport};
+use eda_exec::{backing, CancelToken, Engine, EvalCache, EvalKey, ExecReport, StoreStats};
 use eda_llm::{prompts, ChatModel, ChatRequest, LlmReport, ResilienceConfig, ResilientClient};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -100,6 +100,8 @@ pub struct SltRun {
     /// LLM transport counters (requests, retries, injected faults,
     /// degraded completions, virtual time).
     pub llm: LlmReport,
+    /// Persistent-store counters for this run (zeros without a store).
+    pub store: StoreStats,
 }
 
 /// Handwritten seed programs ("initially, we provide a handwritten set of
@@ -152,6 +154,13 @@ pub fn score_snippet(code: &str) -> f64 {
         .unwrap_or(0.0)
 }
 
+/// Engine version for persisted power measurements: the RISC-V power
+/// model plus the C-subset interpreter it executes snippets on. Editing
+/// either crate self-invalidates stale store entries.
+fn eval_version() -> u64 {
+    eda_exec::combine_versions(&[eda_riscv::content_hash(), eda_cmini::content_hash()])
+}
+
 /// Cache key for one snippet's power measurement (the measurement is a
 /// pure function of the source).
 fn snippet_key(code: &str) -> u64 {
@@ -174,8 +183,12 @@ pub fn run_slt_llm_with(model: &dyn ChatModel, cfg: &SltConfig, engine: &Engine)
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x517_600d);
     let mut clock = VirtualClock::new();
     let budget = cfg.virtual_hours * 3600.0;
-    let cache: EvalCache<f64> = EvalCache::new();
+    // Persistent when a store is installed: re-generated snippets are
+    // never re-measured, even across processes.
+    eda_store::ensure_env_install();
+    let cache: EvalCache<f64> = EvalCache::persistent(eval_version());
     let exec_base = engine.report();
+    let store_base = backing::installed_stats();
     let client = ResilientClient::new(model, &cfg.resilience);
 
     let mut pool = CandidatePool::new(cfg.pool_capacity);
@@ -269,6 +282,7 @@ pub fn run_slt_llm_with(model: &dyn ChatModel, cfg: &SltConfig, engine: &Engine)
         pool_best: pool.best().map(|e| e.score).unwrap_or(0.0),
         exec: ExecReport::since(engine, &cache, &exec_base),
         llm: client.report(),
+        store: backing::installed_stats().since(&store_base),
     }
 }
 

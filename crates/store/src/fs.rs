@@ -1,0 +1,362 @@
+//! Filesystem seam + seed-driven fault injection.
+//!
+//! [`Store`](crate::Store) performs every disk operation through the
+//! [`StoreFs`] trait so the crash/corruption test suite can swap the
+//! real filesystem for [`FaultyFs`] — the disk-side analogue of
+//! `eda_llm`'s `FaultyTransport`. Faults are a pure function of
+//! `(seed, operation index)`: a given configuration tears, flips, or
+//! crashes at exactly the same operations on every run, which is what
+//! lets `tests/store.rs` replay a crash at *every* write point and
+//! assert recovery after each one.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// The filesystem operations a [`crate::Store`] needs. Implementations
+/// must be shareable across threads.
+pub trait StoreFs: Send + Sync {
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Writes a whole file (create or truncate).
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Atomically renames `from` onto `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// Creates a directory and its parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Lists the *files* directly inside `dir`, sorted by name so scan
+    /// order (and therefore recovery order) is deterministic.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+}
+
+/// The real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+impl StoreFs for RealFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+/// Fault plan for [`FaultyFs`]. Probabilities are per *write* operation;
+/// the crash point is an absolute operation index over writes and
+/// renames combined.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FsFaultConfig {
+    /// Probability a write silently persists only a prefix (torn write:
+    /// the caller sees success, the entry is damaged on disk).
+    pub torn_write_p: f64,
+    /// Probability a write silently persists with flipped bits.
+    pub bit_flip_p: f64,
+    /// Crash at this (0-based) mutating-operation index: a write is cut
+    /// short mid-file, a rename never happens — and every operation
+    /// after it fails, as if the process died and the disk went away.
+    pub crash_after_ops: Option<u64>,
+    /// Determinism seed for all draws.
+    pub seed: u64,
+}
+
+impl FsFaultConfig {
+    /// No faults (behaves exactly like the wrapped filesystem).
+    pub fn none() -> Self {
+        FsFaultConfig { torn_write_p: 0.0, bit_flip_p: 0.0, crash_after_ops: None, seed: 0 }
+    }
+
+    /// Silent-corruption plan: tear or flip writes at `rate` each.
+    pub fn corrupting(rate: f64, seed: u64) -> Self {
+        FsFaultConfig { torn_write_p: rate, bit_flip_p: rate, crash_after_ops: None, seed }
+    }
+
+    /// Crash-only plan: die at mutating operation `op`.
+    pub fn crash_at(op: u64, seed: u64) -> Self {
+        FsFaultConfig { crash_after_ops: Some(op), ..Self::none() }.with_seed(seed)
+    }
+
+    fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Injected-fault counters (what the shim actually did).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsFaultStats {
+    pub torn_writes: u64,
+    pub flipped_writes: u64,
+    /// Whether the crash point was reached (all later operations fail).
+    pub crashed: bool,
+}
+
+/// Deterministic fault-injecting wrapper around another [`StoreFs`].
+pub struct FaultyFs<F> {
+    inner: F,
+    cfg: FsFaultConfig,
+    /// Mutating operations seen so far (writes + renames + removes).
+    ops: AtomicU64,
+    /// Write operations seen so far (indexes the per-write draws).
+    writes: AtomicU64,
+    dead: AtomicBool,
+    torn: AtomicU64,
+    flipped: AtomicU64,
+}
+
+impl<F: StoreFs> FaultyFs<F> {
+    pub fn new(inner: F, cfg: FsFaultConfig) -> Self {
+        FaultyFs {
+            inner,
+            cfg,
+            ops: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            dead: AtomicBool::new(false),
+            torn: AtomicU64::new(0),
+            flipped: AtomicU64::new(0),
+        }
+    }
+
+    pub fn stats(&self) -> FsFaultStats {
+        FsFaultStats {
+            torn_writes: self.torn.load(Ordering::Relaxed),
+            flipped_writes: self.flipped.load(Ordering::Relaxed),
+            crashed: self.dead.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total mutating operations performed so far. The crash-recovery
+    /// harness sweeps `crash_after_ops` over `0..ops_after_clean_run`.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    fn dead_err() -> io::Error {
+        io::Error::new(io::ErrorKind::BrokenPipe, "injected crash: store filesystem is gone")
+    }
+
+    fn check_alive(&self) -> io::Result<()> {
+        if self.dead.load(Ordering::Relaxed) {
+            Err(Self::dead_err())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Claims the next mutating-op index. `Err(true)` means this very
+    /// operation is the crash point (the caller performs its partial
+    /// effect, then dies); `Err(false)` means the fs was already dead.
+    fn next_op(&self) -> Result<u64, bool> {
+        if self.dead.load(Ordering::Relaxed) {
+            return Err(false);
+        }
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        if Some(op) == self.cfg.crash_after_ops {
+            self.dead.store(true, Ordering::Relaxed);
+            return Err(true);
+        }
+        Ok(op)
+    }
+
+    /// Unit-interval draw, pure in `(seed, write index, salt)`.
+    fn draw(&self, write_index: u64, salt: u64) -> f64 {
+        let mut z = self
+            .cfg
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(write_index)
+            .wrapping_add(salt.wrapping_mul(0x6a09_e667_f3bc_c909));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<F: StoreFs> StoreFs for FaultyFs<F> {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.check_alive()?;
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let write_index = self.writes.fetch_add(1, Ordering::Relaxed);
+        match self.next_op() {
+            Err(true) => {
+                // Crash mid-write: a deterministic prefix reaches disk,
+                // then the world ends.
+                let cut = (bytes.len() as f64 * self.draw(write_index, 2)) as usize;
+                let _ = self.inner.write(path, &bytes[..cut.min(bytes.len())]);
+                return Err(Self::dead_err());
+            }
+            Err(false) => return Err(Self::dead_err()),
+            Ok(_) => {}
+        }
+        if self.draw(write_index, 0) < self.cfg.torn_write_p {
+            // Torn write: success reported, prefix persisted.
+            self.torn.fetch_add(1, Ordering::Relaxed);
+            let cut = (bytes.len() as f64 * self.draw(write_index, 3)) as usize;
+            return self.inner.write(path, &bytes[..cut.min(bytes.len())]);
+        }
+        if self.draw(write_index, 1) < self.cfg.bit_flip_p {
+            // Silent bit rot: success reported, a few bits flipped.
+            self.flipped.fetch_add(1, Ordering::Relaxed);
+            let mut garbled = bytes.to_vec();
+            if !garbled.is_empty() {
+                for k in 0..3u64 {
+                    let pos =
+                        (self.draw(write_index, 4 + k) * garbled.len() as f64) as usize;
+                    let pos = pos.min(garbled.len() - 1);
+                    garbled[pos] ^= 1 << (k % 8);
+                }
+            }
+            return self.inner.write(path, &garbled);
+        }
+        self.inner.write(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        // Crash at a rename point: the temp file stays, the entry never
+        // appears — exactly the tmp+rename atomicity contract.
+        self.next_op().map_err(|_| Self::dead_err())?;
+        self.inner.rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.next_op().map_err(|_| Self::dead_err())?;
+        self.inner.remove(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.check_alive()?;
+        self.inner.create_dir_all(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.check_alive()?;
+        self.inner.list(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "eda-store-fs-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn real_fs_roundtrip_and_sorted_listing() {
+        let dir = tmp_dir("real");
+        let fs = RealFs;
+        fs.write(&dir.join("b.ent"), b"bb").unwrap();
+        fs.write(&dir.join("a.ent"), b"aa").unwrap();
+        assert_eq!(fs.read(&dir.join("a.ent")).unwrap(), b"aa");
+        let names: Vec<String> = fs
+            .list(&dir)
+            .unwrap()
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["a.ent", "b.ent"]);
+        fs.rename(&dir.join("a.ent"), &dir.join("c.ent")).unwrap();
+        assert!(fs.read(&dir.join("a.ent")).is_err());
+        assert_eq!(fs.read(&dir.join("c.ent")).unwrap(), b"aa");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_writes_persist_a_prefix_and_report_success() {
+        let dir = tmp_dir("torn");
+        let fs = FaultyFs::new(
+            RealFs,
+            FsFaultConfig { torn_write_p: 1.0, ..FsFaultConfig::none() },
+        );
+        fs.write(&dir.join("x"), &[7u8; 100]).unwrap();
+        let on_disk = RealFs.read(&dir.join("x")).unwrap();
+        assert!(on_disk.len() < 100, "must be torn: {}", on_disk.len());
+        assert_eq!(fs.stats().torn_writes, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flips_change_bytes_not_length() {
+        let dir = tmp_dir("flip");
+        let fs = FaultyFs::new(
+            RealFs,
+            FsFaultConfig { bit_flip_p: 1.0, ..FsFaultConfig::none() },
+        );
+        let payload = vec![0u8; 64];
+        fs.write(&dir.join("x"), &payload).unwrap();
+        let on_disk = RealFs.read(&dir.join("x")).unwrap();
+        assert_eq!(on_disk.len(), 64);
+        assert_ne!(on_disk, payload, "bits must have flipped");
+        assert_eq!(fs.stats().flipped_writes, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_point_kills_everything_after_it() {
+        let dir = tmp_dir("crash");
+        let fs = FaultyFs::new(RealFs, FsFaultConfig::crash_at(1, 9));
+        fs.write(&dir.join("a"), b"aaaa").unwrap(); // op 0: fine
+        let err = fs.write(&dir.join("b"), b"bbbb").unwrap_err(); // op 1: crash
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert!(fs.stats().crashed);
+        // Dead forever: reads and writes all fail now.
+        assert!(fs.read(&dir.join("a")).is_err());
+        assert!(fs.write(&dir.join("c"), b"c").is_err());
+        assert!(fs.list(&dir).is_err());
+        // The crashed write left at most a prefix behind.
+        let b = RealFs.read(&dir.join("b")).unwrap_or_default();
+        assert!(b.len() < 4, "crashed write persisted {} bytes", b.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faults_are_deterministic_per_seed() {
+        let plan = FsFaultConfig { torn_write_p: 0.5, bit_flip_p: 0.3, ..FsFaultConfig::none() };
+        let run = |seed: u64| {
+            let dir = tmp_dir(&format!("det{seed}"));
+            let fs = FaultyFs::new(RealFs, FsFaultConfig { seed, ..plan.clone() });
+            for i in 0..20 {
+                let _ = fs.write(&dir.join(format!("f{i}")), &[i as u8; 32]);
+            }
+            let s = fs.stats();
+            let _ = std::fs::remove_dir_all(&dir);
+            (s.torn_writes, s.flipped_writes)
+        };
+        assert_eq!(run(5), run(5), "same seed, same faults");
+        assert_ne!(run(5), run(77), "different seeds should differ on 20 draws");
+    }
+}

@@ -1,0 +1,855 @@
+//! # eda-store — persistent content-addressed result store
+//!
+//! The eval cache (`eda_exec::EvalCache`) and the LLM coalescing layer
+//! are per-process: every fresh run re-pays full simulation and
+//! transport cost. This crate is the disk layer underneath them — a
+//! content-addressed store with two typed namespaces:
+//!
+//! * `NS_EVAL` — `(source hash, testbench hash, simulator version hash)
+//!   → eval result`
+//! * `NS_COMPLETION` — `(model, prompt, temperature, seed) → completion`
+//!
+//! and the properties a cache must have to be *safe*:
+//!
+//! * **Atomic writes** — every entry is written to a temp file and
+//!   renamed into place; a crash leaves either the old state or the new
+//!   one, never a half-entry under the final name.
+//! * **Checksummed entries** — each entry carries an FNV-1a checksum
+//!   plus its own `(namespace, version, key)` header; torn or
+//!   bit-flipped entries are detected on read, quarantined under
+//!   `quarantine/`, and recomputed — never served.
+//! * **Version self-invalidation** — entries are keyed on the content
+//!   hash of the engine that produced them (simulator, power model, LLM
+//!   generator); after an engine change the old entries are stale and
+//!   are dropped on first touch.
+//! * **Size-bounded eviction** — `EDA_STORE_MAX_BYTES` caps the store;
+//!   [`EvictionPolicy::Lru`] evicts least-recently-used,
+//!   [`EvictionPolicy::TinyLfu`] additionally gates admission on a
+//!   frequency sketch so one-shot scans cannot flush the hot set.
+//!
+//! The store implements [`eda_exec::KvBacking`]; [`init_from_env`]
+//! opens it from the `EDA_STORE_DIR` / `EDA_STORE_MAX_BYTES` /
+//! `EDA_STORE_POLICY` knobs and installs it process-globally, after
+//! which every flow's caches and LLM clients pick it up transparently.
+//! `tests/store.rs` holds the headline property: any flow run with the
+//! store on, off, cold, warm, or corrupted produces identical results.
+
+pub mod fs;
+pub mod policy;
+
+pub use fs::{FaultyFs, FsFaultConfig, FsFaultStats, RealFs, StoreFs};
+pub use policy::{EvictionPolicy, FreqSketch};
+
+use eda_exec::backing::{self, KvBacking, StoreStats, NS_COMPLETION, NS_EVAL};
+use eda_exec::{EnvKnobError, EvalKey};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Directory knob; unset means "no persistent store".
+pub const DIR_ENV: &str = "EDA_STORE_DIR";
+/// Size budget knob in bytes; `0` means unbounded.
+pub const MAX_BYTES_ENV: &str = "EDA_STORE_MAX_BYTES";
+/// Eviction policy knob: `lru` (default) or `tinylfu`.
+pub const POLICY_ENV: &str = "EDA_STORE_POLICY";
+
+/// Default size budget when `EDA_STORE_MAX_BYTES` is unset: 256 MiB.
+pub const DEFAULT_MAX_BYTES: u64 = 256 * 1024 * 1024;
+
+const MAGIC: &[u8; 4] = b"EDAS";
+const FORMAT: u32 = 1;
+/// magic + format + ns + version + key + payload_len + checksum.
+pub const HEADER_LEN: usize = 4 + 4 + 1 + 8 + 8 + 8 + 8;
+
+// ---------------------------------------------------------------------------
+// Entry format
+// ---------------------------------------------------------------------------
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Serializes one entry: header, checksum, payload. The checksum covers
+/// the header-without-checksum and the payload, so damage anywhere in
+/// the file is detected.
+fn encode_entry(ns: u8, version: u64, key: u64, payload: &[u8]) -> Vec<u8> {
+    let mut head = Vec::with_capacity(HEADER_LEN + payload.len());
+    head.extend_from_slice(MAGIC);
+    head.extend_from_slice(&FORMAT.to_le_bytes());
+    head.push(ns);
+    head.extend_from_slice(&version.to_le_bytes());
+    head.extend_from_slice(&key.to_le_bytes());
+    head.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    let mut sum = fnv1a(&head);
+    sum = sum ^ fnv1a(payload) ^ (payload.len() as u64);
+    head.extend_from_slice(&sum.to_le_bytes());
+    head.extend_from_slice(payload);
+    head
+}
+
+/// Parses and validates an entry; `None` for anything torn, flipped,
+/// truncated, or foreign.
+fn decode_entry(bytes: &[u8]) -> Option<(u8, u64, u64, Vec<u8>)> {
+    if bytes.len() < HEADER_LEN || &bytes[..4] != MAGIC {
+        return None;
+    }
+    let format = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
+    if format != FORMAT {
+        return None;
+    }
+    let ns = bytes[8];
+    let version = u64::from_le_bytes(bytes[9..17].try_into().ok()?);
+    let key = u64::from_le_bytes(bytes[17..25].try_into().ok()?);
+    let payload_len = u64::from_le_bytes(bytes[25..33].try_into().ok()?) as usize;
+    let checksum = u64::from_le_bytes(bytes[33..41].try_into().ok()?);
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() != payload_len {
+        return None;
+    }
+    let mut sum = fnv1a(&bytes[..HEADER_LEN - 8]);
+    sum = sum ^ fnv1a(payload) ^ (payload_len as u64);
+    if sum != checksum {
+        return None;
+    }
+    Some((ns, version, key, payload.to_vec()))
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// Store configuration (directory, budget, policy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreConfig {
+    pub dir: PathBuf,
+    /// Size budget in bytes over full entry sizes; `0` means unbounded.
+    pub max_bytes: u64,
+    pub policy: EvictionPolicy,
+}
+
+impl StoreConfig {
+    /// Unbounded LRU store rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        StoreConfig { dir: dir.into(), max_bytes: 0, policy: EvictionPolicy::Lru }
+    }
+
+    /// Reads `EDA_STORE_DIR` / `EDA_STORE_MAX_BYTES` / `EDA_STORE_POLICY`.
+    /// An unset `EDA_STORE_DIR` means "no store" (`Ok(None)`); the other
+    /// knobs default to 256 MiB and LRU.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvKnobError`] naming the variable on a malformed budget or an
+    /// unknown policy.
+    pub fn try_from_env() -> Result<Option<Self>, EnvKnobError> {
+        let Some(dir) = eda_exec::parse_knob::<String>(DIR_ENV)? else {
+            return Ok(None);
+        };
+        let max_bytes =
+            eda_exec::parse_knob::<u64>(MAX_BYTES_ENV)?.unwrap_or(DEFAULT_MAX_BYTES);
+        let policy = match eda_exec::parse_knob::<String>(POLICY_ENV)? {
+            None => EvictionPolicy::default(),
+            Some(raw) => raw.parse().map_err(|reason| EnvKnobError {
+                var: POLICY_ENV.to_string(),
+                value: raw.clone(),
+                reason,
+            })?,
+        };
+        Ok(Some(StoreConfig { dir: PathBuf::from(dir), max_bytes, policy }))
+    }
+}
+
+/// Store construction/initialization failure.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A malformed `EDA_STORE_*` knob.
+    Env(EnvKnobError),
+    /// The store directory could not be prepared.
+    Io { path: PathBuf, source: std::io::Error },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Env(e) => write!(f, "{e}"),
+            StoreError::Io { path, source } => {
+                write!(f, "store I/O failure at {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<EnvKnobError> for StoreError {
+    fn from(e: EnvKnobError) -> Self {
+        StoreError::Env(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Store
+// ---------------------------------------------------------------------------
+
+/// What [`Store::open`] found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpenReport {
+    /// Intact entries indexed.
+    pub loaded: u64,
+    /// Their total size in bytes.
+    pub loaded_bytes: u64,
+    /// Damaged entries moved to `quarantine/` (reported, never served).
+    pub quarantined: u64,
+    /// Stray temp files from interrupted writes, removed.
+    pub removed_tmp: u64,
+    /// Entries evicted because the on-disk set exceeded the budget.
+    pub evicted: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Meta {
+    size: u64,
+    seq: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<(u8, u64), Meta>,
+    /// Recency order: sequence number → entry key. Lowest sequence is
+    /// the least recently used.
+    recency: BTreeMap<u64, (u8, u64)>,
+    bytes: u64,
+    next_seq: u64,
+    sketch: FreqSketch,
+    stats: StoreStats,
+    io_errors: u64,
+    quarantine_counter: u64,
+}
+
+/// The persistent store. Implements [`KvBacking`], so installing it via
+/// [`eda_exec::backing::install`] layers it under every subsequently
+/// constructed eval cache and LLM client.
+pub struct Store {
+    cfg: StoreConfig,
+    fs: Arc<dyn StoreFs>,
+    inner: Mutex<Inner>,
+}
+
+fn ns_dir_name(ns: u8) -> &'static str {
+    match ns {
+        NS_EVAL => "eval",
+        NS_COMPLETION => "llm",
+        _ => "other",
+    }
+}
+
+fn pair_hash(ns: u8, key: u64) -> u64 {
+    EvalKey::new().word(ns as u64).word(key).finish()
+}
+
+impl Store {
+    /// Opens (creating if needed) the store on the real filesystem,
+    /// scanning existing entries: intact ones are indexed in
+    /// deterministic (name-sorted) order, damaged ones are quarantined,
+    /// stray temp files are removed, and the set is evicted down to the
+    /// budget if a smaller `max_bytes` shrank it.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory tree cannot be prepared or
+    /// listed. Individual damaged entries are *not* errors — they are
+    /// quarantined and counted.
+    pub fn open(cfg: StoreConfig) -> Result<(Self, OpenReport), StoreError> {
+        Self::open_with_fs(cfg, Arc::new(RealFs))
+    }
+
+    /// [`Store::open`] over an explicit filesystem (fault injection).
+    pub fn open_with_fs(
+        cfg: StoreConfig,
+        fs: Arc<dyn StoreFs>,
+    ) -> Result<(Self, OpenReport), StoreError> {
+        for sub in [ns_dir_name(NS_EVAL), ns_dir_name(NS_COMPLETION), "quarantine"] {
+            let path = cfg.dir.join(sub);
+            fs.create_dir_all(&path).map_err(|source| StoreError::Io { path, source })?;
+        }
+        let store = Store { cfg, fs, inner: Mutex::new(Inner::default()) };
+        let report = store.scan()?;
+        Ok((store, report))
+    }
+
+    fn ns_dir(&self, ns: u8) -> PathBuf {
+        self.cfg.dir.join(ns_dir_name(ns))
+    }
+
+    fn entry_path(&self, ns: u8, key: u64) -> PathBuf {
+        self.ns_dir(ns).join(format!("{key:016x}.ent"))
+    }
+
+    fn scan(&self) -> Result<OpenReport, StoreError> {
+        let mut report = OpenReport::default();
+        let mut inner = self.inner.lock();
+        for ns in [NS_EVAL, NS_COMPLETION] {
+            let dir = self.ns_dir(ns);
+            let files = self
+                .fs
+                .list(&dir)
+                .map_err(|source| StoreError::Io { path: dir.clone(), source })?;
+            for path in files {
+                let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+                let Some(name) = name else { continue };
+                if !name.ends_with(".ent") {
+                    // Stray temp file from an interrupted write: the
+                    // rename never happened, so it was never promised.
+                    let _ = self.fs.remove(&path);
+                    report.removed_tmp += 1;
+                    continue;
+                }
+                let expected_key = u64::from_str_radix(name.trim_end_matches(".ent"), 16).ok();
+                let decoded = self.fs.read(&path).ok().and_then(|bytes| {
+                    let size = bytes.len() as u64;
+                    decode_entry(&bytes).map(|d| (d, size))
+                });
+                match decoded {
+                    Some(((e_ns, _version, e_key, _payload), size))
+                        if e_ns == ns && Some(e_key) == expected_key =>
+                    {
+                        let seq = inner.next_seq;
+                        inner.next_seq += 1;
+                        inner.entries.insert((ns, e_key), Meta { size, seq });
+                        inner.recency.insert(seq, (ns, e_key));
+                        inner.bytes += size;
+                        report.loaded += 1;
+                        report.loaded_bytes += size;
+                    }
+                    _ => {
+                        // Torn, flipped, foreign, or misnamed: detected,
+                        // quarantined, never indexed — so never served.
+                        Self::quarantine_file(&*self.fs, &self.cfg.dir, &mut inner, &path);
+                        report.quarantined += 1;
+                    }
+                }
+            }
+        }
+        // A shrunken budget evicts oldest-scanned first.
+        report.evicted = Self::evict_to_budget(&*self.fs, &self.cfg, &mut inner, 0);
+        Ok(report)
+    }
+
+    fn quarantine_file(fs: &dyn StoreFs, root: &Path, inner: &mut Inner, path: &Path) {
+        inner.stats.corruptions += 1;
+        let n = inner.quarantine_counter;
+        inner.quarantine_counter += 1;
+        let name = path
+            .file_name()
+            .map(|f| f.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "entry".to_string());
+        let dest = root.join("quarantine").join(format!("{n:04}-{name}"));
+        if fs.rename(path, &dest).is_err() {
+            // Best effort: an unremovable damaged file stays out of the
+            // index either way, so it is still never served.
+            let _ = fs.remove(path);
+        }
+    }
+
+    /// Evicts in recency order until `bytes + incoming` fits the budget;
+    /// returns how many entries went.
+    fn evict_to_budget(fs: &dyn StoreFs, cfg: &StoreConfig, inner: &mut Inner, incoming: u64) -> u64 {
+        if cfg.max_bytes == 0 {
+            return 0;
+        }
+        let mut evicted = 0;
+        while inner.bytes + incoming > cfg.max_bytes {
+            let Some((&seq, &(ns, key))) = inner.recency.iter().next() else { break };
+            inner.recency.remove(&seq);
+            if let Some(meta) = inner.entries.remove(&(ns, key)) {
+                inner.bytes -= meta.size;
+            }
+            let _ = fs.remove(&cfg.dir.join(ns_dir_name(ns)).join(format!("{key:016x}.ent")));
+            inner.stats.evictions += 1;
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn drop_entry(inner: &mut Inner, ns: u8, key: u64) {
+        if let Some(meta) = inner.entries.remove(&(ns, key)) {
+            inner.recency.remove(&meta.seq);
+            inner.bytes -= meta.size;
+        }
+    }
+
+    /// Loads `(ns, version, key)`. Exactly one of the following happens:
+    /// a **hit** (intact, right version — recency refreshed), a **miss**
+    /// (nothing indexed, or unreadable under a dying filesystem), an
+    /// **invalidation** (intact entry from a different engine version:
+    /// removed, counted, missed), or a **corruption** (checksum or
+    /// header mismatch: quarantined, counted, missed).
+    pub fn load_entry(&self, ns: u8, version: u64, key: u64) -> Option<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        inner.sketch.touch(pair_hash(ns, key));
+        if !inner.entries.contains_key(&(ns, key)) {
+            inner.stats.misses += 1;
+            return None;
+        }
+        let path = self.entry_path(ns, key);
+        let bytes = match self.fs.read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                // Unreadable (e.g. crashed fs): degrade to a miss; keep
+                // nothing in the index so later loads miss cheaply.
+                Self::drop_entry(&mut inner, ns, key);
+                inner.io_errors += 1;
+                inner.stats.misses += 1;
+                return None;
+            }
+        };
+        match decode_entry(&bytes) {
+            Some((e_ns, e_version, e_key, payload)) if e_ns == ns && e_key == key => {
+                if e_version != version {
+                    // Stale engine version: self-invalidate.
+                    Self::drop_entry(&mut inner, ns, key);
+                    let _ = self.fs.remove(&path);
+                    inner.stats.invalidations += 1;
+                    inner.stats.misses += 1;
+                    return None;
+                }
+                // Hit: refresh recency.
+                let seq = inner.next_seq;
+                inner.next_seq += 1;
+                if let Some(meta) = inner.entries.get_mut(&(ns, key)) {
+                    let old = meta.seq;
+                    meta.seq = seq;
+                    inner.recency.remove(&old);
+                    inner.recency.insert(seq, (ns, key));
+                }
+                inner.stats.hits += 1;
+                Some(payload)
+            }
+            _ => {
+                // Damaged or foreign: quarantine, recompute upstream.
+                Self::drop_entry(&mut inner, ns, key);
+                Self::quarantine_file(&*self.fs, &self.cfg.dir, &mut inner, &path);
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `(ns, version, key) → payload` atomically (temp file +
+    /// rename), then evicts down to the budget. Best-effort: admission
+    /// rejection or I/O failure drops the write and the layer above
+    /// recomputes next time.
+    pub fn store_entry(&self, ns: u8, version: u64, key: u64, payload: &[u8]) {
+        let entry = encode_entry(ns, version, key, payload);
+        let size = entry.len() as u64;
+        let mut inner = self.inner.lock();
+        inner.sketch.touch(pair_hash(ns, key));
+        let bounded = self.cfg.max_bytes > 0;
+        if bounded && size > self.cfg.max_bytes {
+            inner.stats.admission_rejects += 1;
+            return;
+        }
+        let resident = inner.entries.contains_key(&(ns, key));
+        if !resident
+            && bounded
+            && self.cfg.policy == EvictionPolicy::TinyLfu
+            && inner.bytes + size > self.cfg.max_bytes
+        {
+            // Frequency admission: the candidate must beat every LRU
+            // victim it would displace, else it bounces (scan guard).
+            let need = inner.bytes + size - self.cfg.max_bytes;
+            let cand_freq = inner.sketch.estimate(pair_hash(ns, key));
+            let mut freed = 0u64;
+            let mut beaten = true;
+            for (_, &(v_ns, v_key)) in inner.recency.iter() {
+                if freed >= need {
+                    break;
+                }
+                freed += inner.entries.get(&(v_ns, v_key)).map(|m| m.size).unwrap_or(0);
+                if inner.sketch.estimate(pair_hash(v_ns, v_key)) >= cand_freq {
+                    beaten = false;
+                    break;
+                }
+            }
+            if !beaten {
+                inner.stats.admission_rejects += 1;
+                return;
+            }
+        }
+        let final_path = self.entry_path(ns, key);
+        let tmp_path = self.ns_dir(ns).join(format!("{key:016x}.tmp"));
+        if self.fs.write(&tmp_path, &entry).is_err() {
+            inner.io_errors += 1;
+            let _ = self.fs.remove(&tmp_path);
+            return;
+        }
+        if self.fs.rename(&tmp_path, &final_path).is_err() {
+            inner.io_errors += 1;
+            let _ = self.fs.remove(&tmp_path);
+            return;
+        }
+        if resident {
+            Self::drop_entry(&mut inner, ns, key);
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.entries.insert((ns, key), Meta { size, seq });
+        inner.recency.insert(seq, (ns, key));
+        inner.bytes += size;
+        inner.stats.writes += 1;
+        Self::evict_to_budget(&*self.fs, &self.cfg, &mut inner, 0);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.lock().stats
+    }
+
+    /// Filesystem operations that failed outright (dying disk).
+    pub fn io_errors(&self) -> u64 {
+        self.inner.lock().io_errors
+    }
+
+    /// Resident entries.
+    pub fn entry_count(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Resident bytes (full entry sizes, headers included).
+    pub fn bytes(&self) -> u64 {
+        self.inner.lock().bytes
+    }
+
+    /// Resident keys of one namespace, sorted (oracle checks in tests).
+    pub fn resident_keys(&self, ns: u8) -> Vec<u64> {
+        let inner = self.inner.lock();
+        let mut keys: Vec<u64> =
+            inner.entries.keys().filter(|(n, _)| *n == ns).map(|&(_, k)| k).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// The configuration the store was opened with.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+}
+
+impl KvBacking for Store {
+    fn load(&self, ns: u8, version: u64, key: u64) -> Option<Vec<u8>> {
+        self.load_entry(ns, version, key)
+    }
+
+    fn store(&self, ns: u8, version: u64, key: u64, bytes: &[u8]) {
+        self.store_entry(ns, version, key, bytes)
+    }
+
+    fn stats(&self) -> StoreStats {
+        Store::stats(self)
+    }
+}
+
+/// Opens the store described by the `EDA_STORE_*` environment knobs and
+/// installs it as the process-global backing. `Ok(None)` when
+/// `EDA_STORE_DIR` is unset (no store configured).
+///
+/// # Errors
+///
+/// [`StoreError`] on malformed knobs or an unpreparable directory.
+pub fn init_from_env() -> Result<Option<(Arc<Store>, OpenReport)>, StoreError> {
+    let Some(cfg) = StoreConfig::try_from_env()? else {
+        return Ok(None);
+    };
+    let (store, report) = Store::open(cfg)?;
+    let store = Arc::new(store);
+    backing::install(store.clone());
+    Ok(Some((store, report)))
+}
+
+/// One-shot, process-wide env activation: on the first call, if
+/// `EDA_STORE_DIR` is set and no backing is already installed, opens
+/// the store and installs it. Flows and the LLM client call this at
+/// construction, which is what makes the knob *transparent* — setting
+/// `EDA_STORE_DIR` persists results for any binary in the workspace
+/// with no code changes. A no-op when the knob is unset, when a store
+/// was already installed manually, and on every call after the first.
+///
+/// # Panics
+///
+/// On malformed `EDA_STORE_*` knobs or an unpreparable directory: a
+/// knob the user set must never be silently ignored.
+pub fn ensure_env_install() {
+    static ONCE: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+    ONCE.get_or_init(|| {
+        if backing::is_installed() {
+            return;
+        }
+        if let Err(e) = init_from_env() {
+            panic!("{e}");
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "eda-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn bounded(dir: PathBuf, max: u64, policy: EvictionPolicy) -> Store {
+        let cfg = StoreConfig { dir, max_bytes: max, policy };
+        Store::open(cfg).unwrap().0
+    }
+
+    #[test]
+    fn entry_format_roundtrips_and_rejects_damage() {
+        let entry = encode_entry(NS_EVAL, 7, 42, b"payload-bytes");
+        assert_eq!(decode_entry(&entry), Some((NS_EVAL, 7, 42, b"payload-bytes".to_vec())));
+        // Truncation at every length is detected.
+        for cut in 0..entry.len() {
+            assert_eq!(decode_entry(&entry[..cut]), None, "truncated at {cut} must not decode");
+        }
+        // A single flipped bit anywhere is detected.
+        for pos in 0..entry.len() {
+            let mut bad = entry.clone();
+            bad[pos] ^= 1;
+            assert_eq!(decode_entry(&bad), None, "bit flip at {pos} must not decode");
+        }
+        // Empty payloads are legal entries.
+        let empty = encode_entry(NS_COMPLETION, 0, 0, b"");
+        assert_eq!(decode_entry(&empty), Some((NS_COMPLETION, 0, 0, Vec::new())));
+    }
+
+    #[test]
+    fn store_and_reload_across_reopen() {
+        let dir = tmp_dir("reopen");
+        let version = 5;
+        {
+            let (store, report) = Store::open(StoreConfig::new(&dir)).unwrap();
+            assert_eq!(report, OpenReport::default());
+            store.store_entry(NS_EVAL, version, 1, b"one");
+            store.store_entry(NS_COMPLETION, version, 2, b"two");
+            assert_eq!(store.load_entry(NS_EVAL, version, 1), Some(b"one".to_vec()));
+            let s = store.stats();
+            assert_eq!((s.writes, s.hits, s.misses), (2, 1, 0));
+        }
+        // New process, same directory: the entries are still there.
+        let (store, report) = Store::open(StoreConfig::new(&dir)).unwrap();
+        assert_eq!(report.loaded, 2);
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(store.load_entry(NS_EVAL, version, 1), Some(b"one".to_vec()));
+        assert_eq!(store.load_entry(NS_COMPLETION, version, 2), Some(b"two".to_vec()));
+        assert_eq!(store.load_entry(NS_EVAL, version, 99), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_self_invalidates() {
+        let dir = tmp_dir("version");
+        let (store, _) = Store::open(StoreConfig::new(&dir)).unwrap();
+        store.store_entry(NS_EVAL, 1, 10, b"old-engine-result");
+        // The "engine" changed: same key, new version hash.
+        assert_eq!(store.load_entry(NS_EVAL, 2, 10), None);
+        let s = store.stats();
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(store.entry_count(), 0, "stale entry must be dropped");
+        // And the file is gone from disk too.
+        let (_, report) = Store::open(StoreConfig::new(&dir)).unwrap();
+        assert_eq!(report.loaded, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_recency() {
+        let dir = tmp_dir("lru");
+        let entry_size = (HEADER_LEN + 8) as u64;
+        let store = bounded(dir.clone(), entry_size * 3, EvictionPolicy::Lru);
+        for key in 0..3u64 {
+            store.store_entry(NS_EVAL, 1, key, &key.to_le_bytes());
+        }
+        assert_eq!(store.entry_count(), 3);
+        // Touch key 0 so key 1 becomes the LRU victim.
+        assert!(store.load_entry(NS_EVAL, 1, 0).is_some());
+        store.store_entry(NS_EVAL, 1, 3, &3u64.to_le_bytes());
+        assert_eq!(store.resident_keys(NS_EVAL), vec![0, 2, 3]);
+        assert!(store.bytes() <= entry_size * 3);
+        assert_eq!(store.stats().evictions, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tinylfu_rejects_cold_scans_but_admits_hot_keys() {
+        let dir = tmp_dir("tinylfu");
+        let entry_size = (HEADER_LEN + 8) as u64;
+        let store = bounded(dir.clone(), entry_size * 4, EvictionPolicy::TinyLfu);
+        // Fill with entries that get regularly requested (hot).
+        for key in 0..4u64 {
+            store.store_entry(NS_EVAL, 1, key, &key.to_le_bytes());
+        }
+        for _ in 0..5 {
+            for key in 0..4u64 {
+                assert!(store.load_entry(NS_EVAL, 1, key).is_some());
+            }
+        }
+        // A one-shot scan of cold keys must bounce off admission.
+        for key in 100..140u64 {
+            store.store_entry(NS_EVAL, 1, key, &key.to_le_bytes());
+        }
+        assert_eq!(store.resident_keys(NS_EVAL), vec![0, 1, 2, 3], "hot set survives the scan");
+        assert_eq!(store.stats().admission_rejects, 40);
+        assert_eq!(store.stats().evictions, 0);
+        // But a key that is genuinely requested repeatedly gets in.
+        for _ in 0..10 {
+            let _ = store.load_entry(NS_EVAL, 1, 500);
+        }
+        store.store_entry(NS_EVAL, 1, 500, &500u64.to_le_bytes());
+        assert!(store.resident_keys(NS_EVAL).contains(&500), "hot candidate admitted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_entry_is_rejected_outright() {
+        let dir = tmp_dir("oversize");
+        let store = bounded(dir.clone(), 64, EvictionPolicy::Lru);
+        store.store_entry(NS_EVAL, 1, 1, &[0u8; 200]);
+        assert_eq!(store.entry_count(), 0);
+        assert_eq!(store.stats().admission_rejects, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_file_is_quarantined_on_load_and_on_open() {
+        let dir = tmp_dir("corrupt");
+        let (store, _) = Store::open(StoreConfig::new(&dir)).unwrap();
+        store.store_entry(NS_EVAL, 1, 7, b"good-bytes");
+        // Flip a payload bit directly on disk.
+        let path = dir.join("eval").join(format!("{:016x}.ent", 7));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        // Load detects, quarantines, misses — never serves.
+        assert_eq!(store.load_entry(NS_EVAL, 1, 7), None);
+        assert_eq!(store.stats().corruptions, 1);
+        assert!(!path.exists(), "damaged entry must leave the live tree");
+        let quarantined = std::fs::read_dir(dir.join("quarantine")).unwrap().count();
+        assert_eq!(quarantined, 1);
+        // Recompute path: storing again works and is served intact.
+        store.store_entry(NS_EVAL, 1, 7, b"good-bytes");
+        assert_eq!(store.load_entry(NS_EVAL, 1, 7), Some(b"good-bytes".to_vec()));
+
+        // Same detection at open: damage a fresh entry, reopen.
+        store.store_entry(NS_EVAL, 1, 8, b"other");
+        let path8 = dir.join("eval").join(format!("{:016x}.ent", 8));
+        let raw = std::fs::read(&path8).unwrap();
+        std::fs::write(&path8, &raw[..raw.len() / 2]).unwrap();
+        drop(store);
+        let (store2, report) = Store::open(StoreConfig::new(&dir)).unwrap();
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(report.loaded, 1);
+        assert_eq!(store2.load_entry(NS_EVAL, 1, 8), None, "truncated entry must not be served");
+        assert_eq!(store2.load_entry(NS_EVAL, 1, 7), Some(b"good-bytes".to_vec()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stray_tmp_files_are_removed_at_open() {
+        let dir = tmp_dir("tmp");
+        let (store, _) = Store::open(StoreConfig::new(&dir)).unwrap();
+        store.store_entry(NS_EVAL, 1, 3, b"x");
+        // Simulate a crash between write and rename.
+        std::fs::write(dir.join("eval").join("00000000000000aa.tmp"), b"half").unwrap();
+        drop(store);
+        let (_, report) = Store::open(StoreConfig::new(&dir)).unwrap();
+        assert_eq!(report.removed_tmp, 1);
+        assert_eq!(report.loaded, 1);
+        assert!(!dir.join("eval").join("00000000000000aa.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shrunken_budget_evicts_at_open() {
+        let dir = tmp_dir("shrink");
+        let entry_size = (HEADER_LEN + 8) as u64;
+        {
+            let (store, _) = Store::open(StoreConfig::new(&dir)).unwrap();
+            for key in 0..6u64 {
+                store.store_entry(NS_EVAL, 1, key, &key.to_le_bytes());
+            }
+        }
+        let cfg =
+            StoreConfig { dir: dir.clone(), max_bytes: entry_size * 2, policy: EvictionPolicy::Lru };
+        let (store, report) = Store::open(cfg).unwrap();
+        assert_eq!(report.evicted, 4);
+        assert_eq!(store.entry_count(), 2);
+        assert!(store.bytes() <= entry_size * 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn env_config_parses_and_errors_name_the_variable() {
+        // This test owns the EDA_STORE_* variables (tests share the
+        // process environment; nothing else in this crate touches them).
+        std::env::remove_var(DIR_ENV);
+        assert_eq!(StoreConfig::try_from_env().unwrap(), None);
+
+        std::env::set_var(DIR_ENV, "/tmp/eda-store-env-test");
+        std::env::set_var(MAX_BYTES_ENV, "1048576");
+        std::env::set_var(POLICY_ENV, "tinylfu");
+        let cfg = StoreConfig::try_from_env().unwrap().unwrap();
+        assert_eq!(cfg.dir, PathBuf::from("/tmp/eda-store-env-test"));
+        assert_eq!(cfg.max_bytes, 1_048_576);
+        assert_eq!(cfg.policy, EvictionPolicy::TinyLfu);
+
+        std::env::remove_var(MAX_BYTES_ENV);
+        assert_eq!(StoreConfig::try_from_env().unwrap().unwrap().max_bytes, DEFAULT_MAX_BYTES);
+
+        std::env::set_var(POLICY_ENV, "mru");
+        let err = StoreConfig::try_from_env().unwrap_err();
+        assert_eq!(err.var, POLICY_ENV);
+        assert!(err.to_string().contains("mru"), "{err}");
+
+        std::env::set_var(POLICY_ENV, "lru");
+        std::env::set_var(MAX_BYTES_ENV, "many");
+        assert_eq!(StoreConfig::try_from_env().unwrap_err().var, MAX_BYTES_ENV);
+
+        std::env::remove_var(DIR_ENV);
+        std::env::remove_var(MAX_BYTES_ENV);
+        std::env::remove_var(POLICY_ENV);
+    }
+
+    #[test]
+    fn crashed_fs_degrades_to_misses_not_panics() {
+        let dir = tmp_dir("deadfs");
+        let fs = Arc::new(FaultyFs::new(RealFs, FsFaultConfig::crash_at(4, 1)));
+        let cfg = StoreConfig::new(&dir);
+        let (store, _) = Store::open_with_fs(cfg, fs).unwrap();
+        // Ops: store = write+rename (2 ops each); the 3rd store crashes.
+        store.store_entry(NS_EVAL, 1, 1, b"a");
+        store.store_entry(NS_EVAL, 1, 2, b"b");
+        store.store_entry(NS_EVAL, 1, 3, b"c");
+        store.store_entry(NS_EVAL, 1, 4, b"d");
+        assert!(store.io_errors() > 0, "the dead fs must surface as io errors");
+        // Loads after death are misses, never panics or stale data.
+        assert_eq!(store.load_entry(NS_EVAL, 1, 1), None);
+        assert_eq!(store.load_entry(NS_EVAL, 1, 4), None);
+        let s = store.stats();
+        assert_eq!(s.hits, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

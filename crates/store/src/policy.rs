@@ -1,0 +1,166 @@
+//! Eviction and admission policies.
+//!
+//! The store is size-bounded (`EDA_STORE_MAX_BYTES`); when a write would
+//! push it over budget something has to go. Two policies are provided:
+//!
+//! * [`EvictionPolicy::Lru`] — evict the least-recently-*used* entry
+//!   (touched by load or store) until the new entry fits. Simple and
+//!   right for workloads whose working set fits.
+//! * [`EvictionPolicy::TinyLfu`] — LRU eviction *gated by frequency
+//!   admission*: a candidate only displaces victims it has historically
+//!   been requested more often than, per a count-min [`FreqSketch`] with
+//!   capped counters and periodic halving (the classic TinyLFU aging
+//!   window). One-shot scans — a sweep of thousands of never-repeated
+//!   keys — bounce off the sketch instead of flushing the hot set.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which policy bounds the store (the `EDA_STORE_POLICY` knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Pure least-recently-used eviction (default).
+    #[default]
+    Lru,
+    /// LRU eviction with TinyLFU frequency admission.
+    TinyLfu,
+}
+
+impl fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::TinyLfu => "tinylfu",
+        })
+    }
+}
+
+impl FromStr for EvictionPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "lru" => Ok(EvictionPolicy::Lru),
+            "tinylfu" | "tiny-lfu" | "tiny_lfu" => Ok(EvictionPolicy::TinyLfu),
+            other => Err(format!("unknown eviction policy `{other}` (expected lru or tinylfu)")),
+        }
+    }
+}
+
+/// Counter rows in the count-min sketch.
+const SKETCH_ROWS: u64 = 4;
+/// Counter slots per row (power of two).
+const SKETCH_SLOTS: usize = 4096;
+/// Counters saturate here (4-bit semantics, stored in a byte).
+const COUNTER_CAP: u8 = 15;
+/// Touches between halvings: the aging window that lets yesterday's hot
+/// keys fade.
+const HALVING_WINDOW: u64 = 32_768;
+
+/// Approximate access-frequency sketch (count-min with capped counters
+/// and periodic halving). Deterministic: identical touch sequences give
+/// identical estimates.
+pub struct FreqSketch {
+    counters: Vec<u8>,
+    touches: u64,
+}
+
+impl Default for FreqSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FreqSketch {
+    pub fn new() -> Self {
+        FreqSketch { counters: vec![0; SKETCH_SLOTS * SKETCH_ROWS as usize], touches: 0 }
+    }
+
+    fn slot(key: u64, row: u64) -> usize {
+        // Independent-ish row hashes via splitmix over (key, row).
+        let mut z = key ^ row.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (row as usize) * SKETCH_SLOTS + (z as usize & (SKETCH_SLOTS - 1))
+    }
+
+    /// Records one access.
+    pub fn touch(&mut self, key: u64) {
+        for row in 0..SKETCH_ROWS {
+            let s = Self::slot(key, row);
+            if self.counters[s] < COUNTER_CAP {
+                self.counters[s] += 1;
+            }
+        }
+        self.touches += 1;
+        if self.touches >= HALVING_WINDOW {
+            self.halve();
+        }
+    }
+
+    /// Estimated access count (min over rows, capped at [`COUNTER_CAP`]).
+    pub fn estimate(&self, key: u64) -> u8 {
+        (0..SKETCH_ROWS).map(|row| self.counters[Self::slot(key, row)]).min().unwrap_or(0)
+    }
+
+    fn halve(&mut self) {
+        for c in &mut self.counters {
+            *c >>= 1;
+        }
+        self.touches = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parses_and_displays() {
+        assert_eq!("lru".parse::<EvictionPolicy>().unwrap(), EvictionPolicy::Lru);
+        assert_eq!("TinyLFU".parse::<EvictionPolicy>().unwrap(), EvictionPolicy::TinyLfu);
+        assert_eq!("tiny-lfu".parse::<EvictionPolicy>().unwrap(), EvictionPolicy::TinyLfu);
+        assert!("mru".parse::<EvictionPolicy>().is_err());
+        assert_eq!(EvictionPolicy::TinyLfu.to_string(), "tinylfu");
+        assert_eq!(EvictionPolicy::default(), EvictionPolicy::Lru);
+    }
+
+    #[test]
+    fn sketch_separates_hot_from_cold() {
+        let hot = 0xb07u64;
+        let cold = 0xc01du64;
+        let mut s = FreqSketch::new();
+        for _ in 0..10 {
+            s.touch(hot);
+        }
+        s.touch(cold);
+        assert!(s.estimate(hot) >= 8, "{}", s.estimate(hot));
+        assert!(s.estimate(cold) <= 2);
+        assert_eq!(s.estimate(0xab5e97), 0);
+    }
+
+    #[test]
+    fn counters_saturate_and_halve() {
+        let mut s = FreqSketch::new();
+        for _ in 0..100 {
+            s.touch(1);
+        }
+        assert_eq!(s.estimate(1), COUNTER_CAP, "capped");
+        s.halve();
+        assert_eq!(s.estimate(1), COUNTER_CAP / 2, "halving ages the estimate");
+    }
+
+    #[test]
+    fn scan_of_distinct_keys_barely_registers() {
+        let mut s = FreqSketch::new();
+        for _ in 0..12 {
+            s.touch(42);
+        }
+        for k in 1000..3000u64 {
+            s.touch(k);
+        }
+        // The hot key's estimate survives a 2000-key one-shot scan.
+        assert!(s.estimate(42) >= 8, "{}", s.estimate(42));
+    }
+}

@@ -1,0 +1,40 @@
+//! Emits a content hash of this crate's sources so dependents can key
+//! persisted results on the exact engine that produced them (stale
+//! entries self-invalidate when the engine changes).
+
+use std::fs;
+use std::path::PathBuf;
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn main() {
+    println!("cargo:rerun-if-changed=src");
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut stack = vec![PathBuf::from("src")];
+    while let Some(dir) = stack.pop() {
+        if let Ok(read) = fs::read_dir(&dir) {
+            for entry in read.flatten() {
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if path.extension().is_some_and(|e| e == "rs") {
+                    files.push(path);
+                }
+            }
+        }
+    }
+    files.sort();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for path in files {
+        fnv1a(&mut hash, path.to_string_lossy().as_bytes());
+        if let Ok(bytes) = fs::read(&path) {
+            fnv1a(&mut hash, &bytes);
+        }
+    }
+    println!("cargo:rustc-env=EDA_CONTENT_HASH={hash}");
+}

@@ -1,0 +1,133 @@
+//! Persistent-store smoke: cold → warm → corrupt → recover.
+//!
+//! Runs one AutoChip flow four times against an on-disk store:
+//! without a store (baseline), against a fresh store (cold), against
+//! the populated store (warm — strictly less simulator and transport
+//! work), and after flipping bits in every stored entry (corruption is
+//! quarantined and the flow recomputes, bit-identical). CI runs this
+//! under `EDA_LLM_FAULT_RATE=0.3`, so the invisibility holds under
+//! injected transport faults too.
+//!
+//! Honors `EDA_STORE_DIR` (defaults to a temp directory) plus
+//! `EDA_STORE_MAX_BYTES` / `EDA_STORE_POLICY`.
+//!
+//! ```sh
+//! EDA_LLM_FAULT_RATE=0.3 cargo run --release --example store_persistence
+//! ```
+
+use llm4eda::{autochip, exec, llm, store, suite};
+use std::path::Path;
+use std::sync::Arc;
+
+fn run_flow() -> autochip::AutoChipResult {
+    let model = llm::SimulatedLlm::new(llm::ModelSpec::ultra());
+    let problem = suite::problem("alu8").unwrap();
+    let cfg = autochip::AutoChipConfig {
+        k_candidates: 3,
+        max_depth: 2,
+        temperature: 1.0,
+        seed: 7,
+        ..Default::default()
+    };
+    autochip::run_autochip_with(&model, &problem, &cfg, &exec::Engine::sequential())
+        .expect("suite testbench builds")
+}
+
+/// What the store must never change: the flow outcome and its virtual
+/// cost (store hits bill the original cost).
+fn fingerprint(r: &autochip::AutoChipResult) -> (String, f64, bool, u64) {
+    (r.best_source.clone(), r.best_score, r.solved, r.llm.virtual_time_us)
+}
+
+fn corrupt_entries(dir: &Path) -> u64 {
+    let mut damaged = 0;
+    for ns in ["eval", "llm"] {
+        let Ok(read) = std::fs::read_dir(dir.join(ns)) else { continue };
+        for entry in read.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "ent") {
+                let mut bytes = std::fs::read(&path).expect("entry reads");
+                let last = bytes.len() - 1;
+                bytes[last] ^= 0x11;
+                std::fs::write(&path, &bytes).expect("entry rewrites");
+                damaged += 1;
+            }
+        }
+    }
+    damaged
+}
+
+fn main() {
+    let dir = match store::StoreConfig::try_from_env().expect("EDA_STORE_* knobs parse") {
+        Some(cfg) => cfg.dir,
+        None => std::env::temp_dir().join(format!("eda-store-smoke-{}", std::process::id())),
+    };
+    // This example manages install/uninstall itself (the baseline phase
+    // must run store-free); drop the knob so the flows' transparent
+    // `ensure_env_install` stays a no-op.
+    std::env::remove_var(store::DIR_ENV);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!("[1/4] baseline (no store)");
+    let baseline = run_flow();
+
+    println!("[2/4] cold run against {}", dir.display());
+    let (s, open) = store::Store::open(store::StoreConfig::new(&dir)).expect("store opens");
+    assert_eq!(open.loaded, 0);
+    exec::backing::install(Arc::new(s));
+    let cold = run_flow();
+    assert_eq!(fingerprint(&cold), fingerprint(&baseline), "cold store changed the flow");
+    assert!(cold.store.writes > 0, "cold run must populate: {:?}", cold.store);
+    println!("      stored {} entries", cold.store.writes);
+
+    println!("[3/4] warm run (process restart simulation)");
+    // Reopen from disk to prove persistence across "processes".
+    exec::backing::uninstall();
+    let (s, open) = store::Store::open(store::StoreConfig::new(&dir)).expect("store reopens");
+    assert!(open.loaded > 0, "entries must survive reopen");
+    exec::backing::install(Arc::new(s));
+    let warm = run_flow();
+    assert_eq!(fingerprint(&warm), fingerprint(&baseline), "warm store changed the flow");
+    assert!(warm.store.hits > 0, "warm run must hit: {:?}", warm.store);
+    assert!(
+        warm.exec.tasks_run < cold.exec.tasks_run,
+        "warm must skip simulator work ({} vs {})",
+        warm.exec.tasks_run,
+        cold.exec.tasks_run
+    );
+    assert!(
+        warm.llm.transport_sends < cold.llm.transport_sends,
+        "warm must skip transport sends ({} vs {})",
+        warm.llm.transport_sends,
+        cold.llm.transport_sends
+    );
+    println!(
+        "      hits {} | eval tasks {} -> {} | transport sends {} -> {}",
+        warm.store.hits,
+        cold.exec.tasks_run,
+        warm.exec.tasks_run,
+        cold.llm.transport_sends,
+        warm.llm.transport_sends
+    );
+
+    println!("[4/4] corrupt every entry, recover");
+    exec::backing::uninstall();
+    let damaged = corrupt_entries(&dir);
+    assert!(damaged > 0, "nothing to corrupt?");
+    let (s, open) = store::Store::open(store::StoreConfig::new(&dir)).expect("store reopens");
+    assert_eq!(open.quarantined, damaged, "every damaged entry must be quarantined");
+    assert_eq!(open.loaded, 0);
+    exec::backing::install(Arc::new(s));
+    let recovered = run_flow();
+    exec::backing::uninstall();
+    assert_eq!(
+        fingerprint(&recovered),
+        fingerprint(&baseline),
+        "corruption leaked into the flow"
+    );
+    assert!(recovered.store.writes > 0, "recovery must repopulate");
+    println!("      quarantined {damaged}, recomputed, results bit-identical");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("store persistence smoke: OK");
+}

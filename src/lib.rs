@@ -32,6 +32,7 @@
 //! | [`exec`] | `eda-exec` | work-stealing eval engine + eval cache |
 //! | [`agent`] | `eda-core` | the unified EDA agent |
 //! | [`serve`] | `eda-serve` | multi-tenant flow serving: fair-share scheduling, admission control, LLM coalescing |
+//! | [`store`] | `eda-store` | persistent content-addressed result store: checksummed entries, LRU/TinyLFU, crash-safe writes |
 //!
 //! ## Quickstart
 //!
@@ -58,5 +59,6 @@ pub use eda_repair as repair;
 pub use eda_riscv as riscv;
 pub use eda_serve as serve;
 pub use eda_sltgen as sltgen;
+pub use eda_store as store;
 pub use eda_suite as suite;
 pub use eda_synth as synth;

@@ -4,6 +4,25 @@
 use llm4eda::{cmini, exec, hdl, hls, riscv, sltgen, synth};
 use proptest::prelude::*;
 
+/// The mini-C width-wrap invariant, shared between the random property
+/// below and the explicit regression-corpus replay (the corpus entries
+/// in `property_tests.proptest-regressions` replay through this exact
+/// body, so a saved counterexample can never silently stop being
+/// exercised).
+fn check_cmini_wrap_idempotent(v: i64, bits: u32, unsigned: bool) {
+    let once = cmini::wrap(v, bits, unsigned);
+    assert_eq!(cmini::wrap(once, bits, unsigned), once, "wrap must be idempotent");
+    let once = once as i128;
+    if unsigned {
+        assert!(once >= 0 && once < (1i128 << bits), "unsigned wrap out of range: {once}");
+    } else {
+        assert!(
+            once >= -(1i128 << (bits - 1)) && once < (1i128 << (bits - 1)),
+            "signed wrap out of range: {once}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -39,14 +58,7 @@ proptest! {
     /// The mini-C width wrap is idempotent and bounded.
     #[test]
     fn cmini_wrap_idempotent(v in any::<i64>(), bits in 1u32..=63, unsigned in any::<bool>()) {
-        let once = cmini::wrap(v, bits, unsigned);
-        prop_assert_eq!(cmini::wrap(once, bits, unsigned), once);
-        let once = once as i128;
-        if unsigned {
-            prop_assert!(once >= 0 && once < (1i128 << bits));
-        } else {
-            prop_assert!(once >= -(1i128 << (bits - 1)) && once < (1i128 << (bits - 1)));
-        }
+        check_cmini_wrap_idempotent(v, bits, unsigned);
     }
 
     /// Levenshtein is a metric: symmetric, zero iff equal, triangle holds.
@@ -163,4 +175,51 @@ proptest! {
         prop_assert_eq!(&again, &expected);
         prop_assert_eq!(cache.misses(), distinct);
     }
+}
+
+/// Replays every saved counterexample in
+/// `property_tests.proptest-regressions` against the property it was
+/// minimized from. The vendored proptest stand-in generates from fresh
+/// seeds only and never reads the regression file, so without this test
+/// the checked-in corpus was dead weight: a reintroduced bug that only
+/// fires on a saved case would pass CI. Each `# shrinks to ...` comment
+/// is parsed back into concrete arguments; an entry with no matching
+/// handler fails loudly so new corpus lines must be wired up here.
+#[test]
+fn regression_corpus_replays() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/property_tests.proptest-regressions");
+    let corpus = std::fs::read_to_string(path).expect("regression corpus is checked in");
+    let mut replayed = 0u32;
+    for line in corpus.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        assert!(line.starts_with("cc "), "unrecognized corpus line: {line}");
+        let shrunk = line
+            .split_once("# shrinks to ")
+            .unwrap_or_else(|| panic!("corpus line without a shrinks-to comment: {line}"))
+            .1;
+        // "v = 0, bits = 63, unsigned = true" -> name/value pairs.
+        let vars: std::collections::HashMap<&str, &str> = shrunk
+            .split(", ")
+            .filter_map(|kv| kv.split_once(" = "))
+            .map(|(k, v)| (k.trim(), v.trim()))
+            .collect();
+        let arg = |name: &str| -> &str {
+            vars.get(name).unwrap_or_else(|| panic!("corpus entry lacks `{name}`: {line}"))
+        };
+        match () {
+            _ if vars.contains_key("v") && vars.contains_key("bits") => {
+                check_cmini_wrap_idempotent(
+                    arg("v").parse().expect("v parses"),
+                    arg("bits").parse().expect("bits parses"),
+                    arg("unsigned").parse().expect("unsigned parses"),
+                );
+            }
+            _ => panic!("no replay handler for regression entry: {line}"),
+        }
+        replayed += 1;
+    }
+    assert!(replayed >= 1, "the corpus must replay at least its known entry");
 }

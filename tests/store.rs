@@ -1,0 +1,484 @@
+//! Crash, corruption, and property suite for the persistent store.
+//!
+//! Three layers of proof that `eda-store` is *semantically invisible*:
+//!
+//! 1. **Policy properties** — the bounded store is compared against an
+//!    in-memory LRU oracle under random op sequences: it never exceeds
+//!    its byte budget, LRU evicts exactly the least-recently-used
+//!    entries, and TinyLFU admission keeps hot keys resident through
+//!    one-shot scans.
+//! 2. **Crash recovery** — a scripted write workload is killed at
+//!    *every* filesystem-operation index via the seed-driven
+//!    [`store::FaultyFs`]; each truncated store is reopened and must
+//!    load cleanly, serving only values that were actually stored
+//!    (atomic tmp+rename means no torn final entries — ever).
+//! 3. **Flow invisibility** — a full AutoChip run with the store off,
+//!    cold, warm, and corrupted-then-recovered produces identical
+//!    semantic results (sources, scores, rounds, virtual time), with
+//!    warm runs doing strictly less simulator and transport work.
+//!
+//! Tests that install the process-global backing serialize on a guard
+//! mutex — the global slot and the `EDA_STORE_ENABLE` knob are
+//! process-wide state.
+
+use llm4eda::{autochip, exec, llm, store, suite};
+
+use exec::backing;
+use exec::backing::{NS_COMPLETION, NS_EVAL};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use store::{EvictionPolicy, FaultyFs, FsFaultConfig, RealFs, Store, StoreConfig, HEADER_LEN};
+
+fn unique_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "eda-store-suite-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Serializes tests that touch the process-global backing slot.
+fn global_guard() -> MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    match GUARD.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Installs a store globally for a scope; uninstalls on drop (also on
+/// panic, so one failing test cannot leak its store into another).
+struct Installed;
+
+impl Installed {
+    fn new(s: Arc<Store>) -> Self {
+        backing::install(s);
+        Installed
+    }
+}
+
+impl Drop for Installed {
+    fn drop(&mut self) {
+        backing::uninstall();
+    }
+}
+
+fn bounded(dir: PathBuf, max_bytes: u64, policy: EvictionPolicy) -> Store {
+    Store::open(StoreConfig { dir, max_bytes, policy }).expect("store opens").0
+}
+
+// ---------------------------------------------------------------------------
+// 1. Policy properties vs an in-memory oracle
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The bounded LRU store tracks a reference LRU oracle exactly:
+    /// same residents, same byte ceiling, hits exactly where the oracle
+    /// predicts them.
+    #[test]
+    fn lru_store_matches_inmemory_oracle(raw in proptest::collection::vec(any::<u32>(), 1..=80)) {
+        const CAP_ENTRIES: u64 = 4;
+        let entry_size = (HEADER_LEN + 8) as u64;
+        let dir = unique_dir("oracle");
+        let s = bounded(dir.clone(), CAP_ENTRIES * entry_size, EvictionPolicy::Lru);
+        // Oracle: front = least recently used.
+        let mut oracle: Vec<u64> = Vec::new();
+        for r in raw {
+            let key = (r >> 1) as u64 % 12;
+            if r & 1 == 0 {
+                s.store_entry(NS_EVAL, 1, key, &key.to_le_bytes());
+                oracle.retain(|&k| k != key);
+                oracle.push(key);
+                if oracle.len() as u64 > CAP_ENTRIES {
+                    oracle.remove(0); // LRU victim
+                }
+            } else {
+                let got = s.load_entry(NS_EVAL, 1, key);
+                let expect_hit = oracle.contains(&key);
+                prop_assert_eq!(got.is_some(), expect_hit, "load of {} disagrees with oracle", key);
+                if expect_hit {
+                    prop_assert_eq!(got.unwrap(), key.to_le_bytes().to_vec());
+                    oracle.retain(|&k| k != key);
+                    oracle.push(key);
+                }
+            }
+            prop_assert!(s.bytes() <= CAP_ENTRIES * entry_size, "budget exceeded: {}", s.bytes());
+        }
+        let mut expected = oracle.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(s.resident_keys(NS_EVAL), expected);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Neither policy ever exceeds the byte budget, for any op sequence
+    /// and any mix of payload sizes — the headline `EDA_STORE_MAX_BYTES`
+    /// contract.
+    #[test]
+    fn bounded_store_never_exceeds_budget(
+        raw in proptest::collection::vec(any::<u32>(), 1..=60),
+        tinylfu in any::<bool>(),
+    ) {
+        let policy = if tinylfu { EvictionPolicy::TinyLfu } else { EvictionPolicy::Lru };
+        let max_bytes = 4 * (HEADER_LEN as u64 + 64);
+        let dir = unique_dir("budget");
+        let s = bounded(dir.clone(), max_bytes, policy);
+        for r in raw {
+            let key = (r >> 1) as u64 % 10;
+            let len = ((r >> 5) % 64) as usize;
+            if r & 1 == 0 {
+                s.store_entry(NS_EVAL, 1, key, &vec![key as u8; len]);
+            } else {
+                let _ = s.load_entry(NS_EVAL, 1, key);
+            }
+            prop_assert!(s.bytes() <= max_bytes, "budget exceeded: {} > {}", s.bytes(), max_bytes);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// TinyLFU scan resistance: a hot working set that has actually been
+    /// requested survives a one-shot scan of arbitrary cold keys, which
+    /// all bounce off frequency admission.
+    #[test]
+    fn tinylfu_hot_set_survives_cold_scans(scan_base in 1000u64..100_000, scan_len in 8u64..64) {
+        let entry_size = (HEADER_LEN + 8) as u64;
+        let dir = unique_dir("scan");
+        let s = bounded(dir.clone(), 4 * entry_size, EvictionPolicy::TinyLfu);
+        for key in 0..4u64 {
+            s.store_entry(NS_EVAL, 1, key, &key.to_le_bytes());
+        }
+        for _ in 0..4 {
+            for key in 0..4u64 {
+                prop_assert!(s.load_entry(NS_EVAL, 1, key).is_some());
+            }
+        }
+        for key in scan_base..scan_base + scan_len {
+            s.store_entry(NS_EVAL, 1, key, &key.to_le_bytes());
+        }
+        prop_assert_eq!(s.resident_keys(NS_EVAL), vec![0, 1, 2, 3]);
+        prop_assert_eq!(s.stats().evictions, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Crash recovery: kill the store at every write point
+// ---------------------------------------------------------------------------
+
+/// The scripted workload: interleaved fresh writes and overwrites in
+/// both namespaces. Returns, per `(ns, key)`, every payload that was
+/// ever stored under it (crash consistency = a load serves one of these
+/// or nothing).
+fn crash_script(s: &Store) -> HashMap<(u8, u64), Vec<Vec<u8>>> {
+    let mut legal: HashMap<(u8, u64), Vec<Vec<u8>>> = HashMap::new();
+    let mut put = |ns: u8, key: u64, payload: &[u8]| {
+        s.store_entry(ns, 7, key, payload);
+        legal.entry((ns, key)).or_default().push(payload.to_vec());
+    };
+    put(NS_EVAL, 1, b"alpha");
+    put(NS_EVAL, 2, b"beta");
+    put(NS_COMPLETION, 1, b"completion-one");
+    put(NS_EVAL, 1, b"alpha-rewritten"); // overwrite
+    put(NS_COMPLETION, 9, b"");
+    put(NS_EVAL, 3, b"gamma-payload-with-some-length");
+    legal
+}
+
+#[test]
+fn crash_at_every_write_point_recovers_cleanly() {
+    // Count the filesystem ops a clean run performs.
+    let clean_dir = unique_dir("crash-clean");
+    let fs = Arc::new(FaultyFs::new(RealFs, FsFaultConfig::none()));
+    let (clean, _) =
+        Store::open_with_fs(StoreConfig::new(&clean_dir), fs.clone()).expect("clean open");
+    crash_script(&clean);
+    let total_ops = fs.ops();
+    assert!(total_ops >= 12, "script must exercise many write points, got {total_ops}");
+    drop(clean);
+    let _ = std::fs::remove_dir_all(&clean_dir);
+
+    // Kill the store at every single op index, then reopen and audit.
+    for crash_at in 0..total_ops {
+        let dir = unique_dir("crash");
+        let fs = Arc::new(FaultyFs::new(RealFs, FsFaultConfig::crash_at(crash_at, 3)));
+        let Ok((s, _)) = Store::open_with_fs(StoreConfig::new(&dir), fs) else {
+            // Crashed during directory setup: nothing was promised.
+            let _ = std::fs::remove_dir_all(&dir);
+            continue;
+        };
+        let legal = crash_script(&s);
+        drop(s);
+
+        let (reopened, report) =
+            Store::open(StoreConfig::new(&dir)).expect("reopen after crash");
+        // Atomic tmp+rename: a crash can strand temp files but can
+        // never leave a torn entry under a final name.
+        assert_eq!(
+            report.quarantined, 0,
+            "crash at op {crash_at} left a damaged final entry (loaded {}, tmp {})",
+            report.loaded, report.removed_tmp
+        );
+        // Every surviving entry serves a value that was actually stored
+        // under its key; nothing invented, nothing torn.
+        for (&(ns, key), values) in &legal {
+            if let Some(got) = reopened.load_entry(ns, 7, key) {
+                assert!(
+                    values.contains(&got),
+                    "crash at op {crash_at}: ({ns},{key}) served a never-stored value {got:?}"
+                );
+            }
+        }
+        assert_eq!(reopened.stats().corruptions, 0, "crash at op {crash_at}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn torn_and_bitflipped_writes_are_never_served() {
+    // Seed-driven silent damage on ~40% of writes: loads must either
+    // serve the exact stored value or miss — never damaged bytes.
+    for seed in 0..8u64 {
+        let dir = unique_dir("torn");
+        let fs = Arc::new(FaultyFs::new(RealFs, FsFaultConfig::corrupting(0.4, seed)));
+        let (s, _) = Store::open_with_fs(StoreConfig::new(&dir), fs).expect("open");
+        let mut served = 0u32;
+        for key in 0..30u64 {
+            let payload = vec![key as u8; 16 + key as usize];
+            s.store_entry(NS_EVAL, 1, key, &payload);
+            // A None is detected damage: quarantined, recompute.
+            if let Some(got) = s.load_entry(NS_EVAL, 1, key) {
+                assert_eq!(got, payload, "seed {seed} key {key}: damaged bytes served");
+                served += 1;
+            }
+        }
+        let stats = s.stats();
+        assert!(served > 0, "seed {seed}: some writes must survive");
+        assert!(
+            stats.corruptions > 0,
+            "seed {seed}: 40% damage rate must be detected at least once"
+        );
+        // Damaged entries went to quarantine for forensics.
+        let quarantined = std::fs::read_dir(dir.join("quarantine")).unwrap().count();
+        assert_eq!(quarantined as u64, stats.corruptions, "seed {seed}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Flow invisibility: off / cold / warm / corrupted are identical
+// ---------------------------------------------------------------------------
+
+fn flow_cfg(resilience: llm::ResilienceConfig) -> autochip::AutoChipConfig {
+    autochip::AutoChipConfig {
+        k_candidates: 3,
+        max_depth: 2,
+        temperature: 1.0,
+        seed: 11,
+        resilience,
+        ..Default::default()
+    }
+}
+
+fn run_flow(cfg: &autochip::AutoChipConfig) -> autochip::AutoChipResult {
+    let model = llm::SimulatedLlm::new(llm::ModelSpec::ultra());
+    let problem = suite::problem("alu8").unwrap();
+    autochip::run_autochip_with(&model, &problem, cfg, &exec::Engine::sequential())
+        .expect("suite testbench builds")
+}
+
+/// The semantic fingerprint of a run: everything the store must never
+/// change. Deliberately excludes cache/transport counters (those are
+/// exactly what a warm store shrinks) but *includes* virtual time —
+/// store hits bill the original cost, so even the clock is invisible.
+fn semantic(r: &autochip::AutoChipResult) -> String {
+    serde_json::to_string(&(
+        (&r.problem, &r.model, &r.best_source, r.best_score),
+        (r.solved, &r.rounds, r.candidates_evaluated, r.llm.virtual_time_us),
+    ))
+    .expect("result serializes")
+}
+
+/// Flips one payload bit in every entry file under `dir`.
+fn corrupt_all_entries(dir: &Path) -> u64 {
+    let mut damaged = 0;
+    for ns in ["eval", "llm"] {
+        let Ok(read) = std::fs::read_dir(dir.join(ns)) else { continue };
+        for entry in read.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "ent") {
+                let mut bytes = std::fs::read(&path).unwrap();
+                let last = bytes.len() - 1;
+                bytes[last] ^= 0x20;
+                std::fs::write(&path, &bytes).unwrap();
+                damaged += 1;
+            }
+        }
+    }
+    damaged
+}
+
+#[test]
+fn flow_is_bit_identical_off_cold_warm_and_corrupted() {
+    let _guard = global_guard();
+    let cfg = flow_cfg(llm::ResilienceConfig::off());
+
+    backing::uninstall();
+    let baseline = run_flow(&cfg);
+    assert_eq!(baseline.store, backing::StoreStats::default(), "no store => zero counters");
+
+    let dir = unique_dir("invisible");
+    let (s, _) = Store::open(StoreConfig::new(&dir)).unwrap();
+    let installed = Installed::new(Arc::new(s));
+
+    let cold = run_flow(&cfg);
+    assert_eq!(semantic(&cold), semantic(&baseline), "cold store changed the flow");
+    assert!(cold.store.writes > 0, "cold run must populate the store: {:?}", cold.store);
+    assert_eq!(cold.store.hits, 0, "nothing to hit on a cold store");
+
+    let warm = run_flow(&cfg);
+    assert_eq!(semantic(&warm), semantic(&baseline), "warm store changed the flow");
+    assert!(warm.store.hits > 0, "warm run must hit: {:?}", warm.store);
+    assert!(
+        warm.exec.tasks_run < cold.exec.tasks_run,
+        "warm run must skip simulator work ({} vs {})",
+        warm.exec.tasks_run,
+        cold.exec.tasks_run
+    );
+    assert!(
+        warm.llm.transport_sends < cold.llm.transport_sends,
+        "warm run must skip transport sends ({} vs {})",
+        warm.llm.transport_sends,
+        cold.llm.transport_sends
+    );
+
+    // Corrupt every entry on disk; reopen (quarantining the damage) and
+    // rerun: identical results, recomputed from scratch.
+    drop(installed);
+    let damaged = corrupt_all_entries(&dir);
+    assert!(damaged > 0, "the flow must have persisted entries to corrupt");
+    let (s2, _report) = Store::open(StoreConfig::new(&dir)).unwrap();
+    let installed = Installed::new(Arc::new(s2));
+    let recovered = run_flow(&cfg);
+    assert_eq!(semantic(&recovered), semantic(&baseline), "corruption leaked into the flow");
+    assert!(recovered.store.writes > 0, "recovered run must repopulate");
+    drop(installed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flow_invisibility_holds_under_transport_faults() {
+    let _guard = global_guard();
+    // Injected LLM faults: retries, degradation, fault-dependent texts.
+    // The store must still be invisible — and a warm run must bill the
+    // exact same virtual time the cold (faulted) run did.
+    let cfg = flow_cfg(llm::ResilienceConfig::with_fault_rate(0.3, 42));
+
+    backing::uninstall();
+    let baseline = run_flow(&cfg);
+
+    let dir = unique_dir("faulted");
+    let (s, _) = Store::open(StoreConfig::new(&dir)).unwrap();
+    let installed = Installed::new(Arc::new(s));
+    let cold = run_flow(&cfg);
+    let warm = run_flow(&cfg);
+    assert_eq!(semantic(&cold), semantic(&baseline), "cold+faults changed the flow");
+    assert_eq!(semantic(&warm), semantic(&baseline), "warm+faults changed the flow");
+    assert!(warm.llm.store_hits > 0, "{:?}", warm.llm);
+    drop(installed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cross_run_determinism_cold_runs_identical_warm_strictly_cheaper() {
+    let _guard = global_guard();
+    let cfg = flow_cfg(llm::ResilienceConfig::off());
+
+    // Two cold runs against two fresh stores: the FULL serialized
+    // result — counters included — must be byte-identical.
+    let dir_a = unique_dir("cold-a");
+    let dir_b = unique_dir("cold-b");
+    let (sa, _) = Store::open(StoreConfig::new(&dir_a)).unwrap();
+    let installed = Installed::new(Arc::new(sa));
+    let cold_a = run_flow(&cfg);
+    drop(installed);
+    let (sb, _) = Store::open(StoreConfig::new(&dir_b)).unwrap();
+    let installed = Installed::new(Arc::new(sb));
+    let cold_b = run_flow(&cfg);
+    assert_eq!(
+        serde_json::to_string(&cold_a).unwrap(),
+        serde_json::to_string(&cold_b).unwrap(),
+        "two cold runs must serialize byte-identically"
+    );
+
+    // Cold + warm on the same store: same semantics, strictly less work.
+    let warm_b = run_flow(&cfg);
+    drop(installed);
+    assert_eq!(semantic(&warm_b), semantic(&cold_b));
+    assert!(warm_b.exec.tasks_run < cold_b.exec.tasks_run);
+    assert!(warm_b.llm.transport_sends < cold_b.llm.transport_sends);
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn store_enable_knob_bypasses_an_installed_store() {
+    let _guard = global_guard();
+    let dir = unique_dir("knob");
+    let (s, _) = Store::open(StoreConfig::new(&dir)).unwrap();
+    let installed = Installed::new(Arc::new(s));
+
+    let cache: exec::EvalCache<u64> = exec::EvalCache::persistent(1);
+    assert!(cache.is_persistent(), "installed store must be picked up");
+
+    std::env::set_var(backing::STORE_ENABLE_ENV, "0");
+    let cache: exec::EvalCache<u64> = exec::EvalCache::persistent(1);
+    let off = !cache.is_persistent();
+    std::env::remove_var(backing::STORE_ENABLE_ENV);
+    assert!(off, "EDA_STORE_ENABLE=0 must bypass the store");
+
+    drop(installed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sltgen_flow_is_invisible_and_warm_skips_measurement() {
+    let _guard = global_guard();
+    let model = llm::SimulatedLlm::new(llm::ModelSpec::code_llama_ft());
+    let cfg = llm4eda::sltgen::SltConfig {
+        virtual_hours: 0.8,
+        ..llm4eda::sltgen::SltConfig::default()
+    };
+    let run = |engine: &exec::Engine| llm4eda::sltgen::run_slt_llm_with(&model, &cfg, engine);
+
+    backing::uninstall();
+    let baseline = run(&exec::Engine::sequential());
+
+    let dir = unique_dir("sltgen");
+    let (s, _) = Store::open(StoreConfig::new(&dir)).unwrap();
+    let installed = Installed::new(Arc::new(s));
+    let cold = run(&exec::Engine::sequential());
+    let warm = run(&exec::Engine::sequential());
+    drop(installed);
+
+    let fingerprint = |r: &llm4eda::sltgen::SltRun| {
+        serde_json::to_string(&(&r.run, r.final_temperature, r.pool_diversity, r.pool_best))
+            .unwrap()
+    };
+    assert_eq!(fingerprint(&cold), fingerprint(&baseline), "cold store changed sltgen");
+    assert_eq!(fingerprint(&warm), fingerprint(&baseline), "warm store changed sltgen");
+    assert!(warm.store.hits > 0, "{:?}", warm.store);
+    assert!(
+        warm.exec.tasks_run < cold.exec.tasks_run,
+        "warm sltgen must skip power measurements ({} vs {})",
+        warm.exec.tasks_run,
+        cold.exec.tasks_run
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
