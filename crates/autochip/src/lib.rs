@@ -192,28 +192,35 @@ pub fn run_autochip_with(
         if cfg.cancel.is_cancelled() {
             break;
         }
+        let _round = eda_obs::span!("flow", "autochip_round", "depth" => depth);
         // Sample this round's k candidates as one parallel batch (each
         // sample index is fixed up front, so streams match the
         // sequential path).
         let ks: Vec<u32> = (0..cfg.k_candidates.max(1)).collect();
-        let sources = engine.map_stage("generate", ks, |_, k| {
-            client
-                .complete(&ChatRequest {
-                    prompt: prompt.clone(),
-                    temperature: cfg.temperature,
-                    sample_index: depth * 1000 + k + cfg.seed as u32 * 31,
-                })
-                .text
-        });
+        let sources = {
+            let _gen = eda_obs::span!("flow", "generate", "k" => ks.len());
+            engine.map_stage("generate", ks, |_, k| {
+                client
+                    .complete(&ChatRequest {
+                        prompt: prompt.clone(),
+                        temperature: cfg.temperature,
+                        sample_index: depth * 1000 + k + cfg.seed as u32 * 31,
+                    })
+                    .text
+            })
+        };
         // Score the batch: duplicates (within the round or from earlier
         // rounds) come from the cache, fresh sources fan out to workers.
-        let results = engine.score_batch_stage(
-            "evaluate",
-            &cache,
-            &sources,
-            |src| candidate_key(src, problem, cfg),
-            |_, src| evaluate_candidate(src, problem, &tb),
-        );
+        let results = {
+            let _eval = eda_obs::span!("flow", "evaluate", "candidates" => sources.len());
+            engine.score_batch_stage(
+                "evaluate",
+                &cache,
+                &sources,
+                |src| candidate_key(src, problem, cfg),
+                |_, src| evaluate_candidate(src, problem, &tb),
+            )
+        };
         evaluated += sources.len() as u32;
 
         let mut round_best: Option<(f64, usize)> = None;
@@ -330,6 +337,7 @@ pub fn run_structured_flow(
         if cfg.cancel.is_cancelled() {
             break;
         }
+        let _round = eda_obs::span!("flow", "structured_round", "round" => round);
         rounds_used = round + 1;
         let resp = client.complete(&ChatRequest {
             prompt: prompt.clone(),

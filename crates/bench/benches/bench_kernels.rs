@@ -1,7 +1,9 @@
 //! Criterion micro-benchmarks for the workspace's hot kernels: the HDL
 //! event simulator (both engines), memoized elaboration, symbolic
 //! synthesis + mapping, BM25 retrieval, Levenshtein distance, the RISC-V
-//! OOO power model (both engines), and HLS scheduling.
+//! OOO power model (both engines), and HLS scheduling — plus the
+//! disabled-path cost of `eda-obs` instrumentation, which carries an
+//! absolute budget assertion in quick/check modes.
 //!
 //! Knobs (typed via `eda_exec::parse_bool_knob`):
 //! - `EDA_BENCH_QUICK=1`  — short warmup/measurement for CI smoke runs.
@@ -188,6 +190,24 @@ fn bench_hls_schedule(c: &mut Criterion) {
     });
 }
 
+/// Cost of instrumentation when no `ObsSession` is live: `span!` and the
+/// metric helpers must collapse to one relaxed atomic load. These names
+/// feed the absolute-budget assertion in `main`.
+fn bench_obs_disabled(c: &mut Criterion) {
+    assert!(
+        !eda_obs::enabled(),
+        "obs must be off for the disabled-overhead bench (is EDA_OBS=1 set?)"
+    );
+    c.bench_function("obs_span_disabled", |b| {
+        b.iter(|| {
+            let _g = eda_obs::span!("bench", "noop", "i" => black_box(1u64));
+        })
+    });
+    c.bench_function("obs_counter_disabled", |b| {
+        b.iter(|| eda_obs::counter_add(black_box("bench.noop"), String::new, 1))
+    });
+}
+
 fn knob(name: &str) -> bool {
     eda_exec::parse_bool_knob(name)
         .unwrap_or_else(|e| panic!("{e}"))
@@ -285,8 +305,23 @@ fn main() {
     bench_levenshtein(&mut c);
     bench_ooo_model(&mut c);
     bench_hls_schedule(&mut c);
+    bench_obs_disabled(&mut c);
 
     report_speedups(c.results());
+    if knob("EDA_BENCH_QUICK") || knob("EDA_BENCH_CHECK") {
+        // Absolute budget, not a baseline ratio: the disabled path is a
+        // single relaxed atomic load and must stay in the low nanoseconds.
+        // 250 ns absorbs any runner, while still catching an accidental
+        // allocation or closure evaluation on the off path.
+        for name in ["obs_span_disabled", "obs_counter_disabled"] {
+            let ns = lookup(c.results(), name);
+            assert!(
+                ns < 250.0,
+                "{name} costs {ns:.1} ns per op with obs off (budget 250 ns)"
+            );
+            println!("check: {name:<44} ok   {ns:.1} ns/op (budget 250)");
+        }
+    }
     if knob("EDA_BENCH_WRITE") {
         write_baseline(c.results());
     }

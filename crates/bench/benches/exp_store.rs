@@ -110,7 +110,9 @@ fn open_store(dir: &Path, max_bytes: u64) -> Arc<Store> {
 
 fn main() {
     banner("E13: persistent store — duplicate rate × cache size");
-    let quick = std::env::var("EDA_BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+    let quick = eda_exec::parse_bool_knob("EDA_BENCH_QUICK")
+        .unwrap_or_else(|e| panic!("{e}"))
+        .unwrap_or(false);
     let dup_rates: &[f64] = if quick { &[0.0, 0.6] } else { &[0.0, 0.3, 0.6, 0.9] };
     let runs = if quick { 8 } else { 16 };
     // Budgets: tight enough that the distinct working set (~30-50KB at

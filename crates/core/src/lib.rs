@@ -282,6 +282,14 @@ fn run_stage(
     state: &mut DesignState,
     stages: &mut Vec<StageResult>,
 ) -> bool {
+    let stage_tag = match stage {
+        Stage::SpecToRtl => "spec_to_rtl",
+        Stage::Lint => "lint",
+        Stage::Verify => "verify",
+        Stage::Synthesis => "synthesis",
+        Stage::PpaReport => "ppa_report",
+    };
+    let _stage_span = eda_obs::span!("agent", stage_tag);
     let status = tool.run(state);
     state.log.push(format!("[{}] {:?}", tool.name(), status));
     let detail = match &status {

@@ -1,0 +1,69 @@
+//! Generic ambient-context propagation across engine worker threads.
+//!
+//! [`Engine::map_stage`](crate::Engine::map_stage) spawns fresh worker
+//! threads per parallel batch, so any thread-local context the caller
+//! holds (an observability session, say) would silently vanish inside
+//! the closure. This module is the seam that carries it over without
+//! `eda-exec` depending on who owns the context: a consumer installs a
+//! process-wide [`Propagator`] once — `capture` runs on the submitting
+//! thread before fan-out, `adopt` runs first thing on every worker.
+//!
+//! The payload is an opaque `Arc<dyn Any + Send + Sync>`; the engine
+//! never inspects it. With no propagator installed (or `capture`
+//! returning `None`) the parallel path pays one `OnceLock` read per
+//! batch — nothing per task.
+
+use std::any::Any;
+use std::sync::{Arc, OnceLock};
+
+/// Opaque context payload carried from submitter to workers.
+pub type Captured = Arc<dyn Any + Send + Sync>;
+
+/// The two halves of a context hand-off.
+pub struct Propagator {
+    /// Runs on the thread calling `map_stage`, before workers spawn.
+    /// Return `None` when there is nothing to carry (the common case).
+    pub capture: fn() -> Option<Captured>,
+    /// Runs once at the top of every spawned worker thread, with the
+    /// submitter's captured payload. Worker threads are batch-scoped,
+    /// so no restore step exists — the thread (and its locals) end with
+    /// the batch.
+    pub adopt: fn(&Captured),
+}
+
+static PROPAGATOR: OnceLock<Propagator> = OnceLock::new();
+
+/// Installs the process-wide propagator. The first caller wins;
+/// returns `false` (and changes nothing) on later calls.
+pub fn install_propagator(p: Propagator) -> bool {
+    PROPAGATOR.set(p).is_ok()
+}
+
+/// Captures the submitting thread's context, if a propagator wants to.
+pub(crate) fn capture() -> Option<Captured> {
+    PROPAGATOR.get().and_then(|p| (p.capture)())
+}
+
+/// Hands a captured context to the current (worker) thread.
+pub(crate) fn adopt(captured: &Option<Captured>) {
+    if let (Some(p), Some(c)) = (PROPAGATOR.get(), captured.as_ref()) {
+        (p.adopt)(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_install_is_rejected() {
+        // Shared process state: whichever test (or consumer crate's
+        // test) installs first wins; we only assert the contract that
+        // a second install reports failure.
+        let noop = || Propagator { capture: || None, adopt: |_| {} };
+        let first = install_propagator(noop());
+        let second = install_propagator(noop());
+        assert!(!second || first, "at most one install can ever succeed");
+        assert!(!install_propagator(noop()));
+    }
+}

@@ -37,6 +37,7 @@
 //! assert_eq!(cache.hits(), 1); // the duplicate "a" was never re-scored
 //! ```
 
+pub mod ambient;
 pub mod backing;
 pub mod clock;
 pub mod env;
@@ -505,9 +506,13 @@ impl Engine {
                 injector.push(task);
             }
             let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+            // Carry the submitter's ambient context (observability etc.)
+            // onto the batch-scoped worker threads.
+            let captured = ambient::capture();
             crossbeam::scope(|s| {
                 for _ in 0..workers {
                     s.spawn(|_| {
+                        ambient::adopt(&captured);
                         let local: Worker<(usize, T)> = Worker::new_lifo();
                         loop {
                             let task = local

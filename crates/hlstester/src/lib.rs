@@ -259,6 +259,7 @@ pub fn run_hlstester_with(
         if cfg.cancel.is_cancelled() {
             break;
         }
+        let _round = eda_obs::span!("flow", "hlstester_round", "round" => round);
         // Generate a batch: mutations of promising inputs + LLM proposals
         // + fresh random.
         let mut batch: Vec<Vec<i64>> = Vec::new();

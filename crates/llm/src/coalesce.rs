@@ -36,6 +36,7 @@ use parking_lot::Mutex;
 use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Completion text returned (at zero cost) once a job's deadline has
 /// fired; evaluators score it as garbage, like a transport error.
@@ -114,6 +115,18 @@ impl<'a> CoalescingLlm<'a> {
     /// warm-up order.
     pub fn complete_costed(&self, request: &ChatRequest) -> (ChatResponse, u64) {
         self.lookups.fetch_add(1, Ordering::Relaxed);
+        let (resp, cost_us) = self.complete_costed_inner(request);
+        // Observability: one histogram sample per *lookup*, with the
+        // billed cost. Hits bill the cached cost — identical to what
+        // the miss would have billed — so the distribution is invariant
+        // under coalescing on/off (join totals live in CoalesceReport,
+        // which deliberately stays out of the obs exports).
+        eda_obs::counter_add("llm.lookups", String::new, 1);
+        eda_obs::observe_us("llm.request_us", String::new, cost_us);
+        (resp, cost_us)
+    }
+
+    fn complete_costed_inner(&self, request: &ChatRequest) -> (ChatResponse, u64) {
         if !self.enabled {
             return self.client.complete_costed(request);
         }
@@ -149,7 +162,7 @@ impl<'a> CoalescingLlm<'a> {
     /// billed to a fresh job clock, and once that clock passes
     /// `deadline_us` (0 = no deadline) the job's `cancel` token fires.
     pub fn handle(&self, deadline_us: u64, cancel: CancelToken) -> JobHandle<'_> {
-        JobHandle { shared: self, clock: SharedClock::new(), deadline_us, cancel }
+        JobHandle { shared: self, clock: Arc::new(SharedClock::new()), deadline_us, cancel }
     }
 }
 
@@ -157,7 +170,7 @@ impl<'a> CoalescingLlm<'a> {
 /// billing clock, deadline enforcement, cooperative cancellation.
 pub struct JobHandle<'c> {
     shared: &'c CoalescingLlm<'c>,
-    clock: SharedClock,
+    clock: Arc<SharedClock>,
     deadline_us: u64,
     cancel: CancelToken,
 }
@@ -166,6 +179,13 @@ impl JobHandle<'_> {
     /// The job's billed virtual clock (LLM latency + backoff + waits).
     pub fn clock(&self) -> &SharedClock {
         &self.clock
+    }
+
+    /// Shared handle on the billing clock — what the serve layer
+    /// attaches as the job's ambient observability clock, so spans
+    /// stamp the same virtual time the job is billed on.
+    pub fn clock_shared(&self) -> Arc<SharedClock> {
+        self.clock.clone()
     }
 
     /// The job's cancellation token (shared with the flow config).
@@ -181,12 +201,19 @@ impl ChatModel for JobHandle<'_> {
 
     fn complete(&self, request: &ChatRequest) -> ChatResponse {
         if self.cancel.is_cancelled() {
+            eda_obs::instant!("llm", "cancelled");
             return ChatResponse { text: CANCELLED_COMPLETION.to_string() };
         }
+        // Tree span on the job's own clock: recorded only from the
+        // job's (sequential) flow thread, so enter/exit stamps are a
+        // pure function of the job's request stream.
+        let span = eda_obs::span!("llm", "request");
         let (resp, cost_us) = self.shared.complete_costed(request);
         self.clock.advance_us(cost_us);
+        drop(span);
         if self.deadline_us > 0 && self.clock.micros() > self.deadline_us {
             self.cancel.cancel();
+            eda_obs::instant!("llm", "deadline_fired", "billed_us" => self.clock.micros());
         }
         resp
     }

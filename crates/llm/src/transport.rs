@@ -162,11 +162,24 @@ impl<M: ChatModel> Transport for DirectTransport<M> {
         self.model.name()
     }
 
-    fn send(&self, request: &ChatRequest, _attempt: u32) -> Result<Reply, TransportError> {
-        Ok(Reply {
+    fn send(&self, request: &ChatRequest, attempt: u32) -> Result<Reply, TransportError> {
+        let reply = Reply {
             text: self.model.complete(request).text,
             latency_us: self.base_latency_us,
-        })
+        };
+        // Same idempotent reporting as FaultyTransport: pure per
+        // (request, attempt), so the fault-free stack also shows its
+        // unique transport calls in traces.
+        if eda_obs::enabled() {
+            eda_obs::transport_event(
+                crate::resilient::hash_request(request),
+                attempt,
+                "transport.ok",
+                reply.latency_us,
+                String::new,
+            );
+        }
+        Ok(reply)
     }
 }
 
@@ -340,6 +353,43 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     }
 
     fn send(&self, request: &ChatRequest, attempt: u32) -> Result<Reply, TransportError> {
+        let result = self.send_inner(request, attempt);
+        // Observability: one idempotent event per (request, attempt).
+        // The outcome is pure, so whichever job/thread reports first
+        // writes identical bytes — traces stay invariant across thread
+        // counts and across coalescing (which only dedups the calls).
+        if eda_obs::enabled() {
+            let key = crate::resilient::hash_request(request);
+            match &result {
+                Ok(reply) => eda_obs::transport_event(
+                    key,
+                    attempt,
+                    "transport.ok",
+                    reply.latency_us,
+                    String::new,
+                ),
+                Err(e) => {
+                    let name = match e {
+                        TransportError::Timeout { .. } => "transport.timeout",
+                        TransportError::RateLimited { .. } => "transport.rate_limited",
+                        TransportError::Server { .. } => "transport.server_error",
+                    };
+                    eda_obs::transport_event(key, attempt, name, s_to_us(e.cost_s()), || {
+                        e.to_string()
+                    });
+                }
+            }
+        }
+        result
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.stats.snapshot()
+    }
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    fn send_inner(&self, request: &ChatRequest, attempt: u32) -> Result<Reply, TransportError> {
         // One Bernoulli draw per class, in fixed order, so the outcome
         // stream is a pure function of (seed, request, attempt).
         let mut draw = FaultDraw::new(self.cfg.seed, request, attempt);
@@ -379,10 +429,6 @@ impl<T: Transport> Transport for FaultyTransport<T> {
             reply.text = garble_text(&reply.text, &mut draw);
         }
         Ok(reply)
-    }
-
-    fn fault_stats(&self) -> FaultStats {
-        self.stats.snapshot()
     }
 }
 

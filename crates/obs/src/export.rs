@@ -1,0 +1,578 @@
+//! Exporters: Chrome-trace JSON, JSONL event logs, and the
+//! human-readable [`ObsReport`].
+//!
+//! Export order is canonical everywhere — traces sorted by job id
+//! (scheduler first), transport groups by request hash, metrics by
+//! `(name, labels)` — so a session holding the same recorded data
+//! always serializes byte-identically, whatever thread count or
+//! interleaving produced it.
+//!
+//! The Chrome-trace dump (`{"traceEvents": [...]}`) loads directly in
+//! `chrome://tracing` / Perfetto: each job is a thread (`tid = id + 1`,
+//! scheduler on `tid 0`), spans are `B`/`E` pairs on the job's virtual
+//! clock, and deduped transport attempt groups render as `X` complete
+//! events on a second process. [`validate_chrome_trace`] re-parses a
+//! dump with the strict shim parser and checks shape, nesting balance,
+//! and per-thread timestamp monotonicity — CI runs it on the smoke
+//! dump.
+
+use crate::metrics::MetricSnapshot;
+use crate::{EventKind, JobTrace, ObsSession, SCHEDULER_TRACE_ID};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// `pid` of job/scheduler threads in Chrome-trace dumps.
+const JOBS_PID: u64 = 1;
+/// `pid` of deduped transport groups.
+const TRANSPORT_PID: u64 = 2;
+
+/// Both export formats of one session, rendered in memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceExport {
+    /// Chrome-trace/Perfetto JSON (`{"traceEvents": [...]}`).
+    pub chrome: String,
+    /// JSONL event log (one JSON object per line).
+    pub jsonl: String,
+}
+
+/// Per-priority-class latency and SLO summary. Percentiles are exact
+/// (nearest-rank over the full per-job population — every job, not just
+/// sampled ones).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ClassReport {
+    /// Priority class name (`Interactive`/`Standard`/`Batch`).
+    pub class: String,
+    /// Jobs that ran to completion (cancelled ones included).
+    pub completed: u64,
+    pub queue_wait_p50_us: u64,
+    pub queue_wait_p90_us: u64,
+    pub queue_wait_p99_us: u64,
+    /// End-to-end (arrival → finish) latency percentiles.
+    pub latency_p50_us: u64,
+    pub latency_p90_us: u64,
+    pub latency_p99_us: u64,
+    /// Admitted jobs carrying a deadline.
+    pub slo_jobs: u64,
+    /// Of those, jobs that completed within their deadline.
+    pub slo_met: u64,
+    /// `slo_met / slo_jobs` (1.0 when no job carries a deadline).
+    pub slo_attainment: f64,
+}
+
+impl ClassReport {
+    /// Builds one class row from raw per-job samples. `waits`/`lats`
+    /// need not be pre-sorted.
+    pub fn build(
+        class: &str,
+        mut waits: Vec<u64>,
+        mut lats: Vec<u64>,
+        slo_jobs: u64,
+        slo_met: u64,
+    ) -> Self {
+        waits.sort_unstable();
+        lats.sort_unstable();
+        ClassReport {
+            class: class.to_string(),
+            completed: lats.len() as u64,
+            queue_wait_p50_us: percentile_us(&waits, 50.0),
+            queue_wait_p90_us: percentile_us(&waits, 90.0),
+            queue_wait_p99_us: percentile_us(&waits, 99.0),
+            latency_p50_us: percentile_us(&lats, 50.0),
+            latency_p90_us: percentile_us(&lats, 90.0),
+            latency_p99_us: percentile_us(&lats, 99.0),
+            slo_jobs,
+            slo_met,
+            slo_attainment: if slo_jobs == 0 { 1.0 } else { slo_met as f64 / slo_jobs as f64 },
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
+pub fn percentile_us(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// The human-readable observability summary embedded in `ServeReport`
+/// and rendered by `examples/obs_timeline.rs`. Deterministic: built
+/// from per-job outcomes and the canonical metrics snapshot only.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ObsReport {
+    /// Jobs the run served (all of them, sampled or not).
+    pub total_jobs: u64,
+    /// Jobs whose full span trace was recorded (`EDA_OBS_SAMPLE`).
+    pub sampled_jobs: u64,
+    /// Span events across all recorded traces.
+    pub span_events: u64,
+    /// Events dropped at buffer caps — surfaced, never silent.
+    pub dropped_events: u64,
+    /// Deduped transport request groups.
+    pub transport_groups: u64,
+    /// Per-priority-class latency/SLO rows (every class, fixed order).
+    pub classes: Vec<ClassReport>,
+    /// Canonical metrics snapshot (sorted by name, then labels).
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl ObsReport {
+    /// Assembles the report: session-held counters and metrics plus the
+    /// caller-computed per-class rows (the caller owns job outcomes).
+    pub fn assemble(
+        session: &ObsSession,
+        total_jobs: u64,
+        sampled_jobs: u64,
+        classes: Vec<ClassReport>,
+    ) -> Self {
+        ObsReport {
+            total_jobs,
+            sampled_jobs,
+            span_events: session.span_events(),
+            dropped_events: session.dropped_events(),
+            transport_groups: session.transport_groups().len() as u64,
+            classes,
+            metrics: session.metrics().snapshot(),
+        }
+    }
+
+    /// Plain-text rendering (the `obs_timeline` example's body).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "jobs: {} served, {} span-traced | events: {} recorded, {} dropped | transport groups: {}",
+            self.total_jobs,
+            self.sampled_jobs,
+            self.span_events,
+            self.dropped_events,
+            self.transport_groups
+        );
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9}",
+            "class", "done", "wait-p50", "wait-p90", "wait-p99", "e2e-p50", "e2e-p90", "e2e-p99", "slo"
+        );
+        for c in &self.classes {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8.1}%",
+                c.class,
+                c.completed,
+                c.queue_wait_p50_us,
+                c.queue_wait_p90_us,
+                c.queue_wait_p99_us,
+                c.latency_p50_us,
+                c.latency_p90_us,
+                c.latency_p99_us,
+                c.slo_attainment * 100.0,
+            );
+        }
+        if !self.metrics.is_empty() {
+            let _ = writeln!(out, "\nmetrics:");
+            for m in &self.metrics {
+                let label = if m.labels.is_empty() {
+                    m.name.clone()
+                } else {
+                    format!("{}{{{}}}", m.name, m.labels)
+                };
+                match m.kind.as_str() {
+                    "hist" => {
+                        let _ = writeln!(
+                            out,
+                            "  {label:<52} n={} p50={}us p90={}us p99={}us max={}us",
+                            m.value, m.p50_us, m.p90_us, m.p99_us, m.max_us
+                        );
+                    }
+                    _ => {
+                        let _ = writeln!(out, "  {label:<52} {}", m.value);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn attrs_json(attrs: &[(&'static str, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":\"{}\"", escape_json(k), escape_json(v));
+    }
+    out.push('}');
+    out
+}
+
+fn trace_tid(t: &JobTrace) -> u64 {
+    if t.job_id == SCHEDULER_TRACE_ID {
+        0
+    } else {
+        t.job_id + 1
+    }
+}
+
+impl ObsSession {
+    /// Renders both export formats at once.
+    pub fn export(&self) -> TraceExport {
+        TraceExport { chrome: self.to_chrome_trace(), jsonl: self.to_jsonl() }
+    }
+
+    /// Chrome-trace/Perfetto JSON of every recorded trace and transport
+    /// group.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut events: Vec<String> = Vec::new();
+        for trace in self.traces_sorted() {
+            let tid = trace_tid(&trace);
+            events.push(format!(
+                "{{\"ph\":\"M\",\"pid\":{JOBS_PID},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+                escape_json(&trace.name)
+            ));
+            for ev in &trace.events {
+                match ev.kind {
+                    EventKind::Enter => events.push(format!(
+                        "{{\"ph\":\"B\",\"pid\":{JOBS_PID},\"tid\":{tid},\"ts\":{},\"name\":\"{}\",\"cat\":\"{}\",\"args\":{}}}",
+                        ev.ts_us,
+                        escape_json(&format!("{}.{}", ev.scope, ev.name)),
+                        escape_json(ev.scope),
+                        attrs_json(&ev.attrs)
+                    )),
+                    EventKind::Exit => events.push(format!(
+                        "{{\"ph\":\"E\",\"pid\":{JOBS_PID},\"tid\":{tid},\"ts\":{}}}",
+                        ev.ts_us
+                    )),
+                    EventKind::Instant => events.push(format!(
+                        "{{\"ph\":\"i\",\"pid\":{JOBS_PID},\"tid\":{tid},\"ts\":{},\"s\":\"t\",\"name\":\"{}\",\"cat\":\"{}\",\"args\":{}}}",
+                        ev.ts_us,
+                        escape_json(&format!("{}.{}", ev.scope, ev.name)),
+                        escape_json(ev.scope),
+                        attrs_json(&ev.attrs)
+                    )),
+                }
+            }
+        }
+        for (tid, (key, group)) in self.transport_groups().iter().enumerate() {
+            events.push(format!(
+                "{{\"ph\":\"M\",\"pid\":{TRANSPORT_PID},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"req {key:016x}\"}}}}",
+            ));
+            let mut cursor = 0u64;
+            for (slot, ev) in group {
+                events.push(format!(
+                    "{{\"ph\":\"X\",\"pid\":{TRANSPORT_PID},\"tid\":{tid},\"ts\":{cursor},\"dur\":{},\"name\":\"{}\",\"cat\":\"transport\",\"args\":{{\"slot\":\"{slot}\",\"detail\":\"{}\"}}}}",
+                    ev.cost_us.max(1),
+                    escape_json(ev.name),
+                    escape_json(&ev.detail)
+                ));
+                cursor += ev.cost_us.max(1);
+            }
+        }
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(e);
+        }
+        out.push_str("\n]}");
+        out
+    }
+
+    /// JSONL event log: one self-describing object per line (`meta`,
+    /// `span`, `transport`, `metric` records, in canonical order).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"meta\",\"span_events\":{},\"dropped_events\":{},\"transport_groups\":{}}}",
+            self.span_events(),
+            self.dropped_events(),
+            self.transport_groups().len()
+        );
+        for trace in self.traces_sorted() {
+            for ev in &trace.events {
+                let kind = match ev.kind {
+                    EventKind::Enter => "enter",
+                    EventKind::Exit => "exit",
+                    EventKind::Instant => "instant",
+                };
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"span\",\"trace\":\"{}\",\"kind\":\"{kind}\",\"ts_us\":{},\"scope\":\"{}\",\"name\":\"{}\",\"span\":{},\"parent\":{},\"attrs\":{}}}",
+                    escape_json(&trace.name),
+                    ev.ts_us,
+                    escape_json(ev.scope),
+                    escape_json(ev.name),
+                    ev.span.0,
+                    ev.parent.0,
+                    attrs_json(&ev.attrs)
+                );
+            }
+        }
+        for (key, group) in self.transport_groups() {
+            for (slot, ev) in group {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"transport\",\"key\":\"{key:016x}\",\"slot\":{slot},\"name\":\"{}\",\"cost_us\":{},\"detail\":\"{}\"}}",
+                    escape_json(ev.name),
+                    ev.cost_us,
+                    escape_json(&ev.detail)
+                );
+            }
+        }
+        for m in self.metrics().snapshot() {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"metric\",\"name\":\"{}\",\"labels\":\"{}\",\"kind\":\"{}\",\"value\":{},\"sum_us\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{}}}",
+                escape_json(&m.name),
+                escape_json(&m.labels),
+                m.kind,
+                m.value,
+                m.sum_us,
+                m.p50_us,
+                m.p90_us,
+                m.p99_us
+            );
+        }
+        out
+    }
+}
+
+/// Shape summary returned by [`validate_chrome_trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeTraceStats {
+    /// Entries in `traceEvents`.
+    pub events: usize,
+    /// Matched `B`/`E` span pairs.
+    pub spans: usize,
+    /// `X` complete events (transport attempts).
+    pub complete_events: usize,
+    /// `i` instant events.
+    pub instants: usize,
+    /// Distinct `(pid, tid)` lanes.
+    pub threads: usize,
+    /// Deepest `B` nesting seen on any lane.
+    pub max_depth: usize,
+}
+
+/// Strictly validates a Chrome-trace JSON dump: parses with the shim's
+/// recursive-descent parser, then checks that `traceEvents` exists and
+/// is non-empty, every event carries `ph`/`pid`/`tid` (and `ts` for
+/// non-metadata), per-lane `B`/`E` nesting balances without underflow,
+/// and per-lane timestamps never run backwards.
+///
+/// # Errors
+///
+/// A description of the first violation found.
+pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceStats, String> {
+    let doc = serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_array()
+        .ok_or("traceEvents is not an array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".to_string());
+    }
+    let mut stats = ChromeTraceStats {
+        events: events.len(),
+        spans: 0,
+        complete_events: 0,
+        instants: 0,
+        threads: 0,
+        max_depth: 0,
+    };
+    let mut lanes: BTreeMap<(u64, u64), (usize, u64)> = BTreeMap::new(); // (depth, last ts)
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let pid = ev
+            .get("pid")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("event {i}: missing pid"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("event {i}: missing tid"))?;
+        let lane = lanes.entry((pid, tid)).or_insert((0, 0));
+        if ph == "M" {
+            continue;
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        if ts < lane.1 {
+            return Err(format!(
+                "event {i}: timestamp runs backwards on pid {pid} tid {tid} ({ts} < {})",
+                lane.1
+            ));
+        }
+        lane.1 = ts;
+        match ph {
+            "B" => {
+                if ev.get("name").and_then(|v| v.as_str()).is_none() {
+                    return Err(format!("event {i}: B without a name"));
+                }
+                lane.0 += 1;
+                stats.max_depth = stats.max_depth.max(lane.0);
+            }
+            "E" => {
+                if lane.0 == 0 {
+                    return Err(format!(
+                        "event {i}: E without matching B on pid {pid} tid {tid}"
+                    ));
+                }
+                lane.0 -= 1;
+                stats.spans += 1;
+            }
+            "X" => {
+                if ev.get("dur").and_then(|v| v.as_u64()).is_none() {
+                    return Err(format!("event {i}: X without dur"));
+                }
+                stats.complete_events += 1;
+            }
+            "i" => stats.instants += 1,
+            other => return Err(format!("event {i}: unknown ph {other:?}")),
+        }
+    }
+    for ((pid, tid), (depth, _)) in &lanes {
+        if *depth != 0 {
+            return Err(format!("unbalanced spans on pid {pid} tid {tid}: {depth} left open"));
+        }
+    }
+    stats.threads = lanes.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{attach_job, span, ObsConfig};
+    use eda_exec::SharedClock;
+    use std::sync::Arc;
+
+    fn demo_session() -> Arc<ObsSession> {
+        let s = ObsSession::new(ObsConfig::on());
+        let rec = s.recorder();
+        let clock = Arc::new(SharedClock::new());
+        {
+            let _g = attach_job(&s, Some(rec.clone()), clock.clone());
+            let _outer = span!("flow", "round", "depth" => 0);
+            clock.advance_us(1000);
+            {
+                let _inner = span!("llm", "request");
+                clock.advance_us(800_000);
+            }
+            crate::instant!("serve", "note", "x" => 1);
+        }
+        s.finish_trace(3, "alpha/autochip#3".into(), &rec, clock.micros());
+        s.transport_event(
+            0xabcd,
+            0,
+            crate::TransportEvent { name: "transport.ok", cost_us: 800_000, detail: String::new() },
+        );
+        s.metrics().observe("queue_wait_us", "class=Interactive".into(), 1234);
+        s
+    }
+
+    #[test]
+    fn chrome_export_validates_and_counts() {
+        let s = demo_session();
+        let chrome = s.to_chrome_trace();
+        let stats = validate_chrome_trace(&chrome).expect("valid dump");
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.complete_events, 1);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.max_depth, 2);
+        assert_eq!(stats.threads, 2, "one job lane + one transport lane");
+    }
+
+    #[test]
+    fn exports_are_reproducible() {
+        let a = demo_session();
+        let b = demo_session();
+        assert_eq!(a.export(), b.export());
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+        assert!(a.to_jsonl().lines().count() >= 7);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_dumps() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[]}").is_err());
+        // E without B.
+        let bad = r#"{"traceEvents":[{"ph":"E","pid":1,"tid":0,"ts":5}]}"#;
+        assert!(validate_chrome_trace(bad).unwrap_err().contains("without matching B"));
+        // Unbalanced at end.
+        let open = r#"{"traceEvents":[{"ph":"B","pid":1,"tid":0,"ts":5,"name":"x"}]}"#;
+        assert!(validate_chrome_trace(open).unwrap_err().contains("left open"));
+        // Backwards time.
+        let back = r#"{"traceEvents":[{"ph":"B","pid":1,"tid":0,"ts":5,"name":"x"},{"ph":"E","pid":1,"tid":0,"ts":4}]}"#;
+        assert!(validate_chrome_trace(back).unwrap_err().contains("backwards"));
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&v, 50.0), 50);
+        assert_eq!(percentile_us(&v, 99.0), 99);
+        assert_eq!(percentile_us(&v, 100.0), 100);
+        assert_eq!(percentile_us(&[42], 50.0), 42);
+        assert_eq!(percentile_us(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn class_report_builds_slo_attainment() {
+        let c = ClassReport::build("Interactive", vec![30, 10, 20], vec![300, 100, 200], 3, 2);
+        assert_eq!(c.queue_wait_p50_us, 20);
+        assert_eq!(c.latency_p99_us, 300);
+        assert!((c.slo_attainment - 2.0 / 3.0).abs() < 1e-12);
+        let empty = ClassReport::build("Batch", vec![], vec![], 0, 0);
+        assert_eq!(empty.slo_attainment, 1.0);
+        assert_eq!(empty.completed, 0);
+    }
+
+    #[test]
+    fn report_assembles_and_renders() {
+        let s = demo_session();
+        let classes =
+            vec![ClassReport::build("Interactive", vec![1234], vec![801_000], 1, 1)];
+        let report = ObsReport::assemble(&s, 1, 1, classes);
+        assert_eq!(report.total_jobs, 1);
+        assert_eq!(report.span_events, 5, "2 enters + 2 exits + 1 instant");
+        assert_eq!(report.transport_groups, 1);
+        assert_eq!(report.metrics.len(), 1);
+        let text = report.render();
+        assert!(text.contains("Interactive"));
+        assert!(text.contains("queue_wait_us"));
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"slo_attainment\":1"));
+    }
+}

@@ -1,0 +1,900 @@
+//! # eda-obs — deterministic span tracing, metrics, and SLO reporting
+//!
+//! Production serving is blind without an answer to "where did this
+//! job's latency go?". This crate is the observability substrate the
+//! rest of the stack records into: spans stamped on **virtual time**
+//! ([`eda_exec::SharedClock`]), a mergeable metrics registry
+//! ([`metrics::Metrics`]), and deterministic exporters (Chrome-trace
+//! JSON, JSONL, and the human-readable [`ObsReport`] embedded in
+//! `ServeReport`).
+//!
+//! ## Determinism discipline
+//!
+//! Everything exported must be byte-identical across
+//! `EDA_EXEC_THREADS`, and with request coalescing on or off. That
+//! forces a three-way split of what may be recorded where:
+//!
+//! * **Span trees** ([`Recorder`]) are only written from
+//!   *single-threaded* orchestration code: the serve scheduler, a job's
+//!   own (sequential) flow rounds, the per-job LLM facade. When an
+//!   [`Engine`](eda_exec::Engine) fans work out to pool workers, the
+//!   adopted ambient context drops `tree_ok` (see
+//!   [`exec ambient propagation`](eda_exec::ambient)) and `span!`
+//!   becomes a no-op on those threads — a span recorded from a racing
+//!   thread would carry a scheduling-dependent timestamp.
+//! * **Transport event groups** are keyed by request hash and deduped
+//!   idempotently: a transport outcome is a pure function of
+//!   `(config, request, attempt)`, so whichever job/thread reports it
+//!   first writes the identical bytes. This is also what keeps traces
+//!   invariant under coalescing (which only changes *how many times*
+//!   the pure computation runs, never its value). Per-job join
+//!   attribution is deliberately absent — "which job led" is a race;
+//!   join totals live in the already-deterministic `CoalesceReport`.
+//! * **Metrics** are commutative (counter adds, gauge max, histogram
+//!   bucket increments) and exported sorted by key, so worker threads
+//!   may record them freely.
+//!
+//! ## Off means off
+//!
+//! With no [`ObsSession`] alive, every recording entry point reduces to
+//! one relaxed atomic load ([`enabled`]) — no thread-local access, no
+//! allocation, no formatting (attribute closures are never called). The
+//! bench layer asserts this stays in the noise of PR 4's kernel numbers.
+//!
+//! ## Knobs
+//!
+//! | Variable | Meaning |
+//! |---|---|
+//! | `EDA_OBS` | master switch (bool) |
+//! | `EDA_OBS_TRACE_OUT` | export path (`.json` Chrome trace, `.jsonl` event log) |
+//! | `EDA_OBS_SAMPLE` | fraction of jobs with full span traces, by job-id hash |
+//! | `EDA_OBS_BUF_EVENTS` | per-trace event cap; overflow is *counted*, never silent |
+
+pub mod export;
+pub mod metrics;
+
+pub use export::{validate_chrome_trace, ChromeTraceStats, ClassReport, ObsReport, TraceExport};
+pub use metrics::{Hist, Metrics, MetricSnapshot};
+
+use eda_exec::{parse_bool_knob, parse_knob_in, EnvKnobError, SharedClock};
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Once};
+
+/// Master switch: `EDA_OBS=1` turns observability on in
+/// `ServeConfig::try_from_env`.
+pub const OBS_ENV: &str = "EDA_OBS";
+/// Export path for the trace dump. Extension `.jsonl` selects the JSONL
+/// event log; anything else gets Chrome-trace JSON.
+pub const TRACE_OUT_ENV: &str = "EDA_OBS_TRACE_OUT";
+/// Fraction of jobs (selected by job-id hash) recording full span
+/// traces. Metrics and the SLO report always cover every job.
+pub const SAMPLE_ENV: &str = "EDA_OBS_SAMPLE";
+/// Per-trace bounded buffer: events beyond the cap are dropped and
+/// **counted** (`dropped_events` in the report), never silently lost.
+pub const BUF_EVENTS_ENV: &str = "EDA_OBS_BUF_EVENTS";
+
+/// Default per-trace event cap.
+pub const DEFAULT_BUF_EVENTS: usize = 65_536;
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// Observability configuration, parsed through the hardened env parser.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsConfig {
+    /// Record anything at all.
+    pub enabled: bool,
+    /// Where to dump the trace at end of run (`None` = in-memory only).
+    pub trace_out: Option<PathBuf>,
+    /// Fraction of jobs with full span traces (`1.0` = all).
+    pub sample: f64,
+    /// Per-trace event cap (drops are counted).
+    pub buf_events: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+impl ObsConfig {
+    /// Observability disabled (the default).
+    pub fn off() -> Self {
+        ObsConfig { enabled: false, trace_out: None, sample: 1.0, buf_events: DEFAULT_BUF_EVENTS }
+    }
+
+    /// Observability enabled with full sampling and no file export.
+    pub fn on() -> Self {
+        ObsConfig { enabled: true, ..Self::off() }
+    }
+
+    /// Reads `EDA_OBS`, `EDA_OBS_TRACE_OUT`, `EDA_OBS_SAMPLE`, and
+    /// `EDA_OBS_BUF_EVENTS`.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvKnobError`] naming the variable on any malformed or
+    /// out-of-range value.
+    pub fn try_from_env() -> Result<Self, EnvKnobError> {
+        let enabled = parse_bool_knob(OBS_ENV)?.unwrap_or(false);
+        let trace_out = std::env::var_os(TRACE_OUT_ENV)
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from);
+        let sample = parse_knob_in::<f64>(SAMPLE_ENV, 0.0, 1.0)?.unwrap_or(1.0);
+        let buf_events =
+            parse_knob_in::<usize>(BUF_EVENTS_ENV, 16, 1 << 24)?.unwrap_or(DEFAULT_BUF_EVENTS);
+        Ok(ObsConfig { enabled, trace_out, sample, buf_events })
+    }
+
+    /// [`try_from_env`](Self::try_from_env), panicking with the knob
+    /// error message on malformed values.
+    pub fn from_env() -> Self {
+        match Self::try_from_env() {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Deterministic sampling decision for a job: hashes the id through
+    /// an avalanche mix, so the sampled subset is a pure function of
+    /// `(sample, job id)` — independent of arrival order or threads.
+    pub fn samples(&self, job_id: u64) -> bool {
+        if self.sample >= 1.0 {
+            return true;
+        }
+        if self.sample <= 0.0 {
+            return false;
+        }
+        let mut z = job_id.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        ((z >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < self.sample
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Enabled gate
+// ---------------------------------------------------------------------------
+
+static ACTIVE_SESSIONS: AtomicUsize = AtomicUsize::new(0);
+
+/// True while any [`ObsSession`] is alive. This is the *only* check on
+/// the disabled path: one relaxed atomic load, no TLS, no allocation.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ACTIVE_SESSIONS.load(Ordering::Relaxed) != 0
+}
+
+// ---------------------------------------------------------------------------
+// Span events
+// ---------------------------------------------------------------------------
+
+/// Identifier of a span within one trace. `SpanId(0)` is the implicit
+/// root; real spans count up from 1 in enter order, which makes ids a
+/// deterministic function of the (deterministic) event sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u32);
+
+/// The implicit root parent of top-level spans.
+pub const ROOT_SPAN: SpanId = SpanId(0);
+
+/// What a trace event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span opened (`ph: "B"` in Chrome trace).
+    Enter,
+    /// Span closed (`ph: "E"`).
+    Exit,
+    /// Point event (`ph: "i"`).
+    Instant,
+}
+
+/// One recorded trace event, stamped on virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Virtual microseconds (job clock for job traces, scheduler "now"
+    /// for the scheduler trace).
+    pub ts_us: u64,
+    pub kind: EventKind,
+    /// Subsystem (`"serve"`, `"flow"`, `"llm"`, `"eval"`, ...).
+    pub scope: &'static str,
+    pub name: &'static str,
+    pub span: SpanId,
+    pub parent: SpanId,
+    /// Attribute pairs; values are preformatted.
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+/// Bounded per-trace event sink. Enter/exit pairs maintain a stack for
+/// implicit parenting; [`enter_under`](Recorder::enter_under) takes an
+/// explicit parent instead. Overflow beyond the cap increments a drop
+/// counter — surfaced in every export — rather than growing or silently
+/// discarding.
+#[derive(Debug)]
+pub struct Recorder {
+    cap: usize,
+    inner: Mutex<RecInner>,
+}
+
+#[derive(Debug, Default)]
+struct RecInner {
+    events: Vec<Event>,
+    stack: Vec<SpanId>,
+    next_span: u32,
+    dropped: u64,
+    /// Recorded enters minus recorded exits: exits that close a
+    /// *recorded* span bypass the cap (bounded by the open depth), so a
+    /// capped trace still exports balanced.
+    open_recorded: u64,
+}
+
+impl Recorder {
+    pub fn new(cap: usize) -> Self {
+        Recorder { cap: cap.max(1), inner: Mutex::new(RecInner::default()) }
+    }
+
+    fn push(inner: &mut RecInner, cap: usize, ev: Event) {
+        let closes_recorded = ev.kind == EventKind::Exit && inner.open_recorded > 0;
+        if inner.events.len() >= cap && !closes_recorded {
+            inner.dropped += 1;
+            return;
+        }
+        match ev.kind {
+            EventKind::Enter => inner.open_recorded += 1,
+            EventKind::Exit => inner.open_recorded = inner.open_recorded.saturating_sub(1),
+            EventKind::Instant => {}
+        }
+        inner.events.push(ev);
+    }
+
+    /// Opens a span under the current top of the enter stack.
+    pub fn enter(
+        &self,
+        scope: &'static str,
+        name: &'static str,
+        ts_us: u64,
+        attrs: Vec<(&'static str, String)>,
+    ) -> SpanId {
+        let mut inner = self.inner.lock();
+        inner.next_span += 1;
+        let id = SpanId(inner.next_span);
+        let parent = inner.stack.last().copied().unwrap_or(ROOT_SPAN);
+        inner.stack.push(id);
+        Self::push(
+            &mut inner,
+            self.cap,
+            Event { ts_us, kind: EventKind::Enter, scope, name, span: id, parent, attrs },
+        );
+        id
+    }
+
+    /// Opens a span under an explicit parent (does not join the enter
+    /// stack; close it with [`exit`](Recorder::exit) by id).
+    pub fn enter_under(
+        &self,
+        parent: SpanId,
+        scope: &'static str,
+        name: &'static str,
+        ts_us: u64,
+        attrs: Vec<(&'static str, String)>,
+    ) -> SpanId {
+        let mut inner = self.inner.lock();
+        inner.next_span += 1;
+        let id = SpanId(inner.next_span);
+        Self::push(
+            &mut inner,
+            self.cap,
+            Event { ts_us, kind: EventKind::Enter, scope, name, span: id, parent, attrs },
+        );
+        id
+    }
+
+    /// Closes `span`. If it is on the enter stack it is popped (along
+    /// with anything opened after it and leaked — exits are forced so a
+    /// trace can never end unbalanced).
+    pub fn exit(&self, span: SpanId, ts_us: u64) {
+        let mut inner = self.inner.lock();
+        if let Some(pos) = inner.stack.iter().rposition(|s| *s == span) {
+            while inner.stack.len() > pos {
+                let leaked = inner.stack.pop().expect("stack non-empty");
+                Self::push(
+                    &mut inner,
+                    self.cap,
+                    Event {
+                        ts_us,
+                        kind: EventKind::Exit,
+                        scope: "",
+                        name: "",
+                        span: leaked,
+                        parent: ROOT_SPAN,
+                        attrs: Vec::new(),
+                    },
+                );
+            }
+        } else {
+            Self::push(
+                &mut inner,
+                self.cap,
+                Event {
+                    ts_us,
+                    kind: EventKind::Exit,
+                    scope: "",
+                    name: "",
+                    span,
+                    parent: ROOT_SPAN,
+                    attrs: Vec::new(),
+                },
+            );
+        }
+    }
+
+    /// Records a point event under the current top of the enter stack.
+    pub fn instant(
+        &self,
+        scope: &'static str,
+        name: &'static str,
+        ts_us: u64,
+        attrs: Vec<(&'static str, String)>,
+    ) {
+        let mut inner = self.inner.lock();
+        let parent = inner.stack.last().copied().unwrap_or(ROOT_SPAN);
+        Self::push(
+            &mut inner,
+            self.cap,
+            Event { ts_us, kind: EventKind::Instant, scope, name, span: ROOT_SPAN, parent, attrs },
+        );
+    }
+
+    /// Events recorded so far (drops excluded).
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped at the buffer cap.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Drains the recorded events, forcing exits for any span still
+    /// open (so exported traces always balance).
+    pub fn drain(&self, close_ts_us: u64) -> (Vec<Event>, u64) {
+        let mut inner = self.inner.lock();
+        while let Some(leaked) = inner.stack.pop() {
+            Self::push(
+                &mut inner,
+                self.cap,
+                Event {
+                    ts_us: close_ts_us,
+                    kind: EventKind::Exit,
+                    scope: "",
+                    name: "",
+                    span: leaked,
+                    parent: ROOT_SPAN,
+                    attrs: Vec::new(),
+                },
+            );
+        }
+        (std::mem::take(&mut inner.events), inner.dropped)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sessions and traces
+// ---------------------------------------------------------------------------
+
+/// One finished trace (a job's, or the scheduler's).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobTrace {
+    /// Job id; [`SCHEDULER_TRACE_ID`] marks the scheduler's own trace.
+    pub job_id: u64,
+    /// Display name (`tenant/flow#id`).
+    pub name: String,
+    pub events: Vec<Event>,
+    pub dropped: u64,
+}
+
+/// Sentinel `job_id` for the scheduler trace (thread 0 in exports).
+pub const SCHEDULER_TRACE_ID: u64 = u64::MAX;
+
+/// One idempotently-recorded transport attempt. Content is a pure
+/// function of `(config, request, attempt)`, so first-writer-wins
+/// dedup yields identical groups regardless of which thread reported.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportEvent {
+    pub name: &'static str,
+    /// Virtual cost of the attempt (latency or error cost).
+    pub cost_us: u64,
+    pub detail: String,
+}
+
+/// A run-scoped observability sink. Create one per serve run (or
+/// long-lived instrumented region); recording entry points find it via
+/// the ambient thread context, and [`enabled`] flips on while any
+/// session is alive.
+pub struct ObsSession {
+    cfg: ObsConfig,
+    metrics: Metrics,
+    traces: Mutex<Vec<JobTrace>>,
+    transport: Mutex<BTreeMap<u64, BTreeMap<u32, TransportEvent>>>,
+    transport_dropped: AtomicU64,
+}
+
+impl std::fmt::Debug for ObsSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsSession").field("cfg", &self.cfg).finish_non_exhaustive()
+    }
+}
+
+impl ObsSession {
+    /// Opens a session and flips the global [`enabled`] gate on. The
+    /// gate drops back when the session is dropped.
+    pub fn new(cfg: ObsConfig) -> Arc<Self> {
+        ensure_propagator();
+        ACTIVE_SESSIONS.fetch_add(1, Ordering::SeqCst);
+        Arc::new(ObsSession {
+            cfg,
+            metrics: Metrics::new(),
+            traces: Mutex::new(Vec::new()),
+            transport: Mutex::new(BTreeMap::new()),
+            transport_dropped: AtomicU64::new(0),
+        })
+    }
+
+    pub fn config(&self) -> &ObsConfig {
+        &self.cfg
+    }
+
+    /// The session's metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// A fresh bounded recorder sized by the session config.
+    pub fn recorder(&self) -> Arc<Recorder> {
+        Arc::new(Recorder::new(self.cfg.buf_events))
+    }
+
+    /// A recorder for `job_id` if the sampling knob selects it.
+    pub fn job_recorder(&self, job_id: u64) -> Option<Arc<Recorder>> {
+        self.cfg.samples(job_id).then(|| self.recorder())
+    }
+
+    /// Files a finished trace. Call from deterministic (single-threaded
+    /// scheduling) code; exports additionally sort by `job_id`.
+    pub fn finish_trace(&self, job_id: u64, name: String, rec: &Recorder, close_ts_us: u64) {
+        let (events, dropped) = rec.drain(close_ts_us);
+        self.traces.lock().push(JobTrace { job_id, name, events, dropped });
+    }
+
+    /// Idempotently records one transport attempt for request-hash
+    /// `key`. Duplicate `(key, slot)` reports are ignored — by purity
+    /// they carry identical bytes — which keeps the group map invariant
+    /// across thread counts *and* across coalescing on/off.
+    pub fn transport_event(&self, key: u64, slot: u32, ev: TransportEvent) {
+        let mut map = self.transport.lock();
+        if !map.contains_key(&key) && map.len() >= self.cfg.buf_events {
+            self.transport_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        map.entry(key).or_default().entry(slot).or_insert(ev);
+    }
+
+    /// Finished traces, sorted by job id (scheduler trace first).
+    pub fn traces_sorted(&self) -> Vec<JobTrace> {
+        let mut traces = self.traces.lock().clone();
+        traces.sort_by_key(|t| if t.job_id == SCHEDULER_TRACE_ID { 0 } else { t.job_id + 1 });
+        traces
+    }
+
+    /// Transport groups, keyed by request hash then attempt slot.
+    pub fn transport_groups(&self) -> BTreeMap<u64, BTreeMap<u32, TransportEvent>> {
+        self.transport.lock().clone()
+    }
+
+    /// Span events recorded across all finished traces.
+    pub fn span_events(&self) -> u64 {
+        self.traces.lock().iter().map(|t| t.events.len() as u64).sum()
+    }
+
+    /// Events dropped at buffer caps (trace buffers + transport map).
+    pub fn dropped_events(&self) -> u64 {
+        self.traces.lock().iter().map(|t| t.dropped).sum::<u64>()
+            + self.transport_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Writes the configured `trace_out` dump, if any. `.jsonl` paths
+    /// get the JSONL event log, anything else Chrome-trace JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-write error.
+    pub fn write_trace_out(&self) -> std::io::Result<Option<PathBuf>> {
+        let Some(path) = &self.cfg.trace_out else {
+            return Ok(None);
+        };
+        let body = if path.extension().is_some_and(|e| e == "jsonl") {
+            self.to_jsonl()
+        } else {
+            self.to_chrome_trace()
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, body)?;
+        Ok(Some(path.clone()))
+    }
+}
+
+impl Drop for ObsSession {
+    fn drop(&mut self) {
+        ACTIVE_SESSIONS.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ambient context
+// ---------------------------------------------------------------------------
+
+/// The per-thread recording context: which session to record into,
+/// the current job recorder (if sampled), the clock stamping span
+/// times, and whether tree spans are allowed from this thread.
+#[derive(Clone)]
+pub struct Ctx {
+    session: Arc<ObsSession>,
+    job: Option<Arc<Recorder>>,
+    clock: Option<Arc<SharedClock>>,
+    tree_ok: bool,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Restores the previous ambient context on drop.
+pub struct CtxGuard {
+    prev: Option<Ctx>,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Attaches a job context to the current thread: spans stamp on
+/// `clock`, tree recording allowed (the caller asserts this thread runs
+/// the job sequentially). `rec: None` (unsampled job) records metrics
+/// and transport events but no spans.
+pub fn attach_job(
+    session: &Arc<ObsSession>,
+    rec: Option<Arc<Recorder>>,
+    clock: Arc<SharedClock>,
+) -> CtxGuard {
+    let ctx =
+        Ctx { session: session.clone(), job: rec, clock: Some(clock), tree_ok: true };
+    CtxGuard { prev: CURRENT.with(|c| c.borrow_mut().replace(ctx)) }
+}
+
+/// Attaches a metrics-only context (no span tree, no clock) — what
+/// pool workers adopt, and what standalone instrumented regions use.
+pub fn attach_session(session: &Arc<ObsSession>) -> CtxGuard {
+    let ctx = Ctx { session: session.clone(), job: None, clock: None, tree_ok: false };
+    CtxGuard { prev: CURRENT.with(|c| c.borrow_mut().replace(ctx)) }
+}
+
+fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> Option<R> {
+    CURRENT.with(|c| c.borrow().as_ref().map(f))
+}
+
+/// Installs the exec-pool ambient propagator exactly once: submitting
+/// threads capture their context, worker threads adopt it with
+/// `tree_ok` dropped (parallel workers may only record commutative
+/// data).
+fn ensure_propagator() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        eda_exec::ambient::install_propagator(eda_exec::ambient::Propagator {
+            capture: || {
+                if !enabled() {
+                    return None;
+                }
+                with_ctx(|ctx| {
+                    let worker = Ctx { tree_ok: false, job: None, ..ctx.clone() };
+                    Arc::new(worker) as eda_exec::ambient::Captured
+                })
+            },
+            adopt: |captured| {
+                if let Some(ctx) = captured.downcast_ref::<Ctx>() {
+                    CURRENT.with(|c| *c.borrow_mut() = Some(ctx.clone()));
+                }
+            },
+        });
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Recording entry points
+// ---------------------------------------------------------------------------
+
+/// RAII span over the ambient job recorder. Obtain via [`span!`]; a
+/// disabled or tree-unsafe context yields an inert guard.
+pub struct SpanGuard {
+    state: Option<(Arc<Recorder>, Arc<SharedClock>, SpanId)>,
+}
+
+impl SpanGuard {
+    /// An inert guard (nothing recorded).
+    #[inline]
+    pub fn disabled() -> Self {
+        SpanGuard { state: None }
+    }
+
+    /// Opens a span in the ambient context, if one allows tree
+    /// recording. `attrs` is only invoked when recording happens.
+    pub fn open(
+        scope: &'static str,
+        name: &'static str,
+        attrs: impl FnOnce() -> Vec<(&'static str, String)>,
+    ) -> Self {
+        with_ctx(|ctx| {
+            if !ctx.tree_ok {
+                return Self::disabled();
+            }
+            match (&ctx.job, &ctx.clock) {
+                (Some(rec), Some(clock)) => {
+                    let id = rec.enter(scope, name, clock.micros(), attrs());
+                    SpanGuard { state: Some((rec.clone(), clock.clone(), id)) }
+                }
+                _ => Self::disabled(),
+            }
+        })
+        .unwrap_or_else(Self::disabled)
+    }
+
+    /// The span id, for explicit [`Recorder::enter_under`] parenting.
+    pub fn id(&self) -> Option<SpanId> {
+        self.state.as_ref().map(|(_, _, id)| *id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((rec, clock, id)) = self.state.take() {
+            rec.exit(id, clock.micros());
+        }
+    }
+}
+
+/// Opens an RAII span in the ambient context: `span!("scope", "name")`
+/// or `span!("scope", "name", "key" => value, ...)`. Attribute values
+/// are formatted with `Display` only when recording actually happens;
+/// when observability is off this is a single atomic load.
+#[macro_export]
+macro_rules! span {
+    ($scope:expr, $name:expr $(, $k:expr => $v:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::SpanGuard::open($scope, $name, || vec![$(($k, format!("{}", $v))),*])
+        } else {
+            $crate::SpanGuard::disabled()
+        }
+    };
+}
+
+/// Records a point event in the ambient context (same gating rules as
+/// [`span!`]).
+#[macro_export]
+macro_rules! instant {
+    ($scope:expr, $name:expr $(, $k:expr => $v:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::record_instant($scope, $name, || vec![$(($k, format!("{}", $v))),*]);
+        }
+    };
+}
+
+/// Non-macro body of [`instant!`].
+pub fn record_instant(
+    scope: &'static str,
+    name: &'static str,
+    attrs: impl FnOnce() -> Vec<(&'static str, String)>,
+) {
+    with_ctx(|ctx| {
+        if !ctx.tree_ok {
+            return;
+        }
+        if let (Some(rec), Some(clock)) = (&ctx.job, &ctx.clock) {
+            rec.instant(scope, name, clock.micros(), attrs());
+        }
+    });
+}
+
+/// Adds `n` to the ambient counter `name` with `labels` (e.g.
+/// `"tenant=alpha,class=Interactive"`). Commutative — safe from any
+/// thread. `labels` is only invoked when a session is attached.
+pub fn counter_add(name: &'static str, labels: impl FnOnce() -> String, n: u64) {
+    if !enabled() {
+        return;
+    }
+    with_ctx(|ctx| ctx.session.metrics().counter_add(name, labels(), n));
+}
+
+/// Raises the ambient gauge `name` to at least `v` (merge = max).
+pub fn gauge_max(name: &'static str, labels: impl FnOnce() -> String, v: u64) {
+    if !enabled() {
+        return;
+    }
+    with_ctx(|ctx| ctx.session.metrics().gauge_max(name, labels(), v));
+}
+
+/// Observes `v` (microseconds) into the ambient log2 histogram `name`.
+pub fn observe_us(name: &'static str, labels: impl FnOnce() -> String, v: u64) {
+    if !enabled() {
+        return;
+    }
+    with_ctx(|ctx| ctx.session.metrics().observe(name, labels(), v));
+}
+
+/// Idempotently records a transport attempt for request-hash `key` at
+/// attempt `slot` into the ambient session (see
+/// [`ObsSession::transport_event`]).
+pub fn transport_event(
+    key: u64,
+    slot: u32,
+    name: &'static str,
+    cost_us: u64,
+    detail: impl FnOnce() -> String,
+) {
+    if !enabled() {
+        return;
+    }
+    with_ctx(|ctx| {
+        ctx.session.transport_event(key, slot, TransportEvent { name, cost_us, detail: detail() });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock_at(us: u64) -> Arc<SharedClock> {
+        let c = Arc::new(SharedClock::new());
+        c.advance_us(us);
+        c
+    }
+
+    #[test]
+    fn disabled_by_default_and_guard_is_inert() {
+        assert!(!enabled() || ACTIVE_SESSIONS.load(Ordering::SeqCst) > 0);
+        let g = span!("t", "noop");
+        assert!(g.id().is_none());
+        counter_add("t.counter", String::new, 1);
+    }
+
+    #[test]
+    fn session_flips_the_gate_and_drop_restores() {
+        // Other tests in this binary may hold sessions concurrently, so
+        // assert deltas, not absolute counts.
+        let before = ACTIVE_SESSIONS.load(Ordering::SeqCst);
+        let s = ObsSession::new(ObsConfig::on());
+        assert!(enabled());
+        assert!(ACTIVE_SESSIONS.load(Ordering::SeqCst) > before);
+        drop(s);
+    }
+
+    #[test]
+    fn spans_nest_and_stamp_virtual_time() {
+        let s = ObsSession::new(ObsConfig::on());
+        let rec = s.recorder();
+        let clock = clock_at(10);
+        let _g = attach_job(&s, Some(rec.clone()), clock.clone());
+        {
+            let outer = span!("flow", "round");
+            clock.advance_us(5);
+            {
+                let inner = span!("eval", "candidate", "i" => 3);
+                assert!(inner.id().is_some());
+            }
+            assert_eq!(outer.id(), Some(SpanId(1)));
+        }
+        let (events, dropped) = rec.drain(clock.micros());
+        assert_eq!(dropped, 0);
+        let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![EventKind::Enter, EventKind::Enter, EventKind::Exit, EventKind::Exit]
+        );
+        assert_eq!(events[0].ts_us, 10);
+        assert_eq!(events[1].parent, SpanId(1));
+        assert_eq!(events[1].attrs, vec![("i", "3".to_string())]);
+        assert_eq!(events[2].ts_us, 15);
+    }
+
+    #[test]
+    fn unsampled_jobs_record_metrics_but_no_spans() {
+        let s = ObsSession::new(ObsConfig::on());
+        let _g = attach_job(&s, None, clock_at(0));
+        let g = span!("flow", "round");
+        assert!(g.id().is_none());
+        counter_add("jobs", || "class=Batch".into(), 2);
+        let snap = s.metrics().snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].value, 2);
+    }
+
+    #[test]
+    fn buffer_cap_drops_are_counted_never_silent() {
+        let s = ObsSession::new(ObsConfig { buf_events: 16, ..ObsConfig::on() });
+        let rec = s.recorder();
+        let clock = clock_at(0);
+        let _g = attach_job(&s, Some(rec.clone()), clock);
+        for _ in 0..20 {
+            let _sp = span!("t", "e"); // 2 events each
+        }
+        assert_eq!(rec.len(), 16);
+        assert_eq!(rec.dropped(), 24);
+        s.finish_trace(1, "t".into(), &rec, 0);
+        assert_eq!(s.dropped_events(), 24);
+    }
+
+    #[test]
+    fn transport_events_dedupe_idempotently() {
+        let s = ObsSession::new(ObsConfig::on());
+        let _g = attach_session(&s);
+        for _ in 0..3 {
+            transport_event(7, 0, "transport.ok", 800_000, String::new);
+        }
+        transport_event(7, 1, "transport.timeout", 10_000_000, || "t".into());
+        let groups = s.transport_groups();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[&7].len(), 2);
+        assert_eq!(groups[&7][&0].cost_us, 800_000);
+    }
+
+    #[test]
+    fn sampling_is_a_pure_function_of_the_id() {
+        let half = ObsConfig { sample: 0.5, ..ObsConfig::on() };
+        let picks: Vec<bool> = (0..64).map(|i| half.samples(i)).collect();
+        assert_eq!(picks, (0..64).map(|i| half.samples(i)).collect::<Vec<_>>());
+        assert!(picks.iter().any(|p| *p) && picks.iter().any(|p| !*p));
+        assert!(ObsConfig { sample: 1.0, ..ObsConfig::on() }.samples(99));
+        assert!(!ObsConfig { sample: 0.0, ..ObsConfig::on() }.samples(99));
+    }
+
+    #[test]
+    fn forced_exits_balance_leaked_spans() {
+        let rec = Recorder::new(64);
+        let a = rec.enter("t", "a", 0, Vec::new());
+        let _b = rec.enter("t", "b", 1, Vec::new());
+        rec.exit(a, 2); // exits b (leaked) then a
+        let (events, _) = rec.drain(3);
+        let enters = events.iter().filter(|e| e.kind == EventKind::Enter).count();
+        let exits = events.iter().filter(|e| e.kind == EventKind::Exit).count();
+        assert_eq!(enters, exits);
+    }
+
+    #[test]
+    fn env_knobs_parse_and_reject_through_the_hardened_path() {
+        std::env::set_var(SAMPLE_ENV, "0.25");
+        std::env::set_var(BUF_EVENTS_ENV, "1024");
+        let cfg = ObsConfig::try_from_env().unwrap();
+        assert_eq!(cfg.sample, 0.25);
+        assert_eq!(cfg.buf_events, 1024);
+        std::env::set_var(SAMPLE_ENV, "2.0");
+        let err = ObsConfig::try_from_env().unwrap_err();
+        assert_eq!(err.var, SAMPLE_ENV);
+        std::env::remove_var(SAMPLE_ENV);
+        std::env::remove_var(BUF_EVENTS_ENV);
+    }
+}

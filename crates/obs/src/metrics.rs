@@ -1,0 +1,327 @@
+//! Mergeable metrics: monotonic counters, max-gauges, and log2-bucketed
+//! latency histograms.
+//!
+//! Every operation is commutative (integer adds, max, bucket
+//! increments), so worker threads can record concurrently and the final
+//! registry is independent of interleaving — the same argument that
+//! makes [`eda_exec::SharedClock`] totals thread-count-invariant.
+//! [`Metrics::merge`] folds per-worker sinks into one registry, and
+//! [`Metrics::snapshot`] exports sorted by `(name, labels)`, so two
+//! registries holding the same data serialize byte-identically.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Number of log2 buckets: bucket `i` holds values with
+/// `floor(log2(v)) + 1 == i` (bucket 0 is exactly zero), up to a final
+/// catch-all for `v >= 2^62`.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram of `u64` samples (microseconds, by
+/// convention). Merging adds bucket-wise; quantiles come back as the
+/// upper bound of the covering bucket, so they are conservative and
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hist {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    buckets: Vec<u64>,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hist {
+    pub fn new() -> Self {
+        Hist { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: vec![0; HIST_BUCKETS] }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Upper bound of bucket `i` (inclusive).
+    fn bucket_upper(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= HIST_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    pub fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// The quantile `q` in `[0, 1]` as the upper bound of the covering
+    /// bucket (clamped to the observed max; zero when empty).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// One metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonic counter (merge = add).
+    Counter(u64),
+    /// High-water gauge (merge = max).
+    Gauge(u64),
+    /// Latency histogram (merge = bucket-wise add).
+    Hist(Hist),
+}
+
+/// Flat, serializable view of one metric, used by exports and the
+/// `ObsReport`. Histogram-only fields are zero for counters/gauges.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricSnapshot {
+    pub name: String,
+    /// Label string, e.g. `"class=Interactive,tenant=alpha"`.
+    pub labels: String,
+    /// `"counter"`, `"gauge"`, or `"hist"`.
+    pub kind: String,
+    /// Counter/gauge value; histogram sample count.
+    pub value: u64,
+    pub sum_us: u64,
+    pub min_us: u64,
+    pub max_us: u64,
+    pub p50_us: u64,
+    pub p90_us: u64,
+    pub p99_us: u64,
+}
+
+/// A keyed registry of [`Metric`]s. Keys are `(name, labels)`; the map
+/// is ordered, so snapshots (and everything serialized from them) come
+/// out in one canonical order.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<BTreeMap<(String, String), Metric>>,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn counter_add(&self, name: &str, labels: String, n: u64) {
+        let mut map = self.inner.lock();
+        match map
+            .entry((name.to_string(), labels))
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(v) => *v += n,
+            other => debug_assert!(false, "metric kind clash on counter {name}: {other:?}"),
+        }
+    }
+
+    pub fn gauge_max(&self, name: &str, labels: String, v: u64) {
+        let mut map = self.inner.lock();
+        match map.entry((name.to_string(), labels)).or_insert(Metric::Gauge(0)) {
+            Metric::Gauge(g) => *g = (*g).max(v),
+            other => debug_assert!(false, "metric kind clash on gauge {name}: {other:?}"),
+        }
+    }
+
+    pub fn observe(&self, name: &str, labels: String, v: u64) {
+        let mut map = self.inner.lock();
+        match map
+            .entry((name.to_string(), labels))
+            .or_insert_with(|| Metric::Hist(Hist::new()))
+        {
+            Metric::Hist(h) => h.observe(v),
+            other => debug_assert!(false, "metric kind clash on hist {name}: {other:?}"),
+        }
+    }
+
+    /// Folds `other` into `self` (counters add, gauges max, histograms
+    /// add bucket-wise). Merging per-worker sinks in any order yields
+    /// the same registry.
+    pub fn merge(&self, other: &Metrics) {
+        let theirs = other.inner.lock().clone();
+        let mut ours = self.inner.lock();
+        for (key, m) in theirs {
+            match (ours.entry(key), m) {
+                (std::collections::btree_map::Entry::Vacant(slot), m) => {
+                    slot.insert(m);
+                }
+                (std::collections::btree_map::Entry::Occupied(mut slot), m) => {
+                    match (slot.get_mut(), m) {
+                        (Metric::Counter(a), Metric::Counter(b)) => *a += b,
+                        (Metric::Gauge(a), Metric::Gauge(b)) => *a = (*a).max(b),
+                        (Metric::Hist(a), Metric::Hist(ref b)) => a.merge(b),
+                        (ours, theirs) => {
+                            debug_assert!(false, "metric kind clash merging: {ours:?} vs {theirs:?}")
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Canonical sorted export.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|((name, labels), m)| match m {
+                Metric::Counter(v) => MetricSnapshot {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    kind: "counter".to_string(),
+                    value: *v,
+                    sum_us: 0,
+                    min_us: 0,
+                    max_us: 0,
+                    p50_us: 0,
+                    p90_us: 0,
+                    p99_us: 0,
+                },
+                Metric::Gauge(v) => MetricSnapshot {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    kind: "gauge".to_string(),
+                    value: *v,
+                    sum_us: 0,
+                    min_us: 0,
+                    max_us: 0,
+                    p50_us: 0,
+                    p90_us: 0,
+                    p99_us: 0,
+                },
+                Metric::Hist(h) => MetricSnapshot {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    kind: "hist".to_string(),
+                    value: h.count,
+                    sum_us: h.sum,
+                    min_us: if h.count == 0 { 0 } else { h.min },
+                    max_us: h.max,
+                    p50_us: h.quantile_us(0.50),
+                    p90_us: h.quantile_us(0.90),
+                    p99_us: h.quantile_us(0.99),
+                },
+            })
+            .collect()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_buckets_cover_the_u64_range() {
+        assert_eq!(Hist::bucket_of(0), 0);
+        assert_eq!(Hist::bucket_of(1), 1);
+        assert_eq!(Hist::bucket_of(2), 2);
+        assert_eq!(Hist::bucket_of(3), 2);
+        assert_eq!(Hist::bucket_of(1023), 10);
+        assert_eq!(Hist::bucket_of(1024), 11);
+        assert_eq!(Hist::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        // Bucket upper bounds are inclusive and monotone.
+        assert_eq!(Hist::bucket_upper(0), 0);
+        assert_eq!(Hist::bucket_upper(1), 1);
+        assert_eq!(Hist::bucket_upper(10), 1023);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds_clamped_to_max() {
+        let mut h = Hist::new();
+        for v in [100u64, 200, 300, 400, 10_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 100);
+        assert_eq!(h.max, 10_000);
+        let p50 = h.quantile_us(0.5);
+        assert!((100..=511).contains(&p50), "{p50}");
+        assert_eq!(h.quantile_us(1.0), 10_000);
+        assert_eq!(Hist::new().quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn merge_in_any_order_is_identical() {
+        let make = |values: &[u64]| {
+            let m = Metrics::new();
+            for &v in values {
+                m.counter_add("c", "k=1".into(), 1);
+                m.observe("h", String::new(), v);
+                m.gauge_max("g", String::new(), v);
+            }
+            m
+        };
+        let a = make(&[5, 900, 17]);
+        let b = make(&[1_000_000, 3]);
+        let ab = Metrics::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let ba = Metrics::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab.snapshot(), ba.snapshot());
+        let snap = ab.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].value, 5, "counter adds: {snap:?}");
+        assert_eq!(snap[1].value, 1_000_000, "gauge is max");
+        assert_eq!(snap[2].value, 5, "hist count");
+    }
+
+    #[test]
+    fn snapshot_order_is_canonical() {
+        let m = Metrics::new();
+        m.counter_add("zeta", String::new(), 1);
+        m.counter_add("alpha", "t=b".into(), 1);
+        m.counter_add("alpha", "t=a".into(), 1);
+        let names: Vec<(String, String)> =
+            m.snapshot().into_iter().map(|s| (s.name, s.labels)).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("alpha".into(), "t=a".into()),
+                ("alpha".into(), "t=b".into()),
+                ("zeta".into(), String::new()),
+            ]
+        );
+    }
+}

@@ -139,6 +139,7 @@ pub fn run_repair(
         if cfg.cancel.is_cancelled() {
             break;
         }
+        let _round = eda_obs::span!("flow", "repair_round", "round" => round);
         let issues = match parse(&current) {
             Ok(p) => hls_compat_scan(&p),
             Err(_) => break,

@@ -44,10 +44,14 @@ use eda_exec::{CancelToken, Engine, EnvKnobError};
 use eda_llm::{
     ChatModel, CoalesceReport, CoalescingLlm, LlmReport, ResilienceConfig,
 };
+use eda_obs::{
+    ClassReport, ObsConfig, ObsReport, ObsSession, Recorder, TraceExport, SCHEDULER_TRACE_ID,
+};
 use serde::Serialize;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// Virtual worker-slot count of the scheduler (1–64; independent of the
 /// host thread pool, so it never affects determinism).
@@ -86,6 +90,28 @@ impl Priority {
             Priority::Interactive => 0,
             Priority::Standard => 1,
             Priority::Batch => 2,
+        }
+    }
+
+    fn class_name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "Interactive",
+            Priority::Standard => "Standard",
+            Priority::Batch => "Batch",
+        }
+    }
+}
+
+impl FlowSpec {
+    /// Short flow-kind tag used in span names and metric labels.
+    fn kind(&self) -> &'static str {
+        match self {
+            FlowSpec::AutoChip { .. } => "autochip",
+            FlowSpec::Structured { .. } => "structured",
+            FlowSpec::Slt { .. } => "slt",
+            FlowSpec::Repair { .. } => "repair",
+            FlowSpec::HlsTester { .. } => "hlstester",
+            FlowSpec::Agent { .. } => "agent",
         }
     }
 }
@@ -157,6 +183,10 @@ pub struct ServeConfig {
     /// Fixed non-LLM virtual overhead billed per job (tool setup,
     /// result marshalling).
     pub service_overhead_us: u64,
+    /// Observability: span tracing, metrics, and the SLO report
+    /// (`EDA_OBS*` knobs; off by default — off costs one atomic load
+    /// per instrumentation point).
+    pub obs: ObsConfig,
 }
 
 impl Default for ServeConfig {
@@ -172,6 +202,7 @@ impl Default for ServeConfig {
             coalesce: true,
             resilience: ResilienceConfig::off(),
             service_overhead_us: 500_000,
+            obs: ObsConfig::off(),
         }
     }
 }
@@ -200,6 +231,7 @@ impl ServeConfig {
             cfg.coalesce = c;
         }
         cfg.resilience = ResilienceConfig::try_from_env()?;
+        cfg.obs = ObsConfig::try_from_env()?;
         Ok(cfg)
     }
 
@@ -331,6 +363,10 @@ pub struct ServeReport {
     /// Flow-level traffic merged over all executed jobs (what the jobs
     /// observed, coalesced hits included).
     pub flows_llm: LlmReport,
+    /// Observability summary (`None` when `ServeConfig::obs` is off).
+    /// Everything else in the report is byte-identical whether this is
+    /// recorded or not.
+    pub obs: Option<ObsReport>,
 }
 
 // ---------------------------------------------------------------------------
@@ -343,16 +379,35 @@ struct ExecutedJob {
     solved: bool,
     score: f64,
     llm: LlmReport,
+    /// The job's span recorder when observability sampled it.
+    rec: Option<Arc<Recorder>>,
 }
 
 /// Runs one job's flow against the shared stack. Pure per `(job.flow,
 /// job.deadline_us, shared-stack config)`: billing goes to a fresh
 /// per-job clock, and the flow runs sequentially with resilience off
 /// (the shared stack below already provides faults/retries), so the
-/// result is independent of scheduling and host threads.
-fn run_flow_job(shared: &CoalescingLlm<'_>, job: &FlowJob, overhead_us: u64) -> ExecutedJob {
+/// result is independent of scheduling and host threads. Observability
+/// only watches: spans stamp the same per-job clock the billing uses,
+/// so recording never moves a virtual outcome.
+fn run_flow_job(
+    shared: &CoalescingLlm<'_>,
+    job: &FlowJob,
+    overhead_us: u64,
+    obs: Option<&Arc<ObsSession>>,
+) -> ExecutedJob {
     let token = CancelToken::new();
     let handle = shared.handle(job.deadline_us, token.clone());
+    let rec = obs.and_then(|s| s.job_recorder(job.id));
+    let _obs_ctx = obs.map(|s| eda_obs::attach_job(s, rec.clone(), handle.clock_shared()));
+    let _root = eda_obs::span!(
+        "job",
+        job.flow.kind(),
+        "id" => job.id,
+        "tenant" => job.tenant,
+        "class" => job.priority.class_name(),
+        "deadline_us" => job.deadline_us,
+    );
     let engine = Engine::sequential();
     let off = ResilienceConfig::off();
     let (solved, score, llm) = match &job.flow {
@@ -472,12 +527,14 @@ fn run_flow_job(shared: &CoalescingLlm<'_>, job: &FlowJob, overhead_us: u64) -> 
             }
         }
     };
+    drop(_root);
     ExecutedJob {
         service_us: handle.clock().micros() + overhead_us,
         cancelled: token.is_cancelled(),
         solved,
         score,
         llm,
+        rec,
     }
 }
 
@@ -513,6 +570,24 @@ pub fn serve_trace_with(
     cfg: &ServeConfig,
     engine: &Engine,
 ) -> ServeReport {
+    serve_trace_traced(model, jobs, cfg, engine).0
+}
+
+/// [`serve_trace_with`], additionally returning the rendered trace
+/// export when `cfg.obs` is on (`None` otherwise). Also writes the
+/// `EDA_OBS_TRACE_OUT` dump if one is configured. The export is
+/// byte-identical at any `EDA_EXEC_THREADS` and with coalescing on or
+/// off.
+pub fn serve_trace_traced(
+    model: &dyn ChatModel,
+    jobs: &[FlowJob],
+    cfg: &ServeConfig,
+    engine: &Engine,
+) -> (ServeReport, Option<TraceExport>) {
+    let obs = cfg.obs.enabled.then(|| ObsSession::new(cfg.obs.clone()));
+    // The scheduler's own trace: instants stamped on scheduler "now",
+    // recorded only from this (single) thread.
+    let sched_rec = obs.as_ref().map(|s| s.recorder());
     let shared = CoalescingLlm::new(model, &cfg.resilience, cfg.coalesce);
     let workers_total = cfg.workers.clamp(1, 64);
     let overhead_us = cfg.service_overhead_us;
@@ -593,8 +668,21 @@ pub fn serve_trace_with(
             next_arrival += 1;
             let job = &jobs[idx];
             stats.submitted += 1;
+            let reject = |s: &Option<Arc<ObsSession>>, r: &Option<Arc<Recorder>>, job: &FlowJob, why: &'static str| {
+                if let Some(s) = s {
+                    s.metrics().counter_add("serve.rejected", format!("reason={why}"), 1);
+                }
+                if let Some(rec) = r {
+                    rec.instant("serve", "reject", now, vec![
+                        ("job", job.id.to_string()),
+                        ("tenant", job.tenant.clone()),
+                        ("reason", why.to_string()),
+                    ]);
+                }
+            };
             let Some(&ti) = tenant_index.get(&job.tenant) else {
                 stats.rejected_unknown_tenant += 1;
+                reject(&obs, &sched_rec, job, "unknown_tenant");
                 outcomes[idx] = Some(JobOutcome::Rejected {
                     reason: RejectError::UnknownTenant { tenant: job.tenant.clone() },
                 });
@@ -604,6 +692,7 @@ pub fn serve_trace_with(
             if total_queued >= cfg.max_backlog {
                 stats.rejected_overloaded += 1;
                 tenants[ti].shed += 1;
+                reject(&obs, &sched_rec, job, "overloaded");
                 outcomes[idx] = Some(JobOutcome::Rejected {
                     reason: RejectError::Overloaded {
                         backlog: total_queued,
@@ -615,6 +704,7 @@ pub fn serve_trace_with(
             if tenants[ti].queued >= tenants[ti].cfg.queue_cap {
                 stats.rejected_queue_full += 1;
                 tenants[ti].shed += 1;
+                reject(&obs, &sched_rec, job, "queue_full");
                 outcomes[idx] = Some(JobOutcome::Rejected {
                     reason: RejectError::QueueFull {
                         tenant: job.tenant.clone(),
@@ -627,6 +717,21 @@ pub fn serve_trace_with(
             tenants[ti].queues[job.priority.index()].push_back(idx);
             tenants[ti].queued += 1;
             total_queued += 1;
+            if let Some(s) = &obs {
+                s.metrics().counter_add(
+                    "serve.admitted",
+                    format!("class={},tenant={}", job.priority.class_name(), job.tenant),
+                    1,
+                );
+                s.metrics().gauge_max("serve.backlog_peak", String::new(), total_queued as u64);
+            }
+            if let Some(rec) = &sched_rec {
+                rec.instant("serve", "admit", now, vec![
+                    ("job", job.id.to_string()),
+                    ("tenant", job.tenant.clone()),
+                    ("class", job.priority.class_name().to_string()),
+                ]);
+            }
         }
 
         // 2. Fill free worker slots: pick, expire stale jobs, bill
@@ -640,10 +745,30 @@ pub fn serve_trace_with(
             if job.deadline_us > 0 && wait_us > job.deadline_us {
                 stats.expired += 1;
                 tenants[ti].shed += 1;
+                if let Some(s) = &obs {
+                    s.metrics().counter_add(
+                        "serve.expired",
+                        format!("class={}", job.priority.class_name()),
+                        1,
+                    );
+                }
+                if let Some(rec) = &sched_rec {
+                    rec.instant("serve", "expire", now, vec![
+                        ("job", job.id.to_string()),
+                        ("wait_us", wait_us.to_string()),
+                    ]);
+                }
                 outcomes[idx] = Some(JobOutcome::Expired { wait_us });
                 continue;
             }
             tenants[ti].service_us += PROVISIONAL_SERVICE_US;
+            if let Some(rec) = &sched_rec {
+                rec.instant("serve", "dispatch", now, vec![
+                    ("job", job.id.to_string()),
+                    ("tenant", job.tenant.clone()),
+                    ("wait_us", wait_us.to_string()),
+                ]);
+            }
             wave.push(idx);
         }
 
@@ -653,7 +778,7 @@ pub fn serve_trace_with(
             // pure per job, so the engine only affects wall-clock.
             let executed =
                 engine.map_stage("serve-wave", wave.clone(), |_, idx| {
-                    run_flow_job(&shared, &jobs[idx], overhead_us)
+                    run_flow_job(&shared, &jobs[idx], overhead_us, obs.as_ref())
                 });
             for (idx, ex) in wave.into_iter().zip(executed) {
                 let job = &jobs[idx];
@@ -667,6 +792,31 @@ pub fn serve_trace_with(
                 let finish_us = now + ex.service_us;
                 dispatch_seq += 1;
                 busy.push(Reverse((finish_us, dispatch_seq, idx)));
+                if let Some(s) = &obs {
+                    let class = job.priority.class_name();
+                    let labels = format!("class={class},tenant={}", job.tenant);
+                    s.metrics().observe("serve.queue_wait_us", labels.clone(), wait_us);
+                    s.metrics().observe("serve.e2e_us", labels, finish_us - job.arrival_us);
+                    s.metrics().observe(
+                        "serve.service_us",
+                        format!("flow={}", job.flow.kind()),
+                        ex.service_us,
+                    );
+                    s.metrics().counter_add("serve.completed", format!("class={class}"), 1);
+                    if ex.cancelled {
+                        s.metrics().counter_add("serve.cancelled", String::new(), 1);
+                    }
+                    // File the job's trace here, in deterministic wave
+                    // order, named for the timeline lane.
+                    if let Some(rec) = &ex.rec {
+                        s.finish_trace(
+                            job.id,
+                            format!("{}/{}#{}", job.tenant, job.flow.kind(), job.id),
+                            rec,
+                            ex.service_us,
+                        );
+                    }
+                }
                 outcomes[idx] = Some(JobOutcome::Completed {
                     start_us: now,
                     finish_us,
@@ -697,6 +847,11 @@ pub fn serve_trace_with(
                 free_workers += 1;
                 completion_order.push(jobs[idx].id);
                 stats.makespan_us = stats.makespan_us.max(now);
+                if let Some(rec) = &sched_rec {
+                    rec.instant("serve", "complete", now, vec![
+                        ("job", jobs[idx].id.to_string()),
+                    ]);
+                }
             }
             (_, Some(a)) => now = a,
             (Some(_), None) => unreachable!("covered by the guarded arm"),
@@ -750,16 +905,75 @@ pub fn serve_trace_with(
         })
         .collect();
 
-    ServeReport {
-        model: shared.name().to_string(),
-        jobs: records,
-        completion_order,
-        stats,
-        tenants: tenant_stats,
-        coalesce: shared.report(),
-        llm: shared.llm_report(),
-        flows_llm,
-    }
+    // Observability epilogue: file the scheduler trace, build the SLO
+    // report from the (already deterministic) per-job outcomes, render
+    // and optionally dump the trace export.
+    let (obs_report, export) = match &obs {
+        None => (None, None),
+        Some(s) => {
+            if let Some(rec) = &sched_rec {
+                s.finish_trace(SCHEDULER_TRACE_ID, "scheduler".to_string(), rec, now);
+            }
+            let classes = Priority::ALL
+                .iter()
+                .map(|&prio| {
+                    let mut waits = Vec::new();
+                    let mut lats = Vec::new();
+                    let (mut slo_jobs, mut slo_met) = (0u64, 0u64);
+                    for (i, job) in jobs.iter().enumerate() {
+                        if job.priority != prio {
+                            continue;
+                        }
+                        match &outcomes[i] {
+                            Some(JobOutcome::Completed {
+                                finish_us, wait_us, cancelled, ..
+                            }) => {
+                                waits.push(*wait_us);
+                                lats.push(finish_us - job.arrival_us);
+                                if job.deadline_us > 0 {
+                                    slo_jobs += 1;
+                                    if !cancelled && finish_us - job.arrival_us <= job.deadline_us
+                                    {
+                                        slo_met += 1;
+                                    }
+                                }
+                            }
+                            Some(JobOutcome::Expired { .. }) if job.deadline_us > 0 => {
+                                slo_jobs += 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                    ClassReport::build(prio.class_name(), waits, lats, slo_jobs, slo_met)
+                })
+                .collect();
+            let sampled = s
+                .traces_sorted()
+                .iter()
+                .filter(|t| t.job_id != SCHEDULER_TRACE_ID)
+                .count() as u64;
+            let report = ObsReport::assemble(s, stats.submitted, sampled, classes);
+            if let Err(e) = s.write_trace_out() {
+                eprintln!("warning: {}: {e}", eda_obs::TRACE_OUT_ENV);
+            }
+            (Some(report), Some(s.export()))
+        }
+    };
+
+    (
+        ServeReport {
+            model: shared.name().to_string(),
+            jobs: records,
+            completion_order,
+            stats,
+            tenants: tenant_stats,
+            coalesce: shared.report(),
+            llm: shared.llm_report(),
+            flows_llm,
+            obs: obs_report,
+        },
+        export,
+    )
 }
 
 fn jobs_order(order: &[usize], i: usize) -> usize {

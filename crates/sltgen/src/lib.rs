@@ -218,6 +218,7 @@ pub fn run_slt_llm_with(model: &dyn ChatModel, cfg: &SltConfig, engine: &Engine)
         if cfg.cancel.is_cancelled() {
             break;
         }
+        let _round = eda_obs::span!("flow", "slt_round", "evaluations" => evaluations);
         // Build the prompt: task marker + n random scored examples (+SCoT).
         let mut prompt = prompts::task_header("c-power-snippet", &[]);
         prompt.push_str(

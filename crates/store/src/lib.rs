@@ -344,6 +344,7 @@ impl Store {
 
     fn quarantine_file(fs: &dyn StoreFs, root: &Path, inner: &mut Inner, path: &Path) {
         inner.stats.corruptions += 1;
+        eda_obs::counter_add("store.quarantine", String::new, 1);
         let n = inner.quarantine_counter;
         inner.quarantine_counter += 1;
         let name = path
@@ -375,6 +376,9 @@ impl Store {
             inner.stats.evictions += 1;
             evicted += 1;
         }
+        if evicted > 0 {
+            eda_obs::counter_add("store.evict", String::new, evicted);
+        }
         evicted
     }
 
@@ -396,6 +400,7 @@ impl Store {
         inner.sketch.touch(pair_hash(ns, key));
         if !inner.entries.contains_key(&(ns, key)) {
             inner.stats.misses += 1;
+            eda_obs::counter_add("store.load_miss", String::new, 1);
             return None;
         }
         let path = self.entry_path(ns, key);
@@ -407,6 +412,7 @@ impl Store {
                 Self::drop_entry(&mut inner, ns, key);
                 inner.io_errors += 1;
                 inner.stats.misses += 1;
+                eda_obs::counter_add("store.load_miss", String::new, 1);
                 return None;
             }
         };
@@ -418,6 +424,8 @@ impl Store {
                     let _ = self.fs.remove(&path);
                     inner.stats.invalidations += 1;
                     inner.stats.misses += 1;
+                    eda_obs::counter_add("store.invalidation", String::new, 1);
+                    eda_obs::counter_add("store.load_miss", String::new, 1);
                     return None;
                 }
                 // Hit: refresh recency.
@@ -430,6 +438,7 @@ impl Store {
                     inner.recency.insert(seq, (ns, key));
                 }
                 inner.stats.hits += 1;
+                eda_obs::counter_add("store.load_hit", String::new, 1);
                 Some(payload)
             }
             _ => {
@@ -437,6 +446,7 @@ impl Store {
                 Self::drop_entry(&mut inner, ns, key);
                 Self::quarantine_file(&*self.fs, &self.cfg.dir, &mut inner, &path);
                 inner.stats.misses += 1;
+                eda_obs::counter_add("store.load_miss", String::new, 1);
                 None
             }
         }
@@ -454,6 +464,7 @@ impl Store {
         let bounded = self.cfg.max_bytes > 0;
         if bounded && size > self.cfg.max_bytes {
             inner.stats.admission_rejects += 1;
+            eda_obs::counter_add("store.admission_reject", String::new, 1);
             return;
         }
         let resident = inner.entries.contains_key(&(ns, key));
@@ -480,6 +491,7 @@ impl Store {
             }
             if !beaten {
                 inner.stats.admission_rejects += 1;
+                eda_obs::counter_add("store.admission_reject", String::new, 1);
                 return;
             }
         }
@@ -504,6 +516,8 @@ impl Store {
         inner.recency.insert(seq, (ns, key));
         inner.bytes += size;
         inner.stats.writes += 1;
+        eda_obs::counter_add("store.write", String::new, 1);
+        eda_obs::gauge_max("store.bytes", String::new, inner.bytes);
         Self::evict_to_budget(&*self.fs, &self.cfg, &mut inner, 0);
     }
 

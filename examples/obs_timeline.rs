@@ -1,0 +1,101 @@
+//! Observability timeline: serve a seeded traffic trace with `eda-obs`
+//! on, print the per-class latency/SLO report, and dump + self-validate
+//! a Chrome-trace JSON timeline (load it in `chrome://tracing` or
+//! Perfetto).
+//!
+//! ```sh
+//! EDA_OBS=1 EDA_OBS_TRACE_OUT=/tmp/eda_trace.json \
+//!     cargo run --release --example obs_timeline
+//! ```
+//!
+//! Exits nonzero if the run produced no observability report or the
+//! exported trace fails strict validation — CI uses this as the obs
+//! smoke test.
+
+use llm4eda::{llm, obs, serve};
+
+fn main() {
+    let model = llm::SimulatedLlm::new(llm::ModelSpec::ultra());
+
+    let trace = serve::generate_trace(&serve::TrafficConfig {
+        jobs: 16,
+        duplicate_rate: 0.3,
+        mean_interarrival_us: 800_000,
+        seed: 11,
+        ..Default::default()
+    });
+
+    // Honor every EDA_OBS_* / EDA_SERVE_* knob, but force observability
+    // on: this example exists to produce a timeline.
+    let mut cfg = serve::ServeConfig::from_env();
+    cfg.obs.enabled = true;
+    println!(
+        "serving {} jobs with obs on (sample {:.2}, trace_out {:?})",
+        trace.len(),
+        cfg.obs.sample,
+        cfg.obs.trace_out
+    );
+
+    let (report, export) = serve::serve_trace_traced(
+        &model,
+        &trace,
+        &cfg,
+        &llm4eda::exec::Engine::from_env(),
+    );
+
+    let Some(obs_report) = &report.obs else {
+        eprintln!("error: obs was enabled but the report carries no obs section");
+        std::process::exit(1);
+    };
+    let Some(export) = export else {
+        eprintln!("error: obs was enabled but no trace export came back");
+        std::process::exit(1);
+    };
+
+    println!("\n== SLO report ==");
+    print!("{}", obs_report.render());
+
+    // Validate the Chrome-trace dump with the strict parser — the same
+    // check CI applies to the smoke artifact.
+    match obs::validate_chrome_trace(&export.chrome) {
+        Ok(stats) => println!(
+            "\ntrace ok: {} events ({} spans, {} transport attempts, {} instants) \
+             across {} lanes, max nesting {}",
+            stats.events,
+            stats.spans,
+            stats.complete_events,
+            stats.instants,
+            stats.threads,
+            stats.max_depth
+        ),
+        Err(e) => {
+            eprintln!("error: exported Chrome trace failed validation: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = &cfg.obs.trace_out {
+        // serve_trace_traced already wrote the dump; re-read and
+        // re-validate the bytes that actually landed on disk.
+        match std::fs::read_to_string(path) {
+            Ok(body) if path.extension().is_some_and(|e| e == "jsonl") => {
+                println!("wrote JSONL event log to {} ({} lines)", path.display(), body.lines().count());
+            }
+            Ok(body) => match obs::validate_chrome_trace(&body) {
+                Ok(_) => println!("wrote Chrome trace to {}", path.display()),
+                Err(e) => {
+                    eprintln!("error: on-disk trace at {} is invalid: {e}", path.display());
+                    std::process::exit(1);
+                }
+            },
+            Err(e) => {
+                eprintln!("error: trace_out {} was not written: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if obs_report.dropped_events > 0 {
+        println!("note: {} events dropped at buffer caps", obs_report.dropped_events);
+    }
+}

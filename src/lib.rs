@@ -33,6 +33,7 @@
 //! | [`agent`] | `eda-core` | the unified EDA agent |
 //! | [`serve`] | `eda-serve` | multi-tenant flow serving: fair-share scheduling, admission control, LLM coalescing |
 //! | [`store`] | `eda-store` | persistent content-addressed result store: checksummed entries, LRU/TinyLFU, crash-safe writes |
+//! | [`obs`] | `eda-obs` | deterministic span tracing, metrics, and SLO reporting |
 //!
 //! ## Quickstart
 //!
@@ -53,6 +54,7 @@ pub use eda_hdl as hdl;
 pub use eda_hls as hls;
 pub use eda_hlstester as hlstester;
 pub use eda_llm as llm;
+pub use eda_obs as obs;
 pub use eda_rag as rag;
 pub use eda_rank as rank;
 pub use eda_repair as repair;

@@ -1,0 +1,229 @@
+//! Observability determinism suite: the exported trace and the
+//! `ObsReport` must be byte-identical at any `EDA_EXEC_THREADS` and
+//! with request coalescing on or off; turning observability on must
+//! not move a single byte of the rest of the `ServeReport` — including
+//! under transport fault injection.
+
+use llm4eda::{exec, llm, obs, serve};
+use proptest::prelude::*;
+use serve::{FlowJob, FlowSpec, Priority, ServeConfig};
+
+fn ultra() -> llm::SimulatedLlm {
+    llm::SimulatedLlm::new(llm::ModelSpec::ultra())
+}
+
+/// A small mixed-flow trace with deadlines, tuned so some jobs queue
+/// behind others (waits > 0) and all priority classes appear.
+fn mixed_jobs() -> Vec<FlowJob> {
+    let mut jobs = Vec::new();
+    for i in 0..8u64 {
+        let (tenant, priority) = match i % 3 {
+            0 => ("alpha", Priority::Interactive),
+            1 => ("beta", Priority::Standard),
+            _ => ("gamma", Priority::Batch),
+        };
+        let flow = match i % 4 {
+            0 => FlowSpec::AutoChip {
+                problem: "mux2".into(),
+                k: 2,
+                depth: 2,
+                tb_vectors: 8,
+                seed: i % 2, // duplicates make coalescing bite
+            },
+            1 => FlowSpec::Structured { problem: "mux2".into(), rounds: 2, seed: i % 2 },
+            2 => FlowSpec::Repair { program: "vecsum-malloc".into(), rounds: 2, seed: i },
+            _ => FlowSpec::Agent { problem: "mux2".into(), seed: i % 2 },
+        };
+        jobs.push(FlowJob {
+            id: i,
+            tenant: tenant.into(),
+            priority,
+            arrival_us: i * 400_000,
+            deadline_us: 30_000_000,
+            flow,
+        });
+    }
+    jobs
+}
+
+fn obs_cfg(coalesce: bool) -> ServeConfig {
+    ServeConfig {
+        coalesce,
+        workers: 2,
+        obs: obs::ObsConfig::on(),
+        ..ServeConfig::default()
+    }
+}
+
+fn run(
+    jobs: &[FlowJob],
+    cfg: &ServeConfig,
+    threads: usize,
+) -> (serve::ServeReport, obs::TraceExport) {
+    let engine = if threads <= 1 {
+        exec::Engine::sequential()
+    } else {
+        exec::Engine::with_threads(threads)
+    };
+    let (report, export) = serve::serve_trace_traced(&ultra(), jobs, cfg, &engine);
+    (report, export.expect("obs is on"))
+}
+
+/// The tentpole guarantee: same trace + config ⇒ byte-identical exports
+/// and obs report at 1, 4, and 8 host threads, with coalescing on or
+/// off — six runs, one set of bytes.
+#[test]
+fn exports_are_byte_identical_across_threads_and_coalescing() {
+    let jobs = mixed_jobs();
+    let mut exports: Vec<(String, obs::TraceExport, String)> = Vec::new();
+    for coalesce in [true, false] {
+        let cfg = obs_cfg(coalesce);
+        for threads in [1usize, 4, 8] {
+            let (report, export) = run(&jobs, &cfg, threads);
+            let obs_json = serde_json::to_string(&report.obs).expect("obs serializes");
+            exports.push((format!("coalesce={coalesce} threads={threads}"), export, obs_json));
+        }
+    }
+    let (_, base_export, base_obs) = &exports[0];
+    for (tag, export, obs_json) in &exports[1..] {
+        assert_eq!(&base_export.chrome, &export.chrome, "chrome trace differs at {tag}");
+        assert_eq!(&base_export.jsonl, &export.jsonl, "jsonl differs at {tag}");
+        assert_eq!(base_obs, obs_json, "obs report differs at {tag}");
+    }
+    // And the invariant bytes are a *valid* trace with real content.
+    let stats = obs::validate_chrome_trace(&base_export.chrome).expect("valid chrome trace");
+    assert!(stats.spans > 0, "no spans recorded: {stats:?}");
+    assert!(stats.complete_events > 0, "no transport attempts recorded: {stats:?}");
+}
+
+/// Observability is a pure observer: with obs on, every byte of the
+/// serve report outside the `obs` section matches the obs-off run —
+/// also under a 30% transport fault rate (retries, degradation).
+#[test]
+fn obs_on_does_not_move_the_serve_report() {
+    let jobs = mixed_jobs();
+    for fault_rate in [0.0, 0.3] {
+        let mut cfg_off = obs_cfg(true);
+        cfg_off.obs = obs::ObsConfig::off();
+        let mut cfg_on = obs_cfg(true);
+        if fault_rate > 0.0 {
+            cfg_off.resilience = llm::ResilienceConfig::with_fault_rate(fault_rate, 7);
+            cfg_on.resilience = llm::ResilienceConfig::with_fault_rate(fault_rate, 7);
+        }
+        let engine = exec::Engine::with_threads(4);
+        let (report_off, export_off) = serve::serve_trace_traced(&ultra(), &jobs, &cfg_off, &engine);
+        let (mut report_on, export_on) = serve::serve_trace_traced(&ultra(), &jobs, &cfg_on, &engine);
+        assert!(export_off.is_none());
+        assert!(export_on.is_some());
+        assert!(report_off.obs.is_none());
+        assert!(report_on.obs.is_some());
+        report_on.obs = None;
+        assert_eq!(
+            serde_json::to_string(&report_off).unwrap(),
+            serde_json::to_string(&report_on).unwrap(),
+            "obs recording changed the serve report at fault rate {fault_rate}"
+        );
+    }
+}
+
+/// Under fault injection the deduped transport groups surface the
+/// retries: some group must hold more than one attempt, and the dump
+/// still validates.
+#[test]
+fn faulty_transport_attempts_appear_in_the_trace() {
+    let jobs = mixed_jobs();
+    let mut cfg = obs_cfg(true);
+    cfg.resilience = llm::ResilienceConfig::with_fault_rate(0.3, 7);
+    let (report, export) = run(&jobs, &cfg, 4);
+    let obs_report = report.obs.expect("obs on");
+    assert!(obs_report.transport_groups > 0);
+    let stats = obs::validate_chrome_trace(&export.chrome).expect("valid chrome trace");
+    assert!(
+        stats.complete_events as u64 > obs_report.transport_groups,
+        "expected retries beyond one attempt per group: {} attempts over {} groups",
+        stats.complete_events,
+        obs_report.transport_groups
+    );
+}
+
+/// `EDA_OBS_SAMPLE=0` keeps metrics and the SLO table (they cover every
+/// job) but records no per-job span traces.
+#[test]
+fn sampling_zero_keeps_metrics_but_drops_job_traces() {
+    let jobs = mixed_jobs();
+    let mut cfg = obs_cfg(true);
+    cfg.obs.sample = 0.0;
+    let (report, export) = run(&jobs, &cfg, 4);
+    let obs_report = report.obs.expect("obs on");
+    assert_eq!(obs_report.sampled_jobs, 0);
+    assert_eq!(obs_report.classes.len(), 3);
+    assert!(obs_report.classes.iter().any(|c| c.completed > 0));
+    assert!(!obs_report.metrics.is_empty());
+    // Scheduler lane still present, so the trace stays valid/non-empty.
+    obs::validate_chrome_trace(&export.chrome).expect("valid chrome trace");
+}
+
+/// A tiny event buffer drops events — and the drops are counted in the
+/// report, never silent.
+#[test]
+fn buffer_cap_drops_are_surfaced() {
+    let jobs = mixed_jobs();
+    let mut cfg = obs_cfg(true);
+    cfg.obs.buf_events = 16;
+    let (report, export) = run(&jobs, &cfg, 4);
+    let obs_report = report.obs.expect("obs on");
+    assert!(obs_report.dropped_events > 0, "16-event buffers must overflow: {obs_report:?}");
+    obs::validate_chrome_trace(&export.chrome).expect("drops must not unbalance the trace");
+}
+
+/// SLO accounting: every deadline-carrying admitted job is an SLO job,
+/// and attainment is the met fraction.
+#[test]
+fn slo_attainment_matches_outcomes() {
+    let jobs = mixed_jobs();
+    let (report, _) = run(&jobs, &obs_cfg(true), 4);
+    let obs_report = report.obs.expect("obs on");
+    let slo_jobs: u64 = obs_report.classes.iter().map(|c| c.slo_jobs).sum();
+    let completed_or_expired = report
+        .jobs
+        .iter()
+        .filter(|j| {
+            matches!(
+                j.outcome,
+                serve::JobOutcome::Completed { .. } | serve::JobOutcome::Expired { .. }
+            )
+        })
+        .count() as u64;
+    assert_eq!(slo_jobs, completed_or_expired, "all jobs carry deadlines here");
+    for c in &obs_report.classes {
+        assert!(c.slo_met <= c.slo_jobs);
+        let expect = if c.slo_jobs == 0 { 1.0 } else { c.slo_met as f64 / c.slo_jobs as f64 };
+        assert!((c.slo_attainment - expect).abs() < 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized mini-traces replay byte-identically: sequential vs
+    /// 8-thread engines, coalescing from the seed, valid dump each time.
+    #[test]
+    fn random_traces_export_identically(seed in 0u64..1000, n in 1usize..5, coalesce in any::<bool>()) {
+        let trace = serve::generate_trace(&serve::TrafficConfig {
+            jobs: n,
+            seed,
+            mean_interarrival_us: 500_000,
+            ..Default::default()
+        });
+        let cfg = obs_cfg(coalesce);
+        let (ra, ea) = run(&trace, &cfg, 1);
+        let (rb, eb) = run(&trace, &cfg, 8);
+        prop_assert_eq!(&ea.chrome, &eb.chrome);
+        prop_assert_eq!(&ea.jsonl, &eb.jsonl);
+        prop_assert_eq!(
+            serde_json::to_string(&ra.obs).unwrap(),
+            serde_json::to_string(&rb.obs).unwrap()
+        );
+        prop_assert!(obs::validate_chrome_trace(&ea.chrome).is_ok());
+    }
+}
