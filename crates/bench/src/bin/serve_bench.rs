@@ -1,0 +1,513 @@
+//! `serve_bench` — open-loop load generator for the real-time serving
+//! mode (EXPERIMENTS §E15).
+//!
+//! Drives the `serve::traffic` scenarios (steady / diurnal / burst /
+//! tenant-churn) at a configurable offered QPS against
+//! `serve_realtime`, then reports measured throughput, shed rates, and
+//! per-priority-class p50/p99 wall latency (quantiles from `eda_obs`
+//! log₂ histograms). A second phase runs the adaptive-admission
+//! experiment: a saturating Batch stream with an Interactive stream on
+//! top, with and without `AdaptiveAdmission`, showing Batch shed early
+//! to hold the Interactive p99 SLO.
+//!
+//! Flags: `--quick` (CI smoke: tiny traces, seconds of wall time),
+//! `--scenario <tag|all>`, `--qps <f64>`, `--jobs <n>`, `--workers <n>`,
+//! `--no-adaptive`. Knobs: `EDA_SERVE_MODE` (`virtual` runs the
+//! discrete-event scheduler on the same trace instead),
+//! `EDA_SERVE_TARGET_QPS` (overrides `--qps`), `EDA_BENCH_QUICK`,
+//! and `EDA_BENCH_WRITE=1` to (re)write `results/exp_serve_rt.json`.
+
+use eda_bench::{banner, format_table, write_json};
+use eda_llm::{ModelSpec, SimulatedLlm};
+use eda_obs::Hist;
+use eda_serve::{
+    generate_scenario, serve_realtime, serve_trace_with, AdaptiveAdmission, FlowJob, FlowSpec,
+    JobOutcome, Priority, RealTimeConfig, RtReport, Scenario, ServeConfig, ServeMode,
+    TenantConfig, TrafficConfig,
+};
+use serde::Serialize;
+
+#[derive(Debug)]
+struct Args {
+    quick: bool,
+    scenarios: Vec<Scenario>,
+    qps: f64,
+    jobs: usize,
+    workers: usize,
+    adaptive: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        quick: false,
+        scenarios: Scenario::ALL.to_vec(),
+        qps: 0.0, // 0 = auto-calibrate to ~2x measured capacity
+        jobs: 0,  // 0 = mode default
+        workers: 4,
+        adaptive: true,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let next = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("missing value after {}", argv[*i - 1]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--quick" => a.quick = true,
+            "--no-adaptive" => a.adaptive = false,
+            "--scenario" => {
+                let v = next(&mut i);
+                a.scenarios = if v == "all" {
+                    Scenario::ALL.to_vec()
+                } else {
+                    match Scenario::parse(&v) {
+                        Some(s) => vec![s],
+                        None => {
+                            eprintln!("unknown scenario `{v}` (steady|diurnal|burst|tenant-churn|all)");
+                            std::process::exit(2);
+                        }
+                    }
+                };
+            }
+            "--qps" => a.qps = next(&mut i).parse().unwrap_or_else(|_| {
+                eprintln!("--qps expects a number");
+                std::process::exit(2);
+            }),
+            "--jobs" => a.jobs = next(&mut i).parse().unwrap_or_else(|_| {
+                eprintln!("--jobs expects an integer");
+                std::process::exit(2);
+            }),
+            "--workers" => a.workers = next(&mut i).parse().unwrap_or_else(|_| {
+                eprintln!("--workers expects an integer");
+                std::process::exit(2);
+            }),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if eda_exec::parse_bool_knob("EDA_BENCH_QUICK").unwrap_or(None).unwrap_or(false) {
+        a.quick = true;
+    }
+    if let Some(q) = eda_exec::parse_knob_in::<f64>(eda_serve::SERVE_TARGET_QPS_ENV, 0.01, 1e6)
+        .unwrap_or_else(|e| panic!("{e}"))
+    {
+        a.qps = q;
+    }
+    a
+}
+
+/// A cheap, distinct-seeded interactive-class flow (a few ms of wall
+/// work: one candidate, depth 1, tiny testbench).
+fn cheap_flow(seed: u64) -> FlowSpec {
+    FlowSpec::AutoChip { problem: "mux2".into(), k: 1, depth: 1, tb_vectors: 8, seed }
+}
+
+/// A heavy flow for the Batch head-of-line experiment. SLT generation
+/// always runs its full virtual-hours budget (a strong model cannot
+/// finish it early the way it one-shots a small AutoChip problem), so
+/// its wall cost is stable at tens of ms — enough to visibly block an
+/// Interactive job behind a running Batch job on a saturated worker.
+fn heavy_flow(seed: u64) -> FlowSpec {
+    FlowSpec::Slt { virtual_hours: 0.05, seed }
+}
+
+/// Single-tenant config with generous caps: the bench measures the
+/// scheduler and workers, not per-tenant shedding.
+fn wide_open(coalesce: bool) -> ServeConfig {
+    ServeConfig {
+        tenants: vec![TenantConfig::new("alpha", 1, 4096)],
+        max_backlog: 8192,
+        coalesce,
+        ..Default::default()
+    }
+}
+
+/// Measures mean wall service of a flow by running a few jobs back to
+/// back on one worker with no offered-load gap.
+fn calibrate_service_us(model: &SimulatedLlm, flow_of: fn(u64) -> FlowSpec, n: usize) -> u64 {
+    let jobs: Vec<FlowJob> = (0..n as u64)
+        .map(|i| FlowJob {
+            id: i,
+            tenant: "alpha".into(),
+            priority: Priority::Standard,
+            arrival_us: 0,
+            deadline_us: 0,
+            flow: flow_of(1000 + i),
+        })
+        .collect();
+    let rt = RealTimeConfig { workers: 1, adaptive: None };
+    let r = serve_realtime(model, &jobs, &wide_open(false), &rt);
+    let served: Vec<u64> = r
+        .jobs
+        .iter()
+        .filter_map(|j| match j.outcome {
+            JobOutcome::Completed { service_us, .. } => Some(service_us),
+            _ => None,
+        })
+        .collect();
+    (served.iter().sum::<u64>() / served.len().max(1) as u64).max(100)
+}
+
+#[derive(Serialize)]
+struct ClassRow {
+    class: String,
+    completed: u64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+#[derive(Serialize)]
+struct ScenarioResult {
+    scenario: String,
+    offered_qps: f64,
+    jobs: usize,
+    completed: u64,
+    shed: u64,
+    expired: u64,
+    throughput_per_s: f64,
+    wall_elapsed_us: u64,
+    classes: Vec<ClassRow>,
+}
+
+/// Per-class p50/p99 through `eda_obs::Hist` (log₂-bucket quantiles —
+/// the same histogram the obs layer aggregates in virtual runs).
+fn class_rows(r: &RtReport) -> Vec<ClassRow> {
+    Priority::ALL
+        .iter()
+        .map(|&prio| {
+            let mut h = Hist::new();
+            let mut completed = 0u64;
+            for rec in &r.jobs {
+                if rec.priority != prio {
+                    continue;
+                }
+                if let JobOutcome::Completed { finish_us, .. } = rec.outcome {
+                    h.observe(finish_us.saturating_sub(rec.arrival_us));
+                    completed += 1;
+                }
+            }
+            ClassRow {
+                class: prio.class_name().to_string(),
+                completed,
+                p50_us: h.quantile_us(0.50),
+                p99_us: h.quantile_us(0.99),
+            }
+        })
+        .collect()
+}
+
+fn run_scenarios(args: &Args, model: &SimulatedLlm, qps: f64) -> Vec<ScenarioResult> {
+    banner("E15.1 scenario sweep (real-time, open loop)");
+    let jobs_n = if args.jobs > 0 {
+        args.jobs
+    } else if args.quick {
+        16
+    } else {
+        72
+    };
+    let mut results = Vec::new();
+    for &s in &args.scenarios {
+        let mut cfg = TrafficConfig {
+            jobs: jobs_n,
+            mean_interarrival_us: ((1e6 / qps) as u64).max(1),
+            duplicate_rate: 0.35,
+            deadline_us: (2_000_000, 5_000_000),
+            seed: 17,
+            ..Default::default()
+        };
+        cfg.tenants = vec![
+            ("alpha".to_string(), 3.0),
+            ("beta".to_string(), 2.0),
+            ("gamma".to_string(), 1.0),
+        ];
+        let mut trace = generate_scenario(s, &cfg);
+        if args.quick {
+            // Keep every job cheap so the CI smoke stays in seconds.
+            for (i, j) in trace.iter_mut().enumerate() {
+                j.flow = cheap_flow(5000 + i as u64);
+            }
+        }
+        let rt = RealTimeConfig { workers: args.workers, adaptive: None };
+        let serve_cfg = ServeConfig { max_backlog: 256, ..Default::default() };
+        let r = serve_realtime(model, &trace, &serve_cfg, &rt);
+        let shed = r.stats.rejected_queue_full
+            + r.stats.rejected_overloaded
+            + r.stats.rejected_unknown_tenant;
+        results.push(ScenarioResult {
+            scenario: s.tag().to_string(),
+            offered_qps: qps,
+            jobs: trace.len(),
+            completed: r.stats.completed,
+            shed,
+            expired: r.stats.expired,
+            throughput_per_s: r.throughput_per_s,
+            wall_elapsed_us: r.wall_elapsed_us,
+            classes: class_rows(&r),
+        });
+    }
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let c = |name: &str| r.classes.iter().find(|x| x.class == name);
+            vec![
+                r.scenario.clone(),
+                format!("{:.1}", r.offered_qps),
+                r.completed.to_string(),
+                r.shed.to_string(),
+                r.expired.to_string(),
+                format!("{:.1}", r.throughput_per_s),
+                c("Interactive").map_or("-".into(), |x| format!("{}/{}", x.p50_us, x.p99_us)),
+                c("Standard").map_or("-".into(), |x| format!("{}/{}", x.p50_us, x.p99_us)),
+                c("Batch").map_or("-".into(), |x| format!("{}/{}", x.p50_us, x.p99_us)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["scenario", "qps", "done", "shed", "exp", "jobs/s", "I p50/p99us", "S p50/p99us", "B p50/p99us"],
+            &rows
+        )
+    );
+    results
+}
+
+#[derive(Serialize)]
+struct AdaptiveRun {
+    adaptive: bool,
+    interactive_p99_us: u64,
+    interactive_p99_steady_us: u64,
+    batch_completed: u64,
+    shed_adaptive: u64,
+    throughput_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct AdaptiveResult {
+    slo_us: u64,
+    window: usize,
+    off: AdaptiveRun,
+    on: AdaptiveRun,
+}
+
+/// Interactive e2e p99, overall and over the steady-state tail (jobs
+/// finishing after 40% of the wall run — excludes the pre-adaptation
+/// warmup the controller needs to observe its first window).
+fn interactive_p99(r: &RtReport) -> (u64, u64) {
+    let cut = r.wall_elapsed_us * 2 / 5;
+    let (mut all, mut steady) = (Vec::new(), Vec::new());
+    for rec in &r.jobs {
+        if rec.priority != Priority::Interactive {
+            continue;
+        }
+        if let JobOutcome::Completed { finish_us, .. } = rec.outcome {
+            let e2e = finish_us.saturating_sub(rec.arrival_us);
+            all.push(e2e);
+            if finish_us >= cut {
+                steady.push(e2e);
+            }
+        }
+    }
+    let p99 = |mut v: Vec<u64>| -> u64 {
+        if v.is_empty() {
+            return 0;
+        }
+        v.sort_unstable();
+        let rank = ((v.len() * 99).div_ceil(100)).max(1);
+        v[rank - 1]
+    };
+    (p99(all), p99(steady))
+}
+
+/// The adaptive-admission experiment: heavy Batch saturating the
+/// workers with a light Interactive stream on top. Without adaptive
+/// admission, every Interactive arrival risks head-of-line blocking
+/// behind a running Batch job; with it, Batch is shed once the
+/// Interactive p99 window drifts past the SLO, and the Interactive tail
+/// recovers to its own service time.
+fn run_adaptive(args: &Args, model: &SimulatedLlm) -> AdaptiveResult {
+    banner("E15.2 adaptive admission under Batch overload");
+    let s_int = calibrate_service_us(model, cheap_flow, if args.quick { 4 } else { 8 });
+    let s_batch = calibrate_service_us(model, heavy_flow, if args.quick { 3 } else { 6 });
+    println!("calibration: interactive ~{s_int}us, batch ~{s_batch}us per job");
+
+    let workers = 2usize;
+    // Batch offered at 2x the 2-worker capacity; 4 Interactive jobs per
+    // batch period keep the Interactive load light on its own.
+    let batch_gap = (s_batch / (2 * workers as u64)).max(200);
+    let int_gap = (s_batch / 8).max(100);
+    let periods = if args.quick { 10 } else { 30 };
+    let mut jobs: Vec<FlowJob> = Vec::new();
+    let mut id = 0u64;
+    for p in 0..periods {
+        for b in 0..2u64 {
+            jobs.push(FlowJob {
+                id,
+                tenant: "alpha".into(),
+                priority: Priority::Batch,
+                arrival_us: p as u64 * 2 * batch_gap + b * batch_gap,
+                deadline_us: 0,
+                flow: heavy_flow(9000 + id),
+            });
+            id += 1;
+        }
+        for k in 0..4u64 {
+            jobs.push(FlowJob {
+                id,
+                tenant: "alpha".into(),
+                priority: Priority::Interactive,
+                arrival_us: p as u64 * 2 * batch_gap + k * int_gap,
+                deadline_us: 0,
+                flow: cheap_flow(40_000 + id),
+            });
+            id += 1;
+        }
+    }
+    // SLO: well under one batch service (the head-of-line worst case),
+    // well above the interactive service floor.
+    let slo_us = (s_batch / 3).max(s_int * 4).max(2_000);
+    let window = 16usize;
+    let cfg = wide_open(false);
+
+    let run = |adaptive: bool| -> AdaptiveRun {
+        let rt = RealTimeConfig {
+            workers,
+            adaptive: adaptive.then_some(AdaptiveAdmission {
+                interactive_p99_slo_us: slo_us,
+                window,
+            }),
+        };
+        let r = serve_realtime(model, &jobs, &cfg, &rt);
+        let (p99_all, p99_steady) = interactive_p99(&r);
+        let batch_completed = r
+            .jobs
+            .iter()
+            .filter(|j| {
+                j.priority == Priority::Batch
+                    && matches!(j.outcome, JobOutcome::Completed { .. })
+            })
+            .count() as u64;
+        AdaptiveRun {
+            adaptive,
+            interactive_p99_us: p99_all,
+            interactive_p99_steady_us: p99_steady,
+            batch_completed,
+            shed_adaptive: r.shed_adaptive,
+            throughput_per_s: r.throughput_per_s,
+        }
+    };
+    let off = run(false);
+    let on = run(true);
+    println!(
+        "{}",
+        format_table(
+            &["adaptive", "I p99 us", "I p99 steady us", "batch done", "batch shed", "jobs/s"],
+            &[
+                vec![
+                    "off".into(),
+                    off.interactive_p99_us.to_string(),
+                    off.interactive_p99_steady_us.to_string(),
+                    off.batch_completed.to_string(),
+                    off.shed_adaptive.to_string(),
+                    format!("{:.1}", off.throughput_per_s),
+                ],
+                vec![
+                    "on".into(),
+                    on.interactive_p99_us.to_string(),
+                    on.interactive_p99_steady_us.to_string(),
+                    on.batch_completed.to_string(),
+                    on.shed_adaptive.to_string(),
+                    format!("{:.1}", on.throughput_per_s),
+                ],
+            ]
+        )
+    );
+    println!(
+        "SLO {slo_us}us: steady-state Interactive p99 {} -> {}us, batch shed {}",
+        off.interactive_p99_steady_us, on.interactive_p99_steady_us, on.shed_adaptive
+    );
+    AdaptiveResult { slo_us, window, off, on }
+}
+
+#[derive(Serialize)]
+struct E15Report {
+    experiment: String,
+    mode: String,
+    quick: bool,
+    workers: usize,
+    scenarios: Vec<ScenarioResult>,
+    adaptive: Option<AdaptiveResult>,
+}
+
+fn main() {
+    let args = parse_args();
+    let model = SimulatedLlm::new(ModelSpec::ultra());
+    let mode = eda_serve::mode_from_env().unwrap_or_else(|e| panic!("{e}"));
+
+    if mode == ServeMode::Virtual {
+        // Virtual mode through the same knob: the deterministic
+        // discrete-event scheduler on the steady trace, for comparison.
+        banner("serve_bench (EDA_SERVE_MODE=virtual)");
+        let cfg = TrafficConfig { jobs: 24, seed: 17, ..Default::default() };
+        let trace = generate_scenario(Scenario::Steady, &cfg);
+        let r = serve_trace_with(
+            &model,
+            &trace,
+            &ServeConfig::default(),
+            &eda_exec::Engine::from_env(),
+        );
+        println!(
+            "virtual: completed {} of {} submitted, {:.1} jobs/virtual-hour, p99 wait {}us",
+            r.stats.completed, r.stats.submitted, r.stats.throughput_per_hour, r.stats.p99_wait_us
+        );
+        return;
+    }
+
+    // Offered QPS: explicit flag/knob, else ~2x measured single-worker
+    // capacity of the cheap flow scaled to the worker count.
+    let qps = if args.qps > 0.0 {
+        args.qps
+    } else {
+        let s_int = calibrate_service_us(&model, cheap_flow, if args.quick { 4 } else { 8 });
+        2.0 * args.workers as f64 * 1e6 / s_int as f64
+    };
+
+    let scenarios = run_scenarios(&args, &model, qps);
+    let adaptive = args.adaptive.then(|| run_adaptive(&args, &model));
+
+    // Smoke assertions (the CI `--quick` contract): nonzero measured
+    // throughput and a well-formed per-class report for every scenario.
+    for s in &scenarios {
+        assert!(s.completed > 0, "scenario {} completed no jobs", s.scenario);
+        assert!(s.throughput_per_s > 0.0, "scenario {} reports zero throughput", s.scenario);
+        assert_eq!(s.classes.len(), 3, "scenario {} class rows malformed", s.scenario);
+        let done: u64 = s.classes.iter().map(|c| c.completed).sum();
+        assert_eq!(done, s.completed, "scenario {} class rows disagree with stats", s.scenario);
+    }
+    if let Some(ad) = &adaptive {
+        assert!(
+            ad.on.shed_adaptive > 0,
+            "adaptive admission shed no Batch under 2x overload"
+        );
+    }
+
+    let report = E15Report {
+        experiment: "E15 real-time serving (serve_bench)".to_string(),
+        mode: "realtime".to_string(),
+        quick: args.quick,
+        workers: args.workers,
+        scenarios,
+        adaptive,
+    };
+    if eda_exec::parse_bool_knob("EDA_BENCH_WRITE").unwrap_or(None).unwrap_or(false) {
+        write_json("exp_serve_rt", &report);
+    }
+    println!("serve_bench: ok");
+}

@@ -10,9 +10,115 @@
 //! (floating-point accumulation would not be associative).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Microseconds per virtual second.
 pub const US_PER_S: u64 = 1_000_000;
+
+/// The time source a scheduler event loop reads "now" from.
+///
+/// Two families implement it:
+///
+/// * [`ManualClock`] — discrete-event virtual time. The loop *sets* the
+///   clock to the next event's timestamp; reads are pure, so the whole
+///   schedule is a deterministic function of its inputs.
+/// * [`MonotonicClock`] — real wall time from a monotonic origin. Reads
+///   advance on their own; [`ClockSource::wait_until`] actually sleeps.
+///   Nothing about it is deterministic, which is exactly the point of a
+///   real-time serving mode.
+///
+/// Both report microseconds since their origin, the same unit every
+/// virtual quantity in the workspace already uses, so scheduler logic
+/// written against this trait (admission, weighted fair queuing,
+/// deadlines) is clock-generic.
+pub trait ClockSource: Send + Sync {
+    /// Microseconds elapsed since the clock's origin.
+    fn now_us(&self) -> u64;
+
+    /// Blocks until `now_us() >= deadline_us` (virtual clocks return
+    /// immediately — a discrete-event loop jumps instead of waiting).
+    fn wait_until(&self, deadline_us: u64);
+
+    /// True for discrete-event (virtual) drivers: reports derived under
+    /// such a clock are deterministic; wall-clock reports are not.
+    fn is_virtual(&self) -> bool;
+}
+
+/// Discrete-event time source: holds whatever the event loop last set.
+/// `wait_until` never blocks — advancing is the *loop's* job (it jumps
+/// straight to the next event), which is what keeps virtual runs
+/// independent of host speed and thread count.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now_us: AtomicU64,
+}
+
+impl ManualClock {
+    /// Starts at zero.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Jumps the clock to `t_us` (monotone: earlier values are ignored,
+    /// so racing observers never see time move backwards).
+    pub fn set_us(&self, t_us: u64) {
+        self.now_us.fetch_max(t_us, Ordering::Relaxed);
+    }
+}
+
+impl ClockSource for ManualClock {
+    fn now_us(&self) -> u64 {
+        self.now_us.load(Ordering::Relaxed)
+    }
+
+    fn wait_until(&self, deadline_us: u64) {
+        // Discrete-event loops jump; they never sleep. Model the jump.
+        self.set_us(deadline_us);
+    }
+
+    fn is_virtual(&self) -> bool {
+        true
+    }
+}
+
+/// Wall-clock time source: microseconds since construction, read from a
+/// monotonic [`Instant`]. `wait_until` parks the calling thread with
+/// `sleep`; callers needing an interruptible wait should layer their own
+/// parking on top (the serve real-time driver does).
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl MonotonicClock {
+    /// Origin = now.
+    pub fn start() -> Self {
+        MonotonicClock { origin: Instant::now() }
+    }
+}
+
+impl ClockSource for MonotonicClock {
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    fn wait_until(&self, deadline_us: u64) {
+        let now = self.now_us();
+        if deadline_us > now {
+            std::thread::sleep(std::time::Duration::from_micros(deadline_us - now));
+        }
+    }
+
+    fn is_virtual(&self) -> bool {
+        false
+    }
+}
 
 /// Converts virtual seconds to whole microseconds (saturating, negatives
 /// clamp to zero).
@@ -137,6 +243,32 @@ mod tests {
         assert_eq!(totals[0], (1..=100u64).map(|i| i * 7).sum::<u64>());
         assert_eq!(totals[0], totals[1]);
         assert_eq!(totals[0], totals[2]);
+    }
+
+    #[test]
+    fn manual_clock_jumps_and_never_goes_backwards() {
+        let c = ManualClock::new();
+        assert!(c.is_virtual());
+        assert_eq!(c.now_us(), 0);
+        c.set_us(500);
+        assert_eq!(c.now_us(), 500);
+        c.set_us(100); // ignored: time is monotone
+        assert_eq!(c.now_us(), 500);
+        c.wait_until(900); // a virtual wait is a jump, not a sleep
+        assert_eq!(c.now_us(), 900);
+        c.wait_until(10); // waiting for the past is a no-op
+        assert_eq!(c.now_us(), 900);
+    }
+
+    #[test]
+    fn monotonic_clock_advances_and_waits() {
+        let c = MonotonicClock::start();
+        assert!(!c.is_virtual());
+        let a = c.now_us();
+        c.wait_until(a + 2_000); // 2 ms
+        let b = c.now_us();
+        assert!(b >= a + 2_000, "wait_until must actually wait: {a} -> {b}");
+        assert!(c.now_us() >= b, "monotone reads");
     }
 
     #[test]

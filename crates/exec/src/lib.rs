@@ -43,7 +43,9 @@ pub mod clock;
 pub mod env;
 
 pub use backing::{combine_versions, CacheValue, KvBacking, StoreStats, NS_COMPLETION, NS_EVAL};
-pub use clock::{s_to_us, SharedClock, VirtualClock, US_PER_S};
+pub use clock::{
+    s_to_us, ClockSource, ManualClock, MonotonicClock, SharedClock, VirtualClock, US_PER_S,
+};
 pub use env::{parse_bool_knob, parse_knob, parse_knob_in, EnvKnobError};
 
 use crossbeam::deque::{Injector, Worker};

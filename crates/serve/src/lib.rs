@@ -34,13 +34,25 @@
 //! Host threads only change wall-clock: a dispatch wave's jobs run in
 //! parallel on the engine, but their virtual outcomes do not depend on
 //! which worker ran them.
+//!
+//! **Two clock modes.** The decision logic above lives in
+//! [`sched::SchedCore`], which never reads a clock; drivers feed it
+//! timestamps from their own `eda_exec::ClockSource`. [`serve_trace`]
+//! is the discrete-event driver on a `ManualClock` (byte-pinned by
+//! `tests/serve.rs`); [`serve_realtime`] runs the *same* WFQ/admission/
+//! deadline semantics on real OS worker threads against a
+//! `MonotonicClock`, measuring what this box actually sustains (see
+//! DESIGN §5.11 and the E15 bench).
 
+pub mod realtime;
+mod sched;
 pub mod traffic;
 
-pub use traffic::{generate_trace, TrafficConfig};
+pub use realtime::{serve_realtime, AdaptiveAdmission, RealTimeConfig, RtReport};
+pub use traffic::{generate_scenario, generate_trace, Scenario, TrafficConfig};
 
 use eda_core::{Agent, AgentConfig};
-use eda_exec::{CancelToken, Engine, EnvKnobError};
+use eda_exec::{CancelToken, ClockSource, Engine, EnvKnobError, ManualClock};
 use eda_llm::{
     ChatModel, CoalesceReport, CoalescingLlm, LlmReport, ResilienceConfig,
 };
@@ -49,7 +61,7 @@ use eda_obs::{
 };
 use serde::Serialize;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::BinaryHeap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -62,11 +74,41 @@ pub const SERVE_QUEUE_CAP_ENV: &str = "EDA_SERVE_QUEUE_CAP";
 pub const SERVE_MAX_BACKLOG_ENV: &str = "EDA_SERVE_MAX_BACKLOG";
 /// Cross-job LLM request coalescing on/off.
 pub const SERVE_COALESCE_ENV: &str = "EDA_SERVE_COALESCE";
+/// Which scheduler driver serve binaries run: `virtual` (discrete-event,
+/// deterministic) or `realtime` (wall clock on OS threads; the default).
+pub const SERVE_MODE_ENV: &str = "EDA_SERVE_MODE";
+/// Offered load (jobs/sec) of `serve_bench`'s open-loop generator.
+pub const SERVE_TARGET_QPS_ENV: &str = "EDA_SERVE_TARGET_QPS";
 
-/// Provisional service billed to a tenant at dispatch time (replaced by
-/// the measured service once the job runs): keeps one tenant from
-/// monopolizing a single dispatch wave before any of its bills land.
-const PROVISIONAL_SERVICE_US: u64 = 5_000_000;
+/// Which driver runs a serve workload (see [`SERVE_MODE_ENV`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Discrete-event virtual time: deterministic, byte-pinned reports.
+    Virtual,
+    /// Wall clock on real worker threads: measured, never deterministic.
+    RealTime,
+}
+
+/// Reads [`SERVE_MODE_ENV`]. Unset means [`ServeMode::RealTime`] (the
+/// bench default — virtual mode is what every test already exercises).
+///
+/// # Errors
+///
+/// [`EnvKnobError`] naming the variable on any other value.
+pub fn mode_from_env() -> Result<ServeMode, EnvKnobError> {
+    match eda_exec::parse_knob::<String>(SERVE_MODE_ENV)? {
+        None => Ok(ServeMode::RealTime),
+        Some(v) => match v.to_ascii_lowercase().as_str() {
+            "virtual" | "discrete" => Ok(ServeMode::Virtual),
+            "realtime" | "real-time" | "wall" => Ok(ServeMode::RealTime),
+            _ => Err(EnvKnobError {
+                var: SERVE_MODE_ENV.to_string(),
+                value: v,
+                reason: "expected `virtual` or `realtime`".to_string(),
+            }),
+        },
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Job model
@@ -85,7 +127,8 @@ pub enum Priority {
 impl Priority {
     pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Standard, Priority::Batch];
 
-    fn index(self) -> usize {
+    /// Dispatch-order index: 0 dispatches strictly before 1 before 2.
+    pub fn index(self) -> usize {
         match self {
             Priority::Interactive => 0,
             Priority::Standard => 1,
@@ -93,7 +136,8 @@ impl Priority {
         }
     }
 
-    fn class_name(self) -> &'static str {
+    /// Class label used in metrics, trace lanes, and SLO rows.
+    pub fn class_name(self) -> &'static str {
         match self {
             Priority::Interactive => "Interactive",
             Priority::Standard => "Standard",
@@ -258,6 +302,11 @@ pub enum RejectError {
     Overloaded { backlog: usize, limit: usize },
     /// The job names a tenant the config does not know.
     UnknownTenant { tenant: String },
+    /// Adaptive admission shed this Batch job because the Interactive
+    /// class's p99 exceeded its SLO (real-time driver only — the
+    /// virtual driver never emits this variant, so the byte-pinned
+    /// virtual report cannot change).
+    AdaptiveShed { interactive_p99_us: u64, slo_us: u64 },
 }
 
 impl fmt::Display for RejectError {
@@ -270,6 +319,10 @@ impl fmt::Display for RejectError {
                 write!(f, "system overloaded (backlog {backlog} >= limit {limit})")
             }
             RejectError::UnknownTenant { tenant } => write!(f, "unknown tenant `{tenant}`"),
+            RejectError::AdaptiveShed { interactive_p99_us, slo_us } => write!(
+                f,
+                "batch shed by adaptive admission (interactive p99 {interactive_p99_us}us > slo {slo_us}us)"
+            ),
         }
     }
 }
@@ -384,20 +437,26 @@ struct ExecutedJob {
 }
 
 /// Runs one job's flow against the shared stack. Pure per `(job.flow,
-/// job.deadline_us, shared-stack config)`: billing goes to a fresh
+/// virtual_deadline_us, shared-stack config)`: billing goes to a fresh
 /// per-job clock, and the flow runs sequentially with resilience off
 /// (the shared stack below already provides faults/retries), so the
 /// result is independent of scheduling and host threads. Observability
 /// only watches: spans stamp the same per-job clock the billing uses,
 /// so recording never moves a virtual outcome.
+///
+/// The caller owns the cancellation: the virtual driver passes a fresh
+/// token plus `job.deadline_us` (the per-job billing clock enforces the
+/// virtual deadline); the real-time driver passes a scheduler-held
+/// token and `0` (the scheduler fires the token at the wall deadline).
 fn run_flow_job(
     shared: &CoalescingLlm<'_>,
     job: &FlowJob,
     overhead_us: u64,
     obs: Option<&Arc<ObsSession>>,
+    token: CancelToken,
+    virtual_deadline_us: u64,
 ) -> ExecutedJob {
-    let token = CancelToken::new();
-    let handle = shared.handle(job.deadline_us, token.clone());
+    let handle = shared.handle(virtual_deadline_us, token.clone());
     let rec = obs.and_then(|s| s.job_recorder(job.id));
     let _obs_ctx = obs.map(|s| eda_obs::attach_job(s, rec.clone(), handle.clock_shared()));
     let _root = eda_obs::span!(
@@ -542,19 +601,6 @@ fn run_flow_job(
 // Scheduler (discrete-event, virtual time)
 // ---------------------------------------------------------------------------
 
-struct TenantState {
-    cfg: TenantConfig,
-    /// FIFO queue of job indices per priority class.
-    queues: [VecDeque<usize>; 3],
-    queued: usize,
-    /// Billed virtual service (provisional at dispatch, corrected to
-    /// the measured value after the job runs).
-    service_us: u64,
-    submitted: u64,
-    completed: u64,
-    shed: u64,
-}
-
 /// Serves `jobs` (any order; sorted internally by arrival, submission
 /// order breaking ties) on the process-default engine.
 pub fn serve_trace(model: &dyn ChatModel, jobs: &[FlowJob], cfg: &ServeConfig) -> ServeReport {
@@ -592,145 +638,69 @@ pub fn serve_trace_traced(
     let workers_total = cfg.workers.clamp(1, 64);
     let overhead_us = cfg.service_overhead_us;
 
-    let mut tenants: Vec<TenantState> = cfg
-        .tenants
-        .iter()
-        .map(|t| TenantState {
-            cfg: t.clone(),
-            queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
-            queued: 0,
-            service_us: 0,
-            submitted: 0,
-            completed: 0,
-            shed: 0,
-        })
-        .collect();
-    let tenant_index: HashMap<String, usize> =
-        tenants.iter().enumerate().map(|(i, t)| (t.cfg.name.clone(), i)).collect();
+    // All queues and counters live in the clock-generic core; this
+    // driver owns the event loop and the virtual clock.
+    let mut core = sched::SchedCore::new(cfg);
+    let clock = ManualClock::new();
 
     // Arrival order: by arrival time, submission index breaking ties.
     let mut order: Vec<usize> = (0..jobs.len()).collect();
     order.sort_by_key(|&i| (jobs[i].arrival_us, i));
 
     let mut outcomes: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
-    let mut stats = ServeStats::default();
     let mut flows_llm = LlmReport::default();
     let mut completion_order: Vec<u64> = Vec::new();
 
-    let mut now: u64 = 0;
     let mut next_arrival = 0usize; // index into `order`
-    let mut total_queued = 0usize;
     let mut free_workers = workers_total;
     // Running jobs: min-heap on (finish_us, dispatch_seq) — dispatch
     // order breaks finish-time ties deterministically.
     let mut busy: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
     let mut dispatch_seq: u64 = 0;
 
-    // Weighted fair pick: the highest nonempty priority class wins
-    // outright; within it, the tenant with minimal service/weight
-    // (exact cross-multiplied compare), name breaking ties; FIFO within
-    // the (tenant, priority) queue.
-    let pick_next = |tenants: &mut Vec<TenantState>, total_queued: &mut usize| -> Option<usize> {
-        for prio in 0..3 {
-            let mut best: Option<usize> = None;
-            for (ti, t) in tenants.iter().enumerate() {
-                if t.queues[prio].is_empty() {
-                    continue;
-                }
-                best = Some(match best {
-                    None => ti,
-                    Some(b) => {
-                        let (bt, ct) = (&tenants[b], t);
-                        let lhs = ct.service_us as u128 * bt.cfg.weight as u128;
-                        let rhs = bt.service_us as u128 * ct.cfg.weight as u128;
-                        if lhs < rhs || (lhs == rhs && ct.cfg.name < bt.cfg.name) {
-                            ti
-                        } else {
-                            b
-                        }
-                    }
-                });
-            }
-            if let Some(ti) = best {
-                let idx = tenants[ti].queues[prio].pop_front().expect("nonempty queue");
-                tenants[ti].queued -= 1;
-                *total_queued -= 1;
-                return Some(idx);
-            }
-        }
-        None
-    };
-
     loop {
+        let now = clock.now_us();
+
         // 1. Admit every arrival due by `now`.
         while next_arrival < order.len() && jobs[order[next_arrival]].arrival_us <= now {
             let idx = order[next_arrival];
             next_arrival += 1;
             let job = &jobs[idx];
-            stats.submitted += 1;
-            let reject = |s: &Option<Arc<ObsSession>>, r: &Option<Arc<Recorder>>, job: &FlowJob, why: &'static str| {
-                if let Some(s) = s {
-                    s.metrics().counter_add("serve.rejected", format!("reason={why}"), 1);
+            match core.admit(idx, job) {
+                sched::Admission::Rejected { reason, why } => {
+                    if let Some(s) = &obs {
+                        s.metrics().counter_add("serve.rejected", format!("reason={why}"), 1);
+                    }
+                    if let Some(rec) = &sched_rec {
+                        rec.instant("serve", "reject", now, vec![
+                            ("job", job.id.to_string()),
+                            ("tenant", job.tenant.clone()),
+                            ("reason", why.to_string()),
+                        ]);
+                    }
+                    outcomes[idx] = Some(JobOutcome::Rejected { reason });
                 }
-                if let Some(rec) = r {
-                    rec.instant("serve", "reject", now, vec![
-                        ("job", job.id.to_string()),
-                        ("tenant", job.tenant.clone()),
-                        ("reason", why.to_string()),
-                    ]);
+                sched::Admission::Queued => {
+                    if let Some(s) = &obs {
+                        s.metrics().counter_add(
+                            "serve.admitted",
+                            format!("class={},tenant={}", job.priority.class_name(), job.tenant),
+                            1,
+                        );
+                        s.metrics().gauge_max(
+                            "serve.backlog_peak",
+                            String::new(),
+                            core.total_queued as u64,
+                        );
+                    }
+                    if let Some(rec) = &sched_rec {
+                        rec.instant("serve", "admit", now, vec![
+                            ("job", job.id.to_string()),
+                            ("tenant", job.tenant.clone()),
+                            ("class", job.priority.class_name().to_string()),
+                        ]);
+                    }
                 }
-            };
-            let Some(&ti) = tenant_index.get(&job.tenant) else {
-                stats.rejected_unknown_tenant += 1;
-                reject(&obs, &sched_rec, job, "unknown_tenant");
-                outcomes[idx] = Some(JobOutcome::Rejected {
-                    reason: RejectError::UnknownTenant { tenant: job.tenant.clone() },
-                });
-                continue;
-            };
-            tenants[ti].submitted += 1;
-            if total_queued >= cfg.max_backlog {
-                stats.rejected_overloaded += 1;
-                tenants[ti].shed += 1;
-                reject(&obs, &sched_rec, job, "overloaded");
-                outcomes[idx] = Some(JobOutcome::Rejected {
-                    reason: RejectError::Overloaded {
-                        backlog: total_queued,
-                        limit: cfg.max_backlog,
-                    },
-                });
-                continue;
-            }
-            if tenants[ti].queued >= tenants[ti].cfg.queue_cap {
-                stats.rejected_queue_full += 1;
-                tenants[ti].shed += 1;
-                reject(&obs, &sched_rec, job, "queue_full");
-                outcomes[idx] = Some(JobOutcome::Rejected {
-                    reason: RejectError::QueueFull {
-                        tenant: job.tenant.clone(),
-                        cap: tenants[ti].cfg.queue_cap,
-                    },
-                });
-                continue;
-            }
-            stats.admitted += 1;
-            tenants[ti].queues[job.priority.index()].push_back(idx);
-            tenants[ti].queued += 1;
-            total_queued += 1;
-            if let Some(s) = &obs {
-                s.metrics().counter_add(
-                    "serve.admitted",
-                    format!("class={},tenant={}", job.priority.class_name(), job.tenant),
-                    1,
-                );
-                s.metrics().gauge_max("serve.backlog_peak", String::new(), total_queued as u64);
-            }
-            if let Some(rec) = &sched_rec {
-                rec.instant("serve", "admit", now, vec![
-                    ("job", job.id.to_string()),
-                    ("tenant", job.tenant.clone()),
-                    ("class", job.priority.class_name().to_string()),
-                ]);
             }
         }
 
@@ -738,13 +708,12 @@ pub fn serve_trace_traced(
         // provisional service so one tenant cannot claim a whole wave.
         let mut wave: Vec<usize> = Vec::new();
         while wave.len() < free_workers {
-            let Some(idx) = pick_next(&mut tenants, &mut total_queued) else { break };
+            let Some(idx) = core.pick_next() else { break };
             let job = &jobs[idx];
-            let ti = tenant_index[&job.tenant];
+            let ti = core.tenant_of(&job.tenant).expect("picked job has a tenant");
             let wait_us = now - job.arrival_us;
             if job.deadline_us > 0 && wait_us > job.deadline_us {
-                stats.expired += 1;
-                tenants[ti].shed += 1;
+                core.note_expired(ti);
                 if let Some(s) = &obs {
                     s.metrics().counter_add(
                         "serve.expired",
@@ -761,7 +730,7 @@ pub fn serve_trace_traced(
                 outcomes[idx] = Some(JobOutcome::Expired { wait_us });
                 continue;
             }
-            tenants[ti].service_us += PROVISIONAL_SERVICE_US;
+            core.bill_provisional(ti);
             if let Some(rec) = &sched_rec {
                 rec.instant("serve", "dispatch", now, vec![
                     ("job", job.id.to_string()),
@@ -775,19 +744,25 @@ pub fn serve_trace_traced(
         if !wave.is_empty() {
             free_workers -= wave.len();
             // Host-parallel execution of the wave; virtual outcomes are
-            // pure per job, so the engine only affects wall-clock.
+            // pure per job, so the engine only affects wall-clock. Each
+            // job gets a fresh token — the virtual deadline is enforced
+            // by the job's own billing clock, not by this driver.
             let executed =
                 engine.map_stage("serve-wave", wave.clone(), |_, idx| {
-                    run_flow_job(&shared, &jobs[idx], overhead_us, obs.as_ref())
+                    run_flow_job(
+                        &shared,
+                        &jobs[idx],
+                        overhead_us,
+                        obs.as_ref(),
+                        CancelToken::new(),
+                        jobs[idx].deadline_us,
+                    )
                 });
             for (idx, ex) in wave.into_iter().zip(executed) {
                 let job = &jobs[idx];
-                let ti = tenant_index[&job.tenant];
+                let ti = core.tenant_of(&job.tenant).expect("executed job has a tenant");
                 // Correct the provisional bill to the measured service.
-                tenants[ti].service_us = tenants[ti]
-                    .service_us
-                    .saturating_sub(PROVISIONAL_SERVICE_US)
-                    .saturating_add(ex.service_us);
+                core.settle_service(ti, ex.service_us);
                 let wait_us = now - job.arrival_us;
                 let finish_us = now + ex.service_us;
                 dispatch_seq += 1;
@@ -827,9 +802,7 @@ pub fn serve_trace_traced(
                     score: ex.score,
                 });
                 flows_llm.merge(&ex.llm);
-                stats.completed += 1;
-                stats.cancelled += ex.cancelled as u64;
-                tenants[ti].completed += 1;
+                core.note_completed(ti, ex.cancelled);
             }
             continue;
         }
@@ -842,56 +815,34 @@ pub fn serve_trace_traced(
         match (next_completion, upcoming_arrival) {
             (None, None) => break,
             (Some(f), a) if a.is_none_or(|a| f <= a) => {
-                now = f;
+                // A virtual wait is a jump: the clock lands exactly on f.
+                clock.wait_until(f);
                 let Reverse((_, _, idx)) = busy.pop().expect("peeked completion");
                 free_workers += 1;
                 completion_order.push(jobs[idx].id);
-                stats.makespan_us = stats.makespan_us.max(now);
+                core.stats.makespan_us = core.stats.makespan_us.max(f);
                 if let Some(rec) = &sched_rec {
-                    rec.instant("serve", "complete", now, vec![
+                    rec.instant("serve", "complete", f, vec![
                         ("job", jobs[idx].id.to_string()),
                     ]);
                 }
             }
-            (_, Some(a)) => now = a,
+            (_, Some(a)) => clock.wait_until(a),
             (Some(_), None) => unreachable!("covered by the guarded arm"),
         }
     }
 
     // Finalize stats.
-    let mut waits: Vec<u64> = outcomes
+    let waits: Vec<u64> = outcomes
         .iter()
         .filter_map(|o| match o {
             Some(JobOutcome::Completed { wait_us, .. }) => Some(*wait_us),
             _ => None,
         })
         .collect();
-    waits.sort_unstable();
-    stats.p50_wait_us = percentile(&waits, 50);
-    stats.p99_wait_us = percentile(&waits, 99);
-    stats.throughput_per_hour = if stats.makespan_us > 0 {
-        stats.completed as f64 / (stats.makespan_us as f64 / 3.6e9)
-    } else {
-        0.0
-    };
-
-    let total_service: u64 = tenants.iter().map(|t| t.service_us).sum();
-    let tenant_stats: Vec<TenantStats> = tenants
-        .iter()
-        .map(|t| TenantStats {
-            name: t.cfg.name.clone(),
-            weight: t.cfg.weight,
-            submitted: t.submitted,
-            completed: t.completed,
-            shed: t.shed,
-            service_us: t.service_us,
-            share: if total_service > 0 {
-                t.service_us as f64 / total_service as f64
-            } else {
-                0.0
-            },
-        })
-        .collect();
+    core.finalize_stats(waits);
+    let stats = core.stats.clone();
+    let tenant_stats = core.tenant_stats();
 
     let records: Vec<JobRecord> = jobs
         .iter()
@@ -912,7 +863,7 @@ pub fn serve_trace_traced(
         None => (None, None),
         Some(s) => {
             if let Some(rec) = &sched_rec {
-                s.finish_trace(SCHEDULER_TRACE_ID, "scheduler".to_string(), rec, now);
+                s.finish_trace(SCHEDULER_TRACE_ID, "scheduler".to_string(), rec, clock.now_us());
             }
             let classes = Priority::ALL
                 .iter()

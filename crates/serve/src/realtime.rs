@@ -1,0 +1,495 @@
+//! Real-time serving driver: the same WFQ/admission/deadline semantics
+//! as the discrete-event mode, run on OS worker threads against a
+//! monotonic wall clock.
+//!
+//! The scheduler thread owns the [`SchedCore`] (all queues and
+//! counters) and never executes a job. Dispatch is lock-light: one
+//! sharded ready queue per worker, each a short-critical-section
+//! `Mutex<VecDeque>` plus a `Condvar` the worker parks on. The
+//! scheduler round-robins picked jobs across shards; an idle worker
+//! steals from its neighbours before parking, so imbalance never
+//! strands work. Completions flow back through a single inbox the
+//! scheduler parks on — there is no global dispatch lock and no
+//! spinning anywhere.
+//!
+//! Time is wall microseconds from a [`MonotonicClock`] started at run
+//! begin, so `FlowJob::arrival_us` and `deadline_us` read as *wall*
+//! offsets here. A queued job past its deadline expires at pick time
+//! (same rule as virtual mode); a *running* job past its deadline is
+//! cancelled by the scheduler firing the job's [`CancelToken`] — the
+//! flow winds down cooperatively at its next poll and returns a partial
+//! result. None of this is deterministic, which is the point: the
+//! report records what this box actually sustained.
+//!
+//! Adaptive admission (the first autoscaling experiment): when the
+//! Interactive class's end-to-end p99 over a sliding window of recent
+//! completions drifts past its SLO, Batch arrivals are shed at
+//! admission with [`RejectError::AdaptiveShed`] until the p99 recovers.
+//! Interactive and Standard admission is never touched.
+
+use crate::sched::{Admission, SchedCore};
+use crate::{
+    run_flow_job, ExecutedJob, FlowJob, JobOutcome, JobRecord, Priority, RejectError,
+    ServeConfig, ServeStats, TenantStats,
+};
+use eda_exec::{CancelToken, ClockSource, MonotonicClock};
+use eda_llm::{ChatModel, CoalesceReport, CoalescingLlm, LlmReport};
+use eda_obs::ClassReport;
+use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Shed Batch arrivals while Interactive end-to-end p99 exceeds its SLO.
+#[derive(Debug, Clone, Serialize)]
+pub struct AdaptiveAdmission {
+    /// Wall-clock end-to-end (arrival → finish) p99 target for the
+    /// Interactive class.
+    pub interactive_p99_slo_us: u64,
+    /// Sliding window of recent Interactive completions the p99 is
+    /// estimated over.
+    pub window: usize,
+}
+
+impl Default for AdaptiveAdmission {
+    fn default() -> Self {
+        AdaptiveAdmission { interactive_p99_slo_us: 2_000_000, window: 64 }
+    }
+}
+
+/// Real-time driver knobs (everything else comes from [`ServeConfig`]).
+#[derive(Debug, Clone)]
+pub struct RealTimeConfig {
+    /// OS worker threads executing jobs (1–64). Unlike the virtual
+    /// mode's worker *slots*, these are real threads: they bound both
+    /// concurrency and host parallelism.
+    pub workers: usize,
+    /// Adaptive admission; `None` disables it.
+    pub adaptive: Option<AdaptiveAdmission>,
+}
+
+impl Default for RealTimeConfig {
+    fn default() -> Self {
+        RealTimeConfig { workers: 4, adaptive: None }
+    }
+}
+
+/// Outcome of one real-time run. Shares the job/outcome/tenant schema
+/// with [`crate::ServeReport`] and the per-class SLO row schema with
+/// the obs layer, but is its own type: real-time numbers are wall-clock
+/// measurements, never deterministic, so they must not be able to leak
+/// into the byte-pinned virtual report.
+#[derive(Debug, Clone, Serialize)]
+pub struct RtReport {
+    pub model: String,
+    /// Always `"realtime"`.
+    pub mode: String,
+    /// Worker threads the run used.
+    pub workers: usize,
+    /// One record per submitted job, in submission order. All `*_us`
+    /// fields are wall microseconds from run start.
+    pub jobs: Vec<JobRecord>,
+    /// Job ids in wall completion order.
+    pub completion_order: Vec<u64>,
+    /// Aggregate counters; `*_us` fields are wall microseconds.
+    pub stats: ServeStats,
+    /// Batch jobs shed by adaptive admission (also counted in their
+    /// tenant's `shed`, but in no `ServeStats` rejection class).
+    pub shed_adaptive: u64,
+    /// Per-tenant accounting, in config order (`service_us` is wall).
+    pub tenants: Vec<TenantStats>,
+    /// Per-priority-class wall latency/SLO rows (same schema the obs
+    /// layer reports for virtual runs).
+    pub classes: Vec<ClassReport>,
+    pub coalesce: CoalesceReport,
+    /// Transport-level traffic of the shared stack.
+    pub llm: LlmReport,
+    /// Flow-level traffic merged over all executed jobs.
+    pub flows_llm: LlmReport,
+    /// Wall time from run start to the last scheduler action.
+    pub wall_elapsed_us: u64,
+    /// Completed jobs per wall second.
+    pub throughput_per_s: f64,
+}
+
+/// One dispatched task in a worker shard.
+struct RtTask {
+    idx: usize,
+    token: CancelToken,
+}
+
+/// A worker's ready queue: tiny critical sections, parked on `cv`.
+#[derive(Default)]
+struct Shard {
+    q: Mutex<VecDeque<RtTask>>,
+    cv: Condvar,
+}
+
+/// One finished job, reported back to the scheduler thread.
+struct DoneMsg {
+    idx: usize,
+    start_us: u64,
+    finish_us: u64,
+    ex: ExecutedJob,
+}
+
+/// The scheduler's completion inbox.
+#[derive(Default)]
+struct Inbox {
+    msgs: Mutex<Vec<DoneMsg>>,
+    cv: Condvar,
+}
+
+/// How long an idle worker parks before rechecking its neighbours for
+/// stealable work (bounds steal latency without any spinning).
+const WORKER_PARK: Duration = Duration::from_micros(500);
+
+/// Serves `jobs` in real time on `rt.workers` OS threads. `arrival_us`
+/// and `deadline_us` are wall offsets from run start; the call blocks
+/// until every job has arrived and resolved.
+pub fn serve_realtime(
+    model: &dyn ChatModel,
+    jobs: &[FlowJob],
+    cfg: &ServeConfig,
+    rt: &RealTimeConfig,
+) -> RtReport {
+    let workers = rt.workers.clamp(1, 64);
+    let shared = CoalescingLlm::new(model, &cfg.resilience, cfg.coalesce);
+    let overhead_us = cfg.service_overhead_us;
+    let clock = MonotonicClock::start();
+
+    let shards: Vec<Shard> = (0..workers).map(|_| Shard::default()).collect();
+    let inbox = Inbox::default();
+    let shutdown = AtomicBool::new(false);
+
+    let mut core = SchedCore::new(cfg);
+    let mut outcomes: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+    // Wait measured at dispatch (scheduler now − arrival), indexed by job.
+    let mut dispatch_wait: Vec<u64> = vec![0; jobs.len()];
+    let mut completion_order: Vec<u64> = Vec::new();
+    let mut flows_llm = LlmReport::default();
+    let mut shed_adaptive: u64 = 0;
+
+    // Arrival order: by wall offset, submission index breaking ties.
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| (jobs[i].arrival_us, i));
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let shards = &shards;
+            let inbox = &inbox;
+            let shutdown = &shutdown;
+            let shared = &shared;
+            let clock = &clock;
+            scope.spawn(move || {
+                while let Some(task) = next_task(shards, w, shutdown) {
+                    let start_us = clock.now_us();
+                    // No virtual deadline: the wall deadline is enforced
+                    // by the scheduler firing `task.token`.
+                    let ex = run_flow_job(
+                        shared,
+                        &jobs[task.idx],
+                        overhead_us,
+                        None,
+                        task.token,
+                        0,
+                    );
+                    let finish_us = clock.now_us();
+                    let mut q = inbox.msgs.lock().expect("inbox lock");
+                    q.push(DoneMsg { idx: task.idx, start_us, finish_us, ex });
+                    drop(q);
+                    inbox.cv.notify_one();
+                }
+            });
+        }
+
+        // --- Scheduler loop (this thread) ---------------------------------
+        let mut next_arrival = 0usize; // index into `order`
+        let mut inflight = 0usize;
+        let mut next_shard = 0usize;
+        // Wall deadlines of running jobs (lazy: completed entries skipped).
+        let mut running_deadlines: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        let mut running_tokens: HashMap<usize, CancelToken> = HashMap::new();
+        // Recent Interactive end-to-end wall latencies for adaptive p99.
+        let mut interactive_window: VecDeque<u64> = VecDeque::new();
+
+        loop {
+            let now = clock.now_us();
+
+            // 1. Cancel running jobs past their wall deadline.
+            while let Some(&Reverse((dl, idx))) = running_deadlines.peek() {
+                if dl > now {
+                    break;
+                }
+                running_deadlines.pop();
+                if let Some(tok) = running_tokens.get(&idx) {
+                    tok.cancel();
+                }
+            }
+
+            // 2. Admit every arrival due by now.
+            while next_arrival < order.len() && jobs[order[next_arrival]].arrival_us <= now {
+                let idx = order[next_arrival];
+                next_arrival += 1;
+                let job = &jobs[idx];
+                if job.priority == Priority::Batch {
+                    if let (Some(ad), Some(ti)) = (&rt.adaptive, core.tenant_of(&job.tenant)) {
+                        if let Some(p99) = window_p99(&interactive_window, ad.window) {
+                            if p99 > ad.interactive_p99_slo_us {
+                                core.note_adaptive_shed(ti);
+                                shed_adaptive += 1;
+                                outcomes[idx] = Some(JobOutcome::Rejected {
+                                    reason: RejectError::AdaptiveShed {
+                                        interactive_p99_us: p99,
+                                        slo_us: ad.interactive_p99_slo_us,
+                                    },
+                                });
+                                continue;
+                            }
+                        }
+                    }
+                }
+                if let Admission::Rejected { reason, .. } = core.admit(idx, job) {
+                    outcomes[idx] = Some(JobOutcome::Rejected { reason });
+                }
+            }
+
+            // 3. Dispatch onto free workers (WFQ order, expiry at pick).
+            while inflight < workers {
+                let Some(idx) = core.pick_next() else { break };
+                let job = &jobs[idx];
+                let ti = core.tenant_of(&job.tenant).expect("picked job has a tenant");
+                let wait_us = now.saturating_sub(job.arrival_us);
+                if job.deadline_us > 0 && wait_us > job.deadline_us {
+                    core.note_expired(ti);
+                    outcomes[idx] = Some(JobOutcome::Expired { wait_us });
+                    continue;
+                }
+                core.bill_provisional(ti);
+                dispatch_wait[idx] = wait_us;
+                let token = CancelToken::new();
+                if job.deadline_us > 0 {
+                    running_deadlines
+                        .push(Reverse((job.arrival_us.saturating_add(job.deadline_us), idx)));
+                }
+                running_tokens.insert(idx, token.clone());
+                let shard = &shards[next_shard % workers];
+                next_shard += 1;
+                let mut q = shard.q.lock().expect("shard lock");
+                q.push_back(RtTask { idx, token });
+                drop(q);
+                shard.cv.notify_one();
+                inflight += 1;
+            }
+
+            // 4. Drain completions.
+            let done: Vec<DoneMsg> = {
+                let mut q = inbox.msgs.lock().expect("inbox lock");
+                std::mem::take(&mut *q)
+            };
+            for d in done {
+                let job = &jobs[d.idx];
+                let ti = core.tenant_of(&job.tenant).expect("completed job has a tenant");
+                let service_us = d.finish_us.saturating_sub(d.start_us);
+                core.settle_service(ti, service_us);
+                core.note_completed(ti, d.ex.cancelled);
+                core.stats.makespan_us = core.stats.makespan_us.max(d.finish_us);
+                running_tokens.remove(&d.idx);
+                inflight -= 1;
+                completion_order.push(job.id);
+                let e2e = d.finish_us.saturating_sub(job.arrival_us);
+                if job.priority == Priority::Interactive {
+                    if let Some(ad) = &rt.adaptive {
+                        interactive_window.push_back(e2e);
+                        while interactive_window.len() > ad.window.max(1) {
+                            interactive_window.pop_front();
+                        }
+                    }
+                }
+                flows_llm.merge(&d.ex.llm);
+                outcomes[d.idx] = Some(JobOutcome::Completed {
+                    start_us: d.start_us,
+                    finish_us: d.finish_us,
+                    wait_us: dispatch_wait[d.idx],
+                    service_us,
+                    cancelled: d.ex.cancelled,
+                    solved: d.ex.solved,
+                    score: d.ex.score,
+                });
+            }
+
+            // 5. Done when every job arrived and resolved.
+            if next_arrival == order.len() && core.total_queued == 0 && inflight == 0 {
+                break;
+            }
+
+            // 6. Queued work and a free worker: loop straight back to
+            // dispatch (the drain above may have just freed a slot).
+            if core.total_queued > 0 && inflight < workers {
+                continue;
+            }
+
+            // 7. Park until the next event: arrival, running deadline,
+            // or a completion (which pings the inbox condvar).
+            let now = clock.now_us();
+            let mut wake: Option<u64> = (next_arrival < order.len())
+                .then(|| jobs[order[next_arrival]].arrival_us);
+            if let Some(&Reverse((dl, _))) = running_deadlines.peek() {
+                wake = Some(wake.map_or(dl, |w| w.min(dl)));
+            }
+            match wake {
+                Some(t) if inflight == 0 => {
+                    // Nothing running: the next event is time-driven.
+                    clock.wait_until(t);
+                }
+                _ => {
+                    // Completions can land any moment; park on the inbox
+                    // with a bounded timeout toward the next timed event.
+                    let horizon = wake
+                        .map(|t| Duration::from_micros(t.saturating_sub(now)))
+                        .unwrap_or(Duration::from_millis(50))
+                        .min(Duration::from_millis(50))
+                        .max(Duration::from_micros(50));
+                    let q = inbox.msgs.lock().expect("inbox lock");
+                    if q.is_empty() {
+                        let _unused = inbox.cv.wait_timeout(q, horizon).expect("inbox wait");
+                    }
+                }
+            }
+        }
+
+        shutdown.store(true, Ordering::SeqCst);
+        for s in &shards {
+            s.cv.notify_all();
+        }
+    });
+
+    // --- Report --------------------------------------------------------
+    let wall_elapsed_us = clock.now_us();
+    let waits: Vec<u64> = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            Some(JobOutcome::Completed { wait_us, .. }) => Some(*wait_us),
+            _ => None,
+        })
+        .collect();
+    core.finalize_stats(waits);
+
+    let records: Vec<JobRecord> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| JobRecord {
+            id: j.id,
+            tenant: j.tenant.clone(),
+            priority: j.priority,
+            arrival_us: j.arrival_us,
+            outcome: outcomes[i].clone().unwrap_or(JobOutcome::Expired { wait_us: 0 }),
+        })
+        .collect();
+
+    let classes = class_reports(jobs, &records);
+    let stats = core.stats.clone();
+    let throughput_per_s = if wall_elapsed_us > 0 {
+        stats.completed as f64 / (wall_elapsed_us as f64 / 1e6)
+    } else {
+        0.0
+    };
+
+    RtReport {
+        model: shared.name().to_string(),
+        mode: "realtime".to_string(),
+        workers,
+        jobs: records,
+        completion_order,
+        stats,
+        shed_adaptive,
+        tenants: core.tenant_stats(),
+        classes,
+        coalesce: shared.report(),
+        llm: shared.llm_report(),
+        flows_llm,
+        wall_elapsed_us,
+        throughput_per_s,
+    }
+}
+
+/// Pulls the next task for worker `w`: own shard first, then steal from
+/// neighbours, then park (bounded) and retry. Returns `None` on
+/// shutdown with all queues drained.
+fn next_task(shards: &[Shard], w: usize, shutdown: &AtomicBool) -> Option<RtTask> {
+    let n = shards.len();
+    loop {
+        let mut guard = shards[w].q.lock().expect("shard lock");
+        if let Some(t) = guard.pop_front() {
+            return Some(t);
+        }
+        drop(guard);
+        // Steal: scan the other shards without blocking on their locks.
+        for v in 1..n {
+            let s = &shards[(w + v) % n];
+            if let Ok(mut g) = s.q.try_lock() {
+                if let Some(t) = g.pop_front() {
+                    return Some(t);
+                }
+            }
+        }
+        guard = shards[w].q.lock().expect("shard lock");
+        if let Some(t) = guard.pop_front() {
+            return Some(t);
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        let (_guard, _timeout) =
+            shards[w].cv.wait_timeout(guard, WORKER_PARK).expect("shard wait");
+    }
+}
+
+/// Nearest-rank p99 over the window (`None` until the window has a
+/// meaningful sample count).
+fn window_p99(window: &VecDeque<u64>, cap: usize) -> Option<u64> {
+    let min_samples = (cap / 4).clamp(4, 32);
+    if window.len() < min_samples {
+        return None;
+    }
+    let mut v: Vec<u64> = window.iter().copied().collect();
+    v.sort_unstable();
+    Some(crate::percentile(&v, 99))
+}
+
+/// Per-class wall latency/SLO rows from the resolved job records.
+fn class_reports(jobs: &[FlowJob], records: &[JobRecord]) -> Vec<ClassReport> {
+    Priority::ALL
+        .iter()
+        .map(|&prio| {
+            let mut waits = Vec::new();
+            let mut lats = Vec::new();
+            let (mut slo_jobs, mut slo_met) = (0u64, 0u64);
+            for (job, rec) in jobs.iter().zip(records) {
+                if job.priority != prio {
+                    continue;
+                }
+                match &rec.outcome {
+                    JobOutcome::Completed { finish_us, wait_us, cancelled, .. } => {
+                        let e2e = finish_us.saturating_sub(job.arrival_us);
+                        waits.push(*wait_us);
+                        lats.push(e2e);
+                        if job.deadline_us > 0 {
+                            slo_jobs += 1;
+                            if !cancelled && e2e <= job.deadline_us {
+                                slo_met += 1;
+                            }
+                        }
+                    }
+                    JobOutcome::Expired { .. } if job.deadline_us > 0 => {
+                        slo_jobs += 1;
+                    }
+                    _ => {}
+                }
+            }
+            ClassReport::build(prio.class_name(), waits, lats, slo_jobs, slo_met)
+        })
+        .collect()
+}

@@ -1,0 +1,311 @@
+//! Clock-generic scheduler core: the decision logic both serving
+//! drivers share.
+//!
+//! Everything here is *pure bookkeeping* — admission control, weighted
+//! fair queuing, provisional billing, per-tenant and aggregate counters.
+//! No time source, no threads, no I/O: a driver reads "now" from its
+//! own [`eda_exec::ClockSource`] (a `ManualClock` for the discrete-event
+//! mode, a `MonotonicClock` for real-time serving) and feeds timestamps
+//! in. Because the core never looks at a clock, the same WFQ/admission/
+//! deadline semantics hold in both modes, and the virtual driver stays
+//! a deterministic function of its inputs.
+
+use crate::{FlowJob, RejectError, ServeConfig, ServeStats, TenantConfig, TenantStats};
+use std::collections::{HashMap, VecDeque};
+
+/// Provisional service billed to a tenant at dispatch time (replaced by
+/// the measured service once the job runs): keeps one tenant from
+/// monopolizing a single dispatch wave before any of its bills land.
+pub(crate) const PROVISIONAL_SERVICE_US: u64 = 5_000_000;
+
+/// Per-tenant scheduling state.
+pub(crate) struct TenantState {
+    pub cfg: TenantConfig,
+    /// FIFO queue of job indices per priority class.
+    pub queues: [VecDeque<usize>; 3],
+    pub queued: usize,
+    /// Billed service (provisional at dispatch, corrected to the
+    /// measured value after the job runs). Virtual µs under the
+    /// discrete-event driver, wall µs under the real-time driver.
+    pub service_us: u64,
+    pub submitted: u64,
+    pub completed: u64,
+    pub shed: u64,
+}
+
+/// What [`SchedCore::admit`] decided for one arrival.
+pub(crate) enum Admission {
+    /// Enqueued on the tenant's per-priority FIFO.
+    Queued,
+    /// Shed at admission; `why` is the short metric/trace label.
+    Rejected { reason: RejectError, why: &'static str },
+}
+
+/// The shared scheduler state machine. Drivers own the event loop and
+/// the time source; the core owns every queue and counter, so the two
+/// modes cannot drift apart on semantics.
+pub(crate) struct SchedCore {
+    pub tenants: Vec<TenantState>,
+    tenant_index: HashMap<String, usize>,
+    pub total_queued: usize,
+    max_backlog: usize,
+    pub stats: ServeStats,
+}
+
+impl SchedCore {
+    pub fn new(cfg: &ServeConfig) -> Self {
+        let tenants: Vec<TenantState> = cfg
+            .tenants
+            .iter()
+            .map(|t| TenantState {
+                cfg: t.clone(),
+                queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                queued: 0,
+                service_us: 0,
+                submitted: 0,
+                completed: 0,
+                shed: 0,
+            })
+            .collect();
+        let tenant_index =
+            tenants.iter().enumerate().map(|(i, t)| (t.cfg.name.clone(), i)).collect();
+        SchedCore {
+            tenants,
+            tenant_index,
+            total_queued: 0,
+            max_backlog: cfg.max_backlog,
+            stats: ServeStats::default(),
+        }
+    }
+
+    pub fn tenant_of(&self, name: &str) -> Option<usize> {
+        self.tenant_index.get(name).copied()
+    }
+
+    /// Admission control, in the fixed check order the report bytes pin:
+    /// unknown tenant, global backlog, per-tenant cap, then FIFO
+    /// enqueue. Counters update exactly as each check fires.
+    pub fn admit(&mut self, idx: usize, job: &FlowJob) -> Admission {
+        self.stats.submitted += 1;
+        let Some(&ti) = self.tenant_index.get(&job.tenant) else {
+            self.stats.rejected_unknown_tenant += 1;
+            return Admission::Rejected {
+                reason: RejectError::UnknownTenant { tenant: job.tenant.clone() },
+                why: "unknown_tenant",
+            };
+        };
+        self.tenants[ti].submitted += 1;
+        if self.total_queued >= self.max_backlog {
+            self.stats.rejected_overloaded += 1;
+            self.tenants[ti].shed += 1;
+            return Admission::Rejected {
+                reason: RejectError::Overloaded {
+                    backlog: self.total_queued,
+                    limit: self.max_backlog,
+                },
+                why: "overloaded",
+            };
+        }
+        if self.tenants[ti].queued >= self.tenants[ti].cfg.queue_cap {
+            self.stats.rejected_queue_full += 1;
+            self.tenants[ti].shed += 1;
+            return Admission::Rejected {
+                reason: RejectError::QueueFull {
+                    tenant: job.tenant.clone(),
+                    cap: self.tenants[ti].cfg.queue_cap,
+                },
+                why: "queue_full",
+            };
+        }
+        self.stats.admitted += 1;
+        self.tenants[ti].queues[job.priority.index()].push_back(idx);
+        self.tenants[ti].queued += 1;
+        self.total_queued += 1;
+        Admission::Queued
+    }
+
+    /// Adaptive-admission shed (real-time driver only): the job counts
+    /// as submitted and shed for its tenant, but no `ServeStats`
+    /// rejection class moves — the driver tracks adaptive sheds in its
+    /// own report so virtual-mode report bytes cannot change.
+    pub fn note_adaptive_shed(&mut self, ti: usize) {
+        self.stats.submitted += 1;
+        self.tenants[ti].submitted += 1;
+        self.tenants[ti].shed += 1;
+    }
+
+    /// Weighted fair pick: the highest nonempty priority class wins
+    /// outright; within it, the tenant with minimal service/weight
+    /// (exact cross-multiplied compare), name breaking ties; FIFO
+    /// within the (tenant, priority) queue. Pops the picked index.
+    pub fn pick_next(&mut self) -> Option<usize> {
+        for prio in 0..3 {
+            let mut best: Option<usize> = None;
+            for (ti, t) in self.tenants.iter().enumerate() {
+                if t.queues[prio].is_empty() {
+                    continue;
+                }
+                best = Some(match best {
+                    None => ti,
+                    Some(b) => {
+                        let (bt, ct) = (&self.tenants[b], t);
+                        let lhs = ct.service_us as u128 * bt.cfg.weight as u128;
+                        let rhs = bt.service_us as u128 * ct.cfg.weight as u128;
+                        if lhs < rhs || (lhs == rhs && ct.cfg.name < bt.cfg.name) {
+                            ti
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            if let Some(ti) = best {
+                let idx = self.tenants[ti].queues[prio].pop_front().expect("nonempty queue");
+                self.tenants[ti].queued -= 1;
+                self.total_queued -= 1;
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// A picked job whose deadline elapsed while queued: never ran.
+    pub fn note_expired(&mut self, ti: usize) {
+        self.stats.expired += 1;
+        self.tenants[ti].shed += 1;
+    }
+
+    /// Bills the provisional service at dispatch.
+    pub fn bill_provisional(&mut self, ti: usize) {
+        self.tenants[ti].service_us += PROVISIONAL_SERVICE_US;
+    }
+
+    /// Corrects the provisional bill to the measured service.
+    pub fn settle_service(&mut self, ti: usize, measured_us: u64) {
+        self.tenants[ti].service_us = self.tenants[ti]
+            .service_us
+            .saturating_sub(PROVISIONAL_SERVICE_US)
+            .saturating_add(measured_us);
+    }
+
+    /// A job ran to completion (possibly cancelled mid-run).
+    pub fn note_completed(&mut self, ti: usize, cancelled: bool) {
+        self.stats.completed += 1;
+        self.stats.cancelled += cancelled as u64;
+        self.tenants[ti].completed += 1;
+    }
+
+    /// Finalizes the wait percentiles and throughput from the completed
+    /// jobs' wait samples (`makespan_us` must already be set).
+    pub fn finalize_stats(&mut self, mut waits: Vec<u64>) {
+        waits.sort_unstable();
+        self.stats.p50_wait_us = crate::percentile(&waits, 50);
+        self.stats.p99_wait_us = crate::percentile(&waits, 99);
+        self.stats.throughput_per_hour = if self.stats.makespan_us > 0 {
+            self.stats.completed as f64 / (self.stats.makespan_us as f64 / 3.6e9)
+        } else {
+            0.0
+        };
+    }
+
+    /// Per-tenant accounting rows, in config order.
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        let total_service: u64 = self.tenants.iter().map(|t| t.service_us).sum();
+        self.tenants
+            .iter()
+            .map(|t| TenantStats {
+                name: t.cfg.name.clone(),
+                weight: t.cfg.weight,
+                submitted: t.submitted,
+                completed: t.completed,
+                shed: t.shed,
+                service_us: t.service_us,
+                share: if total_service > 0 {
+                    t.service_us as f64 / total_service as f64
+                } else {
+                    0.0
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Priority;
+
+    fn job(idx: u64, tenant: &str, priority: Priority) -> FlowJob {
+        FlowJob {
+            id: idx,
+            tenant: tenant.into(),
+            priority,
+            arrival_us: 0,
+            deadline_us: 0,
+            flow: crate::FlowSpec::Agent { problem: "mux2".into(), seed: idx },
+        }
+    }
+
+    fn core() -> SchedCore {
+        SchedCore::new(&ServeConfig {
+            tenants: vec![TenantConfig::new("alpha", 3, 2), TenantConfig::new("beta", 1, 2)],
+            max_backlog: 3,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn admission_order_unknown_backlog_cap() {
+        let mut c = core();
+        assert!(matches!(
+            c.admit(0, &job(0, "nobody", Priority::Standard)),
+            Admission::Rejected { reason: RejectError::UnknownTenant { .. }, .. }
+        ));
+        assert!(matches!(c.admit(1, &job(1, "alpha", Priority::Standard)), Admission::Queued));
+        assert!(matches!(c.admit(2, &job(2, "alpha", Priority::Standard)), Admission::Queued));
+        // Tenant cap (2) fires before the global backlog (3) has room.
+        assert!(matches!(
+            c.admit(3, &job(3, "alpha", Priority::Standard)),
+            Admission::Rejected { reason: RejectError::QueueFull { .. }, .. }
+        ));
+        assert!(matches!(c.admit(4, &job(4, "beta", Priority::Standard)), Admission::Queued));
+        // Global backlog full now.
+        assert!(matches!(
+            c.admit(5, &job(5, "beta", Priority::Standard)),
+            Admission::Rejected { reason: RejectError::Overloaded { .. }, .. }
+        ));
+        assert_eq!(c.stats.submitted, 6);
+        assert_eq!(c.stats.admitted, 3);
+        assert_eq!(c.stats.rejected_unknown_tenant, 1);
+        assert_eq!(c.stats.rejected_queue_full, 1);
+        assert_eq!(c.stats.rejected_overloaded, 1);
+    }
+
+    #[test]
+    fn wfq_pick_prefers_least_billed_per_weight_and_strict_priority() {
+        let mut c = core();
+        c.admit(0, &job(0, "alpha", Priority::Batch));
+        c.admit(1, &job(1, "beta", Priority::Batch));
+        c.admit(2, &job(2, "beta", Priority::Interactive));
+        // Strict priority: beta's Interactive job first, regardless of
+        // billed service.
+        assert_eq!(c.pick_next(), Some(2));
+        // Equal service (0) → name tiebreak: alpha before beta.
+        assert_eq!(c.pick_next(), Some(0));
+        assert_eq!(c.pick_next(), Some(1));
+        assert_eq!(c.pick_next(), None);
+        assert_eq!(c.total_queued, 0);
+    }
+
+    #[test]
+    fn provisional_bill_settles_to_measured() {
+        let mut c = core();
+        c.bill_provisional(0);
+        assert_eq!(c.tenants[0].service_us, PROVISIONAL_SERVICE_US);
+        c.settle_service(0, 1_234);
+        assert_eq!(c.tenants[0].service_us, 1_234);
+        let rows = c.tenant_stats();
+        assert_eq!(rows[0].service_us, 1_234);
+        assert!((rows[0].share - 1.0).abs() < 1e-12);
+    }
+}

@@ -98,6 +98,129 @@ pub fn generate_trace(cfg: &TrafficConfig) -> Vec<FlowJob> {
     jobs
 }
 
+/// Named load shapes for scenario-driven runs (the ROADMAP's diurnal /
+/// burst / tenant-churn set, plus the flat baseline). All shapes reuse
+/// the [`TrafficConfig`] knobs; the shape only modulates *when* jobs
+/// arrive and *which* tenants are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Uniform interarrival gaps — identical shape to [`generate_trace`].
+    Steady,
+    /// A day cycle: the offered rate swells to ~4x the mean at peak and
+    /// drops to ~1/4 in the trough over one period spanning the trace.
+    Diurnal,
+    /// Baseline load with periodic bursts: every 8th..10th job opens a
+    /// near-simultaneous clump, stressing admission control.
+    Burst,
+    /// Rotating active-tenant subsets: the full roster stays configured,
+    /// but arrivals come from a sliding window of 2 tenants that shifts
+    /// every quarter of the trace — queue pressure migrates tenant to
+    /// tenant, exercising WFQ re-balancing and per-tenant caps.
+    TenantChurn,
+}
+
+impl Scenario {
+    pub const ALL: [Scenario; 4] =
+        [Scenario::Steady, Scenario::Diurnal, Scenario::Burst, Scenario::TenantChurn];
+
+    /// Stable lowercase tag for CLI flags and report labels.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Scenario::Steady => "steady",
+            Scenario::Diurnal => "diurnal",
+            Scenario::Burst => "burst",
+            Scenario::TenantChurn => "tenant-churn",
+        }
+    }
+
+    /// Parses a CLI tag (`steady`/`diurnal`/`burst`/`tenant-churn`).
+    pub fn parse(s: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|sc| sc.tag() == s)
+    }
+
+    fn salt(self) -> u64 {
+        match self {
+            Scenario::Steady => 0x5e27_e000_0000_0000,
+            Scenario::Diurnal => 0xd10a_7000_0000_0000,
+            Scenario::Burst => 0xb0a5_7000_0000_0000,
+            Scenario::TenantChurn => 0xc40a_0000_0000_0000,
+        }
+    }
+}
+
+/// Generates a scenario-shaped trace. Deterministic per `(scenario,
+/// config)`; [`Scenario::Steady`] reproduces [`generate_trace`]'s shape
+/// (not its exact bytes — each scenario salts the seed differently).
+pub fn generate_scenario(scenario: Scenario, cfg: &TrafficConfig) -> Vec<FlowJob> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ scenario.salt());
+    let total_weight: f64 = cfg.tenants.iter().map(|(_, w)| w.max(0.0)).sum();
+    let mut jobs: Vec<FlowJob> = Vec::with_capacity(cfg.jobs);
+    let mut arrival = 0u64;
+    let n = cfg.jobs.max(1);
+    // Tenant-churn phases: a 2-wide window over the roster, sliding
+    // every quarter of the trace.
+    let phase_len = (n / 4).max(1);
+
+    for i in 0..cfg.jobs {
+        let gap_mean = match scenario {
+            Scenario::Steady | Scenario::TenantChurn => cfg.mean_interarrival_us,
+            Scenario::Diurnal => {
+                // Rate ~ 1 + 0.75*sin(2π·phase) ⇒ gap is its inverse,
+                // clamped to [~x0.25, ~x4] of the mean.
+                let phase = i as f64 / n as f64;
+                let rate = 1.0 + 0.75 * (2.0 * std::f64::consts::PI * phase).sin();
+                ((cfg.mean_interarrival_us as f64 / rate.max(0.25)) as u64).max(1)
+            }
+            Scenario::Burst => {
+                if i % 9 < 3 {
+                    // Three-job clumps: near-simultaneous arrivals.
+                    (cfg.mean_interarrival_us / 64).max(1)
+                } else {
+                    cfg.mean_interarrival_us
+                }
+            }
+        };
+        if i > 0 {
+            arrival += rng.gen_range(0..=gap_mean.saturating_mul(2));
+        }
+        let tenant = if scenario == Scenario::TenantChurn && cfg.tenants.len() > 1 {
+            let phase = i / phase_len;
+            let active_a = phase % cfg.tenants.len();
+            let active_b = (phase + 1) % cfg.tenants.len();
+            let pair = [&cfg.tenants[active_a], &cfg.tenants[active_b]];
+            let pair_weight: f64 = pair.iter().map(|(_, w)| w.max(0.0)).sum();
+            let owned: Vec<(String, f64)> =
+                pair.iter().map(|(t, w)| (t.clone(), *w)).collect();
+            pick_tenant(&owned, pair_weight, &mut rng)
+        } else {
+            pick_tenant(&cfg.tenants, total_weight, &mut rng)
+        };
+        let priority = {
+            let p: f64 = rng.gen();
+            if p < 0.3 {
+                Priority::Interactive
+            } else if p < 0.8 {
+                Priority::Standard
+            } else {
+                Priority::Batch
+            }
+        };
+        let deadline_us = if cfg.deadline_us.1 > cfg.deadline_us.0 {
+            rng.gen_range(cfg.deadline_us.0..=cfg.deadline_us.1)
+        } else {
+            cfg.deadline_us.0
+        };
+        let flow = if i >= 2 && rng.gen::<f64>() < cfg.duplicate_rate {
+            let donor = rng.gen_range(0..jobs.len());
+            jobs[donor].flow.clone()
+        } else {
+            fresh_flow(&mut rng)
+        };
+        jobs.push(FlowJob { id: i as u64, tenant, priority, arrival_us: arrival, deadline_us, flow });
+    }
+    jobs
+}
+
 fn pick_tenant(tenants: &[(String, f64)], total: f64, rng: &mut StdRng) -> String {
     if tenants.is_empty() || total <= 0.0 {
         return "alpha".to_string();
@@ -158,6 +281,58 @@ mod tests {
             }
         }
         assert!(dup >= 10, "expected heavy duplication, saw {dup}/40");
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_and_distinct() {
+        let cfg = TrafficConfig { jobs: 36, ..Default::default() };
+        for s in Scenario::ALL {
+            let a = generate_scenario(s, &cfg);
+            let b = generate_scenario(s, &cfg);
+            assert_eq!(a.len(), 36);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!((x.id, &x.tenant, x.arrival_us), (y.id, &y.tenant, y.arrival_us));
+                assert_eq!(x.flow, y.flow);
+            }
+            assert_eq!(Scenario::parse(s.tag()), Some(s), "tag round-trips");
+        }
+        // Different salts: steady and diurnal diverge on the same seed.
+        let steady = generate_scenario(Scenario::Steady, &cfg);
+        let diurnal = generate_scenario(Scenario::Diurnal, &cfg);
+        assert!(
+            steady.iter().zip(&diurnal).any(|(a, b)| a.arrival_us != b.arrival_us),
+            "scenario shapes must differ"
+        );
+    }
+
+    #[test]
+    fn burst_scenario_clumps_arrivals() {
+        let cfg = TrafficConfig { jobs: 45, ..Default::default() };
+        let jobs = generate_scenario(Scenario::Burst, &cfg);
+        // Clump gaps are ≤ 2·mean/64; count gaps far below the mean.
+        let tight = jobs
+            .windows(2)
+            .filter(|w| w[1].arrival_us - w[0].arrival_us <= cfg.mean_interarrival_us / 32)
+            .count();
+        assert!(tight >= 8, "expected bursty clumps, saw {tight} tight gaps");
+    }
+
+    #[test]
+    fn tenant_churn_rotates_the_active_pair() {
+        let cfg = TrafficConfig { jobs: 48, ..Default::default() };
+        let jobs = generate_scenario(Scenario::TenantChurn, &cfg);
+        // Phase 0 draws from {alpha, beta}; the last phase from a
+        // different pair — so gamma appears somewhere, and the first
+        // quarter never contains it.
+        let q = 48 / 4;
+        assert!(
+            jobs[..q].iter().all(|j| j.tenant != "gamma"),
+            "phase 0 active pair is alpha/beta"
+        );
+        assert!(
+            jobs.iter().any(|j| j.tenant == "gamma"),
+            "later phases must rotate gamma in"
+        );
     }
 
     #[test]

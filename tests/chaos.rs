@@ -16,7 +16,7 @@
 //! `configured_fault_rate` test below reads the variable; it never sets
 //! it, so local `cargo test` runs the same test fault-free).
 
-use llm4eda::{autochip, hlstester, llm, repair, serve, sltgen, suite};
+use llm4eda::{autochip, exec, hlstester, llm, repair, serve, sltgen, suite};
 use proptest::prelude::*;
 
 fn ultra() -> llm::SimulatedLlm {
@@ -173,9 +173,8 @@ int noisy(int a) {
 /// they do so while actually absorbing faults.
 #[test]
 fn all_flows_survive_the_configured_fault_rate() {
-    let rate: f64 = std::env::var(llm::FAULT_RATE_ENV)
-        .ok()
-        .and_then(|s| s.trim().parse().ok())
+    let rate: f64 = exec::parse_knob_in(llm::FAULT_RATE_ENV, 0.0, 1.0)
+        .expect("EDA_LLM_FAULT_RATE must parse")
         .unwrap_or(0.0);
     let res = resilience(rate, 0xc4a05);
     let model = ultra();

@@ -349,7 +349,7 @@ fn golden_vectors_replay_bit_exactly_on_both_engines() {
     let fast = build_golden(true, false);
     assert_eq!(reference, fast, "engines disagree before touching the snapshot");
 
-    if std::env::var("EDA_GOLDEN_REGEN").is_ok_and(|v| v == "1") {
+    if llm4eda::exec::parse_bool_knob("EDA_GOLDEN_REGEN").unwrap_or(None).unwrap_or(false) {
         std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden")).unwrap();
         std::fs::write(GOLDEN_PATH, &reference).unwrap();
         return;

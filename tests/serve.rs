@@ -192,6 +192,60 @@ fn deadlines_expire_queued_jobs_and_cancel_running_ones() {
     }
 }
 
+/// Path of the pinned virtual-mode `ServeReport` golden. Captured from
+/// the pre-refactor (PR 3-6) discrete-event scheduler on the E11.1
+/// trace; the clock-generic rewrite must reproduce it byte for byte.
+/// Regenerate (only for an intentional schema change) with
+/// `EDA_GOLDEN_REGEN=1`.
+const SERVE_GOLDEN_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/serve_report.json");
+
+/// The E11.1 trace: duplicate-heavy, all three default tenants, the
+/// exact shape `exp_serve` benches.
+fn e11_trace() -> Vec<FlowJob> {
+    serve::generate_trace(&serve::TrafficConfig {
+        jobs: 24,
+        duplicate_rate: 0.6,
+        seed: 17,
+        ..Default::default()
+    })
+}
+
+/// Virtual-mode determinism, pinned to bytes on disk: the serialized
+/// `ServeReport` for the E11 trace is identical at 1/4/8 host threads
+/// *and* identical to the golden captured before the clock-generic
+/// scheduler refactor — proving the refactor moved zero bytes.
+#[test]
+fn virtual_serve_report_bytes_are_pinned() {
+    let trace = e11_trace();
+    let cfg = ServeConfig::default();
+    let reports: Vec<String> = [1usize, 4, 8]
+        .iter()
+        .map(|&t| {
+            let r = serve::serve_trace_with(&ultra(), &trace, &cfg, &exec::Engine::with_threads(t));
+            serde_json::to_string_pretty(&r).expect("report serializes")
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1], "1-thread vs 4-thread report bytes differ");
+    assert_eq!(reports[0], reports[2], "1-thread vs 8-thread report bytes differ");
+
+    let mut canonical = reports[0].clone();
+    canonical.push('\n');
+    if exec::parse_bool_knob("EDA_GOLDEN_REGEN").unwrap_or(None).unwrap_or(false) {
+        std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden")).unwrap();
+        std::fs::write(SERVE_GOLDEN_PATH, &canonical).unwrap();
+        return;
+    }
+    let on_disk = std::fs::read_to_string(SERVE_GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!("missing serve golden {SERVE_GOLDEN_PATH} ({e}); regenerate with EDA_GOLDEN_REGEN=1")
+    });
+    assert_eq!(
+        on_disk, canonical,
+        "virtual-mode ServeReport bytes drifted from the pre-refactor golden; \
+         if intentional, regenerate with EDA_GOLDEN_REGEN=1"
+    );
+}
+
 /// The EDA_SERVE_* knobs go through the hardened shared parser: a junk
 /// value produces a typed error naming the variable.
 #[test]
@@ -202,4 +256,194 @@ fn serve_env_knobs_report_typed_errors() {
     assert_eq!(err.var, "EDA_SERVE_MAX_BACKLOG");
     let msg = err.to_string();
     assert!(msg.contains("EDA_SERVE_MAX_BACKLOG") && msg.contains("many"), "{msg}");
+}
+
+/// The tenant-churn scenario rotates the active tenant pair: early
+/// phases exclude tenants outside the window, later phases bring them
+/// in, and the generator stays deterministic per seed.
+#[test]
+fn tenant_churn_scenario_rotates_active_tenants() {
+    let cfg = serve::TrafficConfig { jobs: 48, seed: 23, ..Default::default() };
+    let a = serve::generate_scenario(serve::Scenario::TenantChurn, &cfg);
+    let b = serve::generate_scenario(serve::Scenario::TenantChurn, &cfg);
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "tenant-churn generation must be deterministic per seed"
+    );
+    // Phase 0 draws only from the first pair (alpha, beta); gamma only
+    // enters once the window rotates.
+    let phase_len = cfg.jobs / 4;
+    assert!(
+        a[..phase_len].iter().all(|j| j.tenant != "gamma"),
+        "gamma active before its churn phase"
+    );
+    assert!(
+        a[phase_len..].iter().any(|j| j.tenant == "gamma"),
+        "gamma never became active across later phases"
+    );
+    // Churn must still cover every configured tenant overall.
+    for t in ["alpha", "beta", "gamma"] {
+        assert!(a.iter().any(|j| j.tenant == t), "tenant {t} absent from churn trace");
+    }
+}
+
+/// A tenant-churn trace served end to end accounts for every job:
+/// admitted jobs complete or expire, and each tenant that submitted
+/// work shows up in the per-tenant report.
+#[test]
+fn tenant_churn_trace_serves_cleanly() {
+    let trace = serve::generate_scenario(
+        serve::Scenario::TenantChurn,
+        &serve::TrafficConfig { jobs: 16, duplicate_rate: 0.4, seed: 7, ..Default::default() },
+    );
+    let r = serve::serve_trace_with(
+        &ultra(),
+        &trace,
+        &ServeConfig::default(),
+        &exec::Engine::with_threads(4),
+    );
+    assert_eq!(
+        r.stats.completed + r.stats.expired,
+        r.stats.admitted,
+        "{:?}",
+        r.stats
+    );
+    for ts in &r.tenants {
+        assert!(ts.submitted > 0, "tenant {} in report without traffic", ts.name);
+    }
+}
+
+/// `EDA_SERVE_MODE` parses through the shared knob layer: both drivers
+/// by name, real-time default when unset, typed error on junk.
+#[test]
+fn serve_mode_env_knob_parses_and_rejects_junk() {
+    std::env::remove_var(serve::SERVE_MODE_ENV);
+    assert_eq!(serve::mode_from_env().unwrap(), serve::ServeMode::RealTime);
+    std::env::set_var(serve::SERVE_MODE_ENV, "virtual");
+    assert_eq!(serve::mode_from_env().unwrap(), serve::ServeMode::Virtual);
+    std::env::set_var(serve::SERVE_MODE_ENV, "realtime");
+    assert_eq!(serve::mode_from_env().unwrap(), serve::ServeMode::RealTime);
+    std::env::set_var(serve::SERVE_MODE_ENV, "hypertime");
+    let err = serve::mode_from_env().unwrap_err();
+    std::env::remove_var(serve::SERVE_MODE_ENV);
+    assert_eq!(err.var, serve::SERVE_MODE_ENV);
+    assert!(err.to_string().contains("hypertime"), "{err}");
+}
+
+/// Wall-clock smoke: the real-time driver runs the same trace at 1, 4,
+/// and 8 workers without deadlock, accounts for every admitted job, and
+/// reports sane wall-clock numbers. Deliberately timing-tolerant — only
+/// structural invariants are asserted, never latencies.
+#[test]
+fn realtime_mode_smoke_at_1_4_8_workers() {
+    let trace: Vec<FlowJob> = (0..10)
+        .map(|i| {
+            let mut j = job(i, ["alpha", "beta", "gamma"][i as usize % 3], Priority::Standard, 0, i);
+            j.arrival_us = i * 1_000; // 1 ms apart in wall time
+            j
+        })
+        .collect();
+    let cfg = ServeConfig::default();
+    for workers in [1usize, 4, 8] {
+        let rt = serve::RealTimeConfig { workers, ..Default::default() };
+        let r = serve::serve_realtime(&ultra(), &trace, &cfg, &rt);
+        assert_eq!(r.workers, workers);
+        assert_eq!(r.mode, "realtime");
+        assert_eq!(
+            r.stats.completed + r.stats.expired,
+            r.stats.admitted,
+            "workers={workers}: {:?}",
+            r.stats
+        );
+        assert_eq!(r.stats.admitted, 10, "workers={workers}: nothing should shed");
+        assert_eq!(r.completion_order.len() as u64, r.stats.completed);
+        assert!(r.wall_elapsed_us > 0, "workers={workers}: zero wall time");
+        assert!(r.throughput_per_s > 0.0, "workers={workers}");
+        assert_eq!(r.classes.len(), 3, "one class report per priority");
+        let class_total: u64 = r.classes.iter().map(|c| c.completed).sum();
+        assert_eq!(class_total, r.stats.completed, "workers={workers}");
+        for rec in &r.jobs {
+            if let JobOutcome::Completed { service_us, .. } = rec.outcome {
+                assert!(service_us > 0, "job {} billed zero wall service", rec.id);
+            }
+        }
+    }
+}
+
+/// Adaptive admission smoke: with a deliberately unattainable
+/// Interactive SLO and a saturating mix, the real-time driver sheds at
+/// least one Batch arrival and tags it with the typed reason; with
+/// adaptive admission off, the same trace sheds nothing adaptively.
+#[test]
+fn realtime_adaptive_admission_sheds_batch_under_pressure() {
+    // Interactive floods at t=0 so its completions fill the p99 window
+    // first; Batch arrives seconds later, far past any plausible wall
+    // time for eight tiny mux2 jobs, so the controller has samples by
+    // the time the shed decision is made.
+    let mut trace: Vec<FlowJob> = Vec::new();
+    for i in 0..8u64 {
+        let mut j = job(i, "alpha", Priority::Interactive, 0, i);
+        j.flow = FlowSpec::AutoChip {
+            problem: "mux2".into(),
+            k: 1,
+            depth: 1,
+            tb_vectors: 8,
+            seed: 1000 + i,
+        };
+        trace.push(j);
+    }
+    for (n, i) in (8u64..11).enumerate() {
+        let mut j = job(i, "alpha", Priority::Batch, 4_000_000 + n as u64 * 100_000, i);
+        j.flow = FlowSpec::AutoChip {
+            problem: "mux2".into(),
+            k: 1,
+            depth: 1,
+            tb_vectors: 8,
+            seed: 2000 + i,
+        };
+        trace.push(j);
+    }
+    let cfg = ServeConfig {
+        tenants: vec![TenantConfig::new("alpha", 1, 256)],
+        max_backlog: 256,
+        coalesce: false,
+        ..Default::default()
+    };
+    // 1 µs Interactive p99 SLO over a tiny window: unattainable, so the
+    // controller must trip as soon as it has samples.
+    let rt = serve::RealTimeConfig {
+        workers: 1,
+        adaptive: Some(serve::AdaptiveAdmission {
+            interactive_p99_slo_us: 1,
+            window: 8,
+        }),
+    };
+    let r = serve::serve_realtime(&ultra(), &trace, &cfg, &rt);
+    assert!(
+        r.shed_adaptive > 0,
+        "unattainable SLO never tripped adaptive shedding: {:?}",
+        r.stats
+    );
+    let typed = r
+        .jobs
+        .iter()
+        .filter(|j| {
+            matches!(
+                &j.outcome,
+                JobOutcome::Rejected { reason: serve::RejectError::AdaptiveShed { .. } }
+            )
+        })
+        .count() as u64;
+    assert_eq!(typed, r.shed_adaptive, "every adaptive shed carries its typed reason");
+
+    let off = serve::RealTimeConfig { workers: 1, adaptive: None };
+    let r_off = serve::serve_realtime(&ultra(), &trace, &cfg, &off);
+    assert_eq!(r_off.shed_adaptive, 0, "adaptive off must never adaptively shed");
+    assert_eq!(
+        r_off.stats.completed + r_off.stats.expired,
+        r_off.stats.admitted,
+        "{:?}",
+        r_off.stats
+    );
 }
