@@ -1,0 +1,238 @@
+//! E16 — cluster cache topology: what sharding costs, what a shared
+//! store buys back.
+//!
+//! The single-node serving layer coalesces duplicate LLM work across
+//! jobs (E11) and a persistent store extends that across runs (E13).
+//! Sharding a cluster *partitions* those caches: two shards running the
+//! same flow each pay the transport bill. This experiment sweeps the
+//! duplicate rate over four topologies of a 4-shard cluster:
+//!
+//! 1. **baseline** — 1 shard: all coalescing benefits intact (the E11
+//!    configuration, served through the cluster driver).
+//! 2. **sharded**  — 4 shards, per-shard coalescing, per-shard stores:
+//!    every cross-shard duplicate is paid again.
+//! 3. **shared**   — 4 shards, per-shard coalescing over one shared
+//!    completion tier: cross-shard duplicates collapse to one call.
+//! 4. **global**   — 4 shards behind one cluster-wide coalescing layer:
+//!    the upper bound (topology identical to baseline's cache view).
+//!
+//! The headline metric is transport requests (`cluster_llm.requests`).
+//! **Recovery** = (sharded − shared) / (sharded − baseline): the share
+//! of sharding's duplicate-work loss that the shared store wins back.
+//! The run asserts recovery ≥ 0.5 at duplicate rate 0.6 (the ISSUE's
+//! acceptance bar) and that virtual job outcomes are identical across
+//! all four topologies — the cache layout is invisible to results.
+//!
+//! `EDA_BENCH_QUICK=1` (or `--quick`) trims the sweep for CI smoke.
+
+use eda_bench::{banner, format_table, write_json};
+use eda_cluster::{serve_cluster_with, ClusterConfig, CoalesceScope, StoreMode};
+use eda_exec::Engine;
+use eda_llm::{ModelSpec, SimulatedLlm};
+use eda_serve::{generate_trace, ServeConfig, TenantConfig, TrafficConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TopologyRow {
+    duplicate_rate: f64,
+    topology: &'static str,
+    shards: usize,
+    transport_requests: u64,
+    coalesce_hits: u64,
+    tier_hits: u64,
+    completed: u64,
+    outcomes_digest: u64,
+}
+
+#[derive(Serialize)]
+struct RecoveryRow {
+    duplicate_rate: f64,
+    baseline_requests: u64,
+    sharded_requests: u64,
+    shared_requests: u64,
+    global_requests: u64,
+    /// Extra transport calls sharding added over the 1-shard baseline.
+    sharding_loss: u64,
+    /// Fraction of that loss the shared tier recovered.
+    recovery: f64,
+}
+
+#[derive(Serialize)]
+struct Json {
+    topologies: Vec<TopologyRow>,
+    recovery: Vec<RecoveryRow>,
+}
+
+/// FNV-1a over the serialized outcomes: cheap equality digest.
+fn digest(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn topo_cfg(shards: usize, scope: CoalesceScope, store: StoreMode) -> ClusterConfig {
+    ClusterConfig {
+        shards,
+        coalesce_scope: scope,
+        store,
+        base: ServeConfig {
+            tenants: vec![
+                TenantConfig::new("alpha", 3, 64),
+                TenantConfig::new("beta", 2, 64),
+                TenantConfig::new("gamma", 2, 64),
+                TenantConfig::new("delta", 1, 64),
+            ],
+            workers: 2,
+            max_backlog: 512,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let quick = eda_exec::parse_bool_knob("EDA_BENCH_QUICK")
+        .unwrap_or_else(|e| panic!("{e}"))
+        .unwrap_or(false)
+        || std::env::args().any(|a| a == "--quick");
+    let engine = Engine::from_env();
+    let model = SimulatedLlm::new(ModelSpec::ultra());
+
+    banner("E16: cluster cache topology — duplicate rate × store/coalesce layout");
+    let dup_rates: &[f64] = if quick { &[0.6] } else { &[0.0, 0.3, 0.6] };
+    let jobs_n = if quick { 24 } else { 32 };
+
+    let topologies: [(&'static str, usize, CoalesceScope, StoreMode); 4] = [
+        ("baseline-1shard", 1, CoalesceScope::Shard, StoreMode::Sharded),
+        ("sharded", 4, CoalesceScope::Shard, StoreMode::Sharded),
+        ("shared-store", 4, CoalesceScope::Shard, StoreMode::Shared),
+        ("global-coalesce", 4, CoalesceScope::Global, StoreMode::Shared),
+    ];
+
+    let mut topo_rows: Vec<TopologyRow> = Vec::new();
+    let mut recovery_rows: Vec<RecoveryRow> = Vec::new();
+    let mut table = Vec::new();
+
+    for &dup in dup_rates {
+        let trace = generate_trace(&TrafficConfig {
+            jobs: jobs_n,
+            duplicate_rate: dup,
+            mean_interarrival_us: 900_000,
+            seed: 29,
+            tenants: vec![
+                ("alpha".to_string(), 3.0),
+                ("beta".to_string(), 2.0),
+                ("gamma".to_string(), 2.0),
+                ("delta".to_string(), 1.0),
+            ],
+            ..Default::default()
+        });
+
+        let mut requests_by_topo = [0u64; 4];
+        let mut digests = Vec::new();
+        for (t, &(name, shards, scope, store)) in topologies.iter().enumerate() {
+            let cfg = topo_cfg(shards, scope, store);
+            let r = serve_cluster_with(&model, &trace, &cfg, &engine);
+            assert_eq!(
+                r.router.lost_jobs, 0,
+                "{name}@dup={dup}: the cluster must never lose a job"
+            );
+            let outcomes = serde_json::to_string(&r.merged.jobs).expect("serialize outcomes");
+            let d = digest(&outcomes);
+            digests.push(d);
+            requests_by_topo[t] = r.cluster_llm.requests;
+            topo_rows.push(TopologyRow {
+                duplicate_rate: dup,
+                topology: name,
+                shards,
+                transport_requests: r.cluster_llm.requests,
+                coalesce_hits: r.coalesce.hits,
+                tier_hits: r.tier.map_or(0, |t| t.hits),
+                completed: r.merged.stats.completed,
+                outcomes_digest: d,
+            });
+            table.push(vec![
+                format!("{dup:.1}"),
+                name.to_string(),
+                shards.to_string(),
+                r.cluster_llm.requests.to_string(),
+                r.coalesce.hits.to_string(),
+                r.tier.map_or(0, |t| t.hits).to_string(),
+                r.merged.stats.completed.to_string(),
+            ]);
+        }
+        // Cache topology must be invisible to outcomes at a fixed shard
+        // count (the 1-shard baseline legitimately differs: fewer total
+        // worker slots change waits, not results).
+        assert!(
+            digests[1..].iter().all(|&d| d == digests[1]),
+            "dup={dup}: cache topology changed virtual outcomes: {digests:?}"
+        );
+
+        let [baseline, sharded, shared, global] = requests_by_topo;
+        let loss = sharded.saturating_sub(baseline);
+        let recovered = sharded.saturating_sub(shared);
+        let recovery =
+            if loss == 0 { 1.0 } else { (recovered.min(loss)) as f64 / loss as f64 };
+        recovery_rows.push(RecoveryRow {
+            duplicate_rate: dup,
+            baseline_requests: baseline,
+            sharded_requests: sharded,
+            shared_requests: shared,
+            global_requests: global,
+            sharding_loss: loss,
+            recovery,
+        });
+    }
+
+    println!(
+        "{}",
+        format_table(
+            &["dup", "topology", "shards", "transport", "coalesce hits", "tier hits", "done"],
+            &table
+        )
+    );
+
+    banner("E16 recovery: share of sharding's duplicate-work loss won back");
+    let mut rec_table = Vec::new();
+    for row in &recovery_rows {
+        rec_table.push(vec![
+            format!("{:.1}", row.duplicate_rate),
+            row.baseline_requests.to_string(),
+            row.sharded_requests.to_string(),
+            row.shared_requests.to_string(),
+            row.global_requests.to_string(),
+            row.sharding_loss.to_string(),
+            format!("{:.0}%", row.recovery * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["dup", "1-shard", "sharded", "shared", "global", "loss", "recovery"],
+            &rec_table
+        )
+    );
+
+    // Acceptance: at the duplicate-heavy end, sharding must actually
+    // cost transport work, and the shared tier must recover at least
+    // half of it.
+    let heavy = recovery_rows
+        .iter()
+        .find(|r| (r.duplicate_rate - 0.6).abs() < 1e-9)
+        .expect("dup=0.6 arm present");
+    assert!(
+        heavy.sharding_loss > 0,
+        "dup=0.6: sharding showed no duplicate-work loss — the experiment has no signal"
+    );
+    assert!(
+        heavy.recovery >= 0.5,
+        "dup=0.6: shared store recovered only {:.0}% of sharding's loss (bar: 50%)",
+        heavy.recovery * 100.0
+    );
+
+    write_json("exp_cluster", &Json { topologies: topo_rows, recovery: recovery_rows });
+}

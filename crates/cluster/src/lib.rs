@@ -1,0 +1,1273 @@
+//! # eda-cluster — deterministic multi-node serving simulation
+//!
+//! The serving layer (`eda-serve`) simulates one scheduler; the paper's
+//! framing — LLM-EDA flows served at scale behind a router — needs the
+//! next step up: **N nodes**. This crate simulates a cluster of
+//! `eda-serve` scheduler instances ("shards", each a
+//! [`eda_serve::sched::SchedCore`] with its own worker slots, queues,
+//! and admission limits) behind a router that places tenants on shards
+//! via a seeded consistent-hash ring with bounded-load placement
+//! ([`ring::Ring`]):
+//!
+//! * **Placement & routing** — each tenant has one home shard; its jobs
+//!   are admitted there against that shard's per-tenant caps and global
+//!   backlog (typed `RejectError`s surface cluster-wide in the report).
+//! * **Lifecycle events** — a scripted [`ShardEvent`] stream fails,
+//!   drains, and rejoins shards mid-trace. A failed shard's in-flight
+//!   jobs are cancelled and handed off (re-queued, admission bypassed,
+//!   full service budget restarted) to the tenants' new home shards;
+//!   its backlog migrates the same way. A draining shard finishes its
+//!   queue but receives no new placements. Every membership change
+//!   triggers a rebalance pass over the ring.
+//! * **Cache topology as a knob** — request coalescing can be scoped
+//!   per shard or cluster-global ([`CoalesceScope`]), and under
+//!   per-shard coalescing the completion store can be per-shard or a
+//!   shared tier ([`StoreMode`], `eda_llm::SharedTier`). This is the
+//!   E16 experiment's axis: how much duplicate-work savings does
+//!   sharding destroy, and how much does a shared store recover?
+//! * **Determinism** — the whole cluster runs as one discrete-event
+//!   loop on a single virtual clock. Job outcomes are pure per job,
+//!   placement is pure arithmetic, ties break on fixed orders (shard
+//!   index, dispatch sequence, submission order), and the shared tier
+//!   serializes same-key computations — so the [`ClusterReport`] is
+//!   byte-identical at any `EDA_EXEC_THREADS`, and a 1-shard cluster
+//!   degenerates to `serve_trace`'s exact per-shard report
+//!   (`tests/cluster.rs` pins both).
+
+pub mod ring;
+
+pub use ring::{hash64, Ring};
+
+use eda_exec::{CancelToken, ClockSource, Engine, EnvKnobError, ManualClock};
+use eda_llm::{
+    ChatModel, CoalesceReport, CoalescingLlm, LlmReport, ResilientClient, SharedTier, TierReport,
+};
+use eda_obs::{ClassReport, ObsReport, ObsSession, SCHEDULER_TRACE_ID};
+use eda_serve::sched::{Admission, SchedCore};
+use eda_serve::{
+    run_flow_job, FlowJob, JobOutcome, JobRecord, Priority, RejectError, ServeConfig, ServeReport,
+};
+use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Number of simulated shards (1–64).
+pub const CLUSTER_SHARDS_ENV: &str = "EDA_CLUSTER_SHARDS";
+/// Completion-store topology under per-shard coalescing:
+/// `shared` (one cluster-wide tier) or `sharded` (per-shard caches).
+pub const CLUSTER_STORE_ENV: &str = "EDA_CLUSTER_STORE";
+/// Request-coalescing scope: `global` (one cluster-wide layer) or
+/// `shard` (one layer per shard).
+pub const CLUSTER_COALESCE_ENV: &str = "EDA_CLUSTER_COALESCE";
+/// Virtual nodes per shard on the placement ring (1–256).
+pub const CLUSTER_VNODES_ENV: &str = "EDA_CLUSTER_VNODES";
+/// Bounded-load factor: per-shard tenant cap is
+/// `ceil(tenants / eligible_shards · factor)` (1.0–8.0).
+pub const CLUSTER_LOAD_FACTOR_ENV: &str = "EDA_CLUSTER_LOAD_FACTOR";
+
+/// Salt mixed into per-shard persistent-store versions in
+/// [`StoreMode::Sharded`] mode, so shards cannot see each other's
+/// entries even when a process-global `eda-store` is installed.
+const SHARD_STORE_SALT: u64 = 0xc1a5_7e2d_0000_0000;
+
+/// Completion-store topology (meaningful under per-shard coalescing;
+/// [`CoalesceScope::Global`] already shares everything).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreMode {
+    /// One cluster-wide completion tier below the per-shard coalescers:
+    /// cross-shard duplicates still collapse to one transport call.
+    Shared,
+    /// Fully partitioned caches: a shard never sees another shard's
+    /// completions (per-shard store versions are salted apart).
+    Sharded,
+}
+
+impl StoreMode {
+    /// Stable lowercase tag (knob value and report field).
+    pub fn tag(self) -> &'static str {
+        match self {
+            StoreMode::Shared => "shared",
+            StoreMode::Sharded => "sharded",
+        }
+    }
+}
+
+/// Request-coalescing scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoalesceScope {
+    /// One coalescing layer for the whole cluster (the store topology
+    /// knob is moot — everything is already shared).
+    Global,
+    /// One coalescing layer per shard; what sits below it is
+    /// [`StoreMode`]'s choice.
+    Shard,
+}
+
+impl CoalesceScope {
+    /// Stable lowercase tag (knob value and report field).
+    pub fn tag(self) -> &'static str {
+        match self {
+            CoalesceScope::Global => "global",
+            CoalesceScope::Shard => "shard",
+        }
+    }
+}
+
+/// What happens to a shard at a scripted instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ShardEventKind {
+    /// The shard dies: in-flight jobs are cancelled and handed off,
+    /// its backlog migrates, and future arrivals avoid it.
+    Fail,
+    /// Graceful drain: the shard finishes its queue but receives no
+    /// new placements.
+    Drain,
+    /// The shard comes back (from failed or draining) and tenants
+    /// rebalance onto it.
+    Rejoin,
+}
+
+impl ShardEventKind {
+    /// Stable lowercase tag (event records and trace instants).
+    pub fn tag(self) -> &'static str {
+        match self {
+            ShardEventKind::Fail => "fail",
+            ShardEventKind::Drain => "drain",
+            ShardEventKind::Rejoin => "rejoin",
+        }
+    }
+}
+
+/// One scripted lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ShardEvent {
+    /// Virtual time the event fires (events at equal times apply in
+    /// script order, after completions due at the same instant).
+    pub at_us: u64,
+    pub shard: usize,
+    pub kind: ShardEventKind,
+}
+
+/// Cluster configuration: N shards, each running the same per-shard
+/// [`ServeConfig`], behind one router.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Simulated shard count (clamped to 1–64).
+    pub shards: usize,
+    /// Per-shard scheduler config (tenant roster, worker slots, caps,
+    /// resilience, obs). Every shard knows the full roster; placement
+    /// decides which shard serves which tenant.
+    pub base: ServeConfig,
+    /// Virtual nodes per shard on the placement ring.
+    pub vnodes: usize,
+    /// Bounded-load factor for placement.
+    pub load_factor: f64,
+    pub store: StoreMode,
+    pub coalesce_scope: CoalesceScope,
+    /// Seeds the ring geometry and tenant positions.
+    pub seed: u64,
+    /// Scripted lifecycle events, applied in `(at_us, script order)`.
+    pub events: Vec<ShardEvent>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            shards: 2,
+            base: ServeConfig::default(),
+            vnodes: 16,
+            load_factor: 1.25,
+            store: StoreMode::Sharded,
+            coalesce_scope: CoalesceScope::Shard,
+            seed: 42,
+            events: Vec::new(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Defaults overridden by the `EDA_CLUSTER_*` knobs (and the
+    /// per-shard `EDA_SERVE_*`/`EDA_LLM_*`/`EDA_OBS*` knobs through
+    /// [`ServeConfig::try_from_env`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EnvKnobError`] naming the variable on malformed or
+    /// out-of-range values (shared parser: `eda_exec::env`).
+    pub fn try_from_env() -> Result<Self, EnvKnobError> {
+        let mut cfg = Self { base: ServeConfig::try_from_env()?, ..Self::default() };
+        if let Some(n) = eda_exec::parse_knob_in::<usize>(CLUSTER_SHARDS_ENV, 1, 64)? {
+            cfg.shards = n;
+        }
+        if let Some(v) = eda_exec::parse_knob_in::<usize>(CLUSTER_VNODES_ENV, 1, 256)? {
+            cfg.vnodes = v;
+        }
+        if let Some(f) = eda_exec::parse_knob_in::<f64>(CLUSTER_LOAD_FACTOR_ENV, 1.0, 8.0)? {
+            cfg.load_factor = f;
+        }
+        if let Some(v) = eda_exec::parse_knob::<String>(CLUSTER_STORE_ENV)? {
+            cfg.store = match v.to_ascii_lowercase().as_str() {
+                "shared" => StoreMode::Shared,
+                "sharded" => StoreMode::Sharded,
+                _ => {
+                    return Err(EnvKnobError {
+                        var: CLUSTER_STORE_ENV.to_string(),
+                        value: v,
+                        reason: "expected `shared` or `sharded`".to_string(),
+                    })
+                }
+            };
+        }
+        if let Some(v) = eda_exec::parse_knob::<String>(CLUSTER_COALESCE_ENV)? {
+            cfg.coalesce_scope = match v.to_ascii_lowercase().as_str() {
+                "global" => CoalesceScope::Global,
+                "shard" => CoalesceScope::Shard,
+                _ => {
+                    return Err(EnvKnobError {
+                        var: CLUSTER_COALESCE_ENV.to_string(),
+                        value: v,
+                        reason: "expected `global` or `shard`".to_string(),
+                    })
+                }
+            };
+        }
+        Ok(cfg)
+    }
+
+    /// Panicking form of [`ClusterConfig::try_from_env`] (the message
+    /// names the offending variable).
+    pub fn from_env() -> Self {
+        match Self::try_from_env() {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+/// Router/rebalance/migration counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct RouterStats {
+    /// Roster size (placeable tenants).
+    pub tenants: u64,
+    /// Arrivals routed to a shard (admitted or rejected there).
+    pub placements: u64,
+    /// Rebalance passes after membership changes (the initial
+    /// placement is not counted).
+    pub rebalances: u64,
+    /// Tenant home-shard changes across rebalance passes.
+    pub tenants_moved: u64,
+    /// In-flight jobs cancelled on a failing shard and re-queued
+    /// elsewhere.
+    pub inflight_handoffs: u64,
+    /// Queued jobs migrated off a failing shard.
+    pub migrated_queued: u64,
+    /// Arrivals rejected because no shard was alive.
+    pub rejected_no_shard: u64,
+    /// Placements redirected past an eligible-but-full shard by the
+    /// bounded-load cap.
+    pub overflow_placements: u64,
+    /// Jobs that reached no terminal outcome — always zero; surfaced
+    /// so tests and the failover example can assert it.
+    pub lost_jobs: u64,
+}
+
+/// A tenant's final home shard.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PlacementRow {
+    pub tenant: String,
+    pub shard: usize,
+}
+
+/// One applied lifecycle event, with its migration tallies.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EventRecord {
+    pub at_us: u64,
+    pub shard: usize,
+    /// `fail` / `drain` / `rejoin`.
+    pub kind: String,
+    /// Queued jobs migrated off the shard by this event.
+    pub queued_migrated: u64,
+    /// In-flight jobs cancelled and handed off by this event.
+    pub inflight_handed_off: u64,
+}
+
+/// The deterministic outcome of one cluster trace: byte-identical
+/// serialization at any `EDA_EXEC_THREADS` for the same `(trace,
+/// config)`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterReport {
+    pub model: String,
+    pub shard_count: usize,
+    /// [`StoreMode`] tag the run used.
+    pub store_mode: String,
+    /// [`CoalesceScope`] tag the run used.
+    pub coalesce_scope: String,
+    /// Per-shard serve reports. A job's record lives on the shard
+    /// where it reached its terminal state (a migrated job therefore
+    /// completes on a shard whose `submitted` never counted it — the
+    /// merged stats reconcile). Per-shard `obs` is always `None`; the
+    /// cluster records one session, in [`ClusterReport::obs`]. Under
+    /// [`CoalesceScope::Global`] the per-shard `coalesce`/`llm` fields
+    /// are zero (the cluster-level layer owns them — see
+    /// [`ClusterReport::coalesce`] and [`ClusterReport::cluster_llm`]).
+    pub shards: Vec<ServeReport>,
+    /// [`ServeReport::merge`] over `shards` — the cluster-wide view.
+    pub merged: ServeReport,
+    /// Jobs never admitted to any shard (no shard alive at arrival),
+    /// in submission order.
+    pub unrouted: Vec<JobRecord>,
+    /// Final tenant→shard placement, in roster order (tenants with no
+    /// alive home at trace end are omitted).
+    pub placement: Vec<PlacementRow>,
+    pub router: RouterStats,
+    /// Applied lifecycle events, in order.
+    pub events: Vec<EventRecord>,
+    /// Cluster-wide coalescing counters: the global layer's report, or
+    /// the per-shard layers merged.
+    pub coalesce: CoalesceReport,
+    /// Shared-tier dedup counters (`store=shared` under per-shard
+    /// coalescing only).
+    pub tier: Option<TierReport>,
+    /// Cluster-total transport traffic: the global/tier client, or the
+    /// per-shard clients summed. This is E16's "duplicate work" metric.
+    pub cluster_llm: LlmReport,
+    /// Cluster-level observability summary (`None` when
+    /// `base.obs` is off).
+    pub obs: Option<ObsReport>,
+}
+
+/// Per-shard mutable state in the event loop.
+struct ShardState {
+    alive: bool,
+    draining: bool,
+}
+
+/// An executed-but-unfinished job: the run's facts parked until its
+/// virtual completion pops (or a shard failure discards them).
+struct PendingRun {
+    shard: usize,
+    start_us: u64,
+    service_us: u64,
+    cancelled: bool,
+    solved: bool,
+    score: f64,
+}
+
+/// The router: placement map plus the ring it is computed from.
+struct Router {
+    ring: Ring,
+    /// Roster tenant names, config order.
+    roster: Vec<String>,
+    /// Placement order: roster indices sorted by ring position — the
+    /// canonical fill order for the bounded-load pass.
+    canonical: Vec<usize>,
+    /// Home shard per roster tenant (`None` when no shard is eligible).
+    home: Vec<Option<usize>>,
+    load_factor: f64,
+}
+
+impl Router {
+    fn new(cfg: &ClusterConfig, shard_count: usize) -> Router {
+        let ring = Ring::new(shard_count, cfg.vnodes.clamp(1, 256), cfg.seed);
+        let roster: Vec<String> = cfg.base.tenants.iter().map(|t| t.name.clone()).collect();
+        let mut canonical: Vec<usize> = (0..roster.len()).collect();
+        canonical.sort_by_key(|&i| (ring.position(&roster[i]), i));
+        let home = vec![None; roster.len()];
+        Router { ring, roster, canonical, home, load_factor: cfg.load_factor.clamp(1.0, 8.0) }
+    }
+
+    /// Recomputes every tenant's home shard for the current membership.
+    /// Eligible shards are alive and not draining; when every alive
+    /// shard is draining they stay eligible (a drain must not strand
+    /// the roster). Returns `(tenants_moved, overflow_placements)`
+    /// versus the previous placement.
+    fn rebalance(&mut self, states: &[ShardState]) -> (u64, u64) {
+        let mut eligible: Vec<bool> = states.iter().map(|s| s.alive && !s.draining).collect();
+        if !eligible.iter().any(|&e| e) {
+            // Fall back to draining-but-alive shards before giving up.
+            eligible = states.iter().map(|s| s.alive).collect();
+        }
+        let eligible_count = eligible.iter().filter(|&&e| e).count();
+        let mut moved = 0u64;
+        let mut overflows = 0u64;
+        if eligible_count == 0 {
+            for h in &mut self.home {
+                if h.take().is_some() {
+                    moved += 1;
+                }
+            }
+            return (moved, overflows);
+        }
+        let cap = ((self.roster.len() as f64 * self.load_factor / eligible_count as f64).ceil()
+            as usize)
+            .max(1);
+        let mut loads = vec![0usize; states.len()];
+        let mut next = vec![None; self.roster.len()];
+        for &i in &self.canonical {
+            let (shard, overflow) =
+                self.ring.place(&self.roster[i], &eligible, &mut loads, cap);
+            next[i] = shard;
+            overflows += overflow as u64;
+        }
+        for (old, new) in self.home.iter().zip(&next) {
+            if old.is_some() && old != new {
+                moved += 1;
+            }
+        }
+        self.home = next;
+        (moved, overflows)
+    }
+
+    /// Where an arriving job goes: the tenant's home shard, or (for
+    /// tenants the roster does not know — their typed rejection still
+    /// needs a deterministic home) the first alive shard clockwise
+    /// from the tenant's ring position.
+    fn route(&self, tenant: &str, states: &[ShardState]) -> Option<usize> {
+        if let Some(i) = self.roster.iter().position(|t| t == tenant) {
+            return self.home[i];
+        }
+        let alive: Vec<bool> = states.iter().map(|s| s.alive).collect();
+        self.ring.first_alive(tenant, &alive)
+    }
+}
+
+/// Serves `jobs` on a simulated cluster, using the process-default
+/// engine for host parallelism.
+pub fn serve_cluster(model: &dyn ChatModel, jobs: &[FlowJob], cfg: &ClusterConfig) -> ClusterReport {
+    serve_cluster_with(model, jobs, cfg, &Engine::from_env())
+}
+
+/// [`serve_cluster`] on an explicit [`Engine`]. As with the serve
+/// drivers, the engine only sets how many jobs of a dispatch wave run
+/// concurrently on the host — virtual outcomes are engine-independent.
+pub fn serve_cluster_with(
+    model: &dyn ChatModel,
+    jobs: &[FlowJob],
+    cfg: &ClusterConfig,
+    engine: &Engine,
+) -> ClusterReport {
+    let shard_count = cfg.shards.clamp(1, 64);
+    let obs = cfg.base.obs.enabled.then(|| ObsSession::new(cfg.base.obs.clone()));
+    let sched_rec = obs.as_ref().map(|s| s.recorder());
+    let overhead_us = cfg.base.service_overhead_us;
+    let workers_total = cfg.base.workers.clamp(1, 64);
+
+    // --- LLM cache topology --------------------------------------------------
+    // Global scope: one coalescing layer over one client, exactly the
+    // single-node serve stack (the store knob is moot — shared).
+    // Shard scope + shared store: per-shard layers over one SharedTier,
+    // whose per-key locks keep cross-shard counters deterministic.
+    // Shard scope + sharded store: per-shard layers over per-shard
+    // clients; when a process-global persistent store is installed,
+    // each shard's client gets a shard-salted version so entries never
+    // cross shards.
+    let global_layer: Option<CoalescingLlm> = (cfg.coalesce_scope == CoalesceScope::Global)
+        .then(|| CoalescingLlm::new(model, &cfg.base.resilience, cfg.base.coalesce));
+    let tier: Option<SharedTier> = (cfg.coalesce_scope == CoalesceScope::Shard
+        && cfg.store == StoreMode::Shared)
+        .then(|| SharedTier::new(model, &cfg.base.resilience));
+    let shard_layers: Vec<CoalescingLlm> = match (cfg.coalesce_scope, cfg.store) {
+        (CoalesceScope::Global, _) => Vec::new(),
+        (CoalesceScope::Shard, StoreMode::Shared) => {
+            let t = tier.as_ref().expect("tier built above");
+            (0..shard_count).map(|_| CoalescingLlm::over_tier(t, cfg.base.coalesce)).collect()
+        }
+        (CoalesceScope::Shard, StoreMode::Sharded) => (0..shard_count)
+            .map(|s| {
+                let mut client = ResilientClient::new(model, &cfg.base.resilience);
+                // Salt the persistent-store version per shard so shards
+                // cannot see each other's entries. A 1-shard cluster
+                // keeps the unsalted version: it must degenerate to
+                // `serve_trace` exactly, store hits included.
+                if shard_count > 1 {
+                    if let Some(kv) = eda_exec::backing::installed() {
+                        let version = eda_exec::combine_versions(&[
+                            eda_llm::content_hash(),
+                            SHARD_STORE_SALT ^ (s as u64 + 1),
+                        ]);
+                        client = client.with_backing(kv, version);
+                    }
+                }
+                CoalescingLlm::from_client(client, cfg.base.coalesce)
+            })
+            .collect(),
+    };
+    let layer_for = |s: usize| -> &CoalescingLlm<'_> {
+        global_layer.as_ref().unwrap_or_else(|| &shard_layers[s])
+    };
+
+    // --- Scheduler state -----------------------------------------------------
+    let mut cores: Vec<SchedCore> = (0..shard_count).map(|_| SchedCore::new(&cfg.base)).collect();
+    let mut states: Vec<ShardState> =
+        (0..shard_count).map(|_| ShardState { alive: true, draining: false }).collect();
+    let mut free_workers: Vec<usize> = vec![workers_total; shard_count];
+    let mut router = Router::new(cfg, shard_count);
+    let mut stats = RouterStats { tenants: router.roster.len() as u64, ..Default::default() };
+    {
+        // Initial placement: not a rebalance, and never an overflow at
+        // factor >= 1 with all shards up.
+        let (_, overflows) = router.rebalance(&states);
+        stats.overflow_placements += overflows;
+    }
+
+    let clock = ManualClock::new();
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| (jobs[i].arrival_us, i));
+    let mut events = cfg.events.clone();
+    events.sort_by_key(|e| e.at_us);
+
+    let mut outcomes: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+    // Which shard owns a job's terminal record (None = unrouted).
+    let mut home: Vec<Option<usize>> = vec![None; jobs.len()];
+    let mut pending: Vec<Option<PendingRun>> = (0..jobs.len()).map(|_| None).collect();
+    let mut flows_llm: Vec<LlmReport> = vec![LlmReport::default(); shard_count];
+    let mut shard_completions: Vec<Vec<u64>> = vec![Vec::new(); shard_count];
+    let mut cluster_completions: Vec<u64> = Vec::new();
+    let mut event_records: Vec<EventRecord> = Vec::new();
+
+    let mut next_arrival = 0usize;
+    let mut next_event = 0usize;
+    // Running jobs, cluster-wide: min-heap on (finish_us, dispatch_seq,
+    // job idx); the owning shard lives in `pending`.
+    let mut busy: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+    let mut dispatch_seq: u64 = 0;
+
+    loop {
+        let now = clock.now_us();
+
+        // 0. Apply lifecycle events due by `now` (script order).
+        while next_event < events.len() && events[next_event].at_us <= now {
+            let ev = events[next_event];
+            next_event += 1;
+            let s = ev.shard;
+            if s >= shard_count {
+                continue;
+            }
+            let mut queued_migrated = 0u64;
+            let mut handed_off = 0u64;
+            match ev.kind {
+                ShardEventKind::Fail => {
+                    if !states[s].alive {
+                        continue;
+                    }
+                    states[s].alive = false;
+                    states[s].draining = false;
+                    free_workers[s] = 0;
+                    // Cancel in-flight work: pull the shard's entries
+                    // out of the busy heap in (finish, seq) order,
+                    // discard the executed results, and hand the jobs
+                    // off. The handoff restarts the job's full service
+                    // budget on its new shard.
+                    let mut keep: Vec<Reverse<(u64, u64, usize)>> = Vec::new();
+                    let mut handoffs: Vec<usize> = Vec::new();
+                    while let Some(entry) = busy.pop() {
+                        let Reverse((_, _, idx)) = entry;
+                        let on_s =
+                            pending[idx].as_ref().map(|p| p.shard) == Some(s);
+                        if on_s {
+                            pending[idx] = None;
+                            handoffs.push(idx);
+                        } else {
+                            keep.push(entry);
+                        }
+                    }
+                    busy = keep.into();
+                    // Pull the backlog before rebalancing so migrated
+                    // jobs land on post-failure homes.
+                    let backlog = cores[s].drain_queued();
+                    let (moved, overflows) = router.rebalance(&states);
+                    stats.rebalances += 1;
+                    stats.tenants_moved += moved;
+                    stats.overflow_placements += overflows;
+                    for idx in handoffs {
+                        handed_off += 1;
+                        stats.inflight_handoffs += 1;
+                        migrate(idx, jobs, &router, &states, &mut cores, &mut outcomes,
+                            &mut home, &mut stats);
+                    }
+                    for idx in backlog {
+                        queued_migrated += 1;
+                        stats.migrated_queued += 1;
+                        migrate(idx, jobs, &router, &states, &mut cores, &mut outcomes,
+                            &mut home, &mut stats);
+                    }
+                }
+                ShardEventKind::Drain => {
+                    if !states[s].alive || states[s].draining {
+                        continue;
+                    }
+                    states[s].draining = true;
+                    let (moved, overflows) = router.rebalance(&states);
+                    stats.rebalances += 1;
+                    stats.tenants_moved += moved;
+                    stats.overflow_placements += overflows;
+                }
+                ShardEventKind::Rejoin => {
+                    if states[s].alive && !states[s].draining {
+                        continue;
+                    }
+                    if !states[s].alive {
+                        free_workers[s] = workers_total;
+                    }
+                    states[s].alive = true;
+                    states[s].draining = false;
+                    let (moved, overflows) = router.rebalance(&states);
+                    stats.rebalances += 1;
+                    stats.tenants_moved += moved;
+                    stats.overflow_placements += overflows;
+                }
+            }
+            if let Some(rec) = &sched_rec {
+                rec.instant("cluster", ev.kind.tag(), now, vec![
+                    ("shard", s.to_string()),
+                    ("queued_migrated", queued_migrated.to_string()),
+                    ("inflight_handed_off", handed_off.to_string()),
+                ]);
+            }
+            if let Some(session) = &obs {
+                session.metrics().counter_add(
+                    "cluster.events",
+                    format!("kind={}", ev.kind.tag()),
+                    1,
+                );
+            }
+            event_records.push(EventRecord {
+                at_us: ev.at_us,
+                shard: s,
+                kind: ev.kind.tag().to_string(),
+                queued_migrated,
+                inflight_handed_off: handed_off,
+            });
+        }
+
+        // 1. Route and admit every arrival due by `now`.
+        while next_arrival < order.len() && jobs[order[next_arrival]].arrival_us <= now {
+            let idx = order[next_arrival];
+            next_arrival += 1;
+            let job = &jobs[idx];
+            let Some(s) = router.route(&job.tenant, &states) else {
+                stats.rejected_no_shard += 1;
+                if let Some(rec) = &sched_rec {
+                    rec.instant("cluster", "reject", now, vec![
+                        ("job", job.id.to_string()),
+                        ("tenant", job.tenant.clone()),
+                        ("reason", "shard_down".to_string()),
+                    ]);
+                }
+                outcomes[idx] = Some(JobOutcome::Rejected {
+                    reason: RejectError::ShardDown { tenant: job.tenant.clone() },
+                });
+                continue;
+            };
+            stats.placements += 1;
+            match cores[s].admit(idx, job) {
+                Admission::Rejected { reason, why } => {
+                    if let Some(session) = &obs {
+                        session.metrics().counter_add(
+                            "cluster.rejected",
+                            format!("reason={why},shard={s}"),
+                            1,
+                        );
+                    }
+                    if let Some(rec) = &sched_rec {
+                        rec.instant("cluster", "reject", now, vec![
+                            ("job", job.id.to_string()),
+                            ("tenant", job.tenant.clone()),
+                            ("shard", s.to_string()),
+                            ("reason", why.to_string()),
+                        ]);
+                    }
+                    outcomes[idx] = Some(JobOutcome::Rejected { reason });
+                    home[idx] = Some(s);
+                }
+                Admission::Queued => {
+                    if let Some(session) = &obs {
+                        session.metrics().counter_add(
+                            "cluster.admitted",
+                            format!("shard={s},class={}", job.priority.class_name()),
+                            1,
+                        );
+                        session.metrics().gauge_max(
+                            "cluster.backlog_peak",
+                            format!("shard={s}"),
+                            cores[s].total_queued as u64,
+                        );
+                    }
+                    if let Some(rec) = &sched_rec {
+                        rec.instant("cluster", "admit", now, vec![
+                            ("job", job.id.to_string()),
+                            ("tenant", job.tenant.clone()),
+                            ("shard", s.to_string()),
+                        ]);
+                    }
+                }
+            }
+        }
+
+        // 2. Fill free worker slots, shard by shard in index order.
+        // Failed shards hold no queue (drained at failure) and no free
+        // workers; draining shards keep dispatching their backlog.
+        let mut wave: Vec<(usize, usize)> = Vec::new();
+        for s in 0..shard_count {
+            if !states[s].alive {
+                continue;
+            }
+            let mut filled = 0usize;
+            while filled < free_workers[s] {
+                let Some(idx) = cores[s].pick_next() else { break };
+                let job = &jobs[idx];
+                let ti = cores[s].tenant_of(&job.tenant).expect("picked job has a tenant");
+                let wait_us = now - job.arrival_us;
+                if job.deadline_us > 0 && wait_us > job.deadline_us {
+                    cores[s].note_expired(ti);
+                    if let Some(session) = &obs {
+                        session.metrics().counter_add(
+                            "cluster.expired",
+                            format!("shard={s},class={}", job.priority.class_name()),
+                            1,
+                        );
+                    }
+                    if let Some(rec) = &sched_rec {
+                        rec.instant("cluster", "expire", now, vec![
+                            ("job", job.id.to_string()),
+                            ("shard", s.to_string()),
+                            ("wait_us", wait_us.to_string()),
+                        ]);
+                    }
+                    outcomes[idx] = Some(JobOutcome::Expired { wait_us });
+                    home[idx] = Some(s);
+                    continue;
+                }
+                cores[s].bill_provisional(ti);
+                if let Some(rec) = &sched_rec {
+                    rec.instant("cluster", "dispatch", now, vec![
+                        ("job", job.id.to_string()),
+                        ("shard", s.to_string()),
+                        ("wait_us", wait_us.to_string()),
+                    ]);
+                }
+                filled += 1;
+                wave.push((s, idx));
+            }
+            free_workers[s] -= filled;
+        }
+
+        if !wave.is_empty() {
+            // One host-parallel map over the whole cross-shard wave:
+            // virtual outcomes are pure per (job, shard stack), so the
+            // engine only affects wall-clock.
+            let executed = engine.map_stage("cluster-wave", wave.clone(), |_, (s, idx)| {
+                run_flow_job(
+                    layer_for(s),
+                    &jobs[idx],
+                    overhead_us,
+                    obs.as_ref(),
+                    CancelToken::new(),
+                    jobs[idx].deadline_us,
+                )
+            });
+            for ((s, idx), ex) in wave.into_iter().zip(executed) {
+                let job = &jobs[idx];
+                let ti = cores[s].tenant_of(&job.tenant).expect("executed job has a tenant");
+                cores[s].settle_service(ti, ex.service_us);
+                let finish_us = now + ex.service_us;
+                dispatch_seq += 1;
+                busy.push(Reverse((finish_us, dispatch_seq, idx)));
+                pending[idx] = Some(PendingRun {
+                    shard: s,
+                    start_us: now,
+                    service_us: ex.service_us,
+                    cancelled: ex.cancelled,
+                    solved: ex.solved,
+                    score: ex.score,
+                });
+                // Executed traffic counts even if a later shard failure
+                // discards this run: the transport calls happened.
+                flows_llm[s].merge(&ex.llm);
+                if let Some(session) = &obs {
+                    let class = job.priority.class_name();
+                    session.metrics().observe(
+                        "cluster.service_us",
+                        format!("flow={}", job.flow.kind()),
+                        ex.service_us,
+                    );
+                    session.metrics().counter_add(
+                        "cluster.dispatched",
+                        format!("shard={s},class={class}"),
+                        1,
+                    );
+                    if let Some(rec) = &ex.rec {
+                        session.finish_trace(
+                            job.id,
+                            format!("{}/s{}#{}", job.tenant, s, job.id),
+                            rec,
+                            ex.service_us,
+                        );
+                    }
+                }
+            }
+            continue;
+        }
+
+        // 3. Nothing dispatchable: advance virtual time to the next
+        // completion, lifecycle event, or arrival — in that priority at
+        // equal timestamps (a job finishing the instant its shard dies
+        // completes; an arrival the instant of a failover routes to the
+        // post-failure placement).
+        let next_completion = busy.peek().map(|Reverse((f, _, _))| *f);
+        let upcoming_event = (next_event < events.len()).then(|| events[next_event].at_us);
+        let upcoming_arrival =
+            (next_arrival < order.len()).then(|| jobs[order[next_arrival]].arrival_us);
+        let horizon = [next_completion, upcoming_event, upcoming_arrival]
+            .into_iter()
+            .flatten()
+            .min();
+        let Some(t) = horizon else { break };
+        clock.wait_until(t);
+        if next_completion == Some(t) {
+            let Reverse((f, _, idx)) = busy.pop().expect("peeked completion");
+            let run = pending[idx].take().expect("completing job has a pending run");
+            let s = run.shard;
+            let job = &jobs[idx];
+            // A completion on a shard that failed after this run was
+            // re-dispatched cannot happen: failure removed the entry.
+            free_workers[s] += 1;
+            let ti = cores[s].tenant_of(&job.tenant).expect("completed job has a tenant");
+            cores[s].note_completed(ti, run.cancelled);
+            cores[s].stats.makespan_us = cores[s].stats.makespan_us.max(f);
+            outcomes[idx] = Some(JobOutcome::Completed {
+                start_us: run.start_us,
+                finish_us: f,
+                wait_us: run.start_us - job.arrival_us,
+                service_us: run.service_us,
+                cancelled: run.cancelled,
+                solved: run.solved,
+                score: run.score,
+            });
+            home[idx] = Some(s);
+            shard_completions[s].push(job.id);
+            cluster_completions.push(job.id);
+            if let Some(session) = &obs {
+                let class = job.priority.class_name();
+                let labels = format!("class={class},shard={s}");
+                session.metrics().observe(
+                    "cluster.queue_wait_us",
+                    labels.clone(),
+                    run.start_us - job.arrival_us,
+                );
+                session.metrics().observe("cluster.e2e_us", labels, f - job.arrival_us);
+                session.metrics().counter_add("cluster.completed", format!("shard={s}"), 1);
+            }
+            if let Some(rec) = &sched_rec {
+                rec.instant("cluster", "complete", f, vec![
+                    ("job", job.id.to_string()),
+                    ("shard", s.to_string()),
+                ]);
+            }
+        }
+    }
+
+    // --- Report assembly -----------------------------------------------------
+    let model_name = match (&global_layer, &tier, shard_layers.first()) {
+        (Some(g), _, _) => g.name().to_string(),
+        (None, Some(t), _) => t.name().to_string(),
+        (None, None, Some(l)) => l.name().to_string(),
+        (None, None, None) => String::new(),
+    };
+
+    let mut unrouted: Vec<JobRecord> = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        if outcomes[i].is_none() {
+            // A job with no terminal state would be a scheduler bug;
+            // record it and surface the count rather than hiding it.
+            stats.lost_jobs += 1;
+            outcomes[i] = Some(JobOutcome::Expired { wait_us: 0 });
+        }
+        if home[i].is_none() {
+            unrouted.push(JobRecord {
+                id: job.id,
+                tenant: job.tenant.clone(),
+                priority: job.priority,
+                arrival_us: job.arrival_us,
+                outcome: outcomes[i].clone().expect("assigned above"),
+            });
+        }
+    }
+
+    let shard_reports: Vec<ServeReport> = (0..shard_count)
+        .map(|s| {
+            let waits: Vec<u64> = jobs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| home[*i] == Some(s))
+                .filter_map(|(i, _)| match &outcomes[i] {
+                    Some(JobOutcome::Completed { wait_us, .. }) => Some(*wait_us),
+                    _ => None,
+                })
+                .collect();
+            cores[s].finalize_stats(waits);
+            let records: Vec<JobRecord> = jobs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| home[*i] == Some(s))
+                .map(|(i, j)| JobRecord {
+                    id: j.id,
+                    tenant: j.tenant.clone(),
+                    priority: j.priority,
+                    arrival_us: j.arrival_us,
+                    outcome: outcomes[i].clone().expect("terminal state assigned"),
+                })
+                .collect();
+            let (coalesce, llm) = match cfg.coalesce_scope {
+                CoalesceScope::Global => (CoalesceReport::default(), LlmReport::default()),
+                CoalesceScope::Shard => (shard_layers[s].report(), shard_layers[s].llm_report()),
+            };
+            ServeReport {
+                model: model_name.clone(),
+                jobs: records,
+                completion_order: shard_completions[s].clone(),
+                stats: cores[s].stats.clone(),
+                tenants: cores[s].tenant_stats(),
+                coalesce,
+                llm,
+                flows_llm: flows_llm[s].clone(),
+                obs: None,
+            }
+        })
+        .collect();
+
+    let merged = ServeReport::merge(&shard_reports);
+
+    let coalesce = match &global_layer {
+        Some(g) => g.report(),
+        None => {
+            let mut acc = CoalesceReport::default();
+            for l in &shard_layers {
+                acc.merge(&l.report());
+            }
+            acc
+        }
+    };
+    let cluster_llm = match (&global_layer, &tier) {
+        (Some(g), _) => g.llm_report(),
+        (None, Some(t)) => t.llm_report(),
+        (None, None) => {
+            // Sharded mode: per-shard clients; sum their transport.
+            let reports: Vec<LlmReport> = shard_layers.iter().map(|l| l.llm_report()).collect();
+            LlmReport::merged(reports.iter())
+        }
+    };
+
+    let placement: Vec<PlacementRow> = router
+        .roster
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| {
+            router.home[i].map(|s| PlacementRow { tenant: t.clone(), shard: s })
+        })
+        .collect();
+
+    // Observability epilogue: one cluster-wide session — scheduler
+    // trace, per-class SLO rows over every job, canonical metrics.
+    let obs_report = match &obs {
+        None => None,
+        Some(session) => {
+            if let Some(rec) = &sched_rec {
+                session.finish_trace(
+                    SCHEDULER_TRACE_ID,
+                    "cluster-router".to_string(),
+                    rec,
+                    clock.now_us(),
+                );
+            }
+            let classes = Priority::ALL
+                .iter()
+                .map(|&prio| {
+                    let mut waits = Vec::new();
+                    let mut lats = Vec::new();
+                    let (mut slo_jobs, mut slo_met) = (0u64, 0u64);
+                    for (i, job) in jobs.iter().enumerate() {
+                        if job.priority != prio {
+                            continue;
+                        }
+                        match &outcomes[i] {
+                            Some(JobOutcome::Completed { finish_us, wait_us, cancelled, .. }) => {
+                                waits.push(*wait_us);
+                                lats.push(finish_us - job.arrival_us);
+                                if job.deadline_us > 0 {
+                                    slo_jobs += 1;
+                                    if !cancelled && finish_us - job.arrival_us <= job.deadline_us {
+                                        slo_met += 1;
+                                    }
+                                }
+                            }
+                            Some(JobOutcome::Expired { .. }) if job.deadline_us > 0 => {
+                                slo_jobs += 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                    ClassReport::build(prio.class_name(), waits, lats, slo_jobs, slo_met)
+                })
+                .collect();
+            let sampled = session
+                .traces_sorted()
+                .iter()
+                .filter(|t| t.job_id != SCHEDULER_TRACE_ID)
+                .count() as u64;
+            let total = merged.stats.submitted + unrouted.len() as u64;
+            let report = ObsReport::assemble(session, total, sampled, classes);
+            if let Err(e) = session.write_trace_out() {
+                eprintln!("warning: {}: {e}", eda_obs::TRACE_OUT_ENV);
+            }
+            Some(report)
+        }
+    };
+
+    ClusterReport {
+        model: model_name,
+        shard_count,
+        store_mode: cfg.store.tag().to_string(),
+        coalesce_scope: cfg.coalesce_scope.tag().to_string(),
+        shards: shard_reports,
+        merged,
+        unrouted,
+        placement,
+        router: stats,
+        events: event_records,
+        coalesce,
+        tier: tier.as_ref().map(|t| t.report()),
+        cluster_llm,
+        obs: obs_report,
+    }
+}
+
+/// Hands a displaced job to its tenant's (post-rebalance) home shard,
+/// bypassing admission; a job whose tenant has no alive home is
+/// rejected with the cluster-level [`RejectError::ShardDown`].
+#[allow(clippy::too_many_arguments)]
+fn migrate(
+    idx: usize,
+    jobs: &[FlowJob],
+    router: &Router,
+    states: &[ShardState],
+    cores: &mut [SchedCore],
+    outcomes: &mut [Option<JobOutcome>],
+    home: &mut [Option<usize>],
+    stats: &mut RouterStats,
+) {
+    let job = &jobs[idx];
+    let target = router.route(&job.tenant, states);
+    match target {
+        Some(t) if states[t].alive => {
+            cores[t].requeue(idx, job);
+        }
+        _ => {
+            stats.rejected_no_shard += 1;
+            outcomes[idx] = Some(JobOutcome::Rejected {
+                reason: RejectError::ShardDown { tenant: job.tenant.clone() },
+            });
+            home[idx] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_llm::{ModelSpec, SimulatedLlm};
+    use eda_serve::{FlowSpec, TenantConfig};
+
+    fn ultra() -> SimulatedLlm {
+        SimulatedLlm::new(ModelSpec::ultra())
+    }
+
+    fn job(id: u64, tenant: &str, arrival_us: u64, seed: u64) -> FlowJob {
+        FlowJob {
+            id,
+            tenant: tenant.into(),
+            priority: Priority::Standard,
+            arrival_us,
+            deadline_us: 0,
+            flow: FlowSpec::Structured { problem: "mux2".into(), rounds: 1, seed },
+        }
+    }
+
+    fn cfg(shards: usize) -> ClusterConfig {
+        ClusterConfig {
+            shards,
+            base: ServeConfig {
+                tenants: vec![
+                    TenantConfig::new("alpha", 1, 64),
+                    TenantConfig::new("beta", 1, 64),
+                    TenantConfig::new("gamma", 1, 64),
+                    TenantConfig::new("delta", 1, 64),
+                ],
+                workers: 2,
+                max_backlog: 256,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    fn trace(n: u64) -> Vec<FlowJob> {
+        let tenants = ["alpha", "beta", "gamma", "delta"];
+        (0..n)
+            .map(|i| job(i, tenants[(i % 4) as usize], i * 500, i % 3))
+            .collect()
+    }
+
+    #[test]
+    fn every_job_terminates_and_none_are_lost() {
+        let r = serve_cluster(&ultra(), &trace(16), &cfg(3));
+        assert_eq!(r.router.lost_jobs, 0);
+        assert_eq!(r.merged.stats.completed, 16, "{:?}", r.merged.stats);
+        assert_eq!(r.merged.jobs.len(), 16);
+        assert_eq!(r.placement.len(), 4, "all tenants placed: {:?}", r.placement);
+        assert_eq!(r.shard_count, 3);
+        // Every tenant's jobs all landed on its single home shard.
+        for row in &r.placement {
+            let shard_jobs: Vec<u64> = r.shards[row.shard]
+                .jobs
+                .iter()
+                .filter(|j| j.tenant == row.tenant)
+                .map(|j| j.id)
+                .collect();
+            let total: usize =
+                r.shards.iter().map(|s| s.jobs.iter().filter(|j| j.tenant == row.tenant).count()).sum();
+            assert_eq!(shard_jobs.len(), total, "tenant {} split across shards", row.tenant);
+        }
+    }
+
+    #[test]
+    fn failing_a_shard_hands_off_and_rebalances() {
+        let mut c = cfg(2);
+        // Learn which shard hosts `alpha`, then fail it mid-trace.
+        let dry = serve_cluster(&ultra(), &trace(12), &c);
+        let target = dry.placement.iter().find(|p| p.tenant == "alpha").unwrap().shard;
+        let makespan = dry.merged.stats.makespan_us;
+        c.events = vec![ShardEvent {
+            at_us: makespan / 3,
+            shard: target,
+            kind: ShardEventKind::Fail,
+        }];
+        let r = serve_cluster(&ultra(), &trace(12), &c);
+        assert_eq!(r.router.lost_jobs, 0);
+        assert_eq!(r.router.rebalances, 1);
+        assert_eq!(r.events.len(), 1);
+        assert_eq!(r.events[0].kind, "fail");
+        // The failed shard keeps no tenants.
+        assert!(r.placement.iter().all(|p| p.shard != target), "{:?}", r.placement);
+        // Every job still reached a terminal state (completed on the
+        // surviving shard, or rejected if it arrived with nothing alive).
+        let s = &r.merged.stats;
+        let terminal = s.completed
+            + s.rejected_queue_full
+            + s.rejected_overloaded
+            + s.rejected_unknown_tenant
+            + s.expired
+            + r.router.rejected_no_shard;
+        assert!(terminal >= 12, "{:?} router={:?}", r.merged.stats, r.router);
+    }
+
+    #[test]
+    fn failing_the_only_shard_rejects_later_arrivals() {
+        let mut c = cfg(1);
+        c.events = vec![ShardEvent { at_us: 1, shard: 0, kind: ShardEventKind::Fail }];
+        let jobs = vec![job(0, "alpha", 0, 0), job(1, "beta", 5_000_000, 1)];
+        let r = serve_cluster(&ultra(), &jobs, &c);
+        assert_eq!(r.router.lost_jobs, 0);
+        assert!(r.router.rejected_no_shard >= 1, "{:?}", r.router);
+        assert!(!r.unrouted.is_empty());
+        assert!(matches!(
+            r.unrouted[0].outcome,
+            JobOutcome::Rejected { reason: RejectError::ShardDown { .. } }
+        ));
+    }
+
+    #[test]
+    fn drain_keeps_backlog_but_blocks_new_placements() {
+        let mut c = cfg(2);
+        let dry = serve_cluster(&ultra(), &trace(12), &c);
+        let target = dry.placement.iter().find(|p| p.tenant == "alpha").unwrap().shard;
+        c.events =
+            vec![ShardEvent { at_us: 1, shard: target, kind: ShardEventKind::Drain }];
+        let r = serve_cluster(&ultra(), &trace(12), &c);
+        assert_eq!(r.router.lost_jobs, 0);
+        assert!(r.placement.iter().all(|p| p.shard != target));
+        // Nothing was cancelled or migrated — drain is graceful.
+        assert_eq!(r.router.inflight_handoffs, 0);
+        assert_eq!(r.router.migrated_queued, 0);
+        assert_eq!(r.merged.stats.completed, 12, "{:?}", r.merged.stats);
+    }
+
+    #[test]
+    fn rejoin_restores_the_shard_to_the_ring() {
+        let mut c = cfg(2);
+        c.events = vec![
+            ShardEvent { at_us: 1, shard: 1, kind: ShardEventKind::Fail },
+            ShardEvent { at_us: 2, shard: 1, kind: ShardEventKind::Rejoin },
+        ];
+        let r = serve_cluster(&ultra(), &trace(8), &c);
+        assert_eq!(r.router.lost_jobs, 0);
+        assert_eq!(r.router.rebalances, 2);
+        let placed_on_1 = r.placement.iter().any(|p| p.shard == 1);
+        let dry = serve_cluster(&ultra(), &trace(8), &cfg(2));
+        let baseline_on_1 = dry.placement.iter().any(|p| p.shard == 1);
+        assert_eq!(placed_on_1, baseline_on_1, "rejoin must restore the original placement");
+        assert_eq!(r.merged.stats.completed, 8);
+    }
+
+    #[test]
+    fn shared_tier_collapses_cross_shard_duplicates() {
+        // All four tenants run the identical flow (same seed) so every
+        // shard asks the same questions. Sharded stores repeat the
+        // transport work per shard; the shared tier pays it once.
+        let jobs: Vec<FlowJob> =
+            (0..8).map(|i| job(i, ["alpha", "beta", "gamma", "delta"][(i % 4) as usize], 0, 7)).collect();
+        let mut shared = cfg(4);
+        shared.store = StoreMode::Shared;
+        let mut sharded = cfg(4);
+        sharded.store = StoreMode::Sharded;
+        let rs = serve_cluster(&ultra(), &jobs, &shared);
+        let rd = serve_cluster(&ultra(), &jobs, &sharded);
+        assert!(rs.tier.is_some() && rd.tier.is_none());
+        assert!(
+            rs.cluster_llm.requests < rd.cluster_llm.requests,
+            "shared tier must cut transport: shared={} sharded={}",
+            rs.cluster_llm.requests,
+            rd.cluster_llm.requests
+        );
+        // Virtual outcomes are cache-topology-invariant.
+        assert_eq!(
+            serde_json::to_string(&rs.merged.stats).unwrap(),
+            serde_json::to_string(&rd.merged.stats).unwrap()
+        );
+    }
+
+    #[test]
+    fn global_scope_matches_single_node_coalescing() {
+        let mut c = cfg(2);
+        c.coalesce_scope = CoalesceScope::Global;
+        let r = serve_cluster(&ultra(), &trace(8), &c);
+        assert!(r.coalesce.enabled);
+        assert!(r.tier.is_none());
+        // Per-shard llm fields are zero under a global layer.
+        for s in &r.shards {
+            assert_eq!(s.llm.requests, 0);
+        }
+        assert!(r.cluster_llm.requests > 0);
+    }
+
+    #[test]
+    fn config_defaults_and_tags() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.shards, 2);
+        assert_eq!(c.store, StoreMode::Sharded);
+        assert_eq!(c.coalesce_scope, CoalesceScope::Shard);
+        assert_eq!(StoreMode::Shared.tag(), "shared");
+        assert_eq!(CoalesceScope::Global.tag(), "global");
+        assert_eq!(ShardEventKind::Rejoin.tag(), "rejoin");
+    }
+}

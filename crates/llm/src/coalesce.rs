@@ -69,6 +69,16 @@ impl CoalesceReport {
             self.hits as f64 / self.lookups as f64
         }
     }
+
+    /// Accumulates another layer's counters (per-shard reports folding
+    /// into a cluster-wide view). `enabled` ORs: the merged report says
+    /// whether *any* contributing layer coalesced.
+    pub fn merge(&mut self, other: &CoalesceReport) {
+        self.enabled |= other.enabled;
+        self.lookups += other.lookups;
+        self.unique += other.unique;
+        self.hits += other.hits;
+    }
 }
 
 #[derive(Clone)]
@@ -77,11 +87,108 @@ struct CachedReply {
     cost_us: u64,
 }
 
+/// Counter snapshot of one [`SharedTier`]. Like [`CoalesceReport`], all
+/// quantities are order-independent totals, so a cluster report
+/// embedding one serializes identically at any host thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct TierReport {
+    /// Requests that missed their local (per-shard) layer and reached
+    /// the tier.
+    pub lookups: u64,
+    /// Distinct requests the tier computed through its own client.
+    pub unique: u64,
+    /// Requests served from the tier's cache — cross-shard duplicates
+    /// the sharded layers above could not see.
+    pub hits: u64,
+}
+
+/// A cluster-wide completion tier: the "shared store" arm of the
+/// cache-topology knob. Several per-shard [`CoalescingLlm`]s (built with
+/// [`CoalescingLlm::over_tier`]) sit above one tier; a request that
+/// misses its shard's own cache falls through here, where the unique
+/// computation runs under a per-key shard lock against the tier's
+/// single [`ResilientClient`]. Exactly one transport call happens per
+/// distinct request *cluster-wide*, and — because concurrent same-key
+/// callers from different shards serialize on the key lock before
+/// touching the client — every transport/fault/retry counter is a pure
+/// function of the distinct-request set, independent of which shard got
+/// there first. Tier hits return the cached text *and cached cost*, so
+/// job billing stays topology-invariant.
+pub struct SharedTier<'a> {
+    client: ResilientClient<'a>,
+    shards: Vec<Mutex<HashMap<u64, CachedReply>>>,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl<'a> SharedTier<'a> {
+    /// Builds the tier over `model` with the given resilience config.
+    /// The tier's client uses the process-global persistent store when
+    /// one is installed, exactly like a serve run's shared client.
+    pub fn new(model: &'a dyn ChatModel, cfg: &ResilienceConfig) -> Self {
+        Self::from_client(ResilientClient::new(model, cfg))
+    }
+
+    /// Builds the tier over an explicitly constructed client (callers
+    /// that need `with_backing` or other client customization).
+    pub fn from_client(client: ResilientClient<'a>) -> Self {
+        SharedTier {
+            client,
+            shards: (0..COALESCE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The model name the tier was built over.
+    pub fn name(&self) -> &str {
+        self.client.name()
+    }
+
+    /// Completes `request` through the tier cache: the unique
+    /// computation runs under the key's shard lock; hits are billed the
+    /// cached cost.
+    pub fn complete_costed(&self, request: &ChatRequest) -> (ChatResponse, u64) {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let key = hash_request(request);
+        let shard = &self.shards[(key as usize) % COALESCE_SHARDS];
+        let mut map = shard.lock();
+        if let Some(cached) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (ChatResponse { text: cached.text.clone() }, cached.cost_us);
+        }
+        let (resp, cost_us) = self.client.complete_costed(request);
+        map.insert(key, CachedReply { text: resp.text.clone(), cost_us });
+        (resp, cost_us)
+    }
+
+    /// Tier-level dedup counters.
+    pub fn report(&self) -> TierReport {
+        let lookups = self.lookups.load(Ordering::Relaxed);
+        let hits = self.hits.load(Ordering::Relaxed);
+        TierReport { lookups, unique: lookups - hits, hits }
+    }
+
+    /// Transport-level traffic of the tier's client (cluster-unique
+    /// calls only).
+    pub fn llm_report(&self) -> LlmReport {
+        self.client.report()
+    }
+}
+
+/// What a [`CoalescingLlm`] completes through on a cache miss: its own
+/// private client (the single-node serve stack), or a cluster-shared
+/// [`SharedTier`].
+enum Lower<'a> {
+    Client(Box<ResilientClient<'a>>),
+    Tier(&'a SharedTier<'a>),
+}
+
 /// A [`ResilientClient`] shared by many jobs, with cross-job request
 /// coalescing. Create one per serve run; mint one [`JobHandle`] per job
 /// with [`CoalescingLlm::handle`].
 pub struct CoalescingLlm<'a> {
-    client: ResilientClient<'a>,
+    lower: Lower<'a>,
     enabled: bool,
     shards: Vec<Mutex<HashMap<u64, CachedReply>>>,
     lookups: AtomicU64,
@@ -94,8 +201,29 @@ impl<'a> CoalescingLlm<'a> {
     /// pass-through (every request reaches the transport), which is the
     /// baseline the `exp_serve` bench compares against.
     pub fn new(model: &'a dyn ChatModel, cfg: &ResilienceConfig, enabled: bool) -> Self {
+        Self::from_client(ResilientClient::new(model, cfg), enabled)
+    }
+
+    /// [`CoalescingLlm::new`] over an explicitly constructed client
+    /// (callers that need `with_backing` — e.g. a cluster shard with a
+    /// shard-salted store version).
+    pub fn from_client(client: ResilientClient<'a>, enabled: bool) -> Self {
         CoalescingLlm {
-            client: ResilientClient::new(model, cfg),
+            lower: Lower::Client(Box::new(client)),
+            enabled,
+            shards: (0..COALESCE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Builds a per-shard coalescing layer over a cluster-shared
+    /// [`SharedTier`] instead of a private client: local (same-shard)
+    /// duplicates are served here; misses fall through to the tier,
+    /// which dedups cross-shard duplicates against its single client.
+    pub fn over_tier(tier: &'a SharedTier<'a>, enabled: bool) -> Self {
+        CoalescingLlm {
+            lower: Lower::Tier(tier),
             enabled,
             shards: (0..COALESCE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             lookups: AtomicU64::new(0),
@@ -105,7 +233,10 @@ impl<'a> CoalescingLlm<'a> {
 
     /// The model name the stack was built over.
     pub fn name(&self) -> &str {
-        self.client.name()
+        match &self.lower {
+            Lower::Client(c) => c.name(),
+            Lower::Tier(t) => t.name(),
+        }
     }
 
     /// Completes `request`, returning the response plus its full pure
@@ -126,21 +257,28 @@ impl<'a> CoalescingLlm<'a> {
         (resp, cost_us)
     }
 
+    fn lower_complete(&self, request: &ChatRequest) -> (ChatResponse, u64) {
+        match &self.lower {
+            Lower::Client(c) => c.complete_costed(request),
+            Lower::Tier(t) => t.complete_costed(request),
+        }
+    }
+
     fn complete_costed_inner(&self, request: &ChatRequest) -> (ChatResponse, u64) {
         if !self.enabled {
-            return self.client.complete_costed(request);
+            return self.lower_complete(request);
         }
         let key = hash_request(request);
         let shard = &self.shards[(key as usize) % COALESCE_SHARDS];
         // The unique computation runs under the shard lock: concurrent
         // jobs asking for the same key block here and then hit the
-        // cache, so the transport sees exactly one call per key.
+        // cache, so the layer below sees exactly one call per key.
         let mut map = shard.lock();
         if let Some(cached) = map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (ChatResponse { text: cached.text.clone() }, cached.cost_us);
         }
-        let (resp, cost_us) = self.client.complete_costed(request);
+        let (resp, cost_us) = self.lower_complete(request);
         map.insert(key, CachedReply { text: resp.text.clone(), cost_us });
         (resp, cost_us)
     }
@@ -153,9 +291,15 @@ impl<'a> CoalescingLlm<'a> {
     }
 
     /// Transport-level traffic counters of the shared client (unique
-    /// calls only — coalesced hits never reach it).
+    /// calls only — coalesced hits never reach it). A layer built
+    /// [`CoalescingLlm::over_tier`] owns no client: it reports zeros,
+    /// and the tier's [`SharedTier::llm_report`] carries the transport
+    /// traffic instead.
     pub fn llm_report(&self) -> LlmReport {
-        self.client.report()
+        match &self.lower {
+            Lower::Client(c) => c.report(),
+            Lower::Tier(_) => LlmReport::default(),
+        }
     }
 
     /// Mints the per-job facade: requests made through the handle are
@@ -282,6 +426,55 @@ mod tests {
         let third = h.complete(&req("p", 2));
         assert_eq!(third.text, CANCELLED_COMPLETION);
         assert_eq!(h.clock().micros(), 2 * BASE_LATENCY_US, "cancelled stubs cost nothing");
+    }
+
+    #[test]
+    fn shared_tier_dedups_across_shard_layers() {
+        let model = SimulatedLlm::new(ModelSpec::pro());
+        let tier = SharedTier::new(&model, &ResilienceConfig::off());
+        let shard_a = CoalescingLlm::over_tier(&tier, true);
+        let shard_b = CoalescingLlm::over_tier(&tier, true);
+        let (ra, ca) = shard_a.complete_costed(&req("dup", 0));
+        let (rb, cb) = shard_b.complete_costed(&req("dup", 0));
+        assert_eq!(ra, rb, "tier hit must be byte-identical");
+        assert_eq!(ca, cb, "tier hit must bill the cached cost");
+        // Each shard layer saw a local miss; the tier saw the cross-
+        // shard duplicate and made exactly one transport call.
+        assert_eq!(shard_a.report().hits, 0);
+        assert_eq!(shard_b.report().hits, 0);
+        let t = tier.report();
+        assert_eq!((t.lookups, t.unique, t.hits), (2, 1, 1));
+        assert_eq!(tier.llm_report().requests, 1, "one cluster-wide transport call");
+        // Shard layers over a tier own no client.
+        assert_eq!(shard_a.llm_report(), LlmReport::default());
+        // A same-shard duplicate is served locally and never reaches
+        // the tier.
+        let _ = shard_a.complete_costed(&req("dup", 0));
+        assert_eq!(shard_a.report().hits, 1);
+        assert_eq!(tier.report().lookups, 2);
+    }
+
+    #[test]
+    fn tier_reply_matches_direct_client_under_faults() {
+        let model = SimulatedLlm::new(ModelSpec::ultra());
+        let cfg = ResilienceConfig::with_fault_rate(0.3, 7);
+        let tier = SharedTier::new(&model, &cfg);
+        let direct = CoalescingLlm::new(&model, &cfg, false);
+        for i in 0..6u32 {
+            let r = req("repair this loop", i % 2);
+            let (a, ca) = tier.complete_costed(&r);
+            let (b, cb) = direct.complete_costed(&r);
+            assert_eq!(a, b, "request {i}");
+            assert_eq!(ca, cb, "request {i} cost");
+        }
+    }
+
+    #[test]
+    fn coalesce_report_merge_sums_counters() {
+        let mut a = CoalesceReport { enabled: false, lookups: 5, unique: 3, hits: 2 };
+        let b = CoalesceReport { enabled: true, lookups: 7, unique: 7, hits: 0 };
+        a.merge(&b);
+        assert_eq!(a, CoalesceReport { enabled: true, lookups: 12, unique: 10, hits: 2 });
     }
 
     #[test]

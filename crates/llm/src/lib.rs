@@ -40,7 +40,9 @@ pub mod transport;
 pub mod verilog;
 
 pub use cgen::{extract_features, generate_snippet, CGenCtx, SnippetFeatures};
-pub use coalesce::{CoalesceReport, CoalescingLlm, JobHandle, CANCELLED_COMPLETION};
+pub use coalesce::{
+    CoalesceReport, CoalescingLlm, JobHandle, SharedTier, TierReport, CANCELLED_COMPLETION,
+};
 pub use prompts::{parse_prompt, ParsedPrompt};
 pub use repairgen::{attempt_repair, RepairCtx};
 pub use resilient::{

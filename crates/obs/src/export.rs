@@ -86,6 +86,62 @@ impl ClassReport {
             slo_attainment: if slo_jobs == 0 { 1.0 } else { slo_met as f64 / slo_jobs as f64 },
         }
     }
+
+    /// Conservative cross-shard merge: counts sum, every percentile
+    /// takes the worst (max) input — a "no shard hides a worse tail"
+    /// view. Exact percentiles over the union would need the raw
+    /// samples, which per-shard reports deliberately do not carry;
+    /// callers that hold the merged per-job records (e.g.
+    /// `ServeReport::merge`) recompute exact percentiles there instead.
+    pub fn merge(&mut self, other: &ClassReport) {
+        self.completed += other.completed;
+        self.queue_wait_p50_us = self.queue_wait_p50_us.max(other.queue_wait_p50_us);
+        self.queue_wait_p90_us = self.queue_wait_p90_us.max(other.queue_wait_p90_us);
+        self.queue_wait_p99_us = self.queue_wait_p99_us.max(other.queue_wait_p99_us);
+        self.latency_p50_us = self.latency_p50_us.max(other.latency_p50_us);
+        self.latency_p90_us = self.latency_p90_us.max(other.latency_p90_us);
+        self.latency_p99_us = self.latency_p99_us.max(other.latency_p99_us);
+        self.slo_jobs += other.slo_jobs;
+        self.slo_met += other.slo_met;
+        self.slo_attainment = if self.slo_jobs == 0 {
+            1.0
+        } else {
+            self.slo_met as f64 / self.slo_jobs as f64
+        };
+    }
+}
+
+/// Merges canonical metric snapshots by `(name, labels)`: counters and
+/// histogram counts/sums add, gauges and histogram min/max/percentile
+/// fields take the extreme (max — min for `min_us`). Output is in the
+/// registry's canonical `(name, labels)` order.
+pub fn merge_metric_snapshots(inputs: &[&[MetricSnapshot]]) -> Vec<MetricSnapshot> {
+    let mut merged: BTreeMap<(String, String), MetricSnapshot> = BTreeMap::new();
+    for snap in inputs {
+        for m in snap.iter() {
+            match merged.entry((m.name.clone(), m.labels.clone())) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(m.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let acc = e.get_mut();
+                    match m.kind.as_str() {
+                        "gauge" => acc.value = acc.value.max(m.value),
+                        _ => {
+                            acc.value += m.value;
+                            acc.sum_us += m.sum_us;
+                        }
+                    }
+                    acc.min_us = acc.min_us.min(m.min_us);
+                    acc.max_us = acc.max_us.max(m.max_us);
+                    acc.p50_us = acc.p50_us.max(m.p50_us);
+                    acc.p90_us = acc.p90_us.max(m.p90_us);
+                    acc.p99_us = acc.p99_us.max(m.p99_us);
+                }
+            }
+        }
+    }
+    merged.into_values().collect()
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
@@ -136,6 +192,40 @@ impl ObsReport {
             classes,
             metrics: session.metrics().snapshot(),
         }
+    }
+
+    /// Conservative merge of per-shard observability summaries into a
+    /// cluster-wide SLO view: event/job counts sum; class rows merge by
+    /// class name in first-seen order (see [`ClassReport::merge`] for
+    /// the max-percentile convention); metrics merge by `(name,
+    /// labels)` via [`merge_metric_snapshots`]. Deterministic for a
+    /// deterministic input order.
+    pub fn merge_all(reports: &[&ObsReport]) -> ObsReport {
+        let mut out = ObsReport {
+            total_jobs: 0,
+            sampled_jobs: 0,
+            span_events: 0,
+            dropped_events: 0,
+            transport_groups: 0,
+            classes: Vec::new(),
+            metrics: Vec::new(),
+        };
+        for r in reports {
+            out.total_jobs += r.total_jobs;
+            out.sampled_jobs += r.sampled_jobs;
+            out.span_events += r.span_events;
+            out.dropped_events += r.dropped_events;
+            out.transport_groups += r.transport_groups;
+            for c in &r.classes {
+                match out.classes.iter_mut().find(|m| m.class == c.class) {
+                    Some(m) => m.merge(c),
+                    None => out.classes.push(c.clone()),
+                }
+            }
+        }
+        let inputs: Vec<&[MetricSnapshot]> = reports.iter().map(|r| r.metrics.as_slice()).collect();
+        out.metrics = merge_metric_snapshots(&inputs);
+        out
     }
 
     /// Plain-text rendering (the `obs_timeline` example's body).
@@ -557,6 +647,105 @@ mod tests {
         let empty = ClassReport::build("Batch", vec![], vec![], 0, 0);
         assert_eq!(empty.slo_attainment, 1.0);
         assert_eq!(empty.completed, 0);
+    }
+
+    #[test]
+    fn class_report_merge_is_conservative() {
+        let mut a = ClassReport::build("Interactive", vec![10, 30], vec![100, 300], 2, 2);
+        let b = ClassReport::build("Interactive", vec![20, 50], vec![200, 150], 2, 1);
+        a.merge(&b);
+        assert_eq!(a.completed, 4);
+        assert_eq!(a.queue_wait_p99_us, 50, "worst shard tail wins");
+        assert_eq!(a.latency_p99_us, 300);
+        assert_eq!((a.slo_jobs, a.slo_met), (4, 3));
+        assert!((a.slo_attainment - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_snapshots_merge_by_kind() {
+        let counter = |v: u64| MetricSnapshot {
+            name: "serve.admitted".into(),
+            labels: "class=Batch".into(),
+            kind: "counter".into(),
+            value: v,
+            sum_us: 0,
+            min_us: 0,
+            max_us: 0,
+            p50_us: 0,
+            p90_us: 0,
+            p99_us: 0,
+        };
+        let gauge = |v: u64| MetricSnapshot {
+            name: "serve.backlog_peak".into(),
+            labels: String::new(),
+            kind: "gauge".into(),
+            value: v,
+            sum_us: 0,
+            min_us: 0,
+            max_us: 0,
+            p50_us: 0,
+            p90_us: 0,
+            p99_us: 0,
+        };
+        let hist = |n: u64, sum: u64, p99: u64| MetricSnapshot {
+            name: "serve.e2e_us".into(),
+            labels: "class=Batch".into(),
+            kind: "hist".into(),
+            value: n,
+            sum_us: sum,
+            min_us: 5,
+            max_us: p99,
+            p50_us: p99 / 2,
+            p90_us: p99,
+            p99_us: p99,
+        };
+        let a = vec![counter(3), gauge(7), hist(2, 100, 60)];
+        let b = vec![counter(4), gauge(5), hist(1, 40, 90)];
+        let m = merge_metric_snapshots(&[&a, &b]);
+        assert_eq!(m.len(), 3, "canonical (name, labels) keys");
+        let by_name = |n: &str| m.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("serve.admitted").value, 7, "counters add");
+        assert_eq!(by_name("serve.backlog_peak").value, 7, "gauges take the max");
+        let h = by_name("serve.e2e_us");
+        assert_eq!((h.value, h.sum_us), (3, 140), "hist counts and sums add");
+        assert_eq!(h.p99_us, 90, "hist percentiles take the max");
+        // Output order is canonical regardless of input order.
+        let swapped = merge_metric_snapshots(&[&b, &a]);
+        assert_eq!(m, swapped);
+    }
+
+    #[test]
+    fn obs_report_merge_all_sums_and_unions() {
+        let a = ObsReport {
+            total_jobs: 3,
+            sampled_jobs: 2,
+            span_events: 10,
+            dropped_events: 0,
+            transport_groups: 4,
+            classes: vec![ClassReport::build("Interactive", vec![10], vec![100], 1, 1)],
+            metrics: vec![],
+        };
+        let b = ObsReport {
+            total_jobs: 5,
+            sampled_jobs: 5,
+            span_events: 20,
+            dropped_events: 1,
+            transport_groups: 6,
+            classes: vec![
+                ClassReport::build("Interactive", vec![40], vec![400], 1, 0),
+                ClassReport::build("Batch", vec![], vec![], 0, 0),
+            ],
+            metrics: vec![],
+        };
+        let m = ObsReport::merge_all(&[&a, &b]);
+        assert_eq!(m.total_jobs, 8);
+        assert_eq!(m.span_events, 30);
+        assert_eq!(m.transport_groups, 10);
+        assert_eq!(m.classes.len(), 2, "class union in first-seen order");
+        assert_eq!(m.classes[0].class, "Interactive");
+        assert_eq!(m.classes[0].completed, 2);
+        assert_eq!(m.classes[0].latency_p99_us, 400);
+        assert!((m.classes[0].slo_attainment - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -53,7 +53,10 @@
 pub mod export;
 pub mod metrics;
 
-pub use export::{validate_chrome_trace, ChromeTraceStats, ClassReport, ObsReport, TraceExport};
+pub use export::{
+    merge_metric_snapshots, validate_chrome_trace, ChromeTraceStats, ClassReport, ObsReport,
+    TraceExport,
+};
 pub use metrics::{Hist, Metrics, MetricSnapshot};
 
 use eda_exec::{parse_bool_knob, parse_knob_in, EnvKnobError, SharedClock};

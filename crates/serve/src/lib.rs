@@ -45,7 +45,7 @@
 //! DESIGN §5.11 and the E15 bench).
 
 pub mod realtime;
-mod sched;
+pub mod sched;
 pub mod traffic;
 
 pub use realtime::{serve_realtime, AdaptiveAdmission, RealTimeConfig, RtReport};
@@ -148,7 +148,7 @@ impl Priority {
 
 impl FlowSpec {
     /// Short flow-kind tag used in span names and metric labels.
-    fn kind(&self) -> &'static str {
+    pub fn kind(&self) -> &'static str {
         match self {
             FlowSpec::AutoChip { .. } => "autochip",
             FlowSpec::Structured { .. } => "structured",
@@ -307,6 +307,10 @@ pub enum RejectError {
     /// virtual driver never emits this variant, so the byte-pinned
     /// virtual report cannot change).
     AdaptiveShed { interactive_p99_us: u64, slo_us: u64 },
+    /// No shard was alive to take the tenant's job (cluster router
+    /// only — the single-node drivers never emit this variant, so the
+    /// byte-pinned virtual report cannot change).
+    ShardDown { tenant: String },
 }
 
 impl fmt::Display for RejectError {
@@ -323,6 +327,9 @@ impl fmt::Display for RejectError {
                 f,
                 "batch shed by adaptive admission (interactive p99 {interactive_p99_us}us > slo {slo_us}us)"
             ),
+            RejectError::ShardDown { tenant } => {
+                write!(f, "no shard alive for tenant `{tenant}`")
+            }
         }
     }
 }
@@ -422,18 +429,141 @@ pub struct ServeReport {
     pub obs: Option<ObsReport>,
 }
 
+impl ServeReport {
+    /// Deterministically folds per-shard reports into one cluster-wide
+    /// view (the `ClusterReport` merge seam):
+    ///
+    /// * `jobs` concatenate and sort by id — trace ids are unique, so
+    ///   the order is total.
+    /// * `completion_order` is rebuilt from the merged records, sorted
+    ///   by `(finish_us, id)` — a canonical cross-shard tie order (a
+    ///   single shard breaks equal-finish ties by dispatch order
+    ///   instead, so a 1-input merge agrees up to such ties).
+    /// * counters sum; wait percentiles, makespan, and throughput are
+    ///   recomputed exactly from the merged per-job records, so the
+    ///   merged stats are what one scheduler seeing all jobs would
+    ///   have reported.
+    /// * tenants merge by name in first-seen order with shares
+    ///   recomputed over the merged service total.
+    /// * the coalesce/LLM counters fold through their own `merge`s
+    ///   (`LlmReport::merge` carries `FaultStats::merge` along).
+    /// * `obs` merges conservatively when every input carries one (see
+    ///   `ObsReport::merge_all`), and is `None` otherwise.
+    ///
+    /// Inputs in any order produce identical bytes apart from the
+    /// first-seen tenant order and `model` (taken from the first
+    /// non-empty input); cluster callers pass shards in index order.
+    pub fn merge(reports: &[ServeReport]) -> ServeReport {
+        let mut jobs: Vec<JobRecord> = reports.iter().flat_map(|r| r.jobs.clone()).collect();
+        jobs.sort_by_key(|j| j.id);
+
+        let mut finished: Vec<(u64, u64)> = jobs
+            .iter()
+            .filter_map(|j| match &j.outcome {
+                JobOutcome::Completed { finish_us, .. } => Some((*finish_us, j.id)),
+                _ => None,
+            })
+            .collect();
+        finished.sort_unstable();
+        let completion_order: Vec<u64> = finished.iter().map(|&(_, id)| id).collect();
+
+        let mut stats = ServeStats::default();
+        for r in reports {
+            stats.submitted += r.stats.submitted;
+            stats.admitted += r.stats.admitted;
+            stats.completed += r.stats.completed;
+            stats.cancelled += r.stats.cancelled;
+            stats.expired += r.stats.expired;
+            stats.rejected_queue_full += r.stats.rejected_queue_full;
+            stats.rejected_overloaded += r.stats.rejected_overloaded;
+            stats.rejected_unknown_tenant += r.stats.rejected_unknown_tenant;
+            stats.makespan_us = stats.makespan_us.max(r.stats.makespan_us);
+        }
+        let mut waits: Vec<u64> = jobs
+            .iter()
+            .filter_map(|j| match &j.outcome {
+                JobOutcome::Completed { wait_us, .. } => Some(*wait_us),
+                _ => None,
+            })
+            .collect();
+        waits.sort_unstable();
+        stats.p50_wait_us = percentile(&waits, 50);
+        stats.p99_wait_us = percentile(&waits, 99);
+        stats.throughput_per_hour = if stats.makespan_us > 0 {
+            stats.completed as f64 / (stats.makespan_us as f64 / 3.6e9)
+        } else {
+            0.0
+        };
+
+        let mut tenants: Vec<TenantStats> = Vec::new();
+        for r in reports {
+            for t in &r.tenants {
+                match tenants.iter_mut().find(|m| m.name == t.name) {
+                    Some(m) => {
+                        m.submitted += t.submitted;
+                        m.completed += t.completed;
+                        m.shed += t.shed;
+                        m.service_us += t.service_us;
+                    }
+                    None => tenants.push(t.clone()),
+                }
+            }
+        }
+        let total_service: u64 = tenants.iter().map(|t| t.service_us).sum();
+        for t in &mut tenants {
+            t.share = if total_service > 0 {
+                t.service_us as f64 / total_service as f64
+            } else {
+                0.0
+            };
+        }
+
+        let mut coalesce = CoalesceReport::default();
+        for r in reports {
+            coalesce.merge(&r.coalesce);
+        }
+        let obs_inputs: Vec<&ObsReport> = reports.iter().filter_map(|r| r.obs.as_ref()).collect();
+        let obs = (obs_inputs.len() == reports.len() && !reports.is_empty())
+            .then(|| ObsReport::merge_all(&obs_inputs));
+
+        ServeReport {
+            model: reports
+                .iter()
+                .map(|r| r.model.clone())
+                .find(|m| !m.is_empty())
+                .unwrap_or_default(),
+            jobs,
+            completion_order,
+            stats,
+            tenants,
+            coalesce,
+            llm: LlmReport::merged(reports.iter().map(|r| &r.llm)),
+            flows_llm: LlmReport::merged(reports.iter().map(|r| &r.flows_llm)),
+            obs,
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Job execution (pure per job)
 // ---------------------------------------------------------------------------
 
-struct ExecutedJob {
-    service_us: u64,
-    cancelled: bool,
-    solved: bool,
-    score: f64,
-    llm: LlmReport,
+/// What one executed flow job produced: the driver-independent facts a
+/// scheduler needs to settle billing and record the outcome. Public so
+/// cluster drivers (`eda-cluster`) can run jobs through the exact same
+/// execution path the serve drivers use.
+pub struct ExecutedJob {
+    /// Billed virtual service (per-job clock + fixed overhead).
+    pub service_us: u64,
+    /// The deadline fired mid-run; the result is partial.
+    pub cancelled: bool,
+    pub solved: bool,
+    pub score: f64,
+    /// The flow-level traffic this job observed (coalesced hits
+    /// included).
+    pub llm: LlmReport,
     /// The job's span recorder when observability sampled it.
-    rec: Option<Arc<Recorder>>,
+    pub rec: Option<Arc<Recorder>>,
 }
 
 /// Runs one job's flow against the shared stack. Pure per `(job.flow,
@@ -448,7 +578,7 @@ struct ExecutedJob {
 /// token plus `job.deadline_us` (the per-job billing clock enforces the
 /// virtual deadline); the real-time driver passes a scheduler-held
 /// token and `0` (the scheduler fires the token at the wall deadline).
-fn run_flow_job(
+pub fn run_flow_job(
     shared: &CoalescingLlm<'_>,
     job: &FlowJob,
     overhead_us: u64,

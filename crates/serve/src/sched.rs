@@ -16,10 +16,10 @@ use std::collections::{HashMap, VecDeque};
 /// Provisional service billed to a tenant at dispatch time (replaced by
 /// the measured service once the job runs): keeps one tenant from
 /// monopolizing a single dispatch wave before any of its bills land.
-pub(crate) const PROVISIONAL_SERVICE_US: u64 = 5_000_000;
+pub const PROVISIONAL_SERVICE_US: u64 = 5_000_000;
 
 /// Per-tenant scheduling state.
-pub(crate) struct TenantState {
+pub struct TenantState {
     pub cfg: TenantConfig,
     /// FIFO queue of job indices per priority class.
     pub queues: [VecDeque<usize>; 3],
@@ -34,7 +34,7 @@ pub(crate) struct TenantState {
 }
 
 /// What [`SchedCore::admit`] decided for one arrival.
-pub(crate) enum Admission {
+pub enum Admission {
     /// Enqueued on the tenant's per-priority FIFO.
     Queued,
     /// Shed at admission; `why` is the short metric/trace label.
@@ -43,8 +43,9 @@ pub(crate) enum Admission {
 
 /// The shared scheduler state machine. Drivers own the event loop and
 /// the time source; the core owns every queue and counter, so the two
-/// modes cannot drift apart on semantics.
-pub(crate) struct SchedCore {
+/// modes cannot drift apart on semantics. `eda-cluster` instantiates
+/// one core per simulated shard.
+pub struct SchedCore {
     pub tenants: Vec<TenantState>,
     tenant_index: HashMap<String, usize>,
     pub total_queued: usize,
@@ -122,6 +123,38 @@ impl SchedCore {
         self.tenants[ti].queued += 1;
         self.total_queued += 1;
         Admission::Queued
+    }
+
+    /// Re-enqueues a job migrated from another scheduler instance
+    /// (cluster failover/drain handoff). Bypasses admission control and
+    /// counts no new submission: the job was already admitted once, and
+    /// a migration must never lose it to a cap. Returns the tenant
+    /// index, or `None` when this core's config does not know the
+    /// tenant (the caller keeps looking for a home).
+    pub fn requeue(&mut self, idx: usize, job: &FlowJob) -> Option<usize> {
+        let ti = self.tenant_of(&job.tenant)?;
+        self.tenants[ti].queues[job.priority.index()].push_back(idx);
+        self.tenants[ti].queued += 1;
+        self.total_queued += 1;
+        Some(ti)
+    }
+
+    /// Removes and returns every queued job index (cluster failover:
+    /// the dying shard's backlog migrates elsewhere). Priority-major,
+    /// tenant-index order, FIFO within each queue — a deterministic
+    /// order for the migration loop to re-place jobs in.
+    pub fn drain_queued(&mut self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for prio in 0..3 {
+            for t in &mut self.tenants {
+                while let Some(idx) = t.queues[prio].pop_front() {
+                    t.queued -= 1;
+                    out.push(idx);
+                }
+            }
+        }
+        self.total_queued = 0;
+        out
     }
 
     /// Adaptive-admission shed (real-time driver only): the job counts
@@ -295,6 +328,25 @@ mod tests {
         assert_eq!(c.pick_next(), Some(1));
         assert_eq!(c.pick_next(), None);
         assert_eq!(c.total_queued, 0);
+    }
+
+    #[test]
+    fn requeue_and_drain_bypass_admission_counters() {
+        let mut c = core();
+        c.admit(0, &job(0, "alpha", Priority::Standard));
+        c.admit(1, &job(1, "beta", Priority::Interactive));
+        c.admit(2, &job(2, "alpha", Priority::Batch));
+        let before = (c.stats.submitted, c.stats.admitted);
+        // Drain order: priority-major, tenant order, FIFO.
+        let drained = c.drain_queued();
+        assert_eq!(drained, vec![1, 0, 2]);
+        assert_eq!(c.total_queued, 0);
+        // Requeue moves the backlog back without new submissions.
+        assert_eq!(c.requeue(0, &job(0, "alpha", Priority::Standard)), Some(0));
+        assert_eq!(c.requeue(9, &job(9, "nobody", Priority::Standard)), None);
+        assert_eq!((c.stats.submitted, c.stats.admitted), before);
+        assert_eq!(c.total_queued, 1);
+        assert_eq!(c.pick_next(), Some(0));
     }
 
     #[test]

@@ -31,6 +31,13 @@ pub struct TrafficConfig {
     /// deadline-free jobs.
     pub deadline_us: (u64, u64),
     pub seed: u64,
+    /// [`Scenario::TenantChurn`] only: how many roster tenants are
+    /// active at once (clamped to `1..=tenants.len()`). The default (2)
+    /// reproduces the original fixed-pair shape byte for byte.
+    pub churn_window: usize,
+    /// [`Scenario::TenantChurn`] only: how many times the active window
+    /// slides across the trace (phases of `jobs / churn_phases` jobs).
+    pub churn_phases: usize,
 }
 
 impl Default for TrafficConfig {
@@ -46,6 +53,8 @@ impl Default for TrafficConfig {
             duplicate_rate: 0.35,
             deadline_us: (0, 0),
             seed: 7,
+            churn_window: 2,
+            churn_phases: 4,
         }
     }
 }
@@ -157,9 +166,10 @@ pub fn generate_scenario(scenario: Scenario, cfg: &TrafficConfig) -> Vec<FlowJob
     let mut jobs: Vec<FlowJob> = Vec::with_capacity(cfg.jobs);
     let mut arrival = 0u64;
     let n = cfg.jobs.max(1);
-    // Tenant-churn phases: a 2-wide window over the roster, sliding
-    // every quarter of the trace.
-    let phase_len = (n / 4).max(1);
+    // Tenant-churn phases: a `churn_window`-wide window over the
+    // roster, sliding `churn_phases` times across the trace (defaults:
+    // a 2-wide window every quarter — the original fixed shape).
+    let phase_len = (n / cfg.churn_phases.max(1)).max(1);
 
     for i in 0..cfg.jobs {
         let gap_mean = match scenario {
@@ -185,13 +195,15 @@ pub fn generate_scenario(scenario: Scenario, cfg: &TrafficConfig) -> Vec<FlowJob
         }
         let tenant = if scenario == Scenario::TenantChurn && cfg.tenants.len() > 1 {
             let phase = i / phase_len;
-            let active_a = phase % cfg.tenants.len();
-            let active_b = (phase + 1) % cfg.tenants.len();
-            let pair = [&cfg.tenants[active_a], &cfg.tenants[active_b]];
-            let pair_weight: f64 = pair.iter().map(|(_, w)| w.max(0.0)).sum();
-            let owned: Vec<(String, f64)> =
-                pair.iter().map(|(t, w)| (t.clone(), *w)).collect();
-            pick_tenant(&owned, pair_weight, &mut rng)
+            let window = cfg.churn_window.clamp(1, cfg.tenants.len());
+            let owned: Vec<(String, f64)> = (0..window)
+                .map(|k| {
+                    let (t, w) = &cfg.tenants[(phase + k) % cfg.tenants.len()];
+                    (t.clone(), *w)
+                })
+                .collect();
+            let window_weight: f64 = owned.iter().map(|(_, w)| w.max(0.0)).sum();
+            pick_tenant(&owned, window_weight, &mut rng)
         } else {
             pick_tenant(&cfg.tenants, total_weight, &mut rng)
         };
@@ -333,6 +345,31 @@ mod tests {
             jobs.iter().any(|j| j.tenant == "gamma"),
             "later phases must rotate gamma in"
         );
+    }
+
+    #[test]
+    fn churn_window_widens_the_active_set() {
+        // A 1-wide window serves exactly one tenant per phase; phase 0
+        // of the default roster is alpha only.
+        let narrow = TrafficConfig { jobs: 48, churn_window: 1, ..Default::default() };
+        let jobs = generate_scenario(Scenario::TenantChurn, &narrow);
+        assert!(jobs[..12].iter().all(|j| j.tenant == "alpha"));
+        // A full-roster window degenerates to plain weighted sampling:
+        // every tenant appears somewhere.
+        let wide = TrafficConfig { jobs: 48, churn_window: 3, ..Default::default() };
+        let jobs = generate_scenario(Scenario::TenantChurn, &wide);
+        for t in ["alpha", "beta", "gamma"] {
+            assert!(jobs.iter().any(|j| j.tenant == t), "{t} missing");
+        }
+    }
+
+    #[test]
+    fn churn_phases_control_the_slide_rate() {
+        // Two phases over 48 jobs: the window slides once, at job 24.
+        let cfg = TrafficConfig { jobs: 48, churn_window: 1, churn_phases: 2, ..Default::default() };
+        let jobs = generate_scenario(Scenario::TenantChurn, &cfg);
+        assert!(jobs[..24].iter().all(|j| j.tenant == "alpha"));
+        assert!(jobs[24..].iter().all(|j| j.tenant == "beta"));
     }
 
     #[test]

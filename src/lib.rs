@@ -32,6 +32,7 @@
 //! | [`exec`] | `eda-exec` | work-stealing eval engine + eval cache |
 //! | [`agent`] | `eda-core` | the unified EDA agent |
 //! | [`serve`] | `eda-serve` | multi-tenant flow serving: fair-share scheduling, admission control, LLM coalescing |
+//! | [`cluster`] | `eda-cluster` | multi-node serving simulation: consistent-hash placement, shard failover, cache topology |
 //! | [`store`] | `eda-store` | persistent content-addressed result store: checksummed entries, LRU/TinyLFU, crash-safe writes |
 //! | [`obs`] | `eda-obs` | deterministic span tracing, metrics, and SLO reporting |
 //!
@@ -48,6 +49,7 @@
 
 pub use eda_core as agent;
 pub use eda_autochip as autochip;
+pub use eda_cluster as cluster;
 pub use eda_cmini as cmini;
 pub use eda_exec as exec;
 pub use eda_hdl as hdl;

@@ -1,0 +1,359 @@
+//! Cluster-simulation suite: the `ClusterReport` is byte-identical at
+//! any host thread count across shard counts and store topologies, a
+//! 1-shard cluster degenerates to the single-node serve driver exactly,
+//! scripted shard failures under transport faults never lose or hang a
+//! job, and the tenant-churn scenario drives deterministic rebalances.
+
+use llm4eda::{cluster, exec, llm, obs, serve};
+
+use cluster::{
+    serve_cluster_with, ClusterConfig, CoalesceScope, ShardEvent, ShardEventKind, StoreMode,
+};
+use serve::{
+    generate_scenario, FlowJob, JobOutcome, Priority, Scenario, ServeConfig, ServeReport,
+    TenantConfig, TrafficConfig,
+};
+
+fn ultra() -> llm::SimulatedLlm {
+    llm::SimulatedLlm::new(llm::ModelSpec::ultra())
+}
+
+fn roster() -> Vec<TenantConfig> {
+    vec![
+        TenantConfig::new("alpha", 3, 64),
+        TenantConfig::new("beta", 2, 64),
+        TenantConfig::new("gamma", 1, 64),
+    ]
+}
+
+fn traffic(jobs: usize, duplicate_rate: f64) -> TrafficConfig {
+    TrafficConfig {
+        jobs,
+        duplicate_rate,
+        mean_interarrival_us: 1_000_000,
+        seed: 13,
+        ..Default::default()
+    }
+}
+
+fn base_cfg() -> ServeConfig {
+    ServeConfig { tenants: roster(), workers: 2, max_backlog: 256, ..Default::default() }
+}
+
+fn cluster_cfg(shards: usize, store: StoreMode) -> ClusterConfig {
+    ClusterConfig { shards, base: base_cfg(), store, ..Default::default() }
+}
+
+/// The tentpole determinism pin: for every (shards, store) cell, the
+/// serialized `ClusterReport` is byte-identical at 1, 4, and 8 host
+/// threads. The report embeds per-shard reports, the merged view,
+/// placement, router counters, and coalescing/transport totals — so
+/// this one comparison pins the whole surface.
+#[test]
+fn cluster_report_is_byte_identical_across_threads() {
+    let jobs = generate_scenario(Scenario::Steady, &traffic(16, 0.5));
+    for shards in [1usize, 2, 4] {
+        for store in [StoreMode::Shared, StoreMode::Sharded] {
+            let cfg = cluster_cfg(shards, store);
+            let golden = serde_json::to_string(&serve_cluster_with(
+                &ultra(),
+                &jobs,
+                &cfg,
+                &exec::Engine::with_threads(1),
+            ))
+            .unwrap();
+            for threads in [4usize, 8] {
+                let got = serde_json::to_string(&serve_cluster_with(
+                    &ultra(),
+                    &jobs,
+                    &cfg,
+                    &exec::Engine::with_threads(threads),
+                ))
+                .unwrap();
+                assert_eq!(
+                    golden, got,
+                    "ClusterReport diverged: shards={shards} store={} threads={threads}",
+                    store.tag()
+                );
+            }
+        }
+    }
+}
+
+/// Observability on: the merged obs view must be deterministic too.
+#[test]
+fn cluster_obs_report_is_deterministic() {
+    let jobs = generate_scenario(Scenario::Steady, &traffic(12, 0.4));
+    let mut cfg = cluster_cfg(2, StoreMode::Shared);
+    cfg.base.obs = obs::ObsConfig { enabled: true, ..Default::default() };
+    let a = serve_cluster_with(&ultra(), &jobs, &cfg, &exec::Engine::with_threads(1));
+    let b = serve_cluster_with(&ultra(), &jobs, &cfg, &exec::Engine::with_threads(8));
+    assert!(a.obs.is_some(), "obs enabled must yield a cluster ObsReport");
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "obs-enabled ClusterReport diverged across thread counts"
+    );
+    // Per-shard obs stays None — the cluster owns the single session.
+    assert!(a.shards.iter().all(|s| s.obs.is_none()));
+}
+
+/// A 1-shard cluster with per-shard coalescing and a sharded store is
+/// the existing single-node driver, byte for byte: same per-shard
+/// report as `serve_trace_with` on the same config.
+#[test]
+fn one_shard_cluster_degenerates_to_serve() {
+    let jobs = generate_scenario(Scenario::Steady, &traffic(14, 0.5));
+    let base = base_cfg();
+    let engine = exec::Engine::with_threads(4);
+    let solo = serve::serve_trace_with(&ultra(), &jobs, &base, &engine);
+    let cfg = ClusterConfig {
+        shards: 1,
+        base,
+        store: StoreMode::Sharded,
+        coalesce_scope: CoalesceScope::Shard,
+        ..Default::default()
+    };
+    let clustered = serve_cluster_with(&ultra(), &jobs, &cfg, &engine);
+    assert_eq!(clustered.shard_count, 1);
+    assert_eq!(
+        serde_json::to_string(&solo).unwrap(),
+        serde_json::to_string(&clustered.shards[0]).unwrap(),
+        "1-shard cluster must replay the single-node serve report exactly"
+    );
+    // And the merged view of one shard is that shard.
+    assert_eq!(
+        serde_json::to_string(&clustered.merged.stats).unwrap(),
+        serde_json::to_string(&solo.stats).unwrap()
+    );
+}
+
+/// The embedded merged report is exactly `ServeReport::merge` over the
+/// per-shard reports — no hidden cluster-side accounting.
+#[test]
+fn merged_view_is_the_plain_merge_of_shards() {
+    let jobs = generate_scenario(Scenario::Steady, &traffic(16, 0.3));
+    let r = serve_cluster_with(
+        &ultra(),
+        &jobs,
+        &cluster_cfg(4, StoreMode::Sharded),
+        &exec::Engine::with_threads(4),
+    );
+    let remerged = ServeReport::merge(&r.shards);
+    assert_eq!(
+        serde_json::to_string(&r.merged).unwrap(),
+        serde_json::to_string(&remerged).unwrap()
+    );
+    // Conservation: every routed job's record lives on exactly one shard.
+    let per_shard: usize = r.shards.iter().map(|s| s.jobs.len()).sum();
+    assert_eq!(per_shard + r.unrouted.len(), jobs.len());
+}
+
+/// Chaos arm: transport faults at rate 0.3 plus a scripted mid-trace
+/// shard failure and later rejoin. Nothing panics, nothing hangs, every
+/// job reaches a terminal state, and no job is silently lost.
+#[test]
+fn chaos_shard_failure_under_transport_faults() {
+    let mut tcfg = traffic(20, 0.4);
+    tcfg.deadline_us = (30_000_000, 90_000_000);
+    let jobs = generate_scenario(Scenario::Burst, &tcfg);
+    let mut cfg = cluster_cfg(3, StoreMode::Shared);
+    cfg.base.resilience = llm::ResilienceConfig::with_fault_rate(0.3, 11);
+    // Learn the horizon fault-free first, then script the failure
+    // inside it — deterministic without hard-coding virtual times.
+    let dry = serve_cluster_with(&ultra(), &jobs, &cfg, &exec::Engine::with_threads(4));
+    let makespan = dry.merged.stats.makespan_us.max(1);
+    cfg.events = vec![
+        ShardEvent { at_us: makespan / 3, shard: 0, kind: ShardEventKind::Fail },
+        ShardEvent { at_us: 2 * makespan / 3, shard: 0, kind: ShardEventKind::Rejoin },
+    ];
+    let r = serve_cluster_with(&ultra(), &jobs, &cfg, &exec::Engine::with_threads(4));
+    assert_eq!(r.router.lost_jobs, 0, "router={:?}", r.router);
+    let s = &r.merged.stats;
+    let terminal = s.completed
+        + s.expired
+        + s.rejected_queue_full
+        + s.rejected_overloaded
+        + s.rejected_unknown_tenant
+        + r.router.rejected_no_shard;
+    assert_eq!(terminal as usize, jobs.len(), "stats={s:?} router={:?}", r.router);
+    assert_eq!(r.events.len(), 2);
+    // Determinism holds under chaos too.
+    let again = serve_cluster_with(&ultra(), &jobs, &cfg, &exec::Engine::with_threads(1));
+    assert_eq!(
+        serde_json::to_string(&r).unwrap(),
+        serde_json::to_string(&again).unwrap(),
+        "chaos run diverged across thread counts"
+    );
+}
+
+/// Tenant churn + a mid-trace failover: the widened churn window keeps
+/// several tenants active while a shard dies, so the rebalance actually
+/// migrates load. The whole thing replays byte-identically.
+#[test]
+fn churn_trace_rebalance_is_deterministic() {
+    let tcfg = TrafficConfig {
+        jobs: 18,
+        duplicate_rate: 0.3,
+        mean_interarrival_us: 1_500_000,
+        seed: 23,
+        churn_window: 3,
+        churn_phases: 3,
+        ..Default::default()
+    };
+    let jobs = generate_scenario(Scenario::TenantChurn, &tcfg);
+    let mut cfg = cluster_cfg(2, StoreMode::Sharded);
+    let dry = serve_cluster_with(&ultra(), &jobs, &cfg, &exec::Engine::with_threads(4));
+    let makespan = dry.merged.stats.makespan_us.max(1);
+    cfg.events =
+        vec![ShardEvent { at_us: makespan / 2, shard: 1, kind: ShardEventKind::Fail }];
+    let r1 = serve_cluster_with(&ultra(), &jobs, &cfg, &exec::Engine::with_threads(1));
+    let r2 = serve_cluster_with(&ultra(), &jobs, &cfg, &exec::Engine::with_threads(8));
+    assert_eq!(
+        serde_json::to_string(&r1).unwrap(),
+        serde_json::to_string(&r2).unwrap()
+    );
+    assert_eq!(r1.router.lost_jobs, 0);
+    assert_eq!(r1.router.rebalances, 1);
+    // The failed shard holds no tenants afterwards.
+    assert!(r1.placement.iter().all(|p| p.shard != 1), "{:?}", r1.placement);
+}
+
+/// The shared tier recovers cross-shard duplicate work that sharded
+/// stores repeat: under a duplicate-heavy trace, shared-store transport
+/// traffic is strictly below sharded-store traffic, and both topologies
+/// produce identical virtual outcomes.
+#[test]
+fn shared_store_recovers_cross_shard_duplicates() {
+    let jobs = generate_scenario(Scenario::Steady, &traffic(20, 0.6));
+    let engine = exec::Engine::with_threads(4);
+    let shared =
+        serve_cluster_with(&ultra(), &jobs, &cluster_cfg(4, StoreMode::Shared), &engine);
+    let sharded =
+        serve_cluster_with(&ultra(), &jobs, &cluster_cfg(4, StoreMode::Sharded), &engine);
+    assert!(
+        shared.cluster_llm.requests <= sharded.cluster_llm.requests,
+        "shared store must not add transport work: shared={} sharded={}",
+        shared.cluster_llm.requests,
+        sharded.cluster_llm.requests
+    );
+    assert_eq!(
+        serde_json::to_string(&shared.merged.stats).unwrap(),
+        serde_json::to_string(&sharded.merged.stats).unwrap(),
+        "cache topology must not change virtual outcomes"
+    );
+}
+
+/// `EDA_CLUSTER_*` knobs go through the hardened parser: valid values
+/// apply, malformed ones fail with an error naming the variable.
+#[test]
+fn cluster_env_knobs_parse_and_reject() {
+    // This test owns the EDA_CLUSTER_* namespace; no other test in this
+    // binary touches it.
+    std::env::set_var(cluster::CLUSTER_SHARDS_ENV, "5");
+    std::env::set_var(cluster::CLUSTER_STORE_ENV, "shared");
+    std::env::set_var(cluster::CLUSTER_COALESCE_ENV, "global");
+    std::env::set_var(cluster::CLUSTER_VNODES_ENV, "32");
+    std::env::set_var(cluster::CLUSTER_LOAD_FACTOR_ENV, "2.0");
+    let cfg = ClusterConfig::try_from_env().expect("valid knobs");
+    assert_eq!(cfg.shards, 5);
+    assert_eq!(cfg.store, StoreMode::Shared);
+    assert_eq!(cfg.coalesce_scope, CoalesceScope::Global);
+    assert_eq!(cfg.vnodes, 32);
+    assert!((cfg.load_factor - 2.0).abs() < 1e-9);
+
+    std::env::set_var(cluster::CLUSTER_STORE_ENV, "replicated");
+    let err = ClusterConfig::try_from_env().expect_err("bad store value");
+    assert!(err.to_string().contains(cluster::CLUSTER_STORE_ENV), "{err}");
+    std::env::set_var(cluster::CLUSTER_STORE_ENV, "shared");
+
+    std::env::set_var(cluster::CLUSTER_SHARDS_ENV, "0");
+    let err = ClusterConfig::try_from_env().expect_err("out-of-range shards");
+    assert!(err.to_string().contains(cluster::CLUSTER_SHARDS_ENV), "{err}");
+
+    for var in [
+        cluster::CLUSTER_SHARDS_ENV,
+        cluster::CLUSTER_STORE_ENV,
+        cluster::CLUSTER_COALESCE_ENV,
+        cluster::CLUSTER_VNODES_ENV,
+        cluster::CLUSTER_LOAD_FACTOR_ENV,
+    ] {
+        std::env::remove_var(var);
+    }
+}
+
+/// `ServeReport::merge` unit pins on real reports: stats sum, records
+/// concatenate sorted by id, completion order re-sorts by finish time,
+/// and merging a report with an empty one is the identity on stats.
+#[test]
+fn serve_report_merge_pins() {
+    let jobs = generate_scenario(Scenario::Steady, &traffic(10, 0.3));
+    let base = base_cfg();
+    let engine = exec::Engine::with_threads(2);
+    let (left, right): (Vec<FlowJob>, Vec<FlowJob>) =
+        jobs.iter().cloned().partition(|j| j.id % 2 == 0);
+    let a = serve::serve_trace_with(&ultra(), &left, &base, &engine);
+    let b = serve::serve_trace_with(&ultra(), &right, &base, &engine);
+    let m = ServeReport::merge(&[a.clone(), b.clone()]);
+    assert_eq!(m.stats.submitted, a.stats.submitted + b.stats.submitted);
+    assert_eq!(m.stats.completed, a.stats.completed + b.stats.completed);
+    assert_eq!(m.jobs.len(), a.jobs.len() + b.jobs.len());
+    let ids: Vec<u64> = m.jobs.iter().map(|j| j.id).collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    assert_eq!(ids, sorted, "merged records must be id-sorted");
+    assert_eq!(m.stats.makespan_us, a.stats.makespan_us.max(b.stats.makespan_us));
+    // Completion order is consistent with per-record finish times.
+    let finish_of = |id: u64| {
+        m.jobs
+            .iter()
+            .find(|j| j.id == id)
+            .and_then(|j| match &j.outcome {
+                JobOutcome::Completed { finish_us, .. } => Some(*finish_us),
+                _ => None,
+            })
+            .expect("completion order only lists completed jobs")
+    };
+    for w in m.completion_order.windows(2) {
+        assert!(finish_of(w[0]) <= finish_of(w[1]), "completion order out of time order");
+    }
+    // Identity against an empty report.
+    let id = ServeReport::merge(std::slice::from_ref(&a));
+    assert_eq!(
+        serde_json::to_string(&id.stats).unwrap(),
+        serde_json::to_string(&a.stats).unwrap()
+    );
+}
+
+/// Priorities still dominate within a shard: under a saturated cluster,
+/// every Interactive job of a tenant completes before its last Batch
+/// job on the same shard.
+#[test]
+fn priority_order_survives_sharding() {
+    let mut jobs: Vec<FlowJob> = Vec::new();
+    for i in 0..6u64 {
+        jobs.push(FlowJob {
+            id: i,
+            tenant: "alpha".into(),
+            priority: if i < 3 { Priority::Batch } else { Priority::Interactive },
+            arrival_us: 0,
+            deadline_us: 0,
+            flow: serve::FlowSpec::Structured { problem: "mux2".into(), rounds: 1, seed: i },
+        });
+    }
+    let mut cfg = cluster_cfg(2, StoreMode::Sharded);
+    cfg.base.workers = 1;
+    let r = serve_cluster_with(&ultra(), &jobs, &cfg, &exec::Engine::with_threads(2));
+    assert_eq!(r.merged.stats.completed, 6);
+    let shard = r.placement.iter().find(|p| p.tenant == "alpha").unwrap().shard;
+    let order = &r.shards[shard].completion_order;
+    let pos = |id: u64| order.iter().position(|&x| x == id).unwrap();
+    for batch in 0..3 {
+        for inter in 3..6 {
+            assert!(
+                pos(inter) < pos(batch),
+                "Interactive {inter} must finish before Batch {batch}: {order:?}"
+            );
+        }
+    }
+}
